@@ -1,0 +1,42 @@
+//! Ablation: Hierholzer (linear-time) vs Fleury (bridge-avoiding, O(E²))
+//! Eulerian traversal — why a production deployment would prefer the
+//! former even though the paper's pseudocode names the latter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pim_genome::debruijn::DeBruijnGraph;
+use pim_genome::euler::{eulerian_trails, EulerAlgorithm};
+use pim_genome::hash_table::KmerCounter;
+use pim_genome::sequence::DnaSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph(len: usize) -> DeBruijnGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let seq = DnaSequence::random(&mut rng, len);
+    let mut c = KmerCounter::new(11).unwrap();
+    c.count_sequence(&seq).unwrap();
+    DeBruijnGraph::from_counter(&c, 1)
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euler_traversal");
+    for len in [200usize, 600, 1200] {
+        let g = graph(len);
+        group.bench_with_input(BenchmarkId::new("hierholzer", len), &g, |b, g| {
+            b.iter(|| black_box(eulerian_trails(g, EulerAlgorithm::Hierholzer)))
+        });
+        group.bench_with_input(BenchmarkId::new("fleury", len), &g, |b, g| {
+            b.iter(|| black_box(eulerian_trails(g, EulerAlgorithm::Fleury)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_euler
+}
+criterion_main!(benches);

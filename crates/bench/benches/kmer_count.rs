@@ -1,0 +1,55 @@
+//! Benchmark of the from-scratch open-addressing k-mer counter against a
+//! `std::collections::HashMap` baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use pim_genome::hash_table::KmerCounter;
+use pim_genome::kmer::KmerIter;
+use pim_genome::sequence::DnaSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sequence() -> DnaSequence {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    DnaSequence::random(&mut rng, 50_000)
+}
+
+fn bench_kmer_counter(c: &mut Criterion) {
+    let seq = sequence();
+    c.bench_function("kmer_counter_50kb_k21", |b| {
+        b.iter(|| {
+            let mut counter = KmerCounter::new(21).unwrap();
+            counter.count_sequence(&seq).unwrap();
+            black_box(counter.distinct())
+        })
+    });
+}
+
+fn bench_std_hashmap(c: &mut Criterion) {
+    let seq = sequence();
+    c.bench_function("std_hashmap_50kb_k21", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u64, u64> = HashMap::new();
+            for kmer in KmerIter::new(&seq, 21).unwrap() {
+                *map.entry(kmer.packed()).or_insert(0) += 1;
+            }
+            black_box(map.len())
+        })
+    });
+}
+
+fn bench_rolling_kmer_iter(c: &mut Criterion) {
+    let seq = sequence();
+    c.bench_function("kmer_iter_50kb_k21", |b| {
+        b.iter(|| black_box(KmerIter::new(&seq, 21).unwrap().map(|k| k.packed()).fold(0u64, u64::wrapping_add)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kmer_counter, bench_std_hashmap, bench_rolling_kmer_iter
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmark of the analog behavioral models: transient integration and
+//! Monte-Carlo variation trials.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pim_circuits::transient::TransientSim;
+use pim_circuits::variation::{ActivationMethod, MonteCarlo};
+
+fn bench_transient(c: &mut Criterion) {
+    let sim = TransientSim::nominal_45nm();
+    c.bench_function("transient_xnor_four_scenarios", |b| {
+        b.iter(|| black_box(sim.xnor_scenarios()))
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mc = MonteCarlo::new(1000, 9);
+    c.bench_function("monte_carlo_1000_trials_tra", |b| {
+        b.iter(|| black_box(mc.error_rate_pct(ActivationMethod::Tra, 20.0)))
+    });
+    c.bench_function("monte_carlo_1000_trials_two_row", |b| {
+        b.iter(|| black_box(mc.error_rate_pct(ActivationMethod::TwoRow, 20.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transient, bench_monte_carlo
+}
+criterion_main!(benches);

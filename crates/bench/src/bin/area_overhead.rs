@@ -1,0 +1,21 @@
+//! §II-B *Area Overhead* — transistor accounting of the add-on hardware.
+
+use pim_bench::{print_claims, Claim};
+use pim_circuits::area::AreaModel;
+
+fn main() {
+    let a = AreaModel::paper();
+    println!("Area overhead of PIM-Assembler on a commodity DRAM chip\n");
+    println!("sub-array: {} rows x {} columns", a.rows, a.cols);
+    println!("add-on per SA (per bit-line): {:>6} transistors", a.sa_addon_per_bitline);
+    println!("  -> SA add-on total:         {:>6} transistors", a.sa_addon_per_bitline * a.cols);
+    println!("modified row decoder (3:8):   {:>6} transistors", a.mrd_addon);
+    println!("controller enable drivers:    {:>6} transistors", a.ctrl_addon);
+    println!("total add-on:                 {:>6} transistors", a.addon_transistors());
+    println!("row-equivalents:              {:>6} rows", a.addon_row_equivalents());
+    let claims = vec![
+        Claim::new("add-on DRAM-row equivalents per sub-array", 51.0, a.addon_row_equivalents() as f64, ""),
+        Claim::new("chip-area overhead", 5.0, a.overhead_percent(), "%"),
+    ];
+    print_claims("area overhead", &claims);
+}

@@ -1,0 +1,51 @@
+//! Fig. 10 — power/delay trade-off vs parallelism degree Pd ∈ {1, 2, 4, 8}
+//! for k = 16 and k = 32, and the energy-delay-product optimum — plus the
+//! §IV active-sub-array design-space sweep.
+
+use pim_bench::fmt_throughput;
+use pim_platforms::assembly_model::{AssemblyCostModel, PimAssemblyModel};
+use pim_platforms::dse;
+use pim_platforms::workload::AssemblyWorkload;
+
+fn main() {
+    println!("Fig. 10 — power and delay vs parallelism degree (chr14 workload)\n");
+    println!("{:<4} {:>12} {:>12} {:>12} {:>12} {:>14}", "Pd", "delay@k16(s)", "power@k16(W)", "delay@k32(s)", "power@k32(W)", "EDP@k16(kJ*s)");
+    let w16 = AssemblyWorkload::chr14(16);
+    let w32 = AssemblyWorkload::chr14(32);
+    let mut best = (0usize, f64::INFINITY);
+    for pd in [1usize, 2, 4, 8] {
+        let m = PimAssemblyModel::pim_assembler(pd);
+        let b16 = m.estimate(&w16);
+        let b32 = m.estimate(&w32);
+        let edp = b16.energy_j() * b16.total_s() / 1000.0;
+        println!(
+            "{:<4} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>14.1}",
+            pd,
+            b16.total_s(),
+            b16.power_w,
+            b32.total_s(),
+            b32.power_w,
+            edp
+        );
+        if edp < best.1 {
+            best = (pd, edp);
+        }
+    }
+    println!(
+        "\nlarger Pd -> smaller delay, higher power (the paper's trade-off); \
+energy-delay-product optimum at Pd = {} (paper: Pd ≈ 2)",
+        best.0
+    );
+
+    println!("\n§IV design-space sweep — active sub-arrays vs raw XNOR throughput:");
+    println!("{:<12} {:>14} {:>10} {:>16}", "sub-arrays", "XNOR2", "power(W)", "Gb/s per watt");
+    for p in dse::subarray_sweep(8, 512) {
+        println!(
+            "{:<12} {:>14} {:>10.1} {:>16.2}",
+            p.parallel_subarrays,
+            fmt_throughput(p.xnor_bits_per_s),
+            p.power_w,
+            p.bits_per_joule / 1e9
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 11 — (a) Memory Bottleneck Ratio and (b) Resource Utilization
+//! Ratio for k = 16 and k = 32 across the five platforms.
+
+use pim_bench::{print_claims, Claim};
+use pim_platforms::assembly_model::{AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel, StageBreakdown};
+use pim_platforms::memwall::{mbr_percent, rur_percent};
+use pim_platforms::workload::AssemblyWorkload;
+
+fn main() {
+    println!("Fig. 11 — memory bottleneck ratio (MBR) and resource utilization ratio (RUR)\n");
+    let mut pa16_mbr = 0.0;
+    let mut pa16_rur = 0.0;
+    let mut gpu32_mbr = 0.0;
+    for &k in &[16usize, 32] {
+        let w = AssemblyWorkload::chr14(k);
+        println!("k = {k}");
+        println!("{:<8} {:>9} {:>9}", "platform", "MBR(%)", "RUR(%)");
+        let rows: Vec<StageBreakdown> = vec![
+            GpuAssemblyModel::gtx_1080ti().estimate(&w),
+            PimAssemblyModel::pim_assembler(2).estimate(&w),
+            PimAssemblyModel::ambit(2).estimate(&w),
+            PimAssemblyModel::drisa_3t1c(2).estimate(&w),
+            PimAssemblyModel::drisa_1t1c(2).estimate(&w),
+        ];
+        for b in &rows {
+            println!("{:<8} {:>9.1} {:>9.1}", b.name, mbr_percent(b), rur_percent(b));
+            if k == 16 && b.name == "P-A" {
+                pa16_mbr = mbr_percent(b);
+                pa16_rur = rur_percent(b);
+            }
+            if k == 32 && b.name == "GPU" {
+                gpu32_mbr = mbr_percent(b);
+            }
+        }
+        println!();
+    }
+    let claims = vec![
+        Claim::new("P-A MBR at k=16 (paper: ~9%, <=16% overall)", 9.0, pa16_mbr, "%"),
+        Claim::new("GPU MBR at k=32", 70.0, gpu32_mbr, "%"),
+        Claim::new("P-A RUR at k=16 (paper: up to ~65%)", 65.0, pa16_rur, "%"),
+    ];
+    print_claims("Fig. 11 headline claims", &claims);
+}

@@ -1,0 +1,41 @@
+//! Fig. 3b — raw throughput of XNOR2 and addition across the seven
+//! platforms, for 2²⁷/2²⁸/2²⁹-bit vectors.
+
+use pim_bench::{fmt_throughput, print_claims, Claim};
+use pim_platforms::throughput::{ThroughputReport, PAPER_VECTOR_BITS};
+
+fn main() {
+    println!("Fig. 3b — throughput of XNOR2 and addition (output bits/s)");
+    let report = ThroughputReport::paper_sweep();
+
+    if std::env::args().any(|a| a == "--csv") {
+        let path = "fig3b.csv";
+        std::fs::write(path, report.to_csv()).expect("write csv");
+        println!("wrote {path}");
+    }
+
+    for &bits in &PAPER_VECTOR_BITS {
+        println!("\nvector length = 2^{} bits", bits.trailing_zeros());
+        println!("{:<8} {:>14} {:>14}", "platform", "XNOR2", "addition");
+        for p in report.points.iter().filter(|p| p.bits == bits) {
+            println!(
+                "{:<8} {:>14} {:>14}",
+                p.platform,
+                fmt_throughput(p.xnor_bits_per_s),
+                fmt_throughput(p.add_bits_per_s)
+            );
+        }
+    }
+
+    let claims = vec![
+        Claim::new("P-A vs CPU mean speedup (XNOR+add)", 8.4, report.mean_speedup("P-A", "CPU").unwrap(), "x"),
+        Claim::new("P-A vs Ambit XNOR speedup", 2.3, xnor_ratio(&report, "Ambit"), "x"),
+        Claim::new("P-A vs DRISA-1T1C XNOR speedup", 1.9, xnor_ratio(&report, "D1"), "x"),
+        Claim::new("P-A vs DRISA-3T1C XNOR speedup", 3.7, xnor_ratio(&report, "D3"), "x"),
+    ];
+    print_claims("Fig. 3b headline ratios", &claims);
+}
+
+fn xnor_ratio(report: &ThroughputReport, other: &str) -> f64 {
+    report.mean_xnor("P-A").unwrap() / report.mean_xnor(other).unwrap()
+}

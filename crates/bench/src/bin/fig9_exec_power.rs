@@ -1,0 +1,99 @@
+//! Fig. 9 — execution-time (a) and power (b) breakdown of the three
+//! assembly procedures on GPU, PIM-Assembler, Ambit, DRISA-3T1C, and
+//! DRISA-1T1C for k ∈ {16, 22, 26, 32}, at the paper's chr14 scale.
+//!
+//! The analytic chr14-scale estimates are validated at the end against a
+//! *functional* scaled run of the real PIM pipeline (every command executed
+//! on the bit-accurate DRAM model) whose measured probe behaviour feeds the
+//! extrapolation.
+
+use pim_bench::{print_claims, scaled_pim_run, seed_from_args, Claim};
+use pim_platforms::assembly_model::{
+    AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel, StageBreakdown,
+};
+use pim_platforms::workload::AssemblyWorkload;
+
+fn main() {
+    let seed = seed_from_args();
+    println!("Fig. 9 — execution time and power, chr14 workload (45,711,162 x 101 bp reads)\n");
+    let ks = [16usize, 22, 26, 32];
+    let mut gpu_total = Vec::new();
+    let mut pa_total = Vec::new();
+    let mut gpu_power = Vec::new();
+    let mut pa_power = Vec::new();
+    let mut gpu_hash = Vec::new();
+    let mut pa_hash = Vec::new();
+    let mut best_pim_power: f64 = f64::INFINITY;
+
+    for &k in &ks {
+        let w = AssemblyWorkload::chr14(k);
+        println!("k = {k}");
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+            "platform", "hashmap(s)", "deBruijn(s)", "traverse(s)", "total(s)", "power(W)"
+        );
+        let rows: Vec<StageBreakdown> = vec![
+            GpuAssemblyModel::gtx_1080ti().estimate(&w),
+            PimAssemblyModel::pim_assembler(2).estimate(&w),
+            PimAssemblyModel::ambit(2).estimate(&w),
+            PimAssemblyModel::drisa_3t1c(2).estimate(&w),
+            PimAssemblyModel::drisa_1t1c(2).estimate(&w),
+        ];
+        for b in &rows {
+            println!(
+                "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1}",
+                b.name, b.hashmap_s, b.debruijn_s, b.traverse_s, b.total_s(), b.power_w
+            );
+        }
+        gpu_total.push(rows[0].total_s());
+        pa_total.push(rows[1].total_s());
+        gpu_power.push(rows[0].power_w);
+        pa_power.push(rows[1].power_w);
+        gpu_hash.push(rows[0].hashmap_s);
+        pa_hash.push(rows[1].hashmap_s);
+        for b in &rows[2..] {
+            best_pim_power = best_pim_power.min(b.power_w);
+        }
+        println!();
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let claims = vec![
+        Claim::new("GPU/P-A hashmap speedup at k=16", 5.2, gpu_hash[0] / pa_hash[0], "x"),
+        Claim::new("GPU/P-A hashmap speedup at k=32", 9.8, gpu_hash[3] / pa_hash[3], "x"),
+        Claim::new("GPU/P-A execution-time ratio, mean over k", 5.0, mean(&gpu_total) / mean(&pa_total), "x"),
+        Claim::new("P-A average power", 38.4, mean(&pa_power), "W"),
+        Claim::new("GPU/P-A power ratio", 7.5, mean(&gpu_power) / mean(&pa_power), "x"),
+        Claim::new("best-PIM/P-A power ratio", 2.8, best_pim_power / mean(&pa_power), "x"),
+    ];
+    print_claims("Fig. 9 headline claims", &claims);
+    println!(
+        "note: the paper's per-k hashmap speedups (5.2x -> 9.8x) and its ~5x mean are not\n\
+mutually consistent with hashmap dominating the runtime; we calibrate to the per-k\n\
+stage speedups and report the implied mean."
+    );
+
+    // Validation: a real functional run at laptop scale, extrapolated.
+    println!("\n-- functional validation (scaled dataset, k=16, seed {seed}) --");
+    let run = scaled_pim_run(16, 20_000, 15.0, seed);
+    println!(
+        "scaled run: {} reads, {} k-mers, {} distinct, avg probes {:.2}",
+        run.report.workload.reads,
+        run.report.workload.total_kmers,
+        run.report.workload.distinct_kmers,
+        run.report.workload.avg_probes_per_kmer
+    );
+    println!(
+        "measured stage split: hashmap {:.1}% | deBruijn {:.1}% | traverse {:.1}%",
+        100.0 * run.report.hashmap.wall_s / run.report.total_wall_s(),
+        100.0 * run.report.debruijn.wall_s / run.report.total_wall_s(),
+        100.0 * run.report.traverse.wall_s / run.report.total_wall_s()
+    );
+    let chr14 = run.report.extrapolate_chr14();
+    println!(
+        "chr14 extrapolation from measured probes: total {:.1} s @ {:.1} W (analytic: {:.1} s)",
+        chr14.total_s(),
+        chr14.power_w,
+        PimAssemblyModel::pim_assembler(2).estimate(&AssemblyWorkload::chr14(16)).total_s()
+    );
+}

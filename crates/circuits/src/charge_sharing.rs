@@ -1,0 +1,171 @@
+//! Charge-sharing algebra of multi-row activations.
+//!
+//! During sense amplification of a two-row activation the inverter input is
+//! `Vi = n·Vdd / C` (paper §II-A), where `n` is the number of activated
+//! cells storing logic 1 and `C` the number of unit capacitors on the
+//! divider (2 for two-row, 3 for TRA). The full model also carries the
+//! bit-line capacitance so that parasitics (and their variation) shift the
+//! levels realistically; with `c_bl = 0` it degenerates to the paper's ideal
+//! formula.
+
+/// Capacitances and supply of the charge-sharing divider.
+///
+/// # Examples
+///
+/// ```
+/// use pim_circuits::charge_sharing::ChargeSharing;
+///
+/// let cs = ChargeSharing::ideal(1.0);
+/// assert_eq!(cs.two_row_voltage(0), 0.0);
+/// assert_eq!(cs.two_row_voltage(1), 0.5);
+/// assert_eq!(cs.two_row_voltage(2), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeSharing {
+    vdd: f64,
+    /// Cell storage capacitance (fF).
+    c_cell_ff: f64,
+    /// Bit-line parasitic capacitance seen by the divider (fF).
+    c_bl_ff: f64,
+}
+
+impl ChargeSharing {
+    /// The paper's idealized divider: only the unit cell capacitors count.
+    pub fn ideal(vdd: f64) -> Self {
+        ChargeSharing { vdd, c_cell_ff: 22.0, c_bl_ff: 0.0 }
+    }
+
+    /// Nominal 45 nm values (cell ≈ 22 fF per the Rambus model the paper
+    /// scales from; small residual BL parasitic after the SA isolates the
+    /// divider).
+    pub fn nominal_45nm() -> Self {
+        ChargeSharing { vdd: 1.0, c_cell_ff: 22.0, c_bl_ff: 2.5 }
+    }
+
+    /// Creates a model with explicit capacitances.
+    pub fn with_caps(vdd: f64, c_cell_ff: f64, c_bl_ff: f64) -> Self {
+        ChargeSharing { vdd, c_cell_ff, c_bl_ff }
+    }
+
+    /// Supply voltage (V).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Cell capacitance (fF).
+    pub fn c_cell_ff(&self) -> f64 {
+        self.c_cell_ff
+    }
+
+    /// Bit-line parasitic capacitance (fF).
+    pub fn c_bl_ff(&self) -> f64 {
+        self.c_bl_ff
+    }
+
+    /// Divider voltage when `k` cells are activated and `n ≤ k` of them
+    /// store logic 1; the BL parasitic starts precharged to ½·Vdd.
+    pub fn shared_voltage(&self, n_ones: usize, k_cells: usize) -> f64 {
+        assert!(n_ones <= k_cells, "more ones than activated cells");
+        let c_total = self.c_bl_ff + k_cells as f64 * self.c_cell_ff;
+        (self.c_bl_ff * 0.5 * self.vdd + n_ones as f64 * self.c_cell_ff * self.vdd) / c_total
+    }
+
+    /// Two-row activation voltage (`k = 2`): the paper's `Vi = n·Vdd/2`
+    /// when parasitics vanish.
+    pub fn two_row_voltage(&self, n_ones: usize) -> f64 {
+        self.shared_voltage(n_ones, 2)
+    }
+
+    /// Triple-row (TRA) voltage (`k = 3`).
+    pub fn tra_voltage(&self, n_ones: usize) -> f64 {
+        self.shared_voltage(n_ones, 3)
+    }
+
+    /// Worst-case sensing margin of the two-row method: distance from the
+    /// nearest charge level to the NOR (¼·Vdd) or NAND (¾·Vdd) detector.
+    pub fn two_row_margin(&self) -> f64 {
+        let levels = [self.two_row_voltage(0), self.two_row_voltage(1), self.two_row_voltage(2)];
+        let thresholds = [0.25 * self.vdd, 0.75 * self.vdd];
+        min_distance(&levels, &thresholds)
+    }
+
+    /// Worst-case sensing margin of TRA: distance from the n=1 / n=2 levels
+    /// to the ½·Vdd sense point.
+    pub fn tra_margin(&self) -> f64 {
+        let levels = [
+            self.tra_voltage(0),
+            self.tra_voltage(1),
+            self.tra_voltage(2),
+            self.tra_voltage(3),
+        ];
+        min_distance(&levels, &[0.5 * self.vdd])
+    }
+}
+
+impl Default for ChargeSharing {
+    fn default() -> Self {
+        ChargeSharing::nominal_45nm()
+    }
+}
+
+fn min_distance(levels: &[f64], thresholds: &[f64]) -> f64 {
+    let mut best = f64::INFINITY;
+    for l in levels {
+        for t in thresholds {
+            best = best.min((l - t).abs());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_matches_paper_formula() {
+        let cs = ChargeSharing::ideal(1.2);
+        for n in 0..=2 {
+            assert!((cs.two_row_voltage(n) - n as f64 * 1.2 / 2.0).abs() < 1e-12);
+        }
+        for n in 0..=3 {
+            assert!((cs.tra_voltage(n) - n as f64 * 1.2 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_row_margin_exceeds_tra_margin() {
+        // This asymmetry is the root cause of Table I: two-row levels sit
+        // Vdd/4 from their detectors, TRA levels only Vdd/6 from ½·Vdd.
+        let cs = ChargeSharing::ideal(1.0);
+        assert!(cs.two_row_margin() > cs.tra_margin());
+        assert!((cs.two_row_margin() - 0.25).abs() < 1e-12);
+        assert!((cs.tra_margin() - (0.5 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parasitics_pull_levels_toward_half_vdd() {
+        let ideal = ChargeSharing::ideal(1.0);
+        let real = ChargeSharing::with_caps(1.0, 22.0, 10.0);
+        assert!(real.two_row_voltage(2) < ideal.two_row_voltage(2));
+        assert!(real.two_row_voltage(0) > ideal.two_row_voltage(0));
+        // n=1 stays at ½·Vdd by symmetry.
+        assert!((real.two_row_voltage(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_is_monotone_in_ones() {
+        let cs = ChargeSharing::nominal_45nm();
+        for k in 2..=3 {
+            for n in 0..k {
+                assert!(cs.shared_voltage(n, k) < cs.shared_voltage(n + 1, k));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more ones than activated cells")]
+    fn rejects_impossible_counts() {
+        ChargeSharing::ideal(1.0).shared_voltage(3, 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Bit-line noise sources (Fig. 4).
+//!
+//! The paper's Monte-Carlo study perturbs *all* components: the DRAM cell
+//! (word-line/bit-line coupling `Cwbl`, bit-line-to-substrate `Cs`,
+//! bit-line-to-bit-line crosstalk `Ccross`, and the access transistor) and
+//! the sense amplifier (transistor W/L, i.e. the switching voltages). This
+//! module quantifies the deterministic displacement each coupling source
+//! injects onto the shared bit-line voltage; the `variation` module adds the
+//! stochastic part.
+
+/// Parasitic coupling capacitances around one DRAM bit-line (fF).
+///
+/// # Examples
+///
+/// ```
+/// use pim_circuits::noise::NoiseSources;
+///
+/// let n = NoiseSources::nominal_45nm();
+/// // Worst-case displacement is a small fraction of Vdd.
+/// assert!(n.worst_case_displacement(1.0, 22.0, 2.5) < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSources {
+    /// Word-line to bit-line coupling capacitance (fF).
+    pub c_wbl_ff: f64,
+    /// Bit-line to substrate capacitance (fF).
+    pub c_s_ff: f64,
+    /// Bit-line to adjacent-bit-line crosstalk capacitance (fF).
+    pub c_cross_ff: f64,
+}
+
+impl NoiseSources {
+    /// Nominal 45 nm coupling values (scaled from the Rambus cell model).
+    pub fn nominal_45nm() -> Self {
+        NoiseSources { c_wbl_ff: 0.35, c_s_ff: 1.1, c_cross_ff: 0.55 }
+    }
+
+    /// Voltage kicked onto the bit-line when a word-line swings rail-to-rail
+    /// (`ΔV = Vdd · Cwbl / Ctotal`).
+    pub fn wordline_kick(&self, vdd: f64, c_cell_ff: f64, c_bl_ff: f64) -> f64 {
+        vdd * self.c_wbl_ff / (self.c_wbl_ff + self.c_s_ff + self.c_cross_ff + c_cell_ff + c_bl_ff)
+    }
+
+    /// Voltage coupled from an adjacent bit-line swinging rail-to-rail.
+    pub fn crosstalk_kick(&self, vdd: f64, c_cell_ff: f64, c_bl_ff: f64) -> f64 {
+        vdd * self.c_cross_ff / (self.c_wbl_ff + self.c_s_ff + self.c_cross_ff + c_cell_ff + c_bl_ff)
+    }
+
+    /// Worst-case deterministic displacement: simultaneous word-line kick
+    /// (own WL plus one neighbour through `Cwbl`) and one adjacent bit-line
+    /// transition.
+    pub fn worst_case_displacement(&self, vdd: f64, c_cell_ff: f64, c_bl_ff: f64) -> f64 {
+        self.wordline_kick(vdd, c_cell_ff, c_bl_ff) + self.crosstalk_kick(vdd, c_cell_ff, c_bl_ff)
+    }
+
+    /// Total parasitic capacitance these sources contribute to the divider.
+    pub fn total_parasitic_ff(&self) -> f64 {
+        self.c_wbl_ff + self.c_s_ff + self.c_cross_ff
+    }
+}
+
+impl Default for NoiseSources {
+    fn default() -> Self {
+        NoiseSources::nominal_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kicks_scale_with_vdd() {
+        let n = NoiseSources::nominal_45nm();
+        let k1 = n.wordline_kick(1.0, 22.0, 2.5);
+        let k2 = n.wordline_kick(2.0, 22.0, 2.5);
+        assert!((k2 - 2.0 * k1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_cell_cap_damps_noise() {
+        let n = NoiseSources::nominal_45nm();
+        assert!(n.worst_case_displacement(1.0, 30.0, 2.5) < n.worst_case_displacement(1.0, 15.0, 2.5));
+    }
+
+    #[test]
+    fn worst_case_is_sum_of_kicks() {
+        let n = NoiseSources::nominal_45nm();
+        let w = n.wordline_kick(1.0, 22.0, 2.5);
+        let x = n.crosstalk_kick(1.0, 22.0, 2.5);
+        assert!((n.worst_case_displacement(1.0, 22.0, 2.5) - (w + x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_stays_below_two_row_margin() {
+        // Deterministic noise alone must not flip a two-row sense — the
+        // failures in Table I come from *variation*, not nominal noise.
+        let n = NoiseSources::nominal_45nm();
+        let cs = crate::charge_sharing::ChargeSharing::nominal_45nm();
+        assert!(n.worst_case_displacement(1.0, cs.c_cell_ff(), cs.c_bl_ff()) < cs.two_row_margin());
+    }
+}

@@ -1,0 +1,130 @@
+//! Cell retention vs temperature.
+//!
+//! A compute-heavy DRAM runs hot, and DRAM retention halves roughly every
+//! 10 °C (leakage is Arrhenius-activated). This model connects die
+//! temperature → worst-case cell retention → required refresh interval,
+//! closing the loop with `pim_dram::refresh`: the performance cost of
+//! running the array as a processor includes the hotter refresh schedule.
+
+/// Retention model anchored at a reference point.
+///
+/// # Examples
+///
+/// ```
+/// use pim_circuits::retention::RetentionModel;
+///
+/// let m = RetentionModel::ddr4();
+/// // Hotter die → shorter retention → shorter refresh interval.
+/// assert!(m.required_t_refi_ns(85.0) < m.required_t_refi_ns(45.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Worst-case retention at the reference temperature (ns).
+    pub retention_at_ref_ns: f64,
+    /// Reference temperature (°C).
+    pub ref_temp_c: f64,
+    /// Temperature increase that halves retention (°C).
+    pub halving_c: f64,
+    /// Safety divisor between retention and the refresh interval
+    /// (JEDEC refreshes 8192 rows per retention window).
+    pub safety_divisor: f64,
+}
+
+impl RetentionModel {
+    /// DDR4-class anchor: 64 ms worst-case retention at 45 °C, halving
+    /// every 10 °C, 8192 refresh slots per window.
+    pub fn ddr4() -> Self {
+        RetentionModel {
+            retention_at_ref_ns: 64e6,
+            ref_temp_c: 45.0,
+            halving_c: 10.0,
+            safety_divisor: 8192.0,
+        }
+    }
+
+    /// Worst-case retention at `temp_c` (ns).
+    pub fn retention_ns(&self, temp_c: f64) -> f64 {
+        self.retention_at_ref_ns * 2f64.powf((self.ref_temp_c - temp_c) / self.halving_c)
+    }
+
+    /// Required average refresh interval at `temp_c` (ns).
+    pub fn required_t_refi_ns(&self, temp_c: f64) -> f64 {
+        self.retention_ns(temp_c) / self.safety_divisor
+    }
+
+    /// The refresh availability tax at `temp_c`, given the device's `t_rfc`
+    /// (ns): the fraction of array time consumed by refresh.
+    pub fn availability_tax(&self, temp_c: f64, t_rfc_ns: f64) -> f64 {
+        t_rfc_ns / self.required_t_refi_ns(temp_c)
+    }
+
+    /// The temperature at which refresh consumes `fraction` of all array
+    /// time — the thermal wall of in-DRAM computing.
+    pub fn thermal_wall_c(&self, fraction: f64, t_rfc_ns: f64) -> f64 {
+        // fraction = t_rfc / (retention(T)/divisor)
+        // retention(T) = t_rfc·divisor/fraction, solve the exponential.
+        let needed = t_rfc_ns * self.safety_divisor / fraction;
+        self.ref_temp_c - self.halving_c * (needed / self.retention_at_ref_ns).log2()
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel::ddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::refresh::RefreshParams;
+
+    #[test]
+    fn reference_point_reproduces_jedec_t_refi() {
+        // 64 ms / 8192 = 7.8125 µs — the standard tREFI.
+        let m = RetentionModel::ddr4();
+        let t_refi = m.required_t_refi_ns(45.0);
+        assert!((t_refi - 7812.5).abs() < 1.0, "{t_refi}");
+        // Consistent with the DRAM crate's refresh parameters.
+        assert!((t_refi - RefreshParams::ddr4().t_refi_ns).abs() / t_refi < 0.01);
+    }
+
+    #[test]
+    fn ten_degrees_halve_retention() {
+        let m = RetentionModel::ddr4();
+        let r45 = m.retention_ns(45.0);
+        let r55 = m.retention_ns(55.0);
+        assert!((r45 / r55 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extended_temperature_mode_matches() {
+        // DDR4 2x-refresh mode covers up to 85–95 °C; our model's required
+        // tREFI at 55 °C is exactly half the nominal one.
+        let m = RetentionModel::ddr4();
+        assert!((m.required_t_refi_ns(55.0) - 7812.5 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tax_grows_with_temperature() {
+        let m = RetentionModel::ddr4();
+        let rfc = RefreshParams::ddr4().t_rfc_ns;
+        let t45 = m.availability_tax(45.0, rfc);
+        let t85 = m.availability_tax(85.0, rfc);
+        assert!(t85 > t45 * 10.0, "{t45} -> {t85}");
+        assert!((0.04..0.05).contains(&t45), "{t45}");
+    }
+
+    #[test]
+    fn thermal_wall_is_consistent() {
+        let m = RetentionModel::ddr4();
+        let rfc = 350.0;
+        let wall = m.thermal_wall_c(0.5, rfc); // refresh eats half the array
+        // Evaluating the tax at the wall returns the fraction.
+        let tax = m.availability_tax(wall, rfc);
+        assert!((tax - 0.5).abs() < 1e-9, "{tax}");
+        // The wall sits above extended-temperature operation (~80 °C for a
+        // 350 ns tRFC device): in-DRAM compute must stay cooler than that.
+        assert!((75.0..85.0).contains(&wall), "{wall}");
+    }
+}

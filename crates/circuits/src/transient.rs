@@ -1,0 +1,221 @@
+//! Transient simulation of the single-cycle in-memory XNOR2 (Fig. 3a).
+//!
+//! The paper validates the two-row activation mechanism in Cadence Spectre
+//! and shows the bit-line and cell voltages across the three phases of one
+//! memory cycle:
+//!
+//! 1. **Precharged state** — BL and BL̄ held at `½·Vdd`;
+//! 2. **Charge sharing** — both compute-row word-lines rise, the two cells
+//!    and the bit-line converge to the divider voltage `n·Vdd/2`;
+//! 3. **Sense amplification** — the reconfigurable SA resolves XOR2 onto BL
+//!    and XNOR2 onto BL̄; the cells (on the BL̄ side of the folded pair in
+//!    this configuration) are re-driven rail-to-rail, ending at `Vdd` when
+//!    `Di = Dj` (XNOR = 1) and `GND` when `Di ≠ Dj`, exactly as Fig. 3a
+//!    shows.
+//!
+//! The integrator is a simple per-phase exponential relaxation — adequate
+//! because the experiment's observable is the settled trajectory, not
+//! device-level ringing.
+
+use crate::charge_sharing::ChargeSharing;
+
+/// A sampled set of voltage traces from one transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    /// Human-readable scenario label, e.g. `"DiDj=10"`.
+    pub label: String,
+    /// Sample times (ns).
+    pub time_ns: Vec<f64>,
+    /// Bit-line voltage (carries XOR2 after sensing).
+    pub v_bl: Vec<f64>,
+    /// Complement bit-line voltage (carries XNOR2 after sensing).
+    pub v_blbar: Vec<f64>,
+    /// Activated cell capacitor voltage.
+    pub v_cell: Vec<f64>,
+}
+
+impl Waveform {
+    /// Final (settled) cell voltage.
+    pub fn final_cell_voltage(&self) -> f64 {
+        *self.v_cell.last().expect("waveform has samples")
+    }
+
+    /// Final BL voltage (XOR2 rail).
+    pub fn final_bl_voltage(&self) -> f64 {
+        *self.v_bl.last().expect("waveform has samples")
+    }
+
+    /// Final BL̄ voltage (XNOR2 rail).
+    pub fn final_blbar_voltage(&self) -> f64 {
+        *self.v_blbar.last().expect("waveform has samples")
+    }
+
+    /// Whether the last two samples differ by less than `eps` volts on
+    /// every trace (the run has settled).
+    pub fn settled(&self, eps: f64) -> bool {
+        let n = self.time_ns.len();
+        if n < 2 {
+            return false;
+        }
+        [&self.v_bl, &self.v_blbar, &self.v_cell]
+            .iter()
+            .all(|t| (t[n - 1] - t[n - 2]).abs() < eps)
+    }
+}
+
+/// Phase boundaries and time constants of the transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSim {
+    charge: ChargeSharing,
+    /// Duration of the precharged state (ns).
+    pub t_precharge_ns: f64,
+    /// Duration of the charge-sharing phase (ns).
+    pub t_share_ns: f64,
+    /// Duration of the sense-amplification phase (ns).
+    pub t_sense_ns: f64,
+    /// Charge-sharing RC time constant (ns).
+    pub tau_share_ns: f64,
+    /// SA regeneration time constant (ns).
+    pub tau_sense_ns: f64,
+    /// Integration step (ns).
+    pub dt_ns: f64,
+}
+
+impl TransientSim {
+    /// Nominal 45 nm run: 2 ns precharge view, 3 ns share, 6 ns sense.
+    pub fn nominal_45nm() -> Self {
+        TransientSim {
+            charge: ChargeSharing::nominal_45nm(),
+            t_precharge_ns: 2.0,
+            t_share_ns: 3.0,
+            t_sense_ns: 6.0,
+            tau_share_ns: 0.5,
+            tau_sense_ns: 0.8,
+            dt_ns: 0.05,
+        }
+    }
+
+    /// Simulates one XNOR2 cycle for operand bits `di`, `dj`.
+    pub fn simulate_xnor(&self, di: bool, dj: bool) -> Waveform {
+        let vdd = self.charge.vdd();
+        let half = 0.5 * vdd;
+        let n = usize::from(di) + usize::from(dj);
+        let v_share = self.charge.two_row_voltage(n);
+        let xor = di != dj;
+        let bl_target = if xor { vdd } else { 0.0 };
+        let blbar_target = vdd - bl_target;
+
+        let mut t = 0.0;
+        let mut w = Waveform {
+            label: format!("DiDj={}{}", u8::from(di), u8::from(dj)),
+            time_ns: Vec::new(),
+            v_bl: Vec::new(),
+            v_blbar: Vec::new(),
+            v_cell: Vec::new(),
+        };
+        let (mut v_bl, mut v_blbar) = (half, half);
+        let mut v_cell = if di { vdd } else { 0.0 };
+
+        let t_end = self.t_precharge_ns + self.t_share_ns + self.t_sense_ns;
+        while t <= t_end + 1e-9 {
+            if t <= self.t_precharge_ns {
+                // Precharged state: rails hold, cell holds its datum.
+            } else if t <= self.t_precharge_ns + self.t_share_ns {
+                // Charge sharing: everything relaxes toward the divider level.
+                let a = self.step_fraction(self.tau_share_ns);
+                v_bl += (v_share - v_bl) * a;
+                v_blbar += (v_share - v_blbar) * a;
+                v_cell += (v_share - v_cell) * a;
+            } else {
+                // Sense amplification: rails regenerate; the cell follows BL̄
+                // (the XNOR side) and is restored rail-to-rail.
+                let a = self.step_fraction(self.tau_sense_ns);
+                v_bl += (bl_target - v_bl) * a;
+                v_blbar += (blbar_target - v_blbar) * a;
+                v_cell += (blbar_target - v_cell) * a;
+            }
+            w.time_ns.push(t);
+            w.v_bl.push(v_bl);
+            w.v_blbar.push(v_blbar);
+            w.v_cell.push(v_cell);
+            t += self.dt_ns;
+        }
+        w
+    }
+
+    /// All four operand combinations, in `00, 01, 10, 11` order — the
+    /// complete Fig. 3a panel.
+    pub fn xnor_scenarios(&self) -> Vec<Waveform> {
+        [(false, false), (false, true), (true, false), (true, true)]
+            .into_iter()
+            .map(|(a, b)| self.simulate_xnor(a, b))
+            .collect()
+    }
+
+    fn step_fraction(&self, tau_ns: f64) -> f64 {
+        1.0 - (-self.dt_ns / tau_ns).exp()
+    }
+}
+
+impl Default for TransientSim {
+    fn default() -> Self {
+        TransientSim::nominal_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_operands_recharge_cell_to_vdd() {
+        let sim = TransientSim::nominal_45nm();
+        for (a, b) in [(false, false), (true, true)] {
+            let w = sim.simulate_xnor(a, b);
+            assert!(w.settled(1e-3), "{} not settled", w.label);
+            assert!(w.final_cell_voltage() > 0.95, "{}: cell = {}", w.label, w.final_cell_voltage());
+            assert!(w.final_blbar_voltage() > 0.95); // XNOR = 1
+            assert!(w.final_bl_voltage() < 0.05); // XOR = 0
+        }
+    }
+
+    #[test]
+    fn unequal_operands_discharge_cell_to_gnd() {
+        let sim = TransientSim::nominal_45nm();
+        for (a, b) in [(false, true), (true, false)] {
+            let w = sim.simulate_xnor(a, b);
+            assert!(w.final_cell_voltage() < 0.05, "{}: cell = {}", w.label, w.final_cell_voltage());
+            assert!(w.final_blbar_voltage() < 0.05); // XNOR = 0
+            assert!(w.final_bl_voltage() > 0.95); // XOR = 1
+        }
+    }
+
+    #[test]
+    fn charge_share_passes_through_divider_level() {
+        // Midway through the share phase for DiDj=11, the BL must be well
+        // above ½·Vdd (heading to ≈Vdd) before the SA even fires.
+        let sim = TransientSim::nominal_45nm();
+        let w = sim.simulate_xnor(true, true);
+        let share_end = sim.t_precharge_ns + sim.t_share_ns;
+        let idx = w.time_ns.iter().position(|&t| t >= share_end - 0.1).unwrap();
+        assert!(w.v_bl[idx] > 0.7, "share level {} too low", w.v_bl[idx]);
+    }
+
+    #[test]
+    fn four_scenarios_cover_fig3a() {
+        let ws = TransientSim::nominal_45nm().xnor_scenarios();
+        assert_eq!(ws.len(), 4);
+        let labels: Vec<&str> = ws.iter().map(|w| w.label.as_str()).collect();
+        assert_eq!(labels, vec!["DiDj=00", "DiDj=01", "DiDj=10", "DiDj=11"]);
+    }
+
+    #[test]
+    fn precharge_phase_is_flat() {
+        let sim = TransientSim::nominal_45nm();
+        let w = sim.simulate_xnor(true, false);
+        let idx = w.time_ns.iter().position(|&t| t >= sim.t_precharge_ns).unwrap();
+        for i in 0..idx {
+            assert!((w.v_bl[i] - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the circuit behavioral models.
+
+use proptest::prelude::*;
+
+use pim_circuits::charge_sharing::ChargeSharing;
+use pim_circuits::transient::TransientSim;
+use pim_circuits::variation::{ActivationMethod, MonteCarlo};
+use pim_circuits::vtc::{Inverter, InverterKind};
+
+proptest! {
+    #[test]
+    fn vtc_monotone_for_any_supply(vdd in 0.6f64..1.4, kind in 0usize..3) {
+        let kind = [InverterKind::LowVs, InverterKind::NormalVs, InverterKind::HighVs][kind];
+        let inv = Inverter::new(kind, vdd);
+        let mut prev = f64::INFINITY;
+        for i in 0..=50 {
+            let v = inv.output(vdd * i as f64 / 50.0);
+            prop_assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+        // Switching voltage sits at the nominal fraction of Vdd.
+        prop_assert!((inv.switching_voltage() - kind.switching_fraction() * vdd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_sharing_bounded_and_monotone(
+        c_cell in 10.0f64..40.0,
+        c_bl in 0.0f64..20.0,
+        k in 2usize..=3,
+    ) {
+        let cs = ChargeSharing::with_caps(1.0, c_cell, c_bl);
+        let mut prev = -1.0;
+        for n in 0..=k {
+            let v = cs.shared_voltage(n, k);
+            prop_assert!((0.0..=1.0).contains(&v), "voltage {v} out of rails");
+            prop_assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn two_row_margin_always_beats_tra_margin(
+        c_cell in 15.0f64..35.0,
+        c_bl in 0.0f64..8.0,
+    ) {
+        let cs = ChargeSharing::with_caps(1.0, c_cell, c_bl);
+        prop_assert!(cs.two_row_margin() > cs.tra_margin());
+    }
+
+    #[test]
+    fn transient_final_state_matches_xnor_for_any_timing(
+        tau_share in 0.2f64..1.0,
+        tau_sense in 0.3f64..1.5,
+    ) {
+        let mut sim = TransientSim::nominal_45nm();
+        sim.tau_share_ns = tau_share;
+        sim.tau_sense_ns = tau_sense;
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let w = sim.simulate_xnor(a, b);
+            let expect_high = a == b;
+            prop_assert_eq!(w.final_cell_voltage() > 0.5, expect_high, "{}", w.label);
+        }
+    }
+
+    #[test]
+    fn error_rate_monotone_in_variation(seed in 0u64..50) {
+        let mc = MonteCarlo::new(400, seed);
+        for method in [ActivationMethod::Tra, ActivationMethod::TwoRow] {
+            let lo = mc.error_rate_pct(method, 10.0);
+            let hi = mc.error_rate_pct(method, 30.0);
+            prop_assert!(hi >= lo, "{method:?}: {lo} -> {hi}");
+        }
+    }
+}

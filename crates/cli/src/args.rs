@@ -1,0 +1,106 @@
+//! Minimal dependency-free argument parsing for `pim-asm`.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, positional arguments, `--key value`
+/// options, and `--flag` switches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Option keys that take a value (everything else starting with `--` is a
+/// switch).
+const VALUE_KEYS: [&str; 8] =
+    ["k", "min-count", "coverage", "seed", "output", "pd", "simplify", "subarrays"];
+
+impl ParsedArgs {
+    /// Parses an argument vector (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ParsedArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if VALUE_KEYS.contains(&key) {
+                    if let Some(value) = iter.next() {
+                        out.options.insert(key.to_string(), value);
+                    }
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_empty() {
+                out.command = arg;
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.options.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// A string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a switch was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_positionals() {
+        let a = parse("assemble reads.fasta");
+        assert_eq!(a.command, "assemble");
+        assert_eq!(a.positional, vec!["reads.fasta"]);
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let a = parse("assemble in.fa --k 21 --min-count 2 --correct --output out.fa");
+        assert_eq!(a.get_num("k", 0usize), 21);
+        assert_eq!(a.get_num("min-count", 1u64), 2);
+        assert!(a.has_flag("correct"));
+        assert_eq!(a.get_str("output"), Some("out.fa"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("assemble in.fa");
+        assert_eq!(a.get_num("k", 17usize), 17);
+        assert!(!a.has_flag("correct"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn bad_number_panics() {
+        parse("assemble --k banana").get_num::<usize>("k", 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use pim_assembler::{PimAssembler, PimAssemblerConfig};
+use pim_genome::correction::ReadCorrector;
+use pim_genome::fasta::{read_fasta, write_fasta, FastaRecord};
+use pim_genome::fastq::read_fastq;
+use pim_genome::reads::{Read, ReadSimulator};
+use pim_platforms::throughput::{ThroughputReport, PAPER_VECTOR_BITS};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::args::ParsedArgs;
+
+/// Help text.
+pub const USAGE: &str = "\
+pim-asm — genome assembly on the simulated PIM-Assembler platform
+
+USAGE:
+  pim-asm assemble <reads.fasta|.fastq> [options]   assemble reads into contigs
+  pim-asm simulate <genome.fasta> [options]         sample synthetic reads
+  pim-asm stats <contigs.fasta>                     N50/N90/L50 and length table
+  pim-asm throughput                                Fig. 3b bulk-op throughput table
+  pim-asm help                                      this text
+
+ASSEMBLE OPTIONS:
+  --k N            k-mer length (default 17, max 32)
+  --min-count N    drop k-mers seen fewer than N times (default 1)
+  --simplify N     clip tips/pop bubbles up to N edges (default off)
+  --correct        spectral read error correction before assembly
+  --pd N           parallelism degree (default 2)
+  --subarrays N    hash-partition sub-arrays (default 32)
+  --output PATH    write contigs FASTA (default stdout summary only)
+  --report         print the hardware performance report
+
+SIMULATE OPTIONS:
+  --coverage X     mean coverage (default 25)
+  --seed N         RNG seed (default 42)
+  --output PATH    write reads FASTA (default reads.fasta)
+";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// `pim-asm assemble`.
+pub fn assemble(args: &ParsedArgs) -> CliResult {
+    let input = args.positional.first().ok_or("assemble needs an input reads file")?;
+    let k: usize = args.get_num("k", 17);
+    let mut reads = load_reads(Path::new(input))?;
+    eprintln!("loaded {} reads from {input}", reads.len());
+
+    if args.has_flag("correct") {
+        let stats = ReadCorrector::new(k, 3).correct_reads(&mut reads)?;
+        eprintln!("corrected {} bases ({} uncorrectable)", stats.corrected, stats.uncorrectable);
+    }
+
+    let mut config = PimAssemblerConfig::paper(k)
+        .with_min_count(args.get_num("min-count", 1))
+        .with_pd(args.get_num("pd", 2))
+        .with_hash_subarrays(args.get_num("subarrays", 32));
+    if let Some(tips) = args.options.get("simplify") {
+        config = config.with_simplification(tips.parse().map_err(|_| "--simplify expects a number")?);
+    }
+
+    let mut assembler = PimAssembler::new(config);
+    let run = assembler.assemble(&reads)?;
+    println!("assembly: {}", run.assembly.stats);
+    println!(
+        "graph: {} nodes, {} edges, {} trails",
+        run.assembly.graph_nodes, run.assembly.graph_edges, run.assembly.trails
+    );
+
+    if args.has_flag("report") {
+        let r = &run.report;
+        println!("\nhardware report (Pd = {}, {:.0} chains):", r.pd, r.parallel_chains);
+        println!("  commands: {}", r.commands);
+        println!(
+            "  wall: hashmap {:.3} s | deBruijn {:.3} s | traverse {:.3} s",
+            r.hashmap.wall_s, r.debruijn.wall_s, r.traverse.wall_s
+        );
+        println!(
+            "  power {:.1} W | energy {:.3} J | MBR {:.1}% | RUR {:.1}%",
+            r.power_w, r.energy_j, r.mbr_percent, r.rur_percent
+        );
+        let chr14 = r.extrapolate_chr14();
+        println!("  chr14-scale extrapolation: {:.1} s @ {:.1} W", chr14.total_s(), chr14.power_w);
+    }
+
+    if let Some(out) = args.get_str("output") {
+        let records: Vec<FastaRecord> = run
+            .assembly
+            .contigs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| FastaRecord {
+                name: format!("contig_{i} len={}", c.len()),
+                seq: c.sequence().clone(),
+            })
+            .collect();
+        write_fasta(File::create(out)?, &records)?;
+        eprintln!("wrote {} contigs to {out}", records.len());
+    }
+    Ok(())
+}
+
+/// `pim-asm simulate`.
+pub fn simulate(args: &ParsedArgs) -> CliResult {
+    let input = args.positional.first().ok_or("simulate needs a genome FASTA")?;
+    let records = read_fasta(BufReader::new(File::open(input)?))?;
+    let genome = &records.first().ok_or("empty FASTA")?.seq;
+    let coverage: f64 = args.get_num("coverage", 25.0);
+    let seed: u64 = args.get_num("seed", 42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let reads = ReadSimulator::new(101, coverage).simulate(genome, &mut rng);
+    let out = args.get_str("output").unwrap_or("reads.fasta");
+    let records: Vec<FastaRecord> = reads
+        .iter()
+        .map(|r| FastaRecord { name: format!("read_{}", r.id), seq: r.seq.clone() })
+        .collect();
+    write_fasta(File::create(out)?, &records)?;
+    println!("sampled {} x 101 bp reads at {coverage}x into {out}", reads.len());
+    Ok(())
+}
+
+/// `pim-asm stats`.
+pub fn stats(args: &ParsedArgs) -> CliResult {
+    use pim_genome::contig::Contig;
+    use pim_genome::stats::{lx, nx, AssemblyStats};
+    let input = args.positional.first().ok_or("stats needs a contigs FASTA")?;
+    let records = read_fasta(BufReader::new(File::open(input)?))?;
+    let contigs: Vec<Contig> = records.iter().map(|r| Contig::new(r.seq.clone())).collect();
+    let s = AssemblyStats::from_contigs(&contigs);
+    println!("{s}");
+    println!("N90 = {} bp | L50 = {} contigs", nx(&contigs, 90.0), lx(&contigs, 50.0));
+    let mut lengths: Vec<(usize, &str)> =
+        records.iter().map(|r| (r.seq.len(), r.name.as_str())).collect();
+    lengths.sort_unstable_by_key(|&(len, _)| std::cmp::Reverse(len));
+    for (len, name) in lengths.iter().take(10) {
+        println!("{len:>10} bp  {name}");
+    }
+    if lengths.len() > 10 {
+        println!("… and {} more", lengths.len() - 10);
+    }
+    Ok(())
+}
+
+/// `pim-asm throughput`.
+pub fn throughput() -> CliResult {
+    let report = ThroughputReport::paper_sweep();
+    println!("bulk-op throughput (output bits/s), vectors of 2^27..2^29 bits:");
+    println!("{:<8} {:>14} {:>14}", "platform", "XNOR2", "addition");
+    for name in ["CPU", "GPU", "HMC", "Ambit", "D1", "D3", "P-A"] {
+        let p = report
+            .points
+            .iter()
+            .find(|p| p.platform == name && p.bits == PAPER_VECTOR_BITS[0])
+            .expect("platform present");
+        println!(
+            "{:<8} {:>11.1} Gb/s {:>11.1} Gb/s",
+            name,
+            p.xnor_bits_per_s / 1e9,
+            p.add_bits_per_s / 1e9
+        );
+    }
+    Ok(())
+}
+
+/// Loads reads from FASTA or FASTQ by extension.
+fn load_reads(path: &Path) -> Result<Vec<Read>, Box<dyn Error>> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let file = BufReader::new(File::open(path)?);
+    let seqs: Vec<pim_genome::DnaSequence> = match ext {
+        "fastq" | "fq" => read_fastq(file)?.into_iter().map(|r| r.seq).collect(),
+        _ => read_fasta(file)?.into_iter().map(|r| r.seq).collect(),
+    };
+    Ok(seqs.into_iter().enumerate().map(|(id, seq)| Read { id, seq, origin: 0 }).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_genome::sequence::DnaSequence;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pim_asm_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn end_to_end_simulate_then_assemble() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let genome = DnaSequence::random(&mut rng, 3000);
+        let genome_path = tmp("genome.fasta");
+        write_fasta(
+            File::create(&genome_path).unwrap(),
+            &[FastaRecord { name: "g".into(), seq: genome.clone() }],
+        )
+        .unwrap();
+
+        let reads_path = tmp("reads.fasta");
+        let sim_args = ParsedArgs::parse(
+            [
+                "simulate".to_string(),
+                genome_path.to_str().unwrap().to_string(),
+                "--coverage".into(),
+                "20".into(),
+                "--output".into(),
+                reads_path.to_str().unwrap().to_string(),
+            ],
+        );
+        simulate(&sim_args).unwrap();
+
+        let contigs_path = tmp("contigs.fasta");
+        let asm_args = ParsedArgs::parse(
+            [
+                "assemble".to_string(),
+                reads_path.to_str().unwrap().to_string(),
+                "--k".into(),
+                "17".into(),
+                "--output".into(),
+                contigs_path.to_str().unwrap().to_string(),
+                "--report".into(),
+            ],
+        );
+        assemble(&asm_args).unwrap();
+
+        let contigs = read_fasta(BufReader::new(File::open(&contigs_path).unwrap())).unwrap();
+        assert!(!contigs.is_empty());
+        let total: usize = contigs.iter().map(|r| r.seq.len()).sum();
+        assert!(total >= 2900, "assembled only {total} bp");
+    }
+
+    #[test]
+    fn stats_reports_on_a_contig_set() {
+        let path = tmp("stats.fasta");
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let records = vec![
+            FastaRecord { name: "c0".into(), seq: DnaSequence::random(&mut rng, 500) },
+            FastaRecord { name: "c1".into(), seq: DnaSequence::random(&mut rng, 120) },
+        ];
+        write_fasta(File::create(&path).unwrap(), &records).unwrap();
+        let args = ParsedArgs::parse(["stats".to_string(), path.to_str().unwrap().to_string()]);
+        stats(&args).unwrap();
+    }
+
+    #[test]
+    fn fastq_reads_load() {
+        let path = tmp("reads.fastq");
+        std::fs::write(&path, "@r1\nACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIII\n").unwrap();
+        let reads = load_reads(&path).unwrap();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].seq.len(), 20);
+    }
+
+    #[test]
+    fn throughput_runs() {
+        throughput().unwrap();
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let args = ParsedArgs::parse(["assemble".to_string()]);
+        assert!(assemble(&args).is_err());
+    }
+}

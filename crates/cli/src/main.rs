@@ -1,0 +1,40 @@
+//! `pim-asm` — assemble genomes on the simulated PIM-Assembler platform.
+//!
+//! ```text
+//! pim-asm assemble <reads.fasta|fastq> [--k 17] [--min-count 1]
+//!         [--simplify N] [--correct] [--pd 2] [--subarrays 32]
+//!         [--output contigs.fasta] [--report]
+//! pim-asm simulate <genome.fasta> [--coverage 25] [--seed 42]
+//!         [--output reads.fasta]
+//! pim-asm stats <contigs.fasta>
+//! pim-asm throughput
+//! pim-asm help
+//! ```
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let parsed = ParsedArgs::parse(std::env::args().skip(1));
+    let result = match parsed.command.as_str() {
+        "assemble" => commands::assemble(&parsed),
+        "stats" => commands::stats(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "throughput" => commands::throughput(),
+        "" | "help" | "--help" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

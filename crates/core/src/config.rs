@@ -1,0 +1,152 @@
+//! Platform configuration.
+
+use pim_dram::energy::EnergyParams;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::timing::TimingParams;
+
+/// Complete configuration of a PIM-Assembler instance.
+///
+/// # Examples
+///
+/// ```
+/// use pim_assembler::config::PimAssemblerConfig;
+///
+/// let cfg = PimAssemblerConfig::paper(16).with_pd(4);
+/// assert_eq!(cfg.k, 16);
+/// assert_eq!(cfg.pd, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimAssemblerConfig {
+    /// DRAM organization.
+    pub geometry: DramGeometry,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Energy parameters.
+    pub energy: EnergyParams,
+    /// k-mer length.
+    pub k: usize,
+    /// Minimum k-mer frequency kept for graph construction.
+    pub min_count: u64,
+    /// Parallelism degree: replicated sub-array groups (§IV *Trade-offs*).
+    pub pd: usize,
+    /// Sub-arrays allocated to the hash-table partitioning.
+    pub hash_subarrays: usize,
+    /// Rows per hash bucket inside a sub-array's k-mer region.
+    pub bucket_rows: usize,
+    /// Graph simplification (tip clipping + bubble popping) with the given
+    /// maximum tip length in edges; `None` disables it.
+    pub simplify_tips: Option<usize>,
+}
+
+impl PimAssemblerConfig {
+    /// The paper's §IV configuration at the given k, Pd = 2 (the optimum
+    /// found in Fig. 10).
+    pub fn paper(k: usize) -> Self {
+        PimAssemblerConfig {
+            geometry: DramGeometry::paper_assembly(),
+            timing: TimingParams::ddr4_2133(),
+            energy: EnergyParams::ddr4_45nm(),
+            k,
+            min_count: 1,
+            pd: 2,
+            hash_subarrays: 64,
+            bucket_rows: 8,
+            simplify_tips: None,
+        }
+    }
+
+    /// A small configuration for tests and examples: tiny sub-array count,
+    /// fast to execute functionally.
+    pub fn small_test(k: usize) -> Self {
+        PimAssemblerConfig {
+            geometry: DramGeometry::paper_assembly(),
+            timing: TimingParams::ddr4_2133(),
+            energy: EnergyParams::ddr4_45nm(),
+            k,
+            min_count: 1,
+            pd: 2,
+            hash_subarrays: 8,
+            bucket_rows: 8,
+            simplify_tips: None,
+        }
+    }
+
+    /// Sets the parallelism degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn with_pd(mut self, pd: usize) -> Self {
+        assert!(pd >= 1, "parallelism degree must be at least 1");
+        self.pd = pd;
+        self
+    }
+
+    /// Sets the frequency filter.
+    pub fn with_min_count(mut self, min_count: u64) -> Self {
+        self.min_count = min_count;
+        self
+    }
+
+    /// Sets the number of hash sub-arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or exceeds the geometry's sub-array count.
+    pub fn with_hash_subarrays(mut self, n: usize) -> Self {
+        assert!(n >= 1 && n <= self.geometry.total_subarrays(), "bad hash sub-array count");
+        self.hash_subarrays = n;
+        self
+    }
+
+    /// Enables graph simplification with the given tip bound.
+    pub fn with_simplification(mut self, max_tip_edges: usize) -> Self {
+        self.simplify_tips = Some(max_tip_edges);
+        self
+    }
+
+    /// Maximum k representable in one row (2 bits per base): 128 bp for
+    /// 256-column sub-arrays.
+    pub fn max_k(&self) -> usize {
+        self.geometry.cols / 2
+    }
+}
+
+impl Default for PimAssemblerConfig {
+    fn default() -> Self {
+        PimAssemblerConfig::paper(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PimAssemblerConfig::paper(22);
+        assert_eq!(c.pd, 2);
+        assert_eq!(c.max_k(), 128);
+        assert_eq!(c.geometry.rows, 1024);
+    }
+
+    #[test]
+    fn builders() {
+        let c = PimAssemblerConfig::paper(16).with_pd(8).with_min_count(3).with_hash_subarrays(16);
+        assert_eq!(c.pd, 8);
+        assert_eq!(c.min_count, 3);
+        assert_eq!(c.hash_subarrays, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism degree")]
+    fn zero_pd_rejected() {
+        let _ = PimAssemblerConfig::paper(16).with_pd(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad hash sub-array count")]
+    fn absurd_subarray_count_rejected() {
+        let _ = PimAssemblerConfig::paper(16).with_hash_subarrays(usize::MAX);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for the PIM-Assembler core.
+
+use std::fmt;
+
+use pim_dram::DramError;
+use pim_genome::GenomeError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, PimError>;
+
+/// Errors raised while mapping or executing the assembly pipeline in PIM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// An underlying DRAM-model error.
+    Dram(DramError),
+    /// An underlying genome-toolkit error.
+    Genome(GenomeError),
+    /// The k-mer region of a sub-array overflowed (workload too large for
+    /// the allocated sub-array set).
+    SubarrayFull {
+        /// Linear index of the saturated sub-array.
+        subarray: usize,
+        /// Rows available in its k-mer region.
+        capacity: usize,
+    },
+    /// A k too large for one row (> 128 bp) or outside the packed range.
+    KTooLarge {
+        /// The requested k.
+        k: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A graph too large for the dense adjacency mapping of the traverse
+    /// stage.
+    GraphTooLarge {
+        /// Node count.
+        nodes: usize,
+        /// Maximum mappable nodes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::Dram(e) => write!(f, "dram: {e}"),
+            PimError::Genome(e) => write!(f, "genome: {e}"),
+            PimError::SubarrayFull { subarray, capacity } => {
+                write!(f, "sub-array {subarray} k-mer region full ({capacity} rows)")
+            }
+            PimError::KTooLarge { k, max } => write!(f, "k={k} exceeds supported maximum {max}"),
+            PimError::GraphTooLarge { nodes, max } => {
+                write!(f, "graph with {nodes} nodes exceeds dense mapping limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PimError::Dram(e) => Some(e),
+            PimError::Genome(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for PimError {
+    fn from(e: DramError) -> Self {
+        PimError::Dram(e)
+    }
+}
+
+impl From<GenomeError> for PimError {
+    fn from(e: GenomeError) -> Self {
+        PimError::Genome(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_substrate_errors() {
+        let d: PimError = DramError::RowOutOfRange { row: 1, rows: 1 }.into();
+        assert!(matches!(d, PimError::Dram(_)));
+        let g: PimError = GenomeError::UnsupportedK { k: 99 }.into();
+        assert!(matches!(g, PimError::Genome(_)));
+    }
+
+    #[test]
+    fn displays() {
+        let e = PimError::SubarrayFull { subarray: 3, capacity: 976 };
+        assert!(e.to_string().contains("976"));
+        let e = PimError::KTooLarge { k: 200, max: 128 };
+        assert!(e.to_string().contains("128"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: PimError = DramError::RowOutOfRange { row: 1, rows: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(PimError::KTooLarge { k: 1, max: 2 }.source().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Instruction-stream execution.
+//!
+//! Binds the §II-B AAP ISA ([`crate::isa`]) to the functional DRAM model:
+//! a straight-line [`InstructionStream`] executes command-by-command against
+//! the controller, producing exactly the same array state and statistics as
+//! issuing the calls directly. This is the layer a host-side runtime would
+//! target — it builds streams ahead of time and ships them to the Ctrl.
+
+use pim_dram::controller::Controller;
+use pim_dram::sense_amp::SaMode;
+
+use crate::error::{PimError, Result};
+use crate::isa::{AapInstruction, InstructionStream};
+
+/// Executes instruction streams on a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamExecutor;
+
+impl StreamExecutor {
+    /// Executes one instruction.
+    ///
+    /// Multi-row AAPs repeat once per whole row of `size` (the ISA's
+    /// size field expresses bulk vectors spanning several rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing/decoder errors; rejects `Memory`-mode
+    /// two-source instructions (not a logic operation).
+    pub fn execute(ctrl: &mut Controller, instr: &AapInstruction) -> Result<()> {
+        let row_bits = ctrl.geometry().cols;
+        match *instr {
+            AapInstruction::Copy { subarray, src, dst, size } => {
+                for _ in 0..rows_of(size, row_bits) {
+                    ctrl.aap_copy(subarray, src, dst)?;
+                }
+            }
+            AapInstruction::TwoSrc { subarray, srcs, dst, mode, size } => {
+                if matches!(mode, SaMode::Memory | SaMode::Carry) {
+                    return Err(PimError::Dram(pim_dram::DramError::BadActivationCount {
+                        requested: 2,
+                        supported: "logic modes only",
+                    }));
+                }
+                for _ in 0..rows_of(size, row_bits) {
+                    ctrl.aap2(subarray, mode, srcs, dst)?;
+                }
+            }
+            AapInstruction::ThreeSrc { subarray, srcs, dst, size } => {
+                for _ in 0..rows_of(size, row_bits) {
+                    ctrl.aap3_carry(subarray, srcs, dst)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a whole stream in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing instruction, returning its error; earlier
+    /// instructions remain applied (the hardware has no rollback).
+    pub fn execute_stream(ctrl: &mut Controller, stream: &InstructionStream) -> Result<()> {
+        for instr in stream.instructions() {
+            Self::execute(ctrl, instr)?;
+        }
+        Ok(())
+    }
+}
+
+fn rows_of(size: usize, row_bits: usize) -> usize {
+    size.div_ceil(row_bits).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::address::RowAddr;
+    use pim_dram::bitrow::BitRow;
+    use pim_dram::geometry::DramGeometry;
+
+    fn setup() -> (Controller, pim_dram::SubarrayId) {
+        let ctrl = Controller::new(DramGeometry::paper_assembly());
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        (ctrl, id)
+    }
+
+    #[test]
+    fn stream_reproduces_direct_xnor() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        ctrl.write_row(id, 1, &a).unwrap();
+        ctrl.write_row(id, 2, &b).unwrap();
+        let (x1, x2) = (ctrl.compute_row(0), ctrl.compute_row(1));
+        let stream: InstructionStream = [
+            AapInstruction::Copy { subarray: id, src: RowAddr(1), dst: x1, size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(2), dst: x2, size: cols },
+            AapInstruction::TwoSrc { subarray: id, srcs: [x1, x2], dst: RowAddr(9), mode: SaMode::Xnor, size: cols },
+        ]
+        .into_iter()
+        .collect();
+        StreamExecutor::execute_stream(&mut ctrl, &stream).unwrap();
+        assert_eq!(ctrl.peek_row(id, 9).unwrap(), a.xnor(&b));
+        // Command accounting matches the stream shape.
+        assert_eq!(ctrl.stats().aap, 2);
+        assert_eq!(ctrl.stats().aap2, 1);
+    }
+
+    #[test]
+    fn multi_row_sizes_repeat_the_command() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let instr = AapInstruction::Copy { subarray: id, src: RowAddr(0), dst: RowAddr(1), size: 4 * cols };
+        StreamExecutor::execute(&mut ctrl, &instr).unwrap();
+        assert_eq!(ctrl.stats().aap, 4);
+    }
+
+    #[test]
+    fn memory_mode_two_src_rejected() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let instr = AapInstruction::TwoSrc {
+            subarray: id,
+            srcs: [ctrl.compute_row(0), ctrl.compute_row(1)],
+            dst: RowAddr(3),
+            mode: SaMode::Memory,
+            size: cols,
+        };
+        assert!(StreamExecutor::execute(&mut ctrl, &instr).is_err());
+    }
+
+    #[test]
+    fn failure_stops_mid_stream() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let bad_row = RowAddr(ctrl.geometry().rows + 5);
+        let stream: InstructionStream = [
+            AapInstruction::Copy { subarray: id, src: RowAddr(0), dst: RowAddr(1), size: cols },
+            AapInstruction::Copy { subarray: id, src: bad_row, dst: RowAddr(2), size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(3), dst: RowAddr(4), size: cols },
+        ]
+        .into_iter()
+        .collect();
+        assert!(StreamExecutor::execute_stream(&mut ctrl, &stream).is_err());
+        // Only the first instruction landed.
+        assert_eq!(ctrl.stats().aap, 1);
+    }
+
+    #[test]
+    fn tra_through_the_stream() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        let c = BitRow::from_fn(cols, |i| i % 5 == 0);
+        for (row, data) in [(1, &a), (2, &b), (3, &c)] {
+            ctrl.write_row(id, row, data).unwrap();
+        }
+        let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
+        let stream: InstructionStream = [
+            AapInstruction::Copy { subarray: id, src: RowAddr(1), dst: x1, size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(2), dst: x2, size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(3), dst: x3, size: cols },
+            AapInstruction::ThreeSrc { subarray: id, srcs: [x1, x2, x3], dst: RowAddr(8), size: cols },
+        ]
+        .into_iter()
+        .collect();
+        StreamExecutor::execute_stream(&mut ctrl, &stream).unwrap();
+        assert_eq!(ctrl.peek_row(id, 8).unwrap(), BitRow::maj3(&a, &b, &c));
+    }
+}

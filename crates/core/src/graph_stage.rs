@@ -1,0 +1,161 @@
+//! Stage 2a — the `DeBruijn(Hashmap, k)` procedure in PIM (Fig. 5).
+//!
+//! The graph is constructed by scanning the hash-table rows (charged row
+//! reads), filtering by frequency, and `MEM_insert`-ing each surviving
+//! k-mer's node pair and edge into the graph region of memory. The graph
+//! region writes are executed against real sub-array rows (cycling through
+//! a dedicated sub-array set) so the command accounting reflects the
+//! paper's "massive number of iteratively-used MEM_insert" operations.
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::controller::Controller;
+use pim_genome::debruijn::DeBruijnGraph;
+
+use crate::error::Result;
+use crate::hashmap_stage::PimHashTable;
+use crate::layout::SubarrayLayout;
+use crate::mapping::KmerMapper;
+use crate::partition::{IntervalBlockPartitioner, Partitioning};
+
+/// Statistics of the graph-construction stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// K-mers scanned from the hash table.
+    pub scanned: u64,
+    /// K-mers surviving the frequency filter (edges inserted).
+    pub edges_inserted: u64,
+    /// `MEM_insert` row writes performed for nodes + edge lists.
+    pub mem_inserts: u64,
+}
+
+/// Builds the de Bruijn graph from the PIM hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStage;
+
+impl GraphStage {
+    /// Scans `table`, filters by `min_count`, materializes the graph, and
+    /// partitions it for the traverse mapping.
+    ///
+    /// `graph_region` designates the sub-array whose k-mer region receives
+    /// the `MEM_insert` writes (cycling when full — the functional graph
+    /// lives in the returned structure, the writes account the hardware
+    /// traffic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn build(
+        ctrl: &mut Controller,
+        table: &PimHashTable,
+        min_count: u64,
+        graph_region: SubarrayId,
+        intervals: usize,
+    ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
+        let layout = SubarrayLayout::new(ctrl.geometry());
+        let cols = ctrl.geometry().cols;
+        let mapper: &KmerMapper = table.mapper();
+        let entries = table.scan(ctrl)?;
+        let mut stats = GraphStats { scanned: entries.len() as u64, ..GraphStats::default() };
+
+        let mut graph: Option<DeBruijnGraph> = None;
+        let mut write_cursor = 0usize;
+        for (kmer, count) in entries {
+            if count < min_count {
+                continue;
+            }
+            let g = graph.get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
+            g.add_kmer(kmer, count);
+            stats.edges_inserted += 1;
+            // MEM_insert: node_1, node_2, and the edge-list entry — three
+            // row writes into the graph region (Fig. 5's pseudocode inserts
+            // all three).
+            for _ in 0..3 {
+                let row = RowAddr(write_cursor % layout.kmer_rows());
+                ctrl.write_row(graph_region, row, &mapper.row_image(&kmer, cols))?;
+                write_cursor += 1;
+                stats.mem_inserts += 1;
+            }
+        }
+        let graph = graph.unwrap_or_else(|| DeBruijnGraph::from_kmers(2, std::iter::empty()));
+        let f = ctrl.geometry().cols.min(ctrl.geometry().rows);
+        let partitioning = IntervalBlockPartitioner::new(intervals.max(1), f).partition(&graph);
+        Ok((graph, partitioning, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::KmerMapper;
+    use pim_dram::geometry::DramGeometry;
+    use pim_genome::kmer::KmerIter;
+    use pim_genome::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build_from(seq: &str, k: usize, min_count: u64) -> (DeBruijnGraph, Partitioning, GraphStats) {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let mut table = PimHashTable::new(KmerMapper::new(&g, 4, 8));
+        let seq: DnaSequence = seq.parse().unwrap();
+        for kmer in KmerIter::new(&seq, k).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        let region = ctrl.subarray_handle(0, 1, 0, 0).unwrap();
+        GraphStage::build(&mut ctrl, &table, min_count, region, 2).unwrap()
+    }
+
+    #[test]
+    fn graph_matches_software_construction() {
+        let (graph, _, stats) = build_from("CGTGCGTGCTT", 5, 1);
+        assert_eq!(graph.edge_count(), 6);
+        assert_eq!(stats.edges_inserted, 6);
+        assert_eq!(stats.mem_inserts, 18);
+        assert_eq!(stats.scanned, 6);
+    }
+
+    #[test]
+    fn min_count_filters_edges() {
+        let (graph, _, stats) = build_from("CGTGCGTGCTT", 5, 2);
+        assert_eq!(graph.edge_count(), 1); // only CGTGC has count 2
+        assert_eq!(stats.edges_inserted, 1);
+    }
+
+    #[test]
+    fn partitioning_covers_the_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let seq = DnaSequence::random(&mut rng, 600).to_string();
+        let (graph, part, _) = build_from(&seq, 9, 1);
+        assert_eq!(part.total_edges(), graph.edge_count());
+        assert_eq!(part.interval_of.len(), graph.node_count());
+    }
+
+    #[test]
+    fn empty_table_yields_empty_graph() {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let table = PimHashTable::new(KmerMapper::new(&g, 2, 8));
+        let region = ctrl.subarray_handle(0, 1, 0, 0).unwrap();
+        let (graph, part, stats) = GraphStage::build(&mut ctrl, &table, 1, region, 2).unwrap();
+        assert_eq!(graph.edge_count(), 0);
+        assert_eq!(stats.scanned, 0);
+        assert_eq!(part.total_edges(), 0);
+    }
+
+    #[test]
+    fn mem_inserts_are_charged_as_writes() {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let mut table = PimHashTable::new(KmerMapper::new(&g, 2, 8));
+        let seq: DnaSequence = "ACGTTGCA".parse().unwrap();
+        for kmer in KmerIter::new(&seq, 4).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        let before = *ctrl.stats();
+        let region = ctrl.subarray_handle(0, 1, 0, 0).unwrap();
+        let (_, _, stats) = GraphStage::build(&mut ctrl, &table, 1, region, 1).unwrap();
+        let d = ctrl.stats().since(&before);
+        assert_eq!(d.writes, stats.mem_inserts);
+        assert!(d.reads >= stats.scanned); // table scan reads
+    }
+}

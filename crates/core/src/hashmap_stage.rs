@@ -1,0 +1,347 @@
+//! Stage 1 — the `Hashmap(S, k)` procedure in PIM (Fig. 5b, Fig. 6, Fig. 7).
+//!
+//! Every k-mer chopped from the read stream is staged into its home
+//! sub-array's temp region, compared against the bucket's stored k-mer rows
+//! with `PIM_XNOR`, and either its frequency counter in the value region is
+//! updated (`New_freq`) or the k-mer is `MEM_insert`-ed into the next free
+//! row. All data lives in the bit-accurate sub-arrays; the builder keeps a
+//! shadow slot directory purely so that verification and iteration do not
+//! have to rescan DRAM rows (the hardware controller tracks the same
+//! occupancy in its bucket pointers).
+
+use pim_dram::address::RowAddr;
+use pim_dram::controller::Controller;
+use pim_genome::kmer::Kmer;
+
+use crate::dpu::Dpu;
+use crate::error::{PimError, Result};
+use crate::layout::COUNTER_BITS;
+use crate::mapping::KmerMapper;
+use crate::pim_xnor::PimComparator;
+
+/// Statistics of the hash stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HashStats {
+    /// K-mers offered (total stream).
+    pub inserted_total: u64,
+    /// Distinct k-mers stored.
+    pub distinct: u64,
+    /// `PIM_XNOR` probes performed.
+    pub probes: u64,
+    /// Counter updates (hits on existing k-mers).
+    pub hits: u64,
+}
+
+/// The in-DRAM k-mer hash table.
+///
+/// # Examples
+///
+/// ```
+/// use pim_assembler::{hashmap_stage::PimHashTable, mapping::KmerMapper};
+/// use pim_dram::{controller::Controller, geometry::DramGeometry};
+///
+/// let g = DramGeometry::paper_assembly();
+/// let mut ctrl = Controller::new(g);
+/// let mut table = PimHashTable::new(KmerMapper::new(&g, 2, 8));
+/// let kmer: pim_genome::Kmer = "CGTGCGTGCTTACGGA".parse()?;
+/// assert_eq!(table.insert(&mut ctrl, kmer)?, 1);
+/// assert_eq!(table.insert(&mut ctrl, kmer)?, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimHashTable {
+    mapper: KmerMapper,
+    /// Shadow occupancy: `slots[subarray][row] = Some(kmer)`.
+    slots: Vec<Vec<Option<Kmer>>>,
+    stats: HashStats,
+}
+
+impl PimHashTable {
+    /// Creates an empty table over the mapper's sub-array partition.
+    pub fn new(mapper: KmerMapper) -> Self {
+        let slots = vec![vec![None; mapper.layout().kmer_rows()]; mapper.subarrays().len()];
+        PimHashTable { mapper, slots, stats: HashStats::default() }
+    }
+
+    /// The mapper in use.
+    pub fn mapper(&self) -> &KmerMapper {
+        &self.mapper
+    }
+
+    /// Stage statistics so far.
+    pub fn stats(&self) -> &HashStats {
+        &self.stats
+    }
+
+    /// Inserts one occurrence of `kmer`, returning its new frequency.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::SubarrayFull`] when the home sub-array's k-mer region
+    ///   overflows.
+    /// * DRAM addressing errors.
+    pub fn insert(&mut self, ctrl: &mut Controller, kmer: Kmer) -> Result<u64> {
+        let cols = ctrl.geometry().cols;
+        let layout = *self.mapper.layout();
+        let (sub_idx, bucket_row) = self.mapper.home(&kmer);
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let image = self.mapper.row_image(&kmer, cols);
+        self.stats.inserted_total += 1;
+
+        // Stage the query once (temp write + clone into x1).
+        PimComparator::stage_query(ctrl, subarray, layout.temp_row(0), &image)?;
+
+        // Linear probe from the bucket start, wrapping across the region.
+        let kmer_rows = layout.kmer_rows();
+        for step in 0..kmer_rows {
+            let row = (bucket_row + step) % kmer_rows;
+            match self.slots[sub_idx][row] {
+                Some(stored) => {
+                    self.stats.probes += 1;
+                    let matched = PimComparator::compare(
+                        ctrl,
+                        subarray,
+                        layout.temp_row(0),
+                        RowAddr(row),
+                        layout.temp_row(1),
+                    )?;
+                    debug_assert_eq!(matched, stored == kmer, "PIM comparison diverged from shadow");
+                    if matched {
+                        self.stats.hits += 1;
+                        return self.bump_counter(ctrl, sub_idx, row);
+                    }
+                }
+                None => {
+                    // MEM_insert: clone the staged temp row into the slot
+                    // and initialize the counter.
+                    ctrl.aap_copy(subarray, layout.temp_row(0), RowAddr(row))?;
+                    self.slots[sub_idx][row] = Some(kmer);
+                    self.stats.distinct += 1;
+                    return self.set_counter(ctrl, sub_idx, row, 1);
+                }
+            }
+        }
+        Err(PimError::SubarrayFull { subarray: sub_idx, capacity: kmer_rows })
+    }
+
+    /// Reads the frequency of `kmer` (0 if absent), charging the probe
+    /// commands like a real query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn count(&mut self, ctrl: &mut Controller, kmer: &Kmer) -> Result<u64> {
+        let cols = ctrl.geometry().cols;
+        let layout = *self.mapper.layout();
+        let (sub_idx, bucket_row) = self.mapper.home(kmer);
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let image = self.mapper.row_image(kmer, cols);
+        PimComparator::stage_query(ctrl, subarray, layout.temp_row(0), &image)?;
+        let kmer_rows = layout.kmer_rows();
+        for step in 0..kmer_rows {
+            let row = (bucket_row + step) % kmer_rows;
+            match self.slots[sub_idx][row] {
+                Some(_) => {
+                    let matched = PimComparator::compare(
+                        ctrl,
+                        subarray,
+                        layout.temp_row(0),
+                        RowAddr(row),
+                        layout.temp_row(1),
+                    )?;
+                    if matched {
+                        return self.read_counter(ctrl, sub_idx, row);
+                    }
+                }
+                None => return Ok(0),
+            }
+        }
+        Ok(0)
+    }
+
+    /// All stored entries `(kmer, count)`, charging one row read per stored
+    /// k-mer and per touched value row — the scan the graph stage performs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn scan(&self, ctrl: &mut Controller) -> Result<Vec<(Kmer, u64)>> {
+        let layout = *self.mapper.layout();
+        let cols = ctrl.geometry().cols;
+        let mut out = Vec::new();
+        for (sub_idx, slots) in self.slots.iter().enumerate() {
+            let subarray = self.mapper.subarrays()[sub_idx];
+            for (row, slot) in slots.iter().enumerate() {
+                let Some(kmer) = slot else { continue };
+                // Read the k-mer row and decode it (verifying the DRAM
+                // content actually matches the shadow).
+                let image = ctrl.read_row(subarray, RowAddr(row))?;
+                debug_assert_eq!(
+                    image.extract(0, 2 * kmer.k()).to_u64(),
+                    kmer.packed(),
+                    "stored row diverged from shadow"
+                );
+                let (vrow, bit) = layout.counter_location(row);
+                let value_row = ctrl.read_row(subarray, layout.value_row(vrow))?;
+                let count = value_row.extract(bit, COUNTER_BITS.min(cols - bit)).to_u64();
+                out.push((*kmer, count));
+            }
+        }
+        Ok(out)
+    }
+
+    fn bump_counter(&mut self, ctrl: &mut Controller, sub_idx: usize, slot: usize) -> Result<u64> {
+        let current = self.read_counter(ctrl, sub_idx, slot)?;
+        let max = self.mapper.layout().max_count();
+        let next = Dpu::increment_saturating(ctrl, current, max);
+        self.write_counter(ctrl, sub_idx, slot, next)?;
+        Ok(next)
+    }
+
+    fn set_counter(&mut self, ctrl: &mut Controller, sub_idx: usize, slot: usize, value: u64) -> Result<u64> {
+        self.write_counter(ctrl, sub_idx, slot, value)?;
+        Ok(value)
+    }
+
+    /// Counter access stays inside the sub-array: the value row activates
+    /// locally (one AAP-class command) and the DPU reads/updates the 8-bit
+    /// field through the sense amplifiers — no host round-trip.
+    fn read_counter(&self, ctrl: &mut Controller, sub_idx: usize, slot: usize) -> Result<u64> {
+        let layout = self.mapper.layout();
+        let (vrow, bit) = layout.counter_location(slot);
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let row = ctrl.peek_row(subarray, layout.value_row(vrow))?;
+        ctrl.record_synthetic("AAP", 1);
+        Ok(row.extract(bit, COUNTER_BITS).to_u64())
+    }
+
+    fn write_counter(&self, ctrl: &mut Controller, sub_idx: usize, slot: usize, value: u64) -> Result<()> {
+        let layout = self.mapper.layout();
+        let (vrow, bit) = layout.counter_location(slot);
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let mut row = ctrl.peek_row(subarray, layout.value_row(vrow))?;
+        row.splice(bit, &pim_dram::bitrow::BitRow::from_u64(value, COUNTER_BITS));
+        ctrl.poke_row(subarray, layout.value_row(vrow), &row)?;
+        ctrl.record_synthetic("AAP", 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::geometry::DramGeometry;
+    use pim_genome::hash_table::KmerCounter;
+    use pim_genome::kmer::KmerIter;
+    use pim_genome::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Controller, PimHashTable) {
+        let g = DramGeometry::paper_assembly();
+        let ctrl = Controller::new(g);
+        let table = PimHashTable::new(KmerMapper::new(&g, 4, 8));
+        (ctrl, table)
+    }
+
+    #[test]
+    fn fig5b_worked_example() {
+        // S = CGTGCGTGCTT, k = 5 — the hash table of Fig. 5b.
+        let (mut ctrl, mut table) = setup();
+        let s: DnaSequence = "CGTGCGTGCTT".parse().unwrap();
+        for kmer in KmerIter::new(&s, 5).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        assert_eq!(table.count(&mut ctrl, &"CGTGC".parse().unwrap()).unwrap(), 2);
+        assert_eq!(table.count(&mut ctrl, &"GTGCG".parse().unwrap()).unwrap(), 1);
+        assert_eq!(table.count(&mut ctrl, &"TGCTT".parse().unwrap()).unwrap(), 1);
+        assert_eq!(table.count(&mut ctrl, &"AAAAA".parse().unwrap()).unwrap(), 0);
+        assert_eq!(table.stats().distinct, 6);
+        assert_eq!(table.stats().inserted_total, 7);
+    }
+
+    #[test]
+    fn matches_software_counter_on_random_data() {
+        let (mut ctrl, mut table) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let seq = DnaSequence::random(&mut rng, 400);
+        let k = 11;
+        let mut soft = KmerCounter::new(k).unwrap();
+        soft.count_sequence(&seq).unwrap();
+        // Rebuild the table at k=11 (mapper is k-agnostic).
+        for kmer in KmerIter::new(&seq, k).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        let scanned = table.scan(&mut ctrl).unwrap();
+        assert_eq!(scanned.len(), soft.distinct());
+        for (kmer, count) in scanned {
+            assert_eq!(count, soft.count(&kmer), "{kmer}");
+        }
+    }
+
+    #[test]
+    fn counters_saturate_at_region_max() {
+        let (mut ctrl, mut table) = setup();
+        let kmer: Kmer = "ACGTACGTACGTACGT".parse().unwrap();
+        let max = table.mapper().layout().max_count();
+        for _ in 0..(max + 10) {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        assert_eq!(table.count(&mut ctrl, &kmer).unwrap(), max);
+    }
+
+    #[test]
+    fn commands_are_charged_per_insert() {
+        let (mut ctrl, mut table) = setup();
+        let kmer: Kmer = "TTTTGGGGCCCCAAAA".parse().unwrap();
+        let before = *ctrl.stats();
+        table.insert(&mut ctrl, kmer).unwrap();
+        let d = ctrl.stats().since(&before);
+        // Fresh insert in an empty bucket: temp staging (in-DRAM AAP) +
+        // x1 clone + slot clone + counter-row activation — all in-array.
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.aap, 4);
+        assert_eq!(d.aap2, 0); // no stored rows yet → no comparisons
+        let before = *ctrl.stats();
+        table.insert(&mut ctrl, kmer).unwrap();
+        let d = ctrl.stats().since(&before);
+        assert_eq!(d.aap2, 1); // one PIM_XNOR probe
+        assert!(d.dpu >= 2); // AND-reduce + increment
+    }
+
+    #[test]
+    fn probe_counts_reflect_bucket_collisions() {
+        let (mut ctrl, mut table) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let seq = DnaSequence::random(&mut rng, 2000);
+        for kmer in KmerIter::new(&seq, 13).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        let s = table.stats();
+        assert!(s.probes > 0);
+        let avg = s.probes as f64 / s.inserted_total as f64;
+        assert!(avg < 8.0, "average probes {avg} too high for this load factor");
+    }
+
+    #[test]
+    fn overflow_reports_subarray_full() {
+        // One sub-array with a tiny k-mer region overflows quickly.
+        let g = DramGeometry::tiny();
+        let mut ctrl = Controller::new(g);
+        let mut table = PimHashTable::new(KmerMapper::new(&g, 1, 2));
+        let capacity = table.mapper().layout().kmer_rows();
+        let mut inserted = 0usize;
+        let mut err = None;
+        for v in 0..(capacity as u64 + 5) {
+            match table.insert(&mut ctrl, Kmer::from_packed(v * 7 + 1, 12).unwrap()) {
+                Ok(_) => inserted += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(inserted, capacity);
+        assert!(matches!(err, Some(PimError::SubarrayFull { .. })));
+    }
+}

@@ -1,0 +1,237 @@
+//! The AAP instruction set (§II-B *Software Support*).
+//!
+//! "PIM-Assembler is developed based on ACTIVATE-ACTIVATE-PRECHARGE command
+//! a.k.a. AAP primitives and most bulk bitwise operations involve a sequence
+//! of AAP commands." Three instruction types exist, differing only in the
+//! number of activated source rows:
+//!
+//! 1. `AAP(src, des, size)` — copy,
+//! 2. `AAP(src1, src2, des, size)` — two-row activation,
+//! 3. `AAP(src1, src2, src3, des, size)` — Ambit-TRA.
+//!
+//! "The size of input vectors for in-memory computation must be a multiple
+//! of DRAM row size, otherwise the application must pad it with dummy data"
+//! — [`AapInstruction::new_copy`] enforces that contract.
+
+use std::fmt;
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::sense_amp::SaMode;
+
+/// One AAP instruction addressed to a sub-array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AapInstruction {
+    /// Type 1: copy `size` bits (a whole-row multiple) from `src` to `dst`.
+    Copy {
+        /// Target sub-array.
+        subarray: SubarrayId,
+        /// Source row.
+        src: RowAddr,
+        /// Destination row.
+        dst: RowAddr,
+        /// Payload size in bits (multiple of the row width).
+        size: usize,
+    },
+    /// Type 2: two-row activation evaluating `mode`.
+    TwoSrc {
+        /// Target sub-array.
+        subarray: SubarrayId,
+        /// The two compute-row sources.
+        srcs: [RowAddr; 2],
+        /// Destination row.
+        dst: RowAddr,
+        /// SA mode (XNOR2 for comparison, CarrySum for the sum cycle).
+        mode: SaMode,
+        /// Payload size in bits.
+        size: usize,
+    },
+    /// Type 3: triple-row activation (majority / carry).
+    ThreeSrc {
+        /// Target sub-array.
+        subarray: SubarrayId,
+        /// The three compute-row sources.
+        srcs: [RowAddr; 3],
+        /// Destination row.
+        dst: RowAddr,
+        /// Payload size in bits.
+        size: usize,
+    },
+}
+
+impl AapInstruction {
+    /// Builds a type-1 copy, validating the whole-row-multiple contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a positive multiple of `row_bits`.
+    pub fn new_copy(subarray: SubarrayId, src: RowAddr, dst: RowAddr, size: usize, row_bits: usize) -> Self {
+        assert!(size > 0 && size.is_multiple_of(row_bits), "AAP size must be a whole-row multiple (pad with dummy data)");
+        AapInstruction::Copy { subarray, src, dst, size }
+    }
+
+    /// The instruction's type number (1, 2, or 3).
+    pub fn type_number(&self) -> u8 {
+        match self {
+            AapInstruction::Copy { .. } => 1,
+            AapInstruction::TwoSrc { .. } => 2,
+            AapInstruction::ThreeSrc { .. } => 3,
+        }
+    }
+
+    /// Number of rows this instruction activates (sources + destination).
+    pub fn activated_rows(&self) -> usize {
+        match self {
+            AapInstruction::Copy { .. } => 2,
+            AapInstruction::TwoSrc { .. } => 3,
+            AapInstruction::ThreeSrc { .. } => 4,
+        }
+    }
+
+    /// The target sub-array.
+    pub fn subarray(&self) -> SubarrayId {
+        match self {
+            AapInstruction::Copy { subarray, .. }
+            | AapInstruction::TwoSrc { subarray, .. }
+            | AapInstruction::ThreeSrc { subarray, .. } => *subarray,
+        }
+    }
+}
+
+impl fmt::Display for AapInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AapInstruction::Copy { subarray, src, dst, size } => {
+                write!(f, "AAP({subarray}, {src}, {dst}, {size})")
+            }
+            AapInstruction::TwoSrc { subarray, srcs, dst, mode, size } => {
+                write!(f, "AAP({subarray}, {}, {}, {dst}, {size}) [{mode:?}]", srcs[0], srcs[1])
+            }
+            AapInstruction::ThreeSrc { subarray, srcs, dst, size } => {
+                write!(f, "AAP({subarray}, {}, {}, {}, {dst}, {size})", srcs[0], srcs[1], srcs[2])
+            }
+        }
+    }
+}
+
+/// A straight-line AAP program with per-type counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstructionStream {
+    instructions: Vec<AapInstruction>,
+}
+
+impl InstructionStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        InstructionStream::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: AapInstruction) {
+        self.instructions.push(instr);
+    }
+
+    /// The instructions in order.
+    pub fn instructions(&self) -> &[AapInstruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Counts per instruction type: `(type1, type2, type3)`.
+    pub fn type_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for i in &self.instructions {
+            match i.type_number() {
+                1 => c.0 += 1,
+                2 => c.1 += 1,
+                _ => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl FromIterator<AapInstruction> for InstructionStream {
+    fn from_iter<I: IntoIterator<Item = AapInstruction>>(iter: I) -> Self {
+        InstructionStream { instructions: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<AapInstruction> for InstructionStream {
+    fn extend<I: IntoIterator<Item = AapInstruction>>(&mut self, iter: I) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::geometry::DramGeometry;
+
+    fn subarray() -> SubarrayId {
+        SubarrayId::new(&DramGeometry::tiny(), 0, 0, 0, 0).unwrap()
+    }
+
+    #[test]
+    fn copy_enforces_row_multiple() {
+        let i = AapInstruction::new_copy(subarray(), RowAddr(0), RowAddr(1), 512, 256);
+        assert_eq!(i.type_number(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole-row multiple")]
+    fn unpadded_size_rejected() {
+        let _ = AapInstruction::new_copy(subarray(), RowAddr(0), RowAddr(1), 300, 256);
+    }
+
+    #[test]
+    fn activated_rows_by_type() {
+        let s = subarray();
+        let c = AapInstruction::Copy { subarray: s, src: RowAddr(0), dst: RowAddr(1), size: 256 };
+        let t2 = AapInstruction::TwoSrc {
+            subarray: s,
+            srcs: [RowAddr(24), RowAddr(25)],
+            dst: RowAddr(1),
+            mode: SaMode::Xnor,
+            size: 256,
+        };
+        let t3 = AapInstruction::ThreeSrc {
+            subarray: s,
+            srcs: [RowAddr(24), RowAddr(25), RowAddr(26)],
+            dst: RowAddr(1),
+            size: 256,
+        };
+        assert_eq!(c.activated_rows(), 2);
+        assert_eq!(t2.activated_rows(), 3);
+        assert_eq!(t3.activated_rows(), 4);
+        assert!(t2.to_string().contains("Xnor"));
+    }
+
+    #[test]
+    fn stream_counts_types() {
+        let s = subarray();
+        let stream: InstructionStream = [
+            AapInstruction::Copy { subarray: s, src: RowAddr(0), dst: RowAddr(1), size: 256 },
+            AapInstruction::Copy { subarray: s, src: RowAddr(2), dst: RowAddr(3), size: 256 },
+            AapInstruction::TwoSrc {
+                subarray: s,
+                srcs: [RowAddr(24), RowAddr(25)],
+                dst: RowAddr(5),
+                mode: SaMode::Xnor,
+                size: 256,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(stream.type_counts(), (2, 1, 0));
+        assert_eq!(stream.len(), 3);
+    }
+}

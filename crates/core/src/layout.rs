@@ -1,0 +1,178 @@
+//! The Fig. 6 sub-array row layout.
+//!
+//! Each hash sub-array's 1016 data rows split into three regions:
+//!
+//! * **k-mer region** — one (padded) k-mer per row, up to 128 bp;
+//! * **value region** — packed frequency counters, one per k-mer row;
+//! * **temp region** — staging rows for incoming queries and scratch rows
+//!   for the comparator/adder (the `temp` rows of Fig. 6).
+//!
+//! Fig. 6 sketches 980/32/8 (+4 compute); Fig. 1b fixes the compute region
+//! at 8 rows, so we keep 1016 data rows = 976 k-mer + 32 value + 8 temp and
+//! document the 4-row difference as reconciling the two figures.
+
+use crate::error::{PimError, Result};
+use pim_dram::address::RowAddr;
+use pim_dram::geometry::DramGeometry;
+
+/// Width of one frequency counter in the value region (bits).
+pub const COUNTER_BITS: usize = 8;
+
+/// Row-region layout of one hash sub-array.
+///
+/// # Examples
+///
+/// ```
+/// use pim_assembler::layout::SubarrayLayout;
+/// use pim_dram::geometry::DramGeometry;
+///
+/// let l = SubarrayLayout::new(&DramGeometry::paper_assembly());
+/// assert_eq!(l.kmer_rows(), 976);
+/// assert_eq!(l.value_rows(), 32);
+/// assert_eq!(l.temp_rows(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubarrayLayout {
+    cols: usize,
+    kmer_rows: usize,
+    value_rows: usize,
+    temp_rows: usize,
+}
+
+impl SubarrayLayout {
+    /// Derives the layout from a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has fewer than 64 data rows (cannot host the
+    /// three regions).
+    pub fn new(geometry: &DramGeometry) -> Self {
+        let data = geometry.data_rows();
+        assert!(data >= 24, "sub-array too small for the Fig. 6 layout");
+        let temp_rows = 8;
+        // One counter per k-mer row must fit in the value region:
+        // kmer_rows × COUNTER_BITS ≤ value_rows × cols.
+        let value_rows = 32.min(data / 8);
+        let kmer_rows = (data - temp_rows - value_rows).min(value_rows * geometry.cols / COUNTER_BITS);
+        SubarrayLayout { cols: geometry.cols, kmer_rows, value_rows, temp_rows }
+    }
+
+    /// Rows in the k-mer region.
+    pub fn kmer_rows(&self) -> usize {
+        self.kmer_rows
+    }
+
+    /// Rows in the value region.
+    pub fn value_rows(&self) -> usize {
+        self.value_rows
+    }
+
+    /// Rows in the temp region.
+    pub fn temp_rows(&self) -> usize {
+        self.temp_rows
+    }
+
+    /// Address of k-mer slot `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::SubarrayFull`] when `i` exceeds the region.
+    pub fn kmer_row(&self, i: usize) -> Result<RowAddr> {
+        if i >= self.kmer_rows {
+            return Err(PimError::SubarrayFull { subarray: 0, capacity: self.kmer_rows });
+        }
+        Ok(RowAddr(i))
+    }
+
+    /// Address of value row `i` (after the k-mer region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the value region.
+    pub fn value_row(&self, i: usize) -> RowAddr {
+        assert!(i < self.value_rows, "value row {i} out of range");
+        RowAddr(self.kmer_rows + i)
+    }
+
+    /// Address of temp row `i` (after the value region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the temp region.
+    pub fn temp_row(&self, i: usize) -> RowAddr {
+        assert!(i < self.temp_rows, "temp row {i} out of range");
+        RowAddr(self.kmer_rows + self.value_rows + i)
+    }
+
+    /// Location of the counter for k-mer slot `slot`: `(value_row_index,
+    /// bit_offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the k-mer region.
+    pub fn counter_location(&self, slot: usize) -> (usize, usize) {
+        assert!(slot < self.kmer_rows, "slot {slot} out of range");
+        let bit = slot * COUNTER_BITS;
+        (bit / self.cols, bit % self.cols)
+    }
+
+    /// Maximum k-mer frequency representable in one counter.
+    pub fn max_count(&self) -> u64 {
+        (1u64 << COUNTER_BITS) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> SubarrayLayout {
+        SubarrayLayout::new(&DramGeometry::paper_assembly())
+    }
+
+    #[test]
+    fn regions_tile_the_data_rows() {
+        let l = layout();
+        assert_eq!(l.kmer_rows() + l.value_rows() + l.temp_rows(), 1016);
+    }
+
+    #[test]
+    fn counters_fit_in_value_region() {
+        let l = layout();
+        assert!(l.kmer_rows() * COUNTER_BITS <= l.value_rows() * 256);
+    }
+
+    #[test]
+    fn addresses_do_not_overlap() {
+        let l = layout();
+        let last_kmer = l.kmer_row(l.kmer_rows() - 1).unwrap();
+        let first_value = l.value_row(0);
+        let first_temp = l.temp_row(0);
+        assert!(last_kmer < first_value);
+        assert!(first_value < first_temp);
+        assert_eq!(first_temp.0 + l.temp_rows(), 1016);
+    }
+
+    #[test]
+    fn counter_locations_are_unique() {
+        let l = layout();
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..l.kmer_rows() {
+            assert!(seen.insert(l.counter_location(slot)), "slot {slot} collides");
+        }
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let l = layout();
+        assert!(matches!(l.kmer_row(l.kmer_rows()), Err(PimError::SubarrayFull { .. })));
+    }
+
+    #[test]
+    fn tiny_geometry_still_lays_out() {
+        let l = SubarrayLayout::new(&DramGeometry::tiny());
+        // 32-row sub-array: 24 data rows → shrunken but consistent regions.
+        assert!(l.kmer_rows() > 0);
+        assert!(l.kmer_rows() * COUNTER_BITS <= l.value_rows() * 64);
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! # pim-assembler
+//!
+//! The paper's primary contribution: a processing-in-DRAM genome assembler.
+//! This crate maps the reconstructed assembly algorithm (Fig. 5) onto the
+//! bit-accurate DRAM substrate of `pim-dram`, executing every stage
+//! *functionally* — the hash table really lives in sub-array rows, queries
+//! really run as `PIM_XNOR` row comparisons, and degrees really accumulate
+//! through `PIM_Add` carry-save reduction — while counting every command
+//! for the performance model.
+//!
+//! Module map:
+//!
+//! * [`config`] — platform configuration (geometry, k, Pd, …),
+//! * [`layout`] — the Fig. 6 sub-array row layout (k-mer / value / temp /
+//!   compute regions),
+//! * [`isa`] — the three AAP instruction shapes of §II-B *Software Support*,
+//! * [`dpu`] — the MAT-level digital processing unit,
+//! * [`pim_xnor`] — the parallel in-memory comparator (Fig. 7),
+//! * [`pim_add`] — carry-save + bit-serial in-memory addition (Fig. 8),
+//! * [`mapping`] — correlated data partitioning and mapping (Fig. 6),
+//! * [`partition`] — interval-block graph partitioning (Fig. 8, stage 1–2),
+//! * [`hashmap_stage`] — the `Hashmap(S, k)` procedure in PIM,
+//! * [`graph_stage`] — the `DeBruijn(Hashmap, k)` procedure in PIM,
+//! * [`traverse_stage`] — the `Traverse(G)` procedure in PIM,
+//! * [`pipeline`] — the full assembler, producing contigs plus a
+//!   [`perf::PerfReport`],
+//! * [`perf`] — wall-clock/power/MBR/RUR estimation and chr14-scale
+//!   extrapolation.
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_assembler::{config::PimAssemblerConfig, pipeline::PimAssembler};
+//! use pim_genome::{reads::ReadSimulator, sequence::DnaSequence};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let genome = DnaSequence::random(&mut rng, 800);
+//! let reads = ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng);
+//! let mut assembler = PimAssembler::new(PimAssemblerConfig::small_test(15));
+//! let run = assembler.assemble(&reads)?;
+//! assert!(run.assembly.stats.total_length >= 700);
+//! assert!(run.report.commands.aap2 > 0); // real in-memory comparisons ran
+//! # Ok::<(), pim_assembler::PimError>(())
+//! ```
+
+pub mod config;
+pub mod dpu;
+pub mod error;
+pub mod exec;
+pub mod graph_stage;
+pub mod hashmap_stage;
+pub mod isa;
+pub mod layout;
+pub mod mapping;
+pub mod partition;
+pub mod perf;
+pub mod pim_add;
+pub mod programs;
+pub mod pim_xnor;
+pub mod pipeline;
+pub mod scaffold_stage;
+pub mod traverse_stage;
+
+pub use config::PimAssemblerConfig;
+pub use error::{PimError, Result};
+pub use perf::PerfReport;
+pub use pipeline::{PimAssembler, PimRun};

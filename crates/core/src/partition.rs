@@ -1,0 +1,174 @@
+//! Interval-block graph partitioning (Fig. 8, stages 1–2).
+//!
+//! "We utilize a hash-based method to divide the vertices into M intervals
+//! and then divide edges into M² blocks. Then each block is allocated to a
+//! chip and mapped to its sub-arrays. Having an N-vertex sub-graph with Ns
+//! activated sub-arrays (size a × b), each sub-array can process n vertices
+//! (n ≤ f, f = min(a, b)), so Ns = ⌈N / f⌉."
+
+use pim_genome::debruijn::DeBruijnGraph;
+
+/// The result of partitioning a graph for PIM mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Number of vertex intervals (M).
+    pub intervals: usize,
+    /// Vertex interval assignment: `interval_of[v] ∈ 0..M`.
+    pub interval_of: Vec<usize>,
+    /// Edge counts per block: `blocks[src_interval][dst_interval]`.
+    pub blocks: Vec<Vec<usize>>,
+    /// Sub-arrays needed per interval: `⌈N_i / f⌉`.
+    pub subarrays_per_interval: Vec<usize>,
+    /// The f = min(a, b) bound used.
+    pub f: usize,
+}
+
+impl Partitioning {
+    /// Total edges across all blocks.
+    pub fn total_edges(&self) -> usize {
+        self.blocks.iter().flatten().sum()
+    }
+
+    /// Total sub-arrays allocated.
+    pub fn total_subarrays(&self) -> usize {
+        self.subarrays_per_interval.iter().sum()
+    }
+
+    /// Vertices in interval `i`.
+    pub fn interval_size(&self, i: usize) -> usize {
+        self.interval_of.iter().filter(|&&x| x == i).count()
+    }
+}
+
+/// Hash-based interval-block partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use pim_assembler::partition::IntervalBlockPartitioner;
+/// use pim_genome::debruijn::DeBruijnGraph;
+///
+/// let g = DeBruijnGraph::from_kmers(
+///     4,
+///     ["CGTG", "GTGC", "TGCT", "GCTT"].iter().map(|s| s.parse().unwrap()),
+/// );
+/// let p = IntervalBlockPartitioner::new(2, 256).partition(&g);
+/// assert_eq!(p.total_edges(), g.edge_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalBlockPartitioner {
+    intervals: usize,
+    /// Sub-array dimension bound f = min(rows, cols).
+    f: usize,
+}
+
+impl IntervalBlockPartitioner {
+    /// Creates a partitioner with `intervals` (M) and per-sub-array vertex
+    /// bound `f = min(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0` or `f == 0`.
+    pub fn new(intervals: usize, f: usize) -> Self {
+        assert!(intervals >= 1, "need at least one interval");
+        assert!(f >= 1, "sub-array vertex bound must be positive");
+        IntervalBlockPartitioner { intervals, f }
+    }
+
+    /// Partitions a graph.
+    pub fn partition(&self, graph: &DeBruijnGraph) -> Partitioning {
+        let n = graph.node_count();
+        let interval_of: Vec<usize> =
+            (0..n).map(|v| (mix(graph.node(v).packed()) % self.intervals as u64) as usize).collect();
+        let mut blocks = vec![vec![0usize; self.intervals]; self.intervals];
+        for v in 0..n {
+            for e in graph.out_edges(v) {
+                blocks[interval_of[v]][interval_of[e.to]] += 1;
+            }
+        }
+        let subarrays_per_interval = (0..self.intervals)
+            .map(|i| {
+                let count = interval_of.iter().filter(|&&x| x == i).count();
+                count.div_ceil(self.f)
+            })
+            .collect();
+        Partitioning { intervals: self.intervals, interval_of, blocks, subarrays_per_interval, f: self.f }
+    }
+}
+
+/// splitmix64 finalizer (same family as the data mapper's hash).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_genome::hash_table::KmerCounter;
+    use pim_genome::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_graph(len: usize, k: usize) -> DeBruijnGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let seq = DnaSequence::random(&mut rng, len);
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        DeBruijnGraph::from_counter(&c, 1)
+    }
+
+    #[test]
+    fn blocks_conserve_edges() {
+        let g = random_graph(1000, 9);
+        for m in [1, 2, 4, 8] {
+            let p = IntervalBlockPartitioner::new(m, 256).partition(&g);
+            assert_eq!(p.total_edges(), g.edge_count(), "M={m}");
+        }
+    }
+
+    #[test]
+    fn intervals_cover_all_vertices() {
+        let g = random_graph(500, 9);
+        let p = IntervalBlockPartitioner::new(4, 256).partition(&g);
+        assert_eq!(p.interval_of.len(), g.node_count());
+        let total: usize = (0..4).map(|i| p.interval_size(i)).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn allocation_follows_ceiling_formula() {
+        let g = random_graph(2000, 9);
+        let f = 256;
+        let p = IntervalBlockPartitioner::new(4, f).partition(&g);
+        for i in 0..4 {
+            assert_eq!(p.subarrays_per_interval[i], p.interval_size(i).div_ceil(f));
+        }
+        assert!(p.total_subarrays() >= g.node_count().div_ceil(f));
+    }
+
+    #[test]
+    fn hashing_balances_intervals() {
+        let g = random_graph(4000, 11);
+        let p = IntervalBlockPartitioner::new(4, 256).partition(&g);
+        let sizes: Vec<usize> = (0..4).map(|i| p.interval_size(i)).collect();
+        let mean = g.node_count() / 4;
+        for (i, &s) in sizes.iter().enumerate() {
+            assert!(
+                s > mean / 2 && s < mean * 2,
+                "interval {i} size {s} far from mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_interval_degenerates_gracefully() {
+        let g = random_graph(300, 7);
+        let p = IntervalBlockPartitioner::new(1, 64).partition(&g);
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0][0], g.edge_count());
+        assert_eq!(p.total_subarrays(), g.node_count().div_ceil(64));
+    }
+}

@@ -1,0 +1,189 @@
+//! Performance estimation — the role of the paper's Matlab behavioral
+//! simulator (§II-B item 3).
+//!
+//! The functional pipeline counts every command per stage; this module
+//! turns those counts into wall-clock, power, energy, MBR, and RUR, and
+//! extrapolates a measured scaled run to the paper's chromosome-14 scale.
+//! The parallelism constants come from
+//! [`pim_platforms::assembly_model::PimAssemblyModel`] so the measured and
+//! analytic paths stay consistent.
+
+use pim_dram::stats::CommandStats;
+use pim_dram::timing::TimingParams;
+use pim_platforms::assembly_model::{AssemblyCostModel, PimAssemblyModel, StageBreakdown};
+use pim_platforms::workload::AssemblyWorkload;
+
+use crate::config::PimAssemblerConfig;
+
+/// Per-stage command counts and estimated wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePerf {
+    /// Commands issued by the stage.
+    pub commands: CommandStats,
+    /// Estimated wall-clock seconds at the configured parallelism.
+    pub wall_s: f64,
+}
+
+/// The complete performance report of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// All commands of the run.
+    pub commands: CommandStats,
+    /// Stage 1: k-mer analysis.
+    pub hashmap: StagePerf,
+    /// Stage 2: graph construction.
+    pub debruijn: StagePerf,
+    /// Stage 3: traversal.
+    pub traverse: StagePerf,
+    /// Parallelism degree used.
+    pub pd: usize,
+    /// Effective parallel command chains.
+    pub parallel_chains: f64,
+    /// Average power (W).
+    pub power_w: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Memory Bottleneck Ratio (%).
+    pub mbr_percent: f64,
+    /// Resource Utilization Ratio (%).
+    pub rur_percent: f64,
+    /// The measured workload sizes (for extrapolation).
+    pub workload: AssemblyWorkload,
+}
+
+impl PerfReport {
+    /// Builds a report from per-stage command deltas.
+    pub fn new(
+        config: &PimAssemblerConfig,
+        stages: [CommandStats; 3],
+        workload: AssemblyWorkload,
+    ) -> Self {
+        let model = PimAssemblyModel::pim_assembler(config.pd);
+        let chains = model.parallel_chains();
+        let refresh = pim_dram::refresh::RefreshParams::ddr4();
+        let stage = |s: CommandStats| StagePerf {
+            commands: s,
+            wall_s: refresh.inflate_seconds(s.serial_ns * 1e-9 / chains),
+        };
+        let hashmap = stage(stages[0]);
+        let debruijn = stage(stages[1]);
+        let traverse = stage(stages[2]);
+        let mut commands = stages[0];
+        commands.merge(&stages[1]);
+        commands.merge(&stages[2]);
+        let total_wall = hashmap.wall_s + debruijn.wall_s + traverse.wall_s;
+        let power_w = model.static_w + model.chain_w * model.active_chains();
+        let mbr = mbr_from_commands(&commands, &config.timing);
+        PerfReport {
+            commands,
+            hashmap,
+            debruijn,
+            traverse,
+            pd: config.pd,
+            parallel_chains: chains,
+            power_w,
+            energy_j: total_wall * power_w,
+            mbr_percent: mbr,
+            rur_percent: (100.0 - mbr) * 0.76,
+            workload,
+        }
+    }
+
+    /// Total wall-clock seconds.
+    pub fn total_wall_s(&self) -> f64 {
+        self.hashmap.wall_s + self.debruijn.wall_s + self.traverse.wall_s
+    }
+
+    /// Extrapolates this run to the paper's chromosome-14 scale, reusing
+    /// the *measured* probe behaviour in the analytic model.
+    pub fn extrapolate_chr14(&self) -> StageBreakdown {
+        let chr14 = AssemblyWorkload::chr14(self.workload.k);
+        let mut w = chr14;
+        w.avg_probes_per_kmer = self.workload.avg_probes_per_kmer;
+        PimAssemblyModel::pim_assembler(self.pd).estimate(&w)
+    }
+}
+
+/// Measured MBR: the data-movement share of serial command time. Host row
+/// reads/writes move data by definition. Of the RowClone copies, roughly
+/// one in five *places* data (temp-row staging, counter-row activation);
+/// the rest stage operands into the compute rows, which is part of the
+/// computation itself — the same accounting split the analytic model uses.
+fn mbr_from_commands(c: &CommandStats, timing: &TimingParams) -> f64 {
+    let rd = c.reads as f64 * timing.row_read_ns(256);
+    let wr = c.writes as f64 * timing.row_write_ns(256);
+    let copy = 0.2 * c.aap as f64 * timing.aap_ns();
+    if c.serial_ns <= 0.0 {
+        return 0.0;
+    }
+    (100.0 * (rd + wr + copy) / c.serial_ns).min(100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stage(aap: u64, aap2: u64, writes: u64) -> CommandStats {
+        let mut s = CommandStats::default();
+        let t = TimingParams::ddr4_2133();
+        for _ in 0..aap {
+            s.record_raw("AAP", t.aap_ns(), 2.0);
+        }
+        for _ in 0..aap2 {
+            s.record_raw("AAP2", t.aap_ns(), 2.3);
+        }
+        for _ in 0..writes {
+            s.record_raw("WR", t.row_write_ns(256), 1.5);
+        }
+        s
+    }
+
+    fn workload() -> AssemblyWorkload {
+        AssemblyWorkload::from_measured(16, 100, 101, 8600, 2000, 2050, 2000, 1.2)
+    }
+
+    #[test]
+    fn wall_clock_divides_by_chains() {
+        let cfg = PimAssemblerConfig::paper(16).with_pd(2);
+        let r = PerfReport::new(&cfg, [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)], workload());
+        assert!(r.parallel_chains > 1.0);
+        let serial_s = r.commands.serial_ns * 1e-9;
+        let refresh = pim_dram::refresh::RefreshParams::ddr4();
+        assert!((r.total_wall_s() - refresh.inflate_seconds(serial_s / r.parallel_chains)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_pd_halves_wall_until_issue_cap() {
+        let w = workload();
+        let stages = [fake_stage(1000, 500, 100), fake_stage(100, 10, 30), fake_stage(50, 20, 0)];
+        let r1 = PerfReport::new(&PimAssemblerConfig::paper(16).with_pd(1), stages, w);
+        let r2 = PerfReport::new(&PimAssemblerConfig::paper(16).with_pd(2), stages, w);
+        let r8 = PerfReport::new(&PimAssemblerConfig::paper(16).with_pd(8), stages, w);
+        assert!((r1.total_wall_s() / r2.total_wall_s() - 2.0).abs() < 1e-9);
+        // Past the command-issue cap, more Pd buys little delay …
+        assert!(r2.total_wall_s() / r8.total_wall_s() < 1.5);
+        // … but keeps costing power.
+        assert!(r8.power_w > r2.power_w);
+    }
+
+    #[test]
+    fn mbr_is_bounded_and_sensitive_to_writes() {
+        let cfg = PimAssemblerConfig::paper(16);
+        let compute_heavy =
+            PerfReport::new(&cfg, [fake_stage(10, 1000, 1), fake_stage(0, 0, 0), fake_stage(0, 0, 0)], workload());
+        let write_heavy =
+            PerfReport::new(&cfg, [fake_stage(10, 10, 1000), fake_stage(0, 0, 0), fake_stage(0, 0, 0)], workload());
+        assert!(compute_heavy.mbr_percent < write_heavy.mbr_percent);
+        assert!((0.0..=100.0).contains(&write_heavy.mbr_percent));
+        assert!(compute_heavy.rur_percent > write_heavy.rur_percent);
+    }
+
+    #[test]
+    fn extrapolation_lands_at_paper_scale() {
+        let cfg = PimAssemblerConfig::paper(16);
+        let r = PerfReport::new(&cfg, [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)], workload());
+        let chr14 = r.extrapolate_chr14();
+        assert!(chr14.total_s() > 1.0, "chr14-scale run must take seconds: {}", chr14.total_s());
+        assert_eq!(chr14.name, "P-A");
+    }
+}

@@ -1,0 +1,171 @@
+//! `PIM_XNOR` — the parallel in-memory comparator (Fig. 7).
+//!
+//! An entire temp row (one padded k-mer, up to 128 bp) is compared with a
+//! stored k-mer row in a single two-row-activation cycle; the DPU's AND
+//! unit then reduces the XNOR result row to the match/mismatch decision.
+//! Per comparison the hardware issues:
+//!
+//! 1. one RowClone of the candidate row into compute row `x2`
+//!    (the staged query already sits in `x1`),
+//! 2. one two-source AAP in XNOR mode,
+//! 3. one DPU AND-reduction.
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+
+use crate::dpu::Dpu;
+use crate::error::Result;
+
+/// Executes `PIM_XNOR` comparisons against a staged query.
+///
+/// The comparator owns no state beyond the staging convention: queries are
+/// staged once per k-mer (amortizing the temp write across the bucket
+/// scan), then compared against any number of candidate rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PimComparator;
+
+impl PimComparator {
+    /// Stages a query row image into a temp row and clones it into compute
+    /// row `x1`. The staging itself is an in-DRAM movement from the
+    /// sequence bank (Fig. 6: "the ctrl first reads and parses the short
+    /// reads from the original sequence bank to the specific sub-array"),
+    /// charged as one AAP-class transfer rather than a host write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn stage_query(
+        ctrl: &mut Controller,
+        subarray: SubarrayId,
+        temp_row: RowAddr,
+        image: &BitRow,
+    ) -> Result<()> {
+        ctrl.poke_row(subarray, temp_row, image)?;
+        ctrl.record_synthetic("AAP", 1);
+        ctrl.aap_copy(subarray, temp_row, ctrl.compute_row(0))?;
+        Ok(())
+    }
+
+    /// Compares the staged query against `candidate`; `scratch` receives
+    /// the XNOR row. Returns `true` on a full-row match.
+    ///
+    /// The XNOR two-row activation destroys compute rows `x1`/`x2`, so the
+    /// query is re-cloned from its temp row before each comparison — the
+    /// re-clone of `x1` is fused into the candidate clone window in
+    /// hardware, which is why the cost model charges one copy per probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn compare(
+        ctrl: &mut Controller,
+        subarray: SubarrayId,
+        temp_row: RowAddr,
+        candidate: RowAddr,
+        scratch: RowAddr,
+    ) -> Result<bool> {
+        ctrl.aap_copy(subarray, temp_row, ctrl.compute_row(0))?;
+        ctrl.aap_copy(subarray, candidate, ctrl.compute_row(1))?;
+        let xnor = ctrl.aap2_xnor(subarray, [ctrl.compute_row(0), ctrl.compute_row(1)], scratch)?;
+        Ok(Dpu::and_reduce(ctrl, &xnor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SubarrayLayout;
+    use crate::mapping::KmerMapper;
+    use pim_dram::geometry::DramGeometry;
+    use pim_genome::kmer::Kmer;
+
+    fn setup() -> (Controller, SubarrayId, SubarrayLayout, KmerMapper) {
+        let g = DramGeometry::paper_assembly();
+        let ctrl = Controller::new(g);
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        (ctrl, id, SubarrayLayout::new(&g), KmerMapper::new(&g, 1, 8))
+    }
+
+    #[test]
+    fn equal_kmers_match() {
+        let (mut ctrl, id, layout, mapper) = setup();
+        let kmer: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
+        let image = mapper.row_image(&kmer, 256);
+        // Store the k-mer in slot 0, stage the same k-mer as a query.
+        ctrl.write_row(id, layout.kmer_row(0).unwrap(), &image).unwrap();
+        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        let matched = PimComparator::compare(
+            &mut ctrl,
+            id,
+            layout.temp_row(0),
+            layout.kmer_row(0).unwrap(),
+            layout.temp_row(1),
+        )
+        .unwrap();
+        assert!(matched);
+    }
+
+    #[test]
+    fn different_kmers_mismatch() {
+        let (mut ctrl, id, layout, mapper) = setup();
+        let a: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
+        let b: Kmer = "CGTGCGTGCTTACGGC".parse().unwrap(); // last base differs
+        ctrl.write_row(id, layout.kmer_row(0).unwrap(), &mapper.row_image(&a, 256)).unwrap();
+        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&b, 256)).unwrap();
+        let matched = PimComparator::compare(
+            &mut ctrl,
+            id,
+            layout.temp_row(0),
+            layout.kmer_row(0).unwrap(),
+            layout.temp_row(1),
+        )
+        .unwrap();
+        assert!(!matched);
+    }
+
+    #[test]
+    fn query_survives_repeated_comparisons() {
+        // The staged temp row must remain intact across destructive
+        // compute-row operations so the bucket scan can continue.
+        let (mut ctrl, id, layout, mapper) = setup();
+        let q: Kmer = "AAAACCCCGGGGTTTT".parse().unwrap();
+        let image = mapper.row_image(&q, 256);
+        for slot in 0..4usize {
+            let other = Kmer::from_packed(0x1234_5678 + slot as u64, 16).unwrap();
+            ctrl.write_row(id, layout.kmer_row(slot).unwrap(), &mapper.row_image(&other, 256)).unwrap();
+        }
+        ctrl.write_row(id, layout.kmer_row(4).unwrap(), &image).unwrap();
+        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        let mut matches = Vec::new();
+        for slot in 0..5usize {
+            matches.push(
+                PimComparator::compare(
+                    &mut ctrl,
+                    id,
+                    layout.temp_row(0),
+                    layout.kmer_row(slot).unwrap(),
+                    layout.temp_row(1),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(matches, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn command_counts_per_probe() {
+        let (mut ctrl, id, layout, mapper) = setup();
+        let q: Kmer = "ACGTACGTACGTACGT".parse().unwrap();
+        let image = mapper.row_image(&q, 256);
+        ctrl.write_row(id, layout.kmer_row(0).unwrap(), &image).unwrap();
+        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        let before = *ctrl.stats();
+        PimComparator::compare(&mut ctrl, id, layout.temp_row(0), layout.kmer_row(0).unwrap(), layout.temp_row(1))
+            .unwrap();
+        let delta = ctrl.stats().since(&before);
+        assert_eq!(delta.aap, 2); // query re-clone + candidate clone
+        assert_eq!(delta.aap2, 1); // the XNOR
+        assert_eq!(delta.dpu, 1); // the AND reduction
+    }
+}

@@ -1,0 +1,285 @@
+//! The end-to-end PIM-Assembler pipeline.
+//!
+//! `PimAssembler::assemble` drives all three stages of Fig. 5 against the
+//! bit-accurate DRAM model, returning real contigs plus the full
+//! performance report. Results are byte-identical to the software
+//! assembler of `pim_genome` (the integration tests assert this), because
+//! the PIM pipeline executes the *same algorithm* through in-memory
+//! primitives.
+
+use pim_dram::address::SubarrayId;
+use pim_dram::controller::Controller;
+use pim_genome::assemble::Assembly;
+use pim_genome::contig::Contig;
+use pim_genome::euler::EulerAlgorithm;
+use pim_genome::kmer::KmerIter;
+use pim_genome::reads::Read;
+use pim_genome::stats::AssemblyStats;
+use pim_platforms::workload::AssemblyWorkload;
+
+use crate::config::PimAssemblerConfig;
+use crate::error::Result;
+use crate::graph_stage::{GraphStage, GraphStats};
+use crate::hashmap_stage::{HashStats, PimHashTable};
+use crate::mapping::KmerMapper;
+use crate::partition::Partitioning;
+use crate::perf::PerfReport;
+use crate::traverse_stage::{TraverseStage, TraverseStats};
+
+/// Everything one assembly run produces.
+#[derive(Debug, Clone)]
+pub struct PimRun {
+    /// The assembled contigs and stage sizes (same shape as the software
+    /// assembler's output).
+    pub assembly: Assembly,
+    /// Full performance report.
+    pub report: PerfReport,
+    /// Hash-stage statistics.
+    pub hash_stats: HashStats,
+    /// Graph-stage statistics.
+    pub graph_stats: GraphStats,
+    /// Traverse-stage statistics.
+    pub traverse_stats: TraverseStats,
+    /// The interval-block partitioning chosen for the graph.
+    pub partitioning: Partitioning,
+}
+
+/// The PIM-Assembler platform instance.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct PimAssembler {
+    config: PimAssemblerConfig,
+    ctrl: Controller,
+}
+
+impl PimAssembler {
+    /// Creates an assembler over a fresh memory group.
+    pub fn new(config: PimAssemblerConfig) -> Self {
+        let ctrl = Controller::with_params(config.geometry, config.timing, config.energy);
+        PimAssembler { config, ctrl }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PimAssemblerConfig {
+        &self.config
+    }
+
+    /// The memory controller (inspection / verification).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    /// Runs the three-stage assembly over a read set.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::PimError::SubarrayFull`] if the hash partition is too
+    ///   small for the workload (increase
+    ///   [`PimAssemblerConfig::with_hash_subarrays`]).
+    /// * DRAM addressing errors.
+    pub fn assemble(&mut self, reads: &[Read]) -> Result<PimRun> {
+        let k = self.config.k;
+        let geometry = self.config.geometry;
+        self.ctrl.take_stats();
+
+        // ── Stage 1: k-mer analysis (Hashmap) ──────────────────────────
+        // Stream the read set into the original sequence bank first: one
+        // host row write per 128 bp of read data.
+        let stream_rows: u64 = reads
+            .iter()
+            .map(|r| ((r.seq.len() * 2) as u64).div_ceil(geometry.cols as u64))
+            .sum();
+        self.ctrl.record_synthetic("WR", stream_rows);
+        let mapper = KmerMapper::new(&geometry, self.config.hash_subarrays, self.config.bucket_rows);
+        let mut table = PimHashTable::new(mapper);
+        for read in reads {
+            for kmer in KmerIter::new(&read.seq, k)? {
+                table.insert(&mut self.ctrl, kmer)?;
+            }
+        }
+        let hash_stats = *table.stats();
+        let s1 = *self.ctrl.stats();
+
+        // ── Stage 2: graph construction (DeBruijn) ─────────────────────
+        let graph_region = self.aux_subarray(0);
+        let (mut graph, mut partitioning, graph_stats) = GraphStage::build(
+            &mut self.ctrl,
+            &table,
+            self.config.min_count,
+            graph_region,
+            partition_intervals(&geometry),
+        )?;
+        if let Some(max_tip) = self.config.simplify_tips {
+            let before_edges = graph.edge_count();
+            let (simplified, _) =
+                pim_genome::simplify::Simplifier::new(max_tip).simplify(&graph);
+            // Each dropped edge is a DPU decision plus an invalidating
+            // row touch in the graph region.
+            let dropped = (before_edges - simplified.edge_count()) as u64;
+            self.ctrl.dpu_ops(dropped);
+            self.ctrl.record_synthetic("AAP", dropped);
+            graph = simplified;
+            let f = geometry.cols.min(geometry.rows);
+            partitioning = crate::partition::IntervalBlockPartitioner::new(
+                partition_intervals(&geometry),
+                f,
+            )
+            .partition(&graph);
+        }
+        let s2 = self.ctrl.stats().since(&s1);
+
+        // ── Stage 3: traversal (Traverse) ──────────────────────────────
+        let work = self.aux_subarray(1);
+        let (trails, traverse_stats) =
+            TraverseStage::run(&mut self.ctrl, &graph, work, EulerAlgorithm::Hierholzer)?;
+        let mut s12 = s1;
+        s12.merge(&s2);
+        let s3 = self.ctrl.stats().since(&s12);
+
+        // Contig spelling (host-side, as in the paper — stage 3 output).
+        let contigs: Vec<Contig> = trails
+            .iter()
+            .map(|t| Contig::from_trail(&graph, t))
+            .filter(|c| c.len() >= k)
+            .collect();
+
+        let assembly = Assembly {
+            stats: AssemblyStats::from_contigs(&contigs),
+            contigs,
+            distinct_kmers: graph_stats.edges_inserted as usize,
+            total_kmers: hash_stats.inserted_total,
+            hash_probes: hash_stats.probes,
+            graph_nodes: graph.node_count(),
+            graph_edges: graph.edge_count(),
+            trails: trails.len(),
+        };
+
+        let read_len = reads.first().map_or(0, |r| r.seq.len());
+        let workload = AssemblyWorkload::from_measured(
+            k,
+            reads.len() as u64,
+            read_len,
+            hash_stats.inserted_total,
+            hash_stats.distinct,
+            graph.node_count() as u64,
+            graph.edge_count() as u64,
+            if hash_stats.inserted_total > 0 {
+                (hash_stats.probes as f64 / hash_stats.inserted_total as f64).max(1.0)
+            } else {
+                1.0
+            },
+        );
+        let report = PerfReport::new(&self.config, [s1, s2, s3], workload);
+
+        Ok(PimRun { assembly, report, hash_stats, graph_stats, traverse_stats, partitioning })
+    }
+
+    /// Auxiliary sub-arrays placed after the hash partition.
+    fn aux_subarray(&self, offset: usize) -> SubarrayId {
+        let index = (self.config.hash_subarrays + offset) % self.config.geometry.total_subarrays();
+        SubarrayId::from_linear_index(&self.config.geometry, index)
+    }
+}
+
+/// Interval count for the graph partitioning: one interval per active MAT,
+/// at least two.
+fn partition_intervals(geometry: &pim_dram::geometry::DramGeometry) -> usize {
+    geometry.active_mats_per_bank.max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_genome::assemble::{AssemblyConfig, SoftwareAssembler};
+    use pim_genome::reads::ReadSimulator;
+    use pim_genome::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_run(seed: u64, genome_len: usize, k: usize) -> (DnaSequence, PimRun) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let genome = DnaSequence::random(&mut rng, genome_len);
+        let reads = ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng);
+        let mut asm = PimAssembler::new(PimAssemblerConfig::small_test(k));
+        let run = asm.assemble(&reads).unwrap();
+        (genome, run)
+    }
+
+    #[test]
+    fn recovers_most_of_the_genome() {
+        let (genome, run) = small_run(1, 900, 15);
+        let frac = pim_genome::stats::genome_fraction(&genome, &run.assembly.contigs, 15);
+        assert!(frac > 0.97, "genome fraction {frac}");
+    }
+
+    #[test]
+    fn matches_software_assembler_contig_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let genome = DnaSequence::random(&mut rng, 700);
+        let reads = ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng);
+        let mut pim = PimAssembler::new(PimAssemblerConfig::small_test(15));
+        let pim_run = pim.assemble(&reads).unwrap();
+        let soft = SoftwareAssembler::new(AssemblyConfig::new(15)).assemble(&reads);
+        // Identical k-mer spectra ⇒ identical graph sizes and total bases.
+        assert_eq!(pim_run.assembly.distinct_kmers, soft.distinct_kmers);
+        assert_eq!(pim_run.assembly.graph_nodes, soft.graph_nodes);
+        assert_eq!(pim_run.assembly.graph_edges, soft.graph_edges);
+        assert_eq!(pim_run.assembly.stats.total_length, soft.stats.total_length);
+    }
+
+    #[test]
+    fn report_has_stage_breakdown() {
+        let (_, run) = small_run(3, 500, 13);
+        let r = &run.report;
+        assert!(r.hashmap.wall_s > 0.0);
+        assert!(r.debruijn.wall_s > 0.0);
+        assert!(r.traverse.wall_s > 0.0);
+        // Hashmap dominates (the paper's >80% claim for stages 1–2).
+        assert!(r.hashmap.wall_s > r.traverse.wall_s);
+        assert!(r.power_w > 0.0 && r.energy_j > 0.0);
+        assert!((0.0..=100.0).contains(&r.mbr_percent));
+    }
+
+    #[test]
+    fn workload_measures_probe_behaviour() {
+        let (_, run) = small_run(4, 600, 13);
+        let w = &run.report.workload;
+        assert_eq!(w.k, 13);
+        assert!(w.avg_probes_per_kmer >= 1.0);
+        assert_eq!(w.total_kmers, run.hash_stats.inserted_total);
+    }
+
+    #[test]
+    fn extrapolation_scales_to_seconds() {
+        let (_, run) = small_run(5, 500, 16);
+        let chr14 = run.report.extrapolate_chr14();
+        assert!(chr14.total_s() > 1.0 && chr14.total_s() < 500.0, "{}", chr14.total_s());
+    }
+
+    #[test]
+    fn simplification_prunes_noisy_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(70);
+        let genome = DnaSequence::random(&mut rng, 1000);
+        let reads =
+            ReadSimulator::new(70, 30.0).with_error_rate(0.003).simulate(&genome, &mut rng);
+        let raw = PimAssembler::new(PimAssemblerConfig::small_test(15).with_hash_subarrays(16))
+            .assemble(&reads)
+            .unwrap();
+        let clean = PimAssembler::new(
+            PimAssemblerConfig::small_test(15).with_hash_subarrays(16).with_simplification(30),
+        )
+        .assemble(&reads)
+        .unwrap();
+        assert!(clean.assembly.graph_edges < raw.assembly.graph_edges);
+        assert_eq!(clean.partitioning.total_edges(), clean.assembly.graph_edges);
+        let frac = pim_genome::stats::genome_fraction(&genome, &clean.assembly.contigs, 15);
+        assert!(frac > 0.95, "fraction {frac}");
+    }
+
+    #[test]
+    fn partitioning_is_reported() {
+        let (_, run) = small_run(6, 500, 13);
+        assert_eq!(run.partitioning.total_edges(), run.assembly.graph_edges);
+    }
+}

@@ -1,0 +1,150 @@
+//! Canonical AAP programs.
+//!
+//! The §II-B software support expresses every bulk operation as an AAP
+//! sequence; these constructors build the canonical sequences as
+//! [`InstructionStream`] programs a host runtime would emit, executable via
+//! [`crate::exec::StreamExecutor`].
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::sense_amp::SaMode;
+
+use crate::isa::{AapInstruction, InstructionStream};
+
+/// The canonical XNOR program: RowClone both operands into compute rows,
+/// then one two-source AAP — the paper's 3-command comparison.
+pub fn xnor_program(
+    subarray: SubarrayId,
+    a: RowAddr,
+    b: RowAddr,
+    dst: RowAddr,
+    x1: RowAddr,
+    x2: RowAddr,
+    row_bits: usize,
+) -> InstructionStream {
+    [
+        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
+        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
+        AapInstruction::TwoSrc { subarray, srcs: [x1, x2], dst, mode: SaMode::Xnor, size: row_bits },
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The canonical full-adder program over rows `a + b + c`: latch the carry
+/// operand via `TRA(c, 0, c)`, produce the sum through the latch, then the
+/// carry via `TRA(a, b, c)` — 11 commands total (Fig. 8's per-slice step).
+#[allow(clippy::too_many_arguments)] // one parameter per hardware row operand
+pub fn full_adder_program(
+    subarray: SubarrayId,
+    a: RowAddr,
+    b: RowAddr,
+    c: RowAddr,
+    zero: RowAddr,
+    sum_dst: RowAddr,
+    carry_dst: RowAddr,
+    x: [RowAddr; 3],
+    row_bits: usize,
+) -> InstructionStream {
+    let [x1, x2, x3] = x;
+    [
+        // Latch c.
+        AapInstruction::Copy { subarray, src: c, dst: x1, size: row_bits },
+        AapInstruction::Copy { subarray, src: zero, dst: x2, size: row_bits },
+        AapInstruction::Copy { subarray, src: c, dst: x3, size: row_bits },
+        AapInstruction::ThreeSrc { subarray, srcs: [x1, x2, x3], dst: sum_dst, size: row_bits },
+        // Sum cycle.
+        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
+        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
+        AapInstruction::TwoSrc { subarray, srcs: [x1, x2], dst: sum_dst, mode: SaMode::CarrySum, size: row_bits },
+        // Carry cycle.
+        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
+        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
+        AapInstruction::Copy { subarray, src: c, dst: x3, size: row_bits },
+        AapInstruction::ThreeSrc { subarray, srcs: [x1, x2, x3], dst: carry_dst, size: row_bits },
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StreamExecutor;
+    use crate::pim_add::PimAdder;
+    use pim_dram::bitrow::BitRow;
+    use pim_dram::controller::Controller;
+    use pim_dram::geometry::DramGeometry;
+
+    fn setup() -> (Controller, SubarrayId) {
+        let ctrl = Controller::new(DramGeometry::paper_assembly());
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        (ctrl, id)
+    }
+
+    #[test]
+    fn xnor_program_is_three_commands_and_correct() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        ctrl.write_row(id, 1, &a).unwrap();
+        ctrl.write_row(id, 2, &b).unwrap();
+        let program = xnor_program(
+            id,
+            RowAddr(1),
+            RowAddr(2),
+            RowAddr(9),
+            ctrl.compute_row(0),
+            ctrl.compute_row(1),
+            cols,
+        );
+        assert_eq!(program.len(), 3);
+        assert_eq!(program.type_counts(), (2, 1, 0));
+        StreamExecutor::execute_stream(&mut ctrl, &program).unwrap();
+        assert_eq!(ctrl.peek_row(id, 9).unwrap(), a.xnor(&b));
+    }
+
+    #[test]
+    fn full_adder_program_matches_pim_adder() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        let c = BitRow::from_fn(cols, |i| i % 5 == 0);
+
+        // Path 1: the stream program.
+        let (mut ctrl1, id1) = setup();
+        for (row, data) in [(1, &a), (2, &b), (3, &c)] {
+            ctrl1.write_row(id1, row, data).unwrap();
+        }
+        ctrl1.write_row(id1, 4, &BitRow::zeros(cols)).unwrap();
+        let program = full_adder_program(
+            id1,
+            RowAddr(1),
+            RowAddr(2),
+            RowAddr(3),
+            RowAddr(4),
+            RowAddr(10),
+            RowAddr(11),
+            [ctrl1.compute_row(0), ctrl1.compute_row(1), ctrl1.compute_row(2)],
+            cols,
+        );
+        StreamExecutor::execute_stream(&mut ctrl1, &program).unwrap();
+
+        // Path 2: the direct PimAdder call.
+        let (mut ctrl2, id2) = setup();
+        for (row, data) in [(1, &a), (2, &b), (3, &c)] {
+            ctrl2.write_row(id2, row, data).unwrap();
+        }
+        ctrl2.write_row(id2, 4, &BitRow::zeros(cols)).unwrap();
+        PimAdder::full_add(&mut ctrl2, id2, RowAddr(1), RowAddr(2), RowAddr(3), RowAddr(4), RowAddr(10), RowAddr(11))
+            .unwrap();
+
+        // Identical results AND identical command accounting.
+        assert_eq!(ctrl1.peek_row(id1, 10).unwrap(), ctrl2.peek_row(id2, 10).unwrap());
+        assert_eq!(ctrl1.peek_row(id1, 11).unwrap(), ctrl2.peek_row(id2, 11).unwrap());
+        let (s1, s2) = (ctrl1.stats(), ctrl2.stats());
+        assert_eq!(s1.aap, s2.aap);
+        assert_eq!(s1.aap2, s2.aap2);
+        assert_eq!(s1.aap3, s2.aap3);
+    }
+}

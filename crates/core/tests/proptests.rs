@@ -1,0 +1,101 @@
+//! Property-based tests for the PIM-Assembler core: the in-memory
+//! machinery must agree with software semantics on arbitrary inputs.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pim_assembler::hashmap_stage::PimHashTable;
+use pim_assembler::mapping::KmerMapper;
+use pim_assembler::pim_add::{PimAdder, ScratchSpace};
+use pim_dram::address::RowAddr;
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+use pim_dram::geometry::DramGeometry;
+use pim_genome::base::DnaBase;
+use pim_genome::hash_table::KmerCounter;
+use pim_genome::kmer::KmerIter;
+use pim_genome::sequence::DnaSequence;
+
+fn dna(min: usize, max: usize) -> impl Strategy<Value = DnaSequence> {
+    proptest::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| codes.into_iter().map(DnaBase::from_code).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pim_table_counts_match_software(seq in dna(30, 200), k in 5usize..=13) {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let mut table = PimHashTable::new(KmerMapper::new(&g, 4, 8));
+        let mut soft = KmerCounter::new(k).unwrap();
+        for kmer in KmerIter::new(&seq, k).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+            soft.insert(kmer);
+        }
+        let scanned = table.scan(&mut ctrl).unwrap();
+        prop_assert_eq!(scanned.len(), soft.distinct());
+        for (kmer, count) in scanned {
+            prop_assert_eq!(count, soft.count(&kmer));
+        }
+    }
+
+    #[test]
+    fn column_sum_matches_software_sums(n_rows in 1usize..14, seed in 0u64..500) {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        let cols = g.cols;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut expected = vec![0u64; cols];
+        let mut rows = Vec::new();
+        for r in 0..n_rows {
+            let bits = BitRow::from_fn(cols, |_| rand::Rng::gen_bool(&mut rng, 0.5));
+            for (j, e) in expected.iter_mut().enumerate() {
+                *e += bits.get(j) as u64;
+            }
+            ctrl.write_row(id, r, &bits).unwrap();
+            rows.push(RowAddr(r));
+        }
+        ctrl.write_row(id, 40, &BitRow::zeros(cols)).unwrap();
+        let mut scratch = ScratchSpace::new(50, 500);
+        let planes = PimAdder::column_sum(&mut ctrl, id, &rows, RowAddr(40), &mut scratch).unwrap();
+        prop_assert_eq!(PimAdder::decode_columns(&planes), expected);
+    }
+
+    #[test]
+    fn full_add_is_exact_for_all_row_patterns(pa in 0u64..1024, pb in 0u64..1024, pc in 0u64..1024) {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        let cols = g.cols;
+        let a = BitRow::from_fn(cols, |i| (pa >> (i % 10)) & 1 == 1);
+        let b = BitRow::from_fn(cols, |i| (pb >> (i % 10)) & 1 == 1);
+        let c = BitRow::from_fn(cols, |i| (pc >> (i % 10)) & 1 == 1);
+        ctrl.write_row(id, 1, &a).unwrap();
+        ctrl.write_row(id, 2, &b).unwrap();
+        ctrl.write_row(id, 3, &c).unwrap();
+        ctrl.write_row(id, 4, &BitRow::zeros(cols)).unwrap();
+        PimAdder::full_add(&mut ctrl, id, RowAddr(1), RowAddr(2), RowAddr(3), RowAddr(4), RowAddr(10), RowAddr(11))
+            .unwrap();
+        prop_assert_eq!(ctrl.peek_row(id, 10).unwrap(), a.xor(&b).xor(&c));
+        prop_assert_eq!(ctrl.peek_row(id, 11).unwrap(), BitRow::maj3(&a, &b, &c));
+    }
+
+    #[test]
+    fn mapper_homes_are_stable_and_in_range(seq in dna(16, 16)) {
+        let g = DramGeometry::paper_assembly();
+        let mapper = KmerMapper::new(&g, 8, 8);
+        let kmer = pim_genome::Kmer::from_sequence(&seq, 0, 16).unwrap();
+        let h1 = mapper.home(&kmer);
+        let h2 = mapper.home(&kmer);
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1.0 < 8);
+        prop_assert!(h1.1 < mapper.layout().kmer_rows());
+        // Row images decode back to the k-mer bits.
+        let img = mapper.row_image(&kmer, g.cols);
+        prop_assert_eq!(img.extract(0, 32).to_u64(), kmer.packed());
+    }
+}

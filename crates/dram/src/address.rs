@@ -1,0 +1,138 @@
+//! Addressing types for the DRAM hierarchy.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::geometry::DramGeometry;
+
+/// Identifies one computational sub-array within the memory group.
+///
+/// Handles are validated against a [`DramGeometry`] at creation time (see
+/// [`SubarrayId::new`]) so downstream code can index without re-checking.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{address::SubarrayId, geometry::DramGeometry};
+///
+/// let g = DramGeometry::tiny();
+/// let id = SubarrayId::new(&g, 0, 1, 1, 0)?;
+/// assert_eq!(id.bank, 1);
+/// # Ok::<(), pim_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubarrayId {
+    /// Chip index.
+    pub chip: usize,
+    /// Bank index within the chip.
+    pub bank: usize,
+    /// MAT index within the bank.
+    pub mat: usize,
+    /// Sub-array index within the MAT.
+    pub subarray: usize,
+}
+
+impl SubarrayId {
+    /// Creates a validated sub-array handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DramError::AddressOutOfRange`] if any coordinate
+    /// exceeds the geometry.
+    pub fn new(geometry: &DramGeometry, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<Self> {
+        geometry.check_coords(chip, bank, mat, subarray)?;
+        Ok(SubarrayId { chip, bank, mat, subarray })
+    }
+
+    /// Flattens the handle to a linear index in row-major
+    /// (chip, bank, mat, subarray) order.
+    pub fn linear_index(&self, geometry: &DramGeometry) -> usize {
+        ((self.chip * geometry.banks_per_chip + self.bank) * geometry.mats_per_bank + self.mat)
+            * geometry.subarrays_per_mat
+            + self.subarray
+    }
+
+    /// Reconstructs a handle from a linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= geometry.total_subarrays()`.
+    pub fn from_linear_index(geometry: &DramGeometry, index: usize) -> Self {
+        assert!(index < geometry.total_subarrays(), "linear sub-array index out of range");
+        let subarray = index % geometry.subarrays_per_mat;
+        let rest = index / geometry.subarrays_per_mat;
+        let mat = rest % geometry.mats_per_bank;
+        let rest = rest / geometry.mats_per_bank;
+        let bank = rest % geometry.banks_per_chip;
+        let chip = rest / geometry.banks_per_chip;
+        SubarrayId { chip, bank, mat, subarray }
+    }
+}
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}b{}m{}s{}", self.chip, self.bank, self.mat, self.subarray)
+    }
+}
+
+/// A row index within a sub-array, wrapped for type safety against column or
+/// linear indices.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::address::RowAddr;
+///
+/// let r = RowAddr(42);
+/// assert_eq!(r.0, 42);
+/// assert_eq!(r.to_string(), "r42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RowAddr(pub usize);
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for RowAddr {
+    fn from(v: usize) -> Self {
+        RowAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_roundtrip() {
+        let g = DramGeometry::tiny();
+        for i in 0..g.total_subarrays() {
+            let id = SubarrayId::from_linear_index(&g, i);
+            assert_eq!(id.linear_index(&g), i);
+        }
+    }
+
+    #[test]
+    fn new_validates() {
+        let g = DramGeometry::tiny();
+        assert!(SubarrayId::new(&g, 0, 0, 0, 0).is_ok());
+        assert!(SubarrayId::new(&g, 1, 0, 0, 0).is_err());
+        assert!(SubarrayId::new(&g, 0, 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let id = SubarrayId { chip: 0, bank: 3, mat: 1, subarray: 7 };
+        assert_eq!(id.to_string(), "c0b3m1s7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_linear_index_bounds() {
+        let g = DramGeometry::tiny();
+        let _ = SubarrayId::from_linear_index(&g, g.total_subarrays());
+    }
+}

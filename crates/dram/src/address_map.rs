@@ -1,0 +1,172 @@
+//! Physical-address translation.
+//!
+//! The controller's `c_addr`/`r_addr` paths (Fig. 1a) decode flat physical
+//! addresses into (chip, bank, MAT, sub-array, row, column) coordinates.
+//! The interleaving order decides which structures consecutive addresses
+//! touch — bank-interleaved layouts let streaming accesses overlap row
+//! activations across banks, which is what the AAP pipelines exploit.
+
+use crate::address::SubarrayId;
+use crate::geometry::DramGeometry;
+
+/// Where a flat physical bit-address lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// The sub-array.
+    pub subarray: SubarrayId,
+    /// Row within the sub-array.
+    pub row: usize,
+    /// Column (bit) within the row.
+    pub col: usize,
+}
+
+/// Address interleaving policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interleave {
+    /// Row-major: fill a whole sub-array before moving to the next
+    /// (maximizes locality; serializes on one bank).
+    #[default]
+    RowMajor,
+    /// Bank-interleaved: consecutive rows rotate across banks
+    /// (maximizes activation overlap for streaming).
+    BankInterleaved,
+}
+
+/// Translates flat bit addresses under a geometry and policy.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::address_map::{AddressMap, Interleave};
+/// use pim_dram::geometry::DramGeometry;
+///
+/// let map = AddressMap::new(DramGeometry::tiny(), Interleave::RowMajor);
+/// let loc = map.decode(0).unwrap();
+/// assert_eq!(loc.row, 0);
+/// assert_eq!(loc.col, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    geometry: DramGeometry,
+    interleave: Interleave,
+}
+
+impl AddressMap {
+    /// Creates a map for the geometry and policy.
+    pub fn new(geometry: DramGeometry, interleave: Interleave) -> Self {
+        AddressMap { geometry, interleave }
+    }
+
+    /// Total addressable bits.
+    pub fn capacity_bits(&self) -> u128 {
+        self.geometry.capacity_bits()
+    }
+
+    /// Decodes a flat bit address, or `None` beyond capacity.
+    pub fn decode(&self, addr: u128) -> Option<Location> {
+        if addr >= self.capacity_bits() {
+            return None;
+        }
+        let g = &self.geometry;
+        let col = (addr % g.cols as u128) as usize;
+        let flat_row = (addr / g.cols as u128) as usize; // global row index
+        let rows_per_subarray = g.rows;
+        let (linear_subarray, row) = match self.interleave {
+            Interleave::RowMajor => (flat_row / rows_per_subarray, flat_row % rows_per_subarray),
+            Interleave::BankInterleaved => {
+                // Rotate consecutive rows across banks: the bank index is the
+                // fastest-varying coordinate after the row offset.
+                let banks = g.chips * g.banks_per_chip;
+                let per_bank = g.mats_per_bank * g.subarrays_per_mat;
+                let bank = flat_row % banks;
+                let within = flat_row / banks;
+                let sub_in_bank = within / rows_per_subarray;
+                let row = within % rows_per_subarray;
+                (bank * per_bank + sub_in_bank, row)
+            }
+        };
+        if linear_subarray >= g.total_subarrays() {
+            return None;
+        }
+        Some(Location { subarray: SubarrayId::from_linear_index(g, linear_subarray), row, col })
+    }
+
+    /// Encodes a location back to its flat bit address.
+    pub fn encode(&self, loc: &Location) -> u128 {
+        let g = &self.geometry;
+        let linear_subarray = loc.subarray.linear_index(g);
+        let flat_row = match self.interleave {
+            Interleave::RowMajor => linear_subarray * g.rows + loc.row,
+            Interleave::BankInterleaved => {
+                let banks = g.chips * g.banks_per_chip;
+                let per_bank = g.mats_per_bank * g.subarrays_per_mat;
+                let bank = linear_subarray / per_bank;
+                let sub_in_bank = linear_subarray % per_bank;
+                (sub_in_bank * g.rows + loc.row) * banks + bank
+            }
+        };
+        flat_row as u128 * g.cols as u128 + loc.col as u128
+    }
+
+    /// Distinct banks touched by a contiguous range of `rows` whole rows
+    /// starting at flat row address `start_row` — the activation-overlap
+    /// opportunity of a streaming access.
+    pub fn banks_touched(&self, start_row: usize, rows: usize) -> usize {
+        let mut banks = std::collections::HashSet::new();
+        for r in start_row..start_row + rows {
+            if let Some(loc) = self.decode(r as u128 * self.geometry.cols as u128) {
+                banks.insert((loc.subarray.chip, loc.subarray.bank));
+            }
+        }
+        banks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_encode_roundtrip_both_policies() {
+        let g = DramGeometry::tiny();
+        for pol in [Interleave::RowMajor, Interleave::BankInterleaved] {
+            let map = AddressMap::new(g, pol);
+            // Sample across the whole range.
+            let cap = map.capacity_bits();
+            for addr in (0..cap).step_by(977) {
+                let loc = map.decode(addr).unwrap_or_else(|| panic!("{pol:?}: {addr} undecodable"));
+                assert_eq!(map.encode(&loc), addr, "{pol:?} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let map = AddressMap::new(DramGeometry::tiny(), Interleave::RowMajor);
+        assert!(map.decode(map.capacity_bits()).is_none());
+    }
+
+    #[test]
+    fn row_major_keeps_streams_in_one_bank() {
+        let map = AddressMap::new(DramGeometry::tiny(), Interleave::RowMajor);
+        // 8 consecutive rows stay inside one sub-array (32-row sub-arrays).
+        assert_eq!(map.banks_touched(0, 8), 1);
+    }
+
+    #[test]
+    fn bank_interleave_spreads_streams() {
+        let g = DramGeometry::tiny(); // 2 banks
+        let map = AddressMap::new(g, Interleave::BankInterleaved);
+        assert_eq!(map.banks_touched(0, 8), 2);
+    }
+
+    #[test]
+    fn consecutive_bits_share_a_row() {
+        let map = AddressMap::new(DramGeometry::tiny(), Interleave::RowMajor);
+        let a = map.decode(10).unwrap();
+        let b = map.decode(11).unwrap();
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.subarray, b.subarray);
+        assert_eq!(b.col, a.col + 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Packed bit vectors representing the content of one DRAM row.
+//!
+//! A [`BitRow`] is a fixed-width sequence of bits stored in 64-bit words.
+//! It supports the bulk bitwise operations the PIM-Assembler sense amplifier
+//! realizes in-array (XNOR2, 3-input majority, ...) so that the functional
+//! simulator can execute in-memory operations bit-accurately.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-width packed bit vector; the content of one DRAM row.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::bitrow::BitRow;
+///
+/// let a = BitRow::from_bits([true, false, true, true]);
+/// let b = BitRow::from_bits([true, true, false, true]);
+/// assert_eq!(a.xnor(&b).to_bit_vec(), vec![true, false, false, true]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    /// Creates an all-zero row of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitRow { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates an all-one row of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut row = BitRow { len, words: vec![u64::MAX; len.div_ceil(WORD_BITS)] };
+        row.mask_tail();
+        row
+    }
+
+    /// Creates a row from an iterator of bits (index 0 first).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut row = BitRow::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            row.set(i, *b);
+        }
+        row
+    }
+
+    /// Creates a row of `len` bits where bit `i` is `f(i)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut row = BitRow::zeros(len);
+        for i in 0..len {
+            row.set(i, f(i));
+        }
+        row
+    }
+
+    /// Creates a row from the low bits of `value` (LSB = bit 0), `len` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut row = BitRow::zeros(len);
+        if len > 0 {
+            row.words[0] = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        }
+        row
+    }
+
+    /// Interprets the first `min(len, 64)` bits as a little-endian integer.
+    pub fn to_u64(&self) -> u64 {
+        if self.words.is_empty() {
+            return 0;
+        }
+        let mut v = self.words[0];
+        if self.len < 64 {
+            v &= (1u64 << self.len) - 1;
+        }
+        v
+    }
+
+    /// Number of bits in the row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range ({} bits)", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range ({} bits)", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Bitwise AND with another row of equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (this and all binary ops below).
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise XNOR — the single-cycle comparison primitive of the paper.
+    pub fn xnor(&self, other: &Self) -> Self {
+        let mut out = self.zip_with(other, |a, b| !(a ^ b));
+        out.mask_tail();
+        out
+    }
+
+    /// Bitwise 3-input majority — the TRA (triple-row-activation) primitive
+    /// used for in-memory carry generation.
+    pub fn maj3(a: &Self, b: &Self, c: &Self) -> Self {
+        assert_eq!(a.len, b.len, "maj3 width mismatch");
+        assert_eq!(a.len, c.len, "maj3 width mismatch");
+        let mut out = BitRow::zeros(a.len);
+        for i in 0..a.words.len() {
+            let (x, y, z) = (a.words[i], b.words[i], c.words[i]);
+            out.words[i] = (x & y) | (x & z) | (y & z);
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is one.
+    pub fn all_ones(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Whether every bit is zero.
+    pub fn all_zeros(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Copies `src` into `self` starting at bit offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn splice(&mut self, offset: usize, src: &BitRow) {
+        assert!(offset + src.len <= self.len, "splice out of range");
+        for i in 0..src.len {
+            self.set(offset + i, src.get(i));
+        }
+    }
+
+    /// Extracts `len` bits starting at `offset` into a new row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > self.len()`.
+    pub fn extract(&self, offset: usize, len: usize) -> BitRow {
+        assert!(offset + len <= self.len, "extract out of range");
+        BitRow::from_fn(len, |i| self.get(offset + i))
+    }
+
+    /// Collects the bits into a `Vec<bool>` (index 0 first).
+    pub fn to_bit_vec(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Raw 64-bit backing words (tail bits beyond `len` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.len, other.len, "bit row width mismatch");
+        let mut out = BitRow::zeros(self.len);
+        for i in 0..self.words.len() {
+            out.words[i] = f(self.words[i], other.words[i]);
+        }
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRow[{}; ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitRow {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitRow::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitRow::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.all_zeros());
+        let o = BitRow::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.all_ones());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = BitRow::zeros(256);
+        r.set(0, true);
+        r.set(63, true);
+        r.set(64, true);
+        r.set(255, true);
+        assert!(r.get(0) && r.get(63) && r.get(64) && r.get(255));
+        assert!(!r.get(1) && !r.get(128));
+        assert_eq!(r.count_ones(), 4);
+    }
+
+    #[test]
+    fn xnor_truth_table() {
+        let a = BitRow::from_bits([false, false, true, true]);
+        let b = BitRow::from_bits([false, true, false, true]);
+        assert_eq!(a.xnor(&b).to_bit_vec(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn maj3_truth_table() {
+        // All eight input combinations across eight bit positions.
+        let a = BitRow::from_bits([false, false, false, false, true, true, true, true]);
+        let b = BitRow::from_bits([false, false, true, true, false, false, true, true]);
+        let c = BitRow::from_bits([false, true, false, true, false, true, false, true]);
+        let m = BitRow::maj3(&a, &b, &c);
+        assert_eq!(
+            m.to_bit_vec(),
+            vec![false, false, false, true, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn not_masks_tail() {
+        let r = BitRow::zeros(3).not();
+        assert_eq!(r.count_ones(), 3);
+        assert_eq!(r.as_words()[0], 0b111);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let r = BitRow::from_u64(0xDEAD_BEEF, 48);
+        assert_eq!(r.to_u64(), 0xDEAD_BEEF);
+        assert_eq!(r.len(), 48);
+    }
+
+    #[test]
+    fn splice_extract_roundtrip() {
+        let mut r = BitRow::zeros(64);
+        let payload = BitRow::from_u64(0b101101, 6);
+        r.splice(10, &payload);
+        assert_eq!(r.extract(10, 6), payload);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let r = BitRow::from_bits([true, false, true]);
+        assert_eq!(r.to_string(), "101");
+        assert!(format!("{r:?}").contains("101"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn binary_op_width_mismatch_panics() {
+        let _ = BitRow::zeros(4).and(&BitRow::zeros(5));
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let r: BitRow = [true, true, false].into_iter().collect();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.count_ones(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! The PIM-DRAM command set.
+//!
+//! PIM-Assembler exposes three `AAP` instruction shapes (§II-B *Software
+//! Support*), differing only in the number of activated source rows:
+//!
+//! 1. `AAP(src, des, size)` — copy (RowClone-FPM),
+//! 2. `AAP(src1, src2, des, size)` — two-row activation (XNOR/NOR/NAND),
+//! 3. `AAP(src1, src2, src3, des, size)` — Ambit TRA (majority / carry).
+//!
+//! Plain `Read`/`Write` transfer a row between the array and the host
+//! through the global row buffer; `DpuOp` accounts a MAT-level digital
+//! processing-unit operation (e.g. the AND reduction of PIM_XNOR results).
+
+use std::fmt;
+
+use crate::address::RowAddr;
+use crate::energy::EnergyParams;
+use crate::sense_amp::SaMode;
+use crate::timing::TimingParams;
+
+/// One command as issued by the controller to a sub-array.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{command::DramCommand, address::RowAddr, sense_amp::SaMode};
+///
+/// let c = DramCommand::Aap2 {
+///     srcs: [RowAddr(1016), RowAddr(1017)],
+///     dst: RowAddr(20),
+///     mode: SaMode::Xnor,
+/// };
+/// assert_eq!(c.mnemonic(), "AAP2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Read one row to the host through the global row buffer.
+    Read {
+        /// Source row.
+        src: RowAddr,
+    },
+    /// Write one row from the host through the global row buffer.
+    Write {
+        /// Destination row.
+        dst: RowAddr,
+    },
+    /// Type-1 AAP: in-array row copy (RowClone-FPM).
+    Aap {
+        /// Source row.
+        src: RowAddr,
+        /// Destination row.
+        dst: RowAddr,
+    },
+    /// Type-2 AAP: simultaneous two-row activation, SA evaluates `mode`,
+    /// result written back to `dst`.
+    Aap2 {
+        /// The two simultaneously activated compute rows.
+        srcs: [RowAddr; 2],
+        /// Destination row.
+        dst: RowAddr,
+        /// SA mode in effect.
+        mode: SaMode,
+    },
+    /// Type-3 AAP: Ambit-style triple-row activation (majority), result
+    /// written back to `dst`. With [`SaMode::CarrySum`] the SA additionally
+    /// produces the Sum bit from the latched previous carry.
+    Aap3 {
+        /// The three simultaneously activated compute rows.
+        srcs: [RowAddr; 3],
+        /// Destination row.
+        dst: RowAddr,
+        /// SA mode in effect.
+        mode: SaMode,
+    },
+    /// One DPU scalar operation in the MAT-level digital processing unit.
+    DpuOp,
+}
+
+impl DramCommand {
+    /// Short mnemonic for traces and statistics keys.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Aap { .. } => "AAP",
+            DramCommand::Aap2 { .. } => "AAP2",
+            DramCommand::Aap3 { .. } => "AAP3",
+            DramCommand::DpuOp => "DPU",
+        }
+    }
+
+    /// Latency of the command in nanoseconds for a row of `cols` bits.
+    pub fn latency_ns(&self, timing: &TimingParams, cols: usize) -> f64 {
+        match self {
+            DramCommand::Read { .. } => timing.row_read_ns(cols),
+            DramCommand::Write { .. } => timing.row_write_ns(cols),
+            // All AAP shapes take the same tRAS + tRP window: the extra
+            // source rows are raised in the same activation (that is the
+            // point of the modified row decoder).
+            DramCommand::Aap { .. } | DramCommand::Aap2 { .. } | DramCommand::Aap3 { .. } => timing.aap_ns(),
+            // DPU scalar ops run at the array command clock.
+            DramCommand::DpuOp => timing.t_ck_ns,
+        }
+    }
+
+    /// Energy of the command in nanojoules for a row of `cols` bits.
+    pub fn energy_nj(&self, energy: &EnergyParams, cols: usize) -> f64 {
+        match self {
+            DramCommand::Read { .. } => energy.row_read_nj(cols),
+            DramCommand::Write { .. } => energy.row_write_nj(cols),
+            DramCommand::Aap { .. } => energy.aap_nj(),
+            DramCommand::Aap2 { .. } => energy.aap2_nj(),
+            DramCommand::Aap3 { .. } => energy.aap3_nj(),
+            DramCommand::DpuOp => energy.dpu_op_nj,
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Read { src } => write!(f, "RD {src}"),
+            DramCommand::Write { dst } => write!(f, "WR {dst}"),
+            DramCommand::Aap { src, dst } => write!(f, "AAP {src} -> {dst}"),
+            DramCommand::Aap2 { srcs, dst, mode } => {
+                write!(f, "AAP2[{mode:?}] {},{} -> {dst}", srcs[0], srcs[1])
+            }
+            DramCommand::Aap3 { srcs, dst, mode } => {
+                write!(f, "AAP3[{mode:?}] {},{},{} -> {dst}", srcs[0], srcs[1], srcs[2])
+            }
+            DramCommand::DpuOp => write!(f, "DPU"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aap_shapes_share_latency() {
+        let t = TimingParams::ddr4_2133();
+        let a = DramCommand::Aap { src: RowAddr(0), dst: RowAddr(1) };
+        let a2 = DramCommand::Aap2 { srcs: [RowAddr(1016), RowAddr(1017)], dst: RowAddr(1), mode: SaMode::Xnor };
+        let a3 = DramCommand::Aap3 {
+            srcs: [RowAddr(1016), RowAddr(1017), RowAddr(1018)],
+            dst: RowAddr(1),
+            mode: SaMode::Carry,
+        };
+        assert_eq!(a.latency_ns(&t, 256), a2.latency_ns(&t, 256));
+        assert_eq!(a2.latency_ns(&t, 256), a3.latency_ns(&t, 256));
+    }
+
+    #[test]
+    fn energies_order_by_activated_rows() {
+        let e = EnergyParams::ddr4_45nm();
+        let a = DramCommand::Aap { src: RowAddr(0), dst: RowAddr(1) }.energy_nj(&e, 256);
+        let a2 = DramCommand::Aap2 { srcs: [RowAddr(0), RowAddr(1)], dst: RowAddr(2), mode: SaMode::Xnor }
+            .energy_nj(&e, 256);
+        let a3 = DramCommand::Aap3 {
+            srcs: [RowAddr(0), RowAddr(1), RowAddr(2)],
+            dst: RowAddr(3),
+            mode: SaMode::Carry,
+        }
+        .energy_nj(&e, 256);
+        assert!(a < a2 && a2 < a3);
+    }
+
+    #[test]
+    fn display_shows_routing() {
+        let c = DramCommand::Aap { src: RowAddr(5), dst: RowAddr(9) };
+        assert_eq!(c.to_string(), "AAP r5 -> r9");
+    }
+
+    #[test]
+    fn dpu_is_fast_and_cheap() {
+        let t = TimingParams::ddr4_2133();
+        let e = EnergyParams::ddr4_45nm();
+        let d = DramCommand::DpuOp;
+        assert!(d.latency_ns(&t, 256) < 2.0);
+        assert!(d.energy_nj(&e, 256) < 0.1);
+    }
+}

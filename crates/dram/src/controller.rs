@@ -1,0 +1,405 @@
+//! The PIM-Assembler memory controller (Ctrl in Fig. 1a).
+//!
+//! The controller is the single entry point through which software issues
+//! commands: it validates addresses, executes each command bit-accurately
+//! against the [`MemoryGroup`], and records latency/energy in
+//! [`CommandStats`]. The three AAP instruction types of §II-B map directly
+//! onto [`Controller::aap_copy`], [`Controller::aap2`], and
+//! [`Controller::aap3_carry`].
+
+use crate::address::{RowAddr, SubarrayId};
+use crate::bitrow::BitRow;
+use crate::command::DramCommand;
+use crate::energy::EnergyParams;
+use crate::error::Result;
+use crate::geometry::DramGeometry;
+use crate::hierarchy::MemoryGroup;
+use crate::sense_amp::SaMode;
+use crate::stats::CommandStats;
+use crate::timing::TimingParams;
+use crate::trace::CommandTrace;
+
+/// Executes commands against the memory group with full accounting.
+///
+/// See the crate-level example for a typical copy–copy–XNOR sequence.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    memory: MemoryGroup,
+    timing: TimingParams,
+    energy: EnergyParams,
+    stats: CommandStats,
+    trace: Option<CommandTrace>,
+}
+
+impl Controller {
+    /// Creates a controller with default DDR4-2133 / 45 nm parameters.
+    pub fn new(geometry: DramGeometry) -> Self {
+        Controller::with_params(geometry, TimingParams::default(), EnergyParams::default())
+    }
+
+    /// Creates a controller with explicit timing and energy parameters.
+    pub fn with_params(geometry: DramGeometry, timing: TimingParams, energy: EnergyParams) -> Self {
+        Controller {
+            memory: MemoryGroup::new(geometry),
+            timing,
+            energy,
+            stats: CommandStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables command tracing, keeping the most recent `capacity` commands
+    /// (see [`CommandTrace`]). Pass 0 to count drops without retaining.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(CommandTrace::new(capacity));
+    }
+
+    /// Disables tracing and returns the collected trace, if any.
+    pub fn take_trace(&mut self) -> Option<CommandTrace> {
+        self.trace.take()
+    }
+
+    /// The active trace, if tracing is enabled.
+    pub fn command_trace(&self) -> Option<&CommandTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        self.memory.geometry()
+    }
+
+    /// The timing parameters in effect.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The energy parameters in effect.
+    pub fn energy(&self) -> &EnergyParams {
+        &self.energy
+    }
+
+    /// Validated sub-array handle for (chip, bank, mat, subarray).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DramError::AddressOutOfRange`] on bad coordinates.
+    pub fn subarray_handle(&self, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<SubarrayId> {
+        SubarrayId::new(self.memory.geometry(), chip, bank, mat, subarray)
+    }
+
+    /// Address of compute row `i` (`x1..x8` ⇒ `i ∈ 0..8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn compute_row(&self, i: usize) -> RowAddr {
+        RowAddr(self.memory.geometry().compute_row(i))
+    }
+
+    /// Writes one row from the host.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing/width errors.
+    pub fn write_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
+        let row = row.into();
+        let cols = self.memory.geometry().cols;
+        self.memory.subarray_mut(id).write(row, data)?;
+        self.account(Some(id), &DramCommand::Write { dst: row }, cols);
+        Ok(())
+    }
+
+    /// Reads one row to the host.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn read_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>) -> Result<BitRow> {
+        let row = row.into();
+        let cols = self.memory.geometry().cols;
+        let data = self.memory.subarray_mut(id).read(row)?;
+        self.account(Some(id), &DramCommand::Read { src: row }, cols);
+        Ok(data)
+    }
+
+    /// Reads a row *without* charging a command (debug/verification view).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn peek_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>) -> Result<BitRow> {
+        self.memory.subarray_mut(id).read(row.into())
+    }
+
+    /// Writes a row *without* charging a command. Callers pair this with
+    /// [`Controller::record_synthetic`] when the physical transfer is an
+    /// in-DRAM movement whose cost differs from a host row write (e.g.
+    /// staging a k-mer from the sequence bank into a temp row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing/width errors.
+    pub fn poke_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
+        self.memory.subarray_mut(id).write(row.into(), data)
+    }
+
+    /// Type-1 AAP: in-array copy (RowClone-FPM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn aap_copy(&mut self, id: SubarrayId, src: impl Into<RowAddr>, dst: impl Into<RowAddr>) -> Result<()> {
+        let (src, dst) = (src.into(), dst.into());
+        let cols = self.memory.geometry().cols;
+        self.memory.subarray_mut(id).copy(src, dst)?;
+        self.account(Some(id), &DramCommand::Aap { src, dst }, cols);
+        Ok(())
+    }
+
+    /// Type-2 AAP: two-row activation evaluating `mode`, result to `dst`
+    /// (and destructively to the source compute rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder and addressing errors (sources must be compute
+    /// rows; see [`crate::subarray::Subarray::op2`]).
+    pub fn aap2(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<BitRow> {
+        let dst = dst.into();
+        let cols = self.memory.geometry().cols;
+        let out = self.memory.subarray_mut(id).op2(mode, srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap2 { srcs, dst, mode }, cols);
+        Ok(out)
+    }
+
+    /// Single-cycle in-memory XNOR2 (the comparison primitive).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Controller::aap2`].
+    pub fn aap2_xnor(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        self.aap2(id, SaMode::Xnor, srcs, dst)
+    }
+
+    /// Sum cycle of the in-memory adder: XOR of the two source rows and the
+    /// SA-latched carry from the previous [`Controller::aap3_carry`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Controller::aap2`].
+    pub fn aap2_sum(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        self.aap2(id, SaMode::CarrySum, srcs, dst)
+    }
+
+    /// Type-3 AAP (Ambit TRA): 3-input majority / carry, latched in the SA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder and addressing errors.
+    pub fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        let dst = dst.into();
+        let cols = self.memory.geometry().cols;
+        let out = self.memory.subarray_mut(id).op3_carry(srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap3 { srcs, dst, mode: SaMode::Carry }, cols);
+        Ok(out)
+    }
+
+    /// Clears a sub-array's SA carry latch (start of a new addition).
+    pub fn reset_latch(&mut self, id: SubarrayId) {
+        self.memory.subarray_mut(id).reset_latch();
+    }
+
+    /// Records one DPU scalar operation (MAT-level digital processing unit).
+    pub fn dpu_op(&mut self) {
+        let cols = self.memory.geometry().cols;
+        self.account(None, &DramCommand::DpuOp, cols);
+    }
+
+    /// Records `n` DPU scalar operations.
+    pub fn dpu_ops(&mut self, n: u64) {
+        for _ in 0..n {
+            self.dpu_op();
+        }
+    }
+
+    /// Records `count` synthetic commands of the given mnemonic without
+    /// executing them — used when a stage's traffic is accounted
+    /// analytically (e.g. degree accumulation of a graph too large for the
+    /// functional dense mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown mnemonic.
+    pub fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let cols = self.memory.geometry().cols;
+        let probe = match mnemonic {
+            "RD" => DramCommand::Read { src: RowAddr(0) },
+            "WR" => DramCommand::Write { dst: RowAddr(0) },
+            "AAP" => DramCommand::Aap { src: RowAddr(0), dst: RowAddr(0) },
+            "AAP2" => DramCommand::Aap2 { srcs: [RowAddr(0), RowAddr(1)], dst: RowAddr(0), mode: SaMode::Xnor },
+            "AAP3" => DramCommand::Aap3 {
+                srcs: [RowAddr(0), RowAddr(1), RowAddr(2)],
+                dst: RowAddr(0),
+                mode: SaMode::Carry,
+            },
+            "DPU" => DramCommand::DpuOp,
+            other => panic!("unknown command mnemonic {other:?}"),
+        };
+        let lat = probe.latency_ns(&self.timing, cols);
+        let en = probe.energy_nj(&self.energy, cols);
+        for _ in 0..count.min(1) {
+            // Record one to classify, then add the rest arithmetically.
+            self.stats.record(&probe, lat, en);
+        }
+        if count > 1 {
+            let extra = count - 1;
+            match mnemonic {
+                "RD" => self.stats.reads += extra,
+                "WR" => self.stats.writes += extra,
+                "AAP" => self.stats.aap += extra,
+                "AAP2" => self.stats.aap2 += extra,
+                "AAP3" => self.stats.aap3 += extra,
+                "DPU" => self.stats.dpu += extra,
+                _ => unreachable!(),
+            }
+            self.stats.serial_ns += lat * extra as f64;
+            self.stats.energy_nj += en * extra as f64;
+        }
+    }
+
+    /// Accumulated command statistics.
+    pub fn stats(&self) -> &CommandStats {
+        &self.stats
+    }
+
+    /// Takes and resets the statistics.
+    pub fn take_stats(&mut self) -> CommandStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Direct access to the memory group (for inspection in tests/tools).
+    pub fn memory(&self) -> &MemoryGroup {
+        &self.memory
+    }
+
+    fn account(&mut self, id: Option<SubarrayId>, cmd: &DramCommand, cols: usize) {
+        let lat = cmd.latency_ns(&self.timing, cols);
+        let en = cmd.energy_nj(&self.energy, cols);
+        self.stats.record(cmd, lat, en);
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.stats.serial_ns, id, *cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> (Controller, SubarrayId) {
+        let c = Controller::new(DramGeometry::tiny());
+        let id = c.subarray_handle(0, 0, 0, 0).unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn xnor_sequence_counts_commands() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        c.write_row(id, 1, &a).unwrap();
+        c.write_row(id, 2, &b).unwrap();
+        c.aap_copy(id, 1, c.compute_row(0)).unwrap();
+        c.aap_copy(id, 2, c.compute_row(1)).unwrap();
+        let out = c.aap2_xnor(id, [c.compute_row(0), c.compute_row(1)], 5).unwrap();
+        assert_eq!(out, a.xnor(&b));
+        let s = c.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.aap, 2);
+        assert_eq!(s.aap2, 1);
+        assert!(s.serial_ns > 0.0 && s.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn full_adder_through_controller() {
+        // Verify a complete ripple step: given rows A, B and carry-in row C,
+        // carry-out = MAJ(A,B,C), sum = A^B^C, as the paper sequences it:
+        // 1) TRA(A,B,C) latches the carry *and* smashes the compute rows, so
+        //    the controller re-copies A,B for the sum cycle.
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| (i / 2) % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| (i / 3) % 2 == 0);
+        let cin = BitRow::zeros(cols);
+        c.write_row(id, 1, &a).unwrap();
+        c.write_row(id, 2, &b).unwrap();
+        c.write_row(id, 3, &cin).unwrap();
+        let (x1, x2, x3) = (c.compute_row(0), c.compute_row(1), c.compute_row(2));
+        // Sum first (carry-in is latched zero after reset), then carry-out.
+        c.reset_latch(id);
+        c.aap_copy(id, 1, x1).unwrap();
+        c.aap_copy(id, 2, x2).unwrap();
+        let sum = c.aap2_sum(id, [x1, x2], 8).unwrap();
+        assert_eq!(sum, a.xor(&b).xor(&cin));
+        c.aap_copy(id, 1, x1).unwrap();
+        c.aap_copy(id, 2, x2).unwrap();
+        c.aap_copy(id, 3, x3).unwrap();
+        let carry = c.aap3_carry(id, [x1, x2, x3], 9).unwrap();
+        assert_eq!(carry, BitRow::maj3(&a, &b, &cin));
+    }
+
+    #[test]
+    fn peek_does_not_account() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        let before = *c.stats();
+        let _ = c.peek_row(id, 0).unwrap();
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn dpu_ops_accumulate() {
+        let (mut c, _) = ctrl();
+        c.dpu_ops(5);
+        assert_eq!(c.stats().dpu, 5);
+    }
+
+    #[test]
+    fn trace_records_issued_commands() {
+        let (mut c, id) = ctrl();
+        c.enable_trace(8);
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        c.aap_copy(id, 0, 1).unwrap();
+        c.dpu_op();
+        let trace = c.take_trace().unwrap();
+        assert_eq!(trace.len(), 3);
+        let kinds: Vec<&str> = trace.entries().map(|e| e.command.mnemonic()).collect();
+        assert_eq!(kinds, vec!["WR", "AAP", "DPU"]);
+        // DPU is global (no sub-array).
+        assert!(trace.entries().last().unwrap().subarray.is_none());
+        // Tracing disabled after take.
+        assert!(c.command_trace().is_none());
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+        let taken = c.take_stats();
+        assert_eq!(taken.writes, 1);
+        assert_eq!(c.stats().total_commands(), 0);
+    }
+}

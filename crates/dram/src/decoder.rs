@@ -1,0 +1,176 @@
+//! Row decoders: the regular decoder for the 1016 data rows and the
+//! modified row decoder (MRD) for the 8 compute rows.
+//!
+//! The MRD of Fig. 2a is a 3:8 decoder whose word-line drivers are extended
+//! by two transistors so that *two or three* compute rows can be raised in
+//! the same ACTIVATE — the paper's two-row activation (XNOR) and Ambit-style
+//! TRA (carry). Only the 8 compute rows `x1..x8` are wired to the MRD; data
+//! rows can only be activated one at a time.
+
+use crate::address::RowAddr;
+use crate::error::{DramError, Result};
+use crate::geometry::DramGeometry;
+
+/// Validates single-row activations against the sub-array row space.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{decoder::RowDecoder, geometry::DramGeometry, address::RowAddr};
+///
+/// let rd = RowDecoder::new(DramGeometry::tiny());
+/// assert!(rd.activate(RowAddr(0)).is_ok());
+/// assert!(rd.activate(RowAddr(1000)).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowDecoder {
+    geometry: DramGeometry,
+}
+
+impl RowDecoder {
+    /// Creates a decoder for the given geometry.
+    pub fn new(geometry: DramGeometry) -> Self {
+        RowDecoder { geometry }
+    }
+
+    /// Validates a single-row activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for rows beyond the sub-array.
+    pub fn activate(&self, row: RowAddr) -> Result<()> {
+        self.geometry.check_row(row.0)
+    }
+}
+
+/// The modified row decoder driving the compute rows, supporting
+/// simultaneous activation of 2 or 3 distinct compute rows.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{decoder::ModifiedRowDecoder, geometry::DramGeometry, address::RowAddr};
+///
+/// let g = DramGeometry::paper_assembly();
+/// let mrd = ModifiedRowDecoder::new(g);
+/// let x1 = RowAddr(g.compute_row(0));
+/// let x2 = RowAddr(g.compute_row(1));
+/// assert!(mrd.activate_pair([x1, x2]).is_ok());
+/// assert!(mrd.activate_pair([x1, x1]).is_err()); // duplicate row
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModifiedRowDecoder {
+    geometry: DramGeometry,
+}
+
+impl ModifiedRowDecoder {
+    /// Creates an MRD for the given geometry.
+    pub fn new(geometry: DramGeometry) -> Self {
+        ModifiedRowDecoder { geometry }
+    }
+
+    /// Validates a two-row simultaneous activation (XNOR/NOR/NAND).
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::NotComputeRow`] if either row is not one of `x1..x8`.
+    /// * [`DramError::DuplicateSourceRow`] if both rows are identical.
+    pub fn activate_pair(&self, rows: [RowAddr; 2]) -> Result<()> {
+        self.check_compute(&rows)?;
+        if rows[0] == rows[1] {
+            return Err(DramError::DuplicateSourceRow { row: rows[0].0 });
+        }
+        Ok(())
+    }
+
+    /// Validates a triple-row simultaneous activation (TRA carry).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModifiedRowDecoder::activate_pair`], extended to
+    /// three rows.
+    pub fn activate_triple(&self, rows: [RowAddr; 3]) -> Result<()> {
+        self.check_compute(&rows)?;
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if rows[i] == rows[j] {
+                    return Err(DramError::DuplicateSourceRow { row: rows[i].0 });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a general multi-row activation of `rows.len()` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BadActivationCount`] for counts other than 2 or
+    /// 3 (the only patterns the 3:8 MRD encodes), plus the per-row checks of
+    /// the fixed-arity methods.
+    pub fn activate_many(&self, rows: &[RowAddr]) -> Result<()> {
+        match rows.len() {
+            2 => self.activate_pair([rows[0], rows[1]]),
+            3 => self.activate_triple([rows[0], rows[1], rows[2]]),
+            n => Err(DramError::BadActivationCount { requested: n, supported: "2 or 3" }),
+        }
+    }
+
+    fn check_compute(&self, rows: &[RowAddr]) -> Result<()> {
+        for r in rows {
+            self.geometry.check_row(r.0)?;
+            if !self.geometry.is_compute_row(r.0) {
+                return Err(DramError::NotComputeRow { row: r.0 });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DramGeometry, ModifiedRowDecoder) {
+        let g = DramGeometry::paper_assembly();
+        (g, ModifiedRowDecoder::new(g))
+    }
+
+    #[test]
+    fn pair_requires_compute_rows() {
+        let (g, mrd) = setup();
+        let ok = mrd.activate_pair([RowAddr(g.compute_row(0)), RowAddr(g.compute_row(1))]);
+        assert!(ok.is_ok());
+        let bad = mrd.activate_pair([RowAddr(10), RowAddr(g.compute_row(1))]);
+        assert!(matches!(bad, Err(DramError::NotComputeRow { row: 10 })));
+    }
+
+    #[test]
+    fn triple_rejects_duplicates() {
+        let (g, mrd) = setup();
+        let x = |i| RowAddr(g.compute_row(i));
+        assert!(mrd.activate_triple([x(0), x(1), x(2)]).is_ok());
+        assert!(matches!(
+            mrd.activate_triple([x(0), x(1), x(0)]),
+            Err(DramError::DuplicateSourceRow { .. })
+        ));
+    }
+
+    #[test]
+    fn many_rejects_other_arities() {
+        let (g, mrd) = setup();
+        let x = |i| RowAddr(g.compute_row(i));
+        assert!(mrd.activate_many(&[x(0)]).is_err());
+        assert!(mrd.activate_many(&[x(0), x(1), x(2), x(3)]).is_err());
+        assert!(mrd.activate_many(&[x(0), x(1)]).is_ok());
+    }
+
+    #[test]
+    fn regular_decoder_accepts_all_rows() {
+        let g = DramGeometry::paper_assembly();
+        let rd = RowDecoder::new(g);
+        assert!(rd.activate(RowAddr(0)).is_ok());
+        assert!(rd.activate(RowAddr(1023)).is_ok());
+        assert!(rd.activate(RowAddr(1024)).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! DRAM energy parameters.
+//!
+//! Per-command energies are expressed in nanojoules per *sub-array* event.
+//! Constants are derived from the Rambus DRAM power model scaled to one
+//! 256-column sub-array segment at 45 nm, the same sources the paper feeds
+//! into its Cacti-based architectural simulator (§II-B). Absolute joules are
+//! less important than their ratios: every platform model in `pim-platforms`
+//! is built from these same constants, so cross-platform comparisons (Fig. 9b,
+//! Fig. 10) depend only on command counts × these shared costs.
+
+/// Per-command energy and static-power parameters.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::energy::EnergyParams;
+///
+/// let e = EnergyParams::ddr4_45nm();
+/// assert!(e.aap_nj() > e.act_nj);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy of one ACTIVATE of one sub-array row (nJ).
+    pub act_nj: f64,
+    /// Energy of one PRECHARGE of one sub-array (nJ).
+    pub pre_nj: f64,
+    /// Energy per bit moved through the global row buffer and I/O (pJ/bit).
+    pub io_pj_per_bit: f64,
+    /// Extra energy of a multi-row (2- or 3-row) activation relative to a
+    /// single ACTIVATE, per additional row (nJ). Charge-sharing activations
+    /// drive more cells per bit-line.
+    pub multi_row_extra_nj: f64,
+    /// Energy of one sense-amplifier add-on evaluation across the row
+    /// (the reconfigurable SA's inverters/XOR/MUX; nJ per 256-bit row).
+    pub sa_addon_nj: f64,
+    /// Energy of one DPU scalar operation (nJ).
+    pub dpu_op_nj: f64,
+    /// Background (static + refresh) power per bank (mW).
+    pub background_mw_per_bank: f64,
+}
+
+impl EnergyParams {
+    /// 45 nm DDR4-class constants scaled to one 1024×256 sub-array.
+    pub fn ddr4_45nm() -> Self {
+        EnergyParams {
+            act_nj: 0.909,
+            pre_nj: 0.303,
+            io_pj_per_bit: 4.0,
+            multi_row_extra_nj: 0.18,
+            sa_addon_nj: 0.05,
+            dpu_op_nj: 0.02,
+            background_mw_per_bank: 31.0,
+        }
+    }
+
+    /// Energy of a single-source AAP (copy): two ACTIVATEs + one PRECHARGE.
+    pub fn aap_nj(&self) -> f64 {
+        2.0 * self.act_nj + self.pre_nj
+    }
+
+    /// Energy of a two-source AAP (two-row activation XNOR): the two source
+    /// rows activate simultaneously (one ACT + one extra-row surcharge), the
+    /// destination activates, then PRECHARGE; plus one SA add-on evaluation.
+    pub fn aap2_nj(&self) -> f64 {
+        2.0 * self.act_nj + self.multi_row_extra_nj + self.pre_nj + self.sa_addon_nj
+    }
+
+    /// Energy of a three-source AAP (TRA majority/carry).
+    pub fn aap3_nj(&self) -> f64 {
+        2.0 * self.act_nj + 2.0 * self.multi_row_extra_nj + self.pre_nj + self.sa_addon_nj
+    }
+
+    /// Energy of moving `bits` through the global row buffer / chip I/O (nJ).
+    pub fn io_nj(&self, bits: usize) -> f64 {
+        bits as f64 * self.io_pj_per_bit / 1000.0
+    }
+
+    /// Energy of a full row read (ACT + stream + PRE).
+    pub fn row_read_nj(&self, bits: usize) -> f64 {
+        self.act_nj + self.pre_nj + self.io_nj(bits)
+    }
+
+    /// Energy of a full row write.
+    pub fn row_write_nj(&self, bits: usize) -> f64 {
+        self.act_nj + self.pre_nj + self.io_nj(bits)
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::ddr4_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aap_energy_ordering() {
+        let e = EnergyParams::ddr4_45nm();
+        // More simultaneously-activated rows cost strictly more energy.
+        assert!(e.aap3_nj() > e.aap2_nj());
+        assert!(e.aap2_nj() > e.aap_nj());
+    }
+
+    #[test]
+    fn io_energy_scales_linearly() {
+        let e = EnergyParams::ddr4_45nm();
+        assert!((e.io_nj(2000) - 2.0 * e.io_nj(1000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_ops_cost_more_than_act_pre() {
+        let e = EnergyParams::ddr4_45nm();
+        assert!(e.row_read_nj(256) > e.act_nj + e.pre_nj);
+        assert!(e.row_write_nj(256) > e.act_nj + e.pre_nj);
+    }
+}

@@ -1,0 +1,236 @@
+//! DRAM organization parameters (Fig. 1 of the paper).
+//!
+//! The hierarchy is chip → bank → MAT → computational sub-array. The paper's
+//! evaluation configures sub-arrays of 1024 rows × 256 columns, 4×4 MATs per
+//! bank, and 16×16 banks per memory group (§IV *Setup*), with 1/1 row/column
+//! activation; the throughput comparison of §II-B uses 8 banks.
+
+use crate::error::{DramError, Result};
+
+/// Number of compute rows (x1..x8) wired to the modified row decoder.
+pub const COMPUTE_ROWS: usize = 8;
+
+/// Static description of a PIM-DRAM organization.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::geometry::DramGeometry;
+///
+/// let g = DramGeometry::paper_assembly();
+/// assert_eq!(g.rows, 1024);
+/// assert_eq!(g.cols, 256);
+/// assert_eq!(g.data_rows(), 1016);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Number of chips in the memory group.
+    pub chips: usize,
+    /// Banks per chip.
+    pub banks_per_chip: usize,
+    /// MATs per bank.
+    pub mats_per_bank: usize,
+    /// Computational sub-arrays per MAT.
+    pub subarrays_per_mat: usize,
+    /// Rows per sub-array (data + compute).
+    pub rows: usize,
+    /// Columns (bits) per sub-array row.
+    pub cols: usize,
+    /// MATs that may be active simultaneously within one bank
+    /// (the paper's 1/1 row/column activation).
+    pub active_mats_per_bank: usize,
+    /// Sub-arrays that may compute simultaneously within one active MAT.
+    pub active_subarrays_per_mat: usize,
+}
+
+impl DramGeometry {
+    /// The §II-B throughput-comparison configuration: 8 banks of
+    /// 1024×256 computational sub-arrays (identical across all compared
+    /// PIM platforms).
+    pub fn paper_throughput() -> Self {
+        DramGeometry {
+            chips: 1,
+            banks_per_chip: 8,
+            mats_per_bank: 16,
+            subarrays_per_mat: 16,
+            rows: 1024,
+            cols: 256,
+            active_mats_per_bank: 4,
+            active_subarrays_per_mat: 16,
+        }
+    }
+
+    /// The §IV genome-assembly configuration: 4×4 MATs per bank, 16×16
+    /// banks per memory group, 1/1 row/column activation.
+    pub fn paper_assembly() -> Self {
+        DramGeometry {
+            chips: 1,
+            banks_per_chip: 256, // 16 × 16
+            mats_per_bank: 16,   // 4 × 4
+            subarrays_per_mat: 8,
+            rows: 1024,
+            cols: 256,
+            active_mats_per_bank: 1, // 1/1 row/column activation
+            active_subarrays_per_mat: 8,
+        }
+    }
+
+    /// A tiny configuration for unit tests (fast to allocate and walk).
+    pub fn tiny() -> Self {
+        DramGeometry {
+            chips: 1,
+            banks_per_chip: 2,
+            mats_per_bank: 2,
+            subarrays_per_mat: 2,
+            rows: 32,
+            cols: 64,
+            active_mats_per_bank: 2,
+            active_subarrays_per_mat: 2,
+        }
+    }
+
+    /// Rows available for data storage (total minus the 8 compute rows).
+    pub fn data_rows(&self) -> usize {
+        self.rows - COMPUTE_ROWS
+    }
+
+    /// Index of compute row `i` (0-based, `i < 8`): compute rows occupy the
+    /// top of the row space, after the 1016 data rows (Fig. 1b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn compute_row(&self, i: usize) -> usize {
+        assert!(i < COMPUTE_ROWS, "compute row index {i} out of range");
+        self.data_rows() + i
+    }
+
+    /// Whether `row` is one of the 8 compute rows.
+    pub fn is_compute_row(&self, row: usize) -> bool {
+        row >= self.data_rows() && row < self.rows
+    }
+
+    /// Total sub-arrays in the memory group.
+    pub fn total_subarrays(&self) -> usize {
+        self.chips * self.banks_per_chip * self.mats_per_bank * self.subarrays_per_mat
+    }
+
+    /// Sub-arrays that can execute an in-memory operation in the same cycle.
+    pub fn parallel_subarrays(&self) -> usize {
+        self.chips
+            * self.banks_per_chip
+            * self.active_mats_per_bank.min(self.mats_per_bank)
+            * self.active_subarrays_per_mat.min(self.subarrays_per_mat)
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u128 {
+        self.total_subarrays() as u128 * self.rows as u128 * self.cols as u128
+    }
+
+    /// Bits produced by one group-wide parallel in-memory operation
+    /// (one row per active sub-array).
+    pub fn bits_per_parallel_op(&self) -> u128 {
+        self.parallel_subarrays() as u128 * self.cols as u128
+    }
+
+    /// Validates a (chip, bank, mat, subarray) coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] naming the first coordinate
+    /// that exceeds the geometry.
+    pub fn check_coords(&self, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<()> {
+        if chip >= self.chips {
+            return Err(DramError::AddressOutOfRange { component: "chip", index: chip, limit: self.chips });
+        }
+        if bank >= self.banks_per_chip {
+            return Err(DramError::AddressOutOfRange { component: "bank", index: bank, limit: self.banks_per_chip });
+        }
+        if mat >= self.mats_per_bank {
+            return Err(DramError::AddressOutOfRange { component: "mat", index: mat, limit: self.mats_per_bank });
+        }
+        if subarray >= self.subarrays_per_mat {
+            return Err(DramError::AddressOutOfRange {
+                component: "subarray",
+                index: subarray,
+                limit: self.subarrays_per_mat,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a row index within a sub-array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] if `row >= self.rows`.
+    pub fn check_row(&self, row: usize) -> Result<()> {
+        if row >= self.rows {
+            return Err(DramError::RowOutOfRange { row, rows: self.rows });
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        DramGeometry::paper_assembly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_assembly_matches_section_iv() {
+        let g = DramGeometry::paper_assembly();
+        assert_eq!(g.banks_per_chip, 256);
+        assert_eq!(g.mats_per_bank, 16);
+        assert_eq!(g.rows, 1024);
+        assert_eq!(g.cols, 256);
+        assert_eq!(g.data_rows(), 1016);
+    }
+
+    #[test]
+    fn compute_rows_are_top_eight() {
+        let g = DramGeometry::paper_assembly();
+        assert_eq!(g.compute_row(0), 1016);
+        assert_eq!(g.compute_row(7), 1023);
+        assert!(g.is_compute_row(1016));
+        assert!(g.is_compute_row(1023));
+        assert!(!g.is_compute_row(1015));
+    }
+
+    #[test]
+    fn parallel_subarrays_respects_activation_limits() {
+        let g = DramGeometry::paper_throughput();
+        assert_eq!(g.parallel_subarrays(), 8 * 4 * 16);
+        assert_eq!(g.bits_per_parallel_op(), (8 * 4 * 16 * 256) as u128);
+    }
+
+    #[test]
+    fn coord_validation() {
+        let g = DramGeometry::tiny();
+        assert!(g.check_coords(0, 1, 1, 1).is_ok());
+        assert!(matches!(
+            g.check_coords(0, 2, 0, 0),
+            Err(DramError::AddressOutOfRange { component: "bank", .. })
+        ));
+        assert!(g.check_row(31).is_ok());
+        assert!(g.check_row(32).is_err());
+    }
+
+    #[test]
+    fn capacity_is_product() {
+        let g = DramGeometry::tiny();
+        assert_eq!(g.capacity_bits(), (2 * 2 * 2 * 32 * 64) as u128);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute row index")]
+    fn compute_row_bounds() {
+        DramGeometry::tiny().compute_row(8);
+    }
+}

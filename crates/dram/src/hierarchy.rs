@@ -1,0 +1,111 @@
+//! The chip → bank → MAT → sub-array hierarchy (Fig. 1a).
+//!
+//! Sub-arrays are materialized lazily: the paper-scale memory group holds
+//! tens of thousands of 32 KiB sub-arrays, but any one workload touches only
+//! the slice the mapper assigned to it.
+
+use std::collections::HashMap;
+
+use crate::address::SubarrayId;
+use crate::geometry::DramGeometry;
+use crate::subarray::Subarray;
+
+/// The whole memory group: lazily-allocated sub-arrays addressed by
+/// [`SubarrayId`].
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::{hierarchy::MemoryGroup, geometry::DramGeometry, address::SubarrayId};
+///
+/// let g = DramGeometry::tiny();
+/// let mut mem = MemoryGroup::new(g);
+/// let id = SubarrayId::new(&g, 0, 0, 0, 0)?;
+/// assert_eq!(mem.touched_subarrays(), 0);
+/// mem.subarray_mut(id); // first touch allocates
+/// assert_eq!(mem.touched_subarrays(), 1);
+/// # Ok::<(), pim_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryGroup {
+    geometry: DramGeometry,
+    subarrays: HashMap<SubarrayId, Subarray>,
+}
+
+impl MemoryGroup {
+    /// Creates an empty (all-zero) memory group.
+    pub fn new(geometry: DramGeometry) -> Self {
+        MemoryGroup { geometry, subarrays: HashMap::new() }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Mutable access to a sub-array, allocating it on first touch.
+    pub fn subarray_mut(&mut self, id: SubarrayId) -> &mut Subarray {
+        let geometry = self.geometry;
+        self.subarrays.entry(id).or_insert_with(|| Subarray::new(geometry))
+    }
+
+    /// Shared access to a sub-array, if it has been touched.
+    pub fn subarray(&self, id: SubarrayId) -> Option<&Subarray> {
+        self.subarrays.get(&id)
+    }
+
+    /// Number of sub-arrays materialized so far.
+    pub fn touched_subarrays(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Iterates over the touched sub-arrays.
+    pub fn iter(&self) -> impl Iterator<Item = (&SubarrayId, &Subarray)> {
+        self.subarrays.iter()
+    }
+
+    /// Releases all materialized sub-arrays (content reset to zero on next
+    /// touch).
+    pub fn clear(&mut self) {
+        self.subarrays.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::RowAddr;
+    use crate::bitrow::BitRow;
+
+    #[test]
+    fn lazy_allocation() {
+        let g = DramGeometry::tiny();
+        let mut mem = MemoryGroup::new(g);
+        assert_eq!(mem.touched_subarrays(), 0);
+        let a = SubarrayId::new(&g, 0, 0, 0, 0).unwrap();
+        let b = SubarrayId::new(&g, 0, 1, 1, 1).unwrap();
+        mem.subarray_mut(a);
+        mem.subarray_mut(b);
+        mem.subarray_mut(a); // re-touch does not duplicate
+        assert_eq!(mem.touched_subarrays(), 2);
+    }
+
+    #[test]
+    fn untouched_reads_are_none() {
+        let g = DramGeometry::tiny();
+        let mem = MemoryGroup::new(g);
+        let a = SubarrayId::new(&g, 0, 0, 0, 0).unwrap();
+        assert!(mem.subarray(a).is_none());
+    }
+
+    #[test]
+    fn content_persists_across_touches() {
+        let g = DramGeometry::tiny();
+        let mut mem = MemoryGroup::new(g);
+        let id = SubarrayId::new(&g, 0, 1, 0, 1).unwrap();
+        mem.subarray_mut(id).write(RowAddr(7), &BitRow::ones(g.cols)).unwrap();
+        assert!(mem.subarray(id).unwrap().read(RowAddr(7)).unwrap().all_ones());
+        mem.clear();
+        assert_eq!(mem.touched_subarrays(), 0);
+    }
+}

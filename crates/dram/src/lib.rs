@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # pim-dram
+//!
+//! A functional, timing-, and energy-annotated model of a processing-in-DRAM
+//! memory hierarchy, the substrate of the PIM-Assembler platform
+//! (Angizi et al., *PIM-Assembler: A Processing-in-Memory Platform for Genome
+//! Assembly*, DAC 2020).
+//!
+//! The crate models the full DRAM organization from Fig. 1 of the paper:
+//! chips contain banks, banks contain MATs, MATs contain computational
+//! sub-arrays of 1024 rows × 256 columns. Each sub-array's row space is split
+//! into 1016 *data rows* driven by a regular row decoder and 8 *compute rows*
+//! (`x1..x8`) driven by a [`decoder::ModifiedRowDecoder`] that supports
+//! multi-row activation. The reconfigurable sense amplifier of Fig. 2 is
+//! modeled digitally by its truth table in [`sense_amp`], giving:
+//!
+//! * single-cycle **XNOR2** via two-row activation and the shifted-VTC
+//!   NOR/NAND threshold detectors,
+//! * single-cycle **carry** (3-input majority) via Ambit-style triple-row
+//!   activation (TRA),
+//! * single-cycle **sum** via the SA latch and the add-on XOR gate.
+//!
+//! Every operation is issued as an `ACTIVATE-ACTIVATE-PRECHARGE` (*AAP*)
+//! command through the [`controller::Controller`], which executes it
+//! bit-accurately against the stored array content and charges latency from
+//! [`timing::TimingParams`] and energy from [`energy::EnergyParams`].
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_dram::{controller::Controller, geometry::DramGeometry, Result};
+//!
+//! # fn main() -> Result<()> {
+//! let mut ctrl = Controller::new(DramGeometry::paper_assembly());
+//! let sub = ctrl.subarray_handle(0, 0, 0, 0)?;
+//!
+//! // Write two operand rows, copy them into compute rows x1/x2, XNOR them.
+//! let a = pim_dram::bitrow::BitRow::from_fn(256, |i| i % 3 == 0);
+//! let b = pim_dram::bitrow::BitRow::from_fn(256, |i| i % 5 == 0);
+//! ctrl.write_row(sub, 10, &a)?;
+//! ctrl.write_row(sub, 11, &b)?;
+//! ctrl.aap_copy(sub, 10, ctrl.compute_row(0))?;
+//! ctrl.aap_copy(sub, 11, ctrl.compute_row(1))?;
+//! ctrl.aap2_xnor(sub, [ctrl.compute_row(0), ctrl.compute_row(1)], 20)?;
+//!
+//! let got = ctrl.read_row(sub, 20)?;
+//! assert_eq!(got, a.xnor(&b));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod address;
+pub mod address_map;
+pub mod bitrow;
+pub mod command;
+pub mod controller;
+pub mod decoder;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod hierarchy;
+pub mod refresh;
+pub mod schedule;
+pub mod sense_amp;
+pub mod stats;
+pub mod subarray;
+pub mod timing;
+pub mod trace;
+
+pub use address::{RowAddr, SubarrayId};
+pub use bitrow::BitRow;
+pub use command::DramCommand;
+pub use controller::Controller;
+pub use error::{DramError, Result};
+pub use geometry::DramGeometry;
+pub use stats::{CommandStats, EnergyStats};

@@ -1,0 +1,161 @@
+//! Command tracing.
+//!
+//! A bounded ring of recently issued commands with their target sub-array
+//! and timestamp, for debugging mapped kernels and for writing
+//! waveform-style logs from tests. Tracing is off by default (zero cost)
+//! and enabled per controller.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::address::SubarrayId;
+use crate::command::DramCommand;
+
+/// One traced command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Issue timestamp: cumulative serial nanoseconds at issue.
+    pub at_ns: f64,
+    /// Target sub-array (None for DPU/global commands).
+    pub subarray: Option<SubarrayId>,
+    /// The command.
+    pub command: DramCommand,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.subarray {
+            Some(s) => write!(f, "[{:>12.1} ns] {s} {}", self.at_ns, self.command),
+            None => write!(f, "[{:>12.1} ns] -- {}", self.at_ns, self.command),
+        }
+    }
+}
+
+/// Bounded command trace.
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::trace::CommandTrace;
+///
+/// let mut t = CommandTrace::new(4);
+/// assert!(t.is_empty());
+/// assert_eq!(t.capacity(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommandTrace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl CommandTrace {
+    /// Creates a trace keeping the most recent `capacity` commands.
+    pub fn new(capacity: usize) -> Self {
+        CommandTrace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Records a command.
+    pub fn record(&mut self, at_ns: f64, subarray: Option<SubarrayId>, command: DramCommand) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at_ns, subarray, command });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Commands evicted (or rejected by a zero-capacity trace).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the retained entries (the drop counter persists).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for CommandTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "… {} earlier command(s) dropped", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::RowAddr;
+
+    fn cmd(n: usize) -> DramCommand {
+        DramCommand::Aap { src: RowAddr(n), dst: RowAddr(n + 1) }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = CommandTrace::new(3);
+        for i in 0..5 {
+            t.record(i as f64, None, cmd(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.command, cmd(2));
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let mut t = CommandTrace::new(0);
+        t.record(1.0, None, cmd(0));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn display_includes_timestamps() {
+        let mut t = CommandTrace::new(2);
+        t.record(47.1, None, cmd(0));
+        let s = t.to_string();
+        assert!(s.contains("47.1 ns"));
+        assert!(s.contains("AAP"));
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut t = CommandTrace::new(1);
+        t.record(0.0, None, cmd(0));
+        t.record(1.0, None, cmd(1));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! The end-to-end software assembler (stages 1–2 of Fig. 5a).
+//!
+//! This is the reference implementation the PIM pipeline is validated
+//! against: k-mer analysis → de Bruijn construction → traversal → contigs.
+//! Two traversal policies are provided: the paper's Eulerian-path traversal
+//! and the unitig (maximal non-branching path) policy every production
+//! de-Bruijn assembler uses; on repeat-free references both recover the
+//! genome, and on repetitive ones unitigs degrade more gracefully.
+
+use crate::contig::Contig;
+use crate::debruijn::DeBruijnGraph;
+use crate::error::Result;
+use crate::euler::{eulerian_trails, EulerAlgorithm};
+use crate::hash_table::KmerCounter;
+use crate::reads::Read;
+use crate::sequence::DnaSequence;
+use crate::stats::AssemblyStats;
+
+/// Contig-extraction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Traversal {
+    /// Eulerian trails (the paper's `Traverse(G)` with Fleury; we default
+    /// to the equivalent linear-time Hierholzer).
+    #[default]
+    EulerPath,
+    /// Eulerian trails via the literal Fleury algorithm.
+    EulerPathFleury,
+    /// Maximal non-branching paths.
+    Unitigs,
+}
+
+/// Assembler configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::assemble::AssemblyConfig;
+///
+/// let cfg = AssemblyConfig::new(21).with_min_count(2);
+/// assert_eq!(cfg.k, 21);
+/// assert_eq!(cfg.min_count, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssemblyConfig {
+    /// k-mer length (the paper evaluates 16, 22, 26, 32).
+    pub k: usize,
+    /// Minimum k-mer frequency kept (error filtering).
+    pub min_count: u64,
+    /// Contig-extraction policy.
+    pub traversal: Traversal,
+    /// Graph simplification (tip clipping + bubble popping) with the given
+    /// maximum tip length in edges; `None` disables it.
+    pub simplify_tips: Option<usize>,
+}
+
+impl AssemblyConfig {
+    /// Creates a configuration with `min_count = 1`, Euler traversal, no
+    /// simplification.
+    pub fn new(k: usize) -> Self {
+        AssemblyConfig { k, min_count: 1, traversal: Traversal::EulerPath, simplify_tips: None }
+    }
+
+    /// Sets the minimum k-mer count.
+    pub fn with_min_count(mut self, min_count: u64) -> Self {
+        self.min_count = min_count;
+        self
+    }
+
+    /// Sets the traversal policy.
+    pub fn with_traversal(mut self, traversal: Traversal) -> Self {
+        self.traversal = traversal;
+        self
+    }
+
+    /// Enables graph simplification with the given tip bound (Velvet-style
+    /// `2k` is a good default).
+    pub fn with_simplification(mut self, max_tip_edges: usize) -> Self {
+        self.simplify_tips = Some(max_tip_edges);
+        self
+    }
+}
+
+/// The result of an assembly run, with stage-level size information the
+/// performance models consume.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// Assembled contigs (length ≥ k only; shorter spellings are noise).
+    pub contigs: Vec<Contig>,
+    /// Contig statistics.
+    pub stats: AssemblyStats,
+    /// Distinct k-mers after filtering.
+    pub distinct_kmers: usize,
+    /// Total k-mers processed (hash-table insertions).
+    pub total_kmers: u64,
+    /// Hash probes performed during counting.
+    pub hash_probes: u64,
+    /// de Bruijn node count.
+    pub graph_nodes: usize,
+    /// de Bruijn edge count.
+    pub graph_edges: usize,
+    /// Number of trails/unitigs walked.
+    pub trails: usize,
+}
+
+/// The reference software assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareAssembler {
+    config: AssemblyConfig,
+}
+
+impl SoftwareAssembler {
+    /// Creates an assembler with the given configuration.
+    pub fn new(config: AssemblyConfig) -> Self {
+        SoftwareAssembler { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AssemblyConfig {
+        &self.config
+    }
+
+    /// Assembles a read set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured k is invalid (checked at table creation).
+    pub fn assemble(&self, reads: &[Read]) -> Assembly {
+        let counter = self.count(reads).expect("k validated by AssemblyConfig");
+        self.assemble_from_counter(&counter)
+    }
+
+    /// Stage 1 alone: the k-mer hash table of a read set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] for invalid k.
+    pub fn count(&self, reads: &[Read]) -> Result<KmerCounter> {
+        let mut counter = KmerCounter::new(self.config.k)?;
+        for r in reads {
+            counter.count_sequence(&r.seq)?;
+        }
+        Ok(counter)
+    }
+
+    /// Stages 2 onward, from an existing hash table.
+    pub fn assemble_from_counter(&self, counter: &KmerCounter) -> Assembly {
+        let mut graph = DeBruijnGraph::from_counter(counter, self.config.min_count);
+        if let Some(max_tip) = self.config.simplify_tips {
+            let (simplified, _) = crate::simplify::Simplifier::new(max_tip).simplify(&graph);
+            graph = simplified;
+        }
+        let trails = match self.config.traversal {
+            Traversal::EulerPath => eulerian_trails(&graph, EulerAlgorithm::Hierholzer),
+            Traversal::EulerPathFleury => eulerian_trails(&graph, EulerAlgorithm::Fleury),
+            Traversal::Unitigs => unitigs(&graph),
+        };
+        let k = self.config.k;
+        let contigs: Vec<Contig> = trails
+            .iter()
+            .map(|t| Contig::from_trail(&graph, t))
+            .filter(|c| c.len() >= k)
+            .collect();
+        Assembly {
+            stats: AssemblyStats::from_contigs(&contigs),
+            contigs,
+            distinct_kmers: counter.entries_with_min_count(self.config.min_count).count(),
+            total_kmers: counter.total(),
+            hash_probes: counter.probes(),
+            graph_nodes: graph.node_count(),
+            graph_edges: graph.edge_count(),
+            trails: trails.len(),
+        }
+    }
+
+    /// Convenience: assemble a single sequence's k-mer spectrum (useful in
+    /// tests where reads are not needed).
+    pub fn assemble_sequence(&self, seq: &DnaSequence) -> Result<Assembly> {
+        let mut counter = KmerCounter::new(self.config.k)?;
+        counter.count_sequence(seq)?;
+        Ok(self.assemble_from_counter(&counter))
+    }
+}
+
+/// Maximal non-branching paths.
+fn unitigs(graph: &DeBruijnGraph) -> Vec<Vec<usize>> {
+    let n = graph.node_count();
+    let one_in_one_out =
+        |v: usize| graph.in_degree(v) == 1 && graph.out_degree(v) == 1;
+    let mut used = vec![false; n]; // interior 1-in-1-out nodes consumed
+    let mut paths = Vec::new();
+
+    // Paths starting at branch nodes.
+    for v in 0..n {
+        if one_in_one_out(v) {
+            continue;
+        }
+        for e in graph.out_edges(v) {
+            let mut path = vec![v, e.to];
+            let mut w = e.to;
+            while one_in_one_out(w) && !used[w] {
+                used[w] = true;
+                w = graph.out_edges(w)[0].to;
+                path.push(w);
+            }
+            paths.push(path);
+        }
+    }
+    // Isolated cycles of 1-in-1-out nodes.
+    for v in 0..n {
+        if !one_in_one_out(v) || used[v] {
+            continue;
+        }
+        let mut path = vec![v];
+        used[v] = true;
+        let mut w = graph.out_edges(v)[0].to;
+        while w != v {
+            used[w] = true;
+            path.push(w);
+            w = graph.out_edges(w)[0].to;
+        }
+        path.push(v);
+        paths.push(path);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::ReadSimulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_genome(seed: u64, len: usize) -> DnaSequence {
+        DnaSequence::random(&mut ChaCha8Rng::seed_from_u64(seed), len)
+    }
+
+    #[test]
+    fn perfect_spectrum_reconstructs_genome() {
+        // A random genome with unique (k−1)-mers yields one Euler trail
+        // that spells the genome exactly.
+        let genome = random_genome(3, 1500);
+        let asm = SoftwareAssembler::new(AssemblyConfig::new(17)).assemble_sequence(&genome).unwrap();
+        assert_eq!(asm.contigs.len(), 1, "stats: {}", asm.stats);
+        assert_eq!(asm.contigs[0].sequence(), &genome);
+    }
+
+    #[test]
+    fn reads_reconstruct_genome() {
+        let genome = random_genome(4, 2000);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let reads = ReadSimulator::new(80, 40.0).simulate(&genome, &mut rng);
+        let asm = SoftwareAssembler::new(AssemblyConfig::new(21)).assemble(&reads);
+        // 40× coverage recovers essentially the whole genome in one contig;
+        // only the extreme ends (covered by few read placements) may be
+        // truncated.
+        assert_eq!(asm.contigs.len(), 1);
+        let frac = crate::stats::genome_fraction(&genome, &asm.contigs, 21);
+        assert!(frac > 0.98, "genome fraction {frac}");
+        // The contig is an exact substring of the genome.
+        let g = genome.to_string();
+        assert!(g.contains(&asm.contigs[0].to_string()));
+    }
+
+    #[test]
+    fn unitigs_also_reconstruct_linear_genome() {
+        let genome = random_genome(6, 1200);
+        let cfg = AssemblyConfig::new(19).with_traversal(Traversal::Unitigs);
+        let asm = SoftwareAssembler::new(cfg).assemble_sequence(&genome).unwrap();
+        assert_eq!(asm.contigs.len(), 1);
+        assert_eq!(asm.contigs[0].sequence(), &genome);
+    }
+
+    #[test]
+    fn fleury_traversal_matches_hierholzer_sizes() {
+        let genome = random_genome(7, 400);
+        let euler = SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
+        let fleury = SoftwareAssembler::new(
+            AssemblyConfig::new(15).with_traversal(Traversal::EulerPathFleury),
+        )
+        .assemble_sequence(&genome)
+        .unwrap();
+        assert_eq!(euler.stats.total_length, fleury.stats.total_length);
+    }
+
+    #[test]
+    fn error_kmers_filtered_by_min_count() {
+        let genome = random_genome(8, 1500);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let reads = ReadSimulator::new(80, 40.0).with_error_rate(0.005).simulate(&genome, &mut rng);
+        let no_filter = SoftwareAssembler::new(AssemblyConfig::new(21)).assemble(&reads);
+        let filtered = SoftwareAssembler::new(AssemblyConfig::new(21).with_min_count(3)).assemble(&reads);
+        // Filtering removes most error edges, giving a graph close to the
+        // true genome size.
+        assert!(filtered.graph_edges < no_filter.graph_edges);
+        assert!(filtered.graph_edges as f64 >= (genome.len() - 21) as f64 * 0.9);
+        let frac = crate::stats::genome_fraction(&genome, &filtered.contigs, 21);
+        assert!(frac > 0.95, "genome fraction {frac}");
+    }
+
+    #[test]
+    fn assembly_counts_are_consistent() {
+        let genome = random_genome(10, 800);
+        let asm = SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
+        assert_eq!(asm.graph_edges, asm.distinct_kmers);
+        assert_eq!(asm.total_kmers as usize, genome.len() - 15 + 1);
+        assert!(asm.hash_probes >= asm.total_kmers);
+    }
+
+    #[test]
+    fn simplification_repairs_noisy_assemblies() {
+        // At min_count = 1 (no frequency filter), error k-mers survive as
+        // tips and bubbles; simplification must recover a cleaner assembly.
+        let genome = random_genome(55, 1500);
+        let mut rng = ChaCha8Rng::seed_from_u64(56);
+        let reads = ReadSimulator::new(80, 35.0).with_error_rate(0.003).simulate(&genome, &mut rng);
+        let raw = SoftwareAssembler::new(AssemblyConfig::new(17)).assemble(&reads);
+        let simplified = SoftwareAssembler::new(
+            AssemblyConfig::new(17).with_simplification(34),
+        )
+        .assemble(&reads);
+        assert!(simplified.graph_edges < raw.graph_edges, "simplification removed nothing");
+        assert!(simplified.contigs.len() <= raw.contigs.len());
+        let frac = crate::stats::genome_fraction(&genome, &simplified.contigs, 17);
+        assert!(frac > 0.95, "genome fraction {frac}");
+    }
+
+    #[test]
+    fn repeat_genome_yields_multiple_contigs_with_unitigs() {
+        // An *internal* exact repeat (flanked by unique sequence on both
+        // sides) forces branch nodes at the repeat boundaries.
+        let unit = random_genome(11, 250);
+        let mut genome = random_genome(12, 300);
+        genome.extend_from(&unit);
+        genome.extend_from(&random_genome(13, 200));
+        genome.extend_from(&unit);
+        genome.extend_from(&random_genome(14, 300));
+        let cfg = AssemblyConfig::new(15).with_traversal(Traversal::Unitigs);
+        let asm = SoftwareAssembler::new(cfg).assemble_sequence(&genome).unwrap();
+        assert!(asm.contigs.len() > 1);
+        // Still, nearly all genomic k-mers are present in the contigs.
+        let frac = crate::stats::genome_fraction(&genome, &asm.contigs, 15);
+        assert!(frac > 0.95, "genome fraction {frac}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Bloom-filter k-mer membership pre-filter.
+//!
+//! Production counters (Jellyfish, BFCounter) put a Bloom filter in front of
+//! the hash table so singleton k-mers — the overwhelming majority of error
+//! k-mers — never allocate a table slot. The filter is a plain bit array
+//! addressed by multiple hashes, which maps directly onto DRAM rows (set /
+//! test are row-local bit operations), making it a natural PIM resident.
+
+use crate::kmer::Kmer;
+
+/// A Bloom filter over packed k-mers.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::bloom::BloomFilter;
+///
+/// let mut f = BloomFilter::new(1 << 12, 3);
+/// let k: pim_genome::Kmer = "ACGTACGT".parse()?;
+/// assert!(!f.contains(&k));
+/// f.insert(&k);
+/// assert!(f.contains(&k));
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter of `num_bits` bits (rounded up to a multiple of 64)
+    /// probed by `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits == 0` or `hashes == 0`.
+    pub fn new(num_bits: usize, hashes: u32) -> Self {
+        assert!(num_bits > 0, "filter needs at least one bit");
+        assert!(hashes > 0, "filter needs at least one hash");
+        let words = num_bits.div_ceil(64);
+        BloomFilter { bits: vec![0; words], num_bits: words * 64, hashes, inserted: 0 }
+    }
+
+    /// Sizes a filter for `expected` insertions at `fp_rate` false-positive
+    /// probability (the standard `m = −n·ln p / ln²2`, `k = m/n·ln 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected == 0` or `fp_rate` is outside `(0, 1)`.
+    pub fn with_rate(expected: u64, fp_rate: f64) -> Self {
+        assert!(expected > 0, "expected insertions must be positive");
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "false-positive rate must be in (0, 1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(expected as f64) * fp_rate.ln() / (ln2 * ln2)).ceil() as usize;
+        let k = ((m as f64 / expected as f64) * ln2).round().max(1.0) as u32;
+        BloomFilter::new(m.max(64), k)
+    }
+
+    /// Filter width in bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Hash functions probed per operation.
+    pub fn hashes(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Insertions so far.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Marks a k-mer present.
+    pub fn insert(&mut self, kmer: &Kmer) {
+        for i in 0..self.hashes {
+            let bit = self.position(kmer, i);
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether the k-mer *may* be present (false positives possible, false
+    /// negatives impossible).
+    pub fn contains(&self, kmer: &Kmer) -> bool {
+        (0..self.hashes).all(|i| {
+            let bit = self.position(kmer, i);
+            self.bits[bit / 64] >> (bit % 64) & 1 == 1
+        })
+    }
+
+    /// Inserts and reports whether the k-mer was already (possibly)
+    /// present — the "second sighting" test of BFCounter-style counting:
+    /// only k-mers seen twice reach the real hash table.
+    pub fn insert_and_test(&mut self, kmer: &Kmer) -> bool {
+        let seen = self.contains(kmer);
+        self.insert(kmer);
+        seen
+    }
+
+    /// The fraction of set bits (load; drives the false-positive rate).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+
+    /// Double hashing: position of probe `i` for a k-mer.
+    fn position(&self, kmer: &Kmer, i: u32) -> usize {
+        let h1 = mix(kmer.packed() ^ (kmer.k() as u64).rotate_left(32));
+        let h2 = mix(h1 ^ 0xA5A5_5A5A_C3C3_3C3C) | 1; // odd step
+        ((h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.num_bits as u64) as usize
+    }
+}
+
+/// splitmix64 finalizer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::KmerIter;
+    use crate::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut rng = ChaCha8Rng::seed_from_u64(70);
+        let seq = DnaSequence::random(&mut rng, 2000);
+        let mut f = BloomFilter::with_rate(2000, 0.01);
+        let kmers: Vec<Kmer> = KmerIter::new(&seq, 21).unwrap().collect();
+        for k in &kmers {
+            f.insert(k);
+        }
+        for k in &kmers {
+            assert!(f.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let inserted = DnaSequence::random(&mut rng, 5000);
+        let mut f = BloomFilter::with_rate(5000, 0.01);
+        for k in KmerIter::new(&inserted, 21).unwrap() {
+            f.insert(&k);
+        }
+        // Query k-mers from an unrelated sequence.
+        let other = DnaSequence::random(&mut rng, 20_000);
+        let mut fp = 0usize;
+        let mut total = 0usize;
+        for k in KmerIter::new(&other, 21).unwrap() {
+            total += 1;
+            if f.contains(&k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / total as f64;
+        assert!(rate < 0.03, "false-positive rate {rate} well above the 1% target");
+    }
+
+    #[test]
+    fn second_sighting_filter_drops_singletons() {
+        // Count only k-mers seen ≥ 2 times: errors (singletons) never pass.
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        let genome = DnaSequence::random(&mut rng, 1000);
+        let mut f = BloomFilter::with_rate(10_000, 0.001);
+        let mut passed = std::collections::HashSet::new();
+        // Two passes over the genome (coverage 2) + one erroneous read.
+        for _ in 0..2 {
+            for k in KmerIter::new(&genome, 17).unwrap() {
+                if f.insert_and_test(&k) {
+                    passed.insert(k.packed());
+                }
+            }
+        }
+        let mut bad_read = genome.subsequence(100, 60);
+        bad_read.set_base(30, bad_read.get(30).complement());
+        let mut error_passed = 0;
+        for k in KmerIter::new(&bad_read, 17).unwrap() {
+            if !f.insert_and_test(&k) {
+                continue;
+            }
+            if !passed.contains(&k.packed()) {
+                error_passed += 1; // an error k-mer slipping through
+            }
+        }
+        // Genuine genomic k-mers of the read were all seen before; the 17
+        // error k-mers are first sightings and must (almost) all be held.
+        assert!(error_passed <= 1, "{error_passed} error k-mers passed the filter");
+        assert_eq!(passed.len(), 1000 - 17 + 1);
+    }
+
+    #[test]
+    fn sizing_formula_behaves() {
+        let f = BloomFilter::with_rate(1_000_000, 0.01);
+        // ≈ 9.6 bits/element and ~7 hashes for 1% fp.
+        let bits_per_elem = f.num_bits() as f64 / 1e6;
+        assert!((9.0..11.0).contains(&bits_per_elem), "{bits_per_elem}");
+        assert!((5..=9).contains(&f.hashes()));
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut f = BloomFilter::new(1024, 3);
+        assert_eq!(f.fill_ratio(), 0.0);
+        for v in 0..100u64 {
+            f.insert(&Kmer::from_packed(v, 16).unwrap());
+        }
+        assert!(f.fill_ratio() > 0.1);
+        assert_eq!(f.inserted(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "false-positive rate")]
+    fn bad_rate_rejected() {
+        let _ = BloomFilter::with_rate(100, 1.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Contig spelling from graph trails (stage 2 output of Fig. 5a).
+
+use std::fmt;
+
+use crate::debruijn::DeBruijnGraph;
+use crate::euler::Trail;
+use crate::sequence::DnaSequence;
+
+/// One assembled contig.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::contig::Contig;
+///
+/// let c = Contig::new("CGTGCTT".parse()?);
+/// assert_eq!(c.len(), 7);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Contig {
+    sequence: DnaSequence,
+}
+
+impl Contig {
+    /// Wraps a spelled sequence as a contig.
+    pub fn new(sequence: DnaSequence) -> Self {
+        Contig { sequence }
+    }
+
+    /// Spells the contig of a trail: the first node's (k−1)-mer followed by
+    /// the last base of every subsequent node — exactly how Fig. 5c builds
+    /// `Contig-I: CGTGCTT` from CGTG→GTGC→TGCT→GCTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trail is empty or references nodes outside the graph.
+    pub fn from_trail(graph: &DeBruijnGraph, trail: &Trail) -> Self {
+        assert!(!trail.is_empty(), "cannot spell an empty trail");
+        let mut seq = graph.node(trail[0]).to_sequence();
+        for &node in &trail[1..] {
+            seq.push(graph.node(node).last_base());
+        }
+        Contig { sequence: seq }
+    }
+
+    /// The contig sequence.
+    pub fn sequence(&self) -> &DnaSequence {
+        &self.sequence
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the contig is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+impl fmt::Display for Contig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sequence)
+    }
+}
+
+impl From<DnaSequence> for Contig {
+    fn from(sequence: DnaSequence) -> Self {
+        Contig::new(sequence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::{eulerian_trails, EulerAlgorithm};
+
+    #[test]
+    fn fig5c_contig_one() {
+        let g = DeBruijnGraph::from_kmers(
+            4,
+            ["CGTG", "GTGC", "TGCT", "GCTT"].iter().map(|s| s.parse().unwrap()),
+        );
+        let trails = eulerian_trails(&g, EulerAlgorithm::Hierholzer);
+        assert_eq!(trails.len(), 1);
+        let contig = Contig::from_trail(&g, &trails[0]);
+        assert_eq!(contig.to_string(), "CGTGCTT");
+    }
+
+    #[test]
+    fn fig5c_contig_two() {
+        // Contig-II: TTACGG from TTA→TAC→ACG→CGG.
+        let g = DeBruijnGraph::from_kmers(
+            4,
+            ["TTAC", "TACG", "ACGG"].iter().map(|s| s.parse().unwrap()),
+        );
+        let trails = eulerian_trails(&g, EulerAlgorithm::Hierholzer);
+        let contig = Contig::from_trail(&g, &trails[0]);
+        assert_eq!(contig.to_string(), "TTACGG");
+    }
+
+    #[test]
+    fn single_node_trail_spells_k_minus_one() {
+        let g = DeBruijnGraph::from_kmers(4, ["ACGT".parse().unwrap()]);
+        let contig = Contig::from_trail(&g, &vec![0]);
+        assert_eq!(contig.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trail")]
+    fn empty_trail_panics() {
+        let g = DeBruijnGraph::from_kmers(4, std::iter::empty());
+        let _ = Contig::from_trail(&g, &Vec::new());
+    }
+}

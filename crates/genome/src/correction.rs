@@ -1,0 +1,308 @@
+//! K-mer-spectrum read error correction.
+//!
+//! An extension beyond the paper: real assemblers (Velvet's `tour bus`,
+//! Euler-SR's spectral alignment) correct sequencing errors before or
+//! during graph construction. We implement the classic spectral approach:
+//! k-mers with frequency ≥ a *solid* threshold are trusted; a read position
+//! whose surrounding k-mers are weak is repaired by the single-base
+//! substitution that makes the most covering k-mers solid. This pairs
+//! naturally with the PIM hash table — each candidate test is one more
+//! `PIM_XNOR` probe.
+
+use crate::base::DnaBase;
+use crate::hash_table::KmerCounter;
+use crate::kmer::{Kmer, KmerIter};
+use crate::reads::Read;
+use crate::sequence::DnaSequence;
+
+/// Outcome counters of a correction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorrectionStats {
+    /// Reads scanned.
+    pub reads: u64,
+    /// Positions repaired.
+    pub corrected: u64,
+    /// Positions flagged weak but with no unambiguous repair.
+    pub uncorrectable: u64,
+}
+
+/// Spectral read corrector.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::correction::ReadCorrector;
+///
+/// let c = ReadCorrector::new(15, 3);
+/// assert_eq!(c.solid_threshold(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCorrector {
+    k: usize,
+    solid: u64,
+}
+
+impl ReadCorrector {
+    /// Creates a corrector: k-mers with count ≥ `solid` are trusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solid == 0`.
+    pub fn new(k: usize, solid: u64) -> Self {
+        assert!(solid >= 1, "solid threshold must be positive");
+        ReadCorrector { k, solid }
+    }
+
+    /// The solid-k-mer threshold.
+    pub fn solid_threshold(&self) -> u64 {
+        self.solid
+    }
+
+    /// The k in use.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Corrects a read set in place against its own k-mer spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] for invalid k.
+    pub fn correct_reads(&self, reads: &mut [Read]) -> crate::Result<CorrectionStats> {
+        let mut counter = KmerCounter::new(self.k)?;
+        for r in reads.iter() {
+            counter.count_sequence(&r.seq)?;
+        }
+        let mut stats = CorrectionStats::default();
+        for r in reads.iter_mut() {
+            stats.reads += 1;
+            let (seq, st) = self.correct_sequence(&r.seq, &counter)?;
+            stats.corrected += st.corrected;
+            stats.uncorrectable += st.uncorrectable;
+            r.seq = seq;
+        }
+        Ok(stats)
+    }
+
+    /// Corrects one sequence against a trusted spectrum, returning the
+    /// repaired sequence and per-sequence counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] for invalid k.
+    pub fn correct_sequence(
+        &self,
+        seq: &DnaSequence,
+        spectrum: &KmerCounter,
+    ) -> crate::Result<(DnaSequence, CorrectionStats)> {
+        let mut stats = CorrectionStats::default();
+        if seq.len() < self.k {
+            return Ok((seq.clone(), stats));
+        }
+        let mut out = seq.clone();
+        // Weak positions: those covered by no solid k-mer.
+        let weak = self.weak_positions(&out, spectrum)?;
+        for pos in weak {
+            match self.best_substitution(&out, pos, spectrum)? {
+                Some(base) => {
+                    out.set_base(pos, base);
+                    stats.corrected += 1;
+                }
+                None => stats.uncorrectable += 1,
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Positions not covered by any solid k-mer.
+    fn weak_positions(&self, seq: &DnaSequence, spectrum: &KmerCounter) -> crate::Result<Vec<usize>> {
+        let n = seq.len();
+        let mut covered = vec![false; n];
+        for (i, kmer) in KmerIter::new(seq, self.k)?.enumerate() {
+            if spectrum.count(&kmer) >= self.solid {
+                for c in covered.iter_mut().skip(i).take(self.k) {
+                    *c = true;
+                }
+            }
+        }
+        Ok((0..n).filter(|&i| !covered[i]).collect())
+    }
+
+    /// The unique substitution at `pos` that maximizes solid coverage, if
+    /// it strictly beats both the original and every other candidate.
+    fn best_substitution(
+        &self,
+        seq: &DnaSequence,
+        pos: usize,
+        spectrum: &KmerCounter,
+    ) -> crate::Result<Option<DnaBase>> {
+        let original = seq.get(pos);
+        let baseline = self.solid_cover(seq, pos, spectrum, original)?;
+        let mut best: Option<(DnaBase, usize)> = None;
+        let mut tie = false;
+        for cand in DnaBase::ALL {
+            if cand == original {
+                continue;
+            }
+            let cover = self.solid_cover(seq, pos, spectrum, cand)?;
+            match best {
+                Some((_, c)) if cover > c => {
+                    best = Some((cand, cover));
+                    tie = false;
+                }
+                Some((_, c)) if cover == c && cover > 0 => tie = true,
+                None => best = Some((cand, cover)),
+                _ => {}
+            }
+        }
+        Ok(match best {
+            Some((base, cover)) if cover > baseline && !tie => Some(base),
+            _ => None,
+        })
+    }
+
+    /// Number of solid k-mers covering `pos` when it is set to `base`.
+    fn solid_cover(
+        &self,
+        seq: &DnaSequence,
+        pos: usize,
+        spectrum: &KmerCounter,
+        base: DnaBase,
+    ) -> crate::Result<usize> {
+        let lo = pos.saturating_sub(self.k - 1);
+        let hi = (pos + 1).min(seq.len().saturating_sub(self.k - 1));
+        let mut count = 0;
+        for start in lo..hi {
+            let mut bases: Vec<DnaBase> = (0..self.k).map(|i| seq.get(start + i)).collect();
+            bases[pos - start] = base;
+            let kmer = Kmer::from_bases(&bases)?;
+            if spectrum.count(&kmer) >= self.solid {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+}
+
+impl DnaSequence {
+    /// Replaces the base at `pos` (correction support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn set_base(&mut self, pos: usize, base: DnaBase) {
+        assert!(pos < self.len(), "base index out of range");
+        let mut out = DnaSequence::with_capacity(self.len());
+        for i in 0..self.len() {
+            out.push(if i == pos { base } else { self.get(i) });
+        }
+        *self = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::ReadSimulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn repairs_a_single_planted_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let genome = DnaSequence::random(&mut rng, 600);
+        // Build a clean spectrum from the genome.
+        let k = 15;
+        let mut spectrum = KmerCounter::new(k).unwrap();
+        for _ in 0..3 {
+            spectrum.count_sequence(&genome).unwrap(); // count 3 ⇒ solid
+        }
+        // Corrupt one base mid-read.
+        let mut read = genome.subsequence(100, 80);
+        let truth = read.clone();
+        let bad = read.get(40).complement();
+        read.set_base(40, bad);
+        let corrector = ReadCorrector::new(k, 3);
+        let (fixed, stats) = corrector.correct_sequence(&read, &spectrum).unwrap();
+        assert_eq!(fixed, truth);
+        assert_eq!(stats.corrected, 1);
+        assert_eq!(stats.uncorrectable, 0);
+    }
+
+    #[test]
+    fn clean_reads_are_untouched() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let genome = DnaSequence::random(&mut rng, 500);
+        let mut spectrum = KmerCounter::new(13).unwrap();
+        for _ in 0..3 {
+            spectrum.count_sequence(&genome).unwrap();
+        }
+        let read = genome.subsequence(50, 60);
+        let (fixed, stats) = ReadCorrector::new(13, 3).correct_sequence(&read, &spectrum).unwrap();
+        assert_eq!(fixed, read);
+        assert_eq!(stats.corrected, 0);
+    }
+
+    #[test]
+    fn correcting_noisy_readset_shrinks_the_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let genome = DnaSequence::random(&mut rng, 1500);
+        let mut reads =
+            ReadSimulator::new(80, 35.0).with_error_rate(0.004).simulate(&genome, &mut rng);
+        let k = 17;
+        let distinct_before = {
+            let mut c = KmerCounter::new(k).unwrap();
+            for r in &reads {
+                c.count_sequence(&r.seq).unwrap();
+            }
+            c.distinct()
+        };
+        let stats = ReadCorrector::new(k, 3).correct_reads(&mut reads).unwrap();
+        assert!(stats.corrected > 0, "no corrections happened");
+        let distinct_after = {
+            let mut c = KmerCounter::new(k).unwrap();
+            for r in &reads {
+                c.count_sequence(&r.seq).unwrap();
+            }
+            c.distinct()
+        };
+        // Error k-mers removed ⇒ spectrum closer to the genome's true size.
+        assert!(distinct_after < distinct_before, "{distinct_after} !< {distinct_before}");
+        let true_distinct = genome.len() - k + 1;
+        let excess_before = distinct_before - true_distinct;
+        let excess_after = distinct_after.saturating_sub(true_distinct);
+        assert!(
+            (excess_after as f64) < 0.5 * excess_before as f64,
+            "excess {excess_before} -> {excess_after}"
+        );
+    }
+
+    #[test]
+    fn short_sequences_pass_through() {
+        let seq: DnaSequence = "ACGT".parse().unwrap();
+        let spectrum = KmerCounter::new(15).unwrap();
+        let (out, stats) = ReadCorrector::new(15, 2).correct_sequence(&seq, &spectrum).unwrap();
+        assert_eq!(out, seq);
+        assert_eq!(stats.corrected, 0);
+    }
+
+    #[test]
+    fn ambiguous_positions_stay_uncorrected() {
+        // A spectrum with no solid k-mers at all: nothing can be trusted,
+        // so nothing is repaired and positions count as uncorrectable.
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let read = DnaSequence::random(&mut rng, 40);
+        let spectrum = KmerCounter::new(15).unwrap(); // empty
+        let (out, stats) = ReadCorrector::new(15, 2).correct_sequence(&read, &spectrum).unwrap();
+        assert_eq!(out, read);
+        assert_eq!(stats.corrected, 0);
+        assert_eq!(stats.uncorrectable as usize, read.len());
+    }
+
+    #[test]
+    fn set_base_replaces_one_position() {
+        let mut s: DnaSequence = "ACGT".parse().unwrap();
+        s.set_base(2, DnaBase::T);
+        assert_eq!(s.to_string(), "ACTT");
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-position coverage tracking.
+//!
+//! The read simulator claims uniform sampling; assemblies fail where depth
+//! drops to zero. This module computes the depth profile of a read set over
+//! its reference (using the simulator's ground-truth origins) and the
+//! summary statistics that predict assembly completeness.
+
+use crate::reads::Read;
+
+/// Depth-of-coverage profile over a reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageProfile {
+    depth: Vec<u32>,
+}
+
+impl CoverageProfile {
+    /// Builds the profile from reads with ground-truth origins over a
+    /// reference of `genome_len` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read extends past the reference.
+    pub fn from_reads(genome_len: usize, reads: &[Read]) -> Self {
+        let mut depth = vec![0u32; genome_len];
+        for r in reads {
+            assert!(r.origin + r.seq.len() <= genome_len, "read {} out of reference", r.id);
+            for d in depth.iter_mut().skip(r.origin).take(r.seq.len()) {
+                *d += 1;
+            }
+        }
+        CoverageProfile { depth }
+    }
+
+    /// Depth at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn depth_at(&self, i: usize) -> u32 {
+        self.depth[i]
+    }
+
+    /// Mean depth.
+    pub fn mean(&self) -> f64 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        self.depth.iter().map(|&d| d as f64).sum::<f64>() / self.depth.len() as f64
+    }
+
+    /// Fraction of positions with depth ≥ `min`.
+    pub fn breadth(&self, min: u32) -> f64 {
+        if self.depth.is_empty() {
+            return 0.0;
+        }
+        self.depth.iter().filter(|&&d| d >= min).count() as f64 / self.depth.len() as f64
+    }
+
+    /// Positions with zero coverage (assembly must break there).
+    pub fn zero_positions(&self) -> usize {
+        self.depth.iter().filter(|&&d| d == 0).count()
+    }
+
+    /// Contiguous zero-coverage gaps as `(start, len)`.
+    pub fn gaps(&self) -> Vec<(usize, usize)> {
+        let mut gaps = Vec::new();
+        let mut start = None;
+        for (i, &d) in self.depth.iter().enumerate() {
+            match (d == 0, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    gaps.push((s, i - s));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            gaps.push((s, self.depth.len() - s));
+        }
+        gaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::ReadSimulator;
+    use crate::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn read(id: usize, origin: usize, len: usize) -> Read {
+        let mut rng = ChaCha8Rng::seed_from_u64(id as u64);
+        Read { id, seq: DnaSequence::random(&mut rng, len), origin }
+    }
+
+    #[test]
+    fn depth_counts_overlaps() {
+        let reads = vec![read(0, 0, 10), read(1, 5, 10)];
+        let p = CoverageProfile::from_reads(20, &reads);
+        assert_eq!(p.depth_at(0), 1);
+        assert_eq!(p.depth_at(7), 2);
+        assert_eq!(p.depth_at(14), 1);
+        assert_eq!(p.depth_at(15), 0);
+        assert!((p.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_are_located() {
+        let reads = vec![read(0, 0, 5), read(1, 10, 5)];
+        let p = CoverageProfile::from_reads(20, &reads);
+        assert_eq!(p.gaps(), vec![(5, 5), (15, 5)]);
+        assert_eq!(p.zero_positions(), 10);
+        assert!((p.breadth(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_coverage_is_near_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let genome = DnaSequence::random(&mut rng, 5000);
+        let sim = ReadSimulator::new(100, 30.0);
+        let reads = sim.simulate(&genome, &mut rng);
+        let p = CoverageProfile::from_reads(genome.len(), &reads);
+        // Interior mean near 30×, breadth ≈ 1 at depth ≥ 5.
+        assert!((25.0..35.0).contains(&p.mean()), "mean {}", p.mean());
+        assert!(p.breadth(5) > 0.98, "breadth {}", p.breadth(5));
+        // Edge effect exists: first/last positions are lighter than interior.
+        let interior = p.depth_at(2500) as f64;
+        let edge = p.depth_at(0) as f64;
+        assert!(edge < interior, "edge {edge} vs interior {interior}");
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = CoverageProfile::from_reads(0, &[]);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.breadth(1), 0.0);
+        assert!(p.gaps().is_empty());
+    }
+}

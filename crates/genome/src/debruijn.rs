@@ -1,0 +1,342 @@
+//! The `DeBruijn(Hashmap, k)` procedure of Fig. 5: graph construction.
+//!
+//! Nodes are (k−1)-mers; every distinct k-mer in the hash table contributes
+//! a directed edge from its (k−1)-prefix to its (k−1)-suffix, carrying the
+//! k-mer's frequency as multiplicity. In/out degrees — the quantities the
+//! paper's `Traverse(G)` procedure accumulates with `PIM_Add` over the
+//! adjacency matrix (Fig. 8) — are maintained incrementally.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::hash_table::KmerCounter;
+use crate::kmer::Kmer;
+
+/// One directed edge (a distinct k-mer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Destination node index.
+    pub to: usize,
+    /// The k-mer that induced this edge.
+    pub kmer: Kmer,
+    /// Frequency of the k-mer in the input (edge weight).
+    pub multiplicity: u64,
+}
+
+/// A de Bruijn graph over (k−1)-mer nodes.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::{debruijn::DeBruijnGraph, hash_table::KmerCounter, sequence::DnaSequence};
+///
+/// let s: DnaSequence = "CGTGCGTGCTT".parse()?;
+/// let mut counter = KmerCounter::new(5)?;
+/// counter.count_sequence(&s)?;
+/// let g = DeBruijnGraph::from_counter(&counter, 1);
+/// assert_eq!(g.edge_count(), 6); // six distinct 5-mers
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeBruijnGraph {
+    k: usize,
+    nodes: Vec<Kmer>,
+    node_index: HashMap<u64, usize>,
+    adj: Vec<Vec<Edge>>,
+    in_deg: Vec<usize>,
+}
+
+impl DeBruijnGraph {
+    /// Builds the graph from a k-mer counter, keeping k-mers with count
+    /// ≥ `min_count` (frequency filtering drops sequencing-error k-mers).
+    pub fn from_counter(counter: &KmerCounter, min_count: u64) -> Self {
+        let mut g = DeBruijnGraph {
+            k: counter.k(),
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
+            adj: Vec::new(),
+            in_deg: Vec::new(),
+        };
+        for e in counter.entries_with_min_count(min_count) {
+            g.add_kmer(e.kmer, e.count);
+        }
+        g
+    }
+
+    /// Builds the graph directly from distinct k-mers (multiplicity 1 each).
+    pub fn from_kmers<I: IntoIterator<Item = Kmer>>(k: usize, kmers: I) -> Self {
+        let mut g = DeBruijnGraph {
+            k,
+            nodes: Vec::new(),
+            node_index: HashMap::new(),
+            adj: Vec::new(),
+            in_deg: Vec::new(),
+        };
+        for kmer in kmers {
+            g.add_kmer(kmer, 1);
+        }
+        g
+    }
+
+    /// Adds one k-mer edge (`MEM_insert node_1 / edges_list` in Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.k()` does not match the graph's k.
+    pub fn add_kmer(&mut self, kmer: Kmer, multiplicity: u64) {
+        assert_eq!(kmer.k(), self.k, "k-mer length mismatch");
+        let from = self.intern(kmer.prefix());
+        let to = self.intern(kmer.suffix());
+        self.adj[from].push(Edge { to, kmer, multiplicity });
+        self.in_deg[to] += 1;
+    }
+
+    /// The k of the inducing k-mers (nodes are (k−1)-mers).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (distinct k-mers kept).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The (k−1)-mer of node `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn node(&self, idx: usize) -> Kmer {
+        self.nodes[idx]
+    }
+
+    /// Node index of a (k−1)-mer, if present.
+    pub fn node_id(&self, node: &Kmer) -> Option<usize> {
+        self.node_index.get(&node.packed()).copied()
+    }
+
+    /// Out-edges of node `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn out_edges(&self, idx: usize) -> &[Edge] {
+        &self.adj[idx]
+    }
+
+    /// Out-degree (edge count, not multiplicity-weighted).
+    pub fn out_degree(&self, idx: usize) -> usize {
+        self.adj[idx].len()
+    }
+
+    /// In-degree.
+    pub fn in_degree(&self, idx: usize) -> usize {
+        self.in_deg[idx]
+    }
+
+    /// `out_degree − in_degree` per node — the balance vector whose
+    /// computation `Traverse(G)` accelerates with `PIM_Add`.
+    pub fn balance(&self) -> Vec<isize> {
+        (0..self.node_count()).map(|i| self.out_degree(i) as isize - self.in_degree(i) as isize).collect()
+    }
+
+    /// Nodes with `out − in = 1` (Eulerian-path start candidates).
+    pub fn start_candidates(&self) -> Vec<usize> {
+        self.balance()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b > 0 { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Whether the edge set admits a single Eulerian path (at most one
+    /// node with out−in = 1, at most one with in−out = 1, all others
+    /// balanced, and all edges in one connected component).
+    pub fn has_eulerian_path(&self) -> bool {
+        let balance = self.balance();
+        let plus: isize = balance.iter().filter(|&&b| b > 0).sum();
+        let minus: isize = balance.iter().filter(|&&b| b < 0).sum();
+        if plus > 1 || minus < -1 {
+            return false;
+        }
+        self.edge_components() <= 1
+    }
+
+    /// Number of weakly-connected components containing at least one edge.
+    pub fn edge_components(&self) -> usize {
+        let comp = self.component_labels();
+        let mut with_edges = std::collections::HashSet::new();
+        for (i, edges) in self.adj.iter().enumerate() {
+            if !edges.is_empty() {
+                with_edges.insert(comp[i]);
+            }
+        }
+        with_edges.len()
+    }
+
+    /// Weak-connectivity component label per node.
+    pub fn component_labels(&self) -> Vec<usize> {
+        let n = self.node_count();
+        // Build undirected adjacency once.
+        let mut und: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (from, edges) in self.adj.iter().enumerate() {
+            for e in edges {
+                und[from].push(e.to);
+                und[e.to].push(from);
+            }
+        }
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            label[start] = next;
+            while let Some(v) = stack.pop() {
+                for &w in &und[v] {
+                    if label[w] == usize::MAX {
+                        label[w] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+
+    /// Dense adjacency matrix (`matrix[i][j]` = number of parallel edges
+    /// i→j) — the representation the paper maps onto sub-array rows for
+    /// `PIM_Add` degree accumulation (Fig. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the graph exceeds `max_nodes` (dense
+    /// matrices are only for the mapped sub-graphs, which are bounded by
+    /// the sub-array height).
+    pub fn adjacency_matrix(&self, max_nodes: usize) -> Result<Vec<Vec<u64>>> {
+        let n = self.node_count();
+        if n > max_nodes {
+            return Err(crate::GenomeError::SequenceTooShort { len: max_nodes, needed: n });
+        }
+        let mut m = vec![vec![0u64; n]; n];
+        for (from, edges) in self.adj.iter().enumerate() {
+            for e in edges {
+                m[from][e.to] += 1;
+            }
+        }
+        Ok(m)
+    }
+
+    fn intern(&mut self, node: Kmer) -> usize {
+        if let Some(&i) = self.node_index.get(&node.packed()) {
+            // Distinct (k−1)-mers can collide in `packed` only if k differs,
+            // which the add_kmer assert rules out.
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.node_index.insert(node.packed(), i);
+        self.adj.push(Vec::new());
+        self.in_deg.push(0);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::DnaSequence;
+
+    fn graph_of(s: &str, k: usize) -> DeBruijnGraph {
+        let seq: DnaSequence = s.parse().unwrap();
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        DeBruijnGraph::from_counter(&c, 1)
+    }
+
+    #[test]
+    fn fig5c_contig_one_graph() {
+        // Fig. 5c, contig I: k-mers CGTG, GTGC, TGCT, GCTT spell CGTGCTT.
+        let g = DeBruijnGraph::from_kmers(
+            4,
+            ["CGTG", "GTGC", "TGCT", "GCTT"].iter().map(|s| s.parse().unwrap()),
+        );
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node_count(), 5); // CGT GTG TGC GCT CTT
+        assert!(g.has_eulerian_path());
+        // CGT is the unique start (out−in = 1).
+        let starts = g.start_candidates();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(g.node(starts[0]).to_string(), "CGT");
+    }
+
+    #[test]
+    fn degrees_balance() {
+        let g = graph_of("CGTGCGTGCTT", 5);
+        let total_out: usize = (0..g.node_count()).map(|i| g.out_degree(i)).sum();
+        let total_in: usize = (0..g.node_count()).map(|i| g.in_degree(i)).sum();
+        assert_eq!(total_out, g.edge_count());
+        assert_eq!(total_in, g.edge_count());
+        let b = g.balance();
+        assert_eq!(b.iter().sum::<isize>(), 0);
+    }
+
+    #[test]
+    fn repeated_kmer_collapses_to_one_edge() {
+        // CGTGC appears twice in the Fig. 5b string but is one edge with
+        // multiplicity 2.
+        let seq: DnaSequence = "CGTGCGTGCTT".parse().unwrap();
+        let mut c = KmerCounter::new(5).unwrap();
+        c.count_sequence(&seq).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 1);
+        let from = g.node_id(&"CGTG".parse().unwrap()).unwrap();
+        let e = g.out_edges(from).iter().find(|e| e.kmer.to_string() == "CGTGC").unwrap();
+        assert_eq!(e.multiplicity, 2);
+    }
+
+    #[test]
+    fn min_count_filter_applies() {
+        let seq: DnaSequence = "CGTGCGTGCTT".parse().unwrap();
+        let mut c = KmerCounter::new(5).unwrap();
+        c.count_sequence(&seq).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 2);
+        assert_eq!(g.edge_count(), 1); // only CGTGC has count ≥ 2
+    }
+
+    #[test]
+    fn components_counted_on_edges() {
+        // Two disconnected strings → two edge components.
+        let mut c = KmerCounter::new(4).unwrap();
+        c.count_sequence(&"AAAAACC".parse().unwrap()).unwrap();
+        c.count_sequence(&"GGTGGTT".parse().unwrap()).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 1);
+        assert_eq!(g.edge_components(), 2);
+        assert!(!g.has_eulerian_path());
+    }
+
+    #[test]
+    fn adjacency_matrix_row_sums_are_out_degrees() {
+        let g = graph_of("CGTGCGTGCTT", 5);
+        let m = g.adjacency_matrix(64).unwrap();
+        for (i, row) in m.iter().enumerate() {
+            let row_sum: u64 = row.iter().sum();
+            assert_eq!(row_sum as usize, g.out_degree(i));
+        }
+        assert!(g.adjacency_matrix(2).is_err());
+    }
+
+    #[test]
+    fn node_lookup() {
+        let g = graph_of("ACGTAC", 3);
+        let id = g.node_id(&"AC".parse().unwrap()).unwrap();
+        assert_eq!(g.node(id).to_string(), "AC");
+        assert!(g.node_id(&"GG".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the genome toolkit.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GenomeError>;
+
+/// Errors raised by sequence parsing, k-mer handling, and assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenomeError {
+    /// A character outside `ACGTacgt` appeared in sequence input.
+    InvalidBase {
+        /// The offending character.
+        ch: char,
+        /// Byte position in the input.
+        position: usize,
+    },
+    /// A k value outside the supported `1..=32` range.
+    UnsupportedK {
+        /// The requested k.
+        k: usize,
+    },
+    /// A sequence was too short to yield even one k-mer.
+    SequenceTooShort {
+        /// Sequence length.
+        len: usize,
+        /// Required minimum length.
+        needed: usize,
+    },
+    /// FASTA input was malformed.
+    MalformedFasta {
+        /// Line number (1-based).
+        line: usize,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::InvalidBase { ch, position } => {
+                write!(f, "invalid base {ch:?} at position {position}")
+            }
+            GenomeError::UnsupportedK { k } => {
+                write!(f, "unsupported k-mer length {k} (supported: 1..=32)")
+            }
+            GenomeError::SequenceTooShort { len, needed } => {
+                write!(f, "sequence of length {len} too short (need at least {needed})")
+            }
+            GenomeError::MalformedFasta { line, reason } => {
+                write!(f, "malformed fasta at line {line}: {reason}")
+            }
+            GenomeError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomeError {}
+
+impl From<std::io::Error> for GenomeError {
+    fn from(e: std::io::Error) -> Self {
+        GenomeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(GenomeError::InvalidBase { ch: 'N', position: 4 }.to_string().contains("'N'"));
+        assert!(GenomeError::UnsupportedK { k: 40 }.to_string().contains("40"));
+        assert!(GenomeError::SequenceTooShort { len: 3, needed: 16 }.to_string().contains("16"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: GenomeError = std::io::Error::other("boom").into();
+        assert!(matches!(e, GenomeError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GenomeError>();
+    }
+}

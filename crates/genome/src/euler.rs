@@ -1,0 +1,338 @@
+//! `Traverse(G)`: Eulerian path extraction.
+//!
+//! The paper names the Fleury algorithm in Fig. 5; Fleury avoids bridges at
+//! every step and is O(E²). We implement it for fidelity, plus the standard
+//! Hierholzer algorithm (O(E)) that any production assembler would use — an
+//! ablation bench compares the two. Both operate per weakly-connected
+//! component and decompose non-Eulerian components into a minimal set of
+//! edge-disjoint trails.
+
+use crate::debruijn::DeBruijnGraph;
+
+/// Which traversal algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EulerAlgorithm {
+    /// Hierholzer's linear-time algorithm (default).
+    #[default]
+    Hierholzer,
+    /// Fleury's bridge-avoiding algorithm, as the paper's Fig. 5 names.
+    Fleury,
+}
+
+/// One trail: a sequence of node indices; consecutive nodes are joined by
+/// one edge, so a trail of `n` nodes spells `n − 1` k-mers.
+pub type Trail = Vec<usize>;
+
+/// Extracts edge-disjoint trails covering every edge of the graph.
+///
+/// Each weakly-connected component yields one trail when it is Eulerian
+/// (≤ 2 unbalanced nodes); otherwise it is decomposed greedily into several
+/// trails, each starting at a node with surplus out-degree.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::{debruijn::DeBruijnGraph, euler::{eulerian_trails, EulerAlgorithm}};
+///
+/// let g = DeBruijnGraph::from_kmers(
+///     4,
+///     ["CGTG", "GTGC", "TGCT", "GCTT"].iter().map(|s| s.parse().unwrap()),
+/// );
+/// let trails = eulerian_trails(&g, EulerAlgorithm::Hierholzer);
+/// assert_eq!(trails.len(), 1);
+/// assert_eq!(trails[0].len(), 5); // 4 edges → 5 nodes
+/// ```
+pub fn eulerian_trails(graph: &DeBruijnGraph, algorithm: EulerAlgorithm) -> Vec<Trail> {
+    match algorithm {
+        EulerAlgorithm::Hierholzer => hierholzer(graph),
+        EulerAlgorithm::Fleury => fleury(graph),
+    }
+}
+
+/// Hierholzer's algorithm generalized to trail decomposition.
+///
+/// Pass 1 peels one greedy (splice-free) trail per unit of surplus
+/// out-degree; each such walk necessarily ends at a deficit node, and the
+/// residual graph is then balanced. Pass 2 extracts the remaining Eulerian
+/// circuits with classic stack-based Hierholzer (whose cycle splicing is
+/// only valid on balanced graphs — running it directly on an unbalanced
+/// component would stitch non-adjacent nodes together). Circuits sharing a
+/// node with an existing trail are spliced into it to maximize trail
+/// length, mirroring what the contig stage wants.
+fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
+    let n = graph.node_count();
+    let mut next_edge = vec![0usize; n];
+    let mut remaining_out: Vec<usize> = (0..n).map(|i| graph.out_degree(i)).collect();
+    let mut remaining_in: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    let mut trails: Vec<Trail> = Vec::new();
+
+    // Pass 1: one greedy trail per unit of residual surplus out-degree.
+    for start in 0..n {
+        while remaining_out[start] > remaining_in[start] {
+            trails.push(greedy_walk(graph, start, &mut next_edge, &mut remaining_out, &mut remaining_in));
+        }
+    }
+
+    // Pass 2: residual graph is balanced — extract circuits and splice.
+    for start in 0..n {
+        while remaining_out[start] > 0 {
+            let circuit = walk_from(graph, start, &mut next_edge, &mut remaining_out);
+            match trails.iter_mut().find_map(|t| {
+                t.iter().position(|&v| v == circuit[0]).map(|pos| (t, pos))
+            }) {
+                Some((trail, pos)) => {
+                    // Insert the circuit (minus its duplicated first node)
+                    // after `pos`.
+                    let tail: Vec<usize> = circuit[1..].to_vec();
+                    trail.splice(pos + 1..pos + 1, tail);
+                }
+                None => trails.push(circuit),
+            }
+        }
+    }
+    trails
+}
+
+/// Greedy trail: follow unused out-edges until stuck; no splicing.
+fn greedy_walk(
+    graph: &DeBruijnGraph,
+    start: usize,
+    next_edge: &mut [usize],
+    remaining_out: &mut [usize],
+    remaining_in: &mut [usize],
+) -> Trail {
+    let mut trail = vec![start];
+    let mut v = start;
+    while remaining_out[v] > 0 {
+        let e = &graph.out_edges(v)[next_edge[v]];
+        next_edge[v] += 1;
+        remaining_out[v] -= 1;
+        remaining_in[e.to] -= 1;
+        trail.push(e.to);
+        v = e.to;
+    }
+    trail
+}
+
+/// One Hierholzer walk: greedy trail from `start` with cycle splicing.
+fn walk_from(
+    graph: &DeBruijnGraph,
+    start: usize,
+    next_edge: &mut [usize],
+    remaining_out: &mut [usize],
+) -> Trail {
+    // Iterative Hierholzer with an explicit stack; produces the trail in
+    // reverse, then flips it.
+    let mut stack = vec![start];
+    let mut trail = Vec::new();
+    while let Some(&v) = stack.last() {
+        if remaining_out[v] == 0 {
+            trail.push(v);
+            stack.pop();
+        } else {
+            let e = &graph.out_edges(v)[next_edge[v]];
+            next_edge[v] += 1;
+            remaining_out[v] -= 1;
+            stack.push(e.to);
+        }
+    }
+    trail.reverse();
+    trail
+}
+
+/// Fleury's algorithm: never cross a bridge unless forced.
+fn fleury(graph: &DeBruijnGraph) -> Vec<Trail> {
+    let n = graph.node_count();
+    // Mutable residual multigraph as adjacency lists of (to, used flag).
+    let mut used: Vec<Vec<bool>> = (0..n).map(|i| vec![false; graph.out_degree(i)]).collect();
+    let mut remaining_out: Vec<usize> = (0..n).map(|i| graph.out_degree(i)).collect();
+    let mut remaining_in: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
+    let mut trails = Vec::new();
+
+    let mut starts: Vec<usize> = graph.start_candidates();
+    starts.extend(0..n);
+
+    for &start in &starts {
+        while remaining_out[start] > 0 {
+            let mut trail = vec![start];
+            let mut v = start;
+            while remaining_out[v] > 0 {
+                let choice = choose_non_bridge(graph, v, &used, &remaining_out, &remaining_in);
+                used[v][choice] = true;
+                remaining_out[v] -= 1;
+                let to = graph.out_edges(v)[choice].to;
+                remaining_in[to] -= 1;
+                trail.push(to);
+                v = to;
+            }
+            trails.push(trail);
+        }
+    }
+    trails
+}
+
+/// Picks an unused out-edge of `v` that is not a bridge in the residual
+/// graph, falling back to a bridge when every edge is one.
+fn choose_non_bridge(
+    graph: &DeBruijnGraph,
+    v: usize,
+    used: &[Vec<bool>],
+    remaining_out: &[usize],
+    _remaining_in: &[usize],
+) -> usize {
+    let candidates: Vec<usize> =
+        (0..graph.out_degree(v)).filter(|&i| !used[v][i]).collect();
+    if candidates.len() == 1 {
+        return candidates[0];
+    }
+    for &c in &candidates {
+        if !disconnects(graph, v, c, used, remaining_out) {
+            return c;
+        }
+    }
+    candidates[0]
+}
+
+/// Would taking edge `(v, idx)` strand residual edges of `v`'s component?
+/// Classic Fleury reachability check in the residual graph, treated as
+/// undirected (adequate for trail decomposition of near-Eulerian de Bruijn
+/// components).
+fn disconnects(
+    graph: &DeBruijnGraph,
+    v: usize,
+    idx: usize,
+    used: &[Vec<bool>],
+    remaining_out: &[usize],
+) -> bool {
+    let to = graph.out_edges(v)[idx].to;
+    // Count residual edges reachable from `to` with the candidate edge
+    // removed; if some residual edge of v's residual component becomes
+    // unreachable, the edge is a bridge.
+    let n = graph.node_count();
+    let mut undirected: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for (i, e) in graph.out_edges(u).iter().enumerate() {
+            if used[u][i] || (u == v && i == idx) {
+                continue;
+            }
+            undirected[u].push(e.to);
+            undirected[e.to].push(u);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![to];
+    seen[to] = true;
+    while let Some(x) = stack.pop() {
+        for &y in &undirected[x] {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    // Any node with residual out-edges (other than the edge we just took)
+    // that is unreachable ⇒ bridge.
+    (0..n).any(|u| {
+        let residual = remaining_out[u] - usize::from(u == v);
+        residual > 0 && !seen[u]
+    })
+}
+
+/// Checks that a set of trails uses every edge of `graph` exactly once.
+pub fn trails_cover_all_edges(graph: &DeBruijnGraph, trails: &[Trail]) -> bool {
+    use std::collections::HashMap;
+    // Multiset of edges in the graph.
+    let mut need: HashMap<(usize, usize), isize> = HashMap::new();
+    for v in 0..graph.node_count() {
+        for e in graph.out_edges(v) {
+            *need.entry((v, e.to)).or_insert(0) += 1;
+        }
+    }
+    for t in trails {
+        for w in t.windows(2) {
+            *need.entry((w[0], w[1])).or_insert(0) -= 1;
+        }
+    }
+    need.values().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_table::KmerCounter;
+    use crate::sequence::DnaSequence;
+
+    fn graph_of(s: &str, k: usize) -> DeBruijnGraph {
+        let seq: DnaSequence = s.parse().unwrap();
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        DeBruijnGraph::from_counter(&c, 1)
+    }
+
+    #[test]
+    fn single_trail_for_linear_string() {
+        let g = graph_of("ATTGCCGGAACT", 4);
+        for alg in [EulerAlgorithm::Hierholzer, EulerAlgorithm::Fleury] {
+            let trails = eulerian_trails(&g, alg);
+            assert_eq!(trails.len(), 1, "{alg:?}");
+            assert!(trails_cover_all_edges(&g, &trails), "{alg:?}");
+            assert_eq!(trails[0].len(), g.edge_count() + 1);
+        }
+    }
+
+    #[test]
+    fn cycle_graph_yields_closed_trail() {
+        // ACGTAC: 3-mers wrap: AC→CG→GT→TA→AC (distinct 3-mers form a cycle
+        // over 2-mer nodes).
+        let g = graph_of("ACGTACG", 3);
+        let trails = eulerian_trails(&g, EulerAlgorithm::Hierholzer);
+        assert!(trails_cover_all_edges(&g, &trails));
+        assert_eq!(trails.len(), 1);
+        let t = &trails[0];
+        assert_eq!(t.first(), t.last()); // closed
+    }
+
+    #[test]
+    fn disconnected_components_give_multiple_trails() {
+        let mut c = KmerCounter::new(4).unwrap();
+        c.count_sequence(&"AAAAACC".parse().unwrap()).unwrap();
+        c.count_sequence(&"GGTGGTT".parse().unwrap()).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 1);
+        for alg in [EulerAlgorithm::Hierholzer, EulerAlgorithm::Fleury] {
+            let trails = eulerian_trails(&g, alg);
+            assert!(trails.len() >= 2, "{alg:?}");
+            assert!(trails_cover_all_edges(&g, &trails), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn branching_graph_still_covers_all_edges() {
+        // A repeat creates a branch; decomposition must still cover all
+        // edges exactly once.
+        let g = graph_of("ACGTACGTTACGG", 4);
+        for alg in [EulerAlgorithm::Hierholzer, EulerAlgorithm::Fleury] {
+            let trails = eulerian_trails(&g, alg);
+            assert!(trails_cover_all_edges(&g, &trails), "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn both_algorithms_agree_on_edge_coverage() {
+        let g = graph_of("CGTGCGTGCTTACGGATCCGATCAAGGTT", 5);
+        let h = eulerian_trails(&g, EulerAlgorithm::Hierholzer);
+        let f = eulerian_trails(&g, EulerAlgorithm::Fleury);
+        assert!(trails_cover_all_edges(&g, &h));
+        assert!(trails_cover_all_edges(&g, &f));
+        let h_edges: usize = h.iter().map(|t| t.len() - 1).sum();
+        let f_edges: usize = f.iter().map(|t| t.len() - 1).sum();
+        assert_eq!(h_edges, f_edges);
+        assert_eq!(h_edges, g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph_yields_no_trails() {
+        let g = DeBruijnGraph::from_kmers(4, std::iter::empty());
+        assert!(eulerian_trails(&g, EulerAlgorithm::Hierholzer).is_empty());
+        assert!(eulerian_trails(&g, EulerAlgorithm::Fleury).is_empty());
+    }
+}

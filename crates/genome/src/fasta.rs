@@ -1,0 +1,140 @@
+//! Minimal FASTA input/output.
+//!
+//! Enough of the format to interchange references, reads, and contigs with
+//! standard tooling: `>`-headers, wrapped sequence lines, `ACGT` alphabet
+//! (other IUPAC codes are rejected — the 2-bit pipeline cannot represent
+//! them, mirroring how the paper's encoding handles only the four bases).
+
+use std::io::{BufRead, Write};
+
+use crate::error::{GenomeError, Result};
+use crate::sequence::DnaSequence;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>` (up to the first newline).
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSequence,
+}
+
+/// Parses all records from a reader.
+///
+/// # Errors
+///
+/// * [`GenomeError::MalformedFasta`] when sequence data precedes the first
+///   header or a record is empty.
+/// * [`GenomeError::InvalidBase`] for non-ACGT characters.
+/// * [`GenomeError::Io`] for underlying read failures.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::fasta::read_fasta;
+///
+/// let input = ">seq1\nACGT\nACGT\n>seq2\nTTTT\n";
+/// let records = read_fasta(input.as_bytes())?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].seq.len(), 8);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            records.push(FastaRecord { name: name.trim().to_string(), seq: DnaSequence::new() });
+        } else {
+            let record = records
+                .last_mut()
+                .ok_or(GenomeError::MalformedFasta { line: lineno + 1, reason: "sequence before first header" })?;
+            for (col, ch) in line.chars().enumerate() {
+                record.seq.push(crate::base::DnaBase::try_from_char_at(ch, col)?);
+            }
+        }
+    }
+    for (i, r) in records.iter().enumerate() {
+        if r.seq.is_empty() {
+            return Err(GenomeError::MalformedFasta { line: i + 1, reason: "record with empty sequence" });
+        }
+    }
+    Ok(records)
+}
+
+/// Writes records to a writer, wrapping sequence lines at 70 columns.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::Io`] on write failure.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> Result<()> {
+    for r in records {
+        writeln!(writer, ">{}", r.name)?;
+        let text = r.seq.to_string();
+        for chunk in text.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            FastaRecord { name: "a".into(), seq: "ACGTACGT".parse().unwrap() },
+            FastaRecord { name: "b desc".into(), seq: "TT".parse().unwrap() },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let parsed = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn multiline_sequences_concatenate() {
+        let recs = read_fasta(">x\nAC\nGT\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn long_sequences_wrap_on_write() {
+        let seq: DnaSequence = "A".repeat(150).parse().unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &[FastaRecord { name: "long".into(), seq }]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 70));
+    }
+
+    #[test]
+    fn sequence_before_header_rejected() {
+        let err = read_fasta("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GenomeError::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        let err = read_fasta(">x\n>y\nACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GenomeError::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn bad_bases_rejected() {
+        let err = read_fasta(">x\nACNGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GenomeError::InvalidBase { ch: 'N', .. }));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let recs = read_fasta(">x\n\nAC\n\nGT\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal FASTQ input/output.
+//!
+//! Sequencers emit FASTQ (sequence + per-base Phred qualities); assemblers
+//! consume it. This module parses and writes the four-line record format
+//! and converts between ASCII (Phred+33) and numeric quality scores, so
+//! the read-correction stage can weight decisions by base quality.
+
+use std::io::{BufRead, Write};
+
+use crate::base::DnaBase;
+use crate::error::{GenomeError, Result};
+use crate::sequence::DnaSequence;
+
+/// One FASTQ record: name, bases, per-base Phred qualities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header text after `@`.
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSequence,
+    /// Phred quality per base (0–93).
+    pub quals: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Mean Phred quality (0 for an empty record).
+    pub fn mean_quality(&self) -> f64 {
+        if self.quals.is_empty() {
+            return 0.0;
+        }
+        self.quals.iter().map(|&q| q as f64).sum::<f64>() / self.quals.len() as f64
+    }
+
+    /// Expected number of erroneous bases given the qualities
+    /// (`Σ 10^(−q/10)`).
+    pub fn expected_errors(&self) -> f64 {
+        self.quals.iter().map(|&q| 10f64.powf(-(q as f64) / 10.0)).sum()
+    }
+}
+
+/// Parses FASTQ records (Phred+33 quality encoding).
+///
+/// # Errors
+///
+/// * [`GenomeError::MalformedFasta`] for structural problems (missing `@`,
+///   `+` separator, or length mismatch between bases and qualities),
+/// * [`GenomeError::InvalidBase`] for non-ACGT bases,
+/// * [`GenomeError::Io`] for read failures.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::fastq::read_fastq;
+///
+/// let text = "@r1\nACGT\n+\nIIII\n";
+/// let records = read_fastq(text.as_bytes())?;
+/// assert_eq!(records[0].quals, vec![40, 40, 40, 40]);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
+    let mut lines = reader.lines().enumerate();
+    let mut records = Vec::new();
+    while let Some((n, header)) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let name = header
+            .strip_prefix('@')
+            .ok_or(GenomeError::MalformedFasta { line: n + 1, reason: "expected '@' header" })?
+            .trim()
+            .to_string();
+        let (_, seq_line) =
+            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 2, reason: "missing sequence line" })?;
+        let seq_line = seq_line?;
+        let (_, plus) =
+            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 3, reason: "missing '+' separator" })?;
+        if !plus?.starts_with('+') {
+            return Err(GenomeError::MalformedFasta { line: n + 3, reason: "expected '+' separator" });
+        }
+        let (_, qual_line) =
+            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 4, reason: "missing quality line" })?;
+        let qual_line = qual_line?;
+        if qual_line.len() != seq_line.len() {
+            return Err(GenomeError::MalformedFasta {
+                line: n + 4,
+                reason: "quality length differs from sequence length",
+            });
+        }
+        let mut seq = DnaSequence::with_capacity(seq_line.len());
+        for (i, ch) in seq_line.chars().enumerate() {
+            seq.push(DnaBase::try_from_char_at(ch, i)?);
+        }
+        let quals = qual_line.bytes().map(|b| b.saturating_sub(33)).collect();
+        records.push(FastqRecord { name, seq, quals });
+    }
+    Ok(records)
+}
+
+/// Writes FASTQ records (Phred+33).
+///
+/// # Errors
+///
+/// Returns [`GenomeError::Io`] on write failure.
+///
+/// # Panics
+///
+/// Panics if a record's quality vector length differs from its sequence.
+pub fn write_fastq<W: Write>(mut writer: W, records: &[FastqRecord]) -> Result<()> {
+    for r in records {
+        assert_eq!(r.quals.len(), r.seq.len(), "quality/sequence length mismatch");
+        writeln!(writer, "@{}", r.name)?;
+        writeln!(writer, "{}", r.seq)?;
+        writeln!(writer, "+")?;
+        let quals: String = r.quals.iter().map(|&q| (q.min(93) + 33) as char).collect();
+        writeln!(writer, "{quals}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, seq: &str, q: u8) -> FastqRecord {
+        let seq: DnaSequence = seq.parse().unwrap();
+        let quals = vec![q; seq.len()];
+        FastqRecord { name: name.into(), seq, quals }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![record("a", "ACGTACGT", 38), record("b", "TTG", 12)];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        assert_eq!(read_fastq(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn phred33_decoding() {
+        // 'I' = 73 → Q40; '!' = 33 → Q0.
+        let recs = read_fastq("@x\nAC\n+\nI!\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].quals, vec![40, 0]);
+    }
+
+    #[test]
+    fn mean_and_expected_errors() {
+        let r = record("x", "ACGT", 20); // Q20 = 1% error each
+        assert_eq!(r.mean_quality(), 20.0);
+        assert!((r.expected_errors() - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_errors_detected() {
+        assert!(matches!(
+            read_fastq("ACGT\n".as_bytes()),
+            Err(GenomeError::MalformedFasta { reason: "expected '@' header", .. })
+        ));
+        assert!(matches!(
+            read_fastq("@x\nACGT\nIIII\nIIII\n".as_bytes()),
+            Err(GenomeError::MalformedFasta { reason: "expected '+' separator", .. })
+        ));
+        assert!(matches!(
+            read_fastq("@x\nACGT\n+\nII\n".as_bytes()),
+            Err(GenomeError::MalformedFasta { reason: "quality length differs from sequence length", .. })
+        ));
+        assert!(matches!(
+            read_fastq("@x\nACGT\n+\n".as_bytes()),
+            Err(GenomeError::MalformedFasta { reason: "missing quality line", .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_between_records_tolerated() {
+        let recs = read_fastq("@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn qualities_cap_at_93_on_write() {
+        let mut r = record("x", "AC", 99);
+        r.quals = vec![99, 99];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &[r]).unwrap();
+        let parsed = read_fastq(buf.as_slice()).unwrap();
+        assert_eq!(parsed[0].quals, vec![93, 93]);
+    }
+}

@@ -1,0 +1,335 @@
+//! The `Hashmap(S, k)` procedure of Fig. 5b: a counting hash table over
+//! k-mers.
+//!
+//! The table is an open-addressing map from packed k-mer to frequency,
+//! implemented from scratch so that its probe behaviour can be mirrored by
+//! the PIM mapping (each probe in hardware is one row comparison via
+//! `PIM_XNOR`, each count update one `PIM_Add`). Insertion order is
+//! preserved, matching how PIM-Assembler appends k-mers to consecutive rows
+//! of the k-mer region (Fig. 6).
+
+use crate::error::Result;
+use crate::kmer::{Kmer, KmerIter};
+use crate::sequence::DnaSequence;
+
+/// Slot state in the open-addressing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Index into `entries`, or `usize::MAX` for empty.
+    entry: usize,
+}
+
+const EMPTY: usize = usize::MAX;
+
+/// One stored k-mer with its frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmerEntry {
+    /// The k-mer.
+    pub kmer: Kmer,
+    /// Occurrence count.
+    pub count: u64,
+}
+
+/// A counting hash table over k-mers (the paper's hash table of Fig. 5b).
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::{hash_table::KmerCounter, sequence::DnaSequence};
+///
+/// // The worked example of Fig. 5b: S = CGTGCGTGCTT, k = 5.
+/// let s: DnaSequence = "CGTGCGTGCTT".parse()?;
+/// let mut counter = KmerCounter::new(5)?;
+/// counter.count_sequence(&s)?;
+/// assert_eq!(counter.count(&"CGTGC".parse()?), 2);
+/// assert_eq!(counter.count(&"GTGCG".parse()?), 1);
+/// assert_eq!(counter.distinct(), 6);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmerCounter {
+    k: usize,
+    slots: Vec<Slot>,
+    entries: Vec<KmerEntry>,
+    /// Total k-mers offered (sum of counts).
+    total: u64,
+    /// Probes performed across all lookups (mirrors the number of
+    /// `PIM_XNOR` row comparisons the hardware mapping would issue).
+    probes: u64,
+}
+
+impl KmerCounter {
+    /// Creates an empty counter for k-mers of length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] for k outside `1..=32`.
+    pub fn new(k: usize) -> Result<Self> {
+        // Validate k through the Kmer constructor contract.
+        let _ = Kmer::from_packed(0, k)?;
+        Ok(KmerCounter { k, slots: vec![Slot { entry: EMPTY }; 64], entries: Vec::new(), total: 0, probes: 0 })
+    }
+
+    /// The k this counter was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inserts one occurrence of `kmer`, returning its new count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kmer.k() != self.k()`.
+    pub fn insert(&mut self, kmer: Kmer) -> u64 {
+        assert_eq!(kmer.k(), self.k, "k-mer length mismatch");
+        if self.entries.len() * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        self.total += 1;
+        let slot = self.find_slot(kmer.packed());
+        match self.slots[slot].entry {
+            EMPTY => {
+                self.entries.push(KmerEntry { kmer, count: 1 });
+                self.slots[slot].entry = self.entries.len() - 1;
+                1
+            }
+            e => {
+                self.entries[e].count += 1;
+                self.entries[e].count
+            }
+        }
+    }
+
+    /// Counts every k-mer of `seq` (one pass of the Fig. 5b loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] if k is invalid (cannot
+    /// happen after construction, but the iterator API is fallible).
+    pub fn count_sequence(&mut self, seq: &DnaSequence) -> Result<()> {
+        for kmer in KmerIter::new(seq, self.k)? {
+            self.insert(kmer);
+        }
+        Ok(())
+    }
+
+    /// Counts every k-mer of `seq` in canonical form (the lexicographic
+    /// minimum of the k-mer and its reverse complement), making the table
+    /// strand-invariant — what a real sequencing workload needs, since
+    /// reads come from both strands.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KmerCounter::count_sequence`].
+    pub fn count_sequence_canonical(&mut self, seq: &DnaSequence) -> Result<()> {
+        for kmer in KmerIter::new(seq, self.k)? {
+            self.insert(kmer.canonical());
+        }
+        Ok(())
+    }
+
+    /// Current count of `kmer` (0 if absent).
+    pub fn count(&self, kmer: &Kmer) -> u64 {
+        let slot = self.probe(kmer.packed());
+        match self.slots[slot].entry {
+            EMPTY => 0,
+            e => self.entries[e].count,
+        }
+    }
+
+    /// Whether `kmer` has been seen.
+    pub fn contains(&self, kmer: &Kmer) -> bool {
+        self.count(kmer) > 0
+    }
+
+    /// Number of distinct k-mers.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total k-mers inserted (sum of counts).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Probes performed so far (hardware-comparison proxy).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Entries in insertion order (the order rows fill up in Fig. 6).
+    pub fn entries(&self) -> &[KmerEntry] {
+        &self.entries
+    }
+
+    /// Iterates entries with count ≥ `min_count` (error-k-mer filtering).
+    pub fn entries_with_min_count(&self, min_count: u64) -> impl Iterator<Item = &KmerEntry> {
+        self.entries.iter().filter(move |e| e.count >= min_count)
+    }
+
+    /// Finds the slot for `packed`, counting probes; the slot either holds
+    /// the key or is the first empty one.
+    fn find_slot(&mut self, packed: u64) -> usize {
+        let mut i = hash(packed) as usize & (self.slots.len() - 1);
+        let mut step = 1usize;
+        loop {
+            self.probes += 1;
+            match self.slots[i].entry {
+                EMPTY => return i,
+                e if self.entries[e].kmer.packed() == packed => return i,
+                _ => {
+                    i = (i + step) & (self.slots.len() - 1);
+                    step += 1;
+                }
+            }
+        }
+    }
+
+    /// Non-mutating probe (no probe accounting).
+    fn probe(&self, packed: u64) -> usize {
+        let mut i = hash(packed) as usize & (self.slots.len() - 1);
+        let mut step = 1usize;
+        loop {
+            match self.slots[i].entry {
+                EMPTY => return i,
+                e if self.entries[e].kmer.packed() == packed => return i,
+                _ => {
+                    i = (i + step) & (self.slots.len() - 1);
+                    step += 1;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        self.slots = vec![Slot { entry: EMPTY }; new_len];
+        for (idx, e) in self.entries.iter().enumerate() {
+            let mut i = hash(e.kmer.packed()) as usize & (new_len - 1);
+            let mut step = 1usize;
+            while self.slots[i].entry != EMPTY {
+                i = (i + step) & (new_len - 1);
+                step += 1;
+            }
+            self.slots[i].entry = idx;
+        }
+    }
+}
+
+/// 64-bit mix (splitmix64 finalizer) — cheap and uniform for packed k-mers.
+fn hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kmer(s: &str) -> Kmer {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fig5b_hash_table() {
+        let s: DnaSequence = "CGTGCGTGCTT".parse().unwrap();
+        let mut c = KmerCounter::new(5).unwrap();
+        c.count_sequence(&s).unwrap();
+        // The exact table of Fig. 5b.
+        let expected = [("CGTGC", 2), ("GTGCG", 1), ("TGCGT", 1), ("GCGTG", 1), ("GTGCT", 1), ("TGCTT", 1)];
+        for (km, n) in expected {
+            assert_eq!(c.count(&kmer(km)), n, "{km}");
+        }
+        assert_eq!(c.distinct(), 6);
+        assert_eq!(c.total(), 7);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let s: DnaSequence = "CGTGCGTGCTT".parse().unwrap();
+        let mut c = KmerCounter::new(5).unwrap();
+        c.count_sequence(&s).unwrap();
+        let order: Vec<String> = c.entries().iter().map(|e| e.kmer.to_string()).collect();
+        assert_eq!(order, vec!["CGTGC", "GTGCG", "TGCGT", "GCGTG", "GTGCT", "TGCTT"]);
+    }
+
+    #[test]
+    fn growth_keeps_counts() {
+        let mut c = KmerCounter::new(8).unwrap();
+        // Insert enough distinct k-mers to force several growths.
+        for v in 0..5000u64 {
+            c.insert(Kmer::from_packed(v, 8).unwrap());
+        }
+        for v in 0..5000u64 {
+            assert_eq!(c.count(&Kmer::from_packed(v, 8).unwrap()), 1, "v={v}");
+        }
+        assert_eq!(c.distinct(), 5000);
+    }
+
+    #[test]
+    fn repeated_inserts_increment() {
+        let mut c = KmerCounter::new(4).unwrap();
+        let k = kmer("ACGT");
+        assert_eq!(c.insert(k), 1);
+        assert_eq!(c.insert(k), 2);
+        assert_eq!(c.insert(k), 3);
+        assert_eq!(c.count(&k), 3);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.distinct(), 1);
+    }
+
+    #[test]
+    fn min_count_filter_drops_singletons() {
+        let mut c = KmerCounter::new(4).unwrap();
+        c.insert(kmer("ACGT"));
+        c.insert(kmer("ACGT"));
+        c.insert(kmer("TTTT"));
+        let kept: Vec<String> =
+            c.entries_with_min_count(2).map(|e| e.kmer.to_string()).collect();
+        assert_eq!(kept, vec!["ACGT"]);
+    }
+
+    #[test]
+    fn probes_accumulate() {
+        let mut c = KmerCounter::new(4).unwrap();
+        c.insert(kmer("ACGT"));
+        assert!(c.probes() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_k_panics() {
+        let mut c = KmerCounter::new(4).unwrap();
+        c.insert(kmer("ACG"));
+    }
+
+    #[test]
+    fn canonical_counting_is_strand_invariant() {
+        let s: DnaSequence = "ACGTTGCAACGGTTAG".parse().unwrap();
+        let rc = s.reverse_complement();
+        let mut forward = KmerCounter::new(7).unwrap();
+        forward.count_sequence_canonical(&s).unwrap();
+        let mut reverse = KmerCounter::new(7).unwrap();
+        reverse.count_sequence_canonical(&rc).unwrap();
+        assert_eq!(forward.distinct(), reverse.distinct());
+        for e in forward.entries() {
+            assert_eq!(reverse.count(&e.kmer), e.count, "{}", e.kmer);
+        }
+        // Plain counting is NOT strand-invariant on this sequence.
+        let mut plain = KmerCounter::new(7).unwrap();
+        plain.count_sequence(&s).unwrap();
+        let mut plain_rc = KmerCounter::new(7).unwrap();
+        plain_rc.count_sequence(&rc).unwrap();
+        let same = plain.entries().iter().all(|e| plain_rc.count(&e.kmer) == e.count);
+        assert!(!same, "expected strand asymmetry without canonicalization");
+    }
+
+    #[test]
+    fn absent_kmer_counts_zero() {
+        let c = KmerCounter::new(4).unwrap();
+        assert_eq!(c.count(&kmer("AAAA")), 0);
+        assert!(!c.contains(&kmer("AAAA")));
+    }
+}

@@ -1,0 +1,203 @@
+//! Short-read simulation.
+//!
+//! The paper creates its evaluation reads "by randomly sampling the
+//! chromosome extracted from the NCBI genome databases": 45,711,162 reads of
+//! length 101 from human chromosome-14 (§IV *Setup*). [`ReadSimulator`]
+//! reproduces that process on any reference — uniform start positions, fixed
+//! read length, optional substitution errors — so a scaled reference yields
+//! a workload with identical per-read statistics.
+
+use rand::Rng;
+
+use crate::base::DnaBase;
+use crate::sequence::DnaSequence;
+
+/// One short read.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Read {
+    /// Sequential read id.
+    pub id: usize,
+    /// The base sequence.
+    pub seq: DnaSequence,
+    /// Ground-truth start position in the reference (kept for evaluation;
+    /// a real sequencer does not provide it).
+    pub origin: usize,
+}
+
+/// Uniform short-read sampler.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::{reads::ReadSimulator, sequence::DnaSequence};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let genome = DnaSequence::random(&mut rng, 5000);
+/// let reads = ReadSimulator::new(101, 20.0).simulate(&genome, &mut rng);
+/// assert!(reads.iter().all(|r| r.seq.len() == 101));
+/// // ~20× coverage.
+/// let bases: usize = reads.iter().map(|r| r.seq.len()).sum();
+/// assert!(bases >= 19 * 5000 && bases <= 21 * 5000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadSimulator {
+    read_len: usize,
+    coverage: f64,
+    error_rate: f64,
+}
+
+impl ReadSimulator {
+    /// Creates a simulator producing reads of `read_len` bases at the given
+    /// mean `coverage` (total read bases / reference bases), error-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_len == 0` or `coverage <= 0`.
+    pub fn new(read_len: usize, coverage: f64) -> Self {
+        assert!(read_len > 0, "read length must be positive");
+        assert!(coverage > 0.0, "coverage must be positive");
+        ReadSimulator { read_len, coverage, error_rate: 0.0 }
+    }
+
+    /// The paper's configuration: 101 bp reads. Coverage follows from the
+    /// paper's counts: 45,711,162 reads × 101 bp over the ≈87.7 Mbp of
+    /// non-gap chromosome-14 sequence ≈ 52×.
+    pub fn paper_chr14() -> Self {
+        ReadSimulator::new(101, 52.0)
+    }
+
+    /// Sets a per-base substitution error probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "error rate must be in [0, 1)");
+        self.error_rate = rate;
+        self
+    }
+
+    /// Read length in bases.
+    pub fn read_len(&self) -> usize {
+        self.read_len
+    }
+
+    /// Target mean coverage.
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+
+    /// Number of reads needed for the target coverage of `genome_len`.
+    pub fn read_count(&self, genome_len: usize) -> usize {
+        ((self.coverage * genome_len as f64) / self.read_len as f64).ceil() as usize
+    }
+
+    /// Samples reads from `genome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than the read length.
+    pub fn simulate<R: Rng + ?Sized>(&self, genome: &DnaSequence, rng: &mut R) -> Vec<Read> {
+        assert!(genome.len() >= self.read_len, "genome shorter than read length");
+        let n = self.read_count(genome.len());
+        let max_start = genome.len() - self.read_len;
+        (0..n)
+            .map(|id| {
+                let origin = rng.gen_range(0..=max_start);
+                let mut seq = genome.subsequence(origin, self.read_len);
+                if self.error_rate > 0.0 {
+                    seq = inject_errors(&seq, self.error_rate, rng);
+                }
+                Read { id, seq, origin }
+            })
+            .collect()
+    }
+}
+
+/// Applies i.i.d. substitution errors to a sequence.
+fn inject_errors<R: Rng + ?Sized>(seq: &DnaSequence, rate: f64, rng: &mut R) -> DnaSequence {
+    seq.iter()
+        .map(|b| {
+            if rng.gen_bool(rate) {
+                // Substitute with one of the three other bases.
+                let mut alt = DnaBase::from_code(rng.gen_range(0..4));
+                while alt == b {
+                    alt = DnaBase::from_code(rng.gen_range(0..4));
+                }
+                alt
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn reads_match_reference_at_origin() {
+        let mut r = rng();
+        let genome = DnaSequence::random(&mut r, 2000);
+        let reads = ReadSimulator::new(50, 5.0).simulate(&genome, &mut r);
+        for read in &reads {
+            assert_eq!(read.seq, genome.subsequence(read.origin, 50));
+        }
+    }
+
+    #[test]
+    fn read_count_tracks_coverage() {
+        let sim = ReadSimulator::new(101, 52.0);
+        // Paper scale: 45.7 M reads over ~88.8 Mbp.
+        let n = sim.read_count(88_800_000);
+        assert!((45_000_000..=46_500_000).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn errors_change_about_rate_fraction_of_bases() {
+        let mut r = rng();
+        let genome = DnaSequence::random(&mut r, 1000);
+        let clean = ReadSimulator::new(100, 30.0);
+        let noisy = clean.with_error_rate(0.05);
+        let reads = noisy.simulate(&genome, &mut r);
+        let mut diffs = 0usize;
+        let mut total = 0usize;
+        for read in &reads {
+            let truth = genome.subsequence(read.origin, 100);
+            diffs += read.seq.iter().zip(truth.iter()).filter(|(a, b)| a != b).count();
+            total += 100;
+        }
+        let rate = diffs as f64 / total as f64;
+        assert!((0.03..0.07).contains(&rate), "observed error rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let genome = DnaSequence::random(&mut rng(), 500);
+        let a = ReadSimulator::new(40, 3.0).simulate(&genome, &mut ChaCha8Rng::seed_from_u64(5));
+        let b = ReadSimulator::new(40, 3.0).simulate(&genome, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_preset() {
+        let sim = ReadSimulator::paper_chr14();
+        assert_eq!(sim.read_len(), 101);
+        assert!(sim.coverage() > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "genome shorter")]
+    fn rejects_tiny_genome() {
+        let genome = DnaSequence::random(&mut rng(), 10);
+        ReadSimulator::new(101, 5.0).simulate(&genome, &mut rng());
+    }
+}

@@ -1,0 +1,290 @@
+//! Stage 3 — scaffolding (Fig. 5a).
+//!
+//! The paper leaves scaffolding as future work ("we mainly focus on
+//! parallelizing [stages 1–2] … and leave stage-3 as our future work",
+//! §III). We implement it as an extension: paired reads with a known insert
+//! size vote for links between contig ends; well-supported links are chained
+//! into scaffolds with estimated gap sizes. Gaps are kept structural
+//! (contig list + gap estimates) because the 2-bit alphabet cannot encode
+//! `N` placeholders.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::contig::Contig;
+use crate::error::Result;
+use crate::kmer::{Kmer, KmerIter};
+use crate::reads::Read;
+use crate::sequence::DnaSequence;
+
+/// A read pair sampled from opposite ends of one insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPair {
+    /// Left mate (forward).
+    pub r1: Read,
+    /// Right mate (also stored forward for simplicity).
+    pub r2: Read,
+    /// Outer distance between the mates' start positions.
+    pub insert: usize,
+}
+
+/// Samples read pairs with fixed insert size.
+///
+/// # Panics
+///
+/// Panics if the genome is shorter than `insert + read_len`.
+pub fn simulate_pairs<R: Rng + ?Sized>(
+    genome: &DnaSequence,
+    read_len: usize,
+    insert: usize,
+    pairs: usize,
+    rng: &mut R,
+) -> Vec<ReadPair> {
+    assert!(genome.len() > insert + read_len, "genome shorter than insert span");
+    let max_start = genome.len() - insert - read_len;
+    (0..pairs)
+        .map(|id| {
+            let origin = rng.gen_range(0..=max_start);
+            ReadPair {
+                r1: Read { id: 2 * id, seq: genome.subsequence(origin, read_len), origin },
+                r2: Read {
+                    id: 2 * id + 1,
+                    seq: genome.subsequence(origin + insert, read_len),
+                    origin: origin + insert,
+                },
+                insert,
+            }
+        })
+        .collect()
+}
+
+/// One scaffold: an ordered contig chain with estimated gaps between
+/// consecutive contigs (`gaps.len() == contigs.len() − 1`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scaffold {
+    /// Contig indices into the input contig set, in order.
+    pub contigs: Vec<usize>,
+    /// Estimated gap (bp) after each contig except the last; may be 0.
+    pub gaps: Vec<usize>,
+}
+
+impl Scaffold {
+    /// Total spanned length given the contig set (contigs + gaps).
+    pub fn span(&self, contigs: &[Contig]) -> usize {
+        let c: usize = self.contigs.iter().map(|&i| contigs[i].len()).sum();
+        c + self.gaps.iter().sum::<usize>()
+    }
+}
+
+/// Paired-read scaffolder.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::scaffold::Scaffolder;
+///
+/// let s = Scaffolder::new(15, 2);
+/// assert_eq!(s.min_support(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scaffolder {
+    k: usize,
+    min_support: usize,
+}
+
+impl Scaffolder {
+    /// Creates a scaffolder anchoring mates by `k`-mers and requiring
+    /// `min_support` concordant pairs per link.
+    pub fn new(k: usize, min_support: usize) -> Self {
+        Scaffolder { k, min_support }
+    }
+
+    /// The link-support threshold.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Builds scaffolds from contigs and read pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GenomeError::UnsupportedK`] for invalid k.
+    pub fn scaffold(&self, contigs: &[Contig], pairs: &[ReadPair]) -> Result<Vec<Scaffold>> {
+        // Index every contig k-mer → (contig, offset). First hit wins; ties
+        // across contigs are rare for k ≥ 15 on non-repetitive data.
+        let mut index: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (ci, c) in contigs.iter().enumerate() {
+            for (off, kmer) in KmerIter::new(c.sequence(), self.k)?.enumerate() {
+                index.entry(kmer.packed()).or_insert((ci, off));
+            }
+        }
+
+        // Vote for inter-contig links.
+        #[derive(Default)]
+        struct LinkVotes {
+            count: usize,
+            gap_sum: isize,
+        }
+        let mut links: HashMap<(usize, usize), LinkVotes> = HashMap::new();
+        for p in pairs {
+            let (Some(a), Some(b)) = (self.anchor(&index, &p.r1.seq)?, self.anchor(&index, &p.r2.seq)?)
+            else {
+                continue;
+            };
+            let ((ca, off_a), (cb, off_b)) = (a, b);
+            if ca == cb {
+                continue;
+            }
+            // Estimated gap between end of contig `ca` and start of `cb`.
+            let tail_a = contigs[ca].len() as isize - off_a as isize;
+            let head_b = off_b as isize;
+            let gap = p.insert as isize - tail_a - head_b;
+            let v = links.entry((ca, cb)).or_default();
+            v.count += 1;
+            v.gap_sum += gap;
+        }
+
+        // Keep well-supported links; each contig gets at most one successor
+        // and one predecessor (best-supported wins).
+        let mut best_next: HashMap<usize, (usize, usize, isize)> = HashMap::new();
+        for (&(a, b), v) in &links {
+            if v.count < self.min_support {
+                continue;
+            }
+            let better = best_next.get(&a).is_none_or(|&(_, c, _)| v.count > c);
+            if better {
+                best_next.insert(a, (b, v.count, v.gap_sum / v.count as isize));
+            }
+        }
+        let mut has_pred: HashMap<usize, usize> = HashMap::new();
+        for (&a, &(b, count, _)) in &best_next {
+            let better = has_pred.get(&b).is_none_or(|&c| count > links[&(c, b)].count);
+            if better {
+                has_pred.insert(b, a);
+            }
+        }
+        // Drop next-links that lost the predecessor contest.
+        best_next.retain(|&a, &mut (b, _, _)| has_pred.get(&b) == Some(&a));
+
+        // Chain from contigs with no predecessor.
+        let mut used = vec![false; contigs.len()];
+        let mut scaffolds = Vec::new();
+        for start in 0..contigs.len() {
+            if used[start] || has_pred.contains_key(&start) {
+                continue;
+            }
+            let mut chain = vec![start];
+            let mut gaps = Vec::new();
+            used[start] = true;
+            let mut cur = start;
+            while let Some(&(next, _, gap)) = best_next.get(&cur) {
+                if used[next] {
+                    break;
+                }
+                used[next] = true;
+                gaps.push(gap.max(0) as usize);
+                chain.push(next);
+                cur = next;
+            }
+            scaffolds.push(Scaffold { contigs: chain, gaps });
+        }
+        // Anything trapped in a cycle becomes its own scaffold.
+        for (i, u) in used.iter().enumerate() {
+            if !u {
+                scaffolds.push(Scaffold { contigs: vec![i], gaps: Vec::new() });
+            }
+        }
+        Ok(scaffolds)
+    }
+
+    /// Anchors a read by its first k-mer.
+    fn anchor(
+        &self,
+        index: &HashMap<u64, (usize, usize)>,
+        seq: &DnaSequence,
+    ) -> Result<Option<(usize, usize)>> {
+        if seq.len() < self.k {
+            return Ok(None);
+        }
+        let kmer = Kmer::from_sequence(seq, 0, self.k)?;
+        Ok(index.get(&kmer.packed()).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Builds a genome, cuts it into two known contigs with a gap, and
+    /// checks the scaffolder re-joins them in order.
+    #[test]
+    fn joins_two_contigs_across_a_gap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let genome = DnaSequence::random(&mut rng, 3000);
+        let contig_a = Contig::new(genome.subsequence(0, 1400));
+        let contig_b = Contig::new(genome.subsequence(1500, 1400)); // 100 bp gap
+        let pairs = simulate_pairs(&genome, 60, 400, 800, &mut rng);
+        let scaffolds =
+            Scaffolder::new(17, 3).scaffold(&[contig_a.clone(), contig_b.clone()], &pairs).unwrap();
+        assert_eq!(scaffolds.len(), 1, "{scaffolds:?}");
+        assert_eq!(scaffolds[0].contigs, vec![0, 1]);
+        // Estimated gap should be near the true 100 bp.
+        let gap = scaffolds[0].gaps[0];
+        assert!((40..=160).contains(&gap), "estimated gap {gap}");
+        assert!(scaffolds[0].span(&[contig_a, contig_b]) >= 2800);
+    }
+
+    #[test]
+    fn unlinked_contigs_stay_separate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g1 = DnaSequence::random(&mut rng, 800);
+        let g2 = DnaSequence::random(&mut rng, 800);
+        let contigs = vec![Contig::new(g1.clone()), Contig::new(g2)];
+        // Pairs only from within g1 — no cross-links.
+        let pairs = simulate_pairs(&g1, 50, 200, 200, &mut rng);
+        let scaffolds = Scaffolder::new(17, 3).scaffold(&contigs, &pairs).unwrap();
+        assert_eq!(scaffolds.len(), 2);
+    }
+
+    #[test]
+    fn weak_links_below_support_ignored() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let genome = DnaSequence::random(&mut rng, 2000);
+        let contigs =
+            vec![Contig::new(genome.subsequence(0, 900)), Contig::new(genome.subsequence(1000, 900))];
+        // Only a handful of pairs: below the high support threshold.
+        let pairs = simulate_pairs(&genome, 50, 300, 10, &mut rng);
+        let scaffolds = Scaffolder::new(17, 1000).scaffold(&contigs, &pairs).unwrap();
+        assert_eq!(scaffolds.len(), 2);
+    }
+
+    #[test]
+    fn three_contig_chain_orders_correctly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let genome = DnaSequence::random(&mut rng, 4500);
+        let contigs = vec![
+            Contig::new(genome.subsequence(3100, 1300)), // order deliberately shuffled
+            Contig::new(genome.subsequence(0, 1400)),
+            Contig::new(genome.subsequence(1500, 1500)),
+        ];
+        let pairs = simulate_pairs(&genome, 60, 350, 1500, &mut rng);
+        let scaffolds = Scaffolder::new(17, 3).scaffold(&contigs, &pairs).unwrap();
+        assert_eq!(scaffolds.len(), 1, "{scaffolds:?}");
+        assert_eq!(scaffolds[0].contigs, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn pair_simulator_respects_insert() {
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let genome = DnaSequence::random(&mut rng, 1000);
+        let pairs = simulate_pairs(&genome, 40, 300, 50, &mut rng);
+        for p in &pairs {
+            assert_eq!(p.r2.origin - p.r1.origin, 300);
+            assert_eq!(p.r1.seq, genome.subsequence(p.r1.origin, 40));
+            assert_eq!(p.r2.seq, genome.subsequence(p.r2.origin, 40));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! De Bruijn graph simplification: tip clipping and bubble popping.
+//!
+//! Frequency filtering (`min_count`) removes isolated error k-mers, but
+//! errors near read ends create *tips* (short dead-end paths) and errors in
+//! read middles create *bubbles* (parallel paths between the same
+//! endpoints). Velvet's "tour bus" popularized removing both before
+//! traversal; we implement the same transformations as k-mer-set filters so
+//! the result is again an ordinary [`DeBruijnGraph`].
+
+use std::collections::HashSet;
+
+use crate::debruijn::DeBruijnGraph;
+use crate::kmer::Kmer;
+
+/// Counters from one simplification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimplifyStats {
+    /// Edges removed as parts of tips.
+    pub tip_edges_removed: usize,
+    /// Edges removed as inferior bubble branches.
+    pub bubble_edges_removed: usize,
+}
+
+/// Graph simplifier.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::simplify::Simplifier;
+///
+/// let s = Simplifier::new(4);
+/// assert_eq!(s.max_tip_edges(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simplifier {
+    max_tip_edges: usize,
+}
+
+impl Simplifier {
+    /// Creates a simplifier removing tips of at most `max_tip_edges` edges
+    /// (Velvet uses 2k; pass what fits your k).
+    pub fn new(max_tip_edges: usize) -> Self {
+        Simplifier { max_tip_edges }
+    }
+
+    /// The tip-length bound.
+    pub fn max_tip_edges(&self) -> usize {
+        self.max_tip_edges
+    }
+
+    /// Runs tip clipping then bubble popping, returning the simplified
+    /// graph and the removal counters.
+    pub fn simplify(&self, graph: &DeBruijnGraph) -> (DeBruijnGraph, SimplifyStats) {
+        let mut stats = SimplifyStats::default();
+        let mut removed: HashSet<u64> = HashSet::new();
+        stats.tip_edges_removed = self.collect_tips(graph, &mut removed);
+        stats.bubble_edges_removed = self.collect_bubbles(graph, &mut removed);
+        let survivors: Vec<(Kmer, u64)> = all_edges(graph)
+            .into_iter()
+            .filter(|(kmer, _)| !removed.contains(&kmer.packed()))
+            .collect();
+        let mut out = DeBruijnGraph::from_kmers(graph.k(), std::iter::empty());
+        for (kmer, mult) in survivors {
+            out.add_kmer(kmer, mult);
+        }
+        (out, stats)
+    }
+
+    /// Tips: maximal chains ending at a dead end, at most `max_tip_edges`
+    /// long, hanging off a node that has a better-supported alternative.
+    fn collect_tips(&self, graph: &DeBruijnGraph, removed: &mut HashSet<u64>) -> usize {
+        let n = graph.node_count();
+        let mut count = 0;
+        // Outgoing tips: start where a branch forks (out ≥ 2), follow each
+        // branch; if it dead-ends within the bound, clip it when a sibling
+        // branch has strictly higher multiplicity.
+        for v in 0..n {
+            if graph.out_degree(v) < 2 {
+                continue;
+            }
+            let best = graph.out_edges(v).iter().map(|e| e.multiplicity).max().unwrap_or(0);
+            for e in graph.out_edges(v) {
+                if e.multiplicity == best {
+                    continue;
+                }
+                if let Some(chain) = self.dead_end_chain_forward(graph, e.to, e.kmer) {
+                    for k in chain {
+                        if removed.insert(k.packed()) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Incoming tips: mirror case — a chain from a dead-start (in 0)
+        // into a join node (in ≥ 2) with a better-supported sibling.
+        for v in 0..n {
+            if graph.in_degree(v) < 2 {
+                continue;
+            }
+            let incoming: Vec<_> = incoming_edges(graph, v);
+            let best = incoming.iter().map(|(_, e)| e.multiplicity).max().unwrap_or(0);
+            for (src, e) in incoming {
+                if e.multiplicity == best {
+                    continue;
+                }
+                if let Some(chain) = self.dead_start_chain_backward(graph, src, e.kmer) {
+                    for k in chain {
+                        if removed.insert(k.packed()) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Follows a 1-in-1-out chain forward from `start`; returns the chain's
+    /// k-mers if it dead-ends within the bound.
+    fn dead_end_chain_forward(&self, graph: &DeBruijnGraph, start: usize, first: Kmer) -> Option<Vec<Kmer>> {
+        let mut chain = vec![first];
+        let mut v = start;
+        for _ in 0..self.max_tip_edges {
+            if graph.out_degree(v) == 0 {
+                return Some(chain);
+            }
+            if graph.out_degree(v) != 1 || graph.in_degree(v) != 1 {
+                return None; // rejoins the graph — not a tip
+            }
+            let e = &graph.out_edges(v)[0];
+            chain.push(e.kmer);
+            v = e.to;
+        }
+        if graph.out_degree(v) == 0 {
+            Some(chain)
+        } else {
+            None
+        }
+    }
+
+    /// Follows a 1-in-1-out chain backward from `start`; returns the
+    /// chain's k-mers if it dead-starts within the bound.
+    fn dead_start_chain_backward(&self, graph: &DeBruijnGraph, start: usize, first: Kmer) -> Option<Vec<Kmer>> {
+        let mut chain = vec![first];
+        let mut v = start;
+        for _ in 0..self.max_tip_edges {
+            if graph.in_degree(v) == 0 {
+                return Some(chain);
+            }
+            if graph.in_degree(v) != 1 || graph.out_degree(v) != 1 {
+                return None;
+            }
+            let (src, e) = incoming_edges(graph, v).pop().expect("in_degree == 1");
+            chain.push(e.kmer);
+            v = src;
+        }
+        if graph.in_degree(v) == 0 {
+            Some(chain)
+        } else {
+            None
+        }
+    }
+
+    /// Bubbles: two branches from a fork that reconverge at the same node
+    /// through 1-in-1-out interiors; the lower-multiplicity branch is
+    /// removed.
+    fn collect_bubbles(&self, graph: &DeBruijnGraph, removed: &mut HashSet<u64>) -> usize {
+        let n = graph.node_count();
+        let mut count = 0;
+        for v in 0..n {
+            if graph.out_degree(v) != 2 {
+                continue;
+            }
+            let paths: Vec<Option<(usize, Vec<Kmer>, u64)>> = graph
+                .out_edges(v)
+                .iter()
+                .map(|e| self.simple_path_forward(graph, e.to, e.kmer))
+                .collect();
+            let (Some(a), Some(b)) = (&paths[0], &paths[1]) else { continue };
+            if a.0 != b.0 {
+                continue; // branches do not reconverge
+            }
+            // Drop the weaker branch (by minimum edge multiplicity).
+            let weaker = if a.2 <= b.2 { a } else { b };
+            for k in &weaker.1 {
+                if removed.insert(k.packed()) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Follows 1-in-1-out nodes from `start` up to the bound; returns
+    /// `(end_node, edge k-mers, min multiplicity)` when the path exits into
+    /// a join node (in ≥ 2).
+    fn simple_path_forward(
+        &self,
+        graph: &DeBruijnGraph,
+        start: usize,
+        first: Kmer,
+    ) -> Option<(usize, Vec<Kmer>, u64)> {
+        let mut chain = vec![first];
+        let mut min_mult = edge_multiplicity(graph, &first);
+        let mut v = start;
+        for _ in 0..=self.max_tip_edges {
+            if graph.in_degree(v) >= 2 {
+                return Some((v, chain, min_mult));
+            }
+            if graph.out_degree(v) != 1 || graph.in_degree(v) != 1 {
+                return None;
+            }
+            let e = &graph.out_edges(v)[0];
+            chain.push(e.kmer);
+            min_mult = min_mult.min(e.multiplicity);
+            v = e.to;
+        }
+        None
+    }
+}
+
+/// All `(k-mer, multiplicity)` edges of a graph.
+fn all_edges(graph: &DeBruijnGraph) -> Vec<(Kmer, u64)> {
+    (0..graph.node_count())
+        .flat_map(|v| graph.out_edges(v).iter().map(|e| (e.kmer, e.multiplicity)))
+        .collect()
+}
+
+/// All `(source node, edge)` pairs entering `v`.
+fn incoming_edges(graph: &DeBruijnGraph, v: usize) -> Vec<(usize, crate::debruijn::Edge)> {
+    (0..graph.node_count())
+        .flat_map(|u| graph.out_edges(u).iter().filter(|e| e.to == v).map(move |e| (u, *e)))
+        .collect()
+}
+
+fn edge_multiplicity(graph: &DeBruijnGraph, kmer: &Kmer) -> u64 {
+    all_edges(graph)
+        .into_iter()
+        .find(|(k, _)| k == kmer)
+        .map(|(_, m)| m)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_table::KmerCounter;
+    use crate::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Counts a sequence `times` times into a counter.
+    fn count_times(c: &mut KmerCounter, s: &DnaSequence, times: usize) {
+        for _ in 0..times {
+            c.count_sequence(s).unwrap();
+        }
+    }
+
+    #[test]
+    fn clips_a_low_coverage_tip() {
+        // Strong backbone sequenced 5×; an error near a read end adds a
+        // weak dead-end branch sequenced once.
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let backbone = DnaSequence::random(&mut rng, 200);
+        let k = 11;
+        let mut c = KmerCounter::new(k).unwrap();
+        count_times(&mut c, &backbone, 5);
+        // Tip: take a window mid-backbone and corrupt its tail bases.
+        let mut tip = backbone.subsequence(80, 2 * k);
+        for pos in (k + 3)..tip.len() {
+            tip.set_base(pos, tip.get(pos).complement());
+        }
+        c.count_sequence(&tip).unwrap();
+        let graph = DeBruijnGraph::from_counter(&c, 1);
+        assert!(!graph.has_eulerian_path(), "tip should add a dead end");
+        let (clean, stats) = Simplifier::new(2 * k).simplify(&graph);
+        assert!(stats.tip_edges_removed > 0, "no tip clipped");
+        // The backbone survives intact.
+        let backbone_kmers = backbone.len() - k + 1;
+        assert!(clean.edge_count() >= backbone_kmers);
+        assert!(clean.edge_count() < graph.edge_count());
+    }
+
+    #[test]
+    fn pops_a_bubble() {
+        // Two variants of the same region: the true one sequenced 5×, an
+        // SNP variant once — classic bubble.
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let region = DnaSequence::random(&mut rng, 120);
+        let k = 11;
+        let mut variant = region.clone();
+        variant.set_base(60, variant.get(60).complement());
+        let mut c = KmerCounter::new(k).unwrap();
+        count_times(&mut c, &region, 5);
+        c.count_sequence(&variant).unwrap();
+        let graph = DeBruijnGraph::from_counter(&c, 1);
+        let (clean, stats) = Simplifier::new(2 * k).simplify(&graph);
+        assert!(stats.bubble_edges_removed > 0, "no bubble popped");
+        // The surviving graph spells a single path again.
+        assert!(clean.has_eulerian_path(), "bubble not fully removed");
+        assert_eq!(clean.edge_count(), region.len() - k + 1);
+    }
+
+    #[test]
+    fn clean_graph_is_untouched() {
+        let mut rng = ChaCha8Rng::seed_from_u64(62);
+        let seq = DnaSequence::random(&mut rng, 300);
+        let mut c = KmerCounter::new(11).unwrap();
+        count_times(&mut c, &seq, 3);
+        let graph = DeBruijnGraph::from_counter(&c, 1);
+        let (clean, stats) = Simplifier::new(22).simplify(&graph);
+        assert_eq!(stats, SimplifyStats::default());
+        assert_eq!(clean.edge_count(), graph.edge_count());
+    }
+
+    #[test]
+    fn long_branches_are_not_tips() {
+        // A branch longer than the bound must survive (it is real sequence,
+        // e.g. a haplotype, not an error).
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let backbone = DnaSequence::random(&mut rng, 150);
+        let k = 9;
+        let mut c = KmerCounter::new(k).unwrap();
+        count_times(&mut c, &backbone, 4);
+        let mut long_branch = backbone.subsequence(40, 100);
+        for pos in (k + 2)..long_branch.len() {
+            long_branch.set_base(pos, long_branch.get(pos).complement());
+        }
+        c.count_sequence(&long_branch).unwrap();
+        let graph = DeBruijnGraph::from_counter(&c, 1);
+        let (clean, _) = Simplifier::new(6).simplify(&graph); // bound ≪ branch
+        // The long branch's k-mers survive.
+        assert!(clean.edge_count() > backbone.len() - k + 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Assembly quality metrics.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::contig::Contig;
+use crate::kmer::KmerIter;
+use crate::sequence::DnaSequence;
+
+/// Summary statistics of a contig set.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::{contig::Contig, stats::AssemblyStats};
+///
+/// let contigs = vec![
+///     Contig::new("ACGTACGT".parse()?),
+///     Contig::new("TTGG".parse()?),
+/// ];
+/// let s = AssemblyStats::from_contigs(&contigs);
+/// assert_eq!(s.num_contigs, 2);
+/// assert_eq!(s.total_length, 12);
+/// assert_eq!(s.n50, 8);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AssemblyStats {
+    /// Number of contigs.
+    pub num_contigs: usize,
+    /// Sum of contig lengths (bp).
+    pub total_length: usize,
+    /// Length of the longest contig (bp).
+    pub longest: usize,
+    /// N50: the contig length at which half the total assembly length is
+    /// contained in contigs at least that long.
+    pub n50: usize,
+}
+
+impl AssemblyStats {
+    /// Computes the statistics of a contig set.
+    pub fn from_contigs(contigs: &[Contig]) -> Self {
+        let mut lengths: Vec<usize> = contigs.iter().map(Contig::len).collect();
+        lengths.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = lengths.iter().sum();
+        let mut acc = 0usize;
+        let mut n50 = 0usize;
+        for &l in &lengths {
+            acc += l;
+            if acc * 2 >= total {
+                n50 = l;
+                break;
+            }
+        }
+        AssemblyStats {
+            num_contigs: contigs.len(),
+            total_length: total,
+            longest: lengths.first().copied().unwrap_or(0),
+            n50,
+        }
+    }
+}
+
+impl fmt::Display for AssemblyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "contigs={} total={}bp longest={}bp N50={}bp",
+            self.num_contigs, self.total_length, self.longest, self.n50
+        )
+    }
+}
+
+/// Generalized Nx: the contig length at which `x` percent of the total
+/// assembly length is contained in contigs at least that long
+/// (`nx(contigs, 50.0)` is the classic N50; `nx(contigs, 90.0)` the
+/// stricter N90).
+///
+/// Returns 0 for an empty contig set.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `(0, 100]`.
+pub fn nx(contigs: &[Contig], x: f64) -> usize {
+    assert!(x > 0.0 && x <= 100.0, "x must be in (0, 100]");
+    let mut lengths: Vec<usize> = contigs.iter().map(Contig::len).collect();
+    lengths.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = lengths.iter().sum();
+    let threshold = total as f64 * x / 100.0;
+    let mut acc = 0.0;
+    for &l in &lengths {
+        acc += l as f64;
+        if acc >= threshold {
+            return l;
+        }
+    }
+    0
+}
+
+/// Lx: the minimum number of contigs containing `x` percent of the
+/// assembly (`lx(contigs, 50.0)` is the classic L50).
+///
+/// # Panics
+///
+/// Panics if `x` is outside `(0, 100]`.
+pub fn lx(contigs: &[Contig], x: f64) -> usize {
+    assert!(x > 0.0 && x <= 100.0, "x must be in (0, 100]");
+    let mut lengths: Vec<usize> = contigs.iter().map(Contig::len).collect();
+    lengths.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = lengths.iter().sum();
+    let threshold = total as f64 * x / 100.0;
+    let mut acc = 0.0;
+    for (i, &l) in lengths.iter().enumerate() {
+        acc += l as f64;
+        if acc >= threshold {
+            return i + 1;
+        }
+    }
+    0
+}
+
+/// Fraction of the reference's k-mers present in the contig set — a fast
+/// alignment-free proxy for genome fraction.
+///
+/// Returns 1.0 for an empty reference shorter than k.
+pub fn genome_fraction(reference: &DnaSequence, contigs: &[Contig], k: usize) -> f64 {
+    let ref_kmers: Vec<u64> = match KmerIter::new(reference, k) {
+        Ok(it) => it.map(|km| km.packed()).collect(),
+        Err(_) => return 1.0,
+    };
+    if ref_kmers.is_empty() {
+        return 1.0;
+    }
+    let mut have: HashSet<u64> = HashSet::new();
+    for c in contigs {
+        if let Ok(it) = KmerIter::new(c.sequence(), k) {
+            have.extend(it.map(|km| km.packed()));
+        }
+    }
+    let covered = ref_kmers.iter().filter(|p| have.contains(p)).count();
+    covered as f64 / ref_kmers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contig(s: &str) -> Contig {
+        Contig::new(s.parse().unwrap())
+    }
+
+    #[test]
+    fn n50_definition() {
+        // Lengths 10, 6, 4, 2 → total 22, half 11; 10+6 = 16 ≥ 11 → N50 = 6.
+        let contigs = vec![
+            contig("AAAAAAAAAA"),
+            contig("CCCCCC"),
+            contig("GGGG"),
+            contig("TT"),
+        ];
+        let s = AssemblyStats::from_contigs(&contigs);
+        assert_eq!(s.n50, 6);
+        assert_eq!(s.longest, 10);
+        assert_eq!(s.total_length, 22);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = AssemblyStats::from_contigs(&[]);
+        assert_eq!(s.num_contigs, 0);
+        assert_eq!(s.n50, 0);
+        assert_eq!(s.longest, 0);
+    }
+
+    #[test]
+    fn genome_fraction_full_recovery() {
+        let reference: DnaSequence = "ACGTTGCAAC".parse().unwrap();
+        let contigs = vec![Contig::new(reference.clone())];
+        assert_eq!(genome_fraction(&reference, &contigs, 4), 1.0);
+    }
+
+    #[test]
+    fn genome_fraction_partial() {
+        let reference: DnaSequence = "AAAACCCC".parse().unwrap();
+        let contigs = vec![contig("AAAA")];
+        let f = genome_fraction(&reference, &contigs, 4);
+        assert!(f > 0.0 && f < 1.0, "{f}");
+    }
+
+    #[test]
+    fn genome_fraction_no_contigs_is_zero() {
+        let reference: DnaSequence = "ACGTACGT".parse().unwrap();
+        assert_eq!(genome_fraction(&reference, &[], 4), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_n50() {
+        let s = AssemblyStats::from_contigs(&[contig("ACGT")]);
+        assert!(s.to_string().contains("N50=4bp"));
+    }
+
+    #[test]
+    fn nx_generalizes_n50() {
+        let contigs = vec![
+            contig("AAAAAAAAAA"), // 10
+            contig("CCCCCC"),     // 6
+            contig("GGGG"),       // 4
+            contig("TT"),         // 2
+        ];
+        assert_eq!(nx(&contigs, 50.0), AssemblyStats::from_contigs(&contigs).n50);
+        // N90: 10+6+4 = 20 ≥ 0.9·22 = 19.8 → 4.
+        assert_eq!(nx(&contigs, 90.0), 4);
+        assert_eq!(nx(&contigs, 100.0), 2);
+        assert_eq!(nx(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn lx_counts_contigs() {
+        let contigs = vec![contig("AAAAAAAAAA"), contig("CCCCCC"), contig("GGGG"), contig("TT")];
+        assert_eq!(lx(&contigs, 50.0), 2); // 10+6 = 16 ≥ 11
+        assert_eq!(lx(&contigs, 90.0), 3);
+        assert_eq!(lx(&[], 50.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be")]
+    fn nx_rejects_bad_percent() {
+        let _ = nx(&[], 0.0);
+    }
+}

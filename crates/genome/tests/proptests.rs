@@ -1,0 +1,113 @@
+//! Property-based tests for the genome toolkit's core invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pim_genome::assemble::{AssemblyConfig, SoftwareAssembler, Traversal};
+use pim_genome::base::DnaBase;
+use pim_genome::debruijn::DeBruijnGraph;
+use pim_genome::euler::{eulerian_trails, trails_cover_all_edges, EulerAlgorithm};
+use pim_genome::hash_table::KmerCounter;
+use pim_genome::kmer::{Kmer, KmerIter};
+use pim_genome::sequence::DnaSequence;
+
+fn dna(min: usize, max: usize) -> impl Strategy<Value = DnaSequence> {
+    proptest::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| codes.into_iter().map(DnaBase::from_code).collect())
+}
+
+proptest! {
+    #[test]
+    fn sequence_string_roundtrip(seq in dna(0, 200)) {
+        let text = seq.to_string();
+        let parsed: DnaSequence = text.parse().unwrap();
+        prop_assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in dna(0, 120)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn kmer_pack_roundtrip(seq in dna(1, 32)) {
+        let k = seq.len();
+        let kmer = Kmer::from_sequence(&seq, 0, k).unwrap();
+        prop_assert_eq!(kmer.to_sequence(), seq);
+        prop_assert_eq!(Kmer::from_packed(kmer.packed(), k).unwrap(), kmer);
+    }
+
+    #[test]
+    fn kmer_counts_sum_to_window_count(seq in dna(16, 200), k in 2usize..=16) {
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        let windows = seq.len() + 1 - k;
+        prop_assert_eq!(c.total() as usize, windows);
+        let from_entries: u64 = c.entries().iter().map(|e| e.count).sum();
+        prop_assert_eq!(from_entries as usize, windows);
+    }
+
+    #[test]
+    fn debruijn_edge_count_equals_distinct_kmers(seq in dna(20, 150), k in 3usize..=10) {
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 1);
+        prop_assert_eq!(g.edge_count(), c.distinct());
+        // Balance always sums to zero.
+        prop_assert_eq!(g.balance().iter().sum::<isize>(), 0);
+    }
+
+    #[test]
+    fn euler_trails_cover_every_edge_exactly_once(seq in dna(20, 150), k in 3usize..=8) {
+        let mut c = KmerCounter::new(k).unwrap();
+        c.count_sequence(&seq).unwrap();
+        let g = DeBruijnGraph::from_counter(&c, 1);
+        for alg in [EulerAlgorithm::Hierholzer, EulerAlgorithm::Fleury] {
+            let trails = eulerian_trails(&g, alg);
+            prop_assert!(trails_cover_all_edges(&g, &trails), "{:?}", alg);
+            // Every consecutive pair in a trail really is a graph edge.
+            for t in &trails {
+                for w in t.windows(2) {
+                    prop_assert!(g.out_edges(w[0]).iter().any(|e| e.to == w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assembled_contigs_contain_only_input_kmers(seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let genome = DnaSequence::random(&mut rng, 600);
+        let k = 15;
+        let asm = SoftwareAssembler::new(AssemblyConfig::new(k)).assemble_sequence(&genome).unwrap();
+        let mut genomic = std::collections::HashSet::new();
+        genomic.extend(KmerIter::new(&genome, k).unwrap().map(|km| km.packed()));
+        for c in &asm.contigs {
+            for km in KmerIter::new(c.sequence(), k).unwrap() {
+                prop_assert!(genomic.contains(&km.packed()), "foreign k-mer {km}");
+            }
+        }
+    }
+
+    #[test]
+    fn unitigs_and_euler_cover_same_kmer_set(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+        let genome = DnaSequence::random(&mut rng, 400);
+        let k = 13;
+        let euler = SoftwareAssembler::new(AssemblyConfig::new(k)).assemble_sequence(&genome).unwrap();
+        let unitig = SoftwareAssembler::new(
+            AssemblyConfig::new(k).with_traversal(Traversal::Unitigs),
+        )
+        .assemble_sequence(&genome)
+        .unwrap();
+        let kmers = |contigs: &[pim_genome::Contig]| {
+            let mut s = std::collections::HashSet::new();
+            for c in contigs {
+                s.extend(KmerIter::new(c.sequence(), k).unwrap().map(|km| km.packed()));
+            }
+            s
+        };
+        prop_assert_eq!(kmers(&euler.contigs), kmers(&unitig.contigs));
+    }
+}

@@ -1,0 +1,355 @@
+//! Analytic execution-time and power models for the genome-assembly
+//! pipeline on every platform (Fig. 9).
+//!
+//! All models consume the same [`AssemblyWorkload`] and produce a
+//! [`StageBreakdown`] of the three reconstructed procedures (Fig. 5):
+//! `hashmap`, `deBruijn`, `traverse`.
+//!
+//! ## PIM models
+//!
+//! The PIM cost model counts the commands each stage issues per the
+//! reconstructed algorithm (§III):
+//!
+//! * **hashmap** — per streamed k-mer: one temp-row placement plus
+//!   `avg_probes` row comparisons, each costing the design's X(N)OR
+//!   command count; the DPU absorbs match reduction and the scalar
+//!   frequency increment.
+//! * **deBruijn** — per distinct k-mer: two node membership comparisons
+//!   plus two `MEM_insert` row operations.
+//! * **traverse** — row-parallel `PIM_Add` degree accumulation over the
+//!   adjacency rows (Fig. 8), bit-serial at the design's add cost,
+//!   `row_bits` counters per slice wave.
+//!
+//! Wall-clock divides serial command time by `pipelines × Pd`: the
+//! controller keeps `pipelines` sub-array command chains in flight per
+//! replica (bounded by bank-level parallelism and command-bus issue), and
+//! the Pd replication of §IV multiplies that. `pipelines = 16` is
+//! calibrated so the Pd = 2 optimum reproduces the paper's Fig. 9/10
+//! absolute scale.
+//!
+//! ## GPU model
+//!
+//! Hash probing on a GPU touches `k` key bytes per probe through an
+//! uncoalesced, atomic-contended path, so the per-k-mer cost grows with k
+//! — whereas a PIM row comparison covers any k ≤ 128 bp in the same
+//! command count. This asymmetry mechanistically yields the paper's
+//! growing speed-up with k (5.2× at k=16 → 9.8× at k=32).
+
+use crate::gpu::GpuModel;
+use crate::indram::InDramPlatform;
+use crate::platform::Platform as _;
+use crate::spec::PimArraySpec;
+use crate::workload::AssemblyWorkload;
+
+/// Per-stage execution time (seconds) and average power (W).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBreakdown {
+    /// Platform display name.
+    pub name: &'static str,
+    /// k-mer analysis (hash-table build).
+    pub hashmap_s: f64,
+    /// Graph construction.
+    pub debruijn_s: f64,
+    /// Graph traversal (degree accumulation + Euler walk).
+    pub traverse_s: f64,
+    /// The share of the total time attributable to pure data movement
+    /// (on-/off-chip transfer stalls); included in the stage times, and
+    /// feeds the MBR metric of Fig. 11.
+    pub transfer_s: f64,
+    /// Average power over the run (W).
+    pub power_w: f64,
+    /// Fraction of busy cycles doing algorithmic work (vs orchestration);
+    /// feeds the RUR metric of Fig. 11.
+    pub engagement: f64,
+}
+
+impl StageBreakdown {
+    /// Total execution time (the transfer component overlaps the stages it
+    /// stalls and is already included in them).
+    pub fn total_s(&self) -> f64 {
+        self.hashmap_s + self.debruijn_s + self.traverse_s
+    }
+
+    /// Energy of the run (J).
+    pub fn energy_j(&self) -> f64 {
+        self.total_s() * self.power_w
+    }
+}
+
+/// A platform that can estimate the assembly pipeline.
+pub trait AssemblyCostModel {
+    /// Platform display name.
+    fn name(&self) -> &'static str;
+
+    /// Estimates stage times and power for a workload.
+    fn estimate(&self, workload: &AssemblyWorkload) -> StageBreakdown;
+}
+
+/// PIM assembly model parameterized by the design's command-cost table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimAssemblyModel {
+    platform: InDramPlatform,
+    /// Parallelism degree (replicated sub-array groups, §IV *Trade-offs*).
+    pub pd: usize,
+    /// Concurrent sub-array command chains per replica (calibrated).
+    pub pipelines: f64,
+    /// Command-issue saturation: the shared command bus can keep at most
+    /// this many chains busy regardless of Pd. Replicas beyond saturation
+    /// still draw activation power without adding throughput — the
+    /// mechanism behind Fig. 10's interior Pd optimum.
+    pub chain_cap: f64,
+    /// Static power of the memory group + controller + DPUs (W).
+    pub static_w: f64,
+    /// Dynamic power of one active command chain (W).
+    pub chain_w: f64,
+}
+
+impl PimAssemblyModel {
+    /// PIM-Assembler at parallelism degree `pd` over the §IV array.
+    pub fn pim_assembler(pd: usize) -> Self {
+        PimAssemblyModel::with_platform(
+            InDramPlatform::pim_assembler_with_spec(PimArraySpec::paper_assembly()),
+            pd,
+            26.0,
+        )
+    }
+
+    /// Ambit mapped to the same pipeline.
+    pub fn ambit(pd: usize) -> Self {
+        PimAssemblyModel::with_platform(
+            InDramPlatform::ambit_with_spec(PimArraySpec::paper_assembly()),
+            pd,
+            88.0,
+        )
+    }
+
+    /// DRISA-1T1C mapped to the same pipeline.
+    pub fn drisa_1t1c(pd: usize) -> Self {
+        PimAssemblyModel::with_platform(
+            InDramPlatform::drisa_1t1c_with_spec(PimArraySpec::paper_assembly()),
+            pd,
+            112.0,
+        )
+    }
+
+    /// DRISA-3T1C mapped to the same pipeline.
+    pub fn drisa_3t1c(pd: usize) -> Self {
+        PimAssemblyModel::with_platform(
+            InDramPlatform::drisa_3t1c_with_spec(PimArraySpec::paper_assembly()),
+            pd,
+            96.0,
+        )
+    }
+
+    fn with_platform(platform: InDramPlatform, pd: usize, static_w: f64) -> Self {
+        assert!(pd >= 1, "parallelism degree must be at least 1");
+        PimAssemblyModel { platform, pd, pipelines: 10.0, chain_cap: 22.0, static_w, chain_w: 0.62 }
+    }
+
+    /// Serial AAP-equivalents of each stage: `(hashmap, debruijn, traverse,
+    /// transfer)`. The transfer component is the data-movement *subset* of
+    /// the stage counts (temp-row placements and read-bank streaming).
+    pub fn stage_aaps(&self, w: &AssemblyWorkload) -> (f64, f64, f64, f64) {
+        let costs = self.platform.costs();
+        let row_bits = self.platform.spec().row_bits as f64;
+        // Temp placements amortize ≈ 5× because consecutive k-mers of one
+        // read share the staged window (a 128 bp row covers several
+        // overlapping k-mers before restaging).
+        let temp_placements = w.total_kmers as f64 * 0.2 * costs.copy;
+        // Read-bank streaming: one row write per 128 bp of read data.
+        let read_stream = w.reads as f64 * (w.read_len as f64 * 2.0 / row_bits).ceil();
+        // hashmap: temp placement + probes × pipelined comparison.
+        let hashmap = temp_placements
+            + read_stream
+            + w.total_kmers as f64 * w.avg_probes_per_kmer * costs.pipelined_xnor;
+        // deBruijn: per distinct k-mer, two node membership comparisons +
+        // two MEM_insert row ops.
+        let debruijn = w.distinct_kmers as f64 * (2.0 * costs.pipelined_xnor + 2.0 * costs.copy);
+        // traverse: bit-serial row-parallel additions, `row_bits` counters
+        // per slice wave (transposed layout of Fig. 8).
+        let add_waves = (w.traverse_adds as f64 / row_bits).ceil();
+        let traverse = add_waves * costs.add_per_bit * w.counter_bits as f64;
+        let transfer = temp_placements + read_stream + w.distinct_kmers as f64 * 2.0 * costs.copy;
+        (hashmap, debruijn, traverse, transfer)
+    }
+
+    /// Effective parallel command chains (issue-bandwidth capped).
+    pub fn parallel_chains(&self) -> f64 {
+        (self.pipelines * self.pd as f64).min(self.chain_cap)
+    }
+
+    /// Chains kept electrically active (replication is not power-gated, so
+    /// power scales with Pd even past the issue cap).
+    pub fn active_chains(&self) -> f64 {
+        self.pipelines * self.pd as f64
+    }
+}
+
+impl AssemblyCostModel for PimAssemblyModel {
+    fn name(&self) -> &'static str {
+        self.platform.name()
+    }
+
+    fn estimate(&self, w: &AssemblyWorkload) -> StageBreakdown {
+        let (hashmap, debruijn, traverse, transfer) = self.stage_aaps(w);
+        let aap_s = self.platform.spec().aap_ns * 1e-9;
+        let chains = self.parallel_chains();
+        // DRAM retention still applies while computing: inflate by the
+        // refresh availability tax (tRFC/tREFI).
+        let refresh = pim_dram::refresh::RefreshParams::ddr4();
+        let to_wall = |aaps: f64| refresh.inflate_seconds(aaps * aap_s / chains);
+        // Engagement: a baseline design spending N× the commands of the
+        // single-cycle-XNOR design on the same algorithmic work has its
+        // busy cycles discounted — the extra passes (row initialization,
+        // multi-cycle logic composition) are orchestration, not work. The
+        // 0.4 exponent is calibrated against the Fig. 11b RUR levels.
+        let reference = PimAssemblyModel::pim_assembler(self.pd);
+        let (rh, rd, rt, _) = reference.stage_aaps(w);
+        let ratio = ((rh + rd + rt) / (hashmap + debruijn + traverse)).min(1.0);
+        StageBreakdown {
+            name: self.name(),
+            hashmap_s: to_wall(hashmap),
+            debruijn_s: to_wall(debruijn),
+            traverse_s: to_wall(traverse),
+            transfer_s: to_wall(transfer),
+            power_w: self.static_w + self.chain_w * self.active_chains(),
+            engagement: 0.76 * ratio.powf(0.4),
+        }
+    }
+}
+
+/// GPU assembly model (GPU-Euler-class implementation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuAssemblyModel {
+    gpu: GpuModel,
+    /// Fixed per-k-mer hash cost (hash compute + launch amortization), ns.
+    pub hash_base_ns: f64,
+    /// Additional per-key-byte probe cost (uncoalesced reads + atomic
+    /// contention), ns.
+    pub hash_per_key_byte_ns: f64,
+    /// Per-distinct-k-mer graph-construction cost, ns.
+    pub debruijn_per_kmer_ns: f64,
+    /// Per-addition traversal cost, ns.
+    pub traverse_per_add_ns: f64,
+}
+
+impl GpuAssemblyModel {
+    /// The paper's GTX 1080Ti running a GPU-Euler-class assembler.
+    /// Constants calibrated so the hashmap-stage speedups match the paper's
+    /// 5.2× (k=16) and 9.8× (k=32).
+    pub fn gtx_1080ti() -> Self {
+        GpuAssemblyModel {
+            gpu: GpuModel::gtx_1080ti(),
+            hash_base_ns: 2.0,
+            hash_per_key_byte_ns: 1.06,
+            debruijn_per_kmer_ns: 100.0,
+            traverse_per_add_ns: 30.0,
+        }
+    }
+}
+
+impl AssemblyCostModel for GpuAssemblyModel {
+    fn name(&self) -> &'static str {
+        "GPU"
+    }
+
+    fn estimate(&self, w: &AssemblyWorkload) -> StageBreakdown {
+        let hashmap_s =
+            w.total_kmers as f64 * (self.hash_base_ns + self.hash_per_key_byte_ns * w.k as f64) * 1e-9;
+        let debruijn_s = w.distinct_kmers as f64 * self.debruijn_per_kmer_ns * 1e-9;
+        let traverse_s = w.traverse_adds as f64 * self.traverse_per_add_ns * 1e-9;
+        let total = hashmap_s + debruijn_s + traverse_s;
+        // Memory-stall fraction grows with k: longer keys mean more
+        // uncoalesced bytes per useful comparison.
+        let stall_fraction = (0.52 + 0.006 * w.k as f64).min(0.72);
+        StageBreakdown {
+            name: "GPU",
+            hashmap_s,
+            debruijn_s,
+            traverse_s,
+            transfer_s: total * stall_fraction,
+            power_w: self.gpu.power_w + 0.9 * w.k as f64, // larger k keeps more SMs resident
+            engagement: 0.82,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr14(k: usize) -> AssemblyWorkload {
+        AssemblyWorkload::chr14(k)
+    }
+
+    #[test]
+    fn pa_beats_gpu_and_speedup_grows_with_k() {
+        let pa = PimAssemblyModel::pim_assembler(2);
+        let gpu = GpuAssemblyModel::gtx_1080ti();
+        let s16 = gpu.estimate(&chr14(16)).total_s() / pa.estimate(&chr14(16)).total_s();
+        let s32 = gpu.estimate(&chr14(32)).total_s() / pa.estimate(&chr14(32)).total_s();
+        assert!(s16 > 3.0, "k=16 speedup {s16}");
+        assert!(s32 > s16, "speedup must grow with k: {s16} → {s32}");
+    }
+
+    #[test]
+    fn hashmap_dominates_gpu_time() {
+        // §IV: "hashmap procedure … takes the largest fraction of execution
+        // time and power in GPU platform (over 60%)".
+        let b = GpuAssemblyModel::gtx_1080ti().estimate(&chr14(16));
+        assert!(b.hashmap_s / b.total_s() > 0.60, "{}", b.hashmap_s / b.total_s());
+    }
+
+    #[test]
+    fn pa_power_is_far_below_gpu() {
+        let pa = PimAssemblyModel::pim_assembler(2).estimate(&chr14(16));
+        let gpu = GpuAssemblyModel::gtx_1080ti().estimate(&chr14(16));
+        let ratio = gpu.power_w / pa.power_w;
+        assert!(ratio > 5.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_pims_are_slower_than_pa() {
+        let w = chr14(16);
+        let pa = PimAssemblyModel::pim_assembler(2).estimate(&w).total_s();
+        for m in [
+            PimAssemblyModel::ambit(2),
+            PimAssemblyModel::drisa_1t1c(2),
+            PimAssemblyModel::drisa_3t1c(2),
+        ] {
+            let t = m.estimate(&w).total_s();
+            let r = t / pa;
+            assert!((1.5..4.5).contains(&r), "{}: ratio {r}", m.name());
+        }
+    }
+
+    #[test]
+    fn doubling_pd_halves_time_and_raises_power() {
+        let w = chr14(16);
+        let p1 = PimAssemblyModel::pim_assembler(1).estimate(&w);
+        let p2 = PimAssemblyModel::pim_assembler(2).estimate(&w);
+        assert!((p1.total_s() / p2.total_s() - 2.0).abs() < 0.01);
+        assert!(p2.power_w > p1.power_w);
+    }
+
+    #[test]
+    fn pa_absolute_scale_matches_fig9() {
+        // Fig. 9a's P-A bars sit in the tens of seconds; GPU under ~250 s.
+        let pa = PimAssemblyModel::pim_assembler(2).estimate(&chr14(16));
+        assert!(pa.total_s() > 5.0 && pa.total_s() < 80.0, "{}", pa.total_s());
+        let gpu = GpuAssemblyModel::gtx_1080ti().estimate(&chr14(16));
+        assert!(gpu.total_s() > 80.0 && gpu.total_s() < 300.0, "{}", gpu.total_s());
+    }
+
+    #[test]
+    fn pa_power_near_38w() {
+        // §IV: "PIM-Assembler shows the least power consumption (on average
+        // 38.4 W)".
+        let avg: f64 = [16, 22, 26, 32]
+            .iter()
+            .map(|&k| PimAssemblyModel::pim_assembler(2).estimate(&chr14(k)).power_w)
+            .sum::<f64>()
+            / 4.0;
+        assert!((25.0..55.0).contains(&avg), "avg P-A power {avg}");
+    }
+}

@@ -1,0 +1,103 @@
+//! CPU baseline model.
+//!
+//! The paper's CPU is a Core-i7 with "4 cores and 8 threads working with two
+//! 64-bit DDR4-1866/2133 channels" (§II-B). On vectors of 2²⁷–2²⁹ bits the
+//! working set is far beyond any cache, so bulk bitwise operations stream
+//! from DRAM and throughput is bound by the memory channels ("either the
+//! external or internal DRAM bandwidth has limited the throughput of the
+//! CPU", §II-B).
+
+use crate::ops::BulkOp;
+use crate::platform::Platform;
+
+/// Bandwidth-bound CPU model with a compute ceiling for cache-resident work.
+///
+/// # Examples
+///
+/// ```
+/// use pim_platforms::{cpu::CpuModel, platform::Platform, ops::BulkOp};
+///
+/// let cpu = CpuModel::core_i7();
+/// let t = cpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 27);
+/// assert!(t < 2e11); // bandwidth-bound: well below PIM levels
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Memory channels.
+    pub channels: usize,
+    /// Per-channel peak bandwidth (GB/s).
+    pub channel_gb_s: f64,
+    /// Achievable fraction of peak on streaming kernels.
+    pub stream_efficiency: f64,
+    /// Cores × SIMD lanes × frequency ceiling for ALU-bound work (bit
+    /// operations per second).
+    pub alu_bits_per_s: f64,
+    /// Package power under streaming load (W).
+    pub power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's Core-i7 (i7-6700-class): 2 × DDR4-2133, 4C/8T.
+    pub fn core_i7() -> Self {
+        CpuModel {
+            channels: 2,
+            channel_gb_s: 17.064, // DDR4-2133 × 64-bit
+            stream_efficiency: 0.90,
+            // 4 cores × 256-bit AVX2 × 2 ops × 3.4 GHz.
+            alu_bits_per_s: 4.0 * 256.0 * 2.0 * 3.4e9,
+            power_w: 65.0,
+        }
+    }
+
+    /// Streaming memory bandwidth in bits/s.
+    pub fn stream_bits_per_s(&self) -> f64 {
+        self.channels as f64 * self.channel_gb_s * 1e9 * 8.0 * self.stream_efficiency
+    }
+}
+
+impl Platform for CpuModel {
+    fn name(&self) -> &'static str {
+        "CPU"
+    }
+
+    fn bulk_op_throughput(&self, op: BulkOp, _bits: u128) -> f64 {
+        let bandwidth_bound = self.stream_bits_per_s() / op.traffic_vectors() as f64;
+        bandwidth_bound.min(self.alu_bits_per_s)
+    }
+
+    fn addition_throughput(&self, _element_bits: usize, _bits: u128) -> f64 {
+        (self.stream_bits_per_s() / 3.0).min(self.alu_bits_per_s)
+    }
+
+    fn bulk_power_w(&self) -> f64 {
+        self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_not_alu_is_the_binding_constraint() {
+        let cpu = CpuModel::core_i7();
+        assert!(cpu.stream_bits_per_s() / 3.0 < cpu.alu_bits_per_s);
+    }
+
+    #[test]
+    fn xnor_throughput_is_about_70_gbit_s() {
+        // 2 × 17 GB/s × 0.9 = 30.7 GB/s = 246 Gbit/s of traffic; /3 vectors
+        // ≈ 82 Gbit/s of results.
+        let cpu = CpuModel::core_i7();
+        let t = cpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 28);
+        assert!((6e10..9e10).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn copy_is_faster_than_xnor() {
+        let cpu = CpuModel::core_i7();
+        assert!(
+            cpu.bulk_op_throughput(BulkOp::Copy, 1 << 20) > cpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
+        );
+    }
+}

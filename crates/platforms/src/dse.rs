@@ -1,0 +1,133 @@
+//! Design-space exploration around the paper's configuration.
+//!
+//! §IV *Trade-offs* explores "the efficiency of the platform by adjusting
+//! the number of active sub-arrays". This module generalizes that sweep:
+//! raw-throughput and assembly-level metrics as functions of the array
+//! organization (banks, active MATs, active sub-arrays) and of Pd, so the
+//! chosen design point can be justified quantitatively.
+
+use pim_dram::energy::EnergyParams;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::timing::TimingParams;
+
+use crate::assembly_model::{AssemblyCostModel, PimAssemblyModel};
+use crate::indram::InDramPlatform;
+use crate::ops::BulkOp;
+use crate::platform::Platform;
+use crate::spec::PimArraySpec;
+use crate::workload::AssemblyWorkload;
+
+/// One design point of the array-organization sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Sub-arrays computing in lock-step.
+    pub parallel_subarrays: usize,
+    /// XNOR2 throughput (bits/s).
+    pub xnor_bits_per_s: f64,
+    /// Bulk-op power (W).
+    pub power_w: f64,
+    /// Throughput per watt (bits/s/W) — the efficiency metric.
+    pub bits_per_joule: f64,
+}
+
+/// Sweeps the number of active sub-arrays (powers of two between `min` and
+/// `max`), holding the rest of the §II-B organization fixed.
+pub fn subarray_sweep(min: usize, max: usize) -> Vec<DesignPoint> {
+    let mut points = Vec::new();
+    let mut active = min.max(1);
+    while active <= max {
+        let mut geometry = DramGeometry::paper_throughput();
+        // Express the active count through the activation knobs.
+        geometry.active_mats_per_bank = 1;
+        geometry.active_subarrays_per_mat = 1;
+        let per_bank = active.div_ceil(geometry.banks_per_chip).max(1);
+        geometry.active_mats_per_bank = per_bank.min(geometry.mats_per_bank);
+        geometry.active_subarrays_per_mat =
+            per_bank.div_ceil(geometry.active_mats_per_bank).min(geometry.subarrays_per_mat);
+        let spec =
+            PimArraySpec::from_dram(&geometry, &TimingParams::ddr4_2133(), &EnergyParams::ddr4_45nm());
+        let p = InDramPlatform::pim_assembler_with_spec(spec);
+        let xnor = p.bulk_op_throughput(BulkOp::Xnor2, 1 << 27);
+        let power = p.bulk_power_w();
+        points.push(DesignPoint {
+            parallel_subarrays: spec.parallel_subarrays,
+            xnor_bits_per_s: xnor,
+            power_w: power,
+            bits_per_joule: xnor / power,
+        });
+        active *= 2;
+    }
+    points
+}
+
+/// One point of the Pd sweep at assembly level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdPoint {
+    /// Parallelism degree.
+    pub pd: usize,
+    /// Total assembly time (s).
+    pub delay_s: f64,
+    /// Average power (W).
+    pub power_w: f64,
+    /// Energy-delay product (J·s).
+    pub edp: f64,
+}
+
+/// Sweeps Pd over `pds` for the given workload (the data behind Fig. 10).
+pub fn pd_sweep(workload: &AssemblyWorkload, pds: &[usize]) -> Vec<PdPoint> {
+    pds.iter()
+        .map(|&pd| {
+            let b = PimAssemblyModel::pim_assembler(pd).estimate(workload);
+            PdPoint { pd, delay_s: b.total_s(), power_w: b.power_w, edp: b.energy_j() * b.total_s() }
+        })
+        .collect()
+}
+
+/// The Pd with the lowest energy-delay product.
+pub fn optimal_pd(workload: &AssemblyWorkload, pds: &[usize]) -> usize {
+    pd_sweep(workload, pds)
+        .into_iter()
+        .min_by(|a, b| a.edp.total_cmp(&b.edp))
+        .map(|p| p.pd)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_active_subarrays() {
+        let points = subarray_sweep(8, 512);
+        assert!(points.len() >= 4);
+        for w in points.windows(2) {
+            assert!(w[1].parallel_subarrays > w[0].parallel_subarrays);
+            assert!(w[1].xnor_bits_per_s > w[0].xnor_bits_per_s);
+            assert!(w[1].power_w > w[0].power_w);
+        }
+    }
+
+    #[test]
+    fn efficiency_improves_then_saturates() {
+        // Background power amortizes: small configurations are inefficient.
+        let points = subarray_sweep(8, 512);
+        assert!(points.last().unwrap().bits_per_joule > points[0].bits_per_joule);
+    }
+
+    #[test]
+    fn pd_sweep_matches_fig10_shape() {
+        let w = AssemblyWorkload::chr14(16);
+        let points = pd_sweep(&w, &[1, 2, 4, 8]);
+        for win in points.windows(2) {
+            assert!(win[1].delay_s <= win[0].delay_s);
+            assert!(win[1].power_w > win[0].power_w);
+        }
+        assert_eq!(optimal_pd(&w, &[1, 2, 4, 8]), 2);
+    }
+
+    #[test]
+    fn optimal_pd_of_empty_candidates_defaults() {
+        let w = AssemblyWorkload::chr14(16);
+        assert_eq!(optimal_pd(&w, &[]), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! GPU baseline model.
+//!
+//! The paper's GPU is an "NVIDIA GTX 1080Ti Pascal GPU … 3584 CUDA cores
+//! running at 1.5 GHz and 352-bit GDDR5X" (§II-B). Like the CPU, bulk
+//! bitwise kernels on out-of-cache vectors are bound by memory bandwidth;
+//! unlike the CPU, kernel-launch overhead and uncoalesced access on the
+//! irregular assembly workloads cost additional efficiency, which is where
+//! the paper's Fig. 9/11 GPU numbers come from (its MBR reaches 70 %).
+
+use crate::ops::BulkOp;
+use crate::platform::Platform;
+
+/// Bandwidth-bound GPU model.
+///
+/// # Examples
+///
+/// ```
+/// use pim_platforms::{gpu::GpuModel, platform::Platform, ops::BulkOp};
+///
+/// let gpu = GpuModel::gtx_1080ti();
+/// let t = gpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 27);
+/// assert!(t > 1e11); // far above the CPU …
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Memory bandwidth (GB/s).
+    pub mem_gb_s: f64,
+    /// Achievable fraction of peak on streaming kernels (coalesced).
+    pub stream_efficiency: f64,
+    /// CUDA cores × 32-bit lanes × frequency ceiling (bit ops/s).
+    pub alu_bits_per_s: f64,
+    /// Board power under load (W). The GTX 1080Ti TDP is 250 W.
+    pub power_w: f64,
+}
+
+impl GpuModel {
+    /// The paper's GTX 1080Ti: 11 GHz-effective GDDR5X on a 352-bit bus
+    /// (484 GB/s), 3584 cores at 1.5 GHz.
+    pub fn gtx_1080ti() -> Self {
+        GpuModel {
+            mem_gb_s: 484.0,
+            stream_efficiency: 0.62,
+            alu_bits_per_s: 3584.0 * 32.0 * 1.5e9,
+            power_w: 250.0,
+        }
+    }
+
+    /// Streaming memory bandwidth in bits/s.
+    pub fn stream_bits_per_s(&self) -> f64 {
+        self.mem_gb_s * 1e9 * 8.0 * self.stream_efficiency
+    }
+}
+
+impl Platform for GpuModel {
+    fn name(&self) -> &'static str {
+        "GPU"
+    }
+
+    fn bulk_op_throughput(&self, op: BulkOp, _bits: u128) -> f64 {
+        (self.stream_bits_per_s() / op.traffic_vectors() as f64).min(self.alu_bits_per_s)
+    }
+
+    fn addition_throughput(&self, _element_bits: usize, _bits: u128) -> f64 {
+        // Two operand reads, plus the destination line is write-allocated
+        // through the GPU L2 before being overwritten: 4 vector transits.
+        (self.stream_bits_per_s() / 4.0).min(self.alu_bits_per_s)
+    }
+
+    fn bulk_power_w(&self) -> f64 {
+        self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use crate::indram::InDramPlatform;
+
+    #[test]
+    fn gpu_sits_between_cpu_and_pim_assembler() {
+        // Fig. 3b ordering on XNOR2: CPU < GPU < P-A.
+        let bits = 1u128 << 28;
+        let cpu = CpuModel::core_i7().bulk_op_throughput(BulkOp::Xnor2, bits);
+        let gpu = GpuModel::gtx_1080ti().bulk_op_throughput(BulkOp::Xnor2, bits);
+        let pa = InDramPlatform::pim_assembler().bulk_op_throughput(BulkOp::Xnor2, bits);
+        assert!(cpu < gpu, "cpu {cpu} !< gpu {gpu}");
+        assert!(gpu < pa, "gpu {gpu} !< pa {pa}");
+    }
+
+    #[test]
+    fn power_is_high() {
+        assert!(GpuModel::gtx_1080ti().bulk_power_w() >= 200.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_for_bulk_ops() {
+        let g = GpuModel::gtx_1080ti();
+        assert!(g.stream_bits_per_s() / 3.0 < g.alu_bits_per_s);
+    }
+}

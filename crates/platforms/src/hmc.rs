@@ -1,0 +1,99 @@
+//! Hybrid Memory Cube 2.0 model.
+//!
+//! The paper's HMC baseline has "32 × 10 GB/s bandwidth vaults" (§II-B) with
+//! logic-layer compute. Bulk bitwise work is bound by vault bandwidth: every
+//! operand vector must cross the vault TSVs to the logic layer and the
+//! result must return, and the atomic-request protocol adds packet overhead
+//! on top of the raw payload.
+
+use crate::ops::BulkOp;
+use crate::platform::Platform;
+
+/// HMC 2.0 bandwidth-bound model.
+///
+/// # Examples
+///
+/// ```
+/// use pim_platforms::{hmc::HmcModel, platform::Platform, ops::BulkOp};
+///
+/// let hmc = HmcModel::hmc2();
+/// let t = hmc.bulk_op_throughput(BulkOp::Xnor2, 1 << 27);
+/// assert!(t > 1e11 && t < 1e12); // hundreds of Gbit/s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmcModel {
+    /// Number of vaults.
+    pub vaults: usize,
+    /// Peak bandwidth per vault (GB/s).
+    pub vault_gb_s: f64,
+    /// Fraction of peak payload bandwidth achieved after request/response
+    /// packet overheads (HMC packets carry 16-byte headers/tails around the
+    /// payload FLITs).
+    pub protocol_efficiency: f64,
+    /// Average power (W) under full-bandwidth logic-layer operation
+    /// (HMC 2.0 class devices dissipate ~20+ W in the cube).
+    pub power_w: f64,
+}
+
+impl HmcModel {
+    /// The paper's HMC 2.0 configuration.
+    pub fn hmc2() -> Self {
+        HmcModel { vaults: 32, vault_gb_s: 10.0, protocol_efficiency: 0.58, power_w: 23.0 }
+    }
+
+    /// Aggregate payload bandwidth in bits/s.
+    pub fn payload_bits_per_s(&self) -> f64 {
+        self.vaults as f64 * self.vault_gb_s * 1e9 * 8.0 * self.protocol_efficiency
+    }
+}
+
+impl Platform for HmcModel {
+    fn name(&self) -> &'static str {
+        "HMC"
+    }
+
+    fn bulk_op_throughput(&self, op: BulkOp, _bits: u128) -> f64 {
+        self.payload_bits_per_s() / op.traffic_vectors() as f64
+    }
+
+    fn addition_throughput(&self, _element_bits: usize, _bits: u128) -> f64 {
+        // Elementwise add moves two operands in and one sum out.
+        self.payload_bits_per_s() / 3.0
+    }
+
+    fn bulk_power_w(&self) -> f64 {
+        self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_bandwidth_is_320_gb_s_peak() {
+        let h = HmcModel::hmc2();
+        let peak_bits = h.vaults as f64 * h.vault_gb_s * 1e9 * 8.0;
+        assert!((peak_bits - 2.56e12).abs() < 1e9);
+        assert!(h.payload_bits_per_s() < peak_bits);
+    }
+
+    #[test]
+    fn three_operand_ops_are_slower() {
+        let h = HmcModel::hmc2();
+        assert!(
+            h.bulk_op_throughput(BulkOp::Maj3, 1 << 20) < h.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
+        );
+    }
+
+    #[test]
+    fn below_pim_assembler_on_xnor() {
+        // Fig. 3b ordering: P-A above HMC.
+        use crate::indram::InDramPlatform;
+        let pa = InDramPlatform::pim_assembler();
+        let hmc = HmcModel::hmc2();
+        assert!(
+            pa.bulk_op_throughput(BulkOp::Xnor2, 1 << 27) > hmc.bulk_op_throughput(BulkOp::Xnor2, 1 << 27)
+        );
+    }
+}

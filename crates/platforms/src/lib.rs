@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # pim-platforms
+//!
+//! Models of every compute platform the PIM-Assembler paper compares
+//! against, behind one [`platform::Platform`] trait:
+//!
+//! * [`indram`] — the processing-in-DRAM family: PIM-Assembler itself,
+//!   Ambit, DRISA-1T1C, and DRISA-3T1C, differing only in their per-bulk-op
+//!   AAP cost tables (§II-B),
+//! * [`hmc`] — Hybrid Memory Cube 2.0 (32 × 10 GB/s vaults, logic-layer
+//!   compute),
+//! * [`cpu`] — a Core-i7-class CPU with two DDR4-1866/2133 channels
+//!   (bandwidth-bound on bulk bitwise work),
+//! * [`gpu`] — a GTX-1080Ti-class GPU (3584 CUDA cores, 352-bit GDDR5X),
+//! * [`throughput`] — the Fig. 3b raw-throughput experiment,
+//! * [`workload`] — size descriptions of the genome-assembly stages
+//!   (including the paper's chromosome-14 preset),
+//! * [`assembly_model`] — analytic per-stage execution-time/power models for
+//!   the non-PIM-Assembler platforms on the assembly workload (Fig. 9),
+//! * [`memwall`] — memory-bottleneck-ratio and resource-utilization-ratio
+//!   computations (Fig. 11).
+//!
+//! ## Example
+//!
+//! ```
+//! use pim_platforms::{platform::Platform, indram::InDramPlatform, cpu::CpuModel, ops::BulkOp};
+//!
+//! let pa = InDramPlatform::pim_assembler();
+//! let cpu = CpuModel::core_i7();
+//! let bits = 1u128 << 27;
+//! let speedup = pa.bulk_op_throughput(BulkOp::Xnor2, bits)
+//!     / cpu.bulk_op_throughput(BulkOp::Xnor2, bits);
+//! assert!(speedup > 4.0, "P-A must clearly beat the CPU, got {speedup}×");
+//! ```
+
+pub mod assembly_model;
+pub mod cpu;
+pub mod dse;
+pub mod gpu;
+pub mod hmc;
+pub mod indram;
+pub mod memwall;
+pub mod ops;
+pub mod platform;
+pub mod spec;
+pub mod throughput;
+pub mod workload;
+
+pub use indram::InDramPlatform;
+pub use ops::BulkOp;
+pub use platform::Platform;
+pub use workload::AssemblyWorkload;

@@ -1,0 +1,83 @@
+//! Memory-wall metrics (Fig. 11).
+//!
+//! * **MBR** (Memory Bottleneck Ratio) — "the time that the computation
+//!   waits for data and on-/off-chip data transfer blocks the performance",
+//!   as a fraction of total execution time.
+//! * **RUR** (Resource Utilization Ratio) — the fraction of the platform's
+//!   peak compute capability doing algorithmic work; a small MBR translates
+//!   into a high RUR (§IV *Memory Wall*).
+
+use crate::assembly_model::StageBreakdown;
+
+/// Memory Bottleneck Ratio in percent.
+///
+/// # Examples
+///
+/// ```
+/// use pim_platforms::assembly_model::{AssemblyCostModel, PimAssemblyModel};
+/// use pim_platforms::memwall::mbr_percent;
+/// use pim_platforms::workload::AssemblyWorkload;
+///
+/// let b = PimAssemblyModel::pim_assembler(2).estimate(&AssemblyWorkload::chr14(16));
+/// assert!(mbr_percent(&b) < 20.0); // the paper reports ≤ ~16 % for P-A
+/// ```
+pub fn mbr_percent(b: &StageBreakdown) -> f64 {
+    100.0 * b.transfer_s / b.total_s()
+}
+
+/// Resource Utilization Ratio in percent: the non-stalled fraction of time
+/// times the busy-cycle engagement of the compute resources.
+pub fn rur_percent(b: &StageBreakdown) -> f64 {
+    (100.0 - mbr_percent(b)) * b.engagement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly_model::{AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel};
+    use crate::workload::AssemblyWorkload;
+
+    #[test]
+    fn pa_mbr_is_small_gpu_mbr_is_large() {
+        for k in [16, 32] {
+            let w = AssemblyWorkload::chr14(k);
+            let pa = PimAssemblyModel::pim_assembler(2).estimate(&w);
+            let gpu = GpuAssemblyModel::gtx_1080ti().estimate(&w);
+            assert!(mbr_percent(&pa) < 20.0, "P-A MBR {}", mbr_percent(&pa));
+            assert!(mbr_percent(&gpu) > 55.0, "GPU MBR {}", mbr_percent(&gpu));
+        }
+    }
+
+    #[test]
+    fn gpu_mbr_grows_with_k_toward_70() {
+        let g16 = GpuAssemblyModel::gtx_1080ti().estimate(&AssemblyWorkload::chr14(16));
+        let g32 = GpuAssemblyModel::gtx_1080ti().estimate(&AssemblyWorkload::chr14(32));
+        assert!(mbr_percent(&g32) > mbr_percent(&g16));
+        assert!((60.0..75.0).contains(&mbr_percent(&g32)), "{}", mbr_percent(&g32));
+    }
+
+    #[test]
+    fn pa_rur_is_highest() {
+        let w = AssemblyWorkload::chr14(16);
+        let pa = rur_percent(&PimAssemblyModel::pim_assembler(2).estimate(&w));
+        let gpu = rur_percent(&GpuAssemblyModel::gtx_1080ti().estimate(&w));
+        let ambit = rur_percent(&PimAssemblyModel::ambit(2).estimate(&w));
+        assert!(pa > ambit, "P-A {pa} vs Ambit {ambit}");
+        assert!(ambit > gpu, "Ambit {ambit} vs GPU {gpu}");
+        // §IV: P-A RUR up to ~65 % at k=16, PIMs > 45 %.
+        assert!((50.0..80.0).contains(&pa), "P-A RUR {pa}");
+        assert!(ambit > 45.0, "PIM RUR {ambit}");
+    }
+
+    #[test]
+    fn mbr_rur_are_percentages() {
+        let w = AssemblyWorkload::chr14(22);
+        for b in [
+            PimAssemblyModel::pim_assembler(2).estimate(&w),
+            GpuAssemblyModel::gtx_1080ti().estimate(&w),
+        ] {
+            assert!((0.0..=100.0).contains(&mbr_percent(&b)));
+            assert!((0.0..=100.0).contains(&rur_percent(&b)));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The bulk operations compared across platforms.
+
+use std::fmt;
+
+/// A bulk bitwise operation over whole vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BulkOp {
+    /// Bitwise NOT.
+    Not,
+    /// Two-operand AND.
+    And2,
+    /// Two-operand OR.
+    Or2,
+    /// Two-operand XOR.
+    Xor2,
+    /// Two-operand XNOR — the comparison primitive of genome assembly.
+    Xnor2,
+    /// Three-operand majority (the in-DRAM carry primitive).
+    Maj3,
+    /// Bulk copy.
+    Copy,
+}
+
+impl BulkOp {
+    /// All operations, for sweeps.
+    pub const ALL: [BulkOp; 7] =
+        [BulkOp::Not, BulkOp::And2, BulkOp::Or2, BulkOp::Xor2, BulkOp::Xnor2, BulkOp::Maj3, BulkOp::Copy];
+
+    /// Number of input operand vectors.
+    pub fn operands(&self) -> usize {
+        match self {
+            BulkOp::Not | BulkOp::Copy => 1,
+            BulkOp::And2 | BulkOp::Or2 | BulkOp::Xor2 | BulkOp::Xnor2 => 2,
+            BulkOp::Maj3 => 3,
+        }
+    }
+
+    /// Total vectors moved through a load/store machine (operands + result):
+    /// the traffic multiplier for bandwidth-bound platforms.
+    pub fn traffic_vectors(&self) -> usize {
+        self.operands() + 1
+    }
+}
+
+impl fmt::Display for BulkOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BulkOp::Not => "NOT",
+            BulkOp::And2 => "AND2",
+            BulkOp::Or2 => "OR2",
+            BulkOp::Xor2 => "XOR2",
+            BulkOp::Xnor2 => "XNOR2",
+            BulkOp::Maj3 => "MAJ3",
+            BulkOp::Copy => "COPY",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_counts() {
+        assert_eq!(BulkOp::Not.operands(), 1);
+        assert_eq!(BulkOp::Xnor2.operands(), 2);
+        assert_eq!(BulkOp::Maj3.operands(), 3);
+    }
+
+    #[test]
+    fn traffic_includes_result() {
+        assert_eq!(BulkOp::Xnor2.traffic_vectors(), 3);
+        assert_eq!(BulkOp::Copy.traffic_vectors(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BulkOp::Xnor2.to_string(), "XNOR2");
+        for op in BulkOp::ALL {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The cross-platform comparison trait.
+
+use crate::ops::BulkOp;
+
+/// A compute platform that can execute bulk bitwise operations and
+/// elementwise additions over long vectors.
+///
+/// Throughputs are reported in **output bits per second** so that platforms
+/// with different internal organizations compare on delivered work, exactly
+/// as Fig. 3b plots them.
+pub trait Platform {
+    /// Short display name (e.g. `"P-A"`, `"Ambit"`).
+    fn name(&self) -> &'static str;
+
+    /// Sustained throughput of `op` over an input vector of `bits` bits.
+    fn bulk_op_throughput(&self, op: BulkOp, bits: u128) -> f64;
+
+    /// Sustained throughput of elementwise addition of two vectors of
+    /// `element_bits`-bit integers, totalling `bits` bits each.
+    fn addition_throughput(&self, element_bits: usize, bits: u128) -> f64;
+
+    /// Average power draw while running bulk operations (W).
+    fn bulk_power_w(&self) -> f64;
+
+    /// Time (seconds) to run `op` over `bits` input bits.
+    fn bulk_op_seconds(&self, op: BulkOp, bits: u128) -> f64 {
+        bits as f64 / self.bulk_op_throughput(op, bits)
+    }
+
+    /// Time (seconds) for elementwise addition over `bits`-bit vectors.
+    fn addition_seconds(&self, element_bits: usize, bits: u128) -> f64 {
+        bits as f64 / self.addition_throughput(element_bits, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Platform for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn bulk_op_throughput(&self, _op: BulkOp, _bits: u128) -> f64 {
+            1e9
+        }
+        fn addition_throughput(&self, _element_bits: usize, _bits: u128) -> f64 {
+            5e8
+        }
+        fn bulk_power_w(&self) -> f64 {
+            10.0
+        }
+    }
+
+    #[test]
+    fn seconds_are_bits_over_throughput() {
+        let p = Fixed;
+        assert!((p.bulk_op_seconds(BulkOp::Xnor2, 2_000_000_000) - 2.0).abs() < 1e-12);
+        assert!((p.addition_seconds(32, 1_000_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let p: Box<dyn Platform> = Box::new(Fixed);
+        assert_eq!(p.name(), "fixed");
+    }
+}

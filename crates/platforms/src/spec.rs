@@ -1,0 +1,101 @@
+//! Shared physical configuration of the in-DRAM platforms.
+//!
+//! "To have a fair comparison, we report PIM-Assembler's and other PIM
+//! platforms' raw throughput implemented with 8 banks with 1024×256
+//! computational sub-arrays" (§II-B) — so every in-DRAM platform model is
+//! built over the same [`PimArraySpec`], and only the per-operation command
+//! counts differ.
+
+use pim_dram::energy::EnergyParams;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::timing::TimingParams;
+
+/// Physical array configuration shared by the in-DRAM platforms.
+///
+/// # Examples
+///
+/// ```
+/// use pim_platforms::spec::PimArraySpec;
+///
+/// let spec = PimArraySpec::paper_throughput();
+/// assert_eq!(spec.row_bits, 256);
+/// assert!(spec.parallel_subarrays >= 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimArraySpec {
+    /// Sub-arrays computing in lock-step.
+    pub parallel_subarrays: usize,
+    /// Bits per sub-array row.
+    pub row_bits: usize,
+    /// Latency of one AAP command (ns).
+    pub aap_ns: f64,
+    /// Energy of one single-source AAP per sub-array (nJ).
+    pub aap_nj: f64,
+    /// Energy of one multi-row-activation AAP per sub-array (nJ).
+    pub aap_multi_nj: f64,
+    /// Background power of the whole array group (W).
+    pub background_w: f64,
+}
+
+impl PimArraySpec {
+    /// The §II-B throughput configuration over DDR4-2133 / 45 nm constants.
+    pub fn paper_throughput() -> Self {
+        PimArraySpec::from_dram(
+            &DramGeometry::paper_throughput(),
+            &TimingParams::ddr4_2133(),
+            &EnergyParams::ddr4_45nm(),
+        )
+    }
+
+    /// The §IV assembly configuration.
+    pub fn paper_assembly() -> Self {
+        PimArraySpec::from_dram(
+            &DramGeometry::paper_assembly(),
+            &TimingParams::ddr4_2133(),
+            &EnergyParams::ddr4_45nm(),
+        )
+    }
+
+    /// Derives a spec from the DRAM substrate's parameter sets.
+    pub fn from_dram(geometry: &DramGeometry, timing: &TimingParams, energy: &EnergyParams) -> Self {
+        PimArraySpec {
+            parallel_subarrays: geometry.parallel_subarrays(),
+            row_bits: geometry.cols,
+            aap_ns: timing.aap_ns(),
+            aap_nj: energy.aap_nj(),
+            aap_multi_nj: energy.aap3_nj(),
+            background_w: geometry.banks_per_chip as f64 * energy.background_mw_per_bank / 1000.0,
+        }
+    }
+
+    /// Bits produced by one lock-step row operation across the group.
+    pub fn bits_per_parallel_op(&self) -> f64 {
+        (self.parallel_subarrays * self.row_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_spec_matches_geometry() {
+        let g = DramGeometry::paper_throughput();
+        let s = PimArraySpec::paper_throughput();
+        assert_eq!(s.parallel_subarrays, g.parallel_subarrays());
+        assert_eq!(s.row_bits, g.cols);
+    }
+
+    #[test]
+    fn aap_latency_comes_from_timing() {
+        let s = PimArraySpec::paper_throughput();
+        assert!((s.aap_ns - TimingParams::ddr4_2133().aap_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assembly_group_has_more_banks_hence_more_background_power() {
+        let t = PimArraySpec::paper_throughput();
+        let a = PimArraySpec::paper_assembly();
+        assert!(a.background_w > t.background_w);
+    }
+}

@@ -1,0 +1,160 @@
+//! The Fig. 3b raw-throughput experiment.
+//!
+//! "we develop an in-house micro-benchmark to run the operations repeatedly
+//! for 2²⁷/2²⁸/2²⁹-bit length input vectors and report the throughput of
+//! each platform" (§II-B). This module sweeps exactly those sizes over
+//! XNOR2 and addition for all seven platforms and tabulates the results.
+
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use crate::hmc::HmcModel;
+use crate::indram::InDramPlatform;
+use crate::ops::BulkOp;
+use crate::platform::Platform;
+
+/// The paper's vector lengths (bits).
+pub const PAPER_VECTOR_BITS: [u128; 3] = [1 << 27, 1 << 28, 1 << 29];
+
+/// One measured point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    /// Platform display name.
+    pub platform: String,
+    /// Vector length (bits).
+    pub bits: u128,
+    /// XNOR2 throughput (output bits/s).
+    pub xnor_bits_per_s: f64,
+    /// 32-bit elementwise addition throughput (output bits/s).
+    pub add_bits_per_s: f64,
+}
+
+/// The full Fig. 3b sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// One point per (platform, size).
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputReport {
+    /// Runs the sweep over the paper's seven platforms and three sizes.
+    pub fn paper_sweep() -> Self {
+        let platforms: Vec<Box<dyn Platform>> = vec![
+            Box::new(CpuModel::core_i7()),
+            Box::new(GpuModel::gtx_1080ti()),
+            Box::new(HmcModel::hmc2()),
+            Box::new(InDramPlatform::ambit()),
+            Box::new(InDramPlatform::drisa_1t1c()),
+            Box::new(InDramPlatform::drisa_3t1c()),
+            Box::new(InDramPlatform::pim_assembler()),
+        ];
+        let mut points = Vec::new();
+        for p in &platforms {
+            for &bits in &PAPER_VECTOR_BITS {
+                points.push(ThroughputPoint {
+                    platform: p.name().to_string(),
+                    bits,
+                    xnor_bits_per_s: p.bulk_op_throughput(BulkOp::Xnor2, bits),
+                    add_bits_per_s: p.addition_throughput(32, bits),
+                });
+            }
+        }
+        ThroughputReport { points }
+    }
+
+    /// Mean XNOR2 throughput of a platform across the sizes.
+    pub fn mean_xnor(&self, platform: &str) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.platform == platform)
+            .map(|p| p.xnor_bits_per_s)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Renders the sweep as CSV (`platform,bits,xnor_bits_per_s,add_bits_per_s`)
+    /// for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("platform,bits,xnor_bits_per_s,add_bits_per_s\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{:.6e},{:.6e}\n",
+                p.platform, p.bits, p.xnor_bits_per_s, p.add_bits_per_s
+            ));
+        }
+        out
+    }
+
+    /// Mean speed-up of `a` over `b` averaged across XNOR2 and addition.
+    pub fn mean_speedup(&self, a: &str, b: &str) -> Option<f64> {
+        let collect = |name: &str| -> Option<(f64, f64)> {
+            let pts: Vec<&ThroughputPoint> =
+                self.points.iter().filter(|p| p.platform == name).collect();
+            if pts.is_empty() {
+                return None;
+            }
+            let x = pts.iter().map(|p| p.xnor_bits_per_s).sum::<f64>() / pts.len() as f64;
+            let d = pts.iter().map(|p| p.add_bits_per_s).sum::<f64>() / pts.len() as f64;
+            Some((x, d))
+        };
+        let (ax, ad) = collect(a)?;
+        let (bx, bd) = collect(b)?;
+        Some((ax / bx + ad / bd) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_seven_platforms_three_sizes() {
+        let r = ThroughputReport::paper_sweep();
+        assert_eq!(r.points.len(), 7 * 3);
+    }
+
+    #[test]
+    fn pa_over_cpu_near_paper_average() {
+        // Abstract: "8.4× higher throughput … compared with CPU".
+        let r = ThroughputReport::paper_sweep();
+        let s = r.mean_speedup("P-A", "CPU").unwrap();
+        assert!((6.0..14.0).contains(&s), "P-A/CPU {s}");
+    }
+
+    #[test]
+    fn pa_over_best_pim_near_2_3x() {
+        let r = ThroughputReport::paper_sweep();
+        let s = r.mean_speedup("P-A", "Ambit").unwrap();
+        assert!((1.8..3.0).contains(&s), "P-A/Ambit {s}");
+    }
+
+    #[test]
+    fn pa_has_top_mean_xnor() {
+        let r = ThroughputReport::paper_sweep();
+        let pa = r.mean_xnor("P-A").unwrap();
+        for name in ["CPU", "GPU", "HMC", "Ambit", "D1", "D3"] {
+            assert!(pa > r.mean_xnor(name).unwrap(), "P-A not above {name}");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let r = ThroughputReport::paper_sweep();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "platform,bits,xnor_bits_per_s,add_bits_per_s");
+        assert_eq!(lines.len(), 1 + 7 * 3);
+        assert!(lines[1].starts_with("CPU,"));
+    }
+
+    #[test]
+    fn unknown_platform_yields_none() {
+        let r = ThroughputReport::paper_sweep();
+        assert!(r.mean_xnor("TPU").is_none());
+        assert!(r.mean_speedup("P-A", "TPU").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the platform models: physical invariants must
+//! hold across arbitrary parameterizations.
+
+use proptest::prelude::*;
+
+use pim_platforms::assembly_model::{AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel};
+use pim_platforms::cpu::CpuModel;
+use pim_platforms::gpu::GpuModel;
+use pim_platforms::hmc::HmcModel;
+use pim_platforms::indram::InDramPlatform;
+use pim_platforms::ops::BulkOp;
+use pim_platforms::platform::Platform;
+use pim_platforms::workload::AssemblyWorkload;
+
+proptest! {
+    #[test]
+    fn throughputs_positive_and_finite_for_any_size(bits in 1u128..(1 << 40)) {
+        let platforms: Vec<Box<dyn Platform>> = vec![
+            Box::new(CpuModel::core_i7()),
+            Box::new(GpuModel::gtx_1080ti()),
+            Box::new(HmcModel::hmc2()),
+            Box::new(InDramPlatform::pim_assembler()),
+            Box::new(InDramPlatform::ambit()),
+        ];
+        for p in &platforms {
+            for op in BulkOp::ALL {
+                let t = p.bulk_op_throughput(op, bits);
+                prop_assert!(t.is_finite() && t > 0.0, "{} {op}", p.name());
+            }
+            let a = p.addition_throughput(32, bits);
+            prop_assert!(a.is_finite() && a > 0.0, "{} add", p.name());
+        }
+    }
+
+    #[test]
+    fn more_operands_never_run_faster_on_bandwidth_machines(bits in 1u128..(1 << 36)) {
+        for p in [&CpuModel::core_i7() as &dyn Platform, &GpuModel::gtx_1080ti(), &HmcModel::hmc2()] {
+            let one = p.bulk_op_throughput(BulkOp::Not, bits);
+            let two = p.bulk_op_throughput(BulkOp::Xnor2, bits);
+            let three = p.bulk_op_throughput(BulkOp::Maj3, bits);
+            prop_assert!(one >= two && two >= three, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn pim_assembler_wins_xnor_for_any_vector_size(bits in 1u128..(1 << 36)) {
+        let pa = InDramPlatform::pim_assembler();
+        let others: Vec<Box<dyn Platform>> = vec![
+            Box::new(CpuModel::core_i7()),
+            Box::new(GpuModel::gtx_1080ti()),
+            Box::new(HmcModel::hmc2()),
+            Box::new(InDramPlatform::ambit()),
+            Box::new(InDramPlatform::drisa_1t1c()),
+            Box::new(InDramPlatform::drisa_3t1c()),
+        ];
+        let t = pa.bulk_op_throughput(BulkOp::Xnor2, bits);
+        for o in &others {
+            prop_assert!(t > o.bulk_op_throughput(BulkOp::Xnor2, bits), "vs {}", o.name());
+        }
+    }
+
+    #[test]
+    fn assembly_times_scale_monotonically_with_reads(reads in 1_000u64..10_000_000, k in 16usize..=32) {
+        let small = AssemblyWorkload::from_scale(k, reads, 101, 1_000_000);
+        let large = AssemblyWorkload::from_scale(k, reads * 2, 101, 1_000_000);
+        for model in [
+            &PimAssemblyModel::pim_assembler(2) as &dyn AssemblyCostModel,
+            &GpuAssemblyModel::gtx_1080ti(),
+        ] {
+            let ts = model.estimate(&small).total_s();
+            let tl = model.estimate(&large).total_s();
+            prop_assert!(tl > ts, "{}: {ts} !< {tl}", model.name());
+        }
+    }
+
+    #[test]
+    fn pd_increase_never_slows_down_and_never_saves_power(pd in 1usize..8) {
+        let w = AssemblyWorkload::chr14(16);
+        let a = PimAssemblyModel::pim_assembler(pd).estimate(&w);
+        let b = PimAssemblyModel::pim_assembler(pd + 1).estimate(&w);
+        prop_assert!(b.total_s() <= a.total_s());
+        prop_assert!(b.power_w > a.power_w);
+    }
+
+    #[test]
+    fn stage_breakdown_fields_consistent(k in 16usize..=32, pd in 1usize..=8) {
+        let w = AssemblyWorkload::chr14(k);
+        let b = PimAssemblyModel::pim_assembler(pd).estimate(&w);
+        prop_assert!(b.transfer_s <= b.total_s());
+        prop_assert!(b.engagement > 0.0 && b.engagement <= 1.0);
+        prop_assert!((b.energy_j() - b.total_s() * b.power_w).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's chromosome-14 experiment, reproduced at laptop scale and
+//! extrapolated to the full 45.7 M-read workload.
+//!
+//! The paper samples 45,711,162 reads of 101 bp from human chr14 (~9.2 GB)
+//! and runs k ∈ {16, 22, 26, 32}. We run the identical per-read pipeline on
+//! a scaled synthetic reference (see DESIGN.md §Substitutions), measure the
+//! per-k-mer command behaviour exactly, and extrapolate.
+//!
+//! ```sh
+//! cargo run --release --example chr14_scaled
+//! ```
+
+use pim_assembler_suite::assembler::{PimAssembler, PimAssemblerConfig};
+use pim_assembler_suite::genome::reads::ReadSimulator;
+use pim_assembler_suite::genome::sequence::DnaSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("chr14-shaped workload, scaled 4000:1, then extrapolated to paper scale\n");
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let genome = DnaSequence::random(&mut rng, 22_000);
+    let reads = ReadSimulator::new(101, 13.0).simulate(&genome, &mut rng);
+    println!("scaled dataset: {} bp reference, {} reads", genome.len(), reads.len());
+
+    println!(
+        "\n{:<4} {:>10} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "k", "k-mers", "distinct", "avg probes", "chr14 est (s)", "power (W)", "energy(kJ)"
+    );
+    for k in [16usize, 22, 26, 32] {
+        let mut assembler =
+            PimAssembler::new(PimAssemblerConfig::paper(k).with_hash_subarrays(32));
+        let run = assembler.assemble(&reads)?;
+        let chr14 = run.report.extrapolate_chr14();
+        println!(
+            "{:<4} {:>10} {:>10} {:>12.2} {:>14.1} {:>12.1} {:>10.1}",
+            k,
+            run.report.workload.total_kmers,
+            run.report.workload.distinct_kmers,
+            run.report.workload.avg_probes_per_kmer,
+            chr14.total_s(),
+            chr14.power_w,
+            chr14.energy_j() / 1000.0
+        );
+    }
+    println!("\npaper reference points: GPU needs ~5x the P-A time and ~7.5x the power (Fig. 9)");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Compare PIM-Assembler against CPU, GPU, HMC, Ambit, and DRISA on both
+//! raw bulk-op throughput (Fig. 3b) and the assembly pipeline (Fig. 9).
+//!
+//! ```sh
+//! cargo run --example platform_comparison
+//! ```
+
+use pim_assembler_suite::platforms::assembly_model::{
+    AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel,
+};
+use pim_assembler_suite::platforms::throughput::ThroughputReport;
+use pim_assembler_suite::platforms::workload::AssemblyWorkload;
+
+fn main() {
+    // Raw bulk-op throughput.
+    let report = ThroughputReport::paper_sweep();
+    println!("bulk XNOR2 throughput (mean over 2^27..2^29-bit vectors):");
+    for name in ["CPU", "GPU", "HMC", "Ambit", "D1", "D3", "P-A"] {
+        let t = report.mean_xnor(name).expect("platform present");
+        println!("  {:<6} {:>8.0} Gb/s  {}", name, t / 1e9, bar(t / 1e9, 10.0));
+    }
+
+    // Assembly pipeline at chr14 scale, k = 16.
+    let w = AssemblyWorkload::chr14(16);
+    println!("\ngenome assembly, chr14 workload, k = 16:");
+    let breakdowns = [
+        GpuAssemblyModel::gtx_1080ti().estimate(&w),
+        PimAssemblyModel::pim_assembler(2).estimate(&w),
+        PimAssemblyModel::ambit(2).estimate(&w),
+        PimAssemblyModel::drisa_3t1c(2).estimate(&w),
+        PimAssemblyModel::drisa_1t1c(2).estimate(&w),
+    ];
+    for b in &breakdowns {
+        println!(
+            "  {:<6} {:>7.1} s @ {:>6.1} W  {}",
+            b.name,
+            b.total_s(),
+            b.power_w,
+            bar(b.total_s(), 3.0)
+        );
+    }
+    let pa = &breakdowns[1];
+    let gpu = &breakdowns[0];
+    println!(
+        "\nP-A vs GPU: {:.1}x faster, {:.1}x less power",
+        gpu.total_s() / pa.total_s(),
+        gpu.power_w / pa.power_w
+    );
+}
+
+fn bar(value: f64, unit: f64) -> String {
+    "#".repeat(((value / unit).round() as usize).clamp(1, 80))
+}

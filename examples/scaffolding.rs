@@ -1,0 +1,51 @@
+//! Extension beyond the paper: stage 3 (scaffolding), which the paper
+//! leaves as future work. Assembles a genome whose middle is unsequencable
+//! (never covered by reads), then joins the two resulting contigs with
+//! paired reads.
+//!
+//! ```sh
+//! cargo run --example scaffolding
+//! ```
+
+use pim_assembler_suite::assembler::{PimAssembler, PimAssemblerConfig};
+use pim_assembler_suite::genome::reads::{Read, ReadSimulator};
+use pim_assembler_suite::genome::scaffold::{simulate_pairs, Scaffolder};
+use pim_assembler_suite::genome::sequence::DnaSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let genome = DnaSequence::random(&mut rng, 6_000);
+
+    // Sequence only the two flanks — a 150 bp hole in the middle.
+    let left = genome.subsequence(0, 2_900);
+    let right = genome.subsequence(3_050, 2_950);
+    let mut reads: Vec<Read> = ReadSimulator::new(90, 20.0).simulate(&left, &mut rng);
+    let offset = reads.len();
+    reads.extend(ReadSimulator::new(90, 20.0).simulate(&right, &mut rng).into_iter().map(|mut r| {
+        r.id += offset;
+        r
+    }));
+    println!("sequenced {} reads from two flanks around a 150 bp gap", reads.len());
+
+    // Stages 1–2 on the PIM platform: two contigs expected.
+    let mut assembler = PimAssembler::new(PimAssemblerConfig::paper(17).with_hash_subarrays(16));
+    let run = assembler.assemble(&reads)?;
+    println!("assembly: {}", run.assembly.stats);
+
+    // Stage 3: paired reads spanning the gap vote for the join.
+    let pairs = simulate_pairs(&genome, 70, 600, 1_200, &mut rng);
+    let scaffolds = Scaffolder::new(17, 3).scaffold(&run.assembly.contigs, &pairs)?;
+    println!("\nscaffolds: {}", scaffolds.len());
+    for (i, s) in scaffolds.iter().enumerate() {
+        println!(
+            "  scaffold {}: {} contig(s), estimated gaps {:?}, spans {} bp",
+            i,
+            s.contigs.len(),
+            s.gaps,
+            s.span(&run.assembly.contigs)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Smoke tests over every experiment's library path: each figure/table must
+//! produce results with the paper's *shape* (orderings, crossovers, rough
+//! magnitudes) on every run.
+
+use pim_assembler_suite::circuits::area::AreaModel;
+use pim_assembler_suite::circuits::transient::TransientSim;
+use pim_assembler_suite::circuits::variation::MonteCarlo;
+use pim_assembler_suite::platforms::assembly_model::{
+    AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel,
+};
+use pim_assembler_suite::platforms::memwall::{mbr_percent, rur_percent};
+use pim_assembler_suite::platforms::throughput::ThroughputReport;
+use pim_assembler_suite::platforms::workload::AssemblyWorkload;
+
+#[test]
+fn fig3a_shape() {
+    let sim = TransientSim::nominal_45nm();
+    for w in sim.xnor_scenarios() {
+        assert!(w.settled(1e-3), "{} did not settle", w.label);
+        let equal = w.label.ends_with("00") || w.label.ends_with("11");
+        assert_eq!(w.final_cell_voltage() > 0.5, equal, "{}", w.label);
+        // Rails are complementary after sensing.
+        assert!((w.final_bl_voltage() + w.final_blbar_voltage() - 1.0).abs() < 0.05);
+    }
+}
+
+#[test]
+fn fig3b_shape() {
+    let r = ThroughputReport::paper_sweep();
+    // Full ordering on XNOR: CPU < D3 < Ambit < D1 < HMC < GPU < P-A.
+    let x = |n: &str| r.mean_xnor(n).unwrap();
+    assert!(x("CPU") < x("D3"));
+    assert!(x("D3") < x("Ambit"));
+    assert!(x("Ambit") < x("D1"));
+    assert!(x("D1") < x("GPU"));
+    assert!(x("GPU") < x("P-A"));
+    // Headline ratios within 25 % of the paper.
+    let within = |val: f64, paper: f64| (val / paper) > 0.75 && (val / paper) < 1.35;
+    assert!(within(x("P-A") / x("Ambit"), 2.3));
+    assert!(within(x("P-A") / x("D1"), 1.9));
+    assert!(within(x("P-A") / x("D3"), 3.7));
+}
+
+#[test]
+fn table1_shape() {
+    let mc = MonteCarlo::new(3000, 123);
+    let t = mc.table1();
+    // Zero cells at ±5 %, monotone growth, TRA ≥ two-row everywhere.
+    assert_eq!(t.rows[0].tra_error_pct, 0.0);
+    assert_eq!(t.rows[0].two_row_error_pct, 0.0);
+    for w in t.rows.windows(2) {
+        assert!(w[1].tra_error_pct >= w[0].tra_error_pct);
+        assert!(w[1].two_row_error_pct >= w[0].two_row_error_pct);
+    }
+    for row in &t.rows {
+        assert!(row.tra_error_pct >= row.two_row_error_pct, "±{}%", row.variation_pct);
+    }
+    // The ±30 % cells show substantial failure for both methods.
+    let last = t.rows.last().unwrap();
+    assert!(last.tra_error_pct > 10.0);
+    assert!(last.two_row_error_pct > 5.0);
+}
+
+#[test]
+fn area_shape() {
+    let pct = AreaModel::paper().overhead_percent();
+    assert!((4.0..6.0).contains(&pct), "area overhead {pct}%");
+}
+
+#[test]
+fn fig9_shape() {
+    for k in [16usize, 22, 26, 32] {
+        let w = AssemblyWorkload::chr14(k);
+        let gpu = GpuAssemblyModel::gtx_1080ti().estimate(&w);
+        let pa = PimAssemblyModel::pim_assembler(2).estimate(&w);
+        let ambit = PimAssemblyModel::ambit(2).estimate(&w);
+        let d1 = PimAssemblyModel::drisa_1t1c(2).estimate(&w);
+        let d3 = PimAssemblyModel::drisa_3t1c(2).estimate(&w);
+        // P-A fastest; GPU slowest; baselines in between.
+        for other in [&gpu, &ambit, &d1, &d3] {
+            assert!(pa.total_s() < other.total_s(), "k={k} vs {}", other.name);
+        }
+        for pim in [&ambit, &d1, &d3] {
+            assert!(pim.total_s() < gpu.total_s(), "k={k} {}", pim.name);
+        }
+        // P-A lowest power, GPU highest.
+        for other in [&gpu, &ambit, &d1, &d3] {
+            assert!(pa.power_w < other.power_w, "k={k} power vs {}", other.name);
+        }
+        // Hashmap dominates GPU time (paper: > 60 %).
+        assert!(gpu.hashmap_s / gpu.total_s() > 0.6, "k={k}");
+    }
+    // Speedup grows with k (the paper's 5.2× → 9.8× trend).
+    let ratio = |k: usize| {
+        let w = AssemblyWorkload::chr14(k);
+        GpuAssemblyModel::gtx_1080ti().estimate(&w).hashmap_s
+            / PimAssemblyModel::pim_assembler(2).estimate(&w).hashmap_s
+    };
+    assert!(ratio(32) > ratio(26) && ratio(26) > ratio(22) && ratio(22) > ratio(16));
+}
+
+#[test]
+fn fig10_shape() {
+    let w = AssemblyWorkload::chr14(16);
+    let mut prev_delay = f64::INFINITY;
+    let mut prev_power = 0.0;
+    let mut edps = Vec::new();
+    for pd in [1usize, 2, 4, 8] {
+        let b = PimAssemblyModel::pim_assembler(pd).estimate(&w);
+        assert!(b.total_s() <= prev_delay, "delay must not grow with Pd");
+        assert!(b.power_w > prev_power, "power must grow with Pd");
+        prev_delay = b.total_s();
+        prev_power = b.power_w;
+        edps.push((pd, b.energy_j() * b.total_s()));
+    }
+    let best = edps.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    assert_eq!(best, 2, "paper: optimum Pd ≈ 2");
+}
+
+#[test]
+fn fig11_shape() {
+    for k in [16usize, 32] {
+        let w = AssemblyWorkload::chr14(k);
+        let gpu = GpuAssemblyModel::gtx_1080ti().estimate(&w);
+        let pa = PimAssemblyModel::pim_assembler(2).estimate(&w);
+        let ambit = PimAssemblyModel::ambit(2).estimate(&w);
+        assert!(mbr_percent(&pa) < 16.5, "k={k}: P-A MBR {}", mbr_percent(&pa));
+        assert!(mbr_percent(&gpu) > 55.0, "k={k}: GPU MBR {}", mbr_percent(&gpu));
+        assert!(rur_percent(&pa) > rur_percent(&ambit));
+        assert!(rur_percent(&ambit) > 45.0, "k={k}: PIM RUR {}", rur_percent(&ambit));
+        assert!(rur_percent(&gpu) < rur_percent(&ambit));
+    }
+}
