@@ -68,7 +68,9 @@ fn bench_traverse_stage(c: &mut Criterion) {
     let work = ctrl.subarray_handle(0, 9, 0, 0).unwrap();
     c.bench_function("traverse_stage_2kb_genome_k15", |b| {
         b.iter(|| {
-            black_box(TraverseStage::run(&mut ctrl, &graph, work, EulerAlgorithm::Hierholzer).unwrap().1)
+            black_box(
+                TraverseStage::run(&mut ctrl, &graph, work, EulerAlgorithm::Hierholzer).unwrap().1,
+            )
         })
     });
 }

@@ -51,7 +51,7 @@ fn bench_ambit_emulated_xnor(c: &mut Criterion) {
             ctrl.aap_copy(id, 1, x1).unwrap();
             ctrl.aap_copy(id, 3, x2).unwrap();
             ctrl.aap2(id, SaMode::Nand, [x1, x2], 10).unwrap(); // !a
-            // a AND b via TRA with C0.
+                                                                // a AND b via TRA with C0.
             ctrl.aap_copy(id, 1, x1).unwrap();
             ctrl.aap_copy(id, 2, x2).unwrap();
             ctrl.aap_copy(id, 4, x3).unwrap();
@@ -72,8 +72,12 @@ fn bench_tra_carry(c: &mut Criterion) {
             ctrl.aap_copy(id, 2, ctrl.compute_row(1)).unwrap();
             ctrl.aap_copy(id, 3, ctrl.compute_row(2)).unwrap();
             black_box(
-                ctrl.aap3_carry(id, [ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2)], 9)
-                    .unwrap(),
+                ctrl.aap3_carry(
+                    id,
+                    [ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2)],
+                    9,
+                )
+                .unwrap(),
             );
         })
     });

@@ -43,7 +43,11 @@ fn bench_std_hashmap(c: &mut Criterion) {
 fn bench_rolling_kmer_iter(c: &mut Criterion) {
     let seq = sequence();
     c.bench_function("kmer_iter_50kb_k21", |b| {
-        b.iter(|| black_box(KmerIter::new(&seq, 21).unwrap().map(|k| k.packed()).fold(0u64, u64::wrapping_add)))
+        b.iter(|| {
+            black_box(
+                KmerIter::new(&seq, 21).unwrap().map(|k| k.packed()).fold(0u64, u64::wrapping_add),
+            )
+        })
     });
 }
 

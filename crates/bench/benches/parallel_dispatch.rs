@@ -1,0 +1,104 @@
+//! Wall-clock of the parallel dispatcher vs the serial reference on a
+//! multi-sub-array instruction stream.
+//!
+//! Each of the 8 partitions carries the same per-sub-array program volume,
+//! so the ideal speedup at `workers = 8` is the host's core count (capped
+//! at 8). The acceptance bar — ≥ 2× over serial at 8 partitions — is only
+//! reachable on a multi-core host; `dispatch_host_parallelism` prints what
+//! this machine offers. Correctness (byte-identical state and totals for
+//! any worker count) is asserted by the test suites, and spot-checked here
+//! before timing starts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pim_assembler::dispatch::ParallelDispatcher;
+use pim_assembler::isa::{AapInstruction, InstructionStream};
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::sense_amp::SaMode;
+
+const PARTITIONS: usize = 8;
+const PROGRAMS_PER_PARTITION: usize = 256;
+
+fn seeded_controller(g: DramGeometry, ids: &[SubarrayId]) -> Controller {
+    let mut ctrl = Controller::new(g);
+    let cols = g.cols;
+    for (n, &id) in ids.iter().enumerate() {
+        for row in 0..4usize {
+            let data = BitRow::from_fn(cols, |i| (i + row + n) % 3 == 0);
+            ctrl.write_row(id, row, &data).unwrap();
+        }
+    }
+    ctrl
+}
+
+/// `PROGRAMS_PER_PARTITION` copy-copy-XNOR programs per sub-array,
+/// interleaved across partitions the way a real stage issues them.
+fn workload(g: &DramGeometry, ids: &[SubarrayId]) -> InstructionStream {
+    let cols = g.cols;
+    let x0 = RowAddr(g.compute_row(0));
+    let x1 = RowAddr(g.compute_row(1));
+    let mut stream = InstructionStream::new();
+    for round in 0..PROGRAMS_PER_PARTITION {
+        for &id in ids {
+            stream.extend([
+                AapInstruction::Copy { subarray: id, src: RowAddr(round % 4), dst: x0, size: cols },
+                AapInstruction::Copy {
+                    subarray: id,
+                    src: RowAddr((round + 1) % 4),
+                    dst: x1,
+                    size: cols,
+                },
+                AapInstruction::TwoSrc {
+                    subarray: id,
+                    srcs: [x0, x1],
+                    dst: RowAddr(8 + round % 4),
+                    mode: SaMode::Xnor,
+                    size: cols,
+                },
+            ]);
+        }
+    }
+    stream
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let g = DramGeometry::paper_assembly();
+    let ids: Vec<SubarrayId> =
+        (0..PARTITIONS).map(|i| SubarrayId::from_linear_index(&g, i)).collect();
+    let stream = workload(&g, &ids);
+
+    // Spot-check the equivalence contract before timing anything.
+    let mut a = seeded_controller(g, &ids);
+    let mut b = seeded_controller(g, &ids);
+    ParallelDispatcher::serial().execute(&mut a, &stream).unwrap();
+    ParallelDispatcher::with_workers(PARTITIONS).execute(&mut b, &stream).unwrap();
+    assert_eq!(*a.stats(), *b.stats(), "parallel != serial totals");
+
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    c.bench_function("dispatch_host_parallelism", |bch| bch.iter(|| black_box(host)));
+
+    let cases: Vec<(String, ParallelDispatcher)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|w| {
+            let label = if w == 1 { "serial".to_string() } else { format!("workers_{w}") };
+            (label, ParallelDispatcher::with_workers(w))
+        })
+        .collect();
+    for (label, dispatcher) in cases {
+        let mut ctrl = seeded_controller(g, &ids);
+        c.bench_function(&format!("dispatch_8x256_{label}"), |bch| {
+            bch.iter(|| dispatcher.execute(&mut ctrl, black_box(&stream)).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dispatch
+}
+criterion_main!(benches);

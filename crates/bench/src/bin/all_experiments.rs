@@ -40,7 +40,10 @@ fn main() {
     let mc = MonteCarlo::new(10_000, seed).table1();
     print!("[Table I] (±%, TRA meas/paper, 2-row meas/paper):");
     for (row, &(pct, pt, p2)) in mc.rows.iter().zip(PAPER_TABLE1.iter()) {
-        print!(" ±{pct:.0}%: {:.2}/{pt:.2}, {:.2}/{p2:.2};", row.tra_error_pct, row.two_row_error_pct);
+        print!(
+            " ±{pct:.0}%: {:.2}/{pt:.2}, {:.2}/{p2:.2};",
+            row.tra_error_pct, row.two_row_error_pct
+        );
     }
     println!();
 
@@ -102,7 +105,12 @@ fn main() {
 
     let claims = vec![
         Claim::new("XNOR throughput vs CPU", 8.4, tp.mean_speedup("P-A", "CPU").unwrap(), "x"),
-        Claim::new("XNOR throughput vs best PIM (Ambit)", 2.3, tp.mean_xnor("P-A").unwrap() / tp.mean_xnor("Ambit").unwrap(), "x"),
+        Claim::new(
+            "XNOR throughput vs best PIM (Ambit)",
+            2.3,
+            tp.mean_xnor("P-A").unwrap() / tp.mean_xnor("Ambit").unwrap(),
+            "x",
+        ),
         Claim::new("assembly exec time vs GPU", 5.0, gpu_t / pa_t, "x"),
         Claim::new("assembly power vs GPU", 7.5, gpu_p / pa_p, "x"),
         Claim::new("chip area overhead", 5.0, area.overhead_percent(), "%"),

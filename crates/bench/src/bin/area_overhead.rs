@@ -14,7 +14,12 @@ fn main() {
     println!("total add-on:                 {:>6} transistors", a.addon_transistors());
     println!("row-equivalents:              {:>6} rows", a.addon_row_equivalents());
     let claims = vec![
-        Claim::new("add-on DRAM-row equivalents per sub-array", 51.0, a.addon_row_equivalents() as f64, ""),
+        Claim::new(
+            "add-on DRAM-row equivalents per sub-array",
+            51.0,
+            a.addon_row_equivalents() as f64,
+            "",
+        ),
         Claim::new("chip-area overhead", 5.0, a.overhead_percent(), "%"),
     ];
     print_claims("area overhead", &claims);

@@ -2,7 +2,9 @@
 //! Ratio for k = 16 and k = 32 across the five platforms.
 
 use pim_bench::{print_claims, Claim};
-use pim_platforms::assembly_model::{AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel, StageBreakdown};
+use pim_platforms::assembly_model::{
+    AssemblyCostModel, GpuAssemblyModel, PimAssemblyModel, StageBreakdown,
+};
 use pim_platforms::memwall::{mbr_percent, rur_percent};
 use pim_platforms::workload::AssemblyWorkload;
 

@@ -27,7 +27,11 @@ fn print_waveform(w: &Waveform) {
         w.final_bl_voltage(),
         w.final_blbar_voltage(),
         w.final_cell_voltage(),
-        if w.final_cell_voltage() > 0.5 { "→ cell recharged to Vdd" } else { "→ cell discharged to GND" }
+        if w.final_cell_voltage() > 0.5 {
+            "→ cell recharged to Vdd"
+        } else {
+            "→ cell discharged to GND"
+        }
     );
     // ASCII plot of the cell voltage, 64 columns.
     let n = w.time_ns.len();

@@ -28,7 +28,12 @@ fn main() {
     }
 
     let claims = vec![
-        Claim::new("P-A vs CPU mean speedup (XNOR+add)", 8.4, report.mean_speedup("P-A", "CPU").unwrap(), "x"),
+        Claim::new(
+            "P-A vs CPU mean speedup (XNOR+add)",
+            8.4,
+            report.mean_speedup("P-A", "CPU").unwrap(),
+            "x",
+        ),
         Claim::new("P-A vs Ambit XNOR speedup", 2.3, xnor_ratio(&report, "Ambit"), "x"),
         Claim::new("P-A vs DRISA-1T1C XNOR speedup", 1.9, xnor_ratio(&report, "D1"), "x"),
         Claim::new("P-A vs DRISA-3T1C XNOR speedup", 3.7, xnor_ratio(&report, "D3"), "x"),

@@ -42,7 +42,12 @@ fn main() {
         for b in &rows {
             println!(
                 "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1}",
-                b.name, b.hashmap_s, b.debruijn_s, b.traverse_s, b.total_s(), b.power_w
+                b.name,
+                b.hashmap_s,
+                b.debruijn_s,
+                b.traverse_s,
+                b.total_s(),
+                b.power_w
             );
         }
         gpu_total.push(rows[0].total_s());
@@ -61,7 +66,12 @@ fn main() {
     let claims = vec![
         Claim::new("GPU/P-A hashmap speedup at k=16", 5.2, gpu_hash[0] / pa_hash[0], "x"),
         Claim::new("GPU/P-A hashmap speedup at k=32", 9.8, gpu_hash[3] / pa_hash[3], "x"),
-        Claim::new("GPU/P-A execution-time ratio, mean over k", 5.0, mean(&gpu_total) / mean(&pa_total), "x"),
+        Claim::new(
+            "GPU/P-A execution-time ratio, mean over k",
+            5.0,
+            mean(&gpu_total) / mean(&pa_total),
+            "x",
+        ),
         Claim::new("P-A average power", 38.4, mean(&pa_power), "W"),
         Claim::new("GPU/P-A power ratio", 7.5, mean(&gpu_power) / mean(&pa_power), "x"),
         Claim::new("best-PIM/P-A power ratio", 2.8, best_pim_power / mean(&pa_power), "x"),

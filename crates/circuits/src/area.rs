@@ -41,7 +41,13 @@ impl AreaModel {
     /// The paper's accounting: 50 T per bit-line, 16 T MRD, and a controller
     /// allotment that brings the total to 51 row-equivalents.
     pub fn paper() -> Self {
-        AreaModel { rows: 1024, cols: 256, sa_addon_per_bitline: 50, mrd_addon: 16, ctrl_addon: 240 }
+        AreaModel {
+            rows: 1024,
+            cols: 256,
+            sa_addon_per_bitline: 50,
+            mrd_addon: 16,
+            ctrl_addon: 240,
+        }
     }
 
     /// Transistors in the unmodified sub-array (1 access transistor per
@@ -107,7 +113,8 @@ mod tests {
 
     #[test]
     fn row_equivalents_round_up() {
-        let a = AreaModel { rows: 16, cols: 10, sa_addon_per_bitline: 1, mrd_addon: 1, ctrl_addon: 0 };
+        let a =
+            AreaModel { rows: 16, cols: 10, sa_addon_per_bitline: 1, mrd_addon: 1, ctrl_addon: 0 };
         // 11 transistors over 10-wide rows → 2 row-equivalents.
         assert_eq!(a.addon_row_equivalents(), 2);
     }

@@ -92,12 +92,8 @@ impl ChargeSharing {
     /// Worst-case sensing margin of TRA: distance from the n=1 / n=2 levels
     /// to the ½·Vdd sense point.
     pub fn tra_margin(&self) -> f64 {
-        let levels = [
-            self.tra_voltage(0),
-            self.tra_voltage(1),
-            self.tra_voltage(2),
-            self.tra_voltage(3),
-        ];
+        let levels =
+            [self.tra_voltage(0), self.tra_voltage(1), self.tra_voltage(2), self.tra_voltage(3)];
         min_distance(&levels, &[0.5 * self.vdd])
     }
 }

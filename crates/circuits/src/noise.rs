@@ -43,7 +43,8 @@ impl NoiseSources {
 
     /// Voltage coupled from an adjacent bit-line swinging rail-to-rail.
     pub fn crosstalk_kick(&self, vdd: f64, c_cell_ff: f64, c_bl_ff: f64) -> f64 {
-        vdd * self.c_cross_ff / (self.c_wbl_ff + self.c_s_ff + self.c_cross_ff + c_cell_ff + c_bl_ff)
+        vdd * self.c_cross_ff
+            / (self.c_wbl_ff + self.c_s_ff + self.c_cross_ff + c_cell_ff + c_bl_ff)
     }
 
     /// Worst-case deterministic displacement: simultaneous word-line kick
@@ -80,7 +81,9 @@ mod tests {
     #[test]
     fn bigger_cell_cap_damps_noise() {
         let n = NoiseSources::nominal_45nm();
-        assert!(n.worst_case_displacement(1.0, 30.0, 2.5) < n.worst_case_displacement(1.0, 15.0, 2.5));
+        assert!(
+            n.worst_case_displacement(1.0, 30.0, 2.5) < n.worst_case_displacement(1.0, 15.0, 2.5)
+        );
     }
 
     #[test]

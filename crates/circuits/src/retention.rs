@@ -120,7 +120,7 @@ mod tests {
         let m = RetentionModel::ddr4();
         let rfc = 350.0;
         let wall = m.thermal_wall_c(0.5, rfc); // refresh eats half the array
-        // Evaluating the tax at the wall returns the fraction.
+                                               // Evaluating the tax at the wall returns the fraction.
         let tax = m.availability_tax(wall, rfc);
         assert!((tax - 0.5).abs() < 1e-9, "{tax}");
         // The wall sits above extended-temperature operation (~80 °C for a

@@ -57,9 +57,7 @@ impl Waveform {
         if n < 2 {
             return false;
         }
-        [&self.v_bl, &self.v_blbar, &self.v_cell]
-            .iter()
-            .all(|t| (t[n - 1] - t[n - 2]).abs() < eps)
+        [&self.v_bl, &self.v_blbar, &self.v_cell].iter().all(|t| (t[n - 1] - t[n - 2]).abs() < eps)
     }
 }
 
@@ -173,7 +171,12 @@ mod tests {
         for (a, b) in [(false, false), (true, true)] {
             let w = sim.simulate_xnor(a, b);
             assert!(w.settled(1e-3), "{} not settled", w.label);
-            assert!(w.final_cell_voltage() > 0.95, "{}: cell = {}", w.label, w.final_cell_voltage());
+            assert!(
+                w.final_cell_voltage() > 0.95,
+                "{}: cell = {}",
+                w.label,
+                w.final_cell_voltage()
+            );
             assert!(w.final_blbar_voltage() > 0.95); // XNOR = 1
             assert!(w.final_bl_voltage() < 0.05); // XOR = 0
         }
@@ -184,7 +187,12 @@ mod tests {
         let sim = TransientSim::nominal_45nm();
         for (a, b) in [(false, true), (true, false)] {
             let w = sim.simulate_xnor(a, b);
-            assert!(w.final_cell_voltage() < 0.05, "{}: cell = {}", w.label, w.final_cell_voltage());
+            assert!(
+                w.final_cell_voltage() < 0.05,
+                "{}: cell = {}",
+                w.label,
+                w.final_cell_voltage()
+            );
             assert!(w.final_blbar_voltage() < 0.05); // XNOR = 0
             assert!(w.final_bl_voltage() > 0.95); // XOR = 1
         }

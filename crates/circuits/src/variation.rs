@@ -102,7 +102,12 @@ pub struct MonteCarlo {
 impl MonteCarlo {
     /// Creates an engine with nominal 45 nm parameters.
     pub fn new(trials: usize, seed: u64) -> Self {
-        MonteCarlo { charge: ChargeSharing::ideal(1.0), trials, seed, sens: Sensitivities::default() }
+        MonteCarlo {
+            charge: ChargeSharing::ideal(1.0),
+            trials,
+            seed,
+            sens: Sensitivities::default(),
+        }
     }
 
     /// Overrides the component sensitivities.
@@ -120,7 +125,8 @@ impl MonteCarlo {
     /// input combination at the given variation level.
     pub fn error_rate_pct(&self, method: ActivationMethod, variation_pct: f64) -> f64 {
         let p = variation_pct / 100.0;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (variation_pct.to_bits().rotate_left(17)));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (variation_pct.to_bits().rotate_left(17)));
         let vdd = self.charge.vdd();
         let mut failures = 0usize;
         for _ in 0..self.trials {
@@ -180,8 +186,9 @@ impl MonteCarlo {
         // corners stress already-saturating device parameters).
         let s = 0.55 * p.powf(0.82);
         // Per-trial component draws (one process corner per trial).
-        let caps: Vec<f64> =
-            (0..k).map(|_| self.charge.c_cell_ff() * (1.0 + gaussian(rng) * s * self.sens.cell_cap)).collect();
+        let caps: Vec<f64> = (0..k)
+            .map(|_| self.charge.c_cell_ff() * (1.0 + gaussian(rng) * s * self.sens.cell_cap))
+            .collect();
         let restores: Vec<f64> =
             (0..k).map(|_| vdd * (1.0 - gaussian(rng).abs() * s * self.sens.restore)).collect();
         let c_bl = self.charge.c_bl_ff() * (1.0 + gaussian(rng) * s * self.sens.bitline);
@@ -229,7 +236,12 @@ fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
 fn shared(caps: &[f64], restores: &[f64], data: &[bool], c_bl: f64, vdd: f64) -> f64 {
     let c_total: f64 = c_bl + caps.iter().sum::<f64>();
     let q: f64 = c_bl * 0.5 * vdd
-        + caps.iter().zip(restores).zip(data).map(|((c, r), &d)| if d { c * r } else { 0.0 }).sum::<f64>();
+        + caps
+            .iter()
+            .zip(restores)
+            .zip(data)
+            .map(|((c, r), &d)| if d { c * r } else { 0.0 })
+            .sum::<f64>();
     q / c_total
 }
 
@@ -237,7 +249,11 @@ impl std::fmt::Display for VariationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Variation  TRA(%)   2-Row(%)   [{} trials]", self.trials)?;
         for r in &self.rows {
-            writeln!(f, "±{:>4.0}%    {:>6.2}   {:>7.2}", r.variation_pct, r.tra_error_pct, r.two_row_error_pct)?;
+            writeln!(
+                f,
+                "±{:>4.0}%    {:>6.2}   {:>7.2}",
+                r.variation_pct, r.tra_error_pct, r.two_row_error_pct
+            )?;
         }
         Ok(())
     }
@@ -301,11 +317,12 @@ mod tests {
         // contributions must be non-negative (within MC noise) and the
         // biggest drivers must matter at a high-variation corner.
         let m = MonteCarlo::new(3000, 17);
-        let (cap, restore, switching, bl) =
-            m.component_attribution(ActivationMethod::Tra, 30.0);
+        let (cap, restore, switching, bl) = m.component_attribution(ActivationMethod::Tra, 30.0);
         let total = m.error_rate_pct(ActivationMethod::Tra, 30.0);
         assert!(total > 10.0);
-        for (name, c) in [("cap", cap), ("restore", restore), ("switching", switching), ("bitline", bl)] {
+        for (name, c) in
+            [("cap", cap), ("restore", restore), ("switching", switching), ("bitline", bl)]
+        {
             assert!(c > -3.0, "{name} contribution {c} strongly negative");
         }
         // Cell capacitance and restore dominate the charge-sharing margin.

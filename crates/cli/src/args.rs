@@ -18,8 +18,8 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 8] =
-    ["k", "min-count", "coverage", "seed", "output", "pd", "simplify", "subarrays"];
+const VALUE_KEYS: [&str; 9] =
+    ["k", "min-count", "coverage", "seed", "output", "pd", "simplify", "subarrays", "workers"];
 
 impl ParsedArgs {
     /// Parses an argument vector (without the program name).

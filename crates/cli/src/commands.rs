@@ -34,6 +34,8 @@ ASSEMBLE OPTIONS:
   --correct        spectral read error correction before assembly
   --pd N           parallelism degree (default 2)
   --subarrays N    hash-partition sub-arrays (default 32)
+  --workers N      host threads for the parallel dispatcher (default 1;
+                   results are identical for any value)
   --output PATH    write contigs FASTA (default stdout summary only)
   --report         print the hardware performance report
 
@@ -57,12 +59,18 @@ pub fn assemble(args: &ParsedArgs) -> CliResult {
         eprintln!("corrected {} bases ({} uncorrectable)", stats.corrected, stats.uncorrectable);
     }
 
+    let workers: usize = args.get_num("workers", 1);
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
     let mut config = PimAssemblerConfig::paper(k)
         .with_min_count(args.get_num("min-count", 1))
         .with_pd(args.get_num("pd", 2))
-        .with_hash_subarrays(args.get_num("subarrays", 32));
+        .with_hash_subarrays(args.get_num("subarrays", 32))
+        .with_workers(workers);
     if let Some(tips) = args.options.get("simplify") {
-        config = config.with_simplification(tips.parse().map_err(|_| "--simplify expects a number")?);
+        config =
+            config.with_simplification(tips.parse().map_err(|_| "--simplify expects a number")?);
     }
 
     let mut assembler = PimAssembler::new(config);
@@ -77,6 +85,9 @@ pub fn assemble(args: &ParsedArgs) -> CliResult {
         let r = &run.report;
         println!("\nhardware report (Pd = {}, {:.0} chains):", r.pd, r.parallel_chains);
         println!("  commands: {}", r.commands);
+        if let Some(par) = r.measured_parallelism {
+            println!("  schedule-measured sub-array parallelism: {par:.1}");
+        }
         println!(
             "  wall: hashmap {:.3} s | deBruijn {:.3} s | traverse {:.3} s",
             r.hashmap.wall_s, r.debruijn.wall_s, r.traverse.wall_s
@@ -202,30 +213,26 @@ mod tests {
         .unwrap();
 
         let reads_path = tmp("reads.fasta");
-        let sim_args = ParsedArgs::parse(
-            [
-                "simulate".to_string(),
-                genome_path.to_str().unwrap().to_string(),
-                "--coverage".into(),
-                "20".into(),
-                "--output".into(),
-                reads_path.to_str().unwrap().to_string(),
-            ],
-        );
+        let sim_args = ParsedArgs::parse([
+            "simulate".to_string(),
+            genome_path.to_str().unwrap().to_string(),
+            "--coverage".into(),
+            "20".into(),
+            "--output".into(),
+            reads_path.to_str().unwrap().to_string(),
+        ]);
         simulate(&sim_args).unwrap();
 
         let contigs_path = tmp("contigs.fasta");
-        let asm_args = ParsedArgs::parse(
-            [
-                "assemble".to_string(),
-                reads_path.to_str().unwrap().to_string(),
-                "--k".into(),
-                "17".into(),
-                "--output".into(),
-                contigs_path.to_str().unwrap().to_string(),
-                "--report".into(),
-            ],
-        );
+        let asm_args = ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "17".into(),
+            "--output".into(),
+            contigs_path.to_str().unwrap().to_string(),
+            "--report".into(),
+        ]);
         assemble(&asm_args).unwrap();
 
         let contigs = read_fasta(BufReader::new(File::open(&contigs_path).unwrap())).unwrap();

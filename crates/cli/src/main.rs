@@ -3,7 +3,7 @@
 //! ```text
 //! pim-asm assemble <reads.fasta|fastq> [--k 17] [--min-count 1]
 //!         [--simplify N] [--correct] [--pd 2] [--subarrays 32]
-//!         [--output contigs.fasta] [--report]
+//!         [--workers 1] [--output contigs.fasta] [--report]
 //! pim-asm simulate <genome.fasta> [--coverage 25] [--seed 42]
 //!         [--output reads.fasta]
 //! pim-asm stats <contigs.fasta>

@@ -36,6 +36,9 @@ pub struct PimAssemblerConfig {
     /// Graph simplification (tip clipping + bubble popping) with the given
     /// maximum tip length in edges; `None` disables it.
     pub simplify_tips: Option<usize>,
+    /// Host worker threads for the parallel dispatcher (1 = serial
+    /// reference execution; results are identical for any value).
+    pub workers: usize,
 }
 
 impl PimAssemblerConfig {
@@ -52,6 +55,7 @@ impl PimAssemblerConfig {
             hash_subarrays: 64,
             bucket_rows: 8,
             simplify_tips: None,
+            workers: 1,
         }
     }
 
@@ -68,6 +72,7 @@ impl PimAssemblerConfig {
             hash_subarrays: 8,
             bucket_rows: 8,
             simplify_tips: None,
+            workers: 1,
         }
     }
 
@@ -105,6 +110,19 @@ impl PimAssemblerConfig {
         self
     }
 
+    /// Sets the host worker-thread count for the parallel dispatcher.
+    /// Execution results are identical for any value (see
+    /// [`crate::dispatch::ParallelDispatcher`]); only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "worker count must be at least 1");
+        self.workers = workers;
+        self
+    }
+
     /// Maximum k representable in one row (2 bits per base): 128 bp for
     /// 256-column sub-arrays.
     pub fn max_k(&self) -> usize {
@@ -139,9 +157,22 @@ mod tests {
     }
 
     #[test]
+    fn worker_builder() {
+        let c = PimAssemblerConfig::paper(16);
+        assert_eq!(c.workers, 1, "serial by default");
+        assert_eq!(c.with_workers(8).workers, 8);
+    }
+
+    #[test]
     #[should_panic(expected = "parallelism degree")]
     fn zero_pd_rejected() {
         let _ = PimAssemblerConfig::paper(16).with_pd(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_workers_rejected() {
+        let _ = PimAssemblerConfig::paper(16).with_workers(0);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Parallel dispatch of disjoint-sub-array work.
+//!
+//! The paper's performance claims rest on sub-array-level parallelism
+//! (`Pd` replicas of each pipeline stage running in disjoint sub-arrays).
+//! This module makes that parallelism *executable* in the functional
+//! model: a [`ParallelDispatcher`] checks per-sub-array
+//! [`SubarrayContext`]s out of the [`Controller`]
+//! ([`Controller::detach_context`]), drives each partition on a worker
+//! thread (`std::thread::scope`; the build environment has no `rayon`),
+//! and reattaches them in deterministic order.
+//!
+//! Correctness contract: because partitions touch disjoint sub-arrays and
+//! contexts account in integer [`pim_dram::ledger::EnergyLedger`]s, a
+//! parallel run produces **byte-identical** array state and bit-identical
+//! merged [`pim_dram::CommandStats`] to the serial run of the same
+//! partitions — regardless of worker count or interleaving. The serial
+//! fallback (`workers == 1`) runs the identical context-based path, so
+//! `serial()` vs `parallel()` differ only in wall-clock.
+
+use pim_dram::address::SubarrayId;
+use pim_dram::context::SubarrayContext;
+use pim_dram::controller::Controller;
+
+use crate::error::Result;
+use crate::exec::StreamExecutor;
+use crate::isa::InstructionStream;
+
+/// Executes disjoint-sub-array partitions, concurrently when configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelDispatcher {
+    workers: usize,
+}
+
+impl Default for ParallelDispatcher {
+    fn default() -> Self {
+        ParallelDispatcher::serial()
+    }
+}
+
+impl ParallelDispatcher {
+    /// A dispatcher that runs every partition on the calling thread (the
+    /// reference semantics; no threads are spawned).
+    pub fn serial() -> Self {
+        ParallelDispatcher { workers: 1 }
+    }
+
+    /// A dispatcher using all available host parallelism.
+    pub fn parallel() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelDispatcher { workers }
+    }
+
+    /// A dispatcher with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "dispatcher needs at least one worker");
+        ParallelDispatcher { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether this dispatcher spawns worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.workers > 1
+    }
+
+    /// Runs `f` once per partition, each against the detached context of
+    /// that partition's sub-array with the partition's payload. Partitions
+    /// must address pairwise-distinct sub-arrays (that is the disjointness
+    /// the hardware provides); every partition is attempted even if
+    /// another fails, mirroring independent sub-arrays having no rollback.
+    /// Contexts are reattached in partition order, so the merged totals —
+    /// already order-independent by integer accounting — and the
+    /// controller's context table are deterministic.
+    ///
+    /// Returns the per-partition results in partition order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pim_dram::DramError::SubarrayDetached`] (wrapped) if two
+    /// partitions name the same sub-array or one is already detached;
+    /// otherwise the first failing partition's error, in partition order.
+    pub fn run_partitions<P, R, F>(
+        &self,
+        ctrl: &mut Controller,
+        partitions: Vec<(SubarrayId, P)>,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(&mut SubarrayContext, P) -> Result<R> + Sync,
+    {
+        // Check out every partition's context up front; a duplicate id
+        // surfaces here as SubarrayDetached before any work runs.
+        let mut work: Vec<(SubarrayContext, P)> = Vec::with_capacity(partitions.len());
+        let mut checkout_err = None;
+        for (id, payload) in partitions {
+            match ctrl.detach_context(id) {
+                Ok(ctx) => work.push((ctx, payload)),
+                Err(e) => {
+                    checkout_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = checkout_err {
+            for (ctx, _) in work {
+                ctrl.reattach_context(ctx).expect("checked out above");
+            }
+            return Err(e.into());
+        }
+
+        let finished: Vec<(SubarrayContext, Result<R>)> = if self.workers <= 1 || work.len() <= 1 {
+            work.into_iter()
+                .map(|(mut ctx, payload)| {
+                    let r = f(&mut ctx, payload);
+                    (ctx, r)
+                })
+                .collect()
+        } else {
+            self.run_on_threads(work, &f)
+        };
+
+        let mut results = Vec::with_capacity(finished.len());
+        let mut first_err = None;
+        for (ctx, result) in finished {
+            ctrl.reattach_context(ctx).expect("checked out above");
+            match result {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+
+    /// Executes an instruction stream, its per-sub-array pieces
+    /// (see [`InstructionStream::split_by_subarray`]) in parallel.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelDispatcher::run_partitions`] with
+    /// [`StreamExecutor::execute_stream`] as the partition body.
+    pub fn execute(&self, ctrl: &mut Controller, stream: &InstructionStream) -> Result<()> {
+        let partitions = stream.split_by_subarray();
+        self.run_partitions(ctrl, partitions, |ctx, piece: InstructionStream| {
+            StreamExecutor::execute_stream(ctx, &piece)
+        })?;
+        Ok(())
+    }
+
+    /// Contiguously chunks `work` over `min(workers, len)` scoped threads;
+    /// concatenating the chunk results restores partition order.
+    fn run_on_threads<P, R, F>(
+        &self,
+        mut work: Vec<(SubarrayContext, P)>,
+        f: &F,
+    ) -> Vec<(SubarrayContext, Result<R>)>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(&mut SubarrayContext, P) -> Result<R> + Sync,
+    {
+        let threads = self.workers.min(work.len());
+        let per_chunk = work.len().div_ceil(threads);
+        let mut chunks = Vec::with_capacity(threads);
+        while !work.is_empty() {
+            let rest = work.split_off(per_chunk.min(work.len()));
+            chunks.push(std::mem::replace(&mut work, rest));
+        }
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(mut ctx, payload)| {
+                                let r = f(&mut ctx, payload);
+                                (ctx, r)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            let mut panic = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => panic = Some(payload),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PimError;
+    use crate::isa::AapInstruction;
+    use pim_dram::address::RowAddr;
+    use pim_dram::bitrow::BitRow;
+    use pim_dram::geometry::DramGeometry;
+    use pim_dram::DramError;
+
+    fn subarrays(n: usize) -> (Controller, Vec<SubarrayId>) {
+        let g = DramGeometry::tiny();
+        let ctrl = Controller::new(g);
+        let ids = (0..n).map(|i| SubarrayId::from_linear_index(&g, i)).collect();
+        (ctrl, ids)
+    }
+
+    /// A small per-sub-array program: write, copy into compute rows, XNOR.
+    fn program(id: SubarrayId, cols: usize, salt: usize) -> InstructionStream {
+        let g = DramGeometry::tiny();
+        let x0 = RowAddr(g.compute_row(0));
+        let x1 = RowAddr(g.compute_row(1));
+        [
+            AapInstruction::Copy { subarray: id, src: RowAddr(salt % 4), dst: x0, size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(salt % 4 + 1), dst: x1, size: cols },
+            AapInstruction::TwoSrc {
+                subarray: id,
+                srcs: [x0, x1],
+                dst: RowAddr(8 + salt % 3),
+                mode: pim_dram::sense_amp::SaMode::Xnor,
+                size: cols,
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn seed_rows(ctrl: &mut Controller, ids: &[SubarrayId]) {
+        let cols = ctrl.geometry().cols;
+        for (n, &id) in ids.iter().enumerate() {
+            for row in 0..6 {
+                let data = BitRow::from_fn(cols, |i| (i + row + n) % 3 == 0);
+                ctrl.write_row(id, row, &data).unwrap();
+            }
+        }
+    }
+
+    fn full_stream(ids: &[SubarrayId], cols: usize) -> InstructionStream {
+        let mut stream = InstructionStream::new();
+        for (n, &id) in ids.iter().enumerate() {
+            stream.extend(program(id, cols, n).instructions().iter().copied());
+        }
+        stream
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let (mut serial_ctrl, ids) = subarrays(8);
+        let (mut par_ctrl, _) = subarrays(8);
+        seed_rows(&mut serial_ctrl, &ids);
+        seed_rows(&mut par_ctrl, &ids);
+        let cols = serial_ctrl.geometry().cols;
+        let stream = full_stream(&ids, cols);
+
+        ParallelDispatcher::serial().execute(&mut serial_ctrl, &stream).unwrap();
+        ParallelDispatcher::with_workers(4).execute(&mut par_ctrl, &stream).unwrap();
+
+        assert_eq!(*serial_ctrl.stats(), *par_ctrl.stats());
+        assert_eq!(serial_ctrl.ledger(), par_ctrl.ledger());
+        let rows = serial_ctrl.geometry().rows;
+        for &id in &ids {
+            for row in 0..rows {
+                assert_eq!(
+                    serial_ctrl.peek_row(id, row).unwrap(),
+                    par_ctrl.peek_row(id, row).unwrap(),
+                    "row {row} of {id} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_execution_matches_direct_controller_execution() {
+        let (mut direct, ids) = subarrays(4);
+        let (mut dispatched, _) = subarrays(4);
+        seed_rows(&mut direct, &ids);
+        seed_rows(&mut dispatched, &ids);
+        let cols = direct.geometry().cols;
+        let stream = full_stream(&ids, cols);
+
+        StreamExecutor::execute_stream(&mut direct, &stream).unwrap();
+        ParallelDispatcher::with_workers(2).execute(&mut dispatched, &stream).unwrap();
+
+        assert_eq!(*direct.stats(), *dispatched.stats());
+    }
+
+    #[test]
+    fn run_partitions_returns_results_in_partition_order() {
+        let (mut ctrl, ids) = subarrays(5);
+        let cols = ctrl.geometry().cols;
+        let partitions: Vec<(SubarrayId, usize)> =
+            ids.iter().copied().zip([10usize, 20, 30, 40, 50]).collect();
+        let out = ParallelDispatcher::with_workers(3)
+            .run_partitions(&mut ctrl, partitions, |ctx, payload| {
+                ctx.write_row(0, &BitRow::from_fn(cols, |i| i == payload % cols))?;
+                Ok(payload * 2)
+            })
+            .unwrap();
+        assert_eq!(out, vec![20, 40, 60, 80, 100]);
+        assert_eq!(ctrl.stats().writes, 5);
+    }
+
+    #[test]
+    fn duplicate_partition_ids_are_rejected_up_front() {
+        let (mut ctrl, ids) = subarrays(2);
+        let partitions = vec![(ids[0], ()), (ids[1], ()), (ids[0], ())];
+        let err = ParallelDispatcher::with_workers(2)
+            .run_partitions(&mut ctrl, partitions, |_ctx, ()| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, PimError::Dram(DramError::SubarrayDetached { .. })));
+        // All contexts were returned: the controller is fully usable.
+        let cols = ctrl.geometry().cols;
+        ctrl.write_row(ids[0], 0, &BitRow::zeros(cols)).unwrap();
+        assert_eq!(ctrl.stats().writes, 1);
+    }
+
+    #[test]
+    fn first_error_in_partition_order_wins_and_controller_recovers() {
+        for workers in [1, 4] {
+            let (mut ctrl, ids) = subarrays(4);
+            let cols = ctrl.geometry().cols;
+            let partitions: Vec<(SubarrayId, usize)> = ids.iter().copied().zip(0..4).collect();
+            let err = ParallelDispatcher::with_workers(workers)
+                .run_partitions(&mut ctrl, partitions, |ctx, n| {
+                    if n % 2 == 1 {
+                        // Bad row: out of range.
+                        ctx.write_row(100_000, &BitRow::zeros(cols))?;
+                    } else {
+                        ctx.write_row(0, &BitRow::ones(cols))?;
+                    }
+                    Ok(())
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, PimError::Dram(DramError::RowOutOfRange { .. })),
+                "workers={workers}"
+            );
+            // Successful partitions (0 and 2) landed; failed ones did not.
+            assert_eq!(ctrl.stats().writes, 2, "workers={workers}");
+            ctrl.write_row(ids[1], 0, &BitRow::zeros(cols)).unwrap();
+        }
+    }
+}

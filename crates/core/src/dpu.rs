@@ -5,10 +5,11 @@
 //! the hashmap stage "a built-in AND unit in DPU readily takes all the
 //! XNOR results to determine the next memory operation" (Fig. 7), and the
 //! scalar frequency increments run here too. Every DPU operation is charged
-//! through the controller's statistics.
+//! through the executing [`AapPort`] — the controller's global ledger, or
+//! a detached sub-array context's local ledger under parallel dispatch.
 
 use pim_dram::bitrow::BitRow;
-use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 
 /// The DPU: scalar reduction and arithmetic next to the sub-arrays.
 ///
@@ -29,21 +30,21 @@ pub struct Dpu;
 impl Dpu {
     /// AND-reduces an XNOR result row: `true` iff every bit matched
     /// (the `ki = kj` decision of Fig. 7). One DPU operation.
-    pub fn and_reduce(ctrl: &mut Controller, row: &BitRow) -> bool {
+    pub fn and_reduce(ctrl: &mut impl AapPort, row: &BitRow) -> bool {
         ctrl.dpu_op();
         row.all_ones()
     }
 
     /// Scalar increment of a frequency counter, saturating at `max`
     /// (the `New_freq` update of Fig. 5b). One DPU operation.
-    pub fn increment_saturating(ctrl: &mut Controller, value: u64, max: u64) -> u64 {
+    pub fn increment_saturating(ctrl: &mut impl AapPort, value: u64, max: u64) -> u64 {
         ctrl.dpu_op();
         value.saturating_add(1).min(max)
     }
 
     /// Scalar comparison used by the controller's branch decisions.
     /// One DPU operation.
-    pub fn is_zero(ctrl: &mut Controller, value: u64) -> bool {
+    pub fn is_zero(ctrl: &mut impl AapPort, value: u64) -> bool {
         ctrl.dpu_op();
         value == 0
     }
@@ -52,6 +53,7 @@ impl Dpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim_dram::controller::Controller;
     use pim_dram::geometry::DramGeometry;
 
     fn ctrl() -> Controller {

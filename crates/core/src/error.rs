@@ -38,6 +38,15 @@ pub enum PimError {
         /// Maximum mappable nodes.
         max: usize,
     },
+    /// A sense-amplifier mode that the requested AAP instruction shape
+    /// cannot evaluate (e.g. `Memory` or `Carry` on a two-source AAP,
+    /// which supports logic modes only).
+    UnsupportedSaMode {
+        /// The rejected mode.
+        mode: pim_dram::sense_amp::SaMode,
+        /// The instruction shape that rejected it.
+        shape: &'static str,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -51,6 +60,9 @@ impl fmt::Display for PimError {
             PimError::KTooLarge { k, max } => write!(f, "k={k} exceeds supported maximum {max}"),
             PimError::GraphTooLarge { nodes, max } => {
                 write!(f, "graph with {nodes} nodes exceeds dense mapping limit {max}")
+            }
+            PimError::UnsupportedSaMode { mode, shape } => {
+                write!(f, "sense-amp mode {mode:?} is not supported by {shape}")
             }
         }
     }
@@ -96,6 +108,11 @@ mod tests {
         assert!(e.to_string().contains("976"));
         let e = PimError::KTooLarge { k: 200, max: 128 };
         assert!(e.to_string().contains("128"));
+        let e = PimError::UnsupportedSaMode {
+            mode: pim_dram::sense_amp::SaMode::Carry,
+            shape: "two-source AAP",
+        };
+        assert!(e.to_string().contains("Carry") && e.to_string().contains("two-source"));
     }
 
     #[test]

@@ -2,17 +2,20 @@
 //!
 //! Binds the §II-B AAP ISA ([`crate::isa`]) to the functional DRAM model:
 //! a straight-line [`InstructionStream`] executes command-by-command against
-//! the controller, producing exactly the same array state and statistics as
-//! issuing the calls directly. This is the layer a host-side runtime would
-//! target — it builds streams ahead of time and ships them to the Ctrl.
+//! any [`AapPort`] — the controller façade or a detached
+//! [`pim_dram::context::SubarrayContext`] — producing exactly the same
+//! array state and statistics as issuing the calls directly. This is the
+//! layer a host-side runtime (or the
+//! [`crate::dispatch::ParallelDispatcher`]) targets: it builds streams
+//! ahead of time and ships them to the executing component.
 
-use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 use pim_dram::sense_amp::SaMode;
 
 use crate::error::{PimError, Result};
 use crate::isa::{AapInstruction, InstructionStream};
 
-/// Executes instruction streams on a controller.
+/// Executes instruction streams on an AAP port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StreamExecutor;
 
@@ -24,30 +27,28 @@ impl StreamExecutor {
     ///
     /// # Errors
     ///
-    /// Propagates DRAM addressing/decoder errors; rejects `Memory`-mode
-    /// two-source instructions (not a logic operation).
-    pub fn execute(ctrl: &mut Controller, instr: &AapInstruction) -> Result<()> {
-        let row_bits = ctrl.geometry().cols;
+    /// Propagates DRAM addressing/decoder errors; rejects two-source
+    /// instructions in non-logic modes (`Memory`, `Carry`) with
+    /// [`PimError::UnsupportedSaMode`].
+    pub fn execute<P: AapPort>(port: &mut P, instr: &AapInstruction) -> Result<()> {
+        let row_bits = port.geometry().cols;
         match *instr {
             AapInstruction::Copy { subarray, src, dst, size } => {
                 for _ in 0..rows_of(size, row_bits) {
-                    ctrl.aap_copy(subarray, src, dst)?;
+                    port.aap_copy(subarray, src, dst)?;
                 }
             }
             AapInstruction::TwoSrc { subarray, srcs, dst, mode, size } => {
                 if matches!(mode, SaMode::Memory | SaMode::Carry) {
-                    return Err(PimError::Dram(pim_dram::DramError::BadActivationCount {
-                        requested: 2,
-                        supported: "logic modes only",
-                    }));
+                    return Err(PimError::UnsupportedSaMode { mode, shape: "two-source AAP" });
                 }
                 for _ in 0..rows_of(size, row_bits) {
-                    ctrl.aap2(subarray, mode, srcs, dst)?;
+                    port.aap2(subarray, mode, srcs, dst)?;
                 }
             }
             AapInstruction::ThreeSrc { subarray, srcs, dst, size } => {
                 for _ in 0..rows_of(size, row_bits) {
-                    ctrl.aap3_carry(subarray, srcs, dst)?;
+                    port.aap3_carry(subarray, srcs, dst)?;
                 }
             }
         }
@@ -60,9 +61,9 @@ impl StreamExecutor {
     ///
     /// Stops at the first failing instruction, returning its error; earlier
     /// instructions remain applied (the hardware has no rollback).
-    pub fn execute_stream(ctrl: &mut Controller, stream: &InstructionStream) -> Result<()> {
+    pub fn execute_stream<P: AapPort>(port: &mut P, stream: &InstructionStream) -> Result<()> {
         for instr in stream.instructions() {
-            Self::execute(ctrl, instr)?;
+            Self::execute(port, instr)?;
         }
         Ok(())
     }
@@ -77,6 +78,7 @@ mod tests {
     use super::*;
     use pim_dram::address::RowAddr;
     use pim_dram::bitrow::BitRow;
+    use pim_dram::controller::Controller;
     use pim_dram::geometry::DramGeometry;
 
     fn setup() -> (Controller, pim_dram::SubarrayId) {
@@ -97,7 +99,13 @@ mod tests {
         let stream: InstructionStream = [
             AapInstruction::Copy { subarray: id, src: RowAddr(1), dst: x1, size: cols },
             AapInstruction::Copy { subarray: id, src: RowAddr(2), dst: x2, size: cols },
-            AapInstruction::TwoSrc { subarray: id, srcs: [x1, x2], dst: RowAddr(9), mode: SaMode::Xnor, size: cols },
+            AapInstruction::TwoSrc {
+                subarray: id,
+                srcs: [x1, x2],
+                dst: RowAddr(9),
+                mode: SaMode::Xnor,
+                size: cols,
+            },
         ]
         .into_iter()
         .collect();
@@ -112,23 +120,59 @@ mod tests {
     fn multi_row_sizes_repeat_the_command() {
         let (mut ctrl, id) = setup();
         let cols = ctrl.geometry().cols;
-        let instr = AapInstruction::Copy { subarray: id, src: RowAddr(0), dst: RowAddr(1), size: 4 * cols };
+        let instr =
+            AapInstruction::Copy { subarray: id, src: RowAddr(0), dst: RowAddr(1), size: 4 * cols };
         StreamExecutor::execute(&mut ctrl, &instr).unwrap();
         assert_eq!(ctrl.stats().aap, 4);
     }
 
     #[test]
-    fn memory_mode_two_src_rejected() {
+    fn non_logic_two_src_modes_rejected_with_dedicated_error() {
         let (mut ctrl, id) = setup();
         let cols = ctrl.geometry().cols;
-        let instr = AapInstruction::TwoSrc {
-            subarray: id,
-            srcs: [ctrl.compute_row(0), ctrl.compute_row(1)],
-            dst: RowAddr(3),
-            mode: SaMode::Memory,
-            size: cols,
-        };
-        assert!(StreamExecutor::execute(&mut ctrl, &instr).is_err());
+        for mode in [SaMode::Memory, SaMode::Carry] {
+            let instr = AapInstruction::TwoSrc {
+                subarray: id,
+                srcs: [ctrl.compute_row(0), ctrl.compute_row(1)],
+                dst: RowAddr(3),
+                mode,
+                size: cols,
+            };
+            let err = StreamExecutor::execute(&mut ctrl, &instr).unwrap_err();
+            assert_eq!(err, PimError::UnsupportedSaMode { mode, shape: "two-source AAP" });
+            assert!(err.to_string().contains("not supported"), "got: {err}");
+        }
+        // Nothing was charged by the rejected instructions.
+        assert_eq!(ctrl.stats().total_commands(), 0);
+    }
+
+    #[test]
+    fn context_execution_matches_controller_execution() {
+        let (mut ctrl, id) = setup();
+        let cols = ctrl.geometry().cols;
+        let (x1, x2) = (ctrl.compute_row(0), ctrl.compute_row(1));
+        let stream: InstructionStream = [
+            AapInstruction::Copy { subarray: id, src: RowAddr(1), dst: x1, size: cols },
+            AapInstruction::Copy { subarray: id, src: RowAddr(2), dst: x2, size: cols },
+            AapInstruction::TwoSrc {
+                subarray: id,
+                srcs: [x1, x2],
+                dst: RowAddr(9),
+                mode: SaMode::Xnor,
+                size: cols,
+            },
+        ]
+        .into_iter()
+        .collect();
+        StreamExecutor::execute_stream(&mut ctrl, &stream).unwrap();
+
+        let mut other = Controller::new(DramGeometry::paper_assembly());
+        let mut ctx = other.detach_context(id).unwrap();
+        StreamExecutor::execute_stream(&mut ctx, &stream).unwrap();
+        other.reattach_context(ctx).unwrap();
+
+        assert_eq!(*ctrl.stats(), *other.stats());
+        assert_eq!(ctrl.peek_row(id, 9).unwrap(), other.peek_row(id, 9).unwrap());
     }
 
     #[test]
@@ -163,7 +207,12 @@ mod tests {
             AapInstruction::Copy { subarray: id, src: RowAddr(1), dst: x1, size: cols },
             AapInstruction::Copy { subarray: id, src: RowAddr(2), dst: x2, size: cols },
             AapInstruction::Copy { subarray: id, src: RowAddr(3), dst: x3, size: cols },
-            AapInstruction::ThreeSrc { subarray: id, srcs: [x1, x2, x3], dst: RowAddr(8), size: cols },
+            AapInstruction::ThreeSrc {
+                subarray: id,
+                srcs: [x1, x2, x3],
+                dst: RowAddr(8),
+                size: cols,
+            },
         ]
         .into_iter()
         .collect();

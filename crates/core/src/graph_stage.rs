@@ -10,7 +10,9 @@
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::controller::Controller;
 use pim_genome::debruijn::DeBruijnGraph;
+use pim_genome::kmer::Kmer;
 
+use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
 use crate::hashmap_stage::PimHashTable;
 use crate::layout::SubarrayLayout;
@@ -51,10 +53,43 @@ impl GraphStage {
         graph_region: SubarrayId,
         intervals: usize,
     ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
+        let entries = table.scan(ctrl)?;
+        Self::construct(ctrl, table, entries, min_count, graph_region, intervals)
+    }
+
+    /// [`GraphStage::build`] with the hash-table scan dispatched across
+    /// sub-arrays (see [`PimHashTable::scan_with_dispatcher`]). The graph
+    /// construction and `MEM_insert` writes stay serial — they address a
+    /// single graph region — so the result and command totals are
+    /// identical to [`GraphStage::build`] for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn build_with_dispatcher(
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        table: &PimHashTable,
+        min_count: u64,
+        graph_region: SubarrayId,
+        intervals: usize,
+    ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
+        let entries = table.scan_with_dispatcher(ctrl, dispatcher)?;
+        Self::construct(ctrl, table, entries, min_count, graph_region, intervals)
+    }
+
+    /// Filters the scanned entries and materializes the graph + partition.
+    fn construct(
+        ctrl: &mut Controller,
+        table: &PimHashTable,
+        entries: Vec<(Kmer, u64)>,
+        min_count: u64,
+        graph_region: SubarrayId,
+        intervals: usize,
+    ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
         let layout = SubarrayLayout::new(ctrl.geometry());
         let cols = ctrl.geometry().cols;
         let mapper: &KmerMapper = table.mapper();
-        let entries = table.scan(ctrl)?;
         let mut stats = GraphStats { scanned: entries.len() as u64, ..GraphStats::default() };
 
         let mut graph: Option<DeBruijnGraph> = None;
@@ -63,7 +98,8 @@ impl GraphStage {
             if count < min_count {
                 continue;
             }
-            let g = graph.get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
+            let g = graph
+                .get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
             g.add_kmer(kmer, count);
             stats.edges_inserted += 1;
             // MEM_insert: node_1, node_2, and the edge-list entry — three
@@ -93,7 +129,11 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn build_from(seq: &str, k: usize, min_count: u64) -> (DeBruijnGraph, Partitioning, GraphStats) {
+    fn build_from(
+        seq: &str,
+        k: usize,
+        min_count: u64,
+    ) -> (DeBruijnGraph, Partitioning, GraphStats) {
         let g = DramGeometry::paper_assembly();
         let mut ctrl = Controller::new(g);
         let mut table = PimHashTable::new(KmerMapper::new(&g, 4, 8));

@@ -8,14 +8,23 @@
 //! shadow slot directory purely so that verification and iteration do not
 //! have to rescan DRAM rows (the hardware controller tracks the same
 //! occupancy in its bucket pointers).
+//!
+//! Because a k-mer only ever touches its home sub-array, the whole stage is
+//! embarrassingly parallel across sub-arrays: [`PimHashTable::insert_batch`]
+//! groups a k-mer stream by home sub-array and drives each group through a
+//! detached [`pim_dram::context::SubarrayContext`] under a
+//! [`ParallelDispatcher`], producing byte-identical table state and command
+//! totals to the serial insert order.
 
-use pim_dram::address::RowAddr;
+use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 use pim_genome::kmer::Kmer;
 
+use crate::dispatch::ParallelDispatcher;
 use crate::dpu::Dpu;
 use crate::error::{PimError, Result};
-use crate::layout::COUNTER_BITS;
+use crate::layout::{SubarrayLayout, COUNTER_BITS};
 use crate::mapping::KmerMapper;
 use crate::pim_xnor::PimComparator;
 
@@ -30,6 +39,18 @@ pub struct HashStats {
     pub probes: u64,
     /// Counter updates (hits on existing k-mers).
     pub hits: u64,
+}
+
+impl HashStats {
+    /// Accumulates another counter set (per-sub-array partial results
+    /// merging into the stage total; plain integer addition, so the merge
+    /// is order-independent).
+    pub fn merge(&mut self, other: &HashStats) {
+        self.inserted_total += other.inserted_total;
+        self.distinct += other.distinct;
+        self.probes += other.probes;
+        self.hits += other.hits;
+    }
 }
 
 /// The in-DRAM k-mer hash table.
@@ -80,48 +101,78 @@ impl PimHashTable {
     /// * [`PimError::SubarrayFull`] when the home sub-array's k-mer region
     ///   overflows.
     /// * DRAM addressing errors.
-    pub fn insert(&mut self, ctrl: &mut Controller, kmer: Kmer) -> Result<u64> {
-        let cols = ctrl.geometry().cols;
-        let layout = *self.mapper.layout();
-        let (sub_idx, bucket_row) = self.mapper.home(&kmer);
-        let subarray = self.mapper.subarrays()[sub_idx];
-        let image = self.mapper.row_image(&kmer, cols);
-        self.stats.inserted_total += 1;
+    pub fn insert(&mut self, ctrl: &mut impl AapPort, kmer: Kmer) -> Result<u64> {
+        let (sub_idx, _) = self.mapper.home(&kmer);
+        Self::insert_one(
+            ctrl,
+            &self.mapper,
+            sub_idx,
+            &mut self.slots[sub_idx],
+            &mut self.stats,
+            kmer,
+        )
+    }
 
-        // Stage the query once (temp write + clone into x1).
-        PimComparator::stage_query(ctrl, subarray, layout.temp_row(0), &image)?;
-
-        // Linear probe from the bucket start, wrapping across the region.
-        let kmer_rows = layout.kmer_rows();
-        for step in 0..kmer_rows {
-            let row = (bucket_row + step) % kmer_rows;
-            match self.slots[sub_idx][row] {
-                Some(stored) => {
-                    self.stats.probes += 1;
-                    let matched = PimComparator::compare(
-                        ctrl,
-                        subarray,
-                        layout.temp_row(0),
-                        RowAddr(row),
-                        layout.temp_row(1),
-                    )?;
-                    debug_assert_eq!(matched, stored == kmer, "PIM comparison diverged from shadow");
-                    if matched {
-                        self.stats.hits += 1;
-                        return self.bump_counter(ctrl, sub_idx, row);
-                    }
-                }
-                None => {
-                    // MEM_insert: clone the staged temp row into the slot
-                    // and initialize the counter.
-                    ctrl.aap_copy(subarray, layout.temp_row(0), RowAddr(row))?;
-                    self.slots[sub_idx][row] = Some(kmer);
-                    self.stats.distinct += 1;
-                    return self.set_counter(ctrl, sub_idx, row, 1);
+    /// Inserts a k-mer stream, dispatching each home sub-array's share as
+    /// an independent partition. The interleaving across sub-arrays is
+    /// immaterial — they share no rows and no shadow slots — so the final
+    /// table state, stage statistics, and command totals are identical to
+    /// inserting the stream serially, for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Every partition runs to its own first failure (independent
+    /// sub-arrays have no rollback); the first failing partition's error —
+    /// in home-sub-array order — is returned.
+    pub fn insert_batch(
+        &mut self,
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        kmers: &[Kmer],
+    ) -> Result<()> {
+        // Group the stream by home sub-array, preserving arrival order
+        // within each group.
+        let mut groups: Vec<Vec<Kmer>> = vec![Vec::new(); self.slots.len()];
+        for &kmer in kmers {
+            let (sub_idx, _) = self.mapper.home(&kmer);
+            groups[sub_idx].push(kmer);
+        }
+        let mut partitions = Vec::new();
+        for (sub_idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // The shadow slots travel with the partition and come back in
+            // the result, so a failing group still returns its directory.
+            let slots = std::mem::take(&mut self.slots[sub_idx]);
+            partitions.push((self.mapper.subarrays()[sub_idx], (sub_idx, group, slots)));
+        }
+        let mapper = &self.mapper;
+        let results = dispatcher.run_partitions(ctrl, partitions, |ctx, payload| {
+            let (sub_idx, group, mut slots): (usize, Vec<Kmer>, Vec<Option<Kmer>>) = payload;
+            let mut stats = HashStats::default();
+            let mut first_err = None;
+            for kmer in group {
+                if let Err(e) = Self::insert_one(ctx, mapper, sub_idx, &mut slots, &mut stats, kmer)
+                {
+                    first_err = Some(e);
+                    break;
                 }
             }
+            Ok((sub_idx, slots, stats, first_err))
+        })?;
+        let mut first_err = None;
+        for (sub_idx, slots, stats, err) in results {
+            self.slots[sub_idx] = slots;
+            self.stats.merge(&stats);
+            if first_err.is_none() {
+                first_err = err;
+            }
         }
-        Err(PimError::SubarrayFull { subarray: sub_idx, capacity: kmer_rows })
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Reads the frequency of `kmer` (0 if absent), charging the probe
@@ -130,7 +181,7 @@ impl PimHashTable {
     /// # Errors
     ///
     /// Propagates DRAM addressing errors.
-    pub fn count(&mut self, ctrl: &mut Controller, kmer: &Kmer) -> Result<u64> {
+    pub fn count(&mut self, ctrl: &mut impl AapPort, kmer: &Kmer) -> Result<u64> {
         let cols = ctrl.geometry().cols;
         let layout = *self.mapper.layout();
         let (sub_idx, bucket_row) = self.mapper.home(kmer);
@@ -150,7 +201,7 @@ impl PimHashTable {
                         layout.temp_row(1),
                     )?;
                     if matched {
-                        return self.read_counter(ctrl, sub_idx, row);
+                        return Self::read_counter_at(ctrl, &layout, subarray, row);
                     }
                 }
                 None => return Ok(0),
@@ -165,64 +216,162 @@ impl PimHashTable {
     /// # Errors
     ///
     /// Propagates DRAM addressing errors.
-    pub fn scan(&self, ctrl: &mut Controller) -> Result<Vec<(Kmer, u64)>> {
-        let layout = *self.mapper.layout();
-        let cols = ctrl.geometry().cols;
+    pub fn scan(&self, ctrl: &mut impl AapPort) -> Result<Vec<(Kmer, u64)>> {
         let mut out = Vec::new();
-        for (sub_idx, slots) in self.slots.iter().enumerate() {
-            let subarray = self.mapper.subarrays()[sub_idx];
-            for (row, slot) in slots.iter().enumerate() {
-                let Some(kmer) = slot else { continue };
-                // Read the k-mer row and decode it (verifying the DRAM
-                // content actually matches the shadow).
-                let image = ctrl.read_row(subarray, RowAddr(row))?;
-                debug_assert_eq!(
-                    image.extract(0, 2 * kmer.k()).to_u64(),
-                    kmer.packed(),
-                    "stored row diverged from shadow"
-                );
-                let (vrow, bit) = layout.counter_location(row);
-                let value_row = ctrl.read_row(subarray, layout.value_row(vrow))?;
-                let count = value_row.extract(bit, COUNTER_BITS.min(cols - bit)).to_u64();
-                out.push((*kmer, count));
-            }
+        for sub_idx in 0..self.slots.len() {
+            Self::scan_subarray(ctrl, &self.mapper, sub_idx, &self.slots[sub_idx], &mut out)?;
         }
         Ok(out)
     }
 
-    fn bump_counter(&mut self, ctrl: &mut Controller, sub_idx: usize, slot: usize) -> Result<u64> {
-        let current = self.read_counter(ctrl, sub_idx, slot)?;
-        let max = self.mapper.layout().max_count();
-        let next = Dpu::increment_saturating(ctrl, current, max);
-        self.write_counter(ctrl, sub_idx, slot, next)?;
-        Ok(next)
+    /// [`PimHashTable::scan`] with each occupied sub-array scanned as an
+    /// independent partition. Entry order and command totals match the
+    /// serial scan exactly (partitions run and concatenate in sub-array
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn scan_with_dispatcher(
+        &self,
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+    ) -> Result<Vec<(Kmer, u64)>> {
+        let partitions: Vec<(SubarrayId, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slots)| slots.iter().any(Option::is_some))
+            .map(|(sub_idx, _)| (self.mapper.subarrays()[sub_idx], sub_idx))
+            .collect();
+        let (mapper, slots) = (&self.mapper, &self.slots);
+        let pieces = dispatcher.run_partitions(ctrl, partitions, |ctx, sub_idx| {
+            let mut out = Vec::new();
+            Self::scan_subarray(ctx, mapper, sub_idx, &slots[sub_idx], &mut out)?;
+            Ok(out)
+        })?;
+        Ok(pieces.into_iter().flatten().collect())
     }
 
-    fn set_counter(&mut self, ctrl: &mut Controller, sub_idx: usize, slot: usize, value: u64) -> Result<u64> {
-        self.write_counter(ctrl, sub_idx, slot, value)?;
-        Ok(value)
+    /// The per-sub-array insert procedure: stage, probe, count/insert.
+    /// Takes the sub-array's shadow slots and a stats accumulator
+    /// explicitly so the same code path runs against the controller façade
+    /// and against a detached context on a worker thread.
+    fn insert_one(
+        port: &mut impl AapPort,
+        mapper: &KmerMapper,
+        sub_idx: usize,
+        slots: &mut [Option<Kmer>],
+        stats: &mut HashStats,
+        kmer: Kmer,
+    ) -> Result<u64> {
+        let cols = port.geometry().cols;
+        let layout = *mapper.layout();
+        let (_, bucket_row) = mapper.home(&kmer);
+        let subarray = mapper.subarrays()[sub_idx];
+        let image = mapper.row_image(&kmer, cols);
+        stats.inserted_total += 1;
+
+        // Stage the query once (temp write + clone into x1).
+        PimComparator::stage_query(port, subarray, layout.temp_row(0), &image)?;
+
+        // Linear probe from the bucket start, wrapping across the region.
+        let kmer_rows = layout.kmer_rows();
+        for step in 0..kmer_rows {
+            let row = (bucket_row + step) % kmer_rows;
+            match slots[row] {
+                Some(stored) => {
+                    stats.probes += 1;
+                    let matched = PimComparator::compare(
+                        port,
+                        subarray,
+                        layout.temp_row(0),
+                        RowAddr(row),
+                        layout.temp_row(1),
+                    )?;
+                    debug_assert_eq!(
+                        matched,
+                        stored == kmer,
+                        "PIM comparison diverged from shadow"
+                    );
+                    if matched {
+                        stats.hits += 1;
+                        let current = Self::read_counter_at(port, &layout, subarray, row)?;
+                        let next = Dpu::increment_saturating(port, current, layout.max_count());
+                        Self::write_counter_at(port, &layout, subarray, row, next)?;
+                        return Ok(next);
+                    }
+                }
+                None => {
+                    // MEM_insert: clone the staged temp row into the slot
+                    // and initialize the counter.
+                    port.aap_copy(subarray, layout.temp_row(0), RowAddr(row))?;
+                    slots[row] = Some(kmer);
+                    stats.distinct += 1;
+                    Self::write_counter_at(port, &layout, subarray, row, 1)?;
+                    return Ok(1);
+                }
+            }
+        }
+        Err(PimError::SubarrayFull { subarray: sub_idx, capacity: kmer_rows })
+    }
+
+    /// One sub-array's share of the table scan, appending to `out`.
+    fn scan_subarray(
+        port: &mut impl AapPort,
+        mapper: &KmerMapper,
+        sub_idx: usize,
+        slots: &[Option<Kmer>],
+        out: &mut Vec<(Kmer, u64)>,
+    ) -> Result<()> {
+        let layout = *mapper.layout();
+        let cols = port.geometry().cols;
+        let subarray = mapper.subarrays()[sub_idx];
+        for (row, slot) in slots.iter().enumerate() {
+            let Some(kmer) = slot else { continue };
+            // Read the k-mer row and decode it (verifying the DRAM
+            // content actually matches the shadow).
+            let image = port.read_row(subarray, RowAddr(row))?;
+            debug_assert_eq!(
+                image.extract(0, 2 * kmer.k()).to_u64(),
+                kmer.packed(),
+                "stored row diverged from shadow"
+            );
+            let (vrow, bit) = layout.counter_location(row);
+            let value_row = port.read_row(subarray, layout.value_row(vrow))?;
+            let count = value_row.extract(bit, COUNTER_BITS.min(cols - bit)).to_u64();
+            out.push((*kmer, count));
+        }
+        Ok(())
     }
 
     /// Counter access stays inside the sub-array: the value row activates
     /// locally (one AAP-class command) and the DPU reads/updates the 8-bit
     /// field through the sense amplifiers — no host round-trip.
-    fn read_counter(&self, ctrl: &mut Controller, sub_idx: usize, slot: usize) -> Result<u64> {
-        let layout = self.mapper.layout();
+    fn read_counter_at(
+        port: &mut impl AapPort,
+        layout: &SubarrayLayout,
+        subarray: SubarrayId,
+        slot: usize,
+    ) -> Result<u64> {
         let (vrow, bit) = layout.counter_location(slot);
-        let subarray = self.mapper.subarrays()[sub_idx];
-        let row = ctrl.peek_row(subarray, layout.value_row(vrow))?;
-        ctrl.record_synthetic("AAP", 1);
+        let row = port.peek_row(subarray, layout.value_row(vrow))?;
+        port.record_synthetic("AAP", 1);
         Ok(row.extract(bit, COUNTER_BITS).to_u64())
     }
 
-    fn write_counter(&self, ctrl: &mut Controller, sub_idx: usize, slot: usize, value: u64) -> Result<()> {
-        let layout = self.mapper.layout();
+    fn write_counter_at(
+        port: &mut impl AapPort,
+        layout: &SubarrayLayout,
+        subarray: SubarrayId,
+        slot: usize,
+        value: u64,
+    ) -> Result<()> {
         let (vrow, bit) = layout.counter_location(slot);
-        let subarray = self.mapper.subarrays()[sub_idx];
-        let mut row = ctrl.peek_row(subarray, layout.value_row(vrow))?;
+        let mut row = port.peek_row(subarray, layout.value_row(vrow))?;
         row.splice(bit, &pim_dram::bitrow::BitRow::from_u64(value, COUNTER_BITS));
-        ctrl.poke_row(subarray, layout.value_row(vrow), &row)?;
-        ctrl.record_synthetic("AAP", 1);
+        port.poke_row(subarray, layout.value_row(vrow), &row)?;
+        port.record_synthetic("AAP", 1);
         Ok(())
     }
 }
@@ -343,5 +492,65 @@ mod tests {
         }
         assert_eq!(inserted, capacity);
         assert!(matches!(err, Some(PimError::SubarrayFull { .. })));
+    }
+
+    #[test]
+    fn batch_insert_is_identical_to_serial_insert() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let seq = DnaSequence::random(&mut rng, 900);
+        let kmers: Vec<Kmer> = KmerIter::new(&seq, 13).unwrap().collect();
+
+        let (mut serial_ctrl, mut serial_table) = setup();
+        for &kmer in &kmers {
+            serial_table.insert(&mut serial_ctrl, kmer).unwrap();
+        }
+        // Snapshot before scanning: the scan itself charges row reads.
+        let serial_stats = *serial_ctrl.stats();
+        let serial_ledger = *serial_ctrl.ledger();
+        let serial_scan = serial_table.scan(&mut serial_ctrl).unwrap();
+
+        for workers in [1, 4] {
+            let (mut ctrl, mut table) = setup();
+            table
+                .insert_batch(&mut ctrl, &ParallelDispatcher::with_workers(workers), &kmers)
+                .unwrap();
+            assert_eq!(table.stats(), serial_table.stats(), "workers={workers}");
+            assert_eq!(*ctrl.stats(), serial_stats, "workers={workers}");
+            assert_eq!(*ctrl.ledger(), serial_ledger, "workers={workers}");
+            assert_eq!(table.scan(&mut ctrl).unwrap(), serial_scan, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn dispatched_scan_matches_serial_scan() {
+        let (mut ctrl, mut table) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let seq = DnaSequence::random(&mut rng, 500);
+        for kmer in KmerIter::new(&seq, 12).unwrap() {
+            table.insert(&mut ctrl, kmer).unwrap();
+        }
+        let before = *ctrl.stats();
+        let serial = table.scan(&mut ctrl).unwrap();
+        let serial_delta = ctrl.stats().since(&before);
+        let before = *ctrl.stats();
+        let dispatched =
+            table.scan_with_dispatcher(&mut ctrl, &ParallelDispatcher::with_workers(4)).unwrap();
+        let dispatched_delta = ctrl.stats().since(&before);
+        assert_eq!(serial, dispatched);
+        assert_eq!(serial_delta, dispatched_delta);
+    }
+
+    #[test]
+    fn batch_overflow_reports_first_full_subarray() {
+        let g = DramGeometry::tiny();
+        let mut ctrl = Controller::new(g);
+        let mut table = PimHashTable::new(KmerMapper::new(&g, 1, 2));
+        let capacity = table.mapper().layout().kmer_rows();
+        let kmers: Vec<Kmer> =
+            (0..(capacity as u64 + 5)).map(|v| Kmer::from_packed(v * 7 + 1, 12).unwrap()).collect();
+        let err = table.insert_batch(&mut ctrl, &ParallelDispatcher::serial(), &kmers).unwrap_err();
+        assert!(matches!(err, PimError::SubarrayFull { .. }));
+        // The shadow directory survived the failure: the table still scans.
+        assert_eq!(table.scan(&mut ctrl).unwrap().len(), capacity);
     }
 }

@@ -64,8 +64,17 @@ impl AapInstruction {
     /// # Panics
     ///
     /// Panics if `size` is not a positive multiple of `row_bits`.
-    pub fn new_copy(subarray: SubarrayId, src: RowAddr, dst: RowAddr, size: usize, row_bits: usize) -> Self {
-        assert!(size > 0 && size.is_multiple_of(row_bits), "AAP size must be a whole-row multiple (pad with dummy data)");
+    pub fn new_copy(
+        subarray: SubarrayId,
+        src: RowAddr,
+        dst: RowAddr,
+        size: usize,
+        row_bits: usize,
+    ) -> Self {
+        assert!(
+            size > 0 && size.is_multiple_of(row_bits),
+            "AAP size must be a whole-row multiple (pad with dummy data)"
+        );
         AapInstruction::Copy { subarray, src, dst, size }
     }
 
@@ -157,6 +166,31 @@ impl InstructionStream {
         }
         c
     }
+
+    /// Splits the stream into one per-sub-array stream per addressed
+    /// sub-array, in order of first appearance, preserving each
+    /// sub-array's instruction order. Because every instruction addresses
+    /// exactly one sub-array, the partition is exact: executing the pieces
+    /// in any interleaving that respects per-stream order reproduces the
+    /// serial execution's array state and totals. This is the stream-level
+    /// entry point of [`crate::dispatch::ParallelDispatcher`].
+    pub fn split_by_subarray(&self) -> Vec<(SubarrayId, InstructionStream)> {
+        let mut order: Vec<SubarrayId> = Vec::new();
+        let mut streams: Vec<InstructionStream> = Vec::new();
+        for instr in &self.instructions {
+            let id = instr.subarray();
+            let slot = match order.iter().position(|&o| o == id) {
+                Some(i) => i,
+                None => {
+                    order.push(id);
+                    streams.push(InstructionStream::new());
+                    order.len() - 1
+                }
+            };
+            streams[slot].push(*instr);
+        }
+        order.into_iter().zip(streams).collect()
+    }
 }
 
 impl FromIterator<AapInstruction> for InstructionStream {
@@ -233,5 +267,39 @@ mod tests {
         .collect();
         assert_eq!(stream.type_counts(), (2, 1, 0));
         assert_eq!(stream.len(), 3);
+    }
+
+    #[test]
+    fn split_preserves_per_subarray_order_and_first_appearance() {
+        let g = DramGeometry::tiny();
+        let a = SubarrayId::from_linear_index(&g, 1);
+        let b = SubarrayId::from_linear_index(&g, 0);
+        let mk = |s, src| AapInstruction::Copy {
+            subarray: s,
+            src: RowAddr(src),
+            dst: RowAddr(9),
+            size: 256,
+        };
+        let stream: InstructionStream =
+            [mk(a, 0), mk(b, 1), mk(a, 2), mk(b, 3), mk(a, 4)].into_iter().collect();
+        let parts = stream.split_by_subarray();
+        assert_eq!(parts.len(), 2);
+        // First appearance order: a before b.
+        assert_eq!(parts[0].0, a);
+        assert_eq!(parts[1].0, b);
+        let srcs = |s: &InstructionStream| -> Vec<usize> {
+            s.instructions()
+                .iter()
+                .map(|i| match i {
+                    AapInstruction::Copy { src, .. } => src.0,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        assert_eq!(srcs(&parts[0].1), vec![0, 2, 4]);
+        assert_eq!(srcs(&parts[1].1), vec![1, 3]);
+        // The split is a partition: sizes add up.
+        assert_eq!(parts.iter().map(|(_, s)| s.len()).sum::<usize>(), stream.len());
+        assert!(InstructionStream::new().split_by_subarray().is_empty());
     }
 }

@@ -53,7 +53,8 @@ impl SubarrayLayout {
         // One counter per k-mer row must fit in the value region:
         // kmer_rows × COUNTER_BITS ≤ value_rows × cols.
         let value_rows = 32.min(data / 8);
-        let kmer_rows = (data - temp_rows - value_rows).min(value_rows * geometry.cols / COUNTER_BITS);
+        let kmer_rows =
+            (data - temp_rows - value_rows).min(value_rows * geometry.cols / COUNTER_BITS);
         SubarrayLayout { cols: geometry.cols, kmer_rows, value_rows, temp_rows }
     }
 

@@ -15,6 +15,8 @@
 //! * [`layout`] — the Fig. 6 sub-array row layout (k-mer / value / temp /
 //!   compute regions),
 //! * [`isa`] — the three AAP instruction shapes of §II-B *Software Support*,
+//! * [`exec`] — instruction-stream execution against any AAP port,
+//! * [`dispatch`] — parallel per-sub-array stream dispatch,
 //! * [`dpu`] — the MAT-level digital processing unit,
 //! * [`pim_xnor`] — the parallel in-memory comparator (Fig. 7),
 //! * [`pim_add`] — carry-save + bit-serial in-memory addition (Fig. 8),
@@ -46,6 +48,7 @@
 //! ```
 
 pub mod config;
+pub mod dispatch;
 pub mod dpu;
 pub mod error;
 pub mod exec;
@@ -57,13 +60,14 @@ pub mod mapping;
 pub mod partition;
 pub mod perf;
 pub mod pim_add;
-pub mod programs;
 pub mod pim_xnor;
 pub mod pipeline;
+pub mod programs;
 pub mod scaffold_stage;
 pub mod traverse_stage;
 
 pub use config::PimAssemblerConfig;
+pub use dispatch::ParallelDispatcher;
 pub use error::{PimError, Result};
 pub use perf::PerfReport;
 pub use pipeline::{PimAssembler, PimRun};

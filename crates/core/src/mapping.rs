@@ -48,7 +48,10 @@ impl KmerMapper {
     /// Panics if `num_subarrays` is 0 or exceeds the geometry, or if
     /// `bucket_rows` is 0.
     pub fn new(geometry: &DramGeometry, num_subarrays: usize, bucket_rows: usize) -> Self {
-        assert!(num_subarrays >= 1 && num_subarrays <= geometry.total_subarrays(), "bad sub-array count");
+        assert!(
+            num_subarrays >= 1 && num_subarrays <= geometry.total_subarrays(),
+            "bad sub-array count"
+        );
         assert!(bucket_rows >= 1, "bucket must have at least one row");
         let layout = SubarrayLayout::new(geometry);
         let subarrays =

@@ -78,8 +78,9 @@ impl IntervalBlockPartitioner {
     /// Partitions a graph.
     pub fn partition(&self, graph: &DeBruijnGraph) -> Partitioning {
         let n = graph.node_count();
-        let interval_of: Vec<usize> =
-            (0..n).map(|v| (mix(graph.node(v).packed()) % self.intervals as u64) as usize).collect();
+        let interval_of: Vec<usize> = (0..n)
+            .map(|v| (mix(graph.node(v).packed()) % self.intervals as u64) as usize)
+            .collect();
         let mut blocks = vec![vec![0usize; self.intervals]; self.intervals];
         for v in 0..n {
             for e in graph.out_edges(v) {
@@ -92,7 +93,13 @@ impl IntervalBlockPartitioner {
                 count.div_ceil(self.f)
             })
             .collect();
-        Partitioning { intervals: self.intervals, interval_of, blocks, subarrays_per_interval, f: self.f }
+        Partitioning {
+            intervals: self.intervals,
+            interval_of,
+            blocks,
+            subarrays_per_interval,
+            f: self.f,
+        }
     }
 }
 
@@ -156,10 +163,7 @@ mod tests {
         let sizes: Vec<usize> = (0..4).map(|i| p.interval_size(i)).collect();
         let mean = g.node_count() / 4;
         for (i, &s) in sizes.iter().enumerate() {
-            assert!(
-                s > mean / 2 && s < mean * 2,
-                "interval {i} size {s} far from mean {mean}"
-            );
+            assert!(s > mean / 2 && s < mean * 2, "interval {i} size {s} far from mean {mean}");
         }
     }
 

@@ -47,6 +47,11 @@ pub struct PerfReport {
     pub mbr_percent: f64,
     /// Resource Utilization Ratio (%).
     pub rur_percent: f64,
+    /// Effective sub-array parallelism measured by scheduling the run's
+    /// per-sub-array command totals under the shared command bus
+    /// (see [`pim_dram::schedule::queues_from_totals`]); `None` until
+    /// attached via [`PerfReport::with_measured_parallelism`].
+    pub measured_parallelism: Option<f64>,
     /// The measured workload sizes (for extrapolation).
     pub workload: AssemblyWorkload,
 }
@@ -85,8 +90,15 @@ impl PerfReport {
             energy_j: total_wall * power_w,
             mbr_percent: mbr,
             rur_percent: (100.0 - mbr) * 0.76,
+            measured_parallelism: None,
             workload,
         }
+    }
+
+    /// Attaches the schedule-measured effective sub-array parallelism.
+    pub fn with_measured_parallelism(mut self, parallelism: f64) -> Self {
+        self.measured_parallelism = Some(parallelism);
+        self
     }
 
     /// Total wall-clock seconds.
@@ -145,11 +157,18 @@ mod tests {
     #[test]
     fn wall_clock_divides_by_chains() {
         let cfg = PimAssemblerConfig::paper(16).with_pd(2);
-        let r = PerfReport::new(&cfg, [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)], workload());
+        let r = PerfReport::new(
+            &cfg,
+            [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)],
+            workload(),
+        );
         assert!(r.parallel_chains > 1.0);
         let serial_s = r.commands.serial_ns * 1e-9;
         let refresh = pim_dram::refresh::RefreshParams::ddr4();
-        assert!((r.total_wall_s() - refresh.inflate_seconds(serial_s / r.parallel_chains)).abs() < 1e-12);
+        assert!(
+            (r.total_wall_s() - refresh.inflate_seconds(serial_s / r.parallel_chains)).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -169,10 +188,16 @@ mod tests {
     #[test]
     fn mbr_is_bounded_and_sensitive_to_writes() {
         let cfg = PimAssemblerConfig::paper(16);
-        let compute_heavy =
-            PerfReport::new(&cfg, [fake_stage(10, 1000, 1), fake_stage(0, 0, 0), fake_stage(0, 0, 0)], workload());
-        let write_heavy =
-            PerfReport::new(&cfg, [fake_stage(10, 10, 1000), fake_stage(0, 0, 0), fake_stage(0, 0, 0)], workload());
+        let compute_heavy = PerfReport::new(
+            &cfg,
+            [fake_stage(10, 1000, 1), fake_stage(0, 0, 0), fake_stage(0, 0, 0)],
+            workload(),
+        );
+        let write_heavy = PerfReport::new(
+            &cfg,
+            [fake_stage(10, 10, 1000), fake_stage(0, 0, 0), fake_stage(0, 0, 0)],
+            workload(),
+        );
         assert!(compute_heavy.mbr_percent < write_heavy.mbr_percent);
         assert!((0.0..=100.0).contains(&write_heavy.mbr_percent));
         assert!(compute_heavy.rur_percent > write_heavy.rur_percent);
@@ -181,7 +206,11 @@ mod tests {
     #[test]
     fn extrapolation_lands_at_paper_scale() {
         let cfg = PimAssemblerConfig::paper(16);
-        let r = PerfReport::new(&cfg, [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)], workload());
+        let r = PerfReport::new(
+            &cfg,
+            [fake_stage(100, 100, 10), fake_stage(10, 0, 5), fake_stage(5, 5, 0)],
+            workload(),
+        );
         let chr14 = r.extrapolate_chr14();
         assert!(chr14.total_s() > 1.0, "chr14-scale run must take seconds: {}", chr14.total_s());
         assert_eq!(chr14.name, "P-A");

@@ -17,7 +17,7 @@
 
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
-use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 
 use crate::error::{PimError, Result};
 
@@ -73,7 +73,7 @@ impl PimAdder {
     /// Propagates DRAM addressing errors.
     #[allow(clippy::too_many_arguments)] // one parameter per hardware row operand
     pub fn full_add(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         a: RowAddr,
         b: RowAddr,
@@ -88,7 +88,7 @@ impl PimAdder {
         ctrl.aap_copy(subarray, zero, x2)?;
         ctrl.aap_copy(subarray, c, x3)?;
         ctrl.aap3_carry(subarray, [x1, x2, x3], sum_dst)?; // sum_dst is scratch here
-        // 2. Sum cycle: a ⊕ b ⊕ latch.
+                                                           // 2. Sum cycle: a ⊕ b ⊕ latch.
         ctrl.aap_copy(subarray, a, x1)?;
         ctrl.aap_copy(subarray, b, x2)?;
         ctrl.aap2_sum(subarray, [x1, x2], sum_dst)?;
@@ -112,7 +112,7 @@ impl PimAdder {
     /// * [`PimError::SubarrayFull`] if the scratch pool is too small.
     /// * DRAM addressing errors.
     pub fn column_sum(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         addends: &[RowAddr],
         zero: RowAddr,
@@ -134,11 +134,16 @@ impl PimAdder {
         let mut w = 0;
         while w < weights.len() {
             while weights[w].len() >= 3 {
-                let (p1, p2, p3) =
-                    (weights[w].pop().expect("len>=3"), weights[w].pop().expect("len>=2"), weights[w].pop().expect("len>=1"));
+                let (p1, p2, p3) = (
+                    weights[w].pop().expect("len>=3"),
+                    weights[w].pop().expect("len>=2"),
+                    weights[w].pop().expect("len>=1"),
+                );
                 let sum_row = scratch.alloc()?;
                 let carry_row = scratch.alloc()?;
-                PimAdder::full_add(ctrl, subarray, p1.row, p2.row, p3.row, zero, sum_row, carry_row)?;
+                PimAdder::full_add(
+                    ctrl, subarray, p1.row, p2.row, p3.row, zero, sum_row, carry_row,
+                )?;
                 for p in [p1, p2, p3] {
                     if p.owned {
                         scratch.release(p.row);
@@ -158,7 +163,8 @@ impl PimAdder {
         let mut carry: Option<Pending> = None;
         let mut w = 0;
         loop {
-            let mut operands: Vec<Pending> = if w < weights.len() { weights[w].clone() } else { Vec::new() };
+            let mut operands: Vec<Pending> =
+                if w < weights.len() { weights[w].clone() } else { Vec::new() };
             if let Some(c) = carry.take() {
                 operands.push(c);
             }
@@ -209,6 +215,7 @@ impl PimAdder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pim_dram::controller::Controller;
     use pim_dram::geometry::DramGeometry;
     use rand::Rng;
     use rand::SeedableRng;
@@ -231,8 +238,17 @@ mod tests {
         ctrl.write_row(id, 11, &b).unwrap();
         ctrl.write_row(id, 12, &c).unwrap();
         ctrl.write_row(id, 13, &BitRow::zeros(cols)).unwrap(); // zero row
-        PimAdder::full_add(&mut ctrl, id, RowAddr(10), RowAddr(11), RowAddr(12), RowAddr(13), RowAddr(20), RowAddr(21))
-            .unwrap();
+        PimAdder::full_add(
+            &mut ctrl,
+            id,
+            RowAddr(10),
+            RowAddr(11),
+            RowAddr(12),
+            RowAddr(13),
+            RowAddr(20),
+            RowAddr(21),
+        )
+        .unwrap();
         assert_eq!(ctrl.peek_row(id, 20).unwrap(), a.xor(&b).xor(&c));
         assert_eq!(ctrl.peek_row(id, 21).unwrap(), BitRow::maj3(&a, &b, &c));
     }
@@ -294,7 +310,8 @@ mod tests {
         ctrl.write_row(id, 100, &BitRow::zeros(cols)).unwrap();
         let rows: Vec<RowAddr> = (0..12).map(RowAddr).collect();
         let mut scratch = ScratchSpace::new(200, 202); // far too small
-        let err = PimAdder::column_sum(&mut ctrl, id, &rows, RowAddr(100), &mut scratch).unwrap_err();
+        let err =
+            PimAdder::column_sum(&mut ctrl, id, &rows, RowAddr(100), &mut scratch).unwrap_err();
         assert!(matches!(err, PimError::SubarrayFull { .. }));
     }
 
@@ -319,7 +336,8 @@ mod tests {
         ctrl.write_row(id, 100, &BitRow::zeros(cols)).unwrap();
         let before = *ctrl.stats();
         let mut scratch = ScratchSpace::new(200, 230);
-        PimAdder::column_sum(&mut ctrl, id, &[RowAddr(0), RowAddr(1)], RowAddr(100), &mut scratch).unwrap();
+        PimAdder::column_sum(&mut ctrl, id, &[RowAddr(0), RowAddr(1)], RowAddr(100), &mut scratch)
+            .unwrap();
         let d = ctrl.stats().since(&before);
         // Two one-bit addends: one ripple step producing sum+carry, then a
         // final step for the carry plane: 2 sum cycles (AAP2) + up to 4 TRA

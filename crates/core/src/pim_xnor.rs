@@ -12,7 +12,7 @@
 
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
-use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 
 use crate::dpu::Dpu;
 use crate::error::Result;
@@ -36,7 +36,7 @@ impl PimComparator {
     ///
     /// Propagates DRAM addressing errors.
     pub fn stage_query(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         temp_row: RowAddr,
         image: &BitRow,
@@ -59,7 +59,7 @@ impl PimComparator {
     ///
     /// Propagates DRAM addressing errors.
     pub fn compare(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         temp_row: RowAddr,
         candidate: RowAddr,
@@ -77,6 +77,7 @@ mod tests {
     use super::*;
     use crate::layout::SubarrayLayout;
     use crate::mapping::KmerMapper;
+    use pim_dram::controller::Controller;
     use pim_dram::geometry::DramGeometry;
     use pim_genome::kmer::Kmer;
 
@@ -112,7 +113,8 @@ mod tests {
         let a: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
         let b: Kmer = "CGTGCGTGCTTACGGC".parse().unwrap(); // last base differs
         ctrl.write_row(id, layout.kmer_row(0).unwrap(), &mapper.row_image(&a, 256)).unwrap();
-        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&b, 256)).unwrap();
+        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&b, 256))
+            .unwrap();
         let matched = PimComparator::compare(
             &mut ctrl,
             id,
@@ -133,7 +135,8 @@ mod tests {
         let image = mapper.row_image(&q, 256);
         for slot in 0..4usize {
             let other = Kmer::from_packed(0x1234_5678 + slot as u64, 16).unwrap();
-            ctrl.write_row(id, layout.kmer_row(slot).unwrap(), &mapper.row_image(&other, 256)).unwrap();
+            ctrl.write_row(id, layout.kmer_row(slot).unwrap(), &mapper.row_image(&other, 256))
+                .unwrap();
         }
         ctrl.write_row(id, layout.kmer_row(4).unwrap(), &image).unwrap();
         PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
@@ -161,8 +164,14 @@ mod tests {
         ctrl.write_row(id, layout.kmer_row(0).unwrap(), &image).unwrap();
         PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
         let before = *ctrl.stats();
-        PimComparator::compare(&mut ctrl, id, layout.temp_row(0), layout.kmer_row(0).unwrap(), layout.temp_row(1))
-            .unwrap();
+        PimComparator::compare(
+            &mut ctrl,
+            id,
+            layout.temp_row(0),
+            layout.kmer_row(0).unwrap(),
+            layout.temp_row(1),
+        )
+        .unwrap();
         let delta = ctrl.stats().since(&before);
         assert_eq!(delta.aap, 2); // query re-clone + candidate clone
         assert_eq!(delta.aap2, 1); // the XNOR

@@ -24,7 +24,13 @@ pub fn xnor_program(
     [
         AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
         AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
-        AapInstruction::TwoSrc { subarray, srcs: [x1, x2], dst, mode: SaMode::Xnor, size: row_bits },
+        AapInstruction::TwoSrc {
+            subarray,
+            srcs: [x1, x2],
+            dst,
+            mode: SaMode::Xnor,
+            size: row_bits,
+        },
     ]
     .into_iter()
     .collect()
@@ -55,7 +61,13 @@ pub fn full_adder_program(
         // Sum cycle.
         AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
         AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
-        AapInstruction::TwoSrc { subarray, srcs: [x1, x2], dst: sum_dst, mode: SaMode::CarrySum, size: row_bits },
+        AapInstruction::TwoSrc {
+            subarray,
+            srcs: [x1, x2],
+            dst: sum_dst,
+            mode: SaMode::CarrySum,
+            size: row_bits,
+        },
         // Carry cycle.
         AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
         AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
@@ -136,8 +148,17 @@ mod tests {
             ctrl2.write_row(id2, row, data).unwrap();
         }
         ctrl2.write_row(id2, 4, &BitRow::zeros(cols)).unwrap();
-        PimAdder::full_add(&mut ctrl2, id2, RowAddr(1), RowAddr(2), RowAddr(3), RowAddr(4), RowAddr(10), RowAddr(11))
-            .unwrap();
+        PimAdder::full_add(
+            &mut ctrl2,
+            id2,
+            RowAddr(1),
+            RowAddr(2),
+            RowAddr(3),
+            RowAddr(4),
+            RowAddr(10),
+            RowAddr(11),
+        )
+        .unwrap();
 
         // Identical results AND identical command accounting.
         assert_eq!(ctrl1.peek_row(id1, 10).unwrap(), ctrl2.peek_row(id2, 10).unwrap());

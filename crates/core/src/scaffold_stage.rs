@@ -156,7 +156,12 @@ mod tests {
         let (_, stats) = ScaffoldStage::run(&mut ctrl, mapper, &contigs, &pairs, 15, 3).unwrap();
         let d = ctrl.stats().since(&before);
         // Index build + two anchor probes per pair all issue real commands.
-        assert!(d.aap2 >= stats.anchor_queries, "probes {} < queries {}", d.aap2, stats.anchor_queries);
+        assert!(
+            d.aap2 >= stats.anchor_queries,
+            "probes {} < queries {}",
+            d.aap2,
+            stats.anchor_queries
+        );
         assert!(d.aap > stats.index_kmers, "index build must clone rows");
     }
 

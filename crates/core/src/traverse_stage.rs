@@ -15,9 +15,11 @@
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
 use pim_dram::controller::Controller;
+use pim_dram::port::AapPort;
 use pim_genome::debruijn::DeBruijnGraph;
 use pim_genome::euler::{eulerian_trails, EulerAlgorithm, Trail};
 
+use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
 use crate::pim_add::{PimAdder, ScratchSpace};
 
@@ -48,7 +50,7 @@ impl TraverseStage {
     ///
     /// Propagates DRAM addressing and scratch errors.
     pub fn degrees(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         graph: &DeBruijnGraph,
         work: SubarrayId,
     ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
@@ -88,14 +90,84 @@ impl TraverseStage {
         algorithm: EulerAlgorithm,
     ) -> Result<(Vec<Trail>, TraverseStats)> {
         let (out, inc, dense) = Self::degrees(ctrl, graph, work)?;
+        Self::walk(ctrl, graph, &out, &inc, dense, algorithm)
+    }
+
+    /// [`TraverseStage::run`] with the two dense degree passes (out- and
+    /// in-degrees) dispatched as independent partitions over two *distinct*
+    /// work sub-arrays. The passes write disjoint sub-arrays and the walk
+    /// itself is host-side, so the trails and command totals are identical
+    /// to running the same two passes serially, for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`pim_dram::DramError::SubarrayDetached`] (wrapped) if
+    /// `work_out == work_in`; otherwise DRAM addressing and scratch errors.
+    pub fn run_with_dispatcher(
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        graph: &DeBruijnGraph,
+        work_out: SubarrayId,
+        work_in: SubarrayId,
+        algorithm: EulerAlgorithm,
+    ) -> Result<(Vec<Trail>, TraverseStats)> {
+        let (out, inc, dense) =
+            Self::degrees_with_dispatcher(ctrl, dispatcher, graph, work_out, work_in)?;
+        Self::walk(ctrl, graph, &out, &inc, dense, algorithm)
+    }
+
+    /// [`TraverseStage::degrees`] with the out- and in-degree passes as two
+    /// dispatcher partitions (out-degrees in `work_out`, in-degrees in
+    /// `work_in`). The synthetic fallback for oversized graphs is inherently
+    /// serial bookkeeping and runs on the controller directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraverseStage::run_with_dispatcher`].
+    pub fn degrees_with_dispatcher(
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        graph: &DeBruijnGraph,
+        work_out: SubarrayId,
+        work_in: SubarrayId,
+    ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
+        let n = graph.node_count();
+        let cols = ctrl.geometry().cols;
+        let rows = ctrl.geometry().rows;
+        if n > 0 && n <= cols && 3 * n + 8 < rows {
+            let partitions = vec![(work_out, true), (work_in, false)];
+            let mut passes = dispatcher.run_partitions(ctrl, partitions, |ctx, transpose| {
+                let work = ctx.id();
+                Self::dense_degree_pass(ctx, graph, work, transpose)
+            })?;
+            let inc = passes.pop().expect("two partitions dispatched");
+            let out = passes.pop().expect("two partitions dispatched");
+            Ok((out, inc, true))
+        } else {
+            Self::degrees(ctrl, graph, work_out)
+        }
+    }
+
+    /// The host-side tail shared by the serial and dispatched runs: start
+    /// selection, Euler walk, and per-edge traversal accounting.
+    fn walk(
+        ctrl: &mut impl AapPort,
+        graph: &DeBruijnGraph,
+        out: &[u64],
+        inc: &[u64],
+        dense: bool,
+        algorithm: EulerAlgorithm,
+    ) -> Result<(Vec<Trail>, TraverseStats)> {
         // Start-vertex selection: one DPU comparison per node (the
         // `if out − in > 0` branch of the pseudocode).
         ctrl.dpu_ops(graph.node_count() as u64);
-        debug_assert!(out
-            .iter()
-            .zip(&inc)
-            .enumerate()
-            .all(|(v, (&o, &i))| o == graph.out_degree(v) as u64 && i == graph.in_degree(v) as u64));
+        debug_assert!(
+            out.iter()
+                .zip(inc)
+                .enumerate()
+                .all(|(v, (&o, &i))| o == graph.out_degree(v) as u64
+                    && i == graph.in_degree(v) as u64)
+        );
         let trails = eulerian_trails(graph, algorithm);
         let edges_walked: u64 = trails.iter().map(|t| (t.len().saturating_sub(1)) as u64).sum();
         let trail_count = trails.len() as u64;
@@ -109,7 +181,7 @@ impl TraverseStage {
     /// `work` and column-sums them. Column `j` of the row set `A[i][j]`
     /// sums to the in-degree of `j`; transposing yields out-degrees.
     fn dense_degree_pass(
-        ctrl: &mut Controller,
+        ctrl: &mut impl AapPort,
         graph: &DeBruijnGraph,
         work: SubarrayId,
         transpose: bool,
@@ -222,6 +294,49 @@ mod tests {
         assert!(pim_genome::euler::trails_cover_all_edges(&g, &trails));
         assert_eq!(stats.edges_walked as usize, g.edge_count());
         assert!(stats.dense_mapping);
+    }
+
+    #[test]
+    fn dispatched_run_matches_serial_trails_and_totals() {
+        let g = graph_of("CGTGCGTGCTTACGGA", 5);
+        let (mut serial_ctrl, work) = setup();
+        let (trails_s, stats_s) =
+            TraverseStage::run(&mut serial_ctrl, &g, work, EulerAlgorithm::Hierholzer).unwrap();
+        for workers in [1, 2] {
+            let (mut ctrl, work_out) = setup();
+            let work_in = ctrl.subarray_handle(0, 2, 0, 1).unwrap();
+            let (trails, stats) = TraverseStage::run_with_dispatcher(
+                &mut ctrl,
+                &ParallelDispatcher::with_workers(workers),
+                &g,
+                work_out,
+                work_in,
+                EulerAlgorithm::Hierholzer,
+            )
+            .unwrap();
+            assert_eq!(trails, trails_s, "workers={workers}");
+            assert_eq!(stats, stats_s, "workers={workers}");
+            assert_eq!(*ctrl.stats(), *serial_ctrl.stats(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn dispatched_run_rejects_identical_work_subarrays() {
+        let g = graph_of("CGTGCGTGCTTACGGA", 5);
+        let (mut ctrl, work) = setup();
+        let err = TraverseStage::run_with_dispatcher(
+            &mut ctrl,
+            &ParallelDispatcher::serial(),
+            &g,
+            work,
+            work,
+            EulerAlgorithm::Hierholzer,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::PimError::Dram(pim_dram::DramError::SubarrayDetached { .. })
+        ));
     }
 
     #[test]

@@ -98,4 +98,102 @@ proptest! {
         let img = mapper.row_image(&kmer, g.cols);
         prop_assert_eq!(img.extract(0, 32).to_u64(), kmer.packed());
     }
+
+    // ── Parallel dispatch equivalence on randomized streams ────────────
+
+    #[test]
+    fn parallel_dispatch_is_byte_identical_on_random_streams(
+        ops in proptest::collection::vec(0usize..96, 1..100),
+        workers in 2usize..6,
+    ) {
+        let g = DramGeometry::tiny();
+        let ids: Vec<pim_dram::SubarrayId> =
+            (0..8).map(|i| pim_dram::SubarrayId::from_linear_index(&g, i)).collect();
+        let stream = random_stream(&g, &ids, &ops);
+
+        let mut serial = seeded(&g, &ids);
+        let mut parallel = seeded(&g, &ids);
+        ParallelDispatcher::serial().execute(&mut serial, &stream).unwrap();
+        ParallelDispatcher::with_workers(workers).execute(&mut parallel, &stream).unwrap();
+
+        // Cycle/energy totals are bit-identical …
+        prop_assert_eq!(*serial.stats(), *parallel.stats());
+        prop_assert_eq!(serial.ledger(), parallel.ledger());
+        // … and every row of every sub-array is byte-identical.
+        for &id in &ids {
+            for row in 0..g.rows {
+                prop_assert_eq!(
+                    serial.peek_row(id, row).unwrap(),
+                    parallel.peek_row(id, row).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_stream_matches_direct_controller_path(
+        ops in proptest::collection::vec(0usize..96, 1..60),
+    ) {
+        let g = DramGeometry::tiny();
+        let ids: Vec<pim_dram::SubarrayId> =
+            (0..8).map(|i| pim_dram::SubarrayId::from_linear_index(&g, i)).collect();
+        let stream = random_stream(&g, &ids, &ops);
+
+        let mut direct = seeded(&g, &ids);
+        let mut dispatched = seeded(&g, &ids);
+        pim_assembler::exec::StreamExecutor::execute_stream(&mut direct, &stream).unwrap();
+        ParallelDispatcher::with_workers(3).execute(&mut dispatched, &stream).unwrap();
+        prop_assert_eq!(*direct.stats(), *dispatched.stats());
+    }
+}
+
+use pim_assembler::dispatch::ParallelDispatcher;
+use pim_assembler::isa::{AapInstruction, InstructionStream};
+use pim_dram::sense_amp::SaMode;
+
+/// A copy-copy-logic program per op code, interleaved across sub-arrays
+/// exactly as generated. Each op in `0..96` decodes to a
+/// `(sub-array, source salt, logic mode)` triple.
+fn random_stream(
+    g: &DramGeometry,
+    ids: &[pim_dram::SubarrayId],
+    ops: &[usize],
+) -> InstructionStream {
+    let cols = g.cols;
+    let x0 = RowAddr(g.compute_row(0));
+    let x1 = RowAddr(g.compute_row(1));
+    let mut stream = InstructionStream::new();
+    for &op in ops {
+        let (sub, salt, mode) = (op % 8, (op / 8) % 4, op / 32);
+        let id = ids[sub];
+        let mode = [SaMode::Xnor, SaMode::Nand, SaMode::Nor][mode];
+        stream.extend([
+            AapInstruction::Copy { subarray: id, src: RowAddr(salt), dst: x0, size: cols },
+            AapInstruction::Copy {
+                subarray: id,
+                src: RowAddr((salt + 1) % 4),
+                dst: x1,
+                size: cols,
+            },
+            AapInstruction::TwoSrc {
+                subarray: id,
+                srcs: [x0, x1],
+                dst: RowAddr(8 + salt),
+                mode,
+                size: cols,
+            },
+        ]);
+    }
+    stream
+}
+
+fn seeded(g: &DramGeometry, ids: &[pim_dram::SubarrayId]) -> Controller {
+    let mut ctrl = Controller::new(*g);
+    for (n, &id) in ids.iter().enumerate() {
+        for row in 0..4usize {
+            let data = BitRow::from_fn(g.cols, |i| (i + row + n) % 3 == 0);
+            ctrl.write_row(id, row, &data).unwrap();
+        }
+    }
+    ctrl
 }

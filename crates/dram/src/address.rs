@@ -39,7 +39,13 @@ impl SubarrayId {
     ///
     /// Returns [`crate::DramError::AddressOutOfRange`] if any coordinate
     /// exceeds the geometry.
-    pub fn new(geometry: &DramGeometry, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<Self> {
+    pub fn new(
+        geometry: &DramGeometry,
+        chip: usize,
+        bank: usize,
+        mat: usize,
+        subarray: usize,
+    ) -> Result<Self> {
         geometry.check_coords(chip, bank, mat, subarray)?;
         Ok(SubarrayId { chip, bank, mat, subarray })
     }

@@ -303,10 +303,7 @@ mod tests {
         let b = BitRow::from_bits([false, false, true, true, false, false, true, true]);
         let c = BitRow::from_bits([false, true, false, true, false, true, false, true]);
         let m = BitRow::maj3(&a, &b, &c);
-        assert_eq!(
-            m.to_bit_vec(),
-            vec![false, false, false, true, false, true, true, true]
-        );
+        assert_eq!(m.to_bit_vec(), vec![false, false, false, true, false, true, true, true]);
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl DramCommand {
             // All AAP shapes take the same tRAS + tRP window: the extra
             // source rows are raised in the same activation (that is the
             // point of the modified row decoder).
-            DramCommand::Aap { .. } | DramCommand::Aap2 { .. } | DramCommand::Aap3 { .. } => timing.aap_ns(),
+            DramCommand::Aap { .. } | DramCommand::Aap2 { .. } | DramCommand::Aap3 { .. } => {
+                timing.aap_ns()
+            }
             // DPU scalar ops run at the array command clock.
             DramCommand::DpuOp => timing.t_ck_ns,
         }
@@ -141,7 +143,11 @@ mod tests {
     fn aap_shapes_share_latency() {
         let t = TimingParams::ddr4_2133();
         let a = DramCommand::Aap { src: RowAddr(0), dst: RowAddr(1) };
-        let a2 = DramCommand::Aap2 { srcs: [RowAddr(1016), RowAddr(1017)], dst: RowAddr(1), mode: SaMode::Xnor };
+        let a2 = DramCommand::Aap2 {
+            srcs: [RowAddr(1016), RowAddr(1017)],
+            dst: RowAddr(1),
+            mode: SaMode::Xnor,
+        };
         let a3 = DramCommand::Aap3 {
             srcs: [RowAddr(1016), RowAddr(1017), RowAddr(1018)],
             dst: RowAddr(1),
@@ -155,8 +161,12 @@ mod tests {
     fn energies_order_by_activated_rows() {
         let e = EnergyParams::ddr4_45nm();
         let a = DramCommand::Aap { src: RowAddr(0), dst: RowAddr(1) }.energy_nj(&e, 256);
-        let a2 = DramCommand::Aap2 { srcs: [RowAddr(0), RowAddr(1)], dst: RowAddr(2), mode: SaMode::Xnor }
-            .energy_nj(&e, 256);
+        let a2 = DramCommand::Aap2 {
+            srcs: [RowAddr(0), RowAddr(1)],
+            dst: RowAddr(2),
+            mode: SaMode::Xnor,
+        }
+        .energy_nj(&e, 256);
         let a3 = DramCommand::Aap3 {
             srcs: [RowAddr(0), RowAddr(1), RowAddr(2)],
             dst: RowAddr(3),

@@ -1,0 +1,271 @@
+//! Per-sub-array execution contexts.
+//!
+//! A [`SubarrayContext`] owns everything one computational sub-array needs
+//! to execute independently of the rest of the hierarchy: the bit-accurate
+//! [`Subarray`] (rows, decoders, reconfigurable sense amplifier) plus a
+//! local [`EnergyLedger`]. The [`crate::controller::Controller`] is a thin
+//! address-mapping façade over a set of contexts; a parallel dispatcher
+//! can *detach* a context ([`crate::controller::Controller::detach_context`]),
+//! drive it from a worker thread, and reattach it, with the context's
+//! integer ledger merging back into the controller's totals exactly.
+
+use crate::address::{RowAddr, SubarrayId};
+use crate::bitrow::BitRow;
+use crate::error::Result;
+use crate::geometry::DramGeometry;
+use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
+use crate::sense_amp::SaMode;
+use crate::stats::CommandStats;
+use crate::subarray::Subarray;
+
+/// One sub-array's state, timing/energy accounting, and command execution.
+///
+/// The operation set mirrors the controller's per-sub-array surface
+/// (`write_row`, `aap_copy`, `aap2`, …) with identical semantics and
+/// identical unit costs, so a command sequence produces the same array
+/// bytes and the same ledger totals whether it runs through the controller
+/// or through a detached context. Context execution is not traced; the
+/// controller's [`crate::trace::CommandTrace`] covers only commands issued
+/// through the façade.
+#[derive(Debug, Clone)]
+pub struct SubarrayContext {
+    id: SubarrayId,
+    subarray: Subarray,
+    costs: CommandCosts,
+    ledger: EnergyLedger,
+}
+
+impl SubarrayContext {
+    /// Creates a fresh (all-zero rows) context for `id`.
+    pub(crate) fn new(id: SubarrayId, geometry: DramGeometry, costs: CommandCosts) -> Self {
+        SubarrayContext {
+            id,
+            subarray: Subarray::new(geometry),
+            costs,
+            ledger: EnergyLedger::default(),
+        }
+    }
+
+    /// The sub-array this context owns.
+    pub fn id(&self) -> SubarrayId {
+        self.id
+    }
+
+    /// The sub-array geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        self.subarray.geometry()
+    }
+
+    /// Address of compute row `i` (`x1..x8` ⇒ `i ∈ 0..8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn compute_row(&self, i: usize) -> RowAddr {
+        RowAddr(self.geometry().compute_row(i))
+    }
+
+    /// The local integer ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The floating-point statistics view of the local ledger.
+    pub fn stats(&self) -> CommandStats {
+        self.ledger.to_stats()
+    }
+
+    /// Read access to the underlying sub-array (inspection).
+    pub fn subarray(&self) -> &Subarray {
+        &self.subarray
+    }
+
+    pub(crate) fn reset_ledger(&mut self) {
+        self.ledger = EnergyLedger::default();
+    }
+
+    fn charge(&mut self, class: CommandClass) {
+        self.ledger.charge(class, &self.costs);
+    }
+
+    /// Writes one row from the host (charged as `WR`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing/width errors.
+    pub fn write_row(&mut self, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
+        self.subarray.write(row.into(), data)?;
+        self.charge(CommandClass::Write);
+        Ok(())
+    }
+
+    /// Reads one row to the host (charged as `RD`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn read_row(&mut self, row: impl Into<RowAddr>) -> Result<BitRow> {
+        let data = self.subarray.read(row.into())?;
+        self.charge(CommandClass::Read);
+        Ok(data)
+    }
+
+    /// Reads a row *without* charging a command (debug/verification view).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn peek_row(&self, row: impl Into<RowAddr>) -> Result<BitRow> {
+        self.subarray.read(row.into())
+    }
+
+    /// Writes a row *without* charging a command; pair with
+    /// [`SubarrayContext::record_synthetic`] as with the controller's
+    /// `poke_row`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing/width errors.
+    pub fn poke_row(&mut self, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
+        self.subarray.write(row.into(), data)
+    }
+
+    /// Type-1 AAP: in-array copy (RowClone-FPM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-array addressing errors.
+    pub fn aap_copy(&mut self, src: impl Into<RowAddr>, dst: impl Into<RowAddr>) -> Result<()> {
+        self.subarray.copy(src.into(), dst.into())?;
+        self.charge(CommandClass::Aap);
+        Ok(())
+    }
+
+    /// Type-2 AAP: two-row activation evaluating `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder and addressing errors (sources must be compute
+    /// rows; see [`crate::subarray::Subarray::op2`]).
+    pub fn aap2(
+        &mut self,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<BitRow> {
+        let out = self.subarray.op2(mode, srcs, dst.into())?;
+        self.charge(CommandClass::Aap2);
+        Ok(out)
+    }
+
+    /// Single-cycle in-memory XNOR2.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubarrayContext::aap2`].
+    pub fn aap2_xnor(&mut self, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        self.aap2(SaMode::Xnor, srcs, dst)
+    }
+
+    /// Sum cycle of the in-memory adder (XOR with the latched carry).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubarrayContext::aap2`].
+    pub fn aap2_sum(&mut self, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        self.aap2(SaMode::CarrySum, srcs, dst)
+    }
+
+    /// Type-3 AAP (Ambit TRA): 3-input majority / carry, latched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder and addressing errors.
+    pub fn aap3_carry(&mut self, srcs: [RowAddr; 3], dst: impl Into<RowAddr>) -> Result<BitRow> {
+        let out = self.subarray.op3_carry(srcs, dst.into())?;
+        self.charge(CommandClass::Aap3);
+        Ok(out)
+    }
+
+    /// Clears the SA carry latch (start of a new addition).
+    pub fn reset_latch(&mut self) {
+        self.subarray.reset_latch();
+    }
+
+    /// Records one DPU scalar operation against this context's ledger.
+    pub fn dpu_op(&mut self) {
+        self.charge(CommandClass::Dpu);
+    }
+
+    /// Records `n` DPU scalar operations.
+    pub fn dpu_ops(&mut self, n: u64) {
+        self.ledger.charge_many(CommandClass::Dpu, &self.costs, n);
+    }
+
+    /// Records `count` synthetic commands without executing them (the
+    /// context-local counterpart of the controller's `record_synthetic`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown mnemonic.
+    pub fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let class = CommandClass::from_mnemonic(mnemonic)
+            .unwrap_or_else(|| panic!("unknown command mnemonic {mnemonic:?}"));
+        self.ledger.charge_many(class, &self.costs, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyParams;
+    use crate::timing::TimingParams;
+
+    fn context() -> SubarrayContext {
+        let g = DramGeometry::tiny();
+        let costs = CommandCosts::new(&TimingParams::default(), &EnergyParams::default(), g.cols);
+        SubarrayContext::new(SubarrayId::from_linear_index(&g, 0), g, costs)
+    }
+
+    #[test]
+    fn context_executes_the_xnor_sequence() {
+        let mut ctx = context();
+        let cols = ctx.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        ctx.write_row(1, &a).unwrap();
+        ctx.write_row(2, &b).unwrap();
+        ctx.aap_copy(1, ctx.compute_row(0)).unwrap();
+        ctx.aap_copy(2, ctx.compute_row(1)).unwrap();
+        let out = ctx.aap2_xnor([ctx.compute_row(0), ctx.compute_row(1)], 5).unwrap();
+        assert_eq!(out, a.xnor(&b));
+        let s = ctx.stats();
+        assert_eq!((s.writes, s.aap, s.aap2), (2, 2, 1));
+        assert!(s.serial_ns > 0.0 && s.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_charge() {
+        let mut ctx = context();
+        let cols = ctx.geometry().cols;
+        ctx.poke_row(0, &BitRow::ones(cols)).unwrap();
+        let before = *ctx.ledger();
+        let row = ctx.peek_row(0).unwrap();
+        assert_eq!(row, BitRow::ones(cols));
+        assert_eq!(*ctx.ledger(), before);
+        assert_eq!(before.total_commands(), 0);
+    }
+
+    #[test]
+    fn synthetic_commands_hit_the_ledger() {
+        let mut ctx = context();
+        ctx.record_synthetic("AAP", 3);
+        ctx.record_synthetic("RD", 0);
+        ctx.dpu_ops(2);
+        let s = ctx.stats();
+        assert_eq!((s.aap, s.reads, s.dpu), (3, 0, 2));
+    }
+}

@@ -1,33 +1,61 @@
 //! The PIM-Assembler memory controller (Ctrl in Fig. 1a).
 //!
-//! The controller is the single entry point through which software issues
-//! commands: it validates addresses, executes each command bit-accurately
-//! against the [`MemoryGroup`], and records latency/energy in
-//! [`CommandStats`]. The three AAP instruction types of §II-B map directly
+//! The controller is a thin address-mapping façade over a set of
+//! per-sub-array execution contexts ([`SubarrayContext`]): it validates
+//! addresses, routes each command to the owning context (which executes it
+//! bit-accurately and charges its local [`EnergyLedger`]), and maintains
+//! the merged totals, the derived [`CommandStats`] view, and the optional
+//! [`CommandTrace`]. The three AAP instruction types of §II-B map directly
 //! onto [`Controller::aap_copy`], [`Controller::aap2`], and
 //! [`Controller::aap3_carry`].
+//!
+//! For parallel dispatch a context can be *detached*
+//! ([`Controller::detach_context`]), driven from a worker thread through
+//! the [`crate::port::AapPort`] surface, and *reattached*
+//! ([`Controller::reattach_context`]); the work done while detached merges
+//! back into the controller's integer totals exactly, independent of
+//! reattach order. Commands executed on detached contexts are not traced.
+
+use std::collections::BTreeMap;
 
 use crate::address::{RowAddr, SubarrayId};
 use crate::bitrow::BitRow;
 use crate::command::DramCommand;
+use crate::context::SubarrayContext;
 use crate::energy::EnergyParams;
-use crate::error::Result;
+use crate::error::{DramError, Result};
 use crate::geometry::DramGeometry;
-use crate::hierarchy::MemoryGroup;
+use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
 use crate::sense_amp::SaMode;
 use crate::stats::CommandStats;
+use crate::subarray::Subarray;
 use crate::timing::TimingParams;
 use crate::trace::CommandTrace;
 
-/// Executes commands against the memory group with full accounting.
+/// Routes commands to per-sub-array contexts with merged accounting.
 ///
 /// See the crate-level example for a typical copy–copy–XNOR sequence.
 #[derive(Debug, Clone)]
 pub struct Controller {
-    memory: MemoryGroup,
+    geometry: DramGeometry,
     timing: TimingParams,
     energy: EnergyParams,
-    stats: CommandStats,
+    costs: CommandCosts,
+    /// Attached contexts, materialized lazily on first touch. `BTreeMap`
+    /// keeps iteration (and thus merged-state inspection) deterministic.
+    contexts: BTreeMap<SubarrayId, SubarrayContext>,
+    /// Ledger snapshots of currently detached contexts, taken at detach
+    /// time so reattach can merge exactly the work done while away.
+    in_flight: BTreeMap<SubarrayId, EnergyLedger>,
+    /// Commands not attributable to a sub-array (DPU ops, synthetic
+    /// traffic recorded at the controller).
+    global: EnergyLedger,
+    /// Merged totals: `global` + every context's ledger (attached or
+    /// reattached). Maintained incrementally.
+    total: EnergyLedger,
+    /// Floating-point view of `total`, refreshed after every mutation so
+    /// [`Controller::stats`] can hand out a reference.
+    stats_cache: CommandStats,
     trace: Option<CommandTrace>,
 }
 
@@ -39,17 +67,25 @@ impl Controller {
 
     /// Creates a controller with explicit timing and energy parameters.
     pub fn with_params(geometry: DramGeometry, timing: TimingParams, energy: EnergyParams) -> Self {
+        let costs = CommandCosts::new(&timing, &energy, geometry.cols);
         Controller {
-            memory: MemoryGroup::new(geometry),
+            geometry,
             timing,
             energy,
-            stats: CommandStats::default(),
+            costs,
+            contexts: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            global: EnergyLedger::default(),
+            total: EnergyLedger::default(),
+            stats_cache: CommandStats::default(),
             trace: None,
         }
     }
 
     /// Enables command tracing, keeping the most recent `capacity` commands
     /// (see [`CommandTrace`]). Pass 0 to count drops without retaining.
+    /// Only commands issued through the controller are traced; work on
+    /// detached contexts is not.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(CommandTrace::new(capacity));
     }
@@ -66,7 +102,7 @@ impl Controller {
 
     /// The configured geometry.
     pub fn geometry(&self) -> &DramGeometry {
-        self.memory.geometry()
+        &self.geometry
     }
 
     /// The timing parameters in effect.
@@ -79,13 +115,25 @@ impl Controller {
         &self.energy
     }
 
+    /// The quantized per-class unit costs shared by the controller and all
+    /// of its contexts.
+    pub fn costs(&self) -> &CommandCosts {
+        &self.costs
+    }
+
     /// Validated sub-array handle for (chip, bank, mat, subarray).
     ///
     /// # Errors
     ///
     /// Returns [`crate::DramError::AddressOutOfRange`] on bad coordinates.
-    pub fn subarray_handle(&self, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<SubarrayId> {
-        SubarrayId::new(self.memory.geometry(), chip, bank, mat, subarray)
+    pub fn subarray_handle(
+        &self,
+        chip: usize,
+        bank: usize,
+        mat: usize,
+        subarray: usize,
+    ) -> Result<SubarrayId> {
+        SubarrayId::new(&self.geometry, chip, bank, mat, subarray)
     }
 
     /// Address of compute row `i` (`x1..x8` ⇒ `i ∈ 0..8`).
@@ -94,19 +142,37 @@ impl Controller {
     ///
     /// Panics if `i >= 8`.
     pub fn compute_row(&self, i: usize) -> RowAddr {
-        RowAddr(self.memory.geometry().compute_row(i))
+        RowAddr(self.geometry.compute_row(i))
+    }
+
+    /// The attached context owning `id`, materialized on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayDetached`] while `id` is checked out.
+    fn live_context(&mut self, id: SubarrayId) -> Result<&mut SubarrayContext> {
+        if self.in_flight.contains_key(&id) {
+            return Err(DramError::SubarrayDetached { subarray: id });
+        }
+        let (geometry, costs) = (self.geometry, self.costs);
+        Ok(self.contexts.entry(id).or_insert_with(|| SubarrayContext::new(id, geometry, costs)))
     }
 
     /// Writes one row from the host.
     ///
     /// # Errors
     ///
-    /// Propagates sub-array addressing/width errors.
-    pub fn write_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
+    /// Propagates sub-array addressing/width errors; fails on detached
+    /// sub-arrays.
+    pub fn write_row(
+        &mut self,
+        id: SubarrayId,
+        row: impl Into<RowAddr>,
+        data: &BitRow,
+    ) -> Result<()> {
         let row = row.into();
-        let cols = self.memory.geometry().cols;
-        self.memory.subarray_mut(id).write(row, data)?;
-        self.account(Some(id), &DramCommand::Write { dst: row }, cols);
+        self.live_context(id)?.write_row(row, data)?;
+        self.account(Some(id), &DramCommand::Write { dst: row });
         Ok(())
     }
 
@@ -114,12 +180,12 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Propagates sub-array addressing errors.
+    /// Propagates sub-array addressing errors; fails on detached
+    /// sub-arrays.
     pub fn read_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>) -> Result<BitRow> {
         let row = row.into();
-        let cols = self.memory.geometry().cols;
-        let data = self.memory.subarray_mut(id).read(row)?;
-        self.account(Some(id), &DramCommand::Read { src: row }, cols);
+        let data = self.live_context(id)?.read_row(row)?;
+        self.account(Some(id), &DramCommand::Read { src: row });
         Ok(data)
     }
 
@@ -127,9 +193,10 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Propagates sub-array addressing errors.
+    /// Propagates sub-array addressing errors; fails on detached
+    /// sub-arrays.
     pub fn peek_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>) -> Result<BitRow> {
-        self.memory.subarray_mut(id).read(row.into())
+        self.live_context(id)?.peek_row(row)
     }
 
     /// Writes a row *without* charging a command. Callers pair this with
@@ -139,21 +206,32 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Propagates sub-array addressing/width errors.
-    pub fn poke_row(&mut self, id: SubarrayId, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
-        self.memory.subarray_mut(id).write(row.into(), data)
+    /// Propagates sub-array addressing/width errors; fails on detached
+    /// sub-arrays.
+    pub fn poke_row(
+        &mut self,
+        id: SubarrayId,
+        row: impl Into<RowAddr>,
+        data: &BitRow,
+    ) -> Result<()> {
+        self.live_context(id)?.poke_row(row, data)
     }
 
     /// Type-1 AAP: in-array copy (RowClone-FPM).
     ///
     /// # Errors
     ///
-    /// Propagates sub-array addressing errors.
-    pub fn aap_copy(&mut self, id: SubarrayId, src: impl Into<RowAddr>, dst: impl Into<RowAddr>) -> Result<()> {
+    /// Propagates sub-array addressing errors; fails on detached
+    /// sub-arrays.
+    pub fn aap_copy(
+        &mut self,
+        id: SubarrayId,
+        src: impl Into<RowAddr>,
+        dst: impl Into<RowAddr>,
+    ) -> Result<()> {
         let (src, dst) = (src.into(), dst.into());
-        let cols = self.memory.geometry().cols;
-        self.memory.subarray_mut(id).copy(src, dst)?;
-        self.account(Some(id), &DramCommand::Aap { src, dst }, cols);
+        self.live_context(id)?.aap_copy(src, dst)?;
+        self.account(Some(id), &DramCommand::Aap { src, dst });
         Ok(())
     }
 
@@ -163,7 +241,8 @@ impl Controller {
     /// # Errors
     ///
     /// Propagates decoder and addressing errors (sources must be compute
-    /// rows; see [`crate::subarray::Subarray::op2`]).
+    /// rows; see [`crate::subarray::Subarray::op2`]); fails on detached
+    /// sub-arrays.
     pub fn aap2(
         &mut self,
         id: SubarrayId,
@@ -172,9 +251,8 @@ impl Controller {
         dst: impl Into<RowAddr>,
     ) -> Result<BitRow> {
         let dst = dst.into();
-        let cols = self.memory.geometry().cols;
-        let out = self.memory.subarray_mut(id).op2(mode, srcs, dst)?;
-        self.account(Some(id), &DramCommand::Aap2 { srcs, dst, mode }, cols);
+        let out = self.live_context(id)?.aap2(mode, srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap2 { srcs, dst, mode });
         Ok(out)
     }
 
@@ -183,7 +261,12 @@ impl Controller {
     /// # Errors
     ///
     /// Same as [`Controller::aap2`].
-    pub fn aap2_xnor(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+    pub fn aap2_xnor(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<BitRow> {
         self.aap2(id, SaMode::Xnor, srcs, dst)
     }
 
@@ -193,7 +276,12 @@ impl Controller {
     /// # Errors
     ///
     /// Same as [`Controller::aap2`].
-    pub fn aap2_sum(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: impl Into<RowAddr>) -> Result<BitRow> {
+    pub fn aap2_sum(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<BitRow> {
         self.aap2(id, SaMode::CarrySum, srcs, dst)
     }
 
@@ -201,24 +289,43 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Propagates decoder and addressing errors.
-    pub fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: impl Into<RowAddr>) -> Result<BitRow> {
+    /// Propagates decoder and addressing errors; fails on detached
+    /// sub-arrays.
+    pub fn aap3_carry(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 3],
+        dst: impl Into<RowAddr>,
+    ) -> Result<BitRow> {
         let dst = dst.into();
-        let cols = self.memory.geometry().cols;
-        let out = self.memory.subarray_mut(id).op3_carry(srcs, dst)?;
-        self.account(Some(id), &DramCommand::Aap3 { srcs, dst, mode: SaMode::Carry }, cols);
+        let out = self.live_context(id)?.aap3_carry(srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap3 { srcs, dst, mode: SaMode::Carry });
         Ok(out)
     }
 
     /// Clears a sub-array's SA carry latch (start of a new addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-array is detached (use
+    /// [`Controller::try_reset_latch`] for a fallible version).
     pub fn reset_latch(&mut self, id: SubarrayId) {
-        self.memory.subarray_mut(id).reset_latch();
+        self.try_reset_latch(id).expect("reset_latch on a detached sub-array");
+    }
+
+    /// Fallible variant of [`Controller::reset_latch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayDetached`] while `id` is checked out.
+    pub fn try_reset_latch(&mut self, id: SubarrayId) -> Result<()> {
+        self.live_context(id)?.reset_latch();
+        Ok(())
     }
 
     /// Records one DPU scalar operation (MAT-level digital processing unit).
     pub fn dpu_op(&mut self) {
-        let cols = self.memory.geometry().cols;
-        self.account(None, &DramCommand::DpuOp, cols);
+        self.account(None, &DramCommand::DpuOp);
     }
 
     /// Records `n` DPU scalar operations.
@@ -231,7 +338,8 @@ impl Controller {
     /// Records `count` synthetic commands of the given mnemonic without
     /// executing them — used when a stage's traffic is accounted
     /// analytically (e.g. degree accumulation of a graph too large for the
-    /// functional dense mapping).
+    /// functional dense mapping). Synthetic commands are charged to the
+    /// controller's global ledger and are not traced.
     ///
     /// # Panics
     ///
@@ -240,63 +348,122 @@ impl Controller {
         if count == 0 {
             return;
         }
-        let cols = self.memory.geometry().cols;
-        let probe = match mnemonic {
-            "RD" => DramCommand::Read { src: RowAddr(0) },
-            "WR" => DramCommand::Write { dst: RowAddr(0) },
-            "AAP" => DramCommand::Aap { src: RowAddr(0), dst: RowAddr(0) },
-            "AAP2" => DramCommand::Aap2 { srcs: [RowAddr(0), RowAddr(1)], dst: RowAddr(0), mode: SaMode::Xnor },
-            "AAP3" => DramCommand::Aap3 {
-                srcs: [RowAddr(0), RowAddr(1), RowAddr(2)],
-                dst: RowAddr(0),
-                mode: SaMode::Carry,
-            },
-            "DPU" => DramCommand::DpuOp,
-            other => panic!("unknown command mnemonic {other:?}"),
-        };
-        let lat = probe.latency_ns(&self.timing, cols);
-        let en = probe.energy_nj(&self.energy, cols);
-        for _ in 0..count.min(1) {
-            // Record one to classify, then add the rest arithmetically.
-            self.stats.record(&probe, lat, en);
-        }
-        if count > 1 {
-            let extra = count - 1;
-            match mnemonic {
-                "RD" => self.stats.reads += extra,
-                "WR" => self.stats.writes += extra,
-                "AAP" => self.stats.aap += extra,
-                "AAP2" => self.stats.aap2 += extra,
-                "AAP3" => self.stats.aap3 += extra,
-                "DPU" => self.stats.dpu += extra,
-                _ => unreachable!(),
-            }
-            self.stats.serial_ns += lat * extra as f64;
-            self.stats.energy_nj += en * extra as f64;
-        }
+        let class = CommandClass::from_mnemonic(mnemonic)
+            .unwrap_or_else(|| panic!("unknown command mnemonic {mnemonic:?}"));
+        self.global.charge_many(class, &self.costs, count);
+        self.total.charge_many(class, &self.costs, count);
+        self.stats_cache = self.total.to_stats();
     }
 
-    /// Accumulated command statistics.
+    /// Accumulated command statistics (derived from the merged integer
+    /// totals, so equal command multisets give bit-identical stats).
     pub fn stats(&self) -> &CommandStats {
-        &self.stats
+        &self.stats_cache
     }
 
-    /// Takes and resets the statistics.
+    /// The merged integer ledger (global + all contexts).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.total
+    }
+
+    /// Takes and resets the statistics (the global ledger and every
+    /// *attached* context's ledger; work on currently detached contexts is
+    /// merged when they reattach).
     pub fn take_stats(&mut self) -> CommandStats {
-        std::mem::take(&mut self.stats)
+        let out = self.stats_cache;
+        self.global = EnergyLedger::default();
+        self.total = EnergyLedger::default();
+        for ctx in self.contexts.values_mut() {
+            ctx.reset_ledger();
+        }
+        self.stats_cache = CommandStats::default();
+        out
     }
 
-    /// Direct access to the memory group (for inspection in tests/tools).
-    pub fn memory(&self) -> &MemoryGroup {
-        &self.memory
+    /// Checks a context out of the controller for independent (possibly
+    /// cross-thread) execution. Until reattached, every controller
+    /// operation addressing `id` fails with
+    /// [`DramError::SubarrayDetached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayDetached`] if `id` is already checked
+    /// out.
+    pub fn detach_context(&mut self, id: SubarrayId) -> Result<SubarrayContext> {
+        if self.in_flight.contains_key(&id) {
+            return Err(DramError::SubarrayDetached { subarray: id });
+        }
+        let ctx = self
+            .contexts
+            .remove(&id)
+            .unwrap_or_else(|| SubarrayContext::new(id, self.geometry, self.costs));
+        self.in_flight.insert(id, *ctx.ledger());
+        Ok(ctx)
     }
 
-    fn account(&mut self, id: Option<SubarrayId>, cmd: &DramCommand, cols: usize) {
-        let lat = cmd.latency_ns(&self.timing, cols);
-        let en = cmd.energy_nj(&self.energy, cols);
-        self.stats.record(cmd, lat, en);
+    /// Returns a detached context, merging the work it performed while
+    /// away into the controller's totals. Merging is integer-exact and
+    /// order-independent across contexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayDetached`] if the context was not
+    /// detached from this controller (no matching checkout).
+    pub fn reattach_context(&mut self, ctx: SubarrayContext) -> Result<()> {
+        let id = ctx.id();
+        let snapshot =
+            self.in_flight.remove(&id).ok_or(DramError::SubarrayDetached { subarray: id })?;
+        let delta = ctx.ledger().since(&snapshot);
+        self.total.merge(&delta);
+        self.stats_cache = self.total.to_stats();
+        self.contexts.insert(id, ctx);
+        Ok(())
+    }
+
+    /// The attached context for `id`, if that sub-array has been touched.
+    pub fn context(&self, id: SubarrayId) -> Option<&SubarrayContext> {
+        self.contexts.get(&id)
+    }
+
+    /// Read access to a touched sub-array's state (inspection in
+    /// tests/tools); `None` if untouched or detached.
+    pub fn subarray(&self, id: SubarrayId) -> Option<&Subarray> {
+        self.contexts.get(&id).map(SubarrayContext::subarray)
+    }
+
+    /// A touched sub-array's local ledger; `None` if untouched or
+    /// detached.
+    pub fn subarray_ledger(&self, id: SubarrayId) -> Option<&EnergyLedger> {
+        self.contexts.get(&id).map(SubarrayContext::ledger)
+    }
+
+    /// Sub-arrays that have been touched (attached contexts, in address
+    /// order).
+    pub fn touched_subarrays(&self) -> impl Iterator<Item = SubarrayId> + '_ {
+        self.contexts.keys().copied()
+    }
+
+    /// Per-sub-array `(commands, busy_ns)` totals in address order — the
+    /// input shape of [`crate::schedule::queues_from_totals`] for makespan
+    /// estimation of the recorded traffic.
+    pub fn subarray_command_totals(&self) -> Vec<(u64, f64)> {
+        self.contexts
+            .values()
+            .map(|ctx| (ctx.ledger().total_commands(), ctx.ledger().total_time_ps() as f64 / 1e3))
+            .filter(|&(commands, _)| commands > 0)
+            .collect()
+    }
+
+    fn account(&mut self, id: Option<SubarrayId>, cmd: &DramCommand) {
+        let class = CommandClass::of(cmd);
+        if id.is_none() {
+            // Sub-array commands were already charged to their context.
+            self.global.charge(class, &self.costs);
+        }
+        self.total.charge(class, &self.costs);
+        self.stats_cache = self.total.to_stats();
         if let Some(trace) = &mut self.trace {
-            trace.record(self.stats.serial_ns, id, *cmd);
+            trace.record(self.stats_cache.serial_ns, id, *cmd);
         }
     }
 }
@@ -401,5 +568,79 @@ mod tests {
         let taken = c.take_stats();
         assert_eq!(taken.writes, 1);
         assert_eq!(c.stats().total_commands(), 0);
+    }
+
+    #[test]
+    fn detached_subarray_rejects_controller_ops() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        let ctx = c.detach_context(id).unwrap();
+        let err = c.write_row(id, 0, &BitRow::zeros(cols)).unwrap_err();
+        assert!(matches!(err, DramError::SubarrayDetached { subarray } if subarray == id));
+        // Double detach is also a protocol violation.
+        assert!(c.detach_context(id).is_err());
+        // Other sub-arrays keep working.
+        let other = c.subarray_handle(0, 1, 0, 0).unwrap();
+        c.write_row(other, 0, &BitRow::zeros(cols)).unwrap();
+        c.reattach_context(ctx).unwrap();
+        c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+    }
+
+    #[test]
+    fn detached_work_merges_back_exactly() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        // Prior attached work, so the detach snapshot is non-trivial.
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+
+        let mut serial = Controller::new(DramGeometry::tiny());
+        serial.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+
+        let mut ctx = c.detach_context(id).unwrap();
+        ctx.write_row(1, &BitRow::zeros(cols)).unwrap();
+        ctx.aap_copy(1, ctx.compute_row(0)).unwrap();
+        ctx.dpu_op();
+        c.reattach_context(ctx).unwrap();
+
+        serial.write_row(id, 1, &BitRow::zeros(cols)).unwrap();
+        serial.aap_copy(id, 1, serial.compute_row(0)).unwrap();
+        serial.dpu_op();
+
+        assert_eq!(*c.stats(), *serial.stats());
+        assert_eq!(c.ledger(), serial.ledger());
+        // Array state matches byte for byte.
+        assert_eq!(c.peek_row(id, 1).unwrap(), serial.peek_row(id, 1).unwrap());
+    }
+
+    #[test]
+    fn reattach_of_unknown_context_is_rejected() {
+        let (mut c, id) = ctrl();
+        let ctx = c.detach_context(id).unwrap();
+        let mut other = Controller::new(DramGeometry::tiny());
+        let stray = other.detach_context(id).unwrap();
+        c.reattach_context(ctx).unwrap();
+        // `c` has no outstanding checkout for `id` any more.
+        assert!(matches!(
+            c.reattach_context(stray),
+            Err(DramError::SubarrayDetached { subarray }) if subarray == id
+        ));
+    }
+
+    #[test]
+    fn per_subarray_accounting_sums_to_the_total() {
+        let (mut c, id) = ctrl();
+        let other = c.subarray_handle(0, 1, 0, 0).unwrap();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        c.write_row(other, 0, &BitRow::ones(cols)).unwrap();
+        c.aap_copy(other, 0, 1).unwrap();
+        c.dpu_op();
+        let mut sum = *c.subarray_ledger(id).unwrap();
+        sum.merge(c.subarray_ledger(other).unwrap());
+        // The DPU op lives in the global ledger, not any sub-array's.
+        assert_eq!(sum.total_commands() + 1, c.ledger().total_commands());
+        let totals = c.subarray_command_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals.iter().map(|t| t.0).sum::<u64>(), 3);
     }
 }

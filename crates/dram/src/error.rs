@@ -59,6 +59,16 @@ pub enum DramError {
         /// The duplicated row index.
         row: usize,
     },
+    /// The sub-array is not owned by the executing component: it is
+    /// checked out of the controller into a
+    /// [`crate::context::SubarrayContext`], or a context was handed a
+    /// command addressed to a sub-array it does not own. Raised whenever
+    /// the detach/reattach ownership protocol of parallel dispatch is
+    /// violated.
+    SubarrayDetached {
+        /// The unavailable sub-array.
+        subarray: crate::address::SubarrayId,
+    },
 }
 
 impl fmt::Display for DramError {
@@ -77,10 +87,16 @@ impl fmt::Display for DramError {
                 write!(f, "row {row} is not wired to the modified row decoder")
             }
             DramError::BadActivationCount { requested, supported } => {
-                write!(f, "cannot activate {requested} rows simultaneously (supported: {supported})")
+                write!(
+                    f,
+                    "cannot activate {requested} rows simultaneously (supported: {supported})"
+                )
             }
             DramError::DuplicateSourceRow { row } => {
                 write!(f, "source row {row} listed more than once in a multi-row activation")
+            }
+            DramError::SubarrayDetached { subarray } => {
+                write!(f, "sub-array {subarray} is not owned by the executing component (detached context)")
             }
         }
     }
@@ -115,6 +131,9 @@ mod tests {
             DramError::NotComputeRow { row: 3 },
             DramError::BadActivationCount { requested: 4, supported: "2 or 3" },
             DramError::DuplicateSourceRow { row: 1016 },
+            DramError::SubarrayDetached {
+                subarray: crate::address::SubarrayId { chip: 0, bank: 1, mat: 0, subarray: 3 },
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -140,15 +140,33 @@ impl DramGeometry {
     ///
     /// Returns [`DramError::AddressOutOfRange`] naming the first coordinate
     /// that exceeds the geometry.
-    pub fn check_coords(&self, chip: usize, bank: usize, mat: usize, subarray: usize) -> Result<()> {
+    pub fn check_coords(
+        &self,
+        chip: usize,
+        bank: usize,
+        mat: usize,
+        subarray: usize,
+    ) -> Result<()> {
         if chip >= self.chips {
-            return Err(DramError::AddressOutOfRange { component: "chip", index: chip, limit: self.chips });
+            return Err(DramError::AddressOutOfRange {
+                component: "chip",
+                index: chip,
+                limit: self.chips,
+            });
         }
         if bank >= self.banks_per_chip {
-            return Err(DramError::AddressOutOfRange { component: "bank", index: bank, limit: self.banks_per_chip });
+            return Err(DramError::AddressOutOfRange {
+                component: "bank",
+                index: bank,
+                limit: self.banks_per_chip,
+            });
         }
         if mat >= self.mats_per_bank {
-            return Err(DramError::AddressOutOfRange { component: "mat", index: mat, limit: self.mats_per_bank });
+            return Err(DramError::AddressOutOfRange {
+                component: "mat",
+                index: mat,
+                limit: self.mats_per_bank,
+            });
         }
         if subarray >= self.subarrays_per_mat {
             return Err(DramError::AddressOutOfRange {

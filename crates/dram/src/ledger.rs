@@ -1,0 +1,372 @@
+//! Integer-exact latency/energy accounting.
+//!
+//! Per-sub-array execution contexts ([`crate::context::SubarrayContext`])
+//! accumulate their command traffic locally and are merged back into the
+//! [`crate::controller::Controller`] when a parallel dispatch completes.
+//! For the merged totals to be *byte-identical* regardless of merge order,
+//! the ledger accounts in integers — picoseconds and femtojoules — rather
+//! than accumulating `f64` latencies (whose addition is not associative).
+//! The floating-point [`CommandStats`] view the rest of the stack consumes
+//! is derived from the integer totals at read time, so any interleaving of
+//! the same command multiset produces the same `CommandStats`, bit for bit.
+
+use crate::command::DramCommand;
+use crate::energy::EnergyParams;
+use crate::stats::CommandStats;
+use crate::timing::TimingParams;
+
+/// The six accounting classes of [`DramCommand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandClass {
+    /// Row read to the host (`RD`).
+    Read,
+    /// Row write from the host (`WR`).
+    Write,
+    /// Type-1 AAP copy (`AAP`).
+    Aap,
+    /// Type-2 AAP, two-row activation (`AAP2`).
+    Aap2,
+    /// Type-3 AAP, triple-row activation (`AAP3`).
+    Aap3,
+    /// DPU scalar operation (`DPU`).
+    Dpu,
+}
+
+/// All classes, in mnemonic order.
+pub const COMMAND_CLASSES: [CommandClass; 6] = [
+    CommandClass::Read,
+    CommandClass::Write,
+    CommandClass::Aap,
+    CommandClass::Aap2,
+    CommandClass::Aap3,
+    CommandClass::Dpu,
+];
+
+impl CommandClass {
+    /// The class of a concrete command.
+    pub fn of(cmd: &DramCommand) -> Self {
+        match cmd {
+            DramCommand::Read { .. } => CommandClass::Read,
+            DramCommand::Write { .. } => CommandClass::Write,
+            DramCommand::Aap { .. } => CommandClass::Aap,
+            DramCommand::Aap2 { .. } => CommandClass::Aap2,
+            DramCommand::Aap3 { .. } => CommandClass::Aap3,
+            DramCommand::DpuOp => CommandClass::Dpu,
+        }
+    }
+
+    /// Parses a [`DramCommand::mnemonic`] string.
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Self> {
+        Some(match mnemonic {
+            "RD" => CommandClass::Read,
+            "WR" => CommandClass::Write,
+            "AAP" => CommandClass::Aap,
+            "AAP2" => CommandClass::Aap2,
+            "AAP3" => CommandClass::Aap3,
+            "DPU" => CommandClass::Dpu,
+            _ => return None,
+        })
+    }
+
+    /// The statistics mnemonic of this class.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CommandClass::Read => "RD",
+            CommandClass::Write => "WR",
+            CommandClass::Aap => "AAP",
+            CommandClass::Aap2 => "AAP2",
+            CommandClass::Aap3 => "AAP3",
+            CommandClass::Dpu => "DPU",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CommandClass::Read => 0,
+            CommandClass::Write => 1,
+            CommandClass::Aap => 2,
+            CommandClass::Aap2 => 3,
+            CommandClass::Aap3 => 4,
+            CommandClass::Dpu => 5,
+        }
+    }
+}
+
+/// Integer unit cost of one command of a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UnitCost {
+    /// Latency in picoseconds.
+    pub time_ps: u64,
+    /// Energy in femtojoules.
+    pub energy_fj: u64,
+}
+
+/// Pre-quantized per-class unit costs for a fixed (timing, energy, row
+/// width) configuration. Every component of one controller shares one
+/// `CommandCosts`, so context-local and controller-level accounting use
+/// identical arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommandCosts {
+    units: [UnitCost; 6],
+}
+
+impl CommandCosts {
+    /// Quantizes the analog cost model: latencies round to the nearest
+    /// picosecond, energies to the nearest femtojoule (both far below the
+    /// model's own resolution).
+    pub fn new(timing: &TimingParams, energy: &EnergyParams, cols: usize) -> Self {
+        let mut units = [UnitCost::default(); 6];
+        for class in COMMAND_CLASSES {
+            let probe = probe_command(class);
+            units[class.index()] = UnitCost {
+                time_ps: (probe.latency_ns(timing, cols) * 1e3).round() as u64,
+                energy_fj: (probe.energy_nj(energy, cols) * 1e6).round() as u64,
+            };
+        }
+        CommandCosts { units }
+    }
+
+    /// The unit cost of one command of `class`.
+    pub fn unit(&self, class: CommandClass) -> UnitCost {
+        self.units[class.index()]
+    }
+}
+
+/// A representative command of a class (costs depend only on the class).
+fn probe_command(class: CommandClass) -> DramCommand {
+    use crate::address::RowAddr;
+    use crate::sense_amp::SaMode;
+    match class {
+        CommandClass::Read => DramCommand::Read { src: RowAddr(0) },
+        CommandClass::Write => DramCommand::Write { dst: RowAddr(0) },
+        CommandClass::Aap => DramCommand::Aap { src: RowAddr(0), dst: RowAddr(0) },
+        CommandClass::Aap2 => DramCommand::Aap2 {
+            srcs: [RowAddr(0), RowAddr(1)],
+            dst: RowAddr(0),
+            mode: SaMode::Xnor,
+        },
+        CommandClass::Aap3 => DramCommand::Aap3 {
+            srcs: [RowAddr(0), RowAddr(1), RowAddr(2)],
+            dst: RowAddr(0),
+            mode: SaMode::Carry,
+        },
+        CommandClass::Dpu => DramCommand::DpuOp,
+    }
+}
+
+/// Per-class integer totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ClassTotals {
+    /// Commands of this class.
+    pub count: u64,
+    /// Accumulated latency (ps).
+    pub time_ps: u64,
+    /// Accumulated energy (fJ).
+    pub energy_fj: u64,
+}
+
+/// Order-independent latency/energy account of a command multiset.
+///
+/// `merge` is exactly commutative and associative (integer addition), and
+/// [`EnergyLedger::to_stats`] derives the floating-point view from the
+/// totals, so any partition of the same work into ledgers merges back to
+/// the same [`CommandStats`].
+///
+/// # Examples
+///
+/// ```
+/// use pim_dram::ledger::{CommandClass, CommandCosts, EnergyLedger};
+/// use pim_dram::{energy::EnergyParams, timing::TimingParams};
+///
+/// let costs = CommandCosts::new(&TimingParams::default(), &EnergyParams::default(), 256);
+/// let mut a = EnergyLedger::default();
+/// let mut b = EnergyLedger::default();
+/// a.charge(CommandClass::Aap, &costs);
+/// b.charge(CommandClass::Aap2, &costs);
+///
+/// let mut ab = a;
+/// ab.merge(&b);
+/// let mut ba = b;
+/// ba.merge(&a);
+/// assert_eq!(ab, ba);
+/// assert_eq!(ab.to_stats(), ba.to_stats());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnergyLedger {
+    classes: [ClassTotals; 6],
+}
+
+impl EnergyLedger {
+    /// Charges one command of `class` at `costs`.
+    pub fn charge(&mut self, class: CommandClass, costs: &CommandCosts) {
+        self.charge_many(class, costs, 1);
+    }
+
+    /// Charges `count` commands of `class` at `costs`.
+    pub fn charge_many(&mut self, class: CommandClass, costs: &CommandCosts, count: u64) {
+        let unit = costs.unit(class);
+        let totals = &mut self.classes[class.index()];
+        totals.count += count;
+        totals.time_ps += unit.time_ps * count;
+        totals.energy_fj += unit.energy_fj * count;
+    }
+
+    /// Totals for one class.
+    pub fn class(&self, class: CommandClass) -> ClassTotals {
+        self.classes[class.index()]
+    }
+
+    /// Adds `other`'s totals into `self`.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+            mine.count += theirs.count;
+            mine.time_ps += theirs.time_ps;
+            mine.energy_fj += theirs.energy_fj;
+        }
+    }
+
+    /// The delta accumulated since `baseline` (a prior snapshot of this
+    /// ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics (integer underflow, debug) or wraps (release) if `baseline`
+    /// is not an earlier snapshot; callers hold that invariant.
+    pub fn since(&self, baseline: &EnergyLedger) -> EnergyLedger {
+        let mut out = *self;
+        for (mine, base) in out.classes.iter_mut().zip(baseline.classes.iter()) {
+            mine.count -= base.count;
+            mine.time_ps -= base.time_ps;
+            mine.energy_fj -= base.energy_fj;
+        }
+        out
+    }
+
+    /// Total commands across all classes.
+    pub fn total_commands(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Total serial latency (ps).
+    pub fn total_time_ps(&self) -> u64 {
+        self.classes.iter().map(|c| c.time_ps).sum()
+    }
+
+    /// Total energy (fJ).
+    pub fn total_energy_fj(&self) -> u64 {
+        self.classes.iter().map(|c| c.energy_fj).sum()
+    }
+
+    /// True if nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.total_commands() == 0
+    }
+
+    /// Derives the floating-point statistics view. Equal ledgers derive
+    /// bit-identical stats.
+    pub fn to_stats(&self) -> CommandStats {
+        let mut s = CommandStats {
+            reads: self.class(CommandClass::Read).count,
+            writes: self.class(CommandClass::Write).count,
+            aap: self.class(CommandClass::Aap).count,
+            aap2: self.class(CommandClass::Aap2).count,
+            aap3: self.class(CommandClass::Aap3).count,
+            dpu: self.class(CommandClass::Dpu).count,
+            ..CommandStats::default()
+        };
+        s.serial_ns = self.total_time_ps() as f64 / 1e3;
+        s.energy_nj = self.total_energy_fj() as f64 / 1e6;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> CommandCosts {
+        CommandCosts::new(&TimingParams::default(), &EnergyParams::default(), 256)
+    }
+
+    #[test]
+    fn classes_roundtrip_through_mnemonics() {
+        for class in COMMAND_CLASSES {
+            assert_eq!(CommandClass::from_mnemonic(class.mnemonic()), Some(class));
+            assert_eq!(CommandClass::of(&probe_command(class)), class);
+        }
+        assert_eq!(CommandClass::from_mnemonic("NOP"), None);
+    }
+
+    #[test]
+    fn unit_costs_quantize_the_analog_model() {
+        let t = TimingParams::default();
+        let c = costs();
+        // AAP window: tRAS + tRP = 47.06 ns → 47060 ps.
+        assert_eq!(c.unit(CommandClass::Aap).time_ps, (t.aap_ns() * 1e3).round() as u64);
+        // DPU at the command clock: 0.937 ns → 937 ps.
+        assert_eq!(c.unit(CommandClass::Dpu).time_ps, 937);
+        // AAP2/AAP3 cost strictly more energy than AAP.
+        assert!(c.unit(CommandClass::Aap).energy_fj < c.unit(CommandClass::Aap2).energy_fj);
+        assert!(c.unit(CommandClass::Aap2).energy_fj < c.unit(CommandClass::Aap3).energy_fj);
+    }
+
+    #[test]
+    fn charge_many_equals_repeated_charge() {
+        let c = costs();
+        let mut one = EnergyLedger::default();
+        for _ in 0..13 {
+            one.charge(CommandClass::Aap2, &c);
+        }
+        let mut many = EnergyLedger::default();
+        many.charge_many(CommandClass::Aap2, &c, 13);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_stats_match() {
+        let c = costs();
+        let mut a = EnergyLedger::default();
+        a.charge_many(CommandClass::Read, &c, 7);
+        a.charge_many(CommandClass::Aap, &c, 3);
+        let mut b = EnergyLedger::default();
+        b.charge_many(CommandClass::Write, &c, 2);
+        b.charge_many(CommandClass::Dpu, &c, 11);
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_stats(), ba.to_stats());
+        assert_eq!(ab.total_commands(), 23);
+    }
+
+    #[test]
+    fn since_inverts_merge() {
+        let c = costs();
+        let mut base = EnergyLedger::default();
+        base.charge_many(CommandClass::Aap3, &c, 5);
+        let mut grown = base;
+        grown.charge_many(CommandClass::Aap, &c, 9);
+        let delta = grown.since(&base);
+        assert_eq!(delta.class(CommandClass::Aap).count, 9);
+        assert_eq!(delta.class(CommandClass::Aap3).count, 0);
+        let mut rebuilt = base;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, grown);
+    }
+
+    #[test]
+    fn stats_view_matches_counts() {
+        let c = costs();
+        let mut l = EnergyLedger::default();
+        l.charge_many(CommandClass::Write, &c, 4);
+        l.charge(CommandClass::Aap2, &c);
+        let s = l.to_stats();
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.aap2, 1);
+        assert_eq!(s.total_commands(), 5);
+        assert!(s.serial_ns > 0.0 && s.energy_nj > 0.0);
+        assert!(EnergyLedger::default().to_stats() == CommandStats::default());
+    }
+}

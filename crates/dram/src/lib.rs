@@ -53,12 +53,15 @@ pub mod address;
 pub mod address_map;
 pub mod bitrow;
 pub mod command;
+pub mod context;
 pub mod controller;
 pub mod decoder;
 pub mod energy;
 pub mod error;
 pub mod geometry;
 pub mod hierarchy;
+pub mod ledger;
+pub mod port;
 pub mod refresh;
 pub mod schedule;
 pub mod sense_amp;
@@ -70,7 +73,10 @@ pub mod trace;
 pub use address::{RowAddr, SubarrayId};
 pub use bitrow::BitRow;
 pub use command::DramCommand;
+pub use context::SubarrayContext;
 pub use controller::Controller;
 pub use error::{DramError, Result};
 pub use geometry::DramGeometry;
+pub use ledger::{CommandClass, CommandCosts, EnergyLedger};
+pub use port::AapPort;
 pub use stats::{CommandStats, EnergyStats};

@@ -1,0 +1,304 @@
+//! The AAP execution port abstraction.
+//!
+//! Kernel code (PIM_XNOR comparison, PIM_Add carry-save trees, DPU
+//! reductions) is written once against [`AapPort`] and runs unchanged
+//! through either the [`crate::controller::Controller`] façade (serial,
+//! traced, globally accounted) or a detached
+//! [`crate::context::SubarrayContext`] (thread-local, ledger accounted).
+//! Both implementations execute bit-identically and charge identical
+//! integer unit costs, which is what makes parallel dispatch equivalence
+//! checkable byte for byte.
+
+use crate::address::{RowAddr, SubarrayId};
+use crate::bitrow::BitRow;
+use crate::context::SubarrayContext;
+use crate::controller::Controller;
+use crate::error::{DramError, Result};
+use crate::geometry::DramGeometry;
+use crate::sense_amp::SaMode;
+
+/// A target that can execute AAP commands against addressed sub-arrays.
+///
+/// The [`Controller`] accepts any sub-array of its geometry; a
+/// [`SubarrayContext`] accepts only its own sub-array and returns
+/// [`DramError::SubarrayDetached`] for any other id, which is exactly the
+/// disjointness invariant a parallel dispatcher relies on.
+pub trait AapPort {
+    /// The configured geometry.
+    fn geometry(&self) -> &DramGeometry;
+
+    /// Address of compute row `i` (`x1..x8` ⇒ `i ∈ 0..8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    fn compute_row(&self, i: usize) -> RowAddr {
+        RowAddr(self.geometry().compute_row(i))
+    }
+
+    /// Writes one row from the host (charged as `WR`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing/width/ownership errors.
+    fn write_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()>;
+
+    /// Reads one row to the host (charged as `RD`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing/ownership errors.
+    fn read_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow>;
+
+    /// Reads a row without charging a command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing/ownership errors.
+    fn peek_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow>;
+
+    /// Writes a row without charging a command (pair with
+    /// [`AapPort::record_synthetic`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing/width/ownership errors.
+    fn poke_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()>;
+
+    /// Type-1 AAP: in-array copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates addressing/ownership errors.
+    fn aap_copy(&mut self, id: SubarrayId, src: RowAddr, dst: RowAddr) -> Result<()>;
+
+    /// Type-2 AAP: two-row activation evaluating `mode`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder/addressing/ownership errors.
+    fn aap2(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<BitRow>;
+
+    /// Single-cycle in-memory XNOR2.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AapPort::aap2`].
+    fn aap2_xnor(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: RowAddr) -> Result<BitRow> {
+        self.aap2(id, SaMode::Xnor, srcs, dst)
+    }
+
+    /// Sum cycle of the in-memory adder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AapPort::aap2`].
+    fn aap2_sum(&mut self, id: SubarrayId, srcs: [RowAddr; 2], dst: RowAddr) -> Result<BitRow> {
+        self.aap2(id, SaMode::CarrySum, srcs, dst)
+    }
+
+    /// Type-3 AAP (TRA): 3-input majority / carry, latched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder/addressing/ownership errors.
+    fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow>;
+
+    /// Clears a sub-array's SA carry latch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ownership errors.
+    fn reset_latch(&mut self, id: SubarrayId) -> Result<()>;
+
+    /// Records one DPU scalar operation.
+    fn dpu_op(&mut self);
+
+    /// Records `n` DPU scalar operations.
+    fn dpu_ops(&mut self, n: u64) {
+        for _ in 0..n {
+            self.dpu_op();
+        }
+    }
+
+    /// Records `count` synthetic commands of `mnemonic` without executing
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown mnemonic.
+    fn record_synthetic(&mut self, mnemonic: &str, count: u64);
+}
+
+impl AapPort for Controller {
+    fn geometry(&self) -> &DramGeometry {
+        Controller::geometry(self)
+    }
+
+    fn write_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()> {
+        Controller::write_row(self, id, row, data)
+    }
+
+    fn read_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow> {
+        Controller::read_row(self, id, row)
+    }
+
+    fn peek_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow> {
+        Controller::peek_row(self, id, row)
+    }
+
+    fn poke_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()> {
+        Controller::poke_row(self, id, row, data)
+    }
+
+    fn aap_copy(&mut self, id: SubarrayId, src: RowAddr, dst: RowAddr) -> Result<()> {
+        Controller::aap_copy(self, id, src, dst)
+    }
+
+    fn aap2(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<BitRow> {
+        Controller::aap2(self, id, mode, srcs, dst)
+    }
+
+    fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow> {
+        Controller::aap3_carry(self, id, srcs, dst)
+    }
+
+    fn reset_latch(&mut self, id: SubarrayId) -> Result<()> {
+        Controller::try_reset_latch(self, id)
+    }
+
+    fn dpu_op(&mut self) {
+        Controller::dpu_op(self)
+    }
+
+    fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
+        Controller::record_synthetic(self, mnemonic, count)
+    }
+}
+
+impl SubarrayContext {
+    fn own(&self, id: SubarrayId) -> Result<()> {
+        if id == self.id() {
+            Ok(())
+        } else {
+            Err(DramError::SubarrayDetached { subarray: id })
+        }
+    }
+}
+
+impl AapPort for SubarrayContext {
+    fn geometry(&self) -> &DramGeometry {
+        SubarrayContext::geometry(self)
+    }
+
+    fn write_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::write_row(self, row, data)
+    }
+
+    fn read_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow> {
+        self.own(id)?;
+        SubarrayContext::read_row(self, row)
+    }
+
+    fn peek_row(&mut self, id: SubarrayId, row: RowAddr) -> Result<BitRow> {
+        self.own(id)?;
+        SubarrayContext::peek_row(self, row)
+    }
+
+    fn poke_row(&mut self, id: SubarrayId, row: RowAddr, data: &BitRow) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::poke_row(self, row, data)
+    }
+
+    fn aap_copy(&mut self, id: SubarrayId, src: RowAddr, dst: RowAddr) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::aap_copy(self, src, dst)
+    }
+
+    fn aap2(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<BitRow> {
+        self.own(id)?;
+        SubarrayContext::aap2(self, mode, srcs, dst)
+    }
+
+    fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow> {
+        self.own(id)?;
+        SubarrayContext::aap3_carry(self, srcs, dst)
+    }
+
+    fn reset_latch(&mut self, id: SubarrayId) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::reset_latch(self);
+        Ok(())
+    }
+
+    fn dpu_op(&mut self) {
+        SubarrayContext::dpu_op(self)
+    }
+
+    fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
+        SubarrayContext::record_synthetic(self, mnemonic, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xnor_via_port<P: AapPort>(port: &mut P, id: SubarrayId) -> BitRow {
+        let cols = port.geometry().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+        port.write_row(id, RowAddr(1), &a).unwrap();
+        port.write_row(id, RowAddr(2), &b).unwrap();
+        port.aap_copy(id, RowAddr(1), port.compute_row(0)).unwrap();
+        port.aap_copy(id, RowAddr(2), port.compute_row(1)).unwrap();
+        port.aap2_xnor(id, [port.compute_row(0), port.compute_row(1)], RowAddr(5)).unwrap()
+    }
+
+    #[test]
+    fn controller_and_context_execute_identically() {
+        let g = DramGeometry::tiny();
+        let mut ctrl = Controller::new(g);
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        let through_ctrl = xnor_via_port(&mut ctrl, id);
+
+        let mut ctrl2 = Controller::new(g);
+        let mut ctx = ctrl2.detach_context(id).unwrap();
+        let through_ctx = xnor_via_port(&mut ctx, id);
+        ctrl2.reattach_context(ctx).unwrap();
+
+        assert_eq!(through_ctrl, through_ctx);
+        assert_eq!(*ctrl.stats(), *ctrl2.stats());
+    }
+
+    #[test]
+    fn context_rejects_foreign_subarrays() {
+        let g = DramGeometry::tiny();
+        let mut ctrl = Controller::new(g);
+        let mine = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        let other = ctrl.subarray_handle(0, 1, 0, 0).unwrap();
+        let mut ctx = ctrl.detach_context(mine).unwrap();
+        let err = AapPort::read_row(&mut ctx, other, RowAddr(0)).unwrap_err();
+        assert!(matches!(err, DramError::SubarrayDetached { subarray } if subarray == other));
+        ctrl.reattach_context(ctx).unwrap();
+    }
+}

@@ -77,7 +77,11 @@ impl Default for RefreshParams {
 
 /// Sanity coupling with the main parameter sets: refresh power should be a
 /// modest addition to the background power already modeled per bank.
-pub fn refresh_fraction_of_background(refresh: &RefreshParams, energy: &EnergyParams, banks: usize) -> f64 {
+pub fn refresh_fraction_of_background(
+    refresh: &RefreshParams,
+    energy: &EnergyParams,
+    banks: usize,
+) -> f64 {
     let background_w = banks as f64 * energy.background_mw_per_bank / 1000.0;
     refresh.refresh_power_w() / background_w
 }
@@ -131,11 +135,8 @@ mod tests {
 
     #[test]
     fn refresh_power_is_fraction_of_background() {
-        let f = refresh_fraction_of_background(
-            &RefreshParams::ddr4(),
-            &EnergyParams::ddr4_45nm(),
-            256,
-        );
+        let f =
+            refresh_fraction_of_background(&RefreshParams::ddr4(), &EnergyParams::ddr4_45nm(), 256);
         assert!(f > 0.0 && f < 0.05, "refresh share {f}");
     }
 }

@@ -81,6 +81,21 @@ pub fn uniform_queues(subarrays: usize, per_queue: usize, latency_ns: f64) -> Ve
     vec![vec![latency_ns; per_queue]; subarrays]
 }
 
+/// Builds one queue per sub-array from measured `(commands, busy_ns)`
+/// totals — the shape returned by
+/// [`crate::controller::Controller::subarray_command_totals`] — modeling
+/// each sub-array's traffic as `commands` equal-length commands. Feeding
+/// the result to [`schedule`] estimates the makespan (and effective
+/// parallelism) the recorded traffic would achieve if the sub-arrays ran
+/// concurrently under the shared command bus.
+pub fn queues_from_totals(totals: &[(u64, f64)]) -> Vec<CommandQueue> {
+    totals
+        .iter()
+        .filter(|&&(commands, _)| commands > 0)
+        .map(|&(commands, busy_ns)| vec![busy_ns / commands as f64; commands as usize])
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,8 +133,11 @@ mod tests {
         // regime (tens, not hundreds).
         let t = TimingParams::ddr4_2133();
         let s = schedule(&uniform_queues(256, 20, t.aap_ns()), 3.0 * t.t_ck_ns);
-        assert!(s.effective_parallelism > 10.0 && s.effective_parallelism < 25.0,
-            "effective parallelism {}", s.effective_parallelism);
+        assert!(
+            s.effective_parallelism > 10.0 && s.effective_parallelism < 25.0,
+            "effective parallelism {}",
+            s.effective_parallelism
+        );
     }
 
     #[test]
@@ -137,5 +155,17 @@ mod tests {
         let s = schedule(&[], 1.0);
         assert_eq!(s.makespan_ns, 0.0);
         assert_eq!(s.commands, 0);
+    }
+
+    #[test]
+    fn totals_build_average_latency_queues() {
+        let queues = queues_from_totals(&[(4, 188.0), (0, 0.0), (2, 20.0)]);
+        assert_eq!(queues.len(), 2);
+        assert_eq!(queues[0], vec![47.0; 4]);
+        assert_eq!(queues[1], vec![10.0; 2]);
+        // Two independent sub-arrays overlap under a fast bus.
+        let s = schedule(&queues, 0.5);
+        assert!(s.effective_parallelism > 1.05);
+        assert_eq!(s.commands, 6);
     }
 }

@@ -69,16 +69,30 @@ impl EnableSignals {
     pub fn for_mode(mode: SaMode) -> Self {
         match mode {
             // W/R: Enm=1, Enx=1 (both sensing paths ready), MUX off.
-            SaMode::Memory => EnableSignals { en_m: true, en_x: true, en_mux: false, en_c1: false, en_c2: false },
+            SaMode::Memory => {
+                EnableSignals { en_m: true, en_x: true, en_mux: false, en_c1: false, en_c2: false }
+            }
             // XNOR2: the paper's "01110".
-            SaMode::Xnor => EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: true, en_c2: false },
-            SaMode::Xor => EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: false, en_c2: true },
-            SaMode::Nor => EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: false, en_c2: false },
-            SaMode::Nand => EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: true, en_c2: true },
+            SaMode::Xnor => {
+                EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: true, en_c2: false }
+            }
+            SaMode::Xor => {
+                EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: false, en_c2: true }
+            }
+            SaMode::Nor => {
+                EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: false, en_c2: false }
+            }
+            SaMode::Nand => {
+                EnableSignals { en_m: false, en_x: true, en_mux: true, en_c1: true, en_c2: true }
+            }
             // Carry: normal majority sensing with the latch armed.
-            SaMode::Carry => EnableSignals { en_m: true, en_x: true, en_mux: true, en_c1: true, en_c2: false },
+            SaMode::Carry => {
+                EnableSignals { en_m: true, en_x: true, en_mux: true, en_c1: true, en_c2: false }
+            }
             // Sum: latch drives the add-on XOR onto the BL.
-            SaMode::CarrySum => EnableSignals { en_m: true, en_x: true, en_mux: true, en_c1: false, en_c2: false },
+            SaMode::CarrySum => {
+                EnableSignals { en_m: true, en_x: true, en_mux: true, en_c1: false, en_c2: false }
+            }
         }
     }
 

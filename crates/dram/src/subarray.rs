@@ -73,7 +73,10 @@ impl Subarray {
     pub fn write(&mut self, row: RowAddr, data: &BitRow) -> Result<()> {
         self.rd.activate(row)?;
         if data.len() != self.geometry.cols {
-            return Err(DramError::WidthMismatch { provided: data.len(), expected: self.geometry.cols });
+            return Err(DramError::WidthMismatch {
+                provided: data.len(),
+                expected: self.geometry.cols,
+            });
         }
         self.rows[row.0] = data.clone();
         Ok(())
@@ -112,7 +115,10 @@ impl Subarray {
             SaMode::Xnor => self.sa.two_row_xnor(&a, &b),
             SaMode::CarrySum => self.sa.sum_from_latch(&a, &b),
             SaMode::Memory | SaMode::Carry => {
-                return Err(DramError::BadActivationCount { requested: 2, supported: "logic modes only" })
+                return Err(DramError::BadActivationCount {
+                    requested: 2,
+                    supported: "logic modes only",
+                })
             }
         };
         self.rows[srcs[0].0] = result.clone();
@@ -215,7 +221,8 @@ mod tests {
         s.copy(RowAddr(1), compute(&g, 0)).unwrap();
         s.copy(RowAddr(2), compute(&g, 1)).unwrap();
         s.copy(RowAddr(3), compute(&g, 2)).unwrap();
-        let carry = s.op3_carry([compute(&g, 0), compute(&g, 1), compute(&g, 2)], RowAddr(8)).unwrap();
+        let carry =
+            s.op3_carry([compute(&g, 0), compute(&g, 1), compute(&g, 2)], RowAddr(8)).unwrap();
         assert_eq!(carry, BitRow::maj3(&a, &b, &cin));
         assert_eq!(s.latch(), &carry);
         // Hmm: sum needs cin latched, so the controller latches cin first in
@@ -236,9 +243,7 @@ mod tests {
     fn mode_restrictions_on_op2() {
         let g = DramGeometry::tiny();
         let mut s = Subarray::new(g);
-        let err = s
-            .op2(SaMode::Memory, [compute(&g, 0), compute(&g, 1)], RowAddr(0))
-            .unwrap_err();
+        let err = s.op2(SaMode::Memory, [compute(&g, 0), compute(&g, 1)], RowAddr(0)).unwrap_err();
         assert!(matches!(err, DramError::BadActivationCount { .. }));
     }
 }

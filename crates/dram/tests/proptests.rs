@@ -151,4 +151,84 @@ proptest! {
         c.aap_copy(id, src, dst).unwrap();
         prop_assert_eq!(c.peek_row(id, dst).unwrap(), ra);
     }
+
+    // ── Ledger merge algebra — what parallel dispatch relies on ────────
+
+    #[test]
+    fn ledger_merge_is_commutative(a in charges(), b in charges()) {
+        let costs = paper_costs();
+        let (la, lb) = (ledger_of(&a, &costs), ledger_of(&b, &costs));
+        let mut ab = la;
+        ab.merge(&lb);
+        let mut ba = lb;
+        ba.merge(&la);
+        prop_assert_eq!(ab, ba);
+        // The derived f64 stats views are bitwise identical too.
+        prop_assert_eq!(ab.to_stats(), ba.to_stats());
+    }
+
+    #[test]
+    fn ledger_merge_is_associative(a in charges(), b in charges(), c in charges()) {
+        let costs = paper_costs();
+        let (la, lb, lc) = (ledger_of(&a, &costs), ledger_of(&b, &costs), ledger_of(&c, &costs));
+        let mut assoc_left = la;           // (a ⊕ b) ⊕ c
+        assoc_left.merge(&lb);
+        assoc_left.merge(&lc);
+        let mut bc = lb;                   // a ⊕ (b ⊕ c)
+        bc.merge(&lc);
+        let mut assoc_right = la;
+        assoc_right.merge(&bc);
+        prop_assert_eq!(assoc_left, assoc_right);
+        prop_assert_eq!(assoc_left.to_stats(), assoc_right.to_stats());
+    }
+
+    #[test]
+    fn ledger_since_inverts_merge(a in charges(), b in charges()) {
+        let costs = paper_costs();
+        let (la, lb) = (ledger_of(&a, &costs), ledger_of(&b, &costs));
+        let mut merged = la;
+        merged.merge(&lb);
+        prop_assert_eq!(merged.since(&la), lb);
+        prop_assert_eq!(merged.since(&lb), la);
+        prop_assert!(merged.since(&merged).is_empty());
+    }
+
+    #[test]
+    fn stats_merge_is_order_independent(a in charges(), b in charges()) {
+        // The f64 CommandStats::merge the pipeline uses for stage deltas
+        // commutes exactly when both operands derive from integer ledgers.
+        let costs = paper_costs();
+        let (sa, sb) = (ledger_of(&a, &costs).to_stats(), ledger_of(&b, &costs).to_stats());
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab.total_commands(), ba.total_commands());
+        prop_assert_eq!(ab.serial_ns.to_bits(), ba.serial_ns.to_bits());
+        prop_assert_eq!(ab.energy_nj.to_bits(), ba.energy_nj.to_bits());
+    }
+}
+
+use pim_dram::ledger::{CommandCosts, EnergyLedger, COMMAND_CLASSES};
+
+/// Per-class command counts, as a fixed-width vector indexed like
+/// [`COMMAND_CLASSES`].
+fn charges() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000, COMMAND_CLASSES.len())
+}
+
+fn paper_costs() -> CommandCosts {
+    CommandCosts::new(
+        &pim_dram::timing::TimingParams::ddr4_2133(),
+        &pim_dram::energy::EnergyParams::ddr4_45nm(),
+        256,
+    )
+}
+
+fn ledger_of(counts: &[u64], costs: &CommandCosts) -> EnergyLedger {
+    let mut ledger = EnergyLedger::default();
+    for (&class, &count) in COMMAND_CLASSES.iter().zip(counts) {
+        ledger.charge_many(class, costs, count);
+    }
+    ledger
 }

@@ -67,7 +67,12 @@ impl Alignment {
 /// assert!(aln.identity() > 0.8);
 /// # Ok::<(), pim_genome::GenomeError>(())
 /// ```
-pub fn banded_global(a: &DnaSequence, b: &DnaSequence, band: usize, scoring: Scoring) -> Option<Alignment> {
+pub fn banded_global(
+    a: &DnaSequence,
+    b: &DnaSequence,
+    band: usize,
+    scoring: Scoring,
+) -> Option<Alignment> {
     let (n, m) = (a.len(), b.len());
     if n.abs_diff(m) > band {
         return None;

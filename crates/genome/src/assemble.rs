@@ -155,11 +155,8 @@ impl SoftwareAssembler {
             Traversal::Unitigs => unitigs(&graph),
         };
         let k = self.config.k;
-        let contigs: Vec<Contig> = trails
-            .iter()
-            .map(|t| Contig::from_trail(&graph, t))
-            .filter(|c| c.len() >= k)
-            .collect();
+        let contigs: Vec<Contig> =
+            trails.iter().map(|t| Contig::from_trail(&graph, t)).filter(|c| c.len() >= k).collect();
         Assembly {
             stats: AssemblyStats::from_contigs(&contigs),
             contigs,
@@ -184,8 +181,7 @@ impl SoftwareAssembler {
 /// Maximal non-branching paths.
 fn unitigs(graph: &DeBruijnGraph) -> Vec<Vec<usize>> {
     let n = graph.node_count();
-    let one_in_one_out =
-        |v: usize| graph.in_degree(v) == 1 && graph.out_degree(v) == 1;
+    let one_in_one_out = |v: usize| graph.in_degree(v) == 1 && graph.out_degree(v) == 1;
     let mut used = vec![false; n]; // interior 1-in-1-out nodes consumed
     let mut paths = Vec::new();
 
@@ -240,7 +236,8 @@ mod tests {
         // A random genome with unique (k−1)-mers yields one Euler trail
         // that spells the genome exactly.
         let genome = random_genome(3, 1500);
-        let asm = SoftwareAssembler::new(AssemblyConfig::new(17)).assemble_sequence(&genome).unwrap();
+        let asm =
+            SoftwareAssembler::new(AssemblyConfig::new(17)).assemble_sequence(&genome).unwrap();
         assert_eq!(asm.contigs.len(), 1, "stats: {}", asm.stats);
         assert_eq!(asm.contigs[0].sequence(), &genome);
     }
@@ -274,7 +271,8 @@ mod tests {
     #[test]
     fn fleury_traversal_matches_hierholzer_sizes() {
         let genome = random_genome(7, 400);
-        let euler = SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
+        let euler =
+            SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
         let fleury = SoftwareAssembler::new(
             AssemblyConfig::new(15).with_traversal(Traversal::EulerPathFleury),
         )
@@ -289,7 +287,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let reads = ReadSimulator::new(80, 40.0).with_error_rate(0.005).simulate(&genome, &mut rng);
         let no_filter = SoftwareAssembler::new(AssemblyConfig::new(21)).assemble(&reads);
-        let filtered = SoftwareAssembler::new(AssemblyConfig::new(21).with_min_count(3)).assemble(&reads);
+        let filtered =
+            SoftwareAssembler::new(AssemblyConfig::new(21).with_min_count(3)).assemble(&reads);
         // Filtering removes most error edges, giving a graph close to the
         // true genome size.
         assert!(filtered.graph_edges < no_filter.graph_edges);
@@ -301,7 +300,8 @@ mod tests {
     #[test]
     fn assembly_counts_are_consistent() {
         let genome = random_genome(10, 800);
-        let asm = SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
+        let asm =
+            SoftwareAssembler::new(AssemblyConfig::new(15)).assemble_sequence(&genome).unwrap();
         assert_eq!(asm.graph_edges, asm.distinct_kmers);
         assert_eq!(asm.total_kmers as usize, genome.len() - 15 + 1);
         assert!(asm.hash_probes >= asm.total_kmers);
@@ -315,10 +315,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(56);
         let reads = ReadSimulator::new(80, 35.0).with_error_rate(0.003).simulate(&genome, &mut rng);
         let raw = SoftwareAssembler::new(AssemblyConfig::new(17)).assemble(&reads);
-        let simplified = SoftwareAssembler::new(
-            AssemblyConfig::new(17).with_simplification(34),
-        )
-        .assemble(&reads);
+        let simplified = SoftwareAssembler::new(AssemblyConfig::new(17).with_simplification(34))
+            .assemble(&reads);
         assert!(simplified.graph_edges < raw.graph_edges, "simplification removed nothing");
         assert!(simplified.contigs.len() <= raw.contigs.len());
         let frac = crate::stats::genome_fraction(&genome, &simplified.contigs, 17);

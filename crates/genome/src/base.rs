@@ -142,7 +142,8 @@ mod tests {
 
     #[test]
     fn char_roundtrip_case_insensitive() {
-        for (lo, b) in [('a', DnaBase::A), ('c', DnaBase::C), ('g', DnaBase::G), ('t', DnaBase::T)] {
+        for (lo, b) in [('a', DnaBase::A), ('c', DnaBase::C), ('g', DnaBase::G), ('t', DnaBase::T)]
+        {
             assert_eq!(DnaBase::try_from_char(lo).unwrap(), b);
             assert_eq!(DnaBase::try_from_char(lo.to_ascii_uppercase()).unwrap(), b);
             assert_eq!(b.to_char(), lo.to_ascii_uppercase());

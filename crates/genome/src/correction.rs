@@ -115,7 +115,11 @@ impl ReadCorrector {
     }
 
     /// Positions not covered by any solid k-mer.
-    fn weak_positions(&self, seq: &DnaSequence, spectrum: &KmerCounter) -> crate::Result<Vec<usize>> {
+    fn weak_positions(
+        &self,
+        seq: &DnaSequence,
+        spectrum: &KmerCounter,
+    ) -> crate::Result<Vec<usize>> {
         let n = seq.len();
         let mut covered = vec![false; n];
         for (i, kmer) in KmerIter::new(seq, self.k)?.enumerate() {

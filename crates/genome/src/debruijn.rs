@@ -142,7 +142,9 @@ impl DeBruijnGraph {
     /// `out_degree − in_degree` per node — the balance vector whose
     /// computation `Traverse(G)` accelerates with `PIM_Add`.
     pub fn balance(&self) -> Vec<isize> {
-        (0..self.node_count()).map(|i| self.out_degree(i) as isize - self.in_degree(i) as isize).collect()
+        (0..self.node_count())
+            .map(|i| self.out_degree(i) as isize - self.in_degree(i) as isize)
+            .collect()
     }
 
     /// Nodes with `out − in = 1` (Eulerian-path start candidates).

@@ -69,7 +69,13 @@ fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
     // Pass 1: one greedy trail per unit of residual surplus out-degree.
     for start in 0..n {
         while remaining_out[start] > remaining_in[start] {
-            trails.push(greedy_walk(graph, start, &mut next_edge, &mut remaining_out, &mut remaining_in));
+            trails.push(greedy_walk(
+                graph,
+                start,
+                &mut next_edge,
+                &mut remaining_out,
+                &mut remaining_in,
+            ));
         }
     }
 
@@ -77,9 +83,10 @@ fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
     for start in 0..n {
         while remaining_out[start] > 0 {
             let circuit = walk_from(graph, start, &mut next_edge, &mut remaining_out);
-            match trails.iter_mut().find_map(|t| {
-                t.iter().position(|&v| v == circuit[0]).map(|pos| (t, pos))
-            }) {
+            match trails
+                .iter_mut()
+                .find_map(|t| t.iter().position(|&v| v == circuit[0]).map(|pos| (t, pos)))
+            {
                 Some((trail, pos)) => {
                     // Insert the circuit (minus its duplicated first node)
                     // after `pos`.
@@ -180,8 +187,7 @@ fn choose_non_bridge(
     remaining_out: &[usize],
     _remaining_in: &[usize],
 ) -> usize {
-    let candidates: Vec<usize> =
-        (0..graph.out_degree(v)).filter(|&i| !used[v][i]).collect();
+    let candidates: Vec<usize> = (0..graph.out_degree(v)).filter(|&i| !used[v][i]).collect();
     if candidates.len() == 1 {
         return candidates[0];
     }

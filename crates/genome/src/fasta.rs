@@ -50,9 +50,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
         if let Some(name) = line.strip_prefix('>') {
             records.push(FastaRecord { name: name.trim().to_string(), seq: DnaSequence::new() });
         } else {
-            let record = records
-                .last_mut()
-                .ok_or(GenomeError::MalformedFasta { line: lineno + 1, reason: "sequence before first header" })?;
+            let record = records.last_mut().ok_or(GenomeError::MalformedFasta {
+                line: lineno + 1,
+                reason: "sequence before first header",
+            })?;
             for (col, ch) in line.chars().enumerate() {
                 record.seq.push(crate::base::DnaBase::try_from_char_at(ch, col)?);
             }
@@ -60,7 +61,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
     }
     for (i, r) in records.iter().enumerate() {
         if r.seq.is_empty() {
-            return Err(GenomeError::MalformedFasta { line: i + 1, reason: "record with empty sequence" });
+            return Err(GenomeError::MalformedFasta {
+                line: i + 1,
+                reason: "record with empty sequence",
+            });
         }
     }
     Ok(records)

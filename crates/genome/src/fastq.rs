@@ -70,16 +70,22 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
             .ok_or(GenomeError::MalformedFasta { line: n + 1, reason: "expected '@' header" })?
             .trim()
             .to_string();
-        let (_, seq_line) =
-            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 2, reason: "missing sequence line" })?;
+        let (_, seq_line) = lines
+            .next()
+            .ok_or(GenomeError::MalformedFasta { line: n + 2, reason: "missing sequence line" })?;
         let seq_line = seq_line?;
-        let (_, plus) =
-            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 3, reason: "missing '+' separator" })?;
+        let (_, plus) = lines
+            .next()
+            .ok_or(GenomeError::MalformedFasta { line: n + 3, reason: "missing '+' separator" })?;
         if !plus?.starts_with('+') {
-            return Err(GenomeError::MalformedFasta { line: n + 3, reason: "expected '+' separator" });
+            return Err(GenomeError::MalformedFasta {
+                line: n + 3,
+                reason: "expected '+' separator",
+            });
         }
-        let (_, qual_line) =
-            lines.next().ok_or(GenomeError::MalformedFasta { line: n + 4, reason: "missing quality line" })?;
+        let (_, qual_line) = lines
+            .next()
+            .ok_or(GenomeError::MalformedFasta { line: n + 4, reason: "missing quality line" })?;
         let qual_line = qual_line?;
         if qual_line.len() != seq_line.len() {
             return Err(GenomeError::MalformedFasta {
@@ -162,7 +168,10 @@ mod tests {
         ));
         assert!(matches!(
             read_fastq("@x\nACGT\n+\nII\n".as_bytes()),
-            Err(GenomeError::MalformedFasta { reason: "quality length differs from sequence length", .. })
+            Err(GenomeError::MalformedFasta {
+                reason: "quality length differs from sequence length",
+                ..
+            })
         ));
         assert!(matches!(
             read_fastq("@x\nACGT\n+\n".as_bytes()),

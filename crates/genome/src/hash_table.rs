@@ -67,7 +67,13 @@ impl KmerCounter {
     pub fn new(k: usize) -> Result<Self> {
         // Validate k through the Kmer constructor contract.
         let _ = Kmer::from_packed(0, k)?;
-        Ok(KmerCounter { k, slots: vec![Slot { entry: EMPTY }; 64], entries: Vec::new(), total: 0, probes: 0 })
+        Ok(KmerCounter {
+            k,
+            slots: vec![Slot { entry: EMPTY }; 64],
+            entries: Vec::new(),
+            total: 0,
+            probes: 0,
+        })
     }
 
     /// The k this counter was built for.
@@ -238,7 +244,8 @@ mod tests {
         let mut c = KmerCounter::new(5).unwrap();
         c.count_sequence(&s).unwrap();
         // The exact table of Fig. 5b.
-        let expected = [("CGTGC", 2), ("GTGCG", 1), ("TGCGT", 1), ("GCGTG", 1), ("GTGCT", 1), ("TGCTT", 1)];
+        let expected =
+            [("CGTGC", 2), ("GTGCG", 1), ("TGCGT", 1), ("GCGTG", 1), ("GTGCT", 1), ("TGCTT", 1)];
         for (km, n) in expected {
             assert_eq!(c.count(&kmer(km)), n, "{km}");
         }
@@ -286,8 +293,7 @@ mod tests {
         c.insert(kmer("ACGT"));
         c.insert(kmer("ACGT"));
         c.insert(kmer("TTTT"));
-        let kept: Vec<String> =
-            c.entries_with_min_count(2).map(|e| e.kmer.to_string()).collect();
+        let kept: Vec<String> = c.entries_with_min_count(2).map(|e| e.kmer.to_string()).collect();
         assert_eq!(kept, vec!["ACGT"]);
     }
 

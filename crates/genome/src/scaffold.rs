@@ -128,7 +128,8 @@ impl Scaffolder {
         }
         let mut links: HashMap<(usize, usize), LinkVotes> = HashMap::new();
         for p in pairs {
-            let (Some(a), Some(b)) = (self.anchor(&index, &p.r1.seq)?, self.anchor(&index, &p.r2.seq)?)
+            let (Some(a), Some(b)) =
+                (self.anchor(&index, &p.r1.seq)?, self.anchor(&index, &p.r2.seq)?)
             else {
                 continue;
             };
@@ -253,8 +254,10 @@ mod tests {
     fn weak_links_below_support_ignored() {
         let mut rng = ChaCha8Rng::seed_from_u64(22);
         let genome = DnaSequence::random(&mut rng, 2000);
-        let contigs =
-            vec![Contig::new(genome.subsequence(0, 900)), Contig::new(genome.subsequence(1000, 900))];
+        let contigs = vec![
+            Contig::new(genome.subsequence(0, 900)),
+            Contig::new(genome.subsequence(1000, 900)),
+        ];
         // Only a handful of pairs: below the high support threshold.
         let pairs = simulate_pairs(&genome, 50, 300, 10, &mut rng);
         let scaffolds = Scaffolder::new(17, 1000).scaffold(&contigs, &pairs).unwrap();

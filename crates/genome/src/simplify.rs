@@ -118,7 +118,12 @@ impl Simplifier {
 
     /// Follows a 1-in-1-out chain forward from `start`; returns the chain's
     /// k-mers if it dead-ends within the bound.
-    fn dead_end_chain_forward(&self, graph: &DeBruijnGraph, start: usize, first: Kmer) -> Option<Vec<Kmer>> {
+    fn dead_end_chain_forward(
+        &self,
+        graph: &DeBruijnGraph,
+        start: usize,
+        first: Kmer,
+    ) -> Option<Vec<Kmer>> {
         let mut chain = vec![first];
         let mut v = start;
         for _ in 0..self.max_tip_edges {
@@ -141,7 +146,12 @@ impl Simplifier {
 
     /// Follows a 1-in-1-out chain backward from `start`; returns the
     /// chain's k-mers if it dead-starts within the bound.
-    fn dead_start_chain_backward(&self, graph: &DeBruijnGraph, start: usize, first: Kmer) -> Option<Vec<Kmer>> {
+    fn dead_start_chain_backward(
+        &self,
+        graph: &DeBruijnGraph,
+        start: usize,
+        first: Kmer,
+    ) -> Option<Vec<Kmer>> {
         let mut chain = vec![first];
         let mut v = start;
         for _ in 0..self.max_tip_edges {
@@ -235,11 +245,7 @@ fn incoming_edges(graph: &DeBruijnGraph, v: usize) -> Vec<(usize, crate::debruij
 }
 
 fn edge_multiplicity(graph: &DeBruijnGraph, kmer: &Kmer) -> u64 {
-    all_edges(graph)
-        .into_iter()
-        .find(|(k, _)| k == kmer)
-        .map(|(_, m)| m)
-        .unwrap_or(1)
+    all_edges(graph).into_iter().find(|(k, _)| k == kmer).map(|(_, m)| m).unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -330,7 +336,7 @@ mod tests {
         c.count_sequence(&long_branch).unwrap();
         let graph = DeBruijnGraph::from_counter(&c, 1);
         let (clean, _) = Simplifier::new(6).simplify(&graph); // bound ≪ branch
-        // The long branch's k-mers survive.
+                                                              // The long branch's k-mers survive.
         assert!(clean.edge_count() > backbone.len() - k + 1);
     }
 }

@@ -152,12 +152,7 @@ mod tests {
     #[test]
     fn n50_definition() {
         // Lengths 10, 6, 4, 2 → total 22, half 11; 10+6 = 16 ≥ 11 → N50 = 6.
-        let contigs = vec![
-            contig("AAAAAAAAAA"),
-            contig("CCCCCC"),
-            contig("GGGG"),
-            contig("TT"),
-        ];
+        let contigs = vec![contig("AAAAAAAAAA"), contig("CCCCCC"), contig("GGGG"), contig("TT")];
         let s = AssemblyStats::from_contigs(&contigs);
         assert_eq!(s.n50, 6);
         assert_eq!(s.longest, 10);

@@ -254,8 +254,9 @@ impl AssemblyCostModel for GpuAssemblyModel {
     }
 
     fn estimate(&self, w: &AssemblyWorkload) -> StageBreakdown {
-        let hashmap_s =
-            w.total_kmers as f64 * (self.hash_base_ns + self.hash_per_key_byte_ns * w.k as f64) * 1e-9;
+        let hashmap_s = w.total_kmers as f64
+            * (self.hash_base_ns + self.hash_per_key_byte_ns * w.k as f64)
+            * 1e-9;
         let debruijn_s = w.distinct_kmers as f64 * self.debruijn_per_kmer_ns * 1e-9;
         let traverse_s = w.traverse_adds as f64 * self.traverse_per_add_ns * 1e-9;
         let total = hashmap_s + debruijn_s + traverse_s;

@@ -97,7 +97,8 @@ mod tests {
     fn copy_is_faster_than_xnor() {
         let cpu = CpuModel::core_i7();
         assert!(
-            cpu.bulk_op_throughput(BulkOp::Copy, 1 << 20) > cpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
+            cpu.bulk_op_throughput(BulkOp::Copy, 1 << 20)
+                > cpu.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
         );
     }
 }

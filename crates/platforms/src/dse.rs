@@ -44,8 +44,11 @@ pub fn subarray_sweep(min: usize, max: usize) -> Vec<DesignPoint> {
         geometry.active_mats_per_bank = per_bank.min(geometry.mats_per_bank);
         geometry.active_subarrays_per_mat =
             per_bank.div_ceil(geometry.active_mats_per_bank).min(geometry.subarrays_per_mat);
-        let spec =
-            PimArraySpec::from_dram(&geometry, &TimingParams::ddr4_2133(), &EnergyParams::ddr4_45nm());
+        let spec = PimArraySpec::from_dram(
+            &geometry,
+            &TimingParams::ddr4_2133(),
+            &EnergyParams::ddr4_45nm(),
+        );
         let p = InDramPlatform::pim_assembler_with_spec(spec);
         let xnor = p.bulk_op_throughput(BulkOp::Xnor2, 1 << 27);
         let power = p.bulk_power_w();
@@ -78,7 +81,12 @@ pub fn pd_sweep(workload: &AssemblyWorkload, pds: &[usize]) -> Vec<PdPoint> {
     pds.iter()
         .map(|&pd| {
             let b = PimAssemblyModel::pim_assembler(pd).estimate(workload);
-            PdPoint { pd, delay_s: b.total_s(), power_w: b.power_w, edp: b.energy_j() * b.total_s() }
+            PdPoint {
+                pd,
+                delay_s: b.total_s(),
+                power_w: b.power_w,
+                edp: b.energy_j() * b.total_s(),
+            }
         })
         .collect()
 }

@@ -82,7 +82,8 @@ mod tests {
     fn three_operand_ops_are_slower() {
         let h = HmcModel::hmc2();
         assert!(
-            h.bulk_op_throughput(BulkOp::Maj3, 1 << 20) < h.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
+            h.bulk_op_throughput(BulkOp::Maj3, 1 << 20)
+                < h.bulk_op_throughput(BulkOp::Xnor2, 1 << 20)
         );
     }
 
@@ -93,7 +94,8 @@ mod tests {
         let pa = InDramPlatform::pim_assembler();
         let hmc = HmcModel::hmc2();
         assert!(
-            pa.bulk_op_throughput(BulkOp::Xnor2, 1 << 27) > hmc.bulk_op_throughput(BulkOp::Xnor2, 1 << 27)
+            pa.bulk_op_throughput(BulkOp::Xnor2, 1 << 27)
+                > hmc.bulk_op_throughput(BulkOp::Xnor2, 1 << 27)
         );
     }
 }

@@ -23,8 +23,15 @@ pub enum BulkOp {
 
 impl BulkOp {
     /// All operations, for sweeps.
-    pub const ALL: [BulkOp; 7] =
-        [BulkOp::Not, BulkOp::And2, BulkOp::Or2, BulkOp::Xor2, BulkOp::Xnor2, BulkOp::Maj3, BulkOp::Copy];
+    pub const ALL: [BulkOp; 7] = [
+        BulkOp::Not,
+        BulkOp::And2,
+        BulkOp::Or2,
+        BulkOp::Xor2,
+        BulkOp::Xnor2,
+        BulkOp::Maj3,
+        BulkOp::Copy,
+    ];
 
     /// Number of input operand vectors.
     pub fn operands(&self) -> usize {

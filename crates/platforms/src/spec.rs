@@ -57,7 +57,11 @@ impl PimArraySpec {
     }
 
     /// Derives a spec from the DRAM substrate's parameter sets.
-    pub fn from_dram(geometry: &DramGeometry, timing: &TimingParams, energy: &EnergyParams) -> Self {
+    pub fn from_dram(
+        geometry: &DramGeometry,
+        timing: &TimingParams,
+        energy: &EnergyParams,
+    ) -> Self {
         PimArraySpec {
             parallel_subarrays: geometry.parallel_subarrays(),
             row_bits: geometry.cols,

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "k", "k-mers", "distinct", "avg probes", "chr14 est (s)", "power (W)", "energy(kJ)"
     );
     for k in [16usize, 22, 26, 32] {
-        let mut assembler =
-            PimAssembler::new(PimAssemblerConfig::paper(k).with_hash_subarrays(32));
+        let mut assembler = PimAssembler::new(PimAssemblerConfig::paper(k).with_hash_subarrays(32));
         let run = assembler.assemble(&reads)?;
         let chr14 = run.report.extrapolate_chr14();
         println!(

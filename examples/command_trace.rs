@@ -5,10 +5,10 @@
 //! cargo run --example command_trace
 //! ```
 
-use pim_assembler_suite::assembler::pim_add::PimAdder;
-use pim_assembler_suite::assembler::pim_xnor::PimComparator;
 use pim_assembler_suite::assembler::layout::SubarrayLayout;
 use pim_assembler_suite::assembler::mapping::KmerMapper;
+use pim_assembler_suite::assembler::pim_add::PimAdder;
+use pim_assembler_suite::assembler::pim_xnor::PimComparator;
 use pim_assembler_suite::dram::bitrow::BitRow;
 use pim_assembler_suite::dram::controller::Controller;
 use pim_assembler_suite::dram::geometry::DramGeometry;
@@ -27,9 +27,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query: Kmer = "CGTGCGTGCTTACGGA".parse()?;
     ctrl.write_row(id, layout.kmer_row(0)?, &mapper.row_image(&stored, g.cols))?;
     ctrl.enable_trace(16);
-    PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&query, g.cols))?;
-    let matched =
-        PimComparator::compare(&mut ctrl, id, layout.temp_row(0), layout.kmer_row(0)?, layout.temp_row(1))?;
+    PimComparator::stage_query(
+        &mut ctrl,
+        id,
+        layout.temp_row(0),
+        &mapper.row_image(&query, g.cols),
+    )?;
+    let matched = PimComparator::compare(
+        &mut ctrl,
+        id,
+        layout.temp_row(0),
+        layout.kmer_row(0)?,
+        layout.temp_row(1),
+    )?;
     println!("PIM_XNOR command trace (query == stored: {matched}):");
     print!("{}", ctrl.take_trace().expect("trace enabled"));
 
@@ -40,7 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctrl.write_row(id, 12, &BitRow::from_fn(cols, |i| i % 5 == 0))?;
     ctrl.write_row(id, 13, &BitRow::zeros(cols))?;
     ctrl.enable_trace(16);
-    PimAdder::full_add(&mut ctrl, id, RowAddr(10), RowAddr(11), RowAddr(12), RowAddr(13), RowAddr(20), RowAddr(21))?;
+    PimAdder::full_add(
+        &mut ctrl,
+        id,
+        RowAddr(10),
+        RowAddr(11),
+        RowAddr(12),
+        RowAddr(13),
+        RowAddr(20),
+        RowAddr(21),
+    )?;
     println!("\nPIM_Add full-adder command trace (latch carry, sum cycle, carry cycle):");
     print!("{}", ctrl.take_trace().expect("trace enabled"));
 

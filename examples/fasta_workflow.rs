@@ -41,12 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Spectral error correction (extension beyond the paper).
     let k = 19;
     let stats = ReadCorrector::new(k, 3).correct_reads(&mut reads)?;
-    println!("corrected {} bases ({} positions uncorrectable)", stats.corrected, stats.uncorrectable);
+    println!(
+        "corrected {} bases ({} positions uncorrectable)",
+        stats.corrected, stats.uncorrectable
+    );
 
     // 4. Assemble on the PIM platform.
-    let mut assembler = PimAssembler::new(
-        PimAssemblerConfig::paper(k).with_min_count(2).with_hash_subarrays(32),
-    );
+    let mut assembler =
+        PimAssembler::new(PimAssemblerConfig::paper(k).with_min_count(2).with_hash_subarrays(32));
     let run = assembler.assemble(&reads)?;
     println!("assembly: {}", run.assembly.stats);
     println!(
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .contigs
         .iter()
         .enumerate()
-        .map(|(i, c)| FastaRecord { name: format!("contig_{i} len={}", c.len()), seq: c.sequence().clone() })
+        .map(|(i, c)| FastaRecord {
+            name: format!("contig_{i} len={}", c.len()),
+            seq: c.sequence().clone(),
+        })
         .collect();
     write_fasta(File::create(&out_path)?, &records)?;
     println!("wrote {}", out_path.display());

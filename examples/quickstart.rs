@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Results: contigs and how much of the genome they recover.
     println!("\nassembly: {}", run.assembly.stats);
-    println!("genome fraction recovered: {:.1}%", 100.0 * genome_fraction(&genome, &run.assembly.contigs, 17));
+    println!(
+        "genome fraction recovered: {:.1}%",
+        100.0 * genome_fraction(&genome, &run.assembly.contigs, 17)
+    );
 
     // 4. What the hardware actually did.
     let r = &run.report;
@@ -38,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.pd,
         r.parallel_chains
     );
-    println!("power {:.1} W | energy {:.3} J | MBR {:.1}% | RUR {:.1}%", r.power_w, r.energy_j, r.mbr_percent, r.rur_percent);
+    println!(
+        "power {:.1} W | energy {:.3} J | MBR {:.1}% | RUR {:.1}%",
+        r.power_w, r.energy_j, r.mbr_percent, r.rur_percent
+    );
     Ok(())
 }

@@ -23,10 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let right = genome.subsequence(3_050, 2_950);
     let mut reads: Vec<Read> = ReadSimulator::new(90, 20.0).simulate(&left, &mut rng);
     let offset = reads.len();
-    reads.extend(ReadSimulator::new(90, 20.0).simulate(&right, &mut rng).into_iter().map(|mut r| {
-        r.id += offset;
-        r
-    }));
+    reads.extend(ReadSimulator::new(90, 20.0).simulate(&right, &mut rng).into_iter().map(
+        |mut r| {
+            r.id += offset;
+            r
+        },
+    ));
     println!("sequenced {} reads from two flanks around a 150 bp gap", reads.len());
 
     // Stages 1–2 on the PIM platform: two contigs expected.

@@ -13,7 +13,10 @@ fn main() {
     // The static margins that decide everything.
     let cs = ChargeSharing::ideal(1.0);
     println!("sensing margins (fractions of Vdd):");
-    println!("  two-row activation: {:.3}  (levels 0, ½, 1 vs detectors at ¼ and ¾)", cs.two_row_margin());
+    println!(
+        "  two-row activation: {:.3}  (levels 0, ½, 1 vs detectors at ¼ and ¾)",
+        cs.two_row_margin()
+    );
     println!("  TRA:                {:.3}  (levels n/3 vs the ½ sense point)", cs.tra_margin());
 
     // Monte-Carlo across variation levels.

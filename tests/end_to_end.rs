@@ -10,7 +10,11 @@ use pim_assembler_suite::genome::stats::genome_fraction;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn dataset(seed: u64, len: usize, coverage: f64) -> (DnaSequence, Vec<pim_assembler_suite::genome::Read>) {
+fn dataset(
+    seed: u64,
+    len: usize,
+    coverage: f64,
+) -> (DnaSequence, Vec<pim_assembler_suite::genome::Read>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let genome = DnaSequence::random(&mut rng, len);
     let reads = ReadSimulator::new(70, coverage).simulate(&genome, &mut rng);
@@ -97,7 +101,8 @@ fn perf_report_is_self_consistent() {
     // Wall time is serial time over chains, inflated by the refresh tax.
     let refresh = pim_assembler_suite::dram::refresh::RefreshParams::ddr4();
     assert!(
-        (r.total_wall_s() - refresh.inflate_seconds(sum.serial_ns * 1e-9 / r.parallel_chains)).abs()
+        (r.total_wall_s() - refresh.inflate_seconds(sum.serial_ns * 1e-9 / r.parallel_chains))
+            .abs()
             < 1e-12
     );
     // Energy = wall × power.

@@ -29,10 +29,9 @@ fn repeats_fragment_assembly_but_kmers_survive() {
     let frac = genome_fraction(&genome, &run.assembly.contigs, 15);
     assert!(frac > 0.97, "k-mer recovery {frac}");
     // Unitig policy (software) fragments deterministically.
-    let unitigs = SoftwareAssembler::new(
-        AssemblyConfig::new(15).with_traversal(Traversal::Unitigs),
-    )
-    .assemble(&reads);
+    let unitigs =
+        SoftwareAssembler::new(AssemblyConfig::new(15).with_traversal(Traversal::Unitigs))
+            .assemble(&reads);
     assert!(unitigs.contigs.len() > 1, "repeats must fragment unitigs");
 }
 
@@ -47,16 +46,13 @@ fn scaffolding_orders_fragments_from_a_gapped_genome() {
     for (start, len) in islands {
         let island = genome.subsequence(start, len);
         let offset = reads.len();
-        reads.extend(
-            ReadSimulator::new(80, 25.0)
-                .simulate(&island, &mut rng)
-                .into_iter()
-                .map(|mut r| {
-                    r.id += offset;
-                    r.origin += start;
-                    r
-                }),
-        );
+        reads.extend(ReadSimulator::new(80, 25.0).simulate(&island, &mut rng).into_iter().map(
+            |mut r| {
+                r.id += offset;
+                r.origin += start;
+                r
+            },
+        ));
     }
     let mut pim = PimAssembler::new(PimAssemblerConfig::small_test(17).with_hash_subarrays(16));
     let run = pim.assemble(&reads).unwrap();

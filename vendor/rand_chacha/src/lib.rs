@@ -1,0 +1,168 @@
+//! Vendored ChaCha8 random number generator.
+//!
+//! A genuine 8-round ChaCha keystream generator exposing the
+//! `rand_chacha::ChaCha8Rng` API subset this workspace uses
+//! (`SeedableRng` with a 32-byte seed plus word-stream output). The
+//! block function follows RFC 7539 with the round count reduced to 8,
+//! a 64-bit block counter in words 12–13 and a 64-bit stream id in
+//! words 14–15, matching the `rand_chacha` crate's layout.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha stream cipher with 8 rounds, exposed as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; BLOCK_WORDS],
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let mut working = state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds then 4 diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buffer.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// Selects an independent keystream (word 14–15 of the state).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BLOCK_WORDS; // force refill
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng { key, counter: 0, stream: 0, buffer: [0; BLOCK_WORDS], index: BLOCK_WORDS }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn quarter_round_matches_rfc7539_vector() {
+        // RFC 7539 §2.1.1 test vector.
+        let mut s = [0u32; BLOCK_WORDS];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(13);
+        let mut b = ChaCha8Rng::seed_from_u64(13);
+        let mut c = ChaCha8Rng::seed_from_u64(14);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn stream_selection_changes_output() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(7);
+        assert_eq!(b.get_stream(), 7);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut ones = 0u32;
+        for _ in 0..1024 {
+            ones += rng.next_u64().count_ones();
+        }
+        let total = 1024 * 64;
+        let frac = ones as f64 / total as f64;
+        assert!((0.48..0.52).contains(&frac), "bit bias: {frac}");
+    }
+
+    #[test]
+    fn works_with_rng_extension_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v: usize = rng.gen_range(0..4);
+            assert!(v < 4);
+            let _ = rng.gen_bool(0.5);
+        }
+    }
+}
