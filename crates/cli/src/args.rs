@@ -18,8 +18,19 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 9] =
-    ["k", "min-count", "coverage", "seed", "output", "pd", "simplify", "subarrays", "workers"];
+const VALUE_KEYS: [&str; 11] = [
+    "k",
+    "min-count",
+    "coverage",
+    "seed",
+    "output",
+    "pd",
+    "simplify",
+    "subarrays",
+    "workers",
+    "faults",
+    "genome-len",
+];
 
 impl ParsedArgs {
     /// Parses an argument vector (without the program name).

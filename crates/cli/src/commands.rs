@@ -25,6 +25,7 @@ USAGE:
   pim-asm simulate <genome.fasta> [options]         sample synthetic reads
   pim-asm stats <contigs.fasta>                     N50/N90/L50 and length table
   pim-asm throughput                                Fig. 3b bulk-op throughput table
+  pim-asm verify [options]                          differential + fault verification suite
   pim-asm help                                      this text
 
 ASSEMBLE OPTIONS:
@@ -43,6 +44,14 @@ SIMULATE OPTIONS:
   --coverage X     mean coverage (default 25)
   --seed N         RNG seed (default 42)
   --output PATH    write reads FASTA (default reads.fasta)
+
+VERIFY OPTIONS:
+  --k N            k-mer length driven through the stages (default 9)
+  --min-count N    graph-stage k-mer count threshold (default 1)
+  --genome-len N   synthetic genome length per scenario (default 400)
+  --seed N         base RNG seed (default 42)
+  --faults LIST    comma-separated sense-amp flip rates to campaign over
+                   (default 1e-4; pass `none` to skip fault injection)
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -158,6 +167,33 @@ pub fn stats(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// `pim-asm verify`.
+pub fn verify(args: &ParsedArgs) -> CliResult {
+    use pim_verify::{standard_suite, SuiteOptions};
+    let defaults = SuiteOptions::default();
+    let fault_rates = match args.get_str("faults").unwrap_or("1e-4") {
+        "none" => Vec::new(),
+        list => list
+            .split(',')
+            .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad fault rate {r:?}")))
+            .collect::<Result<Vec<f64>, _>>()?,
+    };
+    let options = SuiteOptions {
+        genome_len: args.get_num("genome-len", defaults.genome_len),
+        k: args.get_num("k", defaults.k),
+        min_count: args.get_num("min-count", defaults.min_count),
+        seed: args.get_num("seed", defaults.seed),
+        fault_rates,
+    };
+    let report = standard_suite(&options);
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("verification failed".into())
+    }
+}
+
 /// `pim-asm throughput`.
 pub fn throughput() -> CliResult {
     let report = ThroughputReport::paper_sweep();
@@ -266,6 +302,28 @@ mod tests {
     #[test]
     fn throughput_runs() {
         throughput().unwrap();
+    }
+
+    #[test]
+    fn verify_suite_runs_and_passes() {
+        let args = ParsedArgs::parse(
+            ["verify", "--genome-len", "300", "--faults", "1e-3"].map(String::from),
+        );
+        verify(&args).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_bad_fault_rates() {
+        let args = ParsedArgs::parse(["verify", "--faults", "lots"].map(String::from));
+        assert!(verify(&args).is_err());
+    }
+
+    #[test]
+    fn verify_can_skip_fault_injection() {
+        let args = ParsedArgs::parse(
+            ["verify", "--genome-len", "300", "--faults", "none"].map(String::from),
+        );
+        verify(&args).unwrap();
     }
 
     #[test]

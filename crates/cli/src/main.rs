@@ -8,6 +8,7 @@
 //!         [--output reads.fasta]
 //! pim-asm stats <contigs.fasta>
 //! pim-asm throughput
+//! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
 //! pim-asm help
 //! ```
 
@@ -23,6 +24,7 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "simulate" => commands::simulate(&parsed),
         "throughput" => commands::throughput(),
+        "verify" => commands::verify(&parsed),
         "" | "help" | "--help" => {
             print!("{}", commands::USAGE);
             Ok(())

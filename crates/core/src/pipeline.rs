@@ -81,6 +81,21 @@ impl PimAssembler {
         &self.dispatcher
     }
 
+    /// Arms sense-amp fault injection on the underlying controller: every
+    /// subsequent row read-out flips each bit with the configured
+    /// probability (stored cells stay intact). Used by the verification
+    /// harness to measure how the pipeline degrades under array faults —
+    /// see [`pim_dram::fault::FaultConfig`].
+    pub fn inject_faults(&mut self, config: pim_dram::fault::FaultConfig) {
+        self.ctrl.inject_faults(config);
+    }
+
+    /// Total sense-amp bit flips injected so far (0 without fault
+    /// injection).
+    pub fn fault_flips(&self) -> u64 {
+        self.ctrl.fault_flips()
+    }
+
     /// Runs the three-stage assembly over a read set.
     ///
     /// # Errors

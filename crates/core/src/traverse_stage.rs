@@ -33,6 +33,11 @@ pub struct TraverseStats {
     pub trails: u64,
     /// Edges traversed during the walk.
     pub edges_walked: u64,
+    /// Nodes whose PIM-computed in/out degrees disagreed with the graph's
+    /// own bookkeeping. Always 0 on a healthy array; non-zero under fault
+    /// injection, where it is the stage's corruption-detection signal (the
+    /// walk itself still follows the graph's true adjacency).
+    pub degree_mismatches: u64,
 }
 
 /// Executes the traverse stage.
@@ -161,20 +166,33 @@ impl TraverseStage {
         // Start-vertex selection: one DPU comparison per node (the
         // `if out − in > 0` branch of the pseudocode).
         ctrl.dpu_ops(graph.node_count() as u64);
-        debug_assert!(
-            out.iter()
-                .zip(inc)
-                .enumerate()
-                .all(|(v, (&o, &i))| o == graph.out_degree(v) as u64
-                    && i == graph.in_degree(v) as u64)
-        );
+        // Cross-check the PIM degree pass against the graph's own
+        // bookkeeping. A disagreement (possible under fault injection)
+        // is detected and counted rather than aborted on; the walk
+        // proceeds on the graph's true adjacency.
+        let degree_mismatches = out
+            .iter()
+            .zip(inc)
+            .enumerate()
+            .filter(|&(v, (&o, &i))| {
+                o != graph.out_degree(v) as u64 || i != graph.in_degree(v) as u64
+            })
+            .count() as u64;
         let trails = eulerian_trails(graph, algorithm);
         let edges_walked: u64 = trails.iter().map(|t| (t.len().saturating_sub(1)) as u64).sum();
         let trail_count = trails.len() as u64;
         // Each traversal step chases one edge: a row read + a DPU branch.
         ctrl.record_synthetic("RD", edges_walked);
         ctrl.record_synthetic("DPU", edges_walked);
-        Ok((trails, TraverseStats { dense_mapping: dense, trails: trail_count, edges_walked }))
+        Ok((
+            trails,
+            TraverseStats {
+                dense_mapping: dense,
+                trails: trail_count,
+                edges_walked,
+                degree_mismatches,
+            },
+        ))
     }
 
     /// One dense degree pass: maps adjacency rows (or their transpose) into

@@ -12,6 +12,7 @@
 use crate::address::{RowAddr, SubarrayId};
 use crate::bitrow::BitRow;
 use crate::error::Result;
+use crate::fault::FaultInjector;
 use crate::geometry::DramGeometry;
 use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
 use crate::sense_amp::SaMode;
@@ -33,6 +34,8 @@ pub struct SubarrayContext {
     subarray: Subarray,
     costs: CommandCosts,
     ledger: EnergyLedger,
+    /// Optional sense-amp read-out fault injection (see [`crate::fault`]).
+    fault: Option<FaultInjector>,
 }
 
 impl SubarrayContext {
@@ -43,7 +46,27 @@ impl SubarrayContext {
             subarray: Subarray::new(geometry),
             costs,
             ledger: EnergyLedger::default(),
+            fault: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) read-out fault injection.
+    pub(crate) fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// Bits flipped by fault injection on this context so far.
+    pub fn fault_flips(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultInjector::flips)
+    }
+
+    /// Applies the armed fault model to one sensed read-out. Stored rows
+    /// are untouched — only what the sense amplifier hands back flips.
+    fn sense(&mut self, mut data: BitRow) -> BitRow {
+        if let Some(injector) = &mut self.fault {
+            injector.corrupt(&mut data);
+        }
+        data
     }
 
     /// The sub-array this context owns.
@@ -107,7 +130,7 @@ impl SubarrayContext {
     pub fn read_row(&mut self, row: impl Into<RowAddr>) -> Result<BitRow> {
         let data = self.subarray.read(row.into())?;
         self.charge(CommandClass::Read);
-        Ok(data)
+        Ok(self.sense(data))
     }
 
     /// Reads a row *without* charging a command (debug/verification view).
@@ -155,7 +178,7 @@ impl SubarrayContext {
     ) -> Result<BitRow> {
         let out = self.subarray.op2(mode, srcs, dst.into())?;
         self.charge(CommandClass::Aap2);
-        Ok(out)
+        Ok(self.sense(out))
     }
 
     /// Single-cycle in-memory XNOR2.
@@ -184,7 +207,7 @@ impl SubarrayContext {
     pub fn aap3_carry(&mut self, srcs: [RowAddr; 3], dst: impl Into<RowAddr>) -> Result<BitRow> {
         let out = self.subarray.op3_carry(srcs, dst.into())?;
         self.charge(CommandClass::Aap3);
-        Ok(out)
+        Ok(self.sense(out))
     }
 
     /// Clears the SA carry latch (start of a new addition).

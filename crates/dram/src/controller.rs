@@ -24,6 +24,7 @@ use crate::command::DramCommand;
 use crate::context::SubarrayContext;
 use crate::energy::EnergyParams;
 use crate::error::{DramError, Result};
+use crate::fault::{FaultConfig, FaultInjector};
 use crate::geometry::DramGeometry;
 use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
 use crate::sense_amp::SaMode;
@@ -57,6 +58,8 @@ pub struct Controller {
     /// [`Controller::stats`] can hand out a reference.
     stats_cache: CommandStats,
     trace: Option<CommandTrace>,
+    /// Armed fault model, applied to every context (see [`crate::fault`]).
+    fault: Option<FaultConfig>,
 }
 
 impl Controller {
@@ -79,7 +82,33 @@ impl Controller {
             total: EnergyLedger::default(),
             stats_cache: CommandStats::default(),
             trace: None,
+            fault: None,
         }
+    }
+
+    /// Arms sense-amp read-out fault injection: every sub-array context
+    /// (existing attached ones and any created later) flips each sensed
+    /// bit with `config.flip_rate` probability from its own deterministic
+    /// per-sub-array stream. Stored array content is never corrupted —
+    /// only what read-outs return. Arm *before* running a workload;
+    /// contexts detached at the moment of arming keep running clean until
+    /// they are next created fresh.
+    pub fn inject_faults(&mut self, config: FaultConfig) {
+        for (id, ctx) in self.contexts.iter_mut() {
+            let stream = id.linear_index(&self.geometry) as u64;
+            ctx.set_fault_injector(Some(FaultInjector::new(&config, stream)));
+        }
+        self.fault = Some(config);
+    }
+
+    /// The armed fault configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
+    /// Total bits flipped by fault injection across all attached contexts.
+    pub fn fault_flips(&self) -> u64 {
+        self.contexts.values().map(SubarrayContext::fault_flips).sum()
     }
 
     /// Enables command tracing, keeping the most recent `capacity` commands
@@ -154,8 +183,27 @@ impl Controller {
         if self.in_flight.contains_key(&id) {
             return Err(DramError::SubarrayDetached { subarray: id });
         }
-        let (geometry, costs) = (self.geometry, self.costs);
-        Ok(self.contexts.entry(id).or_insert_with(|| SubarrayContext::new(id, geometry, costs)))
+        let (geometry, costs, fault) = (self.geometry, self.costs, self.fault);
+        Ok(self
+            .contexts
+            .entry(id)
+            .or_insert_with(|| Self::fresh_context(id, geometry, costs, fault)))
+    }
+
+    /// A fresh context for `id`, armed with the fault model when one is
+    /// configured.
+    fn fresh_context(
+        id: SubarrayId,
+        geometry: DramGeometry,
+        costs: CommandCosts,
+        fault: Option<FaultConfig>,
+    ) -> SubarrayContext {
+        let mut ctx = SubarrayContext::new(id, geometry, costs);
+        if let Some(cfg) = fault {
+            let stream = id.linear_index(&geometry) as u64;
+            ctx.set_fault_injector(Some(FaultInjector::new(&cfg, stream)));
+        }
+        ctx
     }
 
     /// Writes one row from the host.
@@ -366,6 +414,20 @@ impl Controller {
         &self.total
     }
 
+    /// The global ledger alone: commands not attributable to a sub-array
+    /// (DPU ops, synthetic traffic). Conservation invariant:
+    /// `global + Σ attached-context ledgers == total` whenever no context
+    /// is detached — verification harnesses assert exactly this.
+    pub fn global_ledger(&self) -> &EnergyLedger {
+        &self.global
+    }
+
+    /// Whether any context is currently checked out (conservation over
+    /// attached ledgers only holds when this is `false`).
+    pub fn has_detached_contexts(&self) -> bool {
+        !self.in_flight.is_empty()
+    }
+
     /// Takes and resets the statistics (the global ledger and every
     /// *attached* context's ledger; work on currently detached contexts is
     /// merged when they reattach).
@@ -396,7 +458,7 @@ impl Controller {
         let ctx = self
             .contexts
             .remove(&id)
-            .unwrap_or_else(|| SubarrayContext::new(id, self.geometry, self.costs));
+            .unwrap_or_else(|| Self::fresh_context(id, self.geometry, self.costs, self.fault));
         self.in_flight.insert(id, *ctx.ledger());
         Ok(ctx)
     }
@@ -624,6 +686,41 @@ mod tests {
             c.reattach_context(stray),
             Err(DramError::SubarrayDetached { subarray }) if subarray == id
         ));
+    }
+
+    #[test]
+    fn fault_injection_corrupts_readouts_but_not_stored_state() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.inject_faults(crate::fault::FaultConfig::new(1.0, 9));
+        c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+        let read = c.read_row(id, 0).unwrap();
+        assert!(read.all_ones(), "rate-1.0 injection must flip every sensed bit");
+        // The cells themselves are clean: peek is the host debug view and
+        // bypasses the sense path.
+        assert_eq!(c.peek_row(id, 0).unwrap(), BitRow::zeros(cols));
+        assert_eq!(c.fault_flips(), cols as u64);
+        // Detached execution inherits the armed model.
+        let mut ctx = c.detach_context(id).unwrap();
+        assert!(ctx.read_row(0).unwrap().all_ones());
+        c.reattach_context(ctx).unwrap();
+        assert_eq!(c.fault_flips(), 2 * cols as u64);
+    }
+
+    #[test]
+    fn global_ledger_plus_context_ledgers_equals_total() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        c.aap_copy(id, 0, 1).unwrap();
+        c.dpu_ops(3);
+        c.record_synthetic("AAP", 2);
+        let mut sum = *c.global_ledger();
+        for sid in c.touched_subarrays().collect::<Vec<_>>() {
+            sum.merge(c.subarray_ledger(sid).unwrap());
+        }
+        assert!(!c.has_detached_contexts());
+        assert_eq!(sum, *c.ledger());
     }
 
     #[test]

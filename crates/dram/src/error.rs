@@ -59,6 +59,13 @@ pub enum DramError {
         /// The duplicated row index.
         row: usize,
     },
+    /// A model parameter failed validation (e.g. refresh timing with
+    /// `tRFC ≥ tREFI`, which would make the device spend all its time
+    /// refreshing).
+    InvalidParameter {
+        /// What was wrong, in plain words.
+        what: &'static str,
+    },
     /// The sub-array is not owned by the executing component: it is
     /// checked out of the controller into a
     /// [`crate::context::SubarrayContext`], or a context was handed a
@@ -94,6 +101,9 @@ impl fmt::Display for DramError {
             }
             DramError::DuplicateSourceRow { row } => {
                 write!(f, "source row {row} listed more than once in a multi-row activation")
+            }
+            DramError::InvalidParameter { what } => {
+                write!(f, "invalid model parameter: {what}")
             }
             DramError::SubarrayDetached { subarray } => {
                 write!(f, "sub-array {subarray} is not owned by the executing component (detached context)")
@@ -131,6 +141,7 @@ mod tests {
             DramError::NotComputeRow { row: 3 },
             DramError::BadActivationCount { requested: 4, supported: "2 or 3" },
             DramError::DuplicateSourceRow { row: 1016 },
+            DramError::InvalidParameter { what: "tRFC must be below tREFI" },
             DramError::SubarrayDetached {
                 subarray: crate::address::SubarrayId { chip: 0, bank: 1, mat: 0, subarray: 3 },
             },

@@ -58,6 +58,7 @@ pub mod controller;
 pub mod decoder;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod hierarchy;
 pub mod ledger;
@@ -76,6 +77,7 @@ pub use command::DramCommand;
 pub use context::SubarrayContext;
 pub use controller::Controller;
 pub use error::{DramError, Result};
+pub use fault::{FaultConfig, FaultInjector};
 pub use geometry::DramGeometry;
 pub use ledger::{CommandClass, CommandCosts, EnergyLedger};
 pub use port::AapPort;

@@ -7,6 +7,7 @@
 //! performance model folds into wall-clock estimates.
 
 use crate::energy::EnergyParams;
+use crate::error::{DramError, Result};
 use crate::timing::TimingParams;
 
 /// Refresh parameters of a DDR4-class device.
@@ -31,15 +32,44 @@ pub struct RefreshParams {
 }
 
 impl RefreshParams {
+    /// Validated construction: rejects parameter sets where the refresh
+    /// math silently breaks down (a device with `tRFC ≥ tREFI` spends all
+    /// its time refreshing — [`RefreshParams::inflate_seconds`] would
+    /// return a negative or infinite wall-clock).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::InvalidParameter`] when any timing is non-positive,
+    /// the refresh energy is negative, or `t_rfc_ns >= t_refi_ns`.
+    pub fn new(t_refi_ns: f64, t_rfc_ns: f64, ref_energy_nj: f64) -> Result<Self> {
+        if !(t_refi_ns.is_finite() && t_refi_ns > 0.0) {
+            return Err(DramError::InvalidParameter { what: "tREFI must be positive and finite" });
+        }
+        if !(t_rfc_ns.is_finite() && t_rfc_ns > 0.0) {
+            return Err(DramError::InvalidParameter { what: "tRFC must be positive and finite" });
+        }
+        if t_rfc_ns >= t_refi_ns {
+            return Err(DramError::InvalidParameter {
+                what: "tRFC must be below tREFI (availability tax would reach 100%)",
+            });
+        }
+        if !(ref_energy_nj.is_finite() && ref_energy_nj >= 0.0) {
+            return Err(DramError::InvalidParameter {
+                what: "refresh energy must be non-negative and finite",
+            });
+        }
+        Ok(RefreshParams { t_refi_ns, t_rfc_ns, ref_energy_nj })
+    }
+
     /// DDR4 at normal temperature: tREFI = 7.8 µs, tRFC = 350 ns (8 Gb).
     pub fn ddr4() -> Self {
-        RefreshParams { t_refi_ns: 7_800.0, t_rfc_ns: 350.0, ref_energy_nj: 190.0 }
+        RefreshParams::new(7_800.0, 350.0, 190.0).expect("DDR4 defaults are valid")
     }
 
     /// DDR4 in extended-temperature mode (tREFI halves — refresh costs
     /// double, relevant for a compute-heavy DRAM running warm).
     pub fn ddr4_extended_temperature() -> Self {
-        RefreshParams { t_refi_ns: 3_900.0, t_rfc_ns: 350.0, ref_energy_nj: 190.0 }
+        RefreshParams::new(3_900.0, 350.0, 190.0).expect("DDR4 defaults are valid")
     }
 
     /// Fraction of time the array is blocked by refresh
@@ -49,8 +79,22 @@ impl RefreshParams {
     }
 
     /// Inflates a wall-clock estimate by the refresh stall share.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are degenerate (`tRFC ≥ tREFI`) — such a
+    /// set cannot pass [`RefreshParams::new`], but the fields are public,
+    /// so a hand-built struct is caught here instead of silently returning
+    /// a negative or infinite wall-clock.
     pub fn inflate_seconds(&self, seconds: f64) -> f64 {
-        seconds / (1.0 - self.availability_tax())
+        let tax = self.availability_tax();
+        assert!(
+            tax < 1.0,
+            "degenerate refresh parameters: tRFC ({}) >= tREFI ({})",
+            self.t_rfc_ns,
+            self.t_refi_ns
+        );
+        seconds / (1.0 - tax)
     }
 
     /// Background refresh power of the device (W): one REF per tREFI.
@@ -115,6 +159,43 @@ mod tests {
         assert!(inflated > 100.0);
         // Work fraction × inflated time = original time.
         assert!((inflated * (1.0 - r.availability_tax()) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected_at_construction() {
+        // tRFC >= tREFI: the device would spend >= 100% of its time
+        // refreshing; previously this silently produced a negative
+        // wall-clock from inflate_seconds.
+        assert!(matches!(
+            RefreshParams::new(350.0, 350.0, 190.0),
+            Err(DramError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            RefreshParams::new(100.0, 350.0, 190.0),
+            Err(DramError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            RefreshParams::new(-7800.0, 350.0, 190.0),
+            Err(DramError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            RefreshParams::new(7800.0, 0.0, 190.0),
+            Err(DramError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            RefreshParams::new(7800.0, 350.0, f64::NAN),
+            Err(DramError::InvalidParameter { .. })
+        ));
+        assert!(RefreshParams::new(7800.0, 350.0, 190.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate refresh parameters")]
+    fn handbuilt_degenerate_struct_cannot_inflate_silently() {
+        // Public fields allow bypassing `new`; the inflation guard still
+        // refuses to return a negative wall-clock.
+        let r = RefreshParams { t_refi_ns: 100.0, t_rfc_ns: 350.0, ref_energy_nj: 190.0 };
+        let _ = r.inflate_seconds(10.0);
     }
 
     #[test]

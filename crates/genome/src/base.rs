@@ -107,6 +107,18 @@ impl DnaBase {
     }
 }
 
+/// Whether `ch` is an IUPAC ambiguity code (`N`, `R`, `Y`, `S`, `W`, `K`,
+/// `M`, `B`, `D`, `H`, `V`, case-insensitive) — a position the sequencer
+/// could not call as a single base. The 2-bit pipeline cannot represent
+/// these, so the FASTA/FASTQ readers split reads at runs of them instead
+/// of rejecting the whole file.
+pub fn is_ambiguity_code(ch: char) -> bool {
+    matches!(
+        ch.to_ascii_uppercase(),
+        'N' | 'R' | 'Y' | 'S' | 'W' | 'K' | 'M' | 'B' | 'D' | 'H' | 'V'
+    )
+}
+
 impl fmt::Display for DnaBase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.to_char())
@@ -168,5 +180,15 @@ mod tests {
     #[should_panic(expected = "invalid 2-bit base code")]
     fn from_code_bounds() {
         DnaBase::from_code(4);
+    }
+
+    #[test]
+    fn ambiguity_codes_recognized() {
+        for ch in "NRYSWKMBDHVnryswkmbdhv".chars() {
+            assert!(is_ambiguity_code(ch), "{ch} is an IUPAC ambiguity code");
+        }
+        for ch in "ACGTacgt*-. 7".chars() {
+            assert!(!is_ambiguity_code(ch), "{ch} is not an ambiguity code");
+        }
     }
 }

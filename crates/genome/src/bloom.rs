@@ -31,8 +31,15 @@ pub struct BloomFilter {
 }
 
 impl BloomFilter {
-    /// Creates a filter of `num_bits` bits (rounded up to a multiple of 64)
-    /// probed by `hashes` hash functions.
+    /// Creates a filter of `num_bits` bits (rounded up to the next power
+    /// of two, at least 64) probed by `hashes` hash functions.
+    ///
+    /// The power-of-two width is load-bearing, not a convenience: probe
+    /// positions come from double hashing with an odd stride, which only
+    /// walks a full cycle modulo a power of two (an odd number is coprime
+    /// to every `2^n`). With an arbitrary width the stride and width can
+    /// share factors, probes cluster on a sub-cycle, and the measured
+    /// false-positive rate drifts above the configured one.
     ///
     /// # Panics
     ///
@@ -40,12 +47,15 @@ impl BloomFilter {
     pub fn new(num_bits: usize, hashes: u32) -> Self {
         assert!(num_bits > 0, "filter needs at least one bit");
         assert!(hashes > 0, "filter needs at least one hash");
-        let words = num_bits.div_ceil(64);
-        BloomFilter { bits: vec![0; words], num_bits: words * 64, hashes, inserted: 0 }
+        let num_bits = num_bits.next_power_of_two().max(64);
+        BloomFilter { bits: vec![0; num_bits / 64], num_bits, hashes, inserted: 0 }
     }
 
     /// Sizes a filter for `expected` insertions at `fp_rate` false-positive
     /// probability (the standard `m = −n·ln p / ln²2`, `k = m/n·ln 2`).
+    /// The width then rounds up to a power of two (see
+    /// [`BloomFilter::new`]), so the achieved rate is at or below the
+    /// configured one.
     ///
     /// # Panics
     ///
@@ -55,6 +65,9 @@ impl BloomFilter {
         assert!(fp_rate > 0.0 && fp_rate < 1.0, "false-positive rate must be in (0, 1)");
         let ln2 = std::f64::consts::LN_2;
         let m = (-(expected as f64) * fp_rate.ln() / (ln2 * ln2)).ceil() as usize;
+        // Hash count from the *requested* width: the power-of-two rounding
+        // only widens the table, which lowers the rate further; more
+        // hashes would cost probes without being needed for the target.
         let k = ((m as f64 / expected as f64) * ln2).round().max(1.0) as u32;
         BloomFilter::new(m.max(64), k)
     }
@@ -107,11 +120,14 @@ impl BloomFilter {
         set as f64 / self.num_bits as f64
     }
 
-    /// Double hashing: position of probe `i` for a k-mer.
+    /// Double hashing: position of probe `i` for a k-mer. The odd stride
+    /// `h2` is coprime to the power-of-two width, so the probe sequence
+    /// visits every position before repeating; the mask is exact because
+    /// `num_bits` is always a power of two.
     fn position(&self, kmer: &Kmer, i: u32) -> usize {
         let h1 = mix(kmer.packed() ^ (kmer.k() as u64).rotate_left(32));
         let h2 = mix(h1 ^ 0xA5A5_5A5A_C3C3_3C3C) | 1; // odd step
-        ((h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.num_bits as u64) as usize
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) & (self.num_bits as u64 - 1)) as usize
     }
 }
 
@@ -202,10 +218,63 @@ mod tests {
     #[test]
     fn sizing_formula_behaves() {
         let f = BloomFilter::with_rate(1_000_000, 0.01);
-        // ≈ 9.6 bits/element and ~7 hashes for 1% fp.
+        // The formula asks ≈ 9.6 bits/element for 1% fp; the width then
+        // rounds up to the next power of two (2^24 here), so the filter
+        // lands between the requested size and twice it, with ~7 hashes.
         let bits_per_elem = f.num_bits() as f64 / 1e6;
-        assert!((9.0..11.0).contains(&bits_per_elem), "{bits_per_elem}");
+        assert!((9.585..19.2).contains(&bits_per_elem), "{bits_per_elem}");
         assert!((5..=9).contains(&f.hashes()));
+        assert!(f.num_bits().is_power_of_two());
+    }
+
+    #[test]
+    fn width_rounds_up_to_a_power_of_two() {
+        assert_eq!(BloomFilter::new(1, 1).num_bits(), 64);
+        assert_eq!(BloomFilter::new(64, 1).num_bits(), 64);
+        assert_eq!(BloomFilter::new(65, 1).num_bits(), 128);
+        // The old rounding produced arbitrary multiples of 64 (e.g. 192),
+        // on which the odd double-hash stride does not full-cycle.
+        assert_eq!(BloomFilter::new(192, 1).num_bits(), 256);
+        assert!(BloomFilter::with_rate(5000, 0.01).num_bits().is_power_of_two());
+    }
+
+    #[test]
+    fn probes_disperse_uniformly() {
+        // Clustered probes would collide more than independent uniform
+        // draws and leave the fill ratio short of the theoretical
+        // `1 − e^(−k·n/m)`. Measuring fill after many insertions checks
+        // dispersion through the public surface.
+        let mut f = BloomFilter::new(1 << 15, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let seq = DnaSequence::random(&mut rng, 2000 + 20);
+        for k in KmerIter::new(&seq, 21).unwrap() {
+            f.insert(&k);
+        }
+        let n = f.inserted() as f64;
+        let expected = 1.0 - (-(8.0 * n) / (1 << 15) as f64).exp();
+        let fill = f.fill_ratio();
+        assert!((fill - expected).abs() < 0.03, "fill {fill} vs expected {expected}");
+    }
+
+    #[test]
+    fn measured_fp_rate_within_twice_configured() {
+        let target = 0.01;
+        let mut rng = ChaCha8Rng::seed_from_u64(74);
+        let inserted = DnaSequence::random(&mut rng, 5000);
+        let mut f = BloomFilter::with_rate(5000, target);
+        for k in KmerIter::new(&inserted, 21).unwrap() {
+            f.insert(&k);
+        }
+        let other = DnaSequence::random(&mut rng, 50_000);
+        let (mut fp, mut total) = (0usize, 0usize);
+        for k in KmerIter::new(&other, 21).unwrap() {
+            total += 1;
+            if f.contains(&k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / total as f64;
+        assert!(rate <= 2.0 * target, "measured fp rate {rate} above 2x the {target} target");
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub type Trail = Vec<usize>;
 /// (≤ 2 unbalanced nodes); otherwise it is decomposed greedily into several
 /// trails, each starting at a node with surplus out-degree.
 ///
+/// The decomposition is *canonical*: starts are visited in node-label order
+/// and each node's out-edges are consumed in k-mer order, so the output
+/// depends only on the graph's edge multiset — never on node numbering or
+/// edge insertion order. Two graphs built from the same k-mers in different
+/// orders (e.g. a hash-table scan vs. a read stream) yield identical trails.
+///
 /// # Examples
 ///
 /// ```
@@ -49,6 +55,27 @@ pub fn eulerian_trails(graph: &DeBruijnGraph, algorithm: EulerAlgorithm) -> Vec<
     }
 }
 
+/// Node indices sorted by (k−1)-mer label: the canonical visiting order.
+fn node_order(graph: &DeBruijnGraph) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..graph.node_count()).collect();
+    order.sort_by_key(|&i| graph.node(i).packed());
+    order
+}
+
+/// Per-node permutations of the out-edge lists, sorted by edge k-mer: the
+/// canonical consumption order. Indexed as `edge_order[v][cursor]` →
+/// position in `graph.out_edges(v)`.
+fn edge_order(graph: &DeBruijnGraph) -> Vec<Vec<usize>> {
+    (0..graph.node_count())
+        .map(|v| {
+            let edges = graph.out_edges(v);
+            let mut order: Vec<usize> = (0..edges.len()).collect();
+            order.sort_by_key(|&i| edges[i].kmer.packed());
+            order
+        })
+        .collect()
+}
+
 /// Hierholzer's algorithm generalized to trail decomposition.
 ///
 /// Pass 1 peels one greedy (splice-free) trail per unit of surplus
@@ -61,17 +88,20 @@ pub fn eulerian_trails(graph: &DeBruijnGraph, algorithm: EulerAlgorithm) -> Vec<
 /// length, mirroring what the contig stage wants.
 fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
     let n = graph.node_count();
+    let order = node_order(graph);
+    let edges = edge_order(graph);
     let mut next_edge = vec![0usize; n];
     let mut remaining_out: Vec<usize> = (0..n).map(|i| graph.out_degree(i)).collect();
     let mut remaining_in: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
     let mut trails: Vec<Trail> = Vec::new();
 
     // Pass 1: one greedy trail per unit of residual surplus out-degree.
-    for start in 0..n {
+    for &start in &order {
         while remaining_out[start] > remaining_in[start] {
             trails.push(greedy_walk(
                 graph,
                 start,
+                &edges,
                 &mut next_edge,
                 &mut remaining_out,
                 &mut remaining_in,
@@ -80,9 +110,9 @@ fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
     }
 
     // Pass 2: residual graph is balanced — extract circuits and splice.
-    for start in 0..n {
+    for &start in &order {
         while remaining_out[start] > 0 {
-            let circuit = walk_from(graph, start, &mut next_edge, &mut remaining_out);
+            let circuit = walk_from(graph, start, &edges, &mut next_edge, &mut remaining_out);
             match trails
                 .iter_mut()
                 .find_map(|t| t.iter().position(|&v| v == circuit[0]).map(|pos| (t, pos)))
@@ -104,6 +134,7 @@ fn hierholzer(graph: &DeBruijnGraph) -> Vec<Trail> {
 fn greedy_walk(
     graph: &DeBruijnGraph,
     start: usize,
+    edge_order: &[Vec<usize>],
     next_edge: &mut [usize],
     remaining_out: &mut [usize],
     remaining_in: &mut [usize],
@@ -111,7 +142,7 @@ fn greedy_walk(
     let mut trail = vec![start];
     let mut v = start;
     while remaining_out[v] > 0 {
-        let e = &graph.out_edges(v)[next_edge[v]];
+        let e = &graph.out_edges(v)[edge_order[v][next_edge[v]]];
         next_edge[v] += 1;
         remaining_out[v] -= 1;
         remaining_in[e.to] -= 1;
@@ -125,6 +156,7 @@ fn greedy_walk(
 fn walk_from(
     graph: &DeBruijnGraph,
     start: usize,
+    edge_order: &[Vec<usize>],
     next_edge: &mut [usize],
     remaining_out: &mut [usize],
 ) -> Trail {
@@ -137,7 +169,7 @@ fn walk_from(
             trail.push(v);
             stack.pop();
         } else {
-            let e = &graph.out_edges(v)[next_edge[v]];
+            let e = &graph.out_edges(v)[edge_order[v][next_edge[v]]];
             next_edge[v] += 1;
             remaining_out[v] -= 1;
             stack.push(e.to);
@@ -155,16 +187,20 @@ fn fleury(graph: &DeBruijnGraph) -> Vec<Trail> {
     let mut remaining_out: Vec<usize> = (0..n).map(|i| graph.out_degree(i)).collect();
     let mut remaining_in: Vec<usize> = (0..n).map(|i| graph.in_degree(i)).collect();
     let mut trails = Vec::new();
+    let order = node_order(graph);
+    let edges = edge_order(graph);
 
     let mut starts: Vec<usize> = graph.start_candidates();
-    starts.extend(0..n);
+    starts.sort_by_key(|&i| graph.node(i).packed());
+    starts.extend(order.iter().copied());
 
     for &start in &starts {
         while remaining_out[start] > 0 {
             let mut trail = vec![start];
             let mut v = start;
             while remaining_out[v] > 0 {
-                let choice = choose_non_bridge(graph, v, &used, &remaining_out, &remaining_in);
+                let choice =
+                    choose_non_bridge(graph, v, &edges, &used, &remaining_out, &remaining_in);
                 used[v][choice] = true;
                 remaining_out[v] -= 1;
                 let to = graph.out_edges(v)[choice].to;
@@ -179,15 +215,17 @@ fn fleury(graph: &DeBruijnGraph) -> Vec<Trail> {
 }
 
 /// Picks an unused out-edge of `v` that is not a bridge in the residual
-/// graph, falling back to a bridge when every edge is one.
+/// graph, falling back to a bridge when every edge is one. Candidates are
+/// tried in canonical (k-mer-sorted) order so ties break deterministically.
 fn choose_non_bridge(
     graph: &DeBruijnGraph,
     v: usize,
+    edge_order: &[Vec<usize>],
     used: &[Vec<bool>],
     remaining_out: &[usize],
     _remaining_in: &[usize],
 ) -> usize {
-    let candidates: Vec<usize> = (0..graph.out_degree(v)).filter(|&i| !used[v][i]).collect();
+    let candidates: Vec<usize> = edge_order[v].iter().copied().filter(|&i| !used[v][i]).collect();
     if candidates.len() == 1 {
         return candidates[0];
     }

@@ -1,12 +1,16 @@
 //! Minimal FASTA input/output.
 //!
 //! Enough of the format to interchange references, reads, and contigs with
-//! standard tooling: `>`-headers, wrapped sequence lines, `ACGT` alphabet
-//! (other IUPAC codes are rejected — the 2-bit pipeline cannot represent
-//! them, mirroring how the paper's encoding handles only the four bases).
+//! standard tooling: `>`-headers, wrapped sequence lines, `ACGT`/`acgt`
+//! alphabet. IUPAC ambiguity codes (`N` and friends) cannot be represented
+//! by the 2-bit pipeline, so a record containing them is *split* at each
+//! run of ambiguous positions into separate records — the standard
+//! assembler treatment of N-gaps (no k-mer may span an uncalled base) —
+//! instead of rejecting the whole file.
 
 use std::io::{BufRead, Write};
 
+use crate::base::{is_ambiguity_code, DnaBase};
 use crate::error::{GenomeError, Result};
 use crate::sequence::DnaSequence;
 
@@ -19,13 +23,71 @@ pub struct FastaRecord {
     pub seq: DnaSequence,
 }
 
+/// A record being accumulated, possibly splitting at ambiguity runs.
+struct PendingRecord {
+    name: String,
+    header_line: usize,
+    fragments: Vec<DnaSequence>,
+    current: DnaSequence,
+    saw_sequence_chars: bool,
+}
+
+impl PendingRecord {
+    fn new(name: String, header_line: usize) -> Self {
+        PendingRecord {
+            name,
+            header_line,
+            fragments: Vec::new(),
+            current: DnaSequence::new(),
+            saw_sequence_chars: false,
+        }
+    }
+
+    /// Ends the in-progress fragment (called at an ambiguity run).
+    fn split(&mut self) {
+        if !self.current.is_empty() {
+            self.fragments.push(std::mem::replace(&mut self.current, DnaSequence::new()));
+        }
+    }
+
+    /// Closes the record: one output record per non-empty fragment, named
+    /// `{name}:{i}` when the record split. A record whose sequence was
+    /// entirely ambiguous yields nothing; a record with *no* sequence
+    /// lines at all is malformed.
+    fn finish(mut self, records: &mut Vec<FastaRecord>) -> Result<()> {
+        self.split();
+        if self.fragments.is_empty() {
+            if !self.saw_sequence_chars {
+                return Err(GenomeError::MalformedFasta {
+                    line: self.header_line,
+                    reason: "record with empty sequence",
+                });
+            }
+            return Ok(()); // all-N record: nothing assemblable, drop it
+        }
+        if self.fragments.len() == 1 {
+            records.push(FastaRecord { name: self.name, seq: self.fragments.pop().unwrap() });
+        } else {
+            for (i, seq) in self.fragments.into_iter().enumerate() {
+                records.push(FastaRecord { name: format!("{}:{}", self.name, i + 1), seq });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Parses all records from a reader.
+///
+/// Lower-case bases are accepted; runs of IUPAC ambiguity codes split a
+/// record into multiple records named `{name}:{i}` (a record with a single
+/// fragment keeps its name, and all-ambiguous records are dropped).
 ///
 /// # Errors
 ///
 /// * [`GenomeError::MalformedFasta`] when sequence data precedes the first
-///   header or a record is empty.
-/// * [`GenomeError::InvalidBase`] for non-ACGT characters.
+///   header or a record has no sequence lines.
+/// * [`GenomeError::InvalidBase`] for characters that are neither
+///   `ACGTacgt` nor ambiguity codes.
 /// * [`GenomeError::Io`] for underlying read failures.
 ///
 /// # Examples
@@ -33,14 +95,15 @@ pub struct FastaRecord {
 /// ```
 /// use pim_genome::fasta::read_fasta;
 ///
-/// let input = ">seq1\nACGT\nACGT\n>seq2\nTTTT\n";
+/// let input = ">seq1\nACGT\nACGT\n>seq2\nTTNNTT\n";
 /// let records = read_fasta(input.as_bytes())?;
-/// assert_eq!(records.len(), 2);
-/// assert_eq!(records[0].seq.len(), 8);
+/// assert_eq!(records.len(), 3); // seq2 splits at the N-run
+/// assert_eq!(records[1].name, "seq2:1");
 /// # Ok::<(), pim_genome::GenomeError>(())
 /// ```
 pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
     let mut records: Vec<FastaRecord> = Vec::new();
+    let mut pending: Option<PendingRecord> = None;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim_end();
@@ -48,24 +111,27 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
             continue;
         }
         if let Some(name) = line.strip_prefix('>') {
-            records.push(FastaRecord { name: name.trim().to_string(), seq: DnaSequence::new() });
+            if let Some(p) = pending.take() {
+                p.finish(&mut records)?;
+            }
+            pending = Some(PendingRecord::new(name.trim().to_string(), lineno + 1));
         } else {
-            let record = records.last_mut().ok_or(GenomeError::MalformedFasta {
+            let p = pending.as_mut().ok_or(GenomeError::MalformedFasta {
                 line: lineno + 1,
                 reason: "sequence before first header",
             })?;
             for (col, ch) in line.chars().enumerate() {
-                record.seq.push(crate::base::DnaBase::try_from_char_at(ch, col)?);
+                p.saw_sequence_chars = true;
+                if is_ambiguity_code(ch) {
+                    p.split();
+                } else {
+                    p.current.push(DnaBase::try_from_char_at(ch, col)?);
+                }
             }
         }
     }
-    for (i, r) in records.iter().enumerate() {
-        if r.seq.is_empty() {
-            return Err(GenomeError::MalformedFasta {
-                line: i + 1,
-                reason: "record with empty sequence",
-            });
-        }
+    if let Some(p) = pending.take() {
+        p.finish(&mut records)?;
     }
     Ok(records)
 }
@@ -131,9 +197,53 @@ mod tests {
     }
 
     #[test]
-    fn bad_bases_rejected() {
-        let err = read_fasta(">x\nACNGT\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, GenomeError::InvalidBase { ch: 'N', .. }));
+    fn n_runs_split_records() {
+        let recs = read_fasta(">x\nACGTNNNNTTTT\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].name.as_str(), recs[0].seq.to_string().as_str()), ("x:1", "ACGT"));
+        assert_eq!((recs[1].name.as_str(), recs[1].seq.to_string().as_str()), ("x:2", "TTTT"));
+    }
+
+    #[test]
+    fn n_runs_split_across_line_boundaries() {
+        // The run ends one line and starts the next: still a single split.
+        let recs = read_fasta(">x\nACGTN\nNGGG\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+        assert_eq!(recs[1].seq.to_string(), "GGG");
+    }
+
+    #[test]
+    fn single_fragment_keeps_its_name() {
+        // Leading/trailing Ns trim rather than split: one fragment, no
+        // `:i` suffix.
+        let recs = read_fasta(">x\nNNACGTNN\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "x");
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn lowercase_and_mixed_case_accepted() {
+        let recs = read_fasta(">x\nacgtACGT\n>y\naCnNgT\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGTACGT");
+        // Lower-case n is an ambiguity code too.
+        assert_eq!(recs[1].name, "y:1");
+        assert_eq!(recs[1].seq.to_string(), "AC");
+        assert_eq!(recs[2].seq.to_string(), "GT");
+    }
+
+    #[test]
+    fn all_ambiguous_records_dropped() {
+        let recs = read_fasta(">gap\nNNNN\n>y\nACGT\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "y");
+    }
+
+    #[test]
+    fn truly_invalid_chars_still_rejected() {
+        let err = read_fasta(">x\nAC*T\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GenomeError::InvalidBase { ch: '*', .. }));
     }
 
     #[test]

@@ -40,11 +40,18 @@ impl FastqRecord {
 
 /// Parses FASTQ records (Phred+33 quality encoding).
 ///
+/// Lower-case bases are accepted. Runs of IUPAC ambiguity codes (`N` and
+/// friends — uncalled positions a sequencer emits routinely) split the
+/// read into multiple records named `{name}:{i}`, with the quality string
+/// sliced in sync; a read with a single fragment keeps its name, and
+/// all-ambiguous reads are dropped. This mirrors [`crate::fasta::read_fasta`].
+///
 /// # Errors
 ///
 /// * [`GenomeError::MalformedFasta`] for structural problems (missing `@`,
 ///   `+` separator, or length mismatch between bases and qualities),
-/// * [`GenomeError::InvalidBase`] for non-ACGT bases,
+/// * [`GenomeError::InvalidBase`] for characters that are neither
+///   `ACGTacgt` nor ambiguity codes,
 /// * [`GenomeError::Io`] for read failures.
 ///
 /// # Examples
@@ -93,12 +100,35 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
                 reason: "quality length differs from sequence length",
             });
         }
+        let qual_bytes: Vec<u8> = qual_line.bytes().map(|b| b.saturating_sub(33)).collect();
+        let mut fragments: Vec<(DnaSequence, Vec<u8>)> = Vec::new();
         let mut seq = DnaSequence::with_capacity(seq_line.len());
+        let mut quals: Vec<u8> = Vec::with_capacity(qual_bytes.len());
         for (i, ch) in seq_line.chars().enumerate() {
-            seq.push(DnaBase::try_from_char_at(ch, i)?);
+            if crate::base::is_ambiguity_code(ch) {
+                if !seq.is_empty() {
+                    fragments.push((
+                        std::mem::replace(&mut seq, DnaSequence::new()),
+                        std::mem::take(&mut quals),
+                    ));
+                }
+            } else {
+                seq.push(DnaBase::try_from_char_at(ch, i)?);
+                quals.push(qual_bytes[i]);
+            }
         }
-        let quals = qual_line.bytes().map(|b| b.saturating_sub(33)).collect();
-        records.push(FastqRecord { name, seq, quals });
+        if !seq.is_empty() {
+            fragments.push((seq, quals));
+        }
+        // An all-ambiguous (or empty) read contributes nothing assemblable.
+        if fragments.len() == 1 {
+            let (seq, quals) = fragments.pop().unwrap();
+            records.push(FastqRecord { name, seq, quals });
+        } else {
+            for (i, (seq, quals)) in fragments.into_iter().enumerate() {
+                records.push(FastqRecord { name: format!("{name}:{}", i + 1), seq, quals });
+            }
+        }
     }
     Ok(records)
 }
@@ -183,6 +213,42 @@ mod tests {
     fn blank_lines_between_records_tolerated() {
         let recs = read_fastq("@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n".as_bytes()).unwrap();
         assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn n_runs_split_reads_with_quals_in_sync() {
+        let recs = read_fastq("@r\nACNNGT\n+\nIJKLMN\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "r:1");
+        assert_eq!(recs[0].seq.to_string(), "AC");
+        assert_eq!(recs[0].quals, vec![40, 41]); // 'I','J'
+        assert_eq!(recs[1].name, "r:2");
+        assert_eq!(recs[1].seq.to_string(), "GT");
+        assert_eq!(recs[1].quals, vec![44, 45]); // 'M','N'
+    }
+
+    #[test]
+    fn lowercase_reads_accepted() {
+        let recs = read_fastq("@r\nacgt\n+\nIIII\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn all_ambiguous_reads_dropped_structure_still_checked() {
+        // The dropped read's lines still count toward framing: the next
+        // record parses normally.
+        let recs = read_fastq("@gap\nNNNN\n+\nIIII\n@r\nACGT\n+\nIIII\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "r");
+        assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn single_fragment_read_keeps_its_name() {
+        let recs = read_fastq("@r\nNACGTN\n+\nIIIIII\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "r");
+        assert_eq!(recs[0].quals.len(), 4);
     }
 
     #[test]

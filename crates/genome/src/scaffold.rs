@@ -147,19 +147,30 @@ impl Scaffolder {
         }
 
         // Keep well-supported links; each contig gets at most one successor
-        // and one predecessor (best-supported wins).
+        // and one predecessor (best-supported wins). Candidate links are
+        // visited in sorted order so equal-support ties resolve toward the
+        // lexicographically smallest link — never toward whatever the hash
+        // map happened to iterate first. Without this, two scaffold runs on
+        // identical inputs could chain repeat contigs differently.
+        let mut supported: Vec<(usize, usize, usize, isize)> = links
+            .iter()
+            .filter(|&(_, v)| v.count >= self.min_support)
+            .map(|(&(a, b), v)| (a, b, v.count, v.gap_sum / v.count as isize))
+            .collect();
+        supported.sort_unstable_by_key(|&(a, b, _, _)| (a, b));
+
         let mut best_next: HashMap<usize, (usize, usize, isize)> = HashMap::new();
-        for (&(a, b), v) in &links {
-            if v.count < self.min_support {
-                continue;
-            }
-            let better = best_next.get(&a).is_none_or(|&(_, c, _)| v.count > c);
+        for &(a, b, count, gap) in &supported {
+            let better = best_next.get(&a).is_none_or(|&(_, c, _)| count > c);
             if better {
-                best_next.insert(a, (b, v.count, v.gap_sum / v.count as isize));
+                best_next.insert(a, (b, count, gap));
             }
         }
         let mut has_pred: HashMap<usize, usize> = HashMap::new();
-        for (&a, &(b, count, _)) in &best_next {
+        for &(a, b, count, _) in &supported {
+            if best_next.get(&a).map(|&(nb, _, _)| nb) != Some(b) {
+                continue;
+            }
             let better = has_pred.get(&b).is_none_or(|&c| count > links[&(c, b)].count);
             if better {
                 has_pred.insert(b, a);
@@ -277,6 +288,34 @@ mod tests {
         let scaffolds = Scaffolder::new(17, 3).scaffold(&contigs, &pairs).unwrap();
         assert_eq!(scaffolds.len(), 1, "{scaffolds:?}");
         assert_eq!(scaffolds[0].contigs, vec![1, 2, 0]);
+    }
+
+    /// A contig with two equally-supported successor candidates must pick
+    /// the same one on every run: ties resolve toward the smaller contig
+    /// index, not toward whichever link a hash map iterates first.
+    #[test]
+    fn tied_links_resolve_deterministically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let contigs: Vec<Contig> =
+            (0..3).map(|_| Contig::new(DnaSequence::random(&mut rng, 800))).collect();
+        let mate =
+            |ci: usize| Read { id: 0, seq: contigs[ci].sequence().subsequence(0, 40), origin: 0 };
+        // Two pairs voting c0 → c1 and two voting c0 → c2: a perfect tie.
+        let pairs: Vec<ReadPair> = [1usize, 2, 1, 2]
+            .iter()
+            .map(|&b| ReadPair { r1: mate(0), r2: mate(b), insert: 900 })
+            .collect();
+        let first = Scaffolder::new(17, 2).scaffold(&contigs, &pairs).unwrap();
+        assert!(
+            first.iter().any(|s| s.contigs == vec![0, 1]),
+            "tie must break toward the smaller index: {first:?}"
+        );
+        // Every rerun builds fresh (differently seeded) hash maps; the
+        // output must not depend on their iteration order.
+        for _ in 0..25 {
+            let again = Scaffolder::new(17, 2).scaffold(&contigs, &pairs).unwrap();
+            assert_eq!(again, first);
+        }
     }
 
     #[test]

@@ -134,6 +134,9 @@ impl Simplifier {
                 return None; // rejoins the graph — not a tip
             }
             let e = &graph.out_edges(v)[0];
+            if e.to == v {
+                return None; // self-loop (homopolymer k-mer): never dead-ends
+            }
             chain.push(e.kmer);
             v = e.to;
         }
@@ -161,7 +164,13 @@ impl Simplifier {
             if graph.in_degree(v) != 1 || graph.out_degree(v) != 1 {
                 return None;
             }
-            let (src, e) = incoming_edges(graph, v).pop().expect("in_degree == 1");
+            // The in-degree counter and the adjacency scan are maintained
+            // separately; a multigraph shape the counter miscounts (or a
+            // caller-built graph) must not panic the walk.
+            let (src, e) = incoming_edges(graph, v).pop()?;
+            if src == v {
+                return None; // self-loop: the chain never dead-starts
+            }
             chain.push(e.kmer);
             v = src;
         }
@@ -222,6 +231,9 @@ impl Simplifier {
                 return None;
             }
             let e = &graph.out_edges(v)[0];
+            if e.to == v {
+                return None; // self-loop: not a simple bubble interior
+            }
             chain.push(e.kmer);
             min_mult = min_mult.min(e.multiplicity);
             v = e.to;
@@ -318,6 +330,29 @@ mod tests {
         let (clean, stats) = Simplifier::new(22).simplify(&graph);
         assert_eq!(stats, SimplifyStats::default());
         assert_eq!(clean.edge_count(), graph.edge_count());
+    }
+
+    #[test]
+    fn self_loops_do_not_panic_or_hang_the_walks() {
+        // AAAA's prefix and suffix are both AAA: a self-loop. TTTT likewise.
+        // Mixing loops with real chains exercises both chain walkers around
+        // a node whose single in/out edge is the loop itself.
+        let kmers = ["AAAA", "AAAT", "AATC", "TTTT", "GTTT", "CGTT", "AATG"];
+        let g = DeBruijnGraph::from_kmers(4, kmers.iter().map(|s| s.parse().unwrap()));
+        let (clean, _) = Simplifier::new(8).simplify(&g);
+        assert!(clean.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn parallel_edges_do_not_panic() {
+        // The same k-mer added twice creates parallel edges (a multigraph
+        // shape the fault-injected scan path can produce).
+        let mut g = DeBruijnGraph::from_kmers(4, std::iter::empty::<Kmer>());
+        for s in ["ACGT", "ACGT", "CGTA", "CGTA", "GTAC", "ACGG", "CGGT"] {
+            g.add_kmer(s.parse().unwrap(), 1);
+        }
+        let (clean, _) = Simplifier::new(8).simplify(&g);
+        assert!(clean.edge_count() <= g.edge_count());
     }
 
     #[test]

@@ -111,3 +111,27 @@ proptest! {
         prop_assert_eq!(kmers(&euler.contigs), kmers(&unitig.contigs));
     }
 }
+
+// Small random multigraphs — duplicate k-mers (parallel edges) and
+// homopolymers like AAAA (self-loops) included — never panic the simplifier,
+// and it only ever removes edges. Pins the walk guards that replaced the
+// `in_degree == 1` pop/expect.
+proptest! {
+    #[test]
+    fn simplify_never_panics_on_small_multigraphs(
+        packed in proptest::collection::vec(0u64..256, 1..40),
+        bound in 1usize..12,
+    ) {
+        let mut g = DeBruijnGraph::from_kmers(4, std::iter::empty::<Kmer>());
+        for &p in &packed {
+            g.add_kmer(Kmer::from_packed(p, 4).unwrap(), 1 + p % 5);
+        }
+        let (clean, _) = pim_genome::simplify::Simplifier::new(bound).simplify(&g);
+        prop_assert!(clean.edge_count() <= g.edge_count());
+        // Degree bookkeeping of the output stays self-consistent.
+        let total_out: usize = (0..clean.node_count()).map(|v| clean.out_degree(v)).sum();
+        let total_in: usize = (0..clean.node_count()).map(|v| clean.in_degree(v)).sum();
+        prop_assert_eq!(total_out, clean.edge_count());
+        prop_assert_eq!(total_in, clean.edge_count());
+    }
+}

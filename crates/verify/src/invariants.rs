@@ -1,0 +1,194 @@
+//! Command-trace invariant checking.
+//!
+//! Runs the three PIM stages serially against a traced controller and then
+//! replays the recorded command stream through independent legality checks:
+//!
+//! * **Row-decoder legality** — every multi-row activation (`AAP2`/`AAP3`)
+//!   must name rows the [`ModifiedRowDecoder`] can raise simultaneously
+//!   (only the 8 compute rows are wired for it), with no duplicates.
+//! * **Sense-amp mode legality** — two-row activations only in two-row
+//!   modes, triple-row activations only in `Carry`.
+//! * **Timestamp monotonicity** — the schedule never runs backwards.
+//! * **Ledger conservation** — at a checkpoint after every stage, the
+//!   controller's global ledger plus every attached per-sub-array ledger
+//!   must equal its merged total, integer-exactly.
+
+use pim_assembler::graph_stage::GraphStage;
+use pim_assembler::hashmap_stage::PimHashTable;
+use pim_assembler::mapping::KmerMapper;
+use pim_assembler::traverse_stage::TraverseStage;
+use pim_assembler::Result;
+use pim_dram::command::DramCommand;
+use pim_dram::controller::Controller;
+use pim_dram::decoder::ModifiedRowDecoder;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::sense_amp::SaMode;
+use pim_genome::euler::EulerAlgorithm;
+use pim_genome::kmer::KmerIter;
+
+use crate::genomes::TestCase;
+use crate::report::InvariantReport;
+
+/// Violation descriptions kept (the violation *count* is what fails the
+/// report; these are for diagnosis).
+const MAX_VIOLATIONS: usize = 20;
+
+fn violation(out: &mut Vec<String>, text: String) {
+    if out.len() < MAX_VIOLATIONS {
+        out.push(text);
+    }
+}
+
+/// `global + Σ attached sub-array ledgers == total`, integer-exactly.
+fn ledger_conserved(ctrl: &Controller) -> bool {
+    if ctrl.has_detached_contexts() {
+        return false; // conservation is only defined over attached ledgers
+    }
+    let mut commands = ctrl.global_ledger().total_commands();
+    let mut time = ctrl.global_ledger().total_time_ps();
+    let mut energy = ctrl.global_ledger().total_energy_fj();
+    for id in ctrl.touched_subarrays() {
+        if let Some(ledger) = ctrl.subarray_ledger(id) {
+            commands += ledger.total_commands();
+            time += ledger.total_time_ps();
+            energy += ledger.total_energy_fj();
+        }
+    }
+    let total = ctrl.ledger();
+    commands == total.total_commands()
+        && time == total.total_time_ps()
+        && energy == total.total_energy_fj()
+}
+
+/// Runs hashmap → graph → traverse serially on a traced controller and
+/// checks every recorded command against the invariants above.
+///
+/// The serial entry points are used deliberately: dispatcher paths execute
+/// on detached contexts whose commands bypass the controller-side trace.
+///
+/// # Errors
+///
+/// Propagates stage errors (the invariant check requires a healthy run).
+pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<InvariantReport> {
+    let geometry = DramGeometry::paper_assembly();
+    let mut ctrl = Controller::new(geometry);
+    ctrl.enable_trace(1 << 20);
+    let mut violations = Vec::new();
+    let mut ledger_checkpoints = 0;
+    let mut checkpoint = |ctrl: &Controller, stage: &str, violations: &mut Vec<String>| {
+        ledger_checkpoints += 1;
+        if !ledger_conserved(ctrl) {
+            violation(violations, format!("ledger conservation violated after the {stage} stage"));
+        }
+    };
+
+    // Stage 1: hashmap.
+    let mut table = PimHashTable::new(KmerMapper::new(&geometry, 4, 8));
+    for read in &case.reads {
+        if read.seq.len() < k {
+            continue;
+        }
+        for kmer in KmerIter::new(&read.seq, k)? {
+            table.insert(&mut ctrl, kmer)?;
+        }
+    }
+    checkpoint(&ctrl, "hashmap", &mut violations);
+
+    // Stage 2: graph construction.
+    let graph_region = ctrl.subarray_handle(0, 1, 0, 0)?;
+    let (graph, _partitioning, _stats) =
+        GraphStage::build(&mut ctrl, &table, min_count, graph_region, 4)?;
+    checkpoint(&ctrl, "graph", &mut violations);
+
+    // Stage 3: traversal.
+    let work = ctrl.subarray_handle(0, 2, 0, 0)?;
+    TraverseStage::run(&mut ctrl, &graph, work, EulerAlgorithm::Hierholzer)?;
+    checkpoint(&ctrl, "traverse", &mut violations);
+
+    // Replay the trace through the legality checks.
+    let trace = ctrl.take_trace().expect("trace was enabled");
+    let decoder = ModifiedRowDecoder::new(geometry);
+    let mut commands_checked = 0;
+    let mut last_ns = f64::NEG_INFINITY;
+    for entry in trace.entries() {
+        commands_checked += 1;
+        if entry.at_ns < last_ns {
+            violation(
+                &mut violations,
+                format!("timestamp regression: {} ns after {} ns", entry.at_ns, last_ns),
+            );
+        }
+        last_ns = entry.at_ns;
+        match entry.command {
+            DramCommand::Aap2 { srcs, mode, .. } => {
+                if let Err(e) = decoder.activate_pair(srcs) {
+                    violation(&mut violations, format!("illegal AAP2 activation: {e}"));
+                }
+                if !matches!(
+                    mode,
+                    SaMode::Nor | SaMode::Nand | SaMode::Xor | SaMode::Xnor | SaMode::CarrySum
+                ) {
+                    violation(&mut violations, format!("AAP2 in non-two-row SA mode {mode:?}"));
+                }
+            }
+            DramCommand::Aap3 { srcs, mode, .. } => {
+                if let Err(e) = decoder.activate_triple(srcs) {
+                    violation(&mut violations, format!("illegal AAP3 activation: {e}"));
+                }
+                if mode != SaMode::Carry {
+                    violation(&mut violations, format!("AAP3 in SA mode {mode:?} (must be Carry)"));
+                }
+            }
+            DramCommand::Read { .. }
+            | DramCommand::Write { .. }
+            | DramCommand::Aap { .. }
+            | DramCommand::DpuOp => {}
+        }
+    }
+    Ok(InvariantReport {
+        commands_checked,
+        trace_dropped: trace.dropped(),
+        ledger_checkpoints,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genomes::{generate, Scenario};
+
+    #[test]
+    fn full_pipeline_trace_satisfies_all_invariants() {
+        let case = generate(Scenario::Random, 400, 21);
+        let report = check_pipeline(&case, 9, 1).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.commands_checked > 1000, "expected a substantial trace");
+        assert_eq!(report.trace_dropped, 0);
+        assert_eq!(report.ledger_checkpoints, 3);
+    }
+
+    #[test]
+    fn repeat_heavy_pipeline_also_clean() {
+        let case = generate(Scenario::RepeatHeavy, 400, 22);
+        let report = check_pipeline(&case, 9, 1).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn ledger_conservation_helper_detects_balance() {
+        let mut ctrl = Controller::new(DramGeometry::paper_assembly());
+        assert!(ledger_conserved(&ctrl), "an idle controller is trivially conserved");
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        let cols = ctrl.geometry().cols;
+        ctrl.write_row(id, 0, &pim_dram::BitRow::ones(cols)).unwrap();
+        ctrl.read_row(id, 0).unwrap();
+        ctrl.dpu_ops(5);
+        assert!(ledger_conserved(&ctrl));
+        // A detached context makes conservation undefined → reported false.
+        let ctx = ctrl.detach_context(id).unwrap();
+        assert!(!ledger_conserved(&ctrl));
+        ctrl.reattach_context(ctx).unwrap();
+        assert!(ledger_conserved(&ctrl));
+    }
+}

@@ -9,7 +9,8 @@
 //! * [`circuits`] — analog behavioral models (transients, variation, area),
 //! * [`genome`] — the genome-assembly algorithm toolkit,
 //! * [`platforms`] — CPU/GPU/HMC/Ambit/DRISA baseline models,
-//! * [`assembler`] — the PIM-Assembler core (mapping, kernels, pipeline).
+//! * [`assembler`] — the PIM-Assembler core (mapping, kernels, pipeline),
+//! * [`verify`] — differential oracles, trace invariants, fault injection.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the paper-to-module map.
 
@@ -18,3 +19,4 @@ pub use pim_circuits as circuits;
 pub use pim_dram as dram;
 pub use pim_genome as genome;
 pub use pim_platforms as platforms;
+pub use pim_verify as verify;

@@ -1,0 +1,69 @@
+//! Differential regression suite: the PIM pipeline's contigs must equal
+//! the software assembler's, bit for bit, on seeded random and
+//! repeat-heavy genomes, at 1 and 4 workers.
+//!
+//! This is the integration-level face of the `pim-verify` oracles: where
+//! those compare stage kernels in isolation, this compares the *composed*
+//! pipeline output across worker counts.
+
+use pim_assembler_suite::assembler::{PimAssembler, PimAssemblerConfig};
+use pim_assembler_suite::genome::assemble::{AssemblyConfig, SoftwareAssembler};
+use pim_assembler_suite::verify::{generate, Scenario};
+
+fn contig_multiset(contigs: &[pim_assembler_suite::genome::Contig]) -> Vec<String> {
+    let mut out: Vec<String> = contigs.iter().map(|c| c.to_string()).collect();
+    out.sort();
+    out
+}
+
+fn assert_pim_equals_software(scenario: Scenario, seed: u64, k: usize, workers: usize) {
+    let case = generate(scenario, 600, seed);
+    let soft = SoftwareAssembler::new(AssemblyConfig::new(k)).assemble(&case.reads);
+    let mut pim = PimAssembler::new(PimAssemblerConfig::small_test(k).with_workers(workers));
+    let run = pim.assemble(&case.reads).unwrap();
+    assert_eq!(
+        contig_multiset(&run.assembly.contigs),
+        contig_multiset(&soft.contigs),
+        "{} seed {seed} k {k} workers {workers}: contigs diverged",
+        scenario.name()
+    );
+    assert_eq!(run.assembly.distinct_kmers, soft.distinct_kmers);
+    assert_eq!(run.assembly.graph_edges, soft.graph_edges);
+    assert_eq!(run.hash_stats.shadow_mismatches, 0, "clean run must not detect corruption");
+    assert_eq!(run.traverse_stats.degree_mismatches, 0);
+}
+
+#[test]
+fn random_genomes_serial() {
+    for seed in [100u64, 101, 102] {
+        assert_pim_equals_software(Scenario::Random, seed, 13, 1);
+    }
+}
+
+#[test]
+fn random_genomes_four_workers() {
+    for seed in [100u64, 101, 102] {
+        assert_pim_equals_software(Scenario::Random, seed, 13, 4);
+    }
+}
+
+#[test]
+fn repeat_heavy_genomes_serial() {
+    for seed in [200u64, 201] {
+        assert_pim_equals_software(Scenario::RepeatHeavy, seed, 11, 1);
+    }
+}
+
+#[test]
+fn repeat_heavy_genomes_four_workers() {
+    for seed in [200u64, 201] {
+        assert_pim_equals_software(Scenario::RepeatHeavy, seed, 11, 4);
+    }
+}
+
+#[test]
+fn low_coverage_genomes_both_worker_counts() {
+    for workers in [1usize, 4] {
+        assert_pim_equals_software(Scenario::LowCoverage, 300, 11, workers);
+    }
+}
