@@ -1,0 +1,59 @@
+//! End-to-end hot-path timing: wall-clock of the full functional pipeline
+//! (hashmap → de Bruijn → traverse) on a scaled dataset, serial vs the
+//! persistent worker pool, with a byte-identical-stats cross-check.
+//!
+//! Usage: `hot_path_e2e [--seed N] [--genome-len N] [--k N]`
+//!
+//! This is the coarse companion to the `hot_path` Criterion micro-benches
+//! and to `pim-asm bench --json`, which produces the machine-readable
+//! `BENCH_*.json` form of the same measurement.
+
+use std::time::Instant;
+
+use pim_assembler::{PimAssembler, PimAssemblerConfig};
+use pim_bench::{scaled_dataset, seed_from_args};
+
+fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).and_then(|w| w[1].parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let genome_len = arg("--genome-len", 3000);
+    let k = arg("--k", 16);
+    let subarrays = (genome_len / 300 + 2).next_power_of_two().max(8);
+    let (_, reads) = scaled_dataset(genome_len, 8.0, seed);
+    println!(
+        "hot-path e2e: genome {genome_len} bp, {} reads, k = {k}, {subarrays} hash sub-arrays\n",
+        reads.len()
+    );
+
+    let mut results = Vec::new();
+    for workers in [1usize, 4] {
+        let config =
+            PimAssemblerConfig::paper(k).with_hash_subarrays(subarrays).with_workers(workers);
+        let mut asm = PimAssembler::new(config);
+        let start = Instant::now();
+        let run = asm.assemble(&reads).expect("scaled run fits the hash partition");
+        let wall = start.elapsed();
+        println!(
+            "workers = {workers}: {:>8.1} ms wall, {} contigs, {} commands simulated",
+            wall.as_secs_f64() * 1e3,
+            run.assembly.contigs.len(),
+            run.report.commands.total_commands(),
+        );
+        results.push((workers, run));
+    }
+
+    // The pool must not change the simulation: identical command stats
+    // regardless of worker count.
+    let (_, baseline) = &results[0];
+    for (workers, run) in &results[1..] {
+        assert_eq!(
+            baseline.report.commands, run.report.commands,
+            "stats diverged between serial and {workers}-worker pool"
+        );
+    }
+    println!("\nstats identical across worker counts: ok");
+}

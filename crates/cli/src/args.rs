@@ -18,7 +18,7 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 11] = [
+const VALUE_KEYS: [&str; 14] = [
     "k",
     "min-count",
     "coverage",
@@ -30,6 +30,9 @@ const VALUE_KEYS: [&str; 11] = [
     "workers",
     "faults",
     "genome-len",
+    "iters",
+    "out",
+    "baseline",
 ];
 
 impl ParsedArgs {

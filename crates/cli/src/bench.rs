@@ -1,0 +1,268 @@
+//! Hot-path timing measurements backing `pim-asm bench`.
+//!
+//! Measures host-side simulator throughput on the AAP hot path — the
+//! per-command `op2`/`op3` kernels, instruction-stream execution, and the
+//! end-to-end three-stage pipeline — and renders the numbers as a
+//! `BENCH_*.json` perf-trajectory artifact. A previous artifact can be
+//! passed back in as a baseline to record speedups across commits.
+//!
+//! The JSON schema is flat on purpose (one object per measurement, all
+//! values in nanoseconds per operation) so it can be produced and consumed
+//! without a serde dependency.
+
+use std::time::Instant;
+
+use pim_assembler::exec::StreamExecutor;
+use pim_assembler::programs::full_adder_program;
+use pim_assembler::{PimAssembler, PimAssemblerConfig};
+use pim_dram::address::RowAddr;
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::sense_amp::SaMode;
+use pim_genome::reads::ReadSimulator;
+use pim_genome::sequence::DnaSequence;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One timed hot-path measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Stable measurement key (used to match baselines across runs).
+    pub name: String,
+    /// Nanoseconds per operation (or per pipeline run for `pipeline_e2e`).
+    pub ns_per_op: f64,
+    /// How many operations the timing loop executed.
+    pub ops: u64,
+}
+
+/// Results of one full `pim-asm bench` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// All measurements, in execution order.
+    pub measurements: Vec<Measurement>,
+    /// Whether the serial and worker-pool pipeline runs produced
+    /// bit-identical contigs and command statistics.
+    pub serial_parallel_identical: bool,
+}
+
+fn setup() -> (Controller, pim_dram::SubarrayId) {
+    let ctrl = Controller::new(DramGeometry::paper_assembly());
+    let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+    (ctrl, id)
+}
+
+/// Times `iters` repetitions of `f`, returning ns per repetition.
+fn time_ns_per_op<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    // One warm-up pass keeps one-time lazy work out of the measurement.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Two-source AAP (XNOR) issued directly at the controller, result unused —
+/// the dominant command of the hashmap stage.
+fn bench_op2(iters: u64) -> Measurement {
+    let (mut ctrl, id) = setup();
+    let cols = ctrl.geometry().cols;
+    ctrl.write_row(id, 1, &BitRow::from_fn(cols, |i| i % 2 == 0)).unwrap();
+    ctrl.write_row(id, 2, &BitRow::from_fn(cols, |i| i % 3 == 0)).unwrap();
+    let (x1, x2) = (ctrl.compute_row(0), ctrl.compute_row(1));
+    ctrl.aap_copy(id, 1, x1).unwrap();
+    ctrl.aap_copy(id, 2, x2).unwrap();
+    let ns = time_ns_per_op(iters, || {
+        ctrl.aap2_discard(id, SaMode::Xnor, [x1, x2], RowAddr(9)).unwrap();
+    });
+    Measurement { name: "op2_xnor".into(), ns_per_op: ns, ops: iters }
+}
+
+/// Triple-row-activation carry, result unused — the dominant command of
+/// in-memory addition.
+fn bench_op3(iters: u64) -> Measurement {
+    let (mut ctrl, id) = setup();
+    let cols = ctrl.geometry().cols;
+    for r in 1..=3usize {
+        ctrl.write_row(id, r, &BitRow::from_fn(cols, |i| (i + r) % 3 == 0)).unwrap();
+    }
+    let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
+    ctrl.aap_copy(id, 1, x1).unwrap();
+    ctrl.aap_copy(id, 2, x2).unwrap();
+    ctrl.aap_copy(id, 3, x3).unwrap();
+    let ns = time_ns_per_op(iters, || {
+        ctrl.aap3_carry_discard(id, [x1, x2, x3], RowAddr(8)).unwrap();
+    });
+    Measurement { name: "op3_carry".into(), ns_per_op: ns, ops: iters }
+}
+
+/// The 11-command full-adder program through [`StreamExecutor`] — the shape
+/// stage kernels ship to detached contexts.
+fn bench_stream_exec(iters: u64) -> Measurement {
+    let (mut ctrl, id) = setup();
+    let cols = ctrl.geometry().cols;
+    for r in 1..=3usize {
+        ctrl.write_row(id, r, &BitRow::from_fn(cols, |i| (i + r) % 5 == 0)).unwrap();
+    }
+    ctrl.write_row(id, 4, &BitRow::zeros(cols)).unwrap();
+    let program = full_adder_program(
+        id,
+        RowAddr(1),
+        RowAddr(2),
+        RowAddr(3),
+        RowAddr(4),
+        RowAddr(10),
+        RowAddr(11),
+        [ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2)],
+        cols,
+    );
+    let ns = time_ns_per_op(iters, || {
+        StreamExecutor::execute_stream(&mut ctrl, &program).unwrap();
+    });
+    Measurement { name: "stream_full_adder".into(), ns_per_op: ns, ops: iters }
+}
+
+/// End-to-end three-stage pipeline wall-clock on a synthetic read set, run
+/// serially and through the worker pool; also checks the two runs agree
+/// bit-for-bit.
+fn bench_pipeline(genome_len: usize) -> (Measurement, Measurement, bool) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let genome = DnaSequence::random(&mut rng, genome_len);
+    let reads = ReadSimulator::new(101, 10.0).simulate(&genome, &mut rng);
+    let subarrays = (genome_len / 300 + 2).next_power_of_two().max(8);
+    let config = PimAssemblerConfig::paper(15).with_hash_subarrays(subarrays);
+
+    let run_once = |workers: usize| {
+        let mut asm = PimAssembler::new(config.with_workers(workers));
+        let start = Instant::now();
+        let run = asm.assemble(&reads).expect("bench dataset fits the hash partition");
+        (start.elapsed().as_nanos() as f64, run)
+    };
+
+    // Warm-up (page cache, allocator arenas), then one timed run each.
+    let _ = run_once(1);
+    let (serial_ns, serial_run) = run_once(1);
+    let (pool_ns, pool_run) = run_once(4);
+    let identical = serial_run.assembly.contigs == pool_run.assembly.contigs
+        && serial_run.report.commands == pool_run.report.commands;
+    (
+        Measurement { name: "pipeline_e2e_serial".into(), ns_per_op: serial_ns, ops: 1 },
+        Measurement { name: "pipeline_e2e_pool4".into(), ns_per_op: pool_ns, ops: 1 },
+        identical,
+    )
+}
+
+/// Runs the full sweep. `iters` scales the micro-bench loops and
+/// `genome_len` the end-to-end dataset.
+pub fn run_all(iters: u64, genome_len: usize) -> BenchReport {
+    let mut measurements = Vec::new();
+    measurements.push(bench_op2(iters));
+    measurements.push(bench_op3(iters));
+    measurements.push(bench_stream_exec(iters / 8 + 1));
+    let (serial, pool, identical) = bench_pipeline(genome_len);
+    measurements.push(serial);
+    measurements.push(pool);
+    BenchReport { measurements, serial_parallel_identical: identical }
+}
+
+/// Renders the report as the `BENCH_*.json` artifact. When `baseline`
+/// measurements are given, matching names gain `baseline_ns_per_op` and
+/// `speedup` fields.
+pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pim-bench-hotpath-v1\",\n  \"results\": [\n");
+    for (i, m) in report.measurements.iter().enumerate() {
+        let sep = if i + 1 < report.measurements.len() { "," } else { "" };
+        let base = baseline.iter().find(|b| b.name == m.name);
+        match base {
+            Some(b) if m.ns_per_op > 0.0 => out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}, \"ops\": {}, \
+                 \"baseline_ns_per_op\": {:.2}, \"speedup\": {:.3}}}{}\n",
+                m.name,
+                m.ns_per_op,
+                m.ops,
+                b.ns_per_op,
+                b.ns_per_op / m.ns_per_op,
+                sep
+            )),
+            _ => out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}, \"ops\": {}}}{}\n",
+                m.name, m.ns_per_op, m.ops, sep
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "  ],\n  \"serial_parallel_identical\": {}\n}}\n",
+        report.serial_parallel_identical
+    ));
+    out
+}
+
+/// Parses the measurements back out of a `BENCH_*.json` artifact produced
+/// by [`to_json`] (names and `ns_per_op` only — enough to baseline).
+pub fn parse_measurements(json: &str) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else { continue };
+        let name = &chunk[..name_end];
+        let Some(v) = chunk[name_end..].split("\"ns_per_op\": ").nth(1) else { continue };
+        let num: String =
+            v.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(ns_per_op) = num.parse::<f64>() {
+            out.push(Measurement { name: name.to_string(), ns_per_op, ops: 0 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let report = BenchReport {
+            measurements: vec![
+                Measurement { name: "op2_xnor".into(), ns_per_op: 123.45, ops: 10 },
+                Measurement { name: "pipeline_e2e_serial".into(), ns_per_op: 9.5e8, ops: 1 },
+            ],
+            serial_parallel_identical: true,
+        };
+        let json = to_json(&report, &[]);
+        let parsed = parse_measurements(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "op2_xnor");
+        assert!((parsed[0].ns_per_op - 123.45).abs() < 1e-9);
+        assert!((parsed[1].ns_per_op - 9.5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn baseline_produces_speedup_fields() {
+        let report = BenchReport {
+            measurements: vec![Measurement { name: "op2_xnor".into(), ns_per_op: 50.0, ops: 10 }],
+            serial_parallel_identical: true,
+        };
+        let baseline = vec![Measurement { name: "op2_xnor".into(), ns_per_op: 100.0, ops: 0 }];
+        let json = to_json(&report, &baseline);
+        assert!(json.contains("\"speedup\": 2.000"), "{json}");
+        assert!(json.contains("\"baseline_ns_per_op\": 100.00"), "{json}");
+    }
+
+    #[test]
+    fn quick_sweep_produces_all_measurements() {
+        let report = run_all(50, 600);
+        let names: Vec<&str> = report.measurements.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "op2_xnor",
+                "op3_carry",
+                "stream_full_adder",
+                "pipeline_e2e_serial",
+                "pipeline_e2e_pool4"
+            ]
+        );
+        assert!(report.measurements.iter().all(|m| m.ns_per_op > 0.0));
+        assert!(report.serial_parallel_identical);
+    }
+}

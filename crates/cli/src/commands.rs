@@ -26,6 +26,7 @@ USAGE:
   pim-asm stats <contigs.fasta>                     N50/N90/L50 and length table
   pim-asm throughput                                Fig. 3b bulk-op throughput table
   pim-asm verify [options]                          differential + fault verification suite
+  pim-asm bench [options]                           hot-path timing harness (BENCH_*.json)
   pim-asm help                                      this text
 
 ASSEMBLE OPTIONS:
@@ -52,6 +53,13 @@ VERIFY OPTIONS:
   --seed N         base RNG seed (default 42)
   --faults LIST    comma-separated sense-amp flip rates to campaign over
                    (default 1e-4; pass `none` to skip fault injection)
+
+BENCH OPTIONS:
+  --iters N        micro-bench loop iterations (default 100000)
+  --genome-len N   end-to-end dataset genome length (default 3000)
+  --json           print the JSON artifact to stdout
+  --out PATH       write the JSON artifact to PATH
+  --baseline PATH  previous BENCH_*.json to compute speedups against
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -192,6 +200,35 @@ pub fn verify(args: &ParsedArgs) -> CliResult {
     } else {
         Err("verification failed".into())
     }
+}
+
+/// `pim-asm bench`.
+pub fn bench(args: &ParsedArgs) -> CliResult {
+    let iters: u64 = args.get_num("iters", 100_000);
+    let genome_len: usize = args.get_num("genome-len", 3000);
+    let baseline = match args.get_str("baseline") {
+        Some(path) => crate::bench::parse_measurements(&std::fs::read_to_string(path)?),
+        None => Vec::new(),
+    };
+    let report = crate::bench::run_all(iters, genome_len);
+    for m in &report.measurements {
+        let extra = baseline
+            .iter()
+            .find(|b| b.name == m.name && m.ns_per_op > 0.0)
+            .map(|b| format!("  ({:.2}x vs baseline)", b.ns_per_op / m.ns_per_op))
+            .unwrap_or_default();
+        eprintln!("{:<24} {:>14.1} ns/op over {} ops{extra}", m.name, m.ns_per_op, m.ops);
+    }
+    eprintln!("serial vs worker-pool stats identical: {}", report.serial_parallel_identical);
+    let json = crate::bench::to_json(&report, &baseline);
+    if args.has_flag("json") {
+        print!("{json}");
+    }
+    if let Some(out) = args.get_str("out") {
+        std::fs::write(out, &json)?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
 }
 
 /// `pim-asm throughput`.

@@ -9,10 +9,13 @@
 //! pim-asm stats <contigs.fasta>
 //! pim-asm throughput
 //! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
+//! pim-asm bench [--iters 100000] [--genome-len 3000] [--json]
+//!         [--out BENCH.json] [--baseline BENCH_prev.json]
 //! pim-asm help
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 
 use args::ParsedArgs;
@@ -25,6 +28,7 @@ fn main() {
         "simulate" => commands::simulate(&parsed),
         "throughput" => commands::throughput(),
         "verify" => commands::verify(&parsed),
+        "bench" => commands::bench(&parsed),
         "" | "help" | "--help" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -5,9 +5,14 @@
 //! This module makes that parallelism *executable* in the functional
 //! model: a [`ParallelDispatcher`] checks per-sub-array
 //! [`SubarrayContext`]s out of the [`Controller`]
-//! ([`Controller::detach_context`]), drives each partition on a worker
-//! thread (`std::thread::scope`; the build environment has no `rayon`),
-//! and reattaches them in deterministic order.
+//! ([`Controller::detach_context`]), drives each partition on a
+//! persistent [`WorkerPool`] thread (std `mpsc`; the build environment
+//! has no `rayon`), and reattaches them in deterministic order. The pool
+//! threads are spawned once when the dispatcher is built and live for its
+//! whole lifetime, so repeated dispatches — the shape of the assembly
+//! pipeline, which dispatches once per stage batch — pay no per-call
+//! spawn cost; partitions are pulled from a shared queue, so slow
+//! partitions do not strand idle workers behind a static chunking.
 //!
 //! Correctness contract: because partitions touch disjoint sub-arrays and
 //! contexts account in integer [`pim_dram::ledger::EnergyLedger`]s, a
@@ -17,6 +22,11 @@
 //! fallback (`workers == 1`) runs the identical context-based path, so
 //! `serial()` vs `parallel()` differ only in wall-clock.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
 use pim_dram::address::SubarrayId;
 use pim_dram::context::SubarrayContext;
 use pim_dram::controller::Controller;
@@ -25,11 +35,138 @@ use crate::error::Result;
 use crate::exec::StreamExecutor;
 use crate::isa::InstructionStream;
 
+/// A type-erased unit of work shipped to a pool thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracks one batch of jobs submitted to the pool: outstanding count, a
+/// wake-up for the submitter, and the first captured panic payload.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fixed set of persistent worker threads draining a shared job queue.
+///
+/// Threads are spawned once at construction; every [`WorkerPool::scope`]
+/// call enqueues its jobs and blocks until all of them ran, which is what
+/// makes lending the caller's borrows to the (statically `'static`) job
+/// type sound. Dropping the pool closes the queue and joins the threads.
+struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers blocking on a shared queue.
+    fn new(threads: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || Self::drain(&rx))
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), handles }
+    }
+
+    /// Worker body: pull jobs until the queue closes. The queue lock is
+    /// held only across `recv`, never while a job runs, so pickup is
+    /// serialized but execution is parallel.
+    fn drain(rx: &Mutex<Receiver<Job>>) {
+        loop {
+            // Lock can only be poisoned if a peer died inside `recv`,
+            // which does not panic; treat poisoning as shutdown anyway.
+            let job = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => return,
+            };
+            match job {
+                Ok(job) => job(),
+                Err(_) => return, // queue closed: pool is shutting down
+            }
+        }
+    }
+
+    /// Runs the given jobs to completion on the pool, blocking the caller
+    /// until the last one finishes. Panics from jobs are captured and
+    /// re-raised here (first in completion order), after all jobs ended.
+    fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let batch = Arc::new(Batch {
+            remaining: Mutex::new(jobs.len()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let tx = self.tx.as_ref().expect("pool queue open until drop");
+        for job in jobs {
+            // SAFETY: `scope` blocks below until `remaining` hits zero, i.e.
+            // until every job has finished running, so the `'env` borrows
+            // inside the job strictly outlive its execution. The job is
+            // only ever run once, on a pool thread, within that window.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            let batch = Arc::clone(&batch);
+            let wrapped: Job = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                if let Err(payload) = outcome {
+                    let mut slot = batch.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
+                let mut remaining = batch.remaining.lock().unwrap();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    batch.done.notify_all();
+                }
+            });
+            tx.send(wrapped).expect("pool threads alive until drop");
+        }
+        let mut remaining = batch.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        let payload = batch.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
 /// Executes disjoint-sub-array partitions, concurrently when configured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Cloning is cheap and shares the underlying [`WorkerPool`] (if any);
+/// equality compares the configured worker count only.
+#[derive(Debug, Clone)]
 pub struct ParallelDispatcher {
     workers: usize,
+    /// Persistent pool, present iff `workers > 1`. Shared across clones.
+    pool: Option<Arc<WorkerPool>>,
 }
+
+impl PartialEq for ParallelDispatcher {
+    fn eq(&self, other: &Self) -> bool {
+        self.workers == other.workers
+    }
+}
+
+impl Eq for ParallelDispatcher {}
 
 impl Default for ParallelDispatcher {
     fn default() -> Self {
@@ -41,23 +178,25 @@ impl ParallelDispatcher {
     /// A dispatcher that runs every partition on the calling thread (the
     /// reference semantics; no threads are spawned).
     pub fn serial() -> Self {
-        ParallelDispatcher { workers: 1 }
+        ParallelDispatcher { workers: 1, pool: None }
     }
 
     /// A dispatcher using all available host parallelism.
     pub fn parallel() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelDispatcher { workers }
+        ParallelDispatcher::with_workers(workers)
     }
 
-    /// A dispatcher with an explicit worker count.
+    /// A dispatcher with an explicit worker count. For `workers > 1` the
+    /// pool threads are spawned here, once, and reused by every dispatch.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn with_workers(workers: usize) -> Self {
         assert!(workers > 0, "dispatcher needs at least one worker");
-        ParallelDispatcher { workers }
+        let pool = (workers > 1).then(|| Arc::new(WorkerPool::new(workers)));
+        ParallelDispatcher { workers, pool }
     }
 
     /// The configured worker count.
@@ -162,11 +301,12 @@ impl ParallelDispatcher {
         Ok(())
     }
 
-    /// Contiguously chunks `work` over `min(workers, len)` scoped threads;
-    /// concatenating the chunk results restores partition order.
+    /// Ships one job per partition to the persistent pool; each job fills
+    /// its own result slot, so collecting the slots restores partition
+    /// order no matter which worker ran what.
     fn run_on_threads<P, R, F>(
         &self,
-        mut work: Vec<(SubarrayContext, P)>,
+        work: Vec<(SubarrayContext, P)>,
         f: &F,
     ) -> Vec<(SubarrayContext, Result<R>)>
     where
@@ -174,42 +314,26 @@ impl ParallelDispatcher {
         R: Send,
         F: Fn(&mut SubarrayContext, P) -> Result<R> + Sync,
     {
-        let threads = self.workers.min(work.len());
-        let per_chunk = work.len().div_ceil(threads);
-        let mut chunks = Vec::with_capacity(threads);
-        while !work.is_empty() {
-            let rest = work.split_off(per_chunk.min(work.len()));
-            chunks.push(std::mem::replace(&mut work, rest));
-        }
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .into_iter()
-                            .map(|(mut ctx, payload)| {
-                                let r = f(&mut ctx, payload);
-                                (ctx, r)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            let mut out = Vec::new();
-            let mut panic = None;
-            for handle in handles {
-                match handle.join() {
-                    Ok(part) => out.extend(part),
-                    Err(payload) => panic = Some(payload),
-                }
-            }
-            if let Some(payload) = panic {
-                std::panic::resume_unwind(payload);
-            }
-            out
-        })
+        type Slot<R> = Mutex<Option<(SubarrayContext, Result<R>)>>;
+        let pool = self.pool.as_ref().expect("workers > 1 implies a pool");
+        let slots: Vec<Slot<R>> = work.iter().map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = work
+            .into_iter()
+            .zip(&slots)
+            .map(|((mut ctx, payload), slot)| {
+                Box::new(move || {
+                    let r = f(&mut ctx, payload);
+                    *slot.lock().unwrap() = Some((ctx, r));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(jobs);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("no panic reached here").expect("scope ran every job")
+            })
+            .collect()
     }
 }
 

@@ -47,6 +47,14 @@ pub enum PimError {
         /// The instruction shape that rejected it.
         shape: &'static str,
     },
+    /// A compiled template executed with the wrong number of row bindings
+    /// for its kernel's role set.
+    TemplateArity {
+        /// Roles the kernel binds.
+        expected: usize,
+        /// Rows actually supplied.
+        provided: usize,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -63,6 +71,9 @@ impl fmt::Display for PimError {
             }
             PimError::UnsupportedSaMode { mode, shape } => {
                 write!(f, "sense-amp mode {mode:?} is not supported by {shape}")
+            }
+            PimError::TemplateArity { expected, provided } => {
+                write!(f, "template binds {expected} row roles, {provided} supplied")
             }
         }
     }

@@ -43,12 +43,12 @@ impl StreamExecutor {
                     return Err(PimError::UnsupportedSaMode { mode, shape: "two-source AAP" });
                 }
                 for _ in 0..rows_of(size, row_bits) {
-                    port.aap2(subarray, mode, srcs, dst)?;
+                    port.aap2_discard(subarray, mode, srcs, dst)?;
                 }
             }
             AapInstruction::ThreeSrc { subarray, srcs, dst, size } => {
                 for _ in 0..rows_of(size, row_bits) {
-                    port.aap3_carry(subarray, srcs, dst)?;
+                    port.aap3_carry_discard(subarray, srcs, dst)?;
                 }
             }
         }

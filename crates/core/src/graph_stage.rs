@@ -94,6 +94,9 @@ impl GraphStage {
 
         let mut graph: Option<DeBruijnGraph> = None;
         let mut write_cursor = 0usize;
+        // One image buffer for the whole construction loop (it used to be
+        // re-allocated three times per surviving k-mer).
+        let mut image = pim_dram::bitrow::BitRow::zeros(cols);
         for (kmer, count) in entries {
             if count < min_count {
                 continue;
@@ -102,12 +105,13 @@ impl GraphStage {
                 .get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
             g.add_kmer(kmer, count);
             stats.edges_inserted += 1;
+            mapper.row_image_into(&kmer, &mut image);
             // MEM_insert: node_1, node_2, and the edge-list entry — three
             // row writes into the graph region (Fig. 5's pseudocode inserts
             // all three).
             for _ in 0..3 {
                 let row = RowAddr(write_cursor % layout.kmer_rows());
-                ctrl.write_row(graph_region, row, &mapper.row_image(&kmer, cols))?;
+                ctrl.write_row(graph_region, row, &image)?;
                 write_cursor += 1;
                 stats.mem_inserts += 1;
             }

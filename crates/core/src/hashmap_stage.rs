@@ -17,6 +17,7 @@
 //! totals to the serial insert order.
 
 use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
 use pim_dram::controller::Controller;
 use pim_dram::port::AapPort;
 use pim_genome::kmer::Kmer;
@@ -110,6 +111,7 @@ impl PimHashTable {
     /// * DRAM addressing errors.
     pub fn insert(&mut self, ctrl: &mut impl AapPort, kmer: Kmer) -> Result<u64> {
         let (sub_idx, _) = self.mapper.home(&kmer);
+        let mut image = BitRow::zeros(ctrl.geometry().cols);
         Self::insert_one(
             ctrl,
             &self.mapper,
@@ -117,6 +119,7 @@ impl PimHashTable {
             &mut self.slots[sub_idx],
             &mut self.stats,
             kmer,
+            &mut image,
         )
     }
 
@@ -159,8 +162,12 @@ impl PimHashTable {
             let (sub_idx, group, mut slots): (usize, Vec<Kmer>, Vec<Option<Kmer>>) = payload;
             let mut stats = HashStats::default();
             let mut first_err = None;
+            // One image buffer for the whole group: the per-k-mer loop is
+            // allocation-free in steady state.
+            let mut image = BitRow::zeros(ctx.geometry().cols);
             for kmer in group {
-                if let Err(e) = Self::insert_one(ctx, mapper, sub_idx, &mut slots, &mut stats, kmer)
+                if let Err(e) =
+                    Self::insert_one(ctx, mapper, sub_idx, &mut slots, &mut stats, kmer, &mut image)
                 {
                     first_err = Some(e);
                     break;
@@ -271,16 +278,16 @@ impl PimHashTable {
         slots: &mut [Option<Kmer>],
         stats: &mut HashStats,
         kmer: Kmer,
+        image: &mut BitRow,
     ) -> Result<u64> {
-        let cols = port.geometry().cols;
         let layout = *mapper.layout();
         let (_, bucket_row) = mapper.home(&kmer);
         let subarray = mapper.subarrays()[sub_idx];
-        let image = mapper.row_image(&kmer, cols);
+        mapper.row_image_into(&kmer, image);
         stats.inserted_total += 1;
 
         // Stage the query once (temp write + clone into x1).
-        PimComparator::stage_query(port, subarray, layout.temp_row(0), &image)?;
+        PimComparator::stage_query(port, subarray, layout.temp_row(0), image)?;
 
         // Linear probe from the bucket start, wrapping across the region.
         let kmer_rows = layout.kmer_rows();

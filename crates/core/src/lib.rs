@@ -18,6 +18,8 @@
 //! * [`exec`] — instruction-stream execution against any AAP port,
 //! * [`dispatch`] — parallel per-sub-array stream dispatch,
 //! * [`dpu`] — the MAT-level digital processing unit,
+//! * [`template`] — compiled, reusable AAP kernel templates (the hot-path
+//!   form of the [`programs`] constructors),
 //! * [`pim_xnor`] — the parallel in-memory comparator (Fig. 7),
 //! * [`pim_add`] — carry-save + bit-serial in-memory addition (Fig. 8),
 //! * [`mapping`] — correlated data partitioning and mapping (Fig. 6),
@@ -64,6 +66,7 @@ pub mod pim_xnor;
 pub mod pipeline;
 pub mod programs;
 pub mod scaffold_stage;
+pub mod template;
 pub mod traverse_stage;
 
 pub use config::PimAssemblerConfig;

@@ -92,8 +92,17 @@ impl KmerMapper {
     /// first, zero-padded to the row width — "each row stores up to
     /// 128 bps".
     pub fn row_image(&self, kmer: &Kmer, cols: usize) -> BitRow {
-        let bits = kmer.to_sequence().to_row_bits(cols / 2);
-        BitRow::from_bits(bits)
+        let mut out = BitRow::zeros(cols);
+        self.row_image_into(kmer, &mut out);
+        out
+    }
+
+    /// Reloads `out` (an existing row-width buffer) with the image of
+    /// `kmer` — the allocation-free form of [`KmerMapper::row_image`] the
+    /// per-k-mer stage loops use. The 2-bit base encoding is exactly the
+    /// k-mer's packed representation, so this is one masked word store.
+    pub fn row_image_into(&self, kmer: &Kmer, out: &mut BitRow) {
+        out.load_u64(kmer.packed(), 2 * kmer.k());
     }
 }
 
@@ -162,6 +171,21 @@ mod tests {
         assert_eq!(img.extract(0, 8).to_u64(), kmer.packed());
         // The padding is zero.
         assert!(img.extract(8, 248).all_zeros());
+    }
+
+    #[test]
+    fn row_image_into_matches_per_bit_packing_and_clears_stale_bits() {
+        let m = mapper();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut out = BitRow::ones(256); // stale content must be cleared
+        for len in [4usize, 11, 16, 32] {
+            let seq = DnaSequence::random(&mut rng, len);
+            let kmer = Kmer::from_sequence(&seq, 0, len).unwrap();
+            let reference = BitRow::from_bits(kmer.to_sequence().to_row_bits(128));
+            m.row_image_into(&kmer, &mut out);
+            assert_eq!(out, reference, "k={len}");
+            assert_eq!(out, m.row_image(&kmer, 256), "k={len}");
+        }
     }
 
     #[test]

@@ -18,8 +18,10 @@
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
 use pim_dram::port::AapPort;
+use pim_dram::sense_amp::SaMode;
 
 use crate::error::{PimError, Result};
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// A pool of free data rows used for intermediate carry-save results
 /// (the `Resv.` region of Fig. 8).
@@ -87,16 +89,16 @@ impl PimAdder {
         ctrl.aap_copy(subarray, c, x1)?;
         ctrl.aap_copy(subarray, zero, x2)?;
         ctrl.aap_copy(subarray, c, x3)?;
-        ctrl.aap3_carry(subarray, [x1, x2, x3], sum_dst)?; // sum_dst is scratch here
-                                                           // 2. Sum cycle: a ⊕ b ⊕ latch.
+        ctrl.aap3_carry_discard(subarray, [x1, x2, x3], sum_dst)?; // sum_dst is scratch here
+                                                                   // 2. Sum cycle: a ⊕ b ⊕ latch.
         ctrl.aap_copy(subarray, a, x1)?;
         ctrl.aap_copy(subarray, b, x2)?;
-        ctrl.aap2_sum(subarray, [x1, x2], sum_dst)?;
+        ctrl.aap2_discard(subarray, SaMode::CarrySum, [x1, x2], sum_dst)?;
         // 3. Carry cycle: MAJ(a, b, c).
         ctrl.aap_copy(subarray, a, x1)?;
         ctrl.aap_copy(subarray, b, x2)?;
         ctrl.aap_copy(subarray, c, x3)?;
-        ctrl.aap3_carry(subarray, [x1, x2, x3], carry_dst)?;
+        ctrl.aap3_carry_discard(subarray, [x1, x2, x3], carry_dst)?;
         Ok(())
     }
 
@@ -121,6 +123,16 @@ impl PimAdder {
         if addends.is_empty() {
             return Ok(Vec::new());
         }
+        // Compile the full-adder kernel once for this geometry; every
+        // carry-save and ripple step below replays the same template, so
+        // the reduction loop pushes no per-step instruction vectors.
+        let cols = ctrl.geometry().cols;
+        let adder = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::FullAdder,
+            row_bits: cols,
+            size: cols,
+        });
+        let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
         // Rows pending per significance; `owned` rows recycle into scratch.
         #[derive(Clone, Copy)]
         struct Pending {
@@ -141,8 +153,10 @@ impl PimAdder {
                 );
                 let sum_row = scratch.alloc()?;
                 let carry_row = scratch.alloc()?;
-                PimAdder::full_add(
-                    ctrl, subarray, p1.row, p2.row, p3.row, zero, sum_row, carry_row,
+                adder.execute(
+                    ctrl,
+                    subarray,
+                    &[p1.row, p2.row, p3.row, zero, sum_row, carry_row, x1, x2, x3],
                 )?;
                 for p in [p1, p2, p3] {
                     if p.owned {
@@ -181,7 +195,11 @@ impl PimAdder {
             let c = operands.get(2).copied().unwrap_or(Pending { row: zero, owned: false });
             let sum_row = scratch.alloc()?;
             let carry_row = scratch.alloc()?;
-            PimAdder::full_add(ctrl, subarray, a.row, b.row, c.row, zero, sum_row, carry_row)?;
+            adder.execute(
+                ctrl,
+                subarray,
+                &[a.row, b.row, c.row, zero, sum_row, carry_row, x1, x2, x3],
+            )?;
             for p in operands {
                 if p.owned {
                     scratch.release(p.row);

@@ -3,12 +3,15 @@
 //! The §II-B software support expresses every bulk operation as an AAP
 //! sequence; these constructors build the canonical sequences as
 //! [`InstructionStream`] programs a host runtime would emit, executable via
-//! [`crate::exec::StreamExecutor`].
+//! [`crate::exec::StreamExecutor`]. The op skeletons themselves live in
+//! [`crate::template`] — these constructors are the ahead-of-time
+//! materialization of the same compiled kernels, so a template execution
+//! and its program stream can never drift apart.
 
 use pim_dram::address::{RowAddr, SubarrayId};
-use pim_dram::sense_amp::SaMode;
 
-use crate::isa::{AapInstruction, InstructionStream};
+use crate::isa::InstructionStream;
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// The canonical XNOR program: RowClone both operands into compute rows,
 /// then one two-source AAP — the paper's 3-command comparison.
@@ -21,19 +24,8 @@ pub fn xnor_program(
     x2: RowAddr,
     row_bits: usize,
 ) -> InstructionStream {
-    [
-        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
-        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
-        AapInstruction::TwoSrc {
-            subarray,
-            srcs: [x1, x2],
-            dst,
-            mode: SaMode::Xnor,
-            size: row_bits,
-        },
-    ]
-    .into_iter()
-    .collect()
+    CompiledTemplate::compile(TemplateKey { kernel: Kernel::Xnor, row_bits, size: row_bits })
+        .to_stream(subarray, &[a, b, dst, x1, x2])
 }
 
 /// The canonical full-adder program over rows `a + b + c`: latch the carry
@@ -52,30 +44,8 @@ pub fn full_adder_program(
     row_bits: usize,
 ) -> InstructionStream {
     let [x1, x2, x3] = x;
-    [
-        // Latch c.
-        AapInstruction::Copy { subarray, src: c, dst: x1, size: row_bits },
-        AapInstruction::Copy { subarray, src: zero, dst: x2, size: row_bits },
-        AapInstruction::Copy { subarray, src: c, dst: x3, size: row_bits },
-        AapInstruction::ThreeSrc { subarray, srcs: [x1, x2, x3], dst: sum_dst, size: row_bits },
-        // Sum cycle.
-        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
-        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
-        AapInstruction::TwoSrc {
-            subarray,
-            srcs: [x1, x2],
-            dst: sum_dst,
-            mode: SaMode::CarrySum,
-            size: row_bits,
-        },
-        // Carry cycle.
-        AapInstruction::Copy { subarray, src: a, dst: x1, size: row_bits },
-        AapInstruction::Copy { subarray, src: b, dst: x2, size: row_bits },
-        AapInstruction::Copy { subarray, src: c, dst: x3, size: row_bits },
-        AapInstruction::ThreeSrc { subarray, srcs: [x1, x2, x3], dst: carry_dst, size: row_bits },
-    ]
-    .into_iter()
-    .collect()
+    CompiledTemplate::compile(TemplateKey { kernel: Kernel::FullAdder, row_bits, size: row_bits })
+        .to_stream(subarray, &[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3])
 }
 
 #[cfg(test)]

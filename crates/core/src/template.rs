@@ -1,0 +1,419 @@
+//! Compiled AAP program templates.
+//!
+//! The assembly stages execute the same small AAP kernels — the 3-command
+//! `PIM_XNOR` comparison, the 11-command full-adder slice — millions of
+//! times, varying only the concrete row operands. Re-emitting a fresh
+//! `Vec<AapInstruction>` per invocation (the [`crate::programs`]
+//! constructors) pays an allocation and a re-derivation of the per-row
+//! repeat count on every call. A [`CompiledTemplate`] lifts that work out
+//! of the hot loop: a kernel *shape* — [`Kernel`] × row width × bulk size,
+//! the [`TemplateKey`] — is compiled once into a skeleton of ops over
+//! *role slots* (operand indices, not row addresses), and then executed
+//! any number of times by binding concrete rows at call time. Execution
+//! goes through the discard AAP variants, so a template run is
+//! allocation-free and produces byte-identical array state and command
+//! accounting to the equivalent [`crate::exec::StreamExecutor`] stream.
+//!
+//! [`TemplateCache`] memoizes compilations per shape; the per-class
+//! command counts of a template ([`CompiledTemplate::command_counts`])
+//! are precomputed at compile time, which is what lets callers account
+//! repeated executions in one batched `charge_many`-style synthetic
+//! charge when they replay a template analytically instead of executing
+//! it (see [`pim_dram::port::AapPort::record_synthetic`]).
+
+use std::collections::HashMap;
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::port::AapPort;
+use pim_dram::sense_amp::SaMode;
+
+use crate::error::{PimError, Result};
+use crate::isa::{AapInstruction, InstructionStream};
+
+/// The kernels the stages compile to templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// The 3-command comparison: clone both operands, XNOR them.
+    /// Roles: `[a, b, dst, x1, x2]`.
+    Xnor,
+    /// The 11-command full-adder slice (Fig. 8): latch `c`, sum cycle,
+    /// carry cycle. Roles: `[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3]`.
+    FullAdder,
+}
+
+impl Kernel {
+    /// Number of row roles the kernel binds at execution time.
+    pub fn roles(self) -> usize {
+        match self {
+            Kernel::Xnor => 5,
+            Kernel::FullAdder => 9,
+        }
+    }
+}
+
+/// One compiled shape: kernel × row width × bulk vector size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemplateKey {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Row width in bits (`DramGeometry::cols`).
+    pub row_bits: usize,
+    /// Bulk vector size in bits; sizes beyond one row repeat each command
+    /// per touched row, exactly as [`crate::exec::StreamExecutor`] does.
+    pub size: usize,
+}
+
+/// One op of a compiled skeleton. Row operands are role indices into the
+/// binding array supplied at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TemplateOp {
+    Copy { src: usize, dst: usize },
+    TwoSrc { srcs: [usize; 2], dst: usize, mode: SaMode },
+    ThreeSrc { srcs: [usize; 3], dst: usize },
+}
+
+/// A compiled, reusable AAP kernel skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTemplate {
+    key: TemplateKey,
+    ops: Vec<TemplateOp>,
+    /// Command repeats per op (the bulk-size row count), hoisted out of
+    /// the execution loop.
+    reps: usize,
+}
+
+impl CompiledTemplate {
+    /// Compiles the skeleton for `key`.
+    pub fn compile(key: TemplateKey) -> Self {
+        use TemplateOp::{Copy, ThreeSrc, TwoSrc};
+        let ops = match key.kernel {
+            // Roles: [a=0, b=1, dst=2, x1=3, x2=4].
+            Kernel::Xnor => vec![
+                Copy { src: 0, dst: 3 },
+                Copy { src: 1, dst: 4 },
+                TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Xnor },
+            ],
+            // Roles: [a=0, b=1, c=2, zero=3, sum_dst=4, carry_dst=5,
+            //         x1=6, x2=7, x3=8].
+            Kernel::FullAdder => vec![
+                // Latch c: TRA(c, 0, c) majors to c and loads the SA latch.
+                Copy { src: 2, dst: 6 },
+                Copy { src: 3, dst: 7 },
+                Copy { src: 2, dst: 8 },
+                ThreeSrc { srcs: [6, 7, 8], dst: 4 }, // sum_dst is scratch here
+                // Sum cycle: a ⊕ b ⊕ latch.
+                Copy { src: 0, dst: 6 },
+                Copy { src: 1, dst: 7 },
+                TwoSrc { srcs: [6, 7], dst: 4, mode: SaMode::CarrySum },
+                // Carry cycle: MAJ(a, b, c).
+                Copy { src: 0, dst: 6 },
+                Copy { src: 1, dst: 7 },
+                Copy { src: 2, dst: 8 },
+                ThreeSrc { srcs: [6, 7, 8], dst: 5 },
+            ],
+        };
+        let reps = key.size.div_ceil(key.row_bits).max(1);
+        CompiledTemplate { key, ops, reps }
+    }
+
+    /// The shape this template was compiled for.
+    pub fn key(&self) -> &TemplateKey {
+        &self.key
+    }
+
+    /// Per-class command counts of one execution, `(aap, aap2, aap3)` —
+    /// precomputed so a caller replaying the template analytically can
+    /// charge `n` executions in three batched synthetic charges instead
+    /// of `n × ops` individual ones.
+    pub fn command_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0u64, 0u64, 0u64);
+        for op in &self.ops {
+            match op {
+                TemplateOp::Copy { .. } => counts.0 += self.reps as u64,
+                TemplateOp::TwoSrc { .. } => counts.1 += self.reps as u64,
+                TemplateOp::ThreeSrc { .. } => counts.2 += self.reps as u64,
+            }
+        }
+        counts
+    }
+
+    /// Charges `n` executions of this template to `port` as synthetic
+    /// commands without executing them (batched `charge_many` accounting;
+    /// see [`pim_dram::port::AapPort::record_synthetic`]).
+    pub fn charge_executions(&self, port: &mut impl AapPort, n: u64) {
+        let (aap, aap2, aap3) = self.command_counts();
+        port.record_synthetic("AAP", aap * n);
+        port.record_synthetic("AAP2", aap2 * n);
+        port.record_synthetic("AAP3", aap3 * n);
+    }
+
+    /// Executes the template on `port` with the given role bindings.
+    /// Allocation-free: every command issues through the discard AAP
+    /// variants; state and accounting are byte-identical to executing the
+    /// equivalent [`InstructionStream`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::TemplateArity`] if `rows.len()` differs from the
+    ///   kernel's role count.
+    /// * DRAM addressing/decoder errors from the underlying port.
+    pub fn execute(
+        &self,
+        port: &mut impl AapPort,
+        subarray: SubarrayId,
+        rows: &[RowAddr],
+    ) -> Result<()> {
+        if rows.len() != self.key.kernel.roles() {
+            return Err(PimError::TemplateArity {
+                expected: self.key.kernel.roles(),
+                provided: rows.len(),
+            });
+        }
+        for op in &self.ops {
+            for _ in 0..self.reps {
+                match *op {
+                    TemplateOp::Copy { src, dst } => {
+                        port.aap_copy(subarray, rows[src], rows[dst])?;
+                    }
+                    TemplateOp::TwoSrc { srcs, dst, mode } => {
+                        port.aap2_discard(
+                            subarray,
+                            mode,
+                            [rows[srcs[0]], rows[srcs[1]]],
+                            rows[dst],
+                        )?;
+                    }
+                    TemplateOp::ThreeSrc { srcs, dst } => {
+                        port.aap3_carry_discard(
+                            subarray,
+                            [rows[srcs[0]], rows[srcs[1]], rows[srcs[2]]],
+                            rows[dst],
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the template as an [`InstructionStream`] — the shape
+    /// the [`crate::programs`] constructors emit. One instruction per op;
+    /// the bulk size carries the per-row repetition, exactly as
+    /// [`crate::exec::StreamExecutor`] expands it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` differs from the kernel's role count (this
+    /// is the ahead-of-time program-construction path, where arity is a
+    /// caller bug, not a data error).
+    pub fn to_stream(&self, subarray: SubarrayId, rows: &[RowAddr]) -> InstructionStream {
+        assert_eq!(rows.len(), self.key.kernel.roles(), "template arity mismatch");
+        let size = self.key.size;
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                TemplateOp::Copy { src, dst } => {
+                    AapInstruction::Copy { subarray, src: rows[src], dst: rows[dst], size }
+                }
+                TemplateOp::TwoSrc { srcs, dst, mode } => AapInstruction::TwoSrc {
+                    subarray,
+                    srcs: [rows[srcs[0]], rows[srcs[1]]],
+                    dst: rows[dst],
+                    mode,
+                    size,
+                },
+                TemplateOp::ThreeSrc { srcs, dst } => AapInstruction::ThreeSrc {
+                    subarray,
+                    srcs: [rows[srcs[0]], rows[srcs[1]], rows[srcs[2]]],
+                    dst: rows[dst],
+                    size,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Memoizing compile cache, one entry per [`TemplateKey`].
+#[derive(Debug, Clone, Default)]
+pub struct TemplateCache {
+    templates: HashMap<TemplateKey, CompiledTemplate>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TemplateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TemplateCache::default()
+    }
+
+    /// The compiled template for `key`, compiling on first use.
+    pub fn get(&mut self, key: TemplateKey) -> &CompiledTemplate {
+        match self.templates.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(CompiledTemplate::compile(key))
+            }
+        }
+    }
+
+    /// `(hits, misses)` — misses are compilations.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Distinct shapes compiled so far.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether no shape has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::StreamExecutor;
+    use pim_dram::bitrow::BitRow;
+    use pim_dram::controller::Controller;
+    use pim_dram::geometry::DramGeometry;
+
+    fn setup() -> (Controller, SubarrayId) {
+        let ctrl = Controller::new(DramGeometry::paper_assembly());
+        let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+        (ctrl, id)
+    }
+
+    fn xnor_key(cols: usize) -> TemplateKey {
+        TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: cols }
+    }
+
+    #[test]
+    fn template_execution_matches_stream_execution() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let a = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 3 == 0);
+
+        let (mut direct, id) = setup();
+        let (mut streamed, _) = setup();
+        for ctrl in [&mut direct, &mut streamed] {
+            ctrl.write_row(id, 1, &a).unwrap();
+            ctrl.write_row(id, 2, &b).unwrap();
+        }
+        let rows =
+            [RowAddr(1), RowAddr(2), RowAddr(9), direct.compute_row(0), direct.compute_row(1)];
+        let template = CompiledTemplate::compile(xnor_key(cols));
+        template.execute(&mut direct, id, &rows).unwrap();
+        let stream = template.to_stream(id, &rows);
+        StreamExecutor::execute_stream(&mut streamed, &stream).unwrap();
+
+        assert_eq!(*direct.stats(), *streamed.stats());
+        assert_eq!(direct.ledger(), streamed.ledger());
+        for row in 0..direct.geometry().rows {
+            assert_eq!(direct.peek_row(id, row).unwrap(), streamed.peek_row(id, row).unwrap());
+        }
+        assert_eq!(direct.peek_row(id, 9).unwrap(), a.xnor(&b));
+    }
+
+    #[test]
+    fn full_adder_template_matches_program_constructor() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let (ctrl, id) = setup();
+        let rows = [
+            RowAddr(1),
+            RowAddr(2),
+            RowAddr(3),
+            RowAddr(4),
+            RowAddr(10),
+            RowAddr(11),
+            ctrl.compute_row(0),
+            ctrl.compute_row(1),
+            ctrl.compute_row(2),
+        ];
+        let template = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::FullAdder,
+            row_bits: cols,
+            size: cols,
+        });
+        let stream = template.to_stream(id, &rows);
+        let reference = crate::programs::full_adder_program(
+            id,
+            RowAddr(1),
+            RowAddr(2),
+            RowAddr(3),
+            RowAddr(4),
+            RowAddr(10),
+            RowAddr(11),
+            [ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2)],
+            cols,
+        );
+        assert_eq!(stream.instructions(), reference.instructions());
+        assert_eq!(template.command_counts(), (8, 1, 2));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let (mut ctrl, id) = setup();
+        let template = CompiledTemplate::compile(xnor_key(cols));
+        let err = template.execute(&mut ctrl, id, &[RowAddr(0)]).unwrap_err();
+        assert_eq!(err, PimError::TemplateArity { expected: 5, provided: 1 });
+        assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn cache_compiles_each_shape_once() {
+        let mut cache = TemplateCache::new();
+        let cols = 256;
+        for _ in 0..10 {
+            cache.get(xnor_key(cols));
+        }
+        cache.get(TemplateKey { kernel: Kernel::FullAdder, row_bits: cols, size: cols });
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (9, 2));
+    }
+
+    #[test]
+    fn bulk_sizes_repeat_commands_like_the_stream_executor() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let key = TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: 3 * cols };
+        let template = CompiledTemplate::compile(key);
+        assert_eq!(template.command_counts(), (6, 3, 0));
+
+        let (mut direct, id) = setup();
+        let (mut streamed, _) = setup();
+        let rows =
+            [RowAddr(1), RowAddr(2), RowAddr(9), direct.compute_row(0), direct.compute_row(1)];
+        template.execute(&mut direct, id, &rows).unwrap();
+        StreamExecutor::execute_stream(&mut streamed, &template.to_stream(id, &rows)).unwrap();
+        assert_eq!(*direct.stats(), *streamed.stats());
+        assert_eq!(direct.stats().aap, 6);
+        assert_eq!(direct.stats().aap2, 3);
+    }
+
+    #[test]
+    fn charge_executions_matches_executed_accounting() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let template = CompiledTemplate::compile(xnor_key(cols));
+
+        let (mut executed, id) = setup();
+        let rows =
+            [RowAddr(1), RowAddr(2), RowAddr(9), executed.compute_row(0), executed.compute_row(1)];
+        for _ in 0..5 {
+            template.execute(&mut executed, id, &rows).unwrap();
+        }
+
+        let (mut charged, _) = setup();
+        template.charge_executions(&mut charged, 5);
+        let (e, c) = (executed.stats(), charged.stats());
+        assert_eq!((e.aap, e.aap2, e.aap3), (c.aap, c.aap2, c.aap3));
+        assert_eq!(executed.ledger().total_time_ps(), charged.ledger().total_time_ps());
+    }
+}

@@ -104,7 +104,6 @@ proptest! {
     #[test]
     fn parallel_dispatch_is_byte_identical_on_random_streams(
         ops in proptest::collection::vec(0usize..96, 1..100),
-        workers in 2usize..6,
     ) {
         let g = DramGeometry::tiny();
         let ids: Vec<pim_dram::SubarrayId> =
@@ -112,20 +111,27 @@ proptest! {
         let stream = random_stream(&g, &ids, &ops);
 
         let mut serial = seeded(&g, &ids);
-        let mut parallel = seeded(&g, &ids);
         ParallelDispatcher::serial().execute(&mut serial, &stream).unwrap();
-        ParallelDispatcher::with_workers(workers).execute(&mut parallel, &stream).unwrap();
 
-        // Cycle/energy totals are bit-identical …
-        prop_assert_eq!(*serial.stats(), *parallel.stats());
-        prop_assert_eq!(serial.ledger(), parallel.ledger());
-        // … and every row of every sub-array is byte-identical.
-        for &id in &ids {
-            for row in 0..g.rows {
-                prop_assert_eq!(
-                    serial.peek_row(id, row).unwrap(),
-                    parallel.peek_row(id, row).unwrap()
-                );
+        // The persistent worker pool must be byte-identical to the serial
+        // path for every pool size: degenerate (1), small (2), and more
+        // workers than partitions (8).
+        for workers in [1usize, 2, 8] {
+            let mut parallel = seeded(&g, &ids);
+            ParallelDispatcher::with_workers(workers).execute(&mut parallel, &stream).unwrap();
+
+            // Cycle/energy totals are bit-identical …
+            prop_assert_eq!(*serial.stats(), *parallel.stats(), "stats, workers={}", workers);
+            prop_assert_eq!(serial.ledger(), parallel.ledger(), "ledger, workers={}", workers);
+            // … and every row of every sub-array is byte-identical.
+            for &id in &ids {
+                for row in 0..g.rows {
+                    prop_assert_eq!(
+                        serial.peek_row(id, row).unwrap(),
+                        parallel.peek_row(id, row).unwrap(),
+                        "workers={}", workers
+                    );
+                }
             }
         }
     }

@@ -39,23 +39,47 @@ impl BitRow {
         row
     }
 
-    /// Creates a row from an iterator of bits (index 0 first).
+    /// Creates a row from an iterator of bits (index 0 first), packing
+    /// words directly as the iterator is drained.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut row = BitRow::zeros(bits.len());
-        for (i, b) in bits.iter().enumerate() {
-            row.set(i, *b);
+        let iter = bits.into_iter();
+        let (lower, _) = iter.size_hint();
+        let mut words = Vec::with_capacity(lower.div_ceil(WORD_BITS));
+        let mut len = 0usize;
+        let mut word = 0u64;
+        for b in iter {
+            if b {
+                word |= 1u64 << (len % WORD_BITS);
+            }
+            len += 1;
+            if len.is_multiple_of(WORD_BITS) {
+                words.push(word);
+                word = 0;
+            }
         }
-        row
+        if !len.is_multiple_of(WORD_BITS) {
+            words.push(word);
+        }
+        BitRow { len, words }
     }
 
-    /// Creates a row of `len` bits where bit `i` is `f(i)`.
+    /// Creates a row of `len` bits where bit `i` is `f(i)`, filling one
+    /// backing word at a time.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut row = BitRow::zeros(len);
-        for i in 0..len {
-            row.set(i, f(i));
+        let mut words = Vec::with_capacity(len.div_ceil(WORD_BITS));
+        let mut i = 0;
+        while i < len {
+            let n = WORD_BITS.min(len - i);
+            let mut word = 0u64;
+            for bit in 0..n {
+                if f(i + bit) {
+                    word |= 1u64 << bit;
+                }
+            }
+            words.push(word);
+            i += n;
         }
-        row
+        BitRow { len, words }
     }
 
     /// Creates a row from the low bits of `value` (LSB = bit 0), `len` wide.
@@ -168,6 +192,74 @@ impl BitRow {
         out
     }
 
+    /// Overwrites `self` with the content of `src` — a word-level
+    /// `copy_from_slice`, the allocation-free row transfer the functional
+    /// AAP model is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (this and all `*_into` kernels below).
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.len, src.len, "bit row width mismatch");
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// Clears every bit, keeping the width.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Clears the row and loads `value`'s low `len` bits at offset 0 —
+    /// the allocation-free form of `splice(0, &BitRow::from_u64(value,
+    /// len))` on a zeroed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `len > self.len()`.
+    pub fn load_u64(&mut self, value: u64, len: usize) {
+        assert!(len <= 64, "load_u64 supports at most 64 bits");
+        assert!(len <= self.len, "load of {len} bits into a {} bit row", self.len);
+        self.words.fill(0);
+        if len > 0 {
+            self.words[0] = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        }
+    }
+
+    /// `self = !(a | b)` without allocating.
+    pub fn nor_into(&mut self, a: &Self, b: &Self) {
+        self.zip_into(a, b, |x, y| !(x | y));
+        self.mask_tail();
+    }
+
+    /// `self = !(a & b)` without allocating.
+    pub fn nand_into(&mut self, a: &Self, b: &Self) {
+        self.zip_into(a, b, |x, y| !(x & y));
+        self.mask_tail();
+    }
+
+    /// `self = a ^ b` without allocating.
+    pub fn xor_into(&mut self, a: &Self, b: &Self) {
+        self.zip_into(a, b, |x, y| x ^ y);
+    }
+
+    /// `self = !(a ^ b)` without allocating — the in-place form of the
+    /// single-cycle comparison primitive.
+    pub fn xnor_into(&mut self, a: &Self, b: &Self) {
+        self.zip_into(a, b, |x, y| !(x ^ y));
+        self.mask_tail();
+    }
+
+    /// `self = a ^ b ^ c` without allocating (the full-adder sum).
+    pub fn xor3_into(&mut self, a: &Self, b: &Self, c: &Self) {
+        self.zip3_into(a, b, c, |x, y, z| x ^ y ^ z);
+    }
+
+    /// `self = MAJ(a, b, c)` without allocating — the in-place form of the
+    /// TRA carry primitive.
+    pub fn maj3_into(&mut self, a: &Self, b: &Self, c: &Self) {
+        self.zip3_into(a, b, c, |x, y, z| (x & y) | (x & z) | (y & z));
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -222,6 +314,23 @@ impl BitRow {
             out.words[i] = f(self.words[i], other.words[i]);
         }
         out
+    }
+
+    fn zip_into(&mut self, a: &Self, b: &Self, f: impl Fn(u64, u64) -> u64) {
+        assert_eq!(self.len, a.len, "bit row width mismatch");
+        assert_eq!(self.len, b.len, "bit row width mismatch");
+        for i in 0..self.words.len() {
+            self.words[i] = f(a.words[i], b.words[i]);
+        }
+    }
+
+    fn zip3_into(&mut self, a: &Self, b: &Self, c: &Self, f: impl Fn(u64, u64, u64) -> u64) {
+        assert_eq!(self.len, a.len, "bit row width mismatch");
+        assert_eq!(self.len, b.len, "bit row width mismatch");
+        assert_eq!(self.len, c.len, "bit row width mismatch");
+        for i in 0..self.words.len() {
+            self.words[i] = f(a.words[i], b.words[i], c.words[i]);
+        }
     }
 
     fn mask_tail(&mut self) {
@@ -339,6 +448,55 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn binary_op_width_mismatch_panics() {
         let _ = BitRow::zeros(4).and(&BitRow::zeros(5));
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_ops() {
+        let a = BitRow::from_fn(130, |i| i % 2 == 0);
+        let b = BitRow::from_fn(130, |i| i % 3 == 0);
+        let c = BitRow::from_fn(130, |i| i % 5 == 0);
+        let mut out = BitRow::zeros(130);
+        out.xnor_into(&a, &b);
+        assert_eq!(out, a.xnor(&b));
+        out.nor_into(&a, &b);
+        assert_eq!(out, a.or(&b).not());
+        out.nand_into(&a, &b);
+        assert_eq!(out, a.and(&b).not());
+        out.xor_into(&a, &b);
+        assert_eq!(out, a.xor(&b));
+        out.maj3_into(&a, &b, &c);
+        assert_eq!(out, BitRow::maj3(&a, &b, &c));
+        out.xor3_into(&a, &b, &c);
+        assert_eq!(out, a.xor(&b).xor(&c));
+        out.copy_from(&a);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn into_kernels_keep_tail_bits_zero() {
+        // NOR of two all-zero 67-bit rows is all ones; the 61 tail bits of
+        // the second word must stay clear so equality/count stay exact.
+        let z = BitRow::zeros(67);
+        let mut out = BitRow::zeros(67);
+        out.nor_into(&z, &z);
+        assert_eq!(out, BitRow::ones(67));
+        assert_eq!(out.count_ones(), 67);
+        assert_eq!(out.as_words()[1], (1u64 << 3) - 1);
+    }
+
+    #[test]
+    fn direct_packing_matches_per_bit_construction() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let direct = BitRow::from_fn(len, |i| i % 7 == 0);
+            let mut per_bit = BitRow::zeros(len);
+            for i in 0..len {
+                per_bit.set(i, i % 7 == 0);
+            }
+            assert_eq!(direct, per_bit, "from_fn len {len}");
+            let collected = BitRow::from_bits((0..len).map(|i| i % 7 == 0));
+            assert_eq!(collected, per_bit, "from_bits len {len}");
+            assert_eq!(collected.len(), len);
+        }
     }
 
     #[test]

@@ -181,6 +181,30 @@ impl SubarrayContext {
         Ok(self.sense(out))
     }
 
+    /// Type-2 AAP whose sensed output the caller does not need. Identical
+    /// array state and accounting as [`SubarrayContext::aap2`], without
+    /// materializing the sensed row. When fault injection is armed the
+    /// sensed path runs anyway (on a throwaway copy) so the injector's
+    /// deterministic stream position and flip counters stay in lock-step
+    /// with the returning variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubarrayContext::aap2`].
+    pub fn aap2_discard(
+        &mut self,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<()> {
+        if self.fault.is_some() {
+            return self.aap2(mode, srcs, dst).map(|_| ());
+        }
+        self.subarray.op2_apply(mode, srcs, dst.into())?;
+        self.charge(CommandClass::Aap2);
+        Ok(())
+    }
+
     /// Single-cycle in-memory XNOR2.
     ///
     /// # Errors
@@ -208,6 +232,26 @@ impl SubarrayContext {
         let out = self.subarray.op3_carry(srcs, dst.into())?;
         self.charge(CommandClass::Aap3);
         Ok(self.sense(out))
+    }
+
+    /// Type-3 AAP whose sensed output the caller does not need (see
+    /// [`SubarrayContext::aap2_discard`] for the fault-injection
+    /// lock-step guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubarrayContext::aap3_carry`].
+    pub fn aap3_carry_discard(
+        &mut self,
+        srcs: [RowAddr; 3],
+        dst: impl Into<RowAddr>,
+    ) -> Result<()> {
+        if self.fault.is_some() {
+            return self.aap3_carry(srcs, dst).map(|_| ());
+        }
+        self.subarray.op3_carry_apply(srcs, dst.into())?;
+        self.charge(CommandClass::Aap3);
+        Ok(())
     }
 
     /// Clears the SA carry latch (start of a new addition).
@@ -245,6 +289,7 @@ impl SubarrayContext {
 mod tests {
     use super::*;
     use crate::energy::EnergyParams;
+    use crate::fault::FaultConfig;
     use crate::timing::TimingParams;
 
     fn context() -> SubarrayContext {
@@ -280,6 +325,54 @@ mod tests {
         assert_eq!(row, BitRow::ones(cols));
         assert_eq!(*ctx.ledger(), before);
         assert_eq!(before.total_commands(), 0);
+    }
+
+    #[test]
+    fn discard_variants_match_returning_variants() {
+        let mut a = context();
+        let mut b = context();
+        let cols = a.geometry().cols;
+        let x = BitRow::from_fn(cols, |i| i % 2 == 0);
+        let y = BitRow::from_fn(cols, |i| i % 3 == 0);
+        for ctx in [&mut a, &mut b] {
+            ctx.write_row(1, &x).unwrap();
+            ctx.write_row(2, &y).unwrap();
+            ctx.aap_copy(1, ctx.compute_row(0)).unwrap();
+            ctx.aap_copy(2, ctx.compute_row(1)).unwrap();
+            ctx.aap_copy(1, ctx.compute_row(2)).unwrap();
+        }
+        let (x1, x2, x3) = (a.compute_row(0), a.compute_row(1), a.compute_row(2));
+        a.aap2(SaMode::Xnor, [x1, x2], 5).unwrap();
+        b.aap2_discard(SaMode::Xnor, [x1, x2], 5).unwrap();
+        a.aap3_carry([x1, x2, x3], 6).unwrap();
+        b.aap3_carry_discard([x1, x2, x3], 6).unwrap();
+        assert_eq!(a.ledger(), b.ledger());
+        for row in 0..a.geometry().rows {
+            assert_eq!(a.peek_row(row).unwrap(), b.peek_row(row).unwrap());
+        }
+        assert_eq!(a.subarray().latch(), b.subarray().latch());
+    }
+
+    #[test]
+    fn discard_variants_keep_fault_stream_in_lock_step() {
+        let mut a = context();
+        let mut b = context();
+        a.set_fault_injector(Some(FaultInjector::new(&FaultConfig::new(0.05, 7), 0)));
+        b.set_fault_injector(Some(FaultInjector::new(&FaultConfig::new(0.05, 7), 0)));
+        let cols = a.geometry().cols;
+        let x = BitRow::from_fn(cols, |i| i % 2 == 0);
+        for ctx in [&mut a, &mut b] {
+            ctx.write_row(1, &x).unwrap();
+            ctx.aap_copy(1, ctx.compute_row(0)).unwrap();
+            ctx.aap_copy(1, ctx.compute_row(1)).unwrap();
+        }
+        let (x1, x2) = (a.compute_row(0), a.compute_row(1));
+        // Returning vs discard: the injector must advance identically so the
+        // next sensed read-out sees the same corruption on both contexts.
+        a.aap2(SaMode::Xnor, [x1, x2], 5).unwrap();
+        b.aap2_discard(SaMode::Xnor, [x1, x2], 5).unwrap();
+        assert_eq!(a.fault_flips(), b.fault_flips());
+        assert_eq!(a.read_row(5).unwrap(), b.read_row(5).unwrap());
     }
 
     #[test]

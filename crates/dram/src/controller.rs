@@ -304,6 +304,27 @@ impl Controller {
         Ok(out)
     }
 
+    /// Type-2 AAP whose sensed output the caller does not need. Identical
+    /// array state, accounting, and trace as [`Controller::aap2`], but the
+    /// sensed result row is never materialized — the allocation-free bulk
+    /// path executors use when they drop the return value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Controller::aap2`].
+    pub fn aap2_discard(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: impl Into<RowAddr>,
+    ) -> Result<()> {
+        let dst = dst.into();
+        self.live_context(id)?.aap2_discard(mode, srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap2 { srcs, dst, mode });
+        Ok(())
+    }
+
     /// Single-cycle in-memory XNOR2 (the comparison primitive).
     ///
     /// # Errors
@@ -351,6 +372,24 @@ impl Controller {
         Ok(out)
     }
 
+    /// Type-3 AAP whose sensed output the caller does not need (see
+    /// [`Controller::aap2_discard`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Controller::aap3_carry`].
+    pub fn aap3_carry_discard(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 3],
+        dst: impl Into<RowAddr>,
+    ) -> Result<()> {
+        let dst = dst.into();
+        self.live_context(id)?.aap3_carry_discard(srcs, dst)?;
+        self.account(Some(id), &DramCommand::Aap3 { srcs, dst, mode: SaMode::Carry });
+        Ok(())
+    }
+
     /// Clears a sub-array's SA carry latch (start of a new addition).
     ///
     /// # Panics
@@ -377,10 +416,21 @@ impl Controller {
     }
 
     /// Records `n` DPU scalar operations.
+    ///
+    /// Without tracing this is a single batched ledger charge
+    /// (`charge_many`, exactly `n` single charges by construction); with
+    /// tracing enabled it issues per-op so every command lands in the
+    /// trace individually.
     pub fn dpu_ops(&mut self, n: u64) {
-        for _ in 0..n {
-            self.dpu_op();
+        if self.trace.is_some() {
+            for _ in 0..n {
+                self.dpu_op();
+            }
+            return;
         }
+        self.global.charge_many(CommandClass::Dpu, &self.costs, n);
+        self.total.charge_many(CommandClass::Dpu, &self.costs, n);
+        self.stats_cache = self.total.to_stats();
     }
 
     /// Records `count` synthetic commands of the given mnemonic without
@@ -525,7 +575,7 @@ impl Controller {
         self.total.charge(class, &self.costs);
         self.stats_cache = self.total.to_stats();
         if let Some(trace) = &mut self.trace {
-            trace.record(self.stats_cache.serial_ns, id, *cmd);
+            trace.record(self.total.total_time_ps(), id, *cmd);
         }
     }
 }

@@ -103,12 +103,47 @@ pub trait AapPort {
         self.aap2(id, SaMode::CarrySum, srcs, dst)
     }
 
+    /// Type-2 AAP whose sensed output the caller does not need.
+    ///
+    /// Semantically identical to [`AapPort::aap2`] with the return value
+    /// dropped; implementations backed by the functional model skip
+    /// materializing the sensed row entirely, which keeps the bulk
+    /// execution path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AapPort::aap2`].
+    fn aap2_discard(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<()> {
+        self.aap2(id, mode, srcs, dst).map(|_| ())
+    }
+
     /// Type-3 AAP (TRA): 3-input majority / carry, latched.
     ///
     /// # Errors
     ///
     /// Propagates decoder/addressing/ownership errors.
     fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow>;
+
+    /// Type-3 AAP whose sensed output the caller does not need (see
+    /// [`AapPort::aap2_discard`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AapPort::aap3_carry`].
+    fn aap3_carry_discard(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 3],
+        dst: RowAddr,
+    ) -> Result<()> {
+        self.aap3_carry(id, srcs, dst).map(|_| ())
+    }
 
     /// Clears a sub-array's SA carry latch.
     ///
@@ -171,8 +206,27 @@ impl AapPort for Controller {
         Controller::aap2(self, id, mode, srcs, dst)
     }
 
+    fn aap2_discard(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<()> {
+        Controller::aap2_discard(self, id, mode, srcs, dst)
+    }
+
     fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow> {
         Controller::aap3_carry(self, id, srcs, dst)
+    }
+
+    fn aap3_carry_discard(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 3],
+        dst: RowAddr,
+    ) -> Result<()> {
+        Controller::aap3_carry_discard(self, id, srcs, dst)
     }
 
     fn reset_latch(&mut self, id: SubarrayId) -> Result<()> {
@@ -239,9 +293,30 @@ impl AapPort for SubarrayContext {
         SubarrayContext::aap2(self, mode, srcs, dst)
     }
 
+    fn aap2_discard(
+        &mut self,
+        id: SubarrayId,
+        mode: SaMode,
+        srcs: [RowAddr; 2],
+        dst: RowAddr,
+    ) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::aap2_discard(self, mode, srcs, dst)
+    }
+
     fn aap3_carry(&mut self, id: SubarrayId, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow> {
         self.own(id)?;
         SubarrayContext::aap3_carry(self, srcs, dst)
+    }
+
+    fn aap3_carry_discard(
+        &mut self,
+        id: SubarrayId,
+        srcs: [RowAddr; 3],
+        dst: RowAddr,
+    ) -> Result<()> {
+        self.own(id)?;
+        SubarrayContext::aap3_carry_discard(self, srcs, dst)
     }
 
     fn reset_latch(&mut self, id: SubarrayId) -> Result<()> {

@@ -173,6 +173,40 @@ impl SenseAmpArray {
     pub fn sum_from_latch(&self, a: &BitRow, b: &BitRow) -> BitRow {
         a.xor(b).xor(&self.latch)
     }
+
+    /// In-place [`SenseAmpArray::two_row_nor`]: senses into `out` without
+    /// allocating.
+    pub fn two_row_nor_into(&self, a: &BitRow, b: &BitRow, out: &mut BitRow) {
+        out.nor_into(a, b);
+    }
+
+    /// In-place [`SenseAmpArray::two_row_nand`].
+    pub fn two_row_nand_into(&self, a: &BitRow, b: &BitRow, out: &mut BitRow) {
+        out.nand_into(a, b);
+    }
+
+    /// In-place [`SenseAmpArray::two_row_xor`] (`NAND2 AND NOT(NOR2)`
+    /// collapses to one XOR pass over the backing words).
+    pub fn two_row_xor_into(&self, a: &BitRow, b: &BitRow, out: &mut BitRow) {
+        out.xor_into(a, b);
+    }
+
+    /// In-place [`SenseAmpArray::two_row_xnor`].
+    pub fn two_row_xnor_into(&self, a: &BitRow, b: &BitRow, out: &mut BitRow) {
+        out.xnor_into(a, b);
+    }
+
+    /// In-place [`SenseAmpArray::triple_row_carry`]: senses the majority
+    /// into `out` and latches it, without allocating.
+    pub fn triple_row_carry_into(&mut self, a: &BitRow, b: &BitRow, c: &BitRow, out: &mut BitRow) {
+        out.maj3_into(a, b, c);
+        self.latch.copy_from(out);
+    }
+
+    /// In-place [`SenseAmpArray::sum_from_latch`].
+    pub fn sum_from_latch_into(&self, a: &BitRow, b: &BitRow, out: &mut BitRow) {
+        out.xor3_into(a, b, &self.latch);
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +254,28 @@ mod tests {
             sa.latch().to_bit_vec(),
             vec![false, false, false, true, false, true, true, true]
         );
+    }
+
+    #[test]
+    fn in_place_sensing_matches_allocating_sensing() {
+        let mut sa = SenseAmpArray::new(4);
+        let mut sa_into = SenseAmpArray::new(4);
+        let (a, b) = rows4();
+        let c = BitRow::from_bits([true, false, false, true]);
+        let mut out = BitRow::zeros(4);
+        sa_into.two_row_nor_into(&a, &b, &mut out);
+        assert_eq!(out, sa.two_row_nor(&a, &b));
+        sa_into.two_row_nand_into(&a, &b, &mut out);
+        assert_eq!(out, sa.two_row_nand(&a, &b));
+        sa_into.two_row_xor_into(&a, &b, &mut out);
+        assert_eq!(out, sa.two_row_xor(&a, &b));
+        sa_into.two_row_xnor_into(&a, &b, &mut out);
+        assert_eq!(out, sa.two_row_xnor(&a, &b));
+        sa_into.triple_row_carry_into(&a, &b, &c, &mut out);
+        assert_eq!(out, sa.triple_row_carry(&a, &b, &c));
+        assert_eq!(sa_into.latch(), sa.latch());
+        sa_into.sum_from_latch_into(&a, &b, &mut out);
+        assert_eq!(out, sa.sum_from_latch(&a, &b));
     }
 
     #[test]

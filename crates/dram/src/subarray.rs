@@ -35,6 +35,10 @@ pub struct Subarray {
     sa: SenseAmpArray,
     rd: RowDecoder,
     mrd: ModifiedRowDecoder,
+    /// Sense-amp staging row: multi-row activations resolve into this
+    /// scratch row, which then fans out to the activated rows and `dst` by
+    /// word copy. Models the row buffer; never observable through reads.
+    scratch: BitRow,
 }
 
 impl Subarray {
@@ -46,6 +50,7 @@ impl Subarray {
             sa: SenseAmpArray::new(geometry.cols),
             rd: RowDecoder::new(geometry),
             mrd: ModifiedRowDecoder::new(geometry),
+            scratch: BitRow::zeros(geometry.cols),
         }
     }
 
@@ -78,7 +83,7 @@ impl Subarray {
                 expected: self.geometry.cols,
             });
         }
-        self.rows[row.0] = data.clone();
+        self.rows[row.0].copy_from(data);
         Ok(())
     }
 
@@ -90,7 +95,16 @@ impl Subarray {
     pub fn copy(&mut self, src: RowAddr, dst: RowAddr) -> Result<()> {
         self.rd.activate(src)?;
         self.rd.activate(dst)?;
-        self.rows[dst.0] = self.rows[src.0].clone();
+        // Word-copy between two rows of the same backing vector; a split
+        // borrow keeps this allocation-free.
+        if src.0 != dst.0 {
+            let (lo, hi) = self.rows.split_at_mut(src.0.max(dst.0));
+            if src.0 < dst.0 {
+                hi[0].copy_from(&lo[src.0]);
+            } else {
+                lo[dst.0].copy_from(&hi[0]);
+            }
+        }
         Ok(())
     }
 
@@ -104,27 +118,40 @@ impl Subarray {
     /// * [`DramError::DuplicateSourceRow`] if the sources coincide.
     /// * [`DramError::RowOutOfRange`] for invalid rows.
     pub fn op2(&mut self, mode: SaMode, srcs: [RowAddr; 2], dst: RowAddr) -> Result<BitRow> {
+        self.op2_apply(mode, srcs, dst)?;
+        Ok(self.rows[dst.0].clone())
+    }
+
+    /// [`Subarray::op2`] without materializing the result: the activation
+    /// resolves into the scratch row and fans out by word copy, leaving the
+    /// array in exactly the same state with zero allocation. This is the
+    /// hot-path form bulk executors use when they drop the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Subarray::op2`].
+    pub fn op2_apply(&mut self, mode: SaMode, srcs: [RowAddr; 2], dst: RowAddr) -> Result<()> {
         self.mrd.activate_pair(srcs)?;
         self.rd.activate(dst)?;
-        let a = self.rows[srcs[0].0].clone();
-        let b = self.rows[srcs[1].0].clone();
-        let result = match mode {
-            SaMode::Nor => self.sa.two_row_nor(&a, &b),
-            SaMode::Nand => self.sa.two_row_nand(&a, &b),
-            SaMode::Xor => self.sa.two_row_xor(&a, &b),
-            SaMode::Xnor => self.sa.two_row_xnor(&a, &b),
-            SaMode::CarrySum => self.sa.sum_from_latch(&a, &b),
+        let Subarray { rows, sa, scratch, .. } = self;
+        let (a, b) = (&rows[srcs[0].0], &rows[srcs[1].0]);
+        match mode {
+            SaMode::Nor => sa.two_row_nor_into(a, b, scratch),
+            SaMode::Nand => sa.two_row_nand_into(a, b, scratch),
+            SaMode::Xor => sa.two_row_xor_into(a, b, scratch),
+            SaMode::Xnor => sa.two_row_xnor_into(a, b, scratch),
+            SaMode::CarrySum => sa.sum_from_latch_into(a, b, scratch),
             SaMode::Memory | SaMode::Carry => {
                 return Err(DramError::BadActivationCount {
                     requested: 2,
                     supported: "logic modes only",
                 })
             }
-        };
-        self.rows[srcs[0].0] = result.clone();
-        self.rows[srcs[1].0] = result.clone();
-        self.rows[dst.0] = result.clone();
-        Ok(result)
+        }
+        rows[srcs[0].0].copy_from(scratch);
+        rows[srcs[1].0].copy_from(scratch);
+        rows[dst.0].copy_from(scratch);
+        Ok(())
     }
 
     /// Triple-row activation (type-3 AAP, Ambit TRA): 3-input majority. The
@@ -135,17 +162,27 @@ impl Subarray {
     ///
     /// Same classes as [`Subarray::op2`], over three source rows.
     pub fn op3_carry(&mut self, srcs: [RowAddr; 3], dst: RowAddr) -> Result<BitRow> {
+        self.op3_carry_apply(srcs, dst)?;
+        Ok(self.rows[dst.0].clone())
+    }
+
+    /// [`Subarray::op3_carry`] without materializing the carry (see
+    /// [`Subarray::op2_apply`]); the SA latch is updated identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Subarray::op3_carry`].
+    pub fn op3_carry_apply(&mut self, srcs: [RowAddr; 3], dst: RowAddr) -> Result<()> {
         self.mrd.activate_triple(srcs)?;
         self.rd.activate(dst)?;
-        let a = self.rows[srcs[0].0].clone();
-        let b = self.rows[srcs[1].0].clone();
-        let c = self.rows[srcs[2].0].clone();
-        let carry = self.sa.triple_row_carry(&a, &b, &c);
+        let Subarray { rows, sa, scratch, .. } = self;
+        let (a, b, c) = (&rows[srcs[0].0], &rows[srcs[1].0], &rows[srcs[2].0]);
+        sa.triple_row_carry_into(a, b, c, scratch);
         for s in srcs {
-            self.rows[s.0] = carry.clone();
+            rows[s.0].copy_from(scratch);
         }
-        self.rows[dst.0] = carry.clone();
-        Ok(carry)
+        rows[dst.0].copy_from(scratch);
+        Ok(())
     }
 
     /// Clears the SA carry latch (start of a fresh addition).

@@ -3,7 +3,9 @@
 //! A bounded ring of recently issued commands with their target sub-array
 //! and timestamp, for debugging mapped kernels and for writing
 //! waveform-style logs from tests. Tracing is off by default (zero cost)
-//! and enabled per controller.
+//! and enabled per controller. Timestamps are integer picoseconds taken
+//! straight from the controller's [`crate::ledger::EnergyLedger`], so two
+//! runs issuing the same command multiset produce bit-identical traces.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -12,21 +14,29 @@ use crate::address::SubarrayId;
 use crate::command::DramCommand;
 
 /// One traced command.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
-    /// Issue timestamp: cumulative serial nanoseconds at issue.
-    pub at_ns: f64,
+    /// Issue timestamp: cumulative serial picoseconds at issue.
+    pub at_ps: u64,
     /// Target sub-array (None for DPU/global commands).
     pub subarray: Option<SubarrayId>,
     /// The command.
     pub command: DramCommand,
 }
 
+impl TraceEntry {
+    /// Issue timestamp in nanoseconds (display convenience; the stored
+    /// integer picoseconds are the source of truth).
+    pub fn at_ns(&self) -> f64 {
+        self.at_ps as f64 / 1e3
+    }
+}
+
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.subarray {
-            Some(s) => write!(f, "[{:>12.1} ns] {s} {}", self.at_ns, self.command),
-            None => write!(f, "[{:>12.1} ns] -- {}", self.at_ns, self.command),
+            Some(s) => write!(f, "[{:>12.1} ns] {s} {}", self.at_ns(), self.command),
+            None => write!(f, "[{:>12.1} ns] -- {}", self.at_ns(), self.command),
         }
     }
 }
@@ -56,7 +66,7 @@ impl CommandTrace {
     }
 
     /// Records a command.
-    pub fn record(&mut self, at_ns: f64, subarray: Option<SubarrayId>, command: DramCommand) {
+    pub fn record(&mut self, at_ps: u64, subarray: Option<SubarrayId>, command: DramCommand) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;
@@ -65,7 +75,7 @@ impl CommandTrace {
             self.entries.pop_front();
             self.dropped += 1;
         }
-        self.entries.push_back(TraceEntry { at_ns, subarray, command });
+        self.entries.push_back(TraceEntry { at_ps, subarray, command });
     }
 
     /// The retained entries, oldest first.
@@ -124,7 +134,7 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut t = CommandTrace::new(3);
         for i in 0..5 {
-            t.record(i as f64, None, cmd(i));
+            t.record(i as u64, None, cmd(i));
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);
@@ -135,7 +145,7 @@ mod tests {
     #[test]
     fn zero_capacity_counts_only() {
         let mut t = CommandTrace::new(0);
-        t.record(1.0, None, cmd(0));
+        t.record(1, None, cmd(0));
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);
     }
@@ -143,17 +153,26 @@ mod tests {
     #[test]
     fn display_includes_timestamps() {
         let mut t = CommandTrace::new(2);
-        t.record(47.1, None, cmd(0));
+        t.record(47_100, None, cmd(0));
         let s = t.to_string();
         assert!(s.contains("47.1 ns"));
         assert!(s.contains("AAP"));
     }
 
     #[test]
+    fn at_ns_converts_from_picoseconds() {
+        let mut t = CommandTrace::new(1);
+        t.record(2_500, None, cmd(0));
+        let e = *t.entries().next().unwrap();
+        assert_eq!(e.at_ps, 2_500);
+        assert!((e.at_ns() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn clear_keeps_drop_counter() {
         let mut t = CommandTrace::new(1);
-        t.record(0.0, None, cmd(0));
-        t.record(1.0, None, cmd(1));
+        t.record(0, None, cmd(0));
+        t.record(1, None, cmd(1));
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);

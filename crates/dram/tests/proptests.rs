@@ -4,10 +4,12 @@
 
 use proptest::prelude::*;
 
+use pim_dram::address::RowAddr;
 use pim_dram::bitrow::BitRow;
 use pim_dram::controller::Controller;
 use pim_dram::geometry::DramGeometry;
 use pim_dram::sense_amp::SaMode;
+use pim_dram::subarray::Subarray;
 
 fn bits(len: usize) -> impl Strategy<Value = Vec<bool>> {
     proptest::collection::vec(any::<bool>(), len)
@@ -191,6 +193,76 @@ proptest! {
         prop_assert_eq!(merged.since(&la), lb);
         prop_assert_eq!(merged.since(&lb), la);
         prop_assert!(merged.since(&merged).is_empty());
+    }
+
+    // ── In-place kernels and scratch-row activations (PR 3 hot path) ───
+
+    #[test]
+    fn in_place_bitrow_kernels_match_allocating(a in bits(96), b in bits(96), d in bits(96)) {
+        // 96 bits spans a word boundary with a masked tail — the case the
+        // word-at-a-time kernels must get right.
+        let (ra, rb, rd) = (BitRow::from_bits(a), BitRow::from_bits(b), BitRow::from_bits(d));
+        let mut out = BitRow::ones(96); // stale content must be fully overwritten
+        out.nor_into(&ra, &rb);
+        prop_assert_eq!(&out, &ra.or(&rb).not());
+        out.nand_into(&ra, &rb);
+        prop_assert_eq!(&out, &ra.and(&rb).not());
+        out.xor_into(&ra, &rb);
+        prop_assert_eq!(&out, &ra.xor(&rb));
+        out.xnor_into(&ra, &rb);
+        prop_assert_eq!(&out, &ra.xnor(&rb));
+        out.xor3_into(&ra, &rb, &rd);
+        prop_assert_eq!(&out, &ra.xor(&rb).xor(&rd));
+        out.maj3_into(&ra, &rb, &rd);
+        prop_assert_eq!(&out, &BitRow::maj3(&ra, &rb, &rd));
+    }
+
+    #[test]
+    fn scratch_row_apply_leaves_identical_subarray_state(
+        a in bits(DramGeometry::tiny().cols),
+        b in bits(DramGeometry::tiny().cols),
+        d in bits(DramGeometry::tiny().cols),
+        mode_ix in 0usize..5,
+    ) {
+        // The allocating op2/op3_carry and their scratch-row _apply forms
+        // must leave every row, and the SA latch, bit-for-bit identical.
+        let g = DramGeometry::tiny();
+        let mode =
+            [SaMode::Nor, SaMode::Nand, SaMode::Xor, SaMode::Xnor, SaMode::CarrySum][mode_ix];
+        let mut alloc = Subarray::new(g);
+        let mut apply = Subarray::new(g);
+        for s in [&mut alloc, &mut apply] {
+            s.write(RowAddr(1), &BitRow::from_bits(a.clone())).unwrap();
+            s.write(RowAddr(2), &BitRow::from_bits(b.clone())).unwrap();
+            s.write(RowAddr(3), &BitRow::from_bits(d.clone())).unwrap();
+            for (row, x) in [(1usize, 0usize), (2, 1), (3, 2)] {
+                s.copy(RowAddr(row), RowAddr(g.compute_row(x))).unwrap();
+            }
+        }
+        let x: Vec<RowAddr> = (0..3).map(|i| RowAddr(g.compute_row(i))).collect();
+
+        let sensed = alloc.op2(mode, [x[0], x[1]], RowAddr(5)).unwrap();
+        apply.op2_apply(mode, [x[0], x[1]], RowAddr(5)).unwrap();
+        prop_assert_eq!(&apply.read(RowAddr(5)).unwrap(), &sensed);
+
+        // Re-stage the (identically destroyed) operands and run the TRA.
+        for s in [&mut alloc, &mut apply] {
+            for (row, x) in [(1usize, 0usize), (2, 1), (3, 2)] {
+                s.copy(RowAddr(row), RowAddr(g.compute_row(x))).unwrap();
+            }
+        }
+        let carried = alloc.op3_carry([x[0], x[1], x[2]], RowAddr(6)).unwrap();
+        apply.op3_carry_apply([x[0], x[1], x[2]], RowAddr(6)).unwrap();
+        prop_assert_eq!(&apply.read(RowAddr(6)).unwrap(), &carried);
+
+        for r in 0..g.rows {
+            prop_assert_eq!(
+                alloc.read(RowAddr(r)).unwrap(),
+                apply.read(RowAddr(r)).unwrap(),
+                "row {} diverged", r
+            );
+        }
+        prop_assert_eq!(alloc.latch(), apply.latch());
     }
 
     #[test]

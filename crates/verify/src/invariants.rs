@@ -109,16 +109,16 @@ pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<Invar
     let trace = ctrl.take_trace().expect("trace was enabled");
     let decoder = ModifiedRowDecoder::new(geometry);
     let mut commands_checked = 0;
-    let mut last_ns = f64::NEG_INFINITY;
+    let mut last_ps = 0u64;
     for entry in trace.entries() {
         commands_checked += 1;
-        if entry.at_ns < last_ns {
+        if entry.at_ps < last_ps {
             violation(
                 &mut violations,
-                format!("timestamp regression: {} ns after {} ns", entry.at_ns, last_ns),
+                format!("timestamp regression: {} ps after {} ps", entry.at_ps, last_ps),
             );
         }
-        last_ns = entry.at_ns;
+        last_ps = entry.at_ps;
         match entry.command {
             DramCommand::Aap2 { srcs, mode, .. } => {
                 if let Err(e) = decoder.activate_pair(srcs) {
