@@ -18,7 +18,7 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 14] = [
+const VALUE_KEYS: [&str; 17] = [
     "k",
     "min-count",
     "coverage",
@@ -33,6 +33,9 @@ const VALUE_KEYS: [&str; 14] = [
     "iters",
     "out",
     "baseline",
+    "metrics-out",
+    "trace-out",
+    "metrics",
 ];
 
 impl ParsedArgs {

@@ -40,6 +40,12 @@ ASSEMBLE OPTIONS:
                    results are identical for any value)
   --output PATH    write contigs FASTA (default stdout summary only)
   --report         print the hardware performance report
+  --metrics-out P  write the pim-obsv metrics snapshot JSON to P
+  --trace-out P    write Chrome trace_event JSON to P (chrome://tracing)
+
+STATS OPTIONS:
+  --metrics FILE   print a pim-obsv metrics snapshot (from assemble
+                   --metrics-out) instead of contig stats
 
 SIMULATE OPTIONS:
   --coverage X     mean coverage (default 25)
@@ -58,7 +64,9 @@ BENCH OPTIONS:
   --iters N        micro-bench loop iterations (default 100000)
   --genome-len N   end-to-end dataset genome length (default 3000)
   --json           print the JSON artifact to stdout
-  --out PATH       write the JSON artifact to PATH
+  --out PATH       write the JSON artifact to PATH (refuses to overwrite
+                   an existing file unless --force is passed)
+  --force          allow --out to replace an existing file
   --baseline PATH  previous BENCH_*.json to compute speedups against
 ";
 
@@ -80,11 +88,14 @@ pub fn assemble(args: &ParsedArgs) -> CliResult {
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let metrics_out = args.get_str("metrics-out");
+    let trace_out = args.get_str("trace-out");
     let mut config = PimAssemblerConfig::paper(k)
         .with_min_count(args.get_num("min-count", 1))
         .with_pd(args.get_num("pd", 2))
         .with_hash_subarrays(args.get_num("subarrays", 32))
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_observability(metrics_out.is_some() || trace_out.is_some());
     if let Some(tips) = args.options.get("simplify") {
         config =
             config.with_simplification(tips.parse().map_err(|_| "--simplify expects a number")?);
@@ -115,6 +126,17 @@ pub fn assemble(args: &ParsedArgs) -> CliResult {
         );
         let chr14 = r.extrapolate_chr14();
         println!("  chr14-scale extrapolation: {:.1} s @ {:.1} W", chr14.total_s(), chr14.power_w);
+    }
+
+    if let Some(path) = metrics_out {
+        let snap = run.report.metrics.as_ref().ok_or("metrics snapshot missing from report")?;
+        std::fs::write(path, snap.to_json())?;
+        eprintln!("wrote metrics snapshot ({} counters) to {path}", snap.counters.len());
+    }
+    if let Some(path) = trace_out {
+        let spans = assembler.span_recorder().ok_or("span recorder missing")?;
+        std::fs::write(path, spans.to_chrome_json())?;
+        eprintln!("wrote {} trace spans to {path} (open in chrome://tracing)", spans.len());
     }
 
     if let Some(out) = args.get_str("output") {
@@ -157,6 +179,9 @@ pub fn simulate(args: &ParsedArgs) -> CliResult {
 pub fn stats(args: &ParsedArgs) -> CliResult {
     use pim_genome::contig::Contig;
     use pim_genome::stats::{lx, nx, AssemblyStats};
+    if let Some(path) = args.get_str("metrics") {
+        return metrics_stats(path);
+    }
     let input = args.positional.first().ok_or("stats needs a contigs FASTA")?;
     let records = read_fasta(BufReader::new(File::open(input)?))?;
     let contigs: Vec<Contig> = records.iter().map(|r| Contig::new(r.seq.clone())).collect();
@@ -171,6 +196,42 @@ pub fn stats(args: &ParsedArgs) -> CliResult {
     }
     if lengths.len() > 10 {
         println!("… and {} more", lengths.len() - 10);
+    }
+    Ok(())
+}
+
+/// `pim-asm stats --metrics`: renders a pim-obsv snapshot as tables.
+fn metrics_stats(path: &str) -> CliResult {
+    use pim_obsv::MetricsSnapshot;
+    let text = std::fs::read_to_string(path)?;
+    let snap = MetricsSnapshot::parse(&text)
+        .ok_or_else(|| format!("{path} is not a pim-obsv metrics snapshot"))?;
+
+    let mut detail = 0usize;
+    println!("stage/aggregate counters:");
+    for (key, value) in &snap.counters {
+        // Per-sub-array detail keys ("<stage>.subNNNNN.<metric>") are
+        // summarized, not listed — 32k sub-arrays would swamp the table.
+        if key.contains(".sub") {
+            detail += 1;
+            continue;
+        }
+        println!("  {key:<44} {value:>16}");
+    }
+    if detail > 0 {
+        println!("  … plus {detail} per-sub-array detail counters");
+    }
+    if !snap.floats.is_empty() {
+        println!("derived:");
+        for (key, value) in &snap.floats {
+            println!("  {key:<44} {value:>16.3}");
+        }
+    }
+    if !snap.host.is_empty() {
+        println!("host-side (timing-dependent, excluded from determinism):");
+        for (key, value) in &snap.host {
+            println!("  {key:<44} {value:>16}");
+        }
     }
     Ok(())
 }
@@ -225,6 +286,9 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         print!("{json}");
     }
     if let Some(out) = args.get_str("out") {
+        if Path::new(out).exists() && !args.has_flag("force") {
+            return Err(format!("refusing to overwrite {out}; pass --force to replace it").into());
+        }
         std::fs::write(out, &json)?;
         eprintln!("wrote {out}");
     }
@@ -367,5 +431,99 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = ParsedArgs::parse(["assemble".to_string()]);
         assert!(assemble(&args).is_err());
+    }
+
+    #[test]
+    fn bench_out_refuses_to_overwrite_without_force() {
+        let out = tmp("bench_refuse.json");
+        let _ = std::fs::remove_file(&out);
+        let base = [
+            "bench".to_string(),
+            "--iters".into(),
+            "5".into(),
+            "--genome-len".into(),
+            "400".into(),
+            "--out".into(),
+            out.to_str().unwrap().to_string(),
+        ];
+        bench(&ParsedArgs::parse(base.clone())).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        let err = bench(&ParsedArgs::parse(base.clone())).unwrap_err();
+        assert!(err.to_string().contains("refusing to overwrite"), "{err}");
+        assert!(err.to_string().contains("--force"), "{err}");
+        // The existing artifact survived the refused run intact.
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
+    }
+
+    #[test]
+    fn bench_out_overwrites_with_force() {
+        let out = tmp("bench_force.json");
+        std::fs::write(&out, "stale contents").unwrap();
+        let mut argv: Vec<String> =
+            ["bench", "--iters", "5", "--genome-len", "400", "--out"].map(String::from).to_vec();
+        argv.push(out.to_str().unwrap().to_string());
+        argv.push("--force".into());
+        bench(&ParsedArgs::parse(argv)).unwrap();
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.contains("\"schema\""), "bench artifact replaced the stale file");
+    }
+
+    #[test]
+    fn assemble_emits_metrics_and_trace_artifacts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let genome = DnaSequence::random(&mut rng, 1200);
+        let reads = pim_genome::reads::ReadSimulator::new(60, 20.0).simulate(&genome, &mut rng);
+        let reads_path = tmp("obsv_reads.fasta");
+        let records: Vec<FastaRecord> = reads
+            .iter()
+            .map(|r| FastaRecord { name: format!("read_{}", r.id), seq: r.seq.clone() })
+            .collect();
+        write_fasta(File::create(&reads_path).unwrap(), &records).unwrap();
+
+        let metrics_path = tmp("obsv_metrics.json");
+        let trace_path = tmp("obsv_trace.json");
+        let args = ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "15".into(),
+            "--subarrays".into(),
+            "8".into(),
+            "--metrics-out".into(),
+            metrics_path.to_str().unwrap().to_string(),
+            "--trace-out".into(),
+            trace_path.to_str().unwrap().to_string(),
+        ]);
+        assemble(&args).unwrap();
+
+        let snap =
+            pim_obsv::MetricsSnapshot::parse(&std::fs::read_to_string(&metrics_path).unwrap())
+                .expect("metrics artifact parses");
+        assert!(snap.counter("hashmap.aap2") > 0);
+        assert!(snap.counter("total.commands") > 0);
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("stage.hashmap"));
+
+        // And the stats subcommand renders the snapshot.
+        let stats_args = ParsedArgs::parse([
+            "stats".to_string(),
+            "--metrics".into(),
+            metrics_path.to_str().unwrap().to_string(),
+        ]);
+        stats(&stats_args).unwrap();
+    }
+
+    #[test]
+    fn stats_rejects_non_snapshot_metrics_files() {
+        let path = tmp("not_metrics.json");
+        std::fs::write(&path, "{\"schema\": \"something-else\"}").unwrap();
+        let args = ParsedArgs::parse([
+            "stats".to_string(),
+            "--metrics".into(),
+            path.to_str().unwrap().to_string(),
+        ]);
+        let err = stats(&args).unwrap_err();
+        assert!(err.to_string().contains("not a pim-obsv metrics snapshot"), "{err}");
     }
 }

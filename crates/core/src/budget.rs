@@ -1,0 +1,127 @@
+//! Pipeline stage budgets — expected command bounds derived from the
+//! compiled AAP templates.
+//!
+//! Every stage executes a small set of compiled kernels
+//! ([`crate::template::CompiledTemplate`]) whose per-execution command mix
+//! is known exactly ([`CompiledTemplate::command_counts`]). That makes the
+//! *command mix per unit of algorithmic work* (per probe, per inserted
+//! k-mer, per adder slice) a compile-time constant, and any run whose
+//! counters drift past those ratios has a hot-path regression: a kernel
+//! re-emitting commands, a stage double-charging, or a fallback silently
+//! engaging. [`pipeline_budget`] encodes the ratios as
+//! [`StageBudget`] lines over the [`pim_obsv`] snapshot keys; the
+//! `pim-verify` invariant checker evaluates them after every pipeline run.
+
+use pim_obsv::{BudgetLine, StageBudget};
+
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
+
+/// Builds the stage budget for a pipeline run on sub-arrays of `cols`
+/// columns.
+///
+/// The factors come straight from the compiled templates:
+///
+/// * **Hashmap** — each probe is one `PIM_XNOR` comparison
+///   ([`Kernel::Xnor`]: 2 AAP copies + 1 AAP2), each offered k-mer pays at
+///   most one staged query (2 AAP) plus a counter read/write or
+///   `MEM_insert` tail (≤ 2 AAP).
+/// * **DeBruijn** — each surviving k-mer `MEM_insert`s exactly three rows
+///   (node₁, node₂, edge entry).
+/// * **Traverse** — degree accumulation is full-adder slices
+///   ([`Kernel::FullAdder`]: 8 AAP, 1 AAP2, 2 AAP3), so TRA (AAP3) and
+///   copy (AAP) volume is bounded by a fixed multiple of the sum cycles
+///   (AAP2); the synthetic fallback charges the identical ratio.
+pub fn pipeline_budget(cols: usize) -> StageBudget {
+    let xnor =
+        CompiledTemplate::compile(TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: cols });
+    let adder = CompiledTemplate::compile(TemplateKey {
+        kernel: Kernel::FullAdder,
+        row_bits: cols,
+        size: cols,
+    });
+    let (xnor_aap, xnor_aap2, _) = xnor.command_counts();
+    let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
+
+    StageBudget::new()
+        .with_line(BudgetLine::new(
+            "stage-1 PIM_XNOR comparisons per probe",
+            "hashmap.aap2",
+            vec![("hashmap.hash_probes".into(), xnor_aap2)],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "stage-1 row clones per k-mer",
+            "hashmap.aap",
+            vec![
+                ("hashmap.hash_probes".into(), xnor_aap),
+                // Staged query (xnor_aap) + counter/MEM_insert tail (2).
+                ("hashmap.hash_inserts".into(), xnor_aap + 2),
+            ],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "stage-2 MEM_inserts per surviving k-mer",
+            "graph.host_writes",
+            vec![("graph.graph_kmers".into(), 3)],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "stage-2b TRA cycles per adder sum cycle",
+            "traverse.aap3",
+            vec![("traverse.aap2".into(), fa_aap3 / fa_aap2)],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "stage-2b copies per adder sum cycle",
+            "traverse.aap",
+            vec![("traverse.aap2".into(), fa_aap / fa_aap2)],
+            0,
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimAssemblerConfig;
+    use crate::pipeline::PimAssembler;
+    use pim_genome::reads::ReadSimulator;
+    use pim_genome::sequence::DnaSequence;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn healthy_pipeline_run_stays_within_budget() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let genome = DnaSequence::random(&mut rng, 800);
+        let reads = ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng);
+        let config = PimAssemblerConfig::small_test(15).with_observability(true);
+        let mut asm = PimAssembler::new(config);
+        let run = asm.assemble(&reads).unwrap();
+        let snapshot = run.report.metrics.expect("observability enabled");
+        let budget = pipeline_budget(config.geometry.cols);
+        let violations = budget.check(&snapshot);
+        assert!(violations.is_empty(), "budget violations: {violations:?}");
+        // The bounds are live, not vacuous: the bounded counters are hot.
+        assert!(snapshot.counter("hashmap.aap2") > 0);
+        assert!(snapshot.counter("traverse.aap3") > 0);
+    }
+
+    #[test]
+    fn command_drift_triggers_a_violation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let genome = DnaSequence::random(&mut rng, 600);
+        let reads = ReadSimulator::new(60, 20.0).simulate(&genome, &mut rng);
+        let config = PimAssemblerConfig::small_test(13).with_observability(true);
+        let mut asm = PimAssembler::new(config);
+        let run = asm.assemble(&reads).unwrap();
+        let mut snapshot = run.report.metrics.expect("observability enabled");
+        // Simulate a hot-path regression: stage 1 suddenly issues twice the
+        // comparisons its probe count explains.
+        let aap2 = snapshot.counter("hashmap.aap2");
+        snapshot.counters.insert("hashmap.aap2".to_string(), 2 * aap2 + 1);
+        let budget = pipeline_budget(config.geometry.cols);
+        let violations = budget.check(&snapshot);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("PIM_XNOR comparisons per probe"));
+    }
+}

@@ -39,6 +39,10 @@ pub struct PimAssemblerConfig {
     /// Host worker threads for the parallel dispatcher (1 = serial
     /// reference execution; results are identical for any value).
     pub workers: usize,
+    /// Enables the `pim-obsv` observability layer: per-stage/per-sub-array
+    /// metrics, trace spans, and the stage-budget watchdog. Off by default
+    /// — the hot path records nothing beyond the always-on ledger.
+    pub observe: bool,
 }
 
 impl PimAssemblerConfig {
@@ -56,6 +60,7 @@ impl PimAssemblerConfig {
             bucket_rows: 8,
             simplify_tips: None,
             workers: 1,
+            observe: false,
         }
     }
 
@@ -73,6 +78,7 @@ impl PimAssemblerConfig {
             bucket_rows: 8,
             simplify_tips: None,
             workers: 1,
+            observe: false,
         }
     }
 
@@ -120,6 +126,13 @@ impl PimAssemblerConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "worker count must be at least 1");
         self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the observability layer (metrics registry,
+    /// trace spans, stage budgets). Does not change assembly results.
+    pub fn with_observability(mut self, observe: bool) -> Self {
+        self.observe = observe;
         self
     }
 

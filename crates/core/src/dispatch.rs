@@ -26,10 +26,12 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use pim_dram::address::SubarrayId;
 use pim_dram::context::SubarrayContext;
 use pim_dram::controller::Controller;
+use pim_obsv::{DispatchMetrics, HistKey, SpanRecorder};
 
 use crate::error::Result;
 use crate::exec::StreamExecutor;
@@ -55,26 +57,30 @@ struct Batch {
 struct WorkerPool {
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    /// Telemetry shared with the owning dispatcher (per-worker item
+    /// pickup, barrier wait time).
+    metrics: Arc<DispatchMetrics>,
 }
 
 impl WorkerPool {
     /// Spawns `threads` workers blocking on a shared queue.
-    fn new(threads: usize) -> Self {
+    fn new(threads: usize, metrics: Arc<DispatchMetrics>) -> Self {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || Self::drain(&rx))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || Self::drain(&rx, &metrics, worker))
             })
             .collect();
-        WorkerPool { tx: Some(tx), handles }
+        WorkerPool { tx: Some(tx), handles, metrics }
     }
 
     /// Worker body: pull jobs until the queue closes. The queue lock is
     /// held only across `recv`, never while a job runs, so pickup is
     /// serialized but execution is parallel.
-    fn drain(rx: &Mutex<Receiver<Job>>) {
+    fn drain(rx: &Mutex<Receiver<Job>>, metrics: &DispatchMetrics, worker: usize) {
         loop {
             // Lock can only be poisoned if a peer died inside `recv`,
             // which does not panic; treat poisoning as shutdown anyway.
@@ -83,7 +89,10 @@ impl WorkerPool {
                 Err(_) => return,
             };
             match job {
-                Ok(job) => job(),
+                Ok(job) => {
+                    metrics.record_worker_item(worker);
+                    job()
+                }
                 Err(_) => return, // queue closed: pool is shutting down
             }
         }
@@ -121,11 +130,13 @@ impl WorkerPool {
             });
             tx.send(wrapped).expect("pool threads alive until drop");
         }
+        let wait_start = Instant::now();
         let mut remaining = batch.remaining.lock().unwrap();
         while *remaining > 0 {
             remaining = batch.done.wait(remaining).unwrap();
         }
         drop(remaining);
+        self.metrics.record_pool_batch(wait_start.elapsed().as_nanos() as u64);
         let payload = batch.panic.lock().unwrap().take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -158,6 +169,11 @@ pub struct ParallelDispatcher {
     workers: usize,
     /// Persistent pool, present iff `workers > 1`. Shared across clones.
     pool: Option<Arc<WorkerPool>>,
+    /// Dispatch telemetry, always on (relaxed atomic adds). Shared with
+    /// the pool threads and across clones.
+    metrics: Arc<DispatchMetrics>,
+    /// Optional span sink for `dispatch.batch` spans (observability runs).
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl PartialEq for ParallelDispatcher {
@@ -178,7 +194,12 @@ impl ParallelDispatcher {
     /// A dispatcher that runs every partition on the calling thread (the
     /// reference semantics; no threads are spawned).
     pub fn serial() -> Self {
-        ParallelDispatcher { workers: 1, pool: None }
+        ParallelDispatcher {
+            workers: 1,
+            pool: None,
+            metrics: Arc::new(DispatchMetrics::new()),
+            spans: None,
+        }
     }
 
     /// A dispatcher using all available host parallelism.
@@ -195,13 +216,25 @@ impl ParallelDispatcher {
     /// Panics if `workers == 0`.
     pub fn with_workers(workers: usize) -> Self {
         assert!(workers > 0, "dispatcher needs at least one worker");
-        let pool = (workers > 1).then(|| Arc::new(WorkerPool::new(workers)));
-        ParallelDispatcher { workers, pool }
+        let metrics = Arc::new(DispatchMetrics::new());
+        let pool = (workers > 1).then(|| Arc::new(WorkerPool::new(workers, Arc::clone(&metrics))));
+        ParallelDispatcher { workers, pool, metrics, spans: None }
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The dispatch telemetry block (shared with pool threads and clones).
+    pub fn metrics(&self) -> &DispatchMetrics {
+        &self.metrics
+    }
+
+    /// Installs (or removes) a span sink; each `run_partitions` batch then
+    /// records a `dispatch.batch` span covering its execution.
+    pub fn set_span_recorder(&mut self, spans: Option<Arc<SpanRecorder>>) {
+        self.spans = spans;
     }
 
     /// Whether this dispatcher spawns worker threads.
@@ -236,6 +269,12 @@ impl ParallelDispatcher {
         R: Send,
         F: Fn(&mut SubarrayContext, P) -> Result<R> + Sync,
     {
+        // Telemetry first, before any path split, so these counters are
+        // identical for serial and pooled runs of the same workload.
+        self.metrics.record_batch(partitions.len() as u64);
+        ctrl.record_value(HistKey::PartitionItems, partitions.len() as u64);
+        let span_start = self.spans.as_deref().map(SpanRecorder::now_ns);
+
         // Check out every partition's context up front; a duplicate id
         // surfaces here as SubarrayDetached before any work runs.
         let mut work: Vec<(SubarrayContext, P)> = Vec::with_capacity(partitions.len());
@@ -266,6 +305,10 @@ impl ParallelDispatcher {
         } else {
             self.run_on_threads(work, &f)
         };
+
+        if let (Some(spans), Some(start)) = (&self.spans, span_start) {
+            spans.record("dispatch.batch", "dispatch", 0, start, finished.len() as u64);
+        }
 
         let mut results = Vec::with_capacity(finished.len());
         let mut first_err = None;

@@ -11,6 +11,7 @@ use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::controller::Controller;
 use pim_genome::debruijn::DeBruijnGraph;
 use pim_genome::kmer::Kmer;
+use pim_obsv::Metric;
 
 use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
@@ -116,6 +117,7 @@ impl GraphStage {
                 stats.mem_inserts += 1;
             }
         }
+        ctrl.record_metric(Metric::GraphKmers, stats.edges_inserted);
         let graph = graph.unwrap_or_else(|| DeBruijnGraph::from_kmers(2, std::iter::empty()));
         let f = ctrl.geometry().cols.min(ctrl.geometry().rows);
         let partitioning = IntervalBlockPartitioner::new(intervals.max(1), f).partition(&graph);

@@ -21,6 +21,7 @@ use pim_dram::bitrow::BitRow;
 use pim_dram::controller::Controller;
 use pim_dram::port::AapPort;
 use pim_genome::kmer::Kmer;
+use pim_obsv::{HistKey, Metric};
 
 use crate::dispatch::ParallelDispatcher;
 use crate::dpu::Dpu;
@@ -285,17 +286,21 @@ impl PimHashTable {
         let subarray = mapper.subarrays()[sub_idx];
         mapper.row_image_into(&kmer, image);
         stats.inserted_total += 1;
+        port.record_metric(Metric::HashInserts, 1);
 
         // Stage the query once (temp write + clone into x1).
         PimComparator::stage_query(port, subarray, layout.temp_row(0), image)?;
 
         // Linear probe from the bucket start, wrapping across the region.
         let kmer_rows = layout.kmer_rows();
+        let mut local_probes = 0u64;
+        let mut outcome = None;
         for step in 0..kmer_rows {
             let row = (bucket_row + step) % kmer_rows;
             match slots[row] {
                 Some(stored) => {
                     stats.probes += 1;
+                    local_probes += 1;
                     let matched = PimComparator::compare(
                         port,
                         subarray,
@@ -314,7 +319,8 @@ impl PimHashTable {
                         let current = Self::read_counter_at(port, &layout, subarray, row)?;
                         let next = Dpu::increment_saturating(port, current, layout.max_count());
                         Self::write_counter_at(port, &layout, subarray, row, next)?;
-                        return Ok(next);
+                        outcome = Some(next);
+                        break;
                     }
                 }
                 None => {
@@ -324,11 +330,14 @@ impl PimHashTable {
                     slots[row] = Some(kmer);
                     stats.distinct += 1;
                     Self::write_counter_at(port, &layout, subarray, row, 1)?;
-                    return Ok(1);
+                    outcome = Some(1);
+                    break;
                 }
             }
         }
-        Err(PimError::SubarrayFull { subarray: sub_idx, capacity: kmer_rows })
+        port.record_metric(Metric::HashProbes, local_probes);
+        port.record_value(HistKey::HashProbeLen, local_probes);
+        outcome.ok_or(PimError::SubarrayFull { subarray: sub_idx, capacity: kmer_rows })
     }
 
     /// One sub-array's share of the table scan, appending to `out`.

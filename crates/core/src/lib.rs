@@ -30,7 +30,9 @@
 //! * [`pipeline`] — the full assembler, producing contigs plus a
 //!   [`perf::PerfReport`],
 //! * [`perf`] — wall-clock/power/MBR/RUR estimation and chr14-scale
-//!   extrapolation.
+//!   extrapolation,
+//! * [`budget`] — template-derived stage command budgets checked against
+//!   the `pim-obsv` metrics snapshot.
 //!
 //! ## Example
 //!
@@ -49,6 +51,7 @@
 //! # Ok::<(), pim_assembler::PimError>(())
 //! ```
 
+pub mod budget;
 pub mod config;
 pub mod dispatch;
 pub mod dpu;

@@ -10,6 +10,7 @@
 
 use pim_dram::stats::CommandStats;
 use pim_dram::timing::TimingParams;
+use pim_obsv::MetricsSnapshot;
 use pim_platforms::assembly_model::{AssemblyCostModel, PimAssemblyModel, StageBreakdown};
 use pim_platforms::workload::AssemblyWorkload;
 
@@ -54,6 +55,10 @@ pub struct PerfReport {
     pub measured_parallelism: Option<f64>,
     /// The measured workload sizes (for extrapolation).
     pub workload: AssemblyWorkload,
+    /// Flat metrics snapshot from the `pim-obsv` layer; `None` unless the
+    /// run was configured with
+    /// [`crate::config::PimAssemblerConfig::with_observability`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl PerfReport {
@@ -92,12 +97,19 @@ impl PerfReport {
             rur_percent: (100.0 - mbr) * 0.76,
             measured_parallelism: None,
             workload,
+            metrics: None,
         }
     }
 
     /// Attaches the schedule-measured effective sub-array parallelism.
     pub fn with_measured_parallelism(mut self, parallelism: f64) -> Self {
         self.measured_parallelism = Some(parallelism);
+        self
+    }
+
+    /// Attaches the run's flat metrics snapshot.
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 

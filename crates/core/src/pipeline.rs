@@ -7,6 +7,8 @@
 //! the PIM pipeline executes the *same algorithm* through in-memory
 //! primitives.
 
+use std::sync::Arc;
+
 use pim_dram::address::SubarrayId;
 use pim_dram::controller::Controller;
 use pim_genome::assemble::Assembly;
@@ -15,6 +17,7 @@ use pim_genome::euler::EulerAlgorithm;
 use pim_genome::kmer::KmerIter;
 use pim_genome::reads::Read;
 use pim_genome::stats::AssemblyStats;
+use pim_obsv::{SpanRecorder, Stage};
 use pim_platforms::workload::AssemblyWorkload;
 
 use crate::config::PimAssemblerConfig;
@@ -53,7 +56,11 @@ pub struct PimAssembler {
     config: PimAssemblerConfig,
     ctrl: Controller,
     dispatcher: ParallelDispatcher,
+    spans: Option<Arc<SpanRecorder>>,
 }
+
+/// Capacity of the span ring buffer when observability is enabled.
+const SPAN_RING_CAPACITY: usize = 8192;
 
 impl PimAssembler {
     /// Creates an assembler over a fresh memory group. Stages execute
@@ -61,9 +68,14 @@ impl PimAssembler {
     /// [`PimAssemblerConfig::workers`]; any worker count produces
     /// byte-identical contigs and command totals.
     pub fn new(config: PimAssemblerConfig) -> Self {
-        let ctrl = Controller::with_params(config.geometry, config.timing, config.energy);
-        let dispatcher = ParallelDispatcher::with_workers(config.workers.max(1));
-        PimAssembler { config, ctrl, dispatcher }
+        let mut ctrl = Controller::with_params(config.geometry, config.timing, config.energy);
+        let mut dispatcher = ParallelDispatcher::with_workers(config.workers.max(1));
+        let spans = config.observe.then(|| Arc::new(SpanRecorder::new(SPAN_RING_CAPACITY)));
+        if config.observe {
+            ctrl.enable_metrics();
+            dispatcher.set_span_recorder(spans.clone());
+        }
+        PimAssembler { config, ctrl, dispatcher, spans }
     }
 
     /// The configuration in use.
@@ -79,6 +91,13 @@ impl PimAssembler {
     /// The dispatcher driving the stages.
     pub fn dispatcher(&self) -> &ParallelDispatcher {
         &self.dispatcher
+    }
+
+    /// The span recorder, when the run was configured with
+    /// [`PimAssemblerConfig::with_observability`]. Export with
+    /// [`SpanRecorder::to_chrome_json`] for chrome://tracing / Perfetto.
+    pub fn span_recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.spans.as_ref()
     }
 
     /// Arms sense-amp fault injection on the underlying controller: every
@@ -108,8 +127,11 @@ impl PimAssembler {
         let k = self.config.k;
         let geometry = self.config.geometry;
         self.ctrl.take_stats();
+        self.dispatcher.metrics().reset();
 
         // ── Stage 1: k-mer analysis (Hashmap) ──────────────────────────
+        self.ctrl.set_stage(Stage::Hashmap);
+        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
         // Stream the read set into the original sequence bank first: one
         // host row write per 128 bp of read data.
         let stream_rows: u64 =
@@ -125,11 +147,17 @@ impl PimAssembler {
             }
         }
         table.insert_batch(&mut self.ctrl, &self.dispatcher, &kmers)?;
+        let kmer_count = kmers.len() as u64;
         drop(kmers);
         let hash_stats = *table.stats();
         let s1 = *self.ctrl.stats();
+        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
+            spans.record("stage.hashmap", "stage", 0, t0, kmer_count);
+        }
 
         // ── Stage 2: graph construction (DeBruijn) ─────────────────────
+        self.ctrl.set_stage(Stage::Graph);
+        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
         let graph_region = self.aux_subarray(0);
         let (mut graph, mut partitioning, graph_stats) = GraphStage::build_with_dispatcher(
             &mut self.ctrl,
@@ -154,8 +182,13 @@ impl PimAssembler {
                     .partition(&graph);
         }
         let s2 = self.ctrl.stats().since(&s1);
+        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
+            spans.record("stage.debruijn", "stage", 0, t0, graph.edge_count() as u64);
+        }
 
         // ── Stage 3: traversal (Traverse) ──────────────────────────────
+        self.ctrl.set_stage(Stage::Traverse);
+        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
         let (work_out, work_in) = (self.aux_subarray(1), self.aux_subarray(2));
         let (trails, traverse_stats) = TraverseStage::run_with_dispatcher(
             &mut self.ctrl,
@@ -168,6 +201,9 @@ impl PimAssembler {
         let mut s12 = s1;
         s12.merge(&s2);
         let s3 = self.ctrl.stats().since(&s12);
+        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
+            spans.record("stage.traverse", "stage", 0, t0, trails.len() as u64);
+        }
 
         // Contig spelling (host-side, as in the paper — stage 3 output).
         let contigs: Vec<Contig> =
@@ -204,8 +240,25 @@ impl PimAssembler {
         // issue) and attach the effective parallelism it achieves.
         let queues = pim_dram::schedule::queues_from_totals(&self.ctrl.subarray_command_totals());
         let sched = pim_dram::schedule::schedule(&queues, 3.0 * self.config.timing.t_ck_ns);
-        let report = PerfReport::new(&self.config, [s1, s2, s3], workload)
+        let mut report = PerfReport::new(&self.config, [s1, s2, s3], workload)
             .with_measured_parallelism(sched.effective_parallelism);
+        if let Some(mut snap) = self.ctrl.metrics_snapshot() {
+            // Deterministic dispatcher counters (recorded before the
+            // serial/pool path split) join the worker-count-independent
+            // section; timing-dependent host telemetry stays out of it.
+            for (name, value) in self.dispatcher.metrics().deterministic_counters() {
+                snap.counters.insert(format!("dispatch.{name}"), value);
+            }
+            for (name, value) in self.dispatcher.metrics().host_counters() {
+                snap.host.insert(format!("dispatch.{name}"), value);
+            }
+            if let Some(spans) = &self.spans {
+                snap.host.insert("spans.recorded".to_string(), spans.len() as u64);
+                snap.host.insert("spans.dropped".to_string(), spans.dropped());
+            }
+            snap.floats.insert("measured_parallelism".to_string(), sched.effective_parallelism);
+            report = report.with_metrics(snap);
+        }
 
         Ok(PimRun { assembly, report, hash_stats, graph_stats, traverse_stats, partitioning })
     }

@@ -14,6 +14,7 @@ use pim_dram::controller::Controller;
 use pim_genome::contig::Contig;
 use pim_genome::kmer::{Kmer, KmerIter};
 use pim_genome::scaffold::{ReadPair, Scaffold, Scaffolder};
+use pim_obsv::{Metric, Stage};
 
 use crate::dpu::Dpu;
 use crate::error::Result;
@@ -53,6 +54,7 @@ impl ScaffoldStage {
         k: usize,
         min_support: usize,
     ) -> Result<(Vec<Scaffold>, ScaffoldStats)> {
+        ctrl.set_stage(Stage::Scaffold);
         let mut stats = ScaffoldStats::default();
 
         // 1. Load the anchor index: every contig k-mer into the PIM table,
@@ -83,6 +85,7 @@ impl ScaffoldStage {
 
         // 3. Link voting + chaining (DPU scalar work, one op per anchored
         //    pair and per link decision).
+        ctrl.record_metric(Metric::ScaffoldAnchors, stats.pairs_anchored);
         ctrl.dpu_ops(stats.pairs_anchored + contigs.len() as u64);
         let scaffolder = Scaffolder::new(k, min_support);
         let scaffolds = scaffolder.scaffold(contigs, pairs)?;
@@ -163,6 +166,72 @@ mod tests {
             stats.anchor_queries
         );
         assert!(d.aap > stats.index_kmers, "index build must clone rows");
+    }
+
+    #[test]
+    fn links_follow_read_pair_orientation() {
+        // Pairs are sampled left→right (r1 upstream, r2 downstream), so a
+        // genome split into [contig 0 | gap | contig 1] must chain 0 → 1,
+        // never the reverse.
+        let (mut ctrl, genome, mut rng) = setup(3000, 53);
+        let contigs = vec![
+            Contig::new(genome.subsequence(0, 1400)),
+            Contig::new(genome.subsequence(1500, 1400)),
+        ];
+        let pairs = simulate_pairs(&genome, 60, 400, 600, &mut rng);
+        let mapper = KmerMapper::new(ctrl.geometry(), 8, 8);
+        let (scaffolds, _) =
+            ScaffoldStage::run(&mut ctrl, mapper, &contigs, &pairs, 17, 3).unwrap();
+        let chained: Vec<_> = scaffolds.iter().filter(|s| s.contigs.len() > 1).collect();
+        assert_eq!(chained.len(), 1, "expected exactly one multi-contig scaffold");
+        assert_eq!(chained[0].contigs, vec![0, 1], "link orientation must follow pair direction");
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic_under_shuffled_insertion() {
+        use rand::Rng;
+        // Fisher–Yates (the vendored rand has no slice shuffle).
+        fn shuffle<T>(items: &mut [T], rng: &mut ChaCha8Rng) {
+            for i in (1..items.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                items.swap(i, j);
+            }
+        }
+        // Three contigs with equal-support competing links: the scaffold
+        // output must not depend on the order pairs arrive in.
+        let (mut ctrl, genome, mut rng) = setup(5000, 54);
+        let contigs = vec![
+            Contig::new(genome.subsequence(0, 1400)),
+            Contig::new(genome.subsequence(1500, 1400)),
+            Contig::new(genome.subsequence(3000, 1400)),
+        ];
+        let mut pairs = simulate_pairs(&genome, 60, 400, 800, &mut rng);
+        let mapper = KmerMapper::new(ctrl.geometry(), 8, 8);
+        let (reference, _) =
+            ScaffoldStage::run(&mut ctrl, mapper, &contigs, &pairs, 17, 3).unwrap();
+        for round in 0..3 {
+            shuffle(&mut pairs, &mut rng);
+            let g = DramGeometry::paper_assembly();
+            let mut ctrl = Controller::new(g);
+            let mapper = KmerMapper::new(ctrl.geometry(), 8, 8);
+            let (shuffled, _) =
+                ScaffoldStage::run(&mut ctrl, mapper, &contigs, &pairs, 17, 3).unwrap();
+            assert_eq!(shuffled, reference, "round {round}: pair order changed the scaffolds");
+        }
+    }
+
+    #[test]
+    fn empty_contig_set_yields_no_scaffolds() {
+        let (mut ctrl, genome, mut rng) = setup(2000, 55);
+        let pairs = simulate_pairs(&genome, 50, 300, 40, &mut rng);
+        let mapper = KmerMapper::new(ctrl.geometry(), 8, 8);
+        let (scaffolds, stats) = ScaffoldStage::run(&mut ctrl, mapper, &[], &pairs, 15, 3).unwrap();
+        assert!(scaffolds.is_empty());
+        assert_eq!(stats.index_kmers, 0);
+        assert_eq!(stats.pairs_anchored, 0);
+        assert_eq!(stats.scaffolds, 0);
+        // Queries were still issued (and charged) against the empty index.
+        assert_eq!(stats.anchor_queries, 2 * pairs.len() as u64);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use pim_dram::controller::Controller;
 use pim_dram::port::AapPort;
 use pim_genome::debruijn::DeBruijnGraph;
 use pim_genome::euler::{eulerian_trails, EulerAlgorithm, Trail};
+use pim_obsv::{HistKey, Metric};
 
 use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
@@ -181,6 +182,10 @@ impl TraverseStage {
         let trails = eulerian_trails(graph, algorithm);
         let edges_walked: u64 = trails.iter().map(|t| (t.len().saturating_sub(1)) as u64).sum();
         let trail_count = trails.len() as u64;
+        ctrl.record_metric(Metric::TraverseEdges, edges_walked);
+        for trail in &trails {
+            ctrl.record_value(HistKey::TraverseTrailLen, (trail.len().saturating_sub(1)) as u64);
+        }
         // Each traversal step chases one edge: a row read + a DPU branch.
         ctrl.record_synthetic("RD", edges_walked);
         ctrl.record_synthetic("DPU", edges_walked);

@@ -18,6 +18,22 @@ use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
 use crate::sense_amp::SaMode;
 use crate::stats::CommandStats;
 use crate::subarray::Subarray;
+use pim_obsv::{ContextObsv, HistKey, Metric};
+
+/// Maps one synthetic/batched command class onto its observability
+/// metric and the DRAM row activations it implies.
+pub(crate) fn record_class_obsv(obsv: &mut ContextObsv, class: CommandClass, count: u64) {
+    let (metric, activations) = match class {
+        CommandClass::Read => (Metric::HostReads, 1),
+        CommandClass::Write => (Metric::HostWrites, 1),
+        CommandClass::Aap => (Metric::AapCopy, 2),
+        CommandClass::Aap2 => (Metric::Aap2, 3),
+        CommandClass::Aap3 => (Metric::Aap3, 4),
+        CommandClass::Dpu => (Metric::DpuOps, 0),
+    };
+    obsv.record(metric, count);
+    obsv.record(Metric::RowActivations, activations * count);
+}
 
 /// One sub-array's state, timing/energy accounting, and command execution.
 ///
@@ -36,6 +52,8 @@ pub struct SubarrayContext {
     ledger: EnergyLedger,
     /// Optional sense-amp read-out fault injection (see [`crate::fault`]).
     fault: Option<FaultInjector>,
+    /// Hot-path observability counters (fixed arrays, no heap per record).
+    obsv: ContextObsv,
 }
 
 impl SubarrayContext {
@@ -47,6 +65,7 @@ impl SubarrayContext {
             costs,
             ledger: EnergyLedger::default(),
             fault: None,
+            obsv: ContextObsv::default(),
         }
     }
 
@@ -64,7 +83,10 @@ impl SubarrayContext {
     /// are untouched — only what the sense amplifier hands back flips.
     fn sense(&mut self, mut data: BitRow) -> BitRow {
         if let Some(injector) = &mut self.fault {
+            let before = injector.flips();
             injector.corrupt(&mut data);
+            let flipped = injector.flips() - before;
+            self.obsv.record(Metric::FaultFlips, flipped);
         }
         data
     }
@@ -107,8 +129,35 @@ impl SubarrayContext {
         self.ledger = EnergyLedger::default();
     }
 
+    /// Hot-path observability counters accumulated by this context since
+    /// the last reset (cumulative across detach/reattach cycles).
+    pub fn obsv(&self) -> &ContextObsv {
+        &self.obsv
+    }
+
+    pub(crate) fn reset_obsv(&mut self) {
+        self.obsv.reset();
+    }
+
+    /// Adds `n` to a stage-level metric on this context's counters.
+    pub fn record_metric(&mut self, metric: Metric, n: u64) {
+        self.obsv.record(metric, n);
+    }
+
+    /// Records one histogram sample on this context's counters.
+    pub fn record_value(&mut self, key: HistKey, value: u64) {
+        self.obsv.record_value(key, value);
+    }
+
     fn charge(&mut self, class: CommandClass) {
         self.ledger.charge(class, &self.costs);
+    }
+
+    /// One command's observability bookkeeping: the command-kind counter
+    /// plus its implied row activations.
+    fn note(&mut self, metric: Metric, activations: u64) {
+        self.obsv.record(metric, 1);
+        self.obsv.record(Metric::RowActivations, activations);
     }
 
     /// Writes one row from the host (charged as `WR`).
@@ -119,6 +168,7 @@ impl SubarrayContext {
     pub fn write_row(&mut self, row: impl Into<RowAddr>, data: &BitRow) -> Result<()> {
         self.subarray.write(row.into(), data)?;
         self.charge(CommandClass::Write);
+        self.note(Metric::HostWrites, 1);
         Ok(())
     }
 
@@ -130,6 +180,8 @@ impl SubarrayContext {
     pub fn read_row(&mut self, row: impl Into<RowAddr>) -> Result<BitRow> {
         let data = self.subarray.read(row.into())?;
         self.charge(CommandClass::Read);
+        self.note(Metric::HostReads, 1);
+        self.obsv.record(Metric::SensedReads, 1);
         Ok(self.sense(data))
     }
 
@@ -161,6 +213,7 @@ impl SubarrayContext {
     pub fn aap_copy(&mut self, src: impl Into<RowAddr>, dst: impl Into<RowAddr>) -> Result<()> {
         self.subarray.copy(src.into(), dst.into())?;
         self.charge(CommandClass::Aap);
+        self.note(Metric::AapCopy, 2);
         Ok(())
     }
 
@@ -178,6 +231,8 @@ impl SubarrayContext {
     ) -> Result<BitRow> {
         let out = self.subarray.op2(mode, srcs, dst.into())?;
         self.charge(CommandClass::Aap2);
+        self.note(Metric::Aap2, 3);
+        self.obsv.record(Metric::SensedReads, 1);
         Ok(self.sense(out))
     }
 
@@ -202,6 +257,8 @@ impl SubarrayContext {
         }
         self.subarray.op2_apply(mode, srcs, dst.into())?;
         self.charge(CommandClass::Aap2);
+        self.note(Metric::Aap2, 3);
+        self.obsv.record(Metric::DiscardReads, 1);
         Ok(())
     }
 
@@ -231,6 +288,8 @@ impl SubarrayContext {
     pub fn aap3_carry(&mut self, srcs: [RowAddr; 3], dst: impl Into<RowAddr>) -> Result<BitRow> {
         let out = self.subarray.op3_carry(srcs, dst.into())?;
         self.charge(CommandClass::Aap3);
+        self.note(Metric::Aap3, 4);
+        self.obsv.record(Metric::SensedReads, 1);
         Ok(self.sense(out))
     }
 
@@ -251,6 +310,8 @@ impl SubarrayContext {
         }
         self.subarray.op3_carry_apply(srcs, dst.into())?;
         self.charge(CommandClass::Aap3);
+        self.note(Metric::Aap3, 4);
+        self.obsv.record(Metric::DiscardReads, 1);
         Ok(())
     }
 
@@ -262,11 +323,13 @@ impl SubarrayContext {
     /// Records one DPU scalar operation against this context's ledger.
     pub fn dpu_op(&mut self) {
         self.charge(CommandClass::Dpu);
+        self.obsv.record(Metric::DpuOps, 1);
     }
 
     /// Records `n` DPU scalar operations.
     pub fn dpu_ops(&mut self, n: u64) {
         self.ledger.charge_many(CommandClass::Dpu, &self.costs, n);
+        self.obsv.record(Metric::DpuOps, n);
     }
 
     /// Records `count` synthetic commands without executing them (the
@@ -282,6 +345,7 @@ impl SubarrayContext {
         let class = CommandClass::from_mnemonic(mnemonic)
             .unwrap_or_else(|| panic!("unknown command mnemonic {mnemonic:?}"));
         self.ledger.charge_many(class, &self.costs, count);
+        record_class_obsv(&mut self.obsv, class, count);
     }
 }
 
@@ -383,5 +447,34 @@ mod tests {
         ctx.dpu_ops(2);
         let s = ctx.stats();
         assert_eq!((s.aap, s.reads, s.dpu), (3, 0, 2));
+    }
+
+    #[test]
+    fn obsv_counters_mirror_executed_commands() {
+        let mut ctx = context();
+        let cols = ctx.geometry().cols;
+        ctx.write_row(1, &BitRow::from_fn(cols, |i| i % 2 == 0)).unwrap();
+        ctx.write_row(2, &BitRow::from_fn(cols, |i| i % 3 == 0)).unwrap();
+        ctx.aap_copy(1, ctx.compute_row(0)).unwrap();
+        ctx.aap_copy(2, ctx.compute_row(1)).unwrap();
+        let (x1, x2) = (ctx.compute_row(0), ctx.compute_row(1));
+        ctx.aap2(SaMode::Xnor, [x1, x2], 5).unwrap();
+        ctx.aap2_discard(SaMode::Xnor, [x1, x2], 6).unwrap();
+        ctx.record_synthetic("AAP3", 2);
+        let c = &ctx.obsv().counters;
+        assert_eq!(c.get(Metric::HostWrites), 2);
+        assert_eq!(c.get(Metric::AapCopy), 2);
+        assert_eq!(c.get(Metric::Aap2), 2);
+        assert_eq!(c.get(Metric::Aap3), 2);
+        assert_eq!(c.get(Metric::SensedReads), 1);
+        assert_eq!(c.get(Metric::DiscardReads), 1);
+        // 2×WR(1) + 2×AAP(2) + 2×AAP2(3) + 2×AAP3(4, synthetic) = 20.
+        assert_eq!(c.get(Metric::RowActivations), 20);
+        // Observability counters track the ledger's command totals exactly
+        // for the executed classes.
+        assert_eq!(
+            c.get(Metric::Aap2) + c.get(Metric::AapCopy) + c.get(Metric::HostWrites),
+            ctx.ledger().total_commands() - 2
+        );
     }
 }

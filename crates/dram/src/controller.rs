@@ -32,6 +32,23 @@ use crate::stats::CommandStats;
 use crate::subarray::Subarray;
 use crate::timing::TimingParams;
 use crate::trace::CommandTrace;
+use pim_obsv::{
+    ContextObsv, CounterSet, HistKey, Metric, MetricsRegistry, MetricsSnapshot, ScopeId, Stage,
+};
+
+/// Metrics-registry state carried while metrics collection is enabled.
+///
+/// Hot paths only touch the fixed-array [`ContextObsv`] blocks; this state
+/// is consulted at stage boundaries, where each context's counter delta
+/// since its last fold mark is attributed to the current [`Stage`].
+#[derive(Debug, Clone, Default)]
+struct ObsvState {
+    registry: MetricsRegistry,
+    /// Per-context counter values at the last fold, so only new work is
+    /// attributed to the current stage.
+    marks: BTreeMap<SubarrayId, CounterSet>,
+    global_mark: CounterSet,
+}
 
 /// Routes commands to per-sub-array contexts with merged accounting.
 ///
@@ -60,6 +77,14 @@ pub struct Controller {
     trace: Option<CommandTrace>,
     /// Armed fault model, applied to every context (see [`crate::fault`]).
     fault: Option<FaultConfig>,
+    /// Observability counters for globally-charged traffic (DPU ops,
+    /// synthetic commands, stage-level metrics recorded at the controller).
+    global_obsv: ContextObsv,
+    /// Stage label new counter deltas are attributed to at fold time.
+    stage: Stage,
+    /// Scoped metrics accumulation; `None` until
+    /// [`Controller::enable_metrics`] (boxed — the registry is cold state).
+    obsv: Option<Box<ObsvState>>,
 }
 
 impl Controller {
@@ -83,7 +108,120 @@ impl Controller {
             stats_cache: CommandStats::default(),
             trace: None,
             fault: None,
+            global_obsv: ContextObsv::default(),
+            stage: Stage::Setup,
+            obsv: None,
         }
+    }
+
+    /// Enables scoped metrics collection, resetting all observability
+    /// counters so the registry covers exactly the traffic from this call
+    /// on. The per-command counter increments themselves are always on
+    /// (fixed-array adds); enabling metrics only adds stage-boundary folds.
+    pub fn enable_metrics(&mut self) {
+        for ctx in self.contexts.values_mut() {
+            ctx.reset_obsv();
+        }
+        self.global_obsv = ContextObsv::default();
+        self.stage = Stage::Setup;
+        self.obsv = Some(Box::default());
+    }
+
+    /// Whether scoped metrics collection is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.obsv.is_some()
+    }
+
+    /// The stage new counter deltas are currently attributed to.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Marks a stage boundary: folds every attached context's counter
+    /// delta (and the global delta) into the registry under the *current*
+    /// stage, then switches attribution to `stage`. A no-op router when
+    /// metrics are disabled.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.fold_pending();
+        self.stage = stage;
+    }
+
+    /// Folds unattributed counter deltas into the registry under the
+    /// current stage. Detached contexts are skipped; their work is
+    /// attributed at the next fold after reattach (dispatch batches never
+    /// span a stage boundary).
+    fn fold_pending(&mut self) {
+        let Some(state) = self.obsv.as_deref_mut() else { return };
+        let stage = self.stage;
+        for (id, ctx) in &self.contexts {
+            let current = ctx.obsv().counters;
+            let mark = state.marks.get(id).copied().unwrap_or_default();
+            let delta = current.since(&mark);
+            if !delta.is_zero() {
+                let linear = id.linear_index(&self.geometry) as u32;
+                state.registry.fold(ScopeId::subarray(stage, linear), &delta);
+                state.marks.insert(*id, current);
+            }
+        }
+        let delta = self.global_obsv.counters.since(&state.global_mark);
+        if !delta.is_zero() {
+            state.registry.fold(ScopeId::global(stage), &delta);
+            state.global_mark = self.global_obsv.counters;
+        }
+    }
+
+    /// Adds `n` to a stage-level metric on the controller's global
+    /// counters (attributed to the current stage at the next fold).
+    pub fn record_metric(&mut self, metric: Metric, n: u64) {
+        self.global_obsv.record(metric, n);
+    }
+
+    /// Records one histogram sample on the controller's global counters.
+    pub fn record_value(&mut self, key: HistKey, value: u64) {
+        self.global_obsv.record_value(key, value);
+    }
+
+    /// Builds the flat metrics snapshot: per-stage aggregates, per-stage ×
+    /// per-sub-array detail, merged histograms, and ledger-derived run
+    /// totals. Returns `None` unless [`Controller::enable_metrics`] was
+    /// called. Counter keys are execution-order deterministic — a serial
+    /// run and a worker-pool run of the same workload produce identical
+    /// snapshots.
+    pub fn metrics_snapshot(&mut self) -> Option<MetricsSnapshot> {
+        self.fold_pending();
+        let state = self.obsv.as_deref()?;
+        let mut snap = MetricsSnapshot::new();
+        for (scope, counters) in state.registry.iter() {
+            for (metric, value) in counters.iter() {
+                if value == 0 {
+                    continue;
+                }
+                let (stage, metric) = (scope.stage.name(), metric.name());
+                snap.add_counter(format!("{stage}.{metric}"), value);
+                if !scope.is_global() {
+                    snap.add_counter(format!("{stage}.sub{:05}.{metric}", scope.subarray), value);
+                }
+            }
+        }
+        let mut hists = self.global_obsv.hists;
+        for ctx in self.contexts.values() {
+            hists.merge(&ctx.obsv().hists);
+        }
+        for key in HistKey::ALL {
+            let h = hists.get(key);
+            if h.is_empty() {
+                continue;
+            }
+            for (bucket, count) in h.nonzero_buckets() {
+                snap.add_counter(format!("hist.{}.b{bucket:02}", key.name()), count);
+            }
+            snap.add_counter(format!("hist.{}.total", key.name()), h.total_samples());
+        }
+        snap.add_counter("total.commands", self.total.total_commands());
+        snap.add_counter("total.time_ps", self.total.total_time_ps());
+        snap.add_counter("total.energy_fj", self.total.total_energy_fj());
+        snap.add_counter("total.energy_pj", self.total.total_energy_pj());
+        Some(snap)
     }
 
     /// Arms sense-amp read-out fault injection: every sub-array context
@@ -412,6 +550,7 @@ impl Controller {
 
     /// Records one DPU scalar operation (MAT-level digital processing unit).
     pub fn dpu_op(&mut self) {
+        self.global_obsv.record(Metric::DpuOps, 1);
         self.account(None, &DramCommand::DpuOp);
     }
 
@@ -430,6 +569,7 @@ impl Controller {
         }
         self.global.charge_many(CommandClass::Dpu, &self.costs, n);
         self.total.charge_many(CommandClass::Dpu, &self.costs, n);
+        self.global_obsv.record(Metric::DpuOps, n);
         self.stats_cache = self.total.to_stats();
     }
 
@@ -450,6 +590,7 @@ impl Controller {
             .unwrap_or_else(|| panic!("unknown command mnemonic {mnemonic:?}"));
         self.global.charge_many(class, &self.costs, count);
         self.total.charge_many(class, &self.costs, count);
+        crate::context::record_class_obsv(&mut self.global_obsv, class, count);
         self.stats_cache = self.total.to_stats();
     }
 
@@ -487,6 +628,12 @@ impl Controller {
         self.total = EnergyLedger::default();
         for ctx in self.contexts.values_mut() {
             ctx.reset_ledger();
+            ctx.reset_obsv();
+        }
+        self.global_obsv = ContextObsv::default();
+        self.stage = Stage::Setup;
+        if let Some(state) = self.obsv.as_deref_mut() {
+            *state = ObsvState::default();
         }
         self.stats_cache = CommandStats::default();
         out
@@ -771,6 +918,47 @@ mod tests {
         }
         assert!(!c.has_detached_contexts());
         assert_eq!(sum, *c.ledger());
+    }
+
+    #[test]
+    fn metrics_attribute_deltas_to_stages_across_detach() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.enable_metrics();
+        // Setup-stage traffic.
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        c.record_synthetic("WR", 3);
+        c.set_stage(Stage::Hashmap);
+        // Hashmap-stage traffic, partly on a detached context.
+        c.aap_copy(id, 0, 1).unwrap();
+        let mut ctx = c.detach_context(id).unwrap();
+        ctx.aap_copy(0, 2).unwrap();
+        ctx.dpu_op();
+        c.reattach_context(ctx).unwrap();
+        c.set_stage(Stage::Graph);
+        c.dpu_ops(5);
+
+        let snap = c.metrics_snapshot().expect("metrics enabled");
+        assert_eq!(snap.counter("setup.host_writes"), 4);
+        assert_eq!(snap.counter("setup.sub00000.host_writes"), 1);
+        assert_eq!(snap.counter("hashmap.aap"), 2);
+        assert_eq!(snap.counter("hashmap.dpu"), 1);
+        assert_eq!(snap.counter("graph.dpu"), 5);
+        assert_eq!(snap.counter("total.commands"), c.ledger().total_commands());
+        assert_eq!(snap.counter("total.energy_pj"), c.ledger().total_energy_pj());
+
+        // Snapshotting is idempotent: no double-folding of deltas.
+        let again = c.metrics_snapshot().unwrap();
+        assert_eq!(again, snap);
+    }
+
+    #[test]
+    fn metrics_disabled_returns_no_snapshot() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+        assert!(!c.metrics_enabled());
+        assert!(c.metrics_snapshot().is_none());
     }
 
     #[test]

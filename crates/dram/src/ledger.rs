@@ -257,6 +257,12 @@ impl EnergyLedger {
         self.classes.iter().map(|c| c.energy_fj).sum()
     }
 
+    /// Total energy in picojoules (truncating femtojoule view — the unit
+    /// the observability snapshot reports).
+    pub fn total_energy_pj(&self) -> u64 {
+        self.total_energy_fj() / 1_000
+    }
+
     /// True if nothing has been charged.
     pub fn is_empty(&self) -> bool {
         self.total_commands() == 0

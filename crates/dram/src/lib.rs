@@ -82,3 +82,8 @@ pub use geometry::DramGeometry;
 pub use ledger::{CommandClass, CommandCosts, EnergyLedger};
 pub use port::AapPort;
 pub use stats::{CommandStats, EnergyStats};
+
+/// Re-export of the observability layer the command surface feeds
+/// ([`context::SubarrayContext`] / [`controller::Controller`] counters,
+/// [`controller::Controller::metrics_snapshot`] scoping types).
+pub use pim_obsv as obsv;

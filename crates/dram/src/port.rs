@@ -16,6 +16,7 @@ use crate::controller::Controller;
 use crate::error::{DramError, Result};
 use crate::geometry::DramGeometry;
 use crate::sense_amp::SaMode;
+use pim_obsv::{HistKey, Metric};
 
 /// A target that can execute AAP commands against addressed sub-arrays.
 ///
@@ -169,6 +170,19 @@ pub trait AapPort {
     ///
     /// Panics on an unknown mnemonic.
     fn record_synthetic(&mut self, mnemonic: &str, count: u64);
+
+    /// Adds `n` to a stage-level observability metric (hash probes, graph
+    /// k-mers, …). Default is a no-op so mock ports need not care; the
+    /// controller and context implementations feed their counter blocks.
+    fn record_metric(&mut self, metric: Metric, n: u64) {
+        let _ = (metric, n);
+    }
+
+    /// Records one observability histogram sample (probe-chain length,
+    /// trail length, …). Default is a no-op.
+    fn record_value(&mut self, key: HistKey, value: u64) {
+        let _ = (key, value);
+    }
 }
 
 impl AapPort for Controller {
@@ -239,6 +253,14 @@ impl AapPort for Controller {
 
     fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
         Controller::record_synthetic(self, mnemonic, count)
+    }
+
+    fn record_metric(&mut self, metric: Metric, n: u64) {
+        Controller::record_metric(self, metric, n)
+    }
+
+    fn record_value(&mut self, key: HistKey, value: u64) {
+        Controller::record_value(self, key, value)
     }
 }
 
@@ -331,6 +353,14 @@ impl AapPort for SubarrayContext {
 
     fn record_synthetic(&mut self, mnemonic: &str, count: u64) {
         SubarrayContext::record_synthetic(self, mnemonic, count)
+    }
+
+    fn record_metric(&mut self, metric: Metric, n: u64) {
+        SubarrayContext::record_metric(self, metric, n)
+    }
+
+    fn record_value(&mut self, key: HistKey, value: u64) {
+        SubarrayContext::record_value(self, key, value)
     }
 }
 

@@ -1,0 +1,140 @@
+//! Stage budgets: expected-bound watchdogs over snapshot counters.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// One budget inequality: `counter <= Σ factor_i × term_i + slack`.
+///
+/// Terms reference other snapshot counters, so bounds scale with the
+/// workload (e.g. "hashmap AAP2 commands per probe") instead of being
+/// absolute numbers. Missing counters evaluate to zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetLine {
+    /// Human-readable description surfaced in violation messages.
+    pub label: String,
+    /// Snapshot key of the counter being bounded.
+    pub counter: String,
+    /// `(snapshot key, multiplier)` pairs summed into the bound.
+    pub terms: Vec<(String, u64)>,
+    /// Constant slack added to the bound.
+    pub slack: u64,
+}
+
+impl BudgetLine {
+    /// Builds a line bounding `counter` by the weighted `terms` plus `slack`.
+    pub fn new(
+        label: impl Into<String>,
+        counter: impl Into<String>,
+        terms: Vec<(String, u64)>,
+        slack: u64,
+    ) -> Self {
+        Self { label: label.into(), counter: counter.into(), terms, slack }
+    }
+
+    /// The bound this line allows given `snapshot`'s counters.
+    pub fn bound(&self, snapshot: &MetricsSnapshot) -> u64 {
+        let mut bound = self.slack;
+        for (key, factor) in &self.terms {
+            bound = bound.saturating_add(snapshot.counter(key).saturating_mul(*factor));
+        }
+        bound
+    }
+
+    /// Checks the line, returning a violation message when exceeded.
+    pub fn check(&self, snapshot: &MetricsSnapshot) -> Option<String> {
+        let actual = snapshot.counter(&self.counter);
+        let bound = self.bound(snapshot);
+        (actual > bound).then(|| {
+            format!(
+                "stage budget exceeded [{}]: {} = {} > bound {}",
+                self.label, self.counter, actual, bound
+            )
+        })
+    }
+}
+
+/// A set of [`BudgetLine`]s checked together against one snapshot.
+///
+/// Budgets are derived from the compiled AAP templates (command counts per
+/// kernel repetition), so a violation means the executed command mix
+/// drifted from what the templates say a stage should cost — the kind of
+/// silent hot-path regression the `pim-verify` invariant checker exists to
+/// catch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageBudget {
+    /// All budget lines, checked independently.
+    pub lines: Vec<BudgetLine>,
+}
+
+impl StageBudget {
+    /// An empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a line (builder style).
+    pub fn with_line(mut self, line: BudgetLine) -> Self {
+        self.lines.push(line);
+        self
+    }
+
+    /// Checks every line, returning all violation messages.
+    pub fn check(&self, snapshot: &MetricsSnapshot) -> Vec<String> {
+        self.lines.iter().filter_map(|line| line.check(snapshot)).collect()
+    }
+
+    /// Number of lines in the budget.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the budget has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        for (k, v) in pairs {
+            s.add_counter(*k, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn within_bound_passes() {
+        let budget = StageBudget::new().with_line(BudgetLine::new(
+            "aap2 per probe",
+            "hashmap.aap2",
+            vec![("hashmap.hash_probes".into(), 1)],
+            0,
+        ));
+        let s = snap(&[("hashmap.aap2", 10), ("hashmap.hash_probes", 10)]);
+        assert!(budget.check(&s).is_empty());
+    }
+
+    #[test]
+    fn exceeding_bound_reports_violation() {
+        let budget = StageBudget::new().with_line(BudgetLine::new(
+            "aap2 per probe",
+            "hashmap.aap2",
+            vec![("hashmap.hash_probes".into(), 1)],
+            2,
+        ));
+        let s = snap(&[("hashmap.aap2", 13), ("hashmap.hash_probes", 10)]);
+        let violations = budget.check(&s);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("13 > bound 12"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn missing_term_counters_count_as_zero() {
+        let line = BudgetLine::new("x", "a.b", vec![("not.there".into(), 100)], 5);
+        assert_eq!(line.bound(&MetricsSnapshot::new()), 5);
+        assert!(line.check(&snap(&[("a.b", 6)])).is_some());
+    }
+}

@@ -1,0 +1,123 @@
+//! Lock-free dispatcher telemetry shared between the dispatcher front-end
+//! and the worker-pool threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker item counts are tracked for at most this many workers;
+/// higher worker indices fold into the last slot.
+pub const MAX_TRACKED_WORKERS: usize = 16;
+
+/// Dispatcher counters, updated with relaxed atomics (each value is an
+/// independent statistic — no cross-counter ordering is needed).
+///
+/// Counters split into two families:
+///
+/// * **deterministic** — incremented on the dispatch front-end *before*
+///   the serial/pool path split, so they are identical for `--workers 1`
+///   and `--workers 8` runs (batches, partitions, max queue depth);
+/// * **host** — timing- or scheduling-dependent (pool batches, barrier
+///   wait nanoseconds, per-worker item pickup), reported in the snapshot's
+///   `host` section and excluded from determinism comparisons.
+#[derive(Debug, Default)]
+pub struct DispatchMetrics {
+    batches: AtomicU64,
+    partitions: AtomicU64,
+    max_queue_depth: AtomicU64,
+    pool_batches: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    worker_items: [AtomicU64; MAX_TRACKED_WORKERS],
+}
+
+impl DispatchMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `run_partitions` batch of `partitions` sub-array
+    /// streams (deterministic: called before the serial/pool split).
+    pub fn record_batch(&self, partitions: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.partitions.fetch_add(partitions, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(partitions, Ordering::Relaxed);
+    }
+
+    /// Records one batch that went through the worker pool, with the time
+    /// the front-end spent blocked on the batch barrier (host).
+    pub fn record_pool_batch(&self, barrier_wait_ns: u64) {
+        self.pool_batches.fetch_add(1, Ordering::Relaxed);
+        self.barrier_wait_ns.fetch_add(barrier_wait_ns, Ordering::Relaxed);
+    }
+
+    /// Records one job executed by pool worker `worker` (host).
+    pub fn record_worker_item(&self, worker: usize) {
+        self.worker_items[worker.min(MAX_TRACKED_WORKERS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.batches.store(0, Ordering::Relaxed);
+        self.partitions.store(0, Ordering::Relaxed);
+        self.max_queue_depth.store(0, Ordering::Relaxed);
+        self.pool_batches.store(0, Ordering::Relaxed);
+        self.barrier_wait_ns.store(0, Ordering::Relaxed);
+        for w in &self.worker_items {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Deterministic `(key, value)` pairs (identical across worker counts).
+    pub fn deterministic_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("batches", self.batches.load(Ordering::Relaxed)),
+            ("partitions", self.partitions.load(Ordering::Relaxed)),
+            ("max_queue_depth", self.max_queue_depth.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Host-timing `(key, value)` pairs; zero-valued worker slots are
+    /// skipped so serial runs report no phantom workers.
+    pub fn host_counters(&self) -> Vec<(String, u64)> {
+        let mut out = vec![
+            ("pool_batches".to_string(), self.pool_batches.load(Ordering::Relaxed)),
+            ("barrier_wait_ns".to_string(), self.barrier_wait_ns.load(Ordering::Relaxed)),
+        ];
+        for (i, w) in self.worker_items.iter().enumerate() {
+            let items = w.load(Ordering::Relaxed);
+            if items > 0 {
+                out.push((format!("worker{i:02}_items"), items));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_and_reset() {
+        let m = DispatchMetrics::new();
+        m.record_batch(4);
+        m.record_batch(9);
+        m.record_pool_batch(1_000);
+        m.record_worker_item(2);
+        m.record_worker_item(2);
+        m.record_worker_item(99); // clamps into the last slot
+        let det = m.deterministic_counters();
+        assert!(det.contains(&("batches", 2)));
+        assert!(det.contains(&("partitions", 13)));
+        assert!(det.contains(&("max_queue_depth", 9)));
+        let host = m.host_counters();
+        assert!(host.contains(&("pool_batches".to_string(), 1)));
+        assert!(host.contains(&("worker02_items".to_string(), 2)));
+        assert!(host.contains(&(format!("worker{:02}_items", MAX_TRACKED_WORKERS - 1), 1)));
+        m.reset();
+        assert!(m.host_counters().iter().all(|(k, v)| *v == 0 || k.starts_with("worker")));
+        assert_eq!(
+            m.deterministic_counters(),
+            vec![("batches", 0), ("partitions", 0), ("max_queue_depth", 0)]
+        );
+    }
+}

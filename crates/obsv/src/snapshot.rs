@@ -1,0 +1,163 @@
+//! Flat, serde-free metrics snapshot (the `--metrics-out` artifact).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written into every snapshot artifact.
+pub const SNAPSHOT_SCHEMA: &str = "pim-obsv-metrics-v1";
+
+/// A flattened view of one run's metrics: scoped integer counters,
+/// derived floats, and host-side (timing-dependent) integers.
+///
+/// Keys follow a dotted taxonomy:
+/// `"{stage}.{metric}"` for stage aggregates,
+/// `"{stage}.subNNNNN.{metric}"` for per-sub-array detail,
+/// `"hist.{key}.bNN"` / `"hist.{key}.total"` for histogram buckets,
+/// `"total.*"` for ledger-derived run totals, and
+/// `"dispatch.*"` for dispatcher telemetry.
+///
+/// The `counters` and `floats` sections are execution-order deterministic
+/// (identical for serial and worker-pool runs); `host` holds wall-clock
+/// dependent values and is excluded from [`deterministic_json`]
+/// (`MetricsSnapshot::deterministic_json`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Deterministic integer counters, keyed by dotted scope names.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic derived floats (e.g. `measured_parallelism`).
+    pub floats: BTreeMap<String, f64>,
+    /// Host-timing integers (barrier waits, per-worker items, span drops).
+    pub host: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `key` (creating it at zero).
+    pub fn add_counter(&mut self, key: impl Into<String>, n: u64) {
+        *self.counters.entry(key.into()).or_insert(0) += n;
+    }
+
+    /// Value of counter `key`, or 0 when absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Full JSON artifact including the host section.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// JSON restricted to the execution-order deterministic sections
+    /// (`counters` + `floats`) — byte-identical across worker counts.
+    pub fn deterministic_json(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, with_host: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SNAPSHOT_SCHEMA}\",");
+        render_u64_section(&mut out, "counters", &self.counters, true);
+        render_f64_section(&mut out, "floats", &self.floats, with_host);
+        if with_host {
+            render_u64_section(&mut out, "host", &self.host, false);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses an artifact produced by [`to_json`](Self::to_json) or
+    /// [`deterministic_json`](Self::deterministic_json). Returns `None`
+    /// when the schema tag is missing or a value fails to parse.
+    pub fn parse(json: &str) -> Option<MetricsSnapshot> {
+        if !json.contains(SNAPSHOT_SCHEMA) {
+            return None;
+        }
+        let mut snap = MetricsSnapshot::new();
+        for (key, value) in section_pairs(json, "counters")? {
+            snap.counters.insert(key, value.parse::<u64>().ok()?);
+        }
+        if let Some(pairs) = section_pairs(json, "floats") {
+            for (key, value) in pairs {
+                snap.floats.insert(key, value.parse::<f64>().ok()?);
+            }
+        }
+        if let Some(pairs) = section_pairs(json, "host") {
+            for (key, value) in pairs {
+                snap.host.insert(key, value.parse::<u64>().ok()?);
+            }
+        }
+        Some(snap)
+    }
+}
+
+fn render_u64_section(out: &mut String, name: &str, map: &BTreeMap<String, u64>, comma: bool) {
+    let _ = writeln!(out, "  \"{name}\": {{");
+    for (i, (key, value)) in map.iter().enumerate() {
+        let sep = if i + 1 < map.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{key}\": {value}{sep}");
+    }
+    let _ = writeln!(out, "  }}{}", if comma { "," } else { "" });
+}
+
+fn render_f64_section(out: &mut String, name: &str, map: &BTreeMap<String, f64>, comma: bool) {
+    let _ = writeln!(out, "  \"{name}\": {{");
+    for (i, (key, value)) in map.iter().enumerate() {
+        let sep = if i + 1 < map.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{key}\": {value:.9}{sep}");
+    }
+    let _ = writeln!(out, "  }}{}", if comma { "," } else { "" });
+}
+
+/// Extracts `"key": value` pairs from the one-pair-per-line body of a
+/// named section. Lenient by design — only consumed by our own emitters.
+fn section_pairs(json: &str, name: &str) -> Option<Vec<(String, String)>> {
+    let tag = format!("\"{name}\": {{");
+    let start = json.find(&tag)? + tag.len();
+    let end = json[start..].find('}')? + start;
+    let mut pairs = Vec::new();
+    for line in json[start..end].lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((key, value)) = rest.split_once("\": ") else { continue };
+        pairs.push((key.to_string(), value.trim().to_string()));
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("hashmap.aap2", 42);
+        snap.add_counter("graph.host_writes", 7);
+        snap.floats.insert("measured_parallelism".into(), 3.5);
+        snap.host.insert("dispatch.barrier_wait_ns".into(), 123_456);
+        let parsed = MetricsSnapshot::parse(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_host() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("total.commands", 9);
+        snap.host.insert("dispatch.pool_batches".into(), 3);
+        let det = snap.deterministic_json();
+        assert!(!det.contains("pool_batches"), "{det}");
+        let parsed = MetricsSnapshot::parse(&det).expect("parses");
+        assert_eq!(parsed.counter("total.commands"), 9);
+        assert!(parsed.host.is_empty());
+    }
+
+    #[test]
+    fn missing_schema_is_rejected() {
+        assert!(MetricsSnapshot::parse("{\"counters\": {}}").is_none());
+    }
+}

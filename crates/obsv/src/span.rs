@@ -1,0 +1,167 @@
+//! Bounded-ring span recording with Chrome `trace_event` export.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span (a Chrome `"X"` complete event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `"stage.hashmap"`, `"dispatch.batch"`).
+    pub name: &'static str,
+    /// Category tag (`"stage"` or `"dispatch"`).
+    pub cat: &'static str,
+    /// Track id (0 for the pipeline, worker index + 1 for pool workers).
+    pub tid: u64,
+    /// Span start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// One free integer argument (items processed in the span).
+    pub items: u64,
+}
+
+struct SpanRing {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Thread-safe bounded recorder for pipeline/dispatcher spans.
+///
+/// Timestamps are taken against a per-recorder [`Instant`] epoch so the
+/// exported trace starts near zero. When the ring is full the **oldest**
+/// events are evicted and counted in [`dropped`](Self::dropped) — the tail
+/// of a run is always retained.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    inner: Mutex<SpanRing>,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("events", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(SpanRing {
+                events: VecDeque::with_capacity(capacity.clamp(1, 1 << 16)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Nanoseconds elapsed since the recorder's epoch — use as a span's
+    /// start mark, then pass to [`record`](Self::record) at span end.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span that began at `start_ns` (from [`now_ns`](Self::now_ns))
+    /// and ends now.
+    pub fn record(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        tid: u64,
+        start_ns: u64,
+        items: u64,
+    ) {
+        let end = self.now_ns();
+        let dur_ns = end.saturating_sub(start_ns);
+        let mut ring = self.inner.lock().expect("span ring poisoned");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(SpanEvent { name, cat, tid, start_ns, dur_ns, items });
+    }
+
+    /// Snapshot of all retained spans, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.inner.lock().expect("span ring poisoned").events.iter().copied().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span ring poisoned").events.len()
+    }
+
+    /// Whether no spans were recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("span ring poisoned").dropped
+    }
+
+    /// Renders the retained spans as Chrome `trace_event` JSON
+    /// (`traceEvents` array of `"X"` complete events, timestamps in
+    /// microseconds), loadable in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+        for (i, e) in events.iter().enumerate() {
+            let sep = if i + 1 < events.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \
+                 \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"items\": {}}}}}{}",
+                e.name,
+                e.cat,
+                e.tid,
+                e.start_ns as f64 / 1000.0,
+                e.dur_ns as f64 / 1000.0,
+                e.items,
+                sep
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_exports_spans() {
+        let rec = SpanRecorder::new(8);
+        let t0 = rec.now_ns();
+        rec.record("stage.hashmap", "stage", 0, t0, 100);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.dropped(), 0);
+        let json = rec.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"stage.hashmap\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = SpanRecorder::new(2);
+        for i in 0..5u64 {
+            let t0 = rec.now_ns();
+            rec.record("dispatch.batch", "dispatch", 0, t0, i);
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        let items: Vec<u64> = rec.events().iter().map(|e| e.items).collect();
+        assert_eq!(items, [3, 4]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for metrics aggregation: shard merging is
+//! order-independent and equals serial accumulation; histograms conserve
+//! sample counts.
+//!
+//! Events are decoded from plain `u64` words (the vendored proptest
+//! subset has no tuple strategies): low bits pick the stage / sub-array /
+//! metric, high bits the increment amount.
+
+use proptest::prelude::*;
+
+use pim_obsv::{CounterSet, Histogram, Metric, MetricsRegistry, ScopeId, Stage};
+
+/// Decodes one event word into (scope, metric, amount).
+fn decode_event(word: u64) -> (ScopeId, Metric, u64) {
+    let stage = Stage::ALL[(word % Stage::ALL.len() as u64) as usize];
+    let sub = ((word >> 8) % 8) as u32;
+    let metric = Metric::ALL[((word >> 16) % Metric::COUNT as u64) as usize];
+    let amount = (word >> 24) % 1_000;
+    (ScopeId::subarray(stage, sub), metric, amount)
+}
+
+fn fold_event(registry: &mut MetricsRegistry, word: u64) {
+    let (scope, metric, amount) = decode_event(word);
+    let mut delta = CounterSet::new();
+    delta.add(metric, amount);
+    registry.fold(scope, &delta);
+}
+
+proptest! {
+    // Splitting an event stream into N shards, accumulating each shard
+    // into its own registry, and merging the shards in a shuffled order
+    // yields exactly the registry built by serial accumulation.
+    #[test]
+    fn shard_merge_is_order_independent_and_equals_serial(
+        events in proptest::collection::vec(any::<u64>(), 0..200),
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut serial = MetricsRegistry::new();
+        for word in &events {
+            fold_event(&mut serial, *word);
+        }
+
+        // Sharded: round-robin events across shards.
+        let mut parts: Vec<MetricsRegistry> =
+            (0..shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, word) in events.iter().enumerate() {
+            fold_event(&mut parts[i % shards], *word);
+        }
+
+        // Merge shards in a seed-shuffled order (xorshift* — deterministic
+        // shuffle without a rand dependency).
+        let mut order: Vec<usize> = (0..shards).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut merged = MetricsRegistry::new();
+        for idx in order {
+            merged.merge(&parts[idx]);
+        }
+        prop_assert_eq!(&merged, &serial);
+
+        // Merging in reverse order changes nothing either.
+        let mut reversed = MetricsRegistry::new();
+        for part in parts.iter().rev() {
+            reversed.merge(part);
+        }
+        prop_assert_eq!(&reversed, &serial);
+    }
+
+    // Histogram bucket counts always conserve the number of recorded
+    // samples, including across merges, and every sample lands in the
+    // bucket covering its value.
+    #[test]
+    fn histogram_conserves_samples(
+        a in proptest::collection::vec(any::<u64>(), 0..300),
+        b in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut ha = Histogram::default();
+        for v in &a {
+            ha.record(*v);
+        }
+        let mut hb = Histogram::default();
+        for v in &b {
+            hb.record(*v);
+        }
+        prop_assert_eq!(ha.total_samples(), a.len() as u64);
+        prop_assert_eq!(hb.total_samples(), b.len() as u64);
+
+        let mut merged = ha;
+        merged.merge(&hb);
+        prop_assert_eq!(merged.total_samples(), (a.len() + b.len()) as u64);
+
+        for v in a.iter().chain(&b) {
+            let idx = Histogram::bucket_of(*v);
+            prop_assert!(merged.bucket(idx) > 0);
+            if *v > 0 {
+                let lo = 1u64 << (idx - 1);
+                prop_assert!(*v >= lo);
+                if idx < 64 {
+                    prop_assert!(*v < lo << 1);
+                }
+            }
+        }
+    }
+
+    // CounterSet `since` deltas recompose: base + (now - base) == now.
+    #[test]
+    fn counter_since_recomposes(
+        base_events in proptest::collection::vec(any::<u64>(), 0..50),
+        extra_events in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut now = CounterSet::new();
+        for word in &base_events {
+            let (_, metric, amount) = decode_event(*word);
+            now.add(metric, amount);
+        }
+        let base = now;
+        for word in &extra_events {
+            let (_, metric, amount) = decode_event(*word);
+            now.add(metric, amount);
+        }
+        let mut recomposed = base;
+        recomposed.merge(&now.since(&base));
+        prop_assert_eq!(recomposed, now);
+    }
+}

@@ -12,7 +12,12 @@
 //! * **Ledger conservation** — at a checkpoint after every stage, the
 //!   controller's global ledger plus every attached per-sub-array ledger
 //!   must equal its merged total, integer-exactly.
+//! * **Stage budgets** — the run's `pim-obsv` metrics snapshot must stay
+//!   within the command bounds the compiled AAP templates predict
+//!   ([`pim_assembler::budget::pipeline_budget`]): e.g. stage-1 `AAP2`
+//!   commands per hash probe, stage-2b TRA cycles per adder sum cycle.
 
+use pim_assembler::budget::pipeline_budget;
 use pim_assembler::graph_stage::GraphStage;
 use pim_assembler::hashmap_stage::PimHashTable;
 use pim_assembler::mapping::KmerMapper;
@@ -25,6 +30,7 @@ use pim_dram::geometry::DramGeometry;
 use pim_dram::sense_amp::SaMode;
 use pim_genome::euler::EulerAlgorithm;
 use pim_genome::kmer::KmerIter;
+use pim_obsv::Stage;
 
 use crate::genomes::TestCase;
 use crate::report::InvariantReport;
@@ -73,6 +79,7 @@ pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<Invar
     let geometry = DramGeometry::paper_assembly();
     let mut ctrl = Controller::new(geometry);
     ctrl.enable_trace(1 << 20);
+    ctrl.enable_metrics();
     let mut violations = Vec::new();
     let mut ledger_checkpoints = 0;
     let mut checkpoint = |ctrl: &Controller, stage: &str, violations: &mut Vec<String>| {
@@ -83,6 +90,7 @@ pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<Invar
     };
 
     // Stage 1: hashmap.
+    ctrl.set_stage(Stage::Hashmap);
     let mut table = PimHashTable::new(KmerMapper::new(&geometry, 4, 8));
     for read in &case.reads {
         if read.seq.len() < k {
@@ -95,15 +103,26 @@ pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<Invar
     checkpoint(&ctrl, "hashmap", &mut violations);
 
     // Stage 2: graph construction.
+    ctrl.set_stage(Stage::Graph);
     let graph_region = ctrl.subarray_handle(0, 1, 0, 0)?;
     let (graph, _partitioning, _stats) =
         GraphStage::build(&mut ctrl, &table, min_count, graph_region, 4)?;
     checkpoint(&ctrl, "graph", &mut violations);
 
     // Stage 3: traversal.
+    ctrl.set_stage(Stage::Traverse);
     let work = ctrl.subarray_handle(0, 2, 0, 0)?;
     TraverseStage::run(&mut ctrl, &graph, work, EulerAlgorithm::Hierholzer)?;
     checkpoint(&ctrl, "traverse", &mut violations);
+
+    // Stage budgets: the metrics snapshot must stay within the command
+    // bounds the compiled templates predict for this workload.
+    let budget = pipeline_budget(geometry.cols);
+    let budget_lines_checked = budget.len();
+    let snapshot = ctrl.metrics_snapshot().expect("metrics were enabled");
+    for v in budget.check(&snapshot) {
+        violation(&mut violations, v);
+    }
 
     // Replay the trace through the legality checks.
     let trace = ctrl.take_trace().expect("trace was enabled");
@@ -149,6 +168,7 @@ pub fn check_pipeline(case: &TestCase, k: usize, min_count: u64) -> Result<Invar
         commands_checked,
         trace_dropped: trace.dropped(),
         ledger_checkpoints,
+        budget_lines_checked,
         violations,
     })
 }
@@ -166,6 +186,7 @@ mod tests {
         assert!(report.commands_checked > 1000, "expected a substantial trace");
         assert_eq!(report.trace_dropped, 0);
         assert_eq!(report.ledger_checkpoints, 3);
+        assert!(report.budget_lines_checked >= 5, "stage budgets were evaluated");
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub fn standard_suite(options: &SuiteOptions) -> VerifyReport {
                 commands_checked: 0,
                 trace_dropped: 0,
                 ledger_checkpoints: 0,
+                budget_lines_checked: 0,
                 violations: vec![format!("pipeline error: {e}")],
             },
         ),

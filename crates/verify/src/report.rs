@@ -33,8 +33,12 @@ pub struct InvariantReport {
     pub trace_dropped: u64,
     /// Ledger-conservation checkpoints taken (one per pipeline stage).
     pub ledger_checkpoints: usize,
+    /// Template-derived stage budget lines evaluated against the run's
+    /// metrics snapshot (see `pim_assembler::budget::pipeline_budget`).
+    pub budget_lines_checked: usize,
     /// Invariant violations found (row-decoder legality, sense-amp mode
-    /// legality, timestamp monotonicity, ledger conservation).
+    /// legality, timestamp monotonicity, ledger conservation, stage
+    /// budgets).
     pub violations: Vec<String>,
 }
 
@@ -123,10 +127,11 @@ impl fmt::Display for VerifyReport {
             writeln!(f, "== trace invariants ==")?;
             writeln!(
                 f,
-                "  {} commands checked, {} dropped, {} ledger checkpoints  [{}]",
+                "  {} commands checked, {} dropped, {} ledger checkpoints, {} budget lines  [{}]",
                 inv.commands_checked,
                 inv.trace_dropped,
                 inv.ledger_checkpoints,
+                inv.budget_lines_checked,
                 if inv.passed() { "ok" } else { "FAIL" }
             )?;
             for v in &inv.violations {
