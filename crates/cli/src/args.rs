@@ -18,7 +18,7 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 17] = [
+const VALUE_KEYS: [&str; 20] = [
     "k",
     "min-count",
     "coverage",
@@ -36,6 +36,9 @@ const VALUE_KEYS: [&str; 17] = [
     "metrics-out",
     "trace-out",
     "metrics",
+    "kernel",
+    "cols",
+    "slots",
 ];
 
 impl ParsedArgs {

@@ -6,6 +6,11 @@
 //! `BENCH_*.json` perf-trajectory artifact. A previous artifact can be
 //! passed back in as a baseline to record speedups across commits.
 //!
+//! Kernel *compilation* (the IR legalize → allocate → peephole pipeline)
+//! is timed as its own measurement, separate from the steady-state
+//! execution numbers: the template cache pays it once per geometry, so it
+//! must never be mixed into per-command figures.
+//!
 //! The JSON schema is flat on purpose (one object per measurement, all
 //! values in nanoseconds per operation) so it can be produced and consumed
 //! without a serde dependency.
@@ -13,6 +18,7 @@
 use std::time::Instant;
 
 use pim_assembler::exec::StreamExecutor;
+use pim_assembler::ir::{self, kernels, LowerOptions};
 use pim_assembler::programs::full_adder_program;
 use pim_assembler::{PimAssembler, PimAssemblerConfig};
 use pim_dram::address::RowAddr;
@@ -123,6 +129,21 @@ fn bench_stream_exec(iters: u64) -> Measurement {
     Measurement { name: "stream_full_adder".into(), ns_per_op: ns, ops: iters }
 }
 
+/// One full IR lowering of both built-in kernels, cache bypassed — the
+/// compile-time cost the template cache amortizes out of every
+/// steady-state number above.
+fn bench_ir_compile(iters: u64) -> Measurement {
+    let cols = DramGeometry::paper_assembly().cols;
+    let options = LowerOptions::for_row(cols);
+    let (xnor, adder) = (kernels::xnor(), kernels::full_adder());
+    let ns = time_ns_per_op(iters, || {
+        let x = ir::compile(&xnor, &options).unwrap();
+        let fa = ir::compile(&adder, &options).unwrap();
+        assert!(x.role_count() + fa.role_count() > 0);
+    });
+    Measurement { name: "ir_compile_kernels".into(), ns_per_op: ns, ops: iters }
+}
+
 /// End-to-end three-stage pipeline wall-clock on a synthetic read set, run
 /// serially and through the worker pool; also checks the two runs agree
 /// bit-for-bit.
@@ -156,10 +177,12 @@ fn bench_pipeline(genome_len: usize) -> (Measurement, Measurement, bool) {
 /// Runs the full sweep. `iters` scales the micro-bench loops and
 /// `genome_len` the end-to-end dataset.
 pub fn run_all(iters: u64, genome_len: usize) -> BenchReport {
-    let mut measurements = Vec::new();
-    measurements.push(bench_op2(iters));
-    measurements.push(bench_op3(iters));
-    measurements.push(bench_stream_exec(iters / 8 + 1));
+    let mut measurements = vec![
+        bench_op2(iters),
+        bench_op3(iters),
+        bench_stream_exec(iters / 8 + 1),
+        bench_ir_compile(iters / 64 + 1),
+    ];
     let (serial, pool, identical) = bench_pipeline(genome_len);
     measurements.push(serial);
     measurements.push(pool);
@@ -258,6 +281,7 @@ mod tests {
                 "op2_xnor",
                 "op3_carry",
                 "stream_full_adder",
+                "ir_compile_kernels",
                 "pipeline_e2e_serial",
                 "pipeline_e2e_pool4"
             ]

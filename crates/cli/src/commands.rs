@@ -27,6 +27,7 @@ USAGE:
   pim-asm throughput                                Fig. 3b bulk-op throughput table
   pim-asm verify [options]                          differential + fault verification suite
   pim-asm bench [options]                           hot-path timing harness (BENCH_*.json)
+  pim-asm ir --kernel NAME [options]                dump a kernel's IR and lowering
   pim-asm help                                      this text
 
 ASSEMBLE OPTIONS:
@@ -68,6 +69,12 @@ BENCH OPTIONS:
                    an existing file unless --force is passed)
   --force          allow --out to replace an existing file
   --baseline PATH  previous BENCH_*.json to compute speedups against
+
+IR OPTIONS:
+  --kernel NAME    canonical kernel to dump (xnor, full-adder)
+  --cols N         row width in bits to lower for (default 256)
+  --slots N        compute rows available to the allocator (default 8;
+                   shrink to watch spill-to-copy engage)
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -295,6 +302,29 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// `pim-asm ir`: dump a kernel's IR before and after lowering.
+pub fn ir(args: &ParsedArgs) -> CliResult {
+    use pim_assembler::ir::{compile, kernels, LowerOptions};
+    let known = kernels::KERNEL_NAMES.join(", ");
+    let name = args.get_str("kernel").ok_or(format!("ir needs --kernel NAME (one of: {known})"))?;
+    let program =
+        kernels::by_name(name).ok_or(format!("unknown kernel {name:?} (one of: {known})"))?;
+    let cols: usize = args.get_num("cols", 256);
+    let slots: usize = args.get_num("slots", pim_dram::geometry::COMPUTE_ROWS);
+    if cols == 0 || slots == 0 {
+        return Err("--cols and --slots must be at least 1".into());
+    }
+
+    println!("── pre-lowering IR ──────────────────────────────────────────");
+    print!("{}", program.to_text());
+    println!();
+    println!("── lowering for cols={cols}, compute slots={slots} ──────────");
+    let options = LowerOptions { row_bits: cols, size: cols, compute_slots: slots };
+    let kernel = compile(&program, &options).map_err(|e| format!("lowering failed: {e}"))?;
+    print!("{}", kernel.to_text());
+    Ok(())
+}
+
 /// `pim-asm throughput`.
 pub fn throughput() -> CliResult {
     let report = ThroughputReport::paper_sweep();
@@ -431,6 +461,36 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = ParsedArgs::parse(["assemble".to_string()]);
         assert!(assemble(&args).is_err());
+    }
+
+    #[test]
+    fn ir_dumps_every_canonical_kernel() {
+        for name in pim_assembler::ir::kernels::KERNEL_NAMES {
+            let args = ParsedArgs::parse(["ir", "--kernel", name].map(String::from));
+            ir(&args).unwrap();
+        }
+    }
+
+    #[test]
+    fn ir_supports_shrunken_slot_counts() {
+        // full-adder at 2 slots needs its TRA triple resident at once.
+        let args =
+            ParsedArgs::parse(["ir", "--kernel", "full-adder", "--slots", "2"].map(String::from));
+        let err = ir(&args).unwrap_err();
+        assert!(err.to_string().contains("lowering failed"), "{err}");
+        // 3 slots is the minimum for the adder — spill-to-copy engages.
+        let args =
+            ParsedArgs::parse(["ir", "--kernel", "full-adder", "--slots", "3"].map(String::from));
+        ir(&args).unwrap();
+    }
+
+    #[test]
+    fn ir_rejects_unknown_kernels_and_missing_names() {
+        let err = ir(&ParsedArgs::parse(["ir"].map(String::from))).unwrap_err();
+        assert!(err.to_string().contains("--kernel"), "{err}");
+        assert!(err.to_string().contains("xnor"), "{err}");
+        let err = ir(&ParsedArgs::parse(["ir", "--kernel", "nope"].map(String::from))).unwrap_err();
+        assert!(err.to_string().contains("unknown kernel"), "{err}");
     }
 
     #[test]

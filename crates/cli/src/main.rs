@@ -11,6 +11,7 @@
 //! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
 //! pim-asm bench [--iters 100000] [--genome-len 3000] [--json]
 //!         [--out BENCH.json] [--baseline BENCH_prev.json]
+//! pim-asm ir --kernel <xnor|full-adder> [--cols 256] [--slots 8]
 //! pim-asm help
 //! ```
 
@@ -29,6 +30,7 @@ fn main() {
         "throughput" => commands::throughput(),
         "verify" => commands::verify(&parsed),
         "bench" => commands::bench(&parsed),
+        "ir" => commands::ir(&parsed),
         "" | "help" | "--help" => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -3,7 +3,10 @@
 //!
 //! Every stage executes a small set of compiled kernels
 //! ([`crate::template::CompiledTemplate`]) whose per-execution command mix
-//! is known exactly ([`CompiledTemplate::command_counts`]). That makes the
+//! is known exactly: the [`crate::ir`] lowering pipeline counts commands
+//! per class while emitting each kernel and records them in the
+//! [`crate::ir::CompileReport`] ([`CompiledTemplate::command_counts`]
+//! exposes the same numbers). That makes the
 //! *command mix per unit of algorithmic work* (per probe, per inserted
 //! k-mer, per adder slice) a compile-time constant, and any run whose
 //! counters drift past those ratios has a hot-path regression: a kernel
@@ -104,6 +107,32 @@ mod tests {
         // The bounds are live, not vacuous: the bounded counters are hot.
         assert!(snapshot.counter("hashmap.aap2") > 0);
         assert!(snapshot.counter("traverse.aap3") > 0);
+    }
+
+    #[test]
+    fn budget_factors_match_the_ir_compile_reports() {
+        // The budget's multipliers are not hand-maintained constants: they
+        // are the per-class command counts the IR lowering pipeline reports
+        // for each kernel, so a kernel change reshapes the bounds with it.
+        let cols = 256;
+        let xnor = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::Xnor,
+            row_bits: cols,
+            size: cols,
+        });
+        let adder = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::FullAdder,
+            row_bits: cols,
+            size: cols,
+        });
+        assert_eq!(xnor.command_counts(), xnor.report().command_counts);
+        assert_eq!(adder.command_counts(), adder.report().command_counts);
+        let budget = pipeline_budget(cols);
+        let probe_line = &budget.lines[0];
+        assert_eq!(probe_line.terms[0].1, xnor.report().command_counts.1);
+        let tra_line = &budget.lines[3];
+        let (_, fa_aap2, fa_aap3) = adder.report().command_counts;
+        assert_eq!(tra_line.terms[0].1, fa_aap3 / fa_aap2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! model: a [`ParallelDispatcher`] checks per-sub-array
 //! [`SubarrayContext`]s out of the [`Controller`]
 //! ([`Controller::detach_context`]), drives each partition on a
-//! persistent [`WorkerPool`] thread (std `mpsc`; the build environment
+//! persistent `WorkerPool` thread (std `mpsc`; the build environment
 //! has no `rayon`), and reattaches them in deterministic order. The pool
 //! threads are spawned once when the dispatcher is built and live for its
 //! whole lifetime, so repeated dispatches — the shape of the assembly
@@ -162,7 +162,7 @@ impl std::fmt::Debug for WorkerPool {
 
 /// Executes disjoint-sub-array partitions, concurrently when configured.
 ///
-/// Cloning is cheap and shares the underlying [`WorkerPool`] (if any);
+/// Cloning is cheap and shares the underlying `WorkerPool` (if any);
 /// equality compares the configured worker count only.
 #[derive(Debug, Clone)]
 pub struct ParallelDispatcher {

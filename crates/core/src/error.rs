@@ -55,6 +55,10 @@ pub enum PimError {
         /// Rows actually supplied.
         provided: usize,
     },
+    /// A kernel program rejected by the IR compile pipeline (decoder
+    /// activation-set legality, SA-mode shape compatibility, dataflow, or
+    /// allocation), with its source-kernel span.
+    Ir(crate::ir::IrError),
 }
 
 impl fmt::Display for PimError {
@@ -75,6 +79,7 @@ impl fmt::Display for PimError {
             PimError::TemplateArity { expected, provided } => {
                 write!(f, "template binds {expected} row roles, {provided} supplied")
             }
+            PimError::Ir(e) => write!(f, "ir: {e}"),
         }
     }
 }
@@ -84,8 +89,15 @@ impl std::error::Error for PimError {
         match self {
             PimError::Dram(e) => Some(e),
             PimError::Genome(e) => Some(e),
+            PimError::Ir(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::ir::IrError> for PimError {
+    fn from(e: crate::ir::IrError) -> Self {
+        PimError::Ir(e)
     }
 }
 
@@ -132,5 +144,19 @@ mod tests {
         let e: PimError = DramError::RowOutOfRange { row: 1, rows: 1 }.into();
         assert!(e.source().is_some());
         assert!(PimError::KTooLarge { k: 1, max: 2 }.source().is_none());
+    }
+
+    #[test]
+    fn wraps_ir_errors_with_their_span() {
+        let ir_err = crate::ir::IrError {
+            span: crate::ir::KernelSpan { kernel: "xnor".into(), op_index: Some(2) },
+            kind: crate::ir::IrErrorKind::DuplicateActivation { operand: "t1".into() },
+        };
+        let e: PimError = ir_err.into();
+        assert!(matches!(e, PimError::Ir(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("kernel `xnor` op 2"), "{msg}");
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

@@ -81,16 +81,20 @@ impl HashStats {
 #[derive(Debug, Clone)]
 pub struct PimHashTable {
     mapper: KmerMapper,
+    /// The IR-compiled `PIM_XNOR` probe kernel for this layout's row width.
+    comparator: PimComparator,
     /// Shadow occupancy: `slots[subarray][row] = Some(kmer)`.
     slots: Vec<Vec<Option<Kmer>>>,
     stats: HashStats,
 }
 
 impl PimHashTable {
-    /// Creates an empty table over the mapper's sub-array partition.
+    /// Creates an empty table over the mapper's sub-array partition,
+    /// compiling the probe kernel once for the layout's row width.
     pub fn new(mapper: KmerMapper) -> Self {
         let slots = vec![vec![None; mapper.layout().kmer_rows()]; mapper.subarrays().len()];
-        PimHashTable { mapper, slots, stats: HashStats::default() }
+        let comparator = PimComparator::new(mapper.layout().cols());
+        PimHashTable { mapper, comparator, slots, stats: HashStats::default() }
     }
 
     /// The mapper in use.
@@ -116,6 +120,7 @@ impl PimHashTable {
         Self::insert_one(
             ctrl,
             &self.mapper,
+            &self.comparator,
             sub_idx,
             &mut self.slots[sub_idx],
             &mut self.stats,
@@ -159,6 +164,7 @@ impl PimHashTable {
             partitions.push((self.mapper.subarrays()[sub_idx], (sub_idx, group, slots)));
         }
         let mapper = &self.mapper;
+        let comparator = &self.comparator;
         let results = dispatcher.run_partitions(ctrl, partitions, |ctx, payload| {
             let (sub_idx, group, mut slots): (usize, Vec<Kmer>, Vec<Option<Kmer>>) = payload;
             let mut stats = HashStats::default();
@@ -167,9 +173,9 @@ impl PimHashTable {
             // allocation-free in steady state.
             let mut image = BitRow::zeros(ctx.geometry().cols);
             for kmer in group {
-                if let Err(e) =
-                    Self::insert_one(ctx, mapper, sub_idx, &mut slots, &mut stats, kmer, &mut image)
-                {
+                if let Err(e) = Self::insert_one(
+                    ctx, mapper, comparator, sub_idx, &mut slots, &mut stats, kmer, &mut image,
+                ) {
                     first_err = Some(e);
                     break;
                 }
@@ -202,13 +208,13 @@ impl PimHashTable {
         let (sub_idx, bucket_row) = self.mapper.home(kmer);
         let subarray = self.mapper.subarrays()[sub_idx];
         let image = self.mapper.row_image(kmer, cols);
-        PimComparator::stage_query(ctrl, subarray, layout.temp_row(0), &image)?;
+        self.comparator.stage_query(ctrl, subarray, layout.temp_row(0), &image)?;
         let kmer_rows = layout.kmer_rows();
         for step in 0..kmer_rows {
             let row = (bucket_row + step) % kmer_rows;
             match self.slots[sub_idx][row] {
                 Some(_) => {
-                    let matched = PimComparator::compare(
+                    let matched = self.comparator.compare(
                         ctrl,
                         subarray,
                         layout.temp_row(0),
@@ -272,9 +278,11 @@ impl PimHashTable {
     /// Takes the sub-array's shadow slots and a stats accumulator
     /// explicitly so the same code path runs against the controller façade
     /// and against a detached context on a worker thread.
+    #[allow(clippy::too_many_arguments)]
     fn insert_one(
         port: &mut impl AapPort,
         mapper: &KmerMapper,
+        comparator: &PimComparator,
         sub_idx: usize,
         slots: &mut [Option<Kmer>],
         stats: &mut HashStats,
@@ -289,7 +297,7 @@ impl PimHashTable {
         port.record_metric(Metric::HashInserts, 1);
 
         // Stage the query once (temp write + clone into x1).
-        PimComparator::stage_query(port, subarray, layout.temp_row(0), image)?;
+        comparator.stage_query(port, subarray, layout.temp_row(0), image)?;
 
         // Linear probe from the bucket start, wrapping across the region.
         let kmer_rows = layout.kmer_rows();
@@ -301,7 +309,7 @@ impl PimHashTable {
                 Some(stored) => {
                     stats.probes += 1;
                     local_probes += 1;
-                    let matched = PimComparator::compare(
+                    let matched = comparator.compare(
                         port,
                         subarray,
                         layout.temp_row(0),

@@ -1,0 +1,113 @@
+//! Canonical IR definitions of the built-in assembly kernels.
+//!
+//! These are the single source of truth for every kernel's command
+//! sequence: `programs.rs` constructors, `CompiledTemplate`, the stage
+//! files, and the `pim-asm ir` dump all start from the programs built
+//! here and lower through [`super::compile`]. The virtual-row declaration
+//! order matches the historical caller-binding order, and lowest-free
+//! allocation reproduces the historical `x1/x2/x3` scratch assignments,
+//! so the lowered skeletons are byte-identical to the pre-IR tables.
+
+use pim_dram::sense_amp::SaMode;
+
+use super::program::PimProgram;
+
+/// Bitwise XNOR (the `PIM_XNOR` comparison primitive, Fig. 6):
+/// `dst = !(a ^ b)`.
+///
+/// Bindings: `[a, b, dst, x1, x2]`.
+pub fn xnor() -> PimProgram {
+    let mut p = PimProgram::new("xnor");
+    let a = p.input("a");
+    let b = p.input("b");
+    let dst = p.output("dst");
+    let t1 = p.temp("t1");
+    let t2 = p.temp("t2");
+    p.copy(a, t1);
+    p.copy(b, t2);
+    p.two_src([t1, t2], dst, SaMode::Xnor);
+    p
+}
+
+/// Bitwise full adder (the `PIM_ADD` building block, Fig. 7):
+/// `sum_dst = a ^ b ^ c`, `carry_dst = maj(a, b, c)`.
+///
+/// The carry latch is loaded by a first TRA over `(c, zero, c)` — the
+/// majority of that triple is `c` — after which the `CarrySum` cycle
+/// computes `a ^ b ^ latch`, and a final TRA over `(a, b, c)` produces
+/// the majority carry.
+///
+/// Bindings: `[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3]`.
+pub fn full_adder() -> PimProgram {
+    let mut p = PimProgram::new("full-adder");
+    let a = p.input("a");
+    let b = p.input("b");
+    let c = p.input("c");
+    let zero = p.zero("zero");
+    let sum_dst = p.output("sum_dst");
+    let carry_dst = p.output("carry_dst");
+
+    // Latch cycle: TRA (c, zero, c) leaves carry = c in the SA latch.
+    let t1 = p.temp("t1");
+    let t2 = p.temp("t2");
+    let t3 = p.temp("t3");
+    p.copy(c, t1);
+    p.copy(zero, t2);
+    p.copy(c, t3);
+    p.three_src([t1, t2, t3], sum_dst);
+
+    // Sum cycle: CarrySum evaluates a ^ b ^ latch.
+    let t4 = p.temp("t4");
+    let t5 = p.temp("t5");
+    p.copy(a, t4);
+    p.copy(b, t5);
+    p.two_src([t4, t5], sum_dst, SaMode::CarrySum);
+
+    // Carry cycle: TRA (a, b, c) majority.
+    let t6 = p.temp("t6");
+    let t7 = p.temp("t7");
+    let t8 = p.temp("t8");
+    p.copy(a, t6);
+    p.copy(b, t7);
+    p.copy(c, t8);
+    p.three_src([t6, t7, t8], carry_dst);
+    p
+}
+
+/// Looks a canonical kernel up by its CLI name.
+///
+/// Accepted names: `xnor`, `full-adder` (also `full_adder`).
+pub fn by_name(name: &str) -> Option<PimProgram> {
+    match name {
+        "xnor" => Some(xnor()),
+        "full-adder" | "full_adder" => Some(full_adder()),
+        _ => None,
+    }
+}
+
+/// The CLI names of all canonical kernels, for help/error text.
+pub const KERNEL_NAMES: &[&str] = &["xnor", "full-adder"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_all_registered_kernels() {
+        for name in KERNEL_NAMES {
+            assert!(by_name(name).is_some(), "{name} not resolvable");
+        }
+        assert_eq!(by_name("full_adder").unwrap().name(), "full-adder");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn kernel_shapes_match_the_paper_figures() {
+        let x = xnor();
+        assert_eq!(x.ops().len(), 3);
+        assert_eq!(x.rows().len(), 5);
+        let fa = full_adder();
+        assert_eq!(fa.ops().len(), 11);
+        assert_eq!(fa.rows().len(), 14); // 6 bound roles + 8 SSA temps
+    }
+}

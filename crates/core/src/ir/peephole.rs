@@ -1,0 +1,189 @@
+//! Peephole lowering: copy elimination and RowClone coalescing.
+//!
+//! Runs over the allocated (role-indexed) op sequence, after
+//! [`super::alloc`] and before emission. Three rewrites, all of which are
+//! no-ops on the canonical kernels (pinned by tests, which is what keeps
+//! the lowered streams byte-identical to the pre-IR paths) but fire on
+//! machine-generated or spilled programs:
+//!
+//! 1. **self-copy elimination** — `copy r -> r` does nothing;
+//! 2. **RowClone coalescing** — two adjacent identical copies are one
+//!    copy (the second re-clones an unchanged row);
+//! 3. **dead-copy elimination** — a copy into a compute-slot role that is
+//!    overwritten (or never touched again) before any read is dropped.
+//!    Only scratch roles are eligible: inputs/outputs/spill rows are
+//!    caller-visible, so writes to them always survive.
+
+use super::LoweredOp;
+
+/// Statistics of one peephole run (surfaced in compile reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeepholeStats {
+    /// Self-copies removed.
+    pub self_copies_removed: usize,
+    /// Adjacent duplicate RowClones coalesced.
+    pub clones_coalesced: usize,
+    /// Dead copies into scratch roles removed.
+    pub dead_copies_removed: usize,
+}
+
+fn reads(op: &LoweredOp, role: usize) -> bool {
+    match *op {
+        LoweredOp::Copy { src, .. } => src == role,
+        LoweredOp::TwoSrc { srcs, .. } => srcs.contains(&role),
+        LoweredOp::ThreeSrc { srcs, .. } => srcs.contains(&role),
+    }
+}
+
+fn writes(op: &LoweredOp, role: usize) -> bool {
+    match *op {
+        LoweredOp::Copy { dst, .. } => dst == role,
+        LoweredOp::TwoSrc { dst, .. } => dst == role,
+        LoweredOp::ThreeSrc { dst, .. } => dst == role,
+    }
+}
+
+/// A copy into a scratch role is dead when no later op reads the role
+/// before it is rewritten (or the program ends).
+fn copy_is_dead(ops: &[LoweredOp], i: usize, dst: usize) -> bool {
+    for op in &ops[i + 1..] {
+        if reads(op, dst) {
+            return false;
+        }
+        if writes(op, dst) {
+            return true;
+        }
+    }
+    true
+}
+
+/// Rewrites `ops` to a fixpoint. `is_scratch_role(r)` must return whether
+/// role `r` is an allocator-owned compute-slot role (the only roles whose
+/// dead writes are invisible to the caller).
+pub fn peephole(
+    mut ops: Vec<LoweredOp>,
+    is_scratch_role: impl Fn(usize) -> bool,
+) -> (Vec<LoweredOp>, PeepholeStats) {
+    let mut stats = PeepholeStats::default();
+    loop {
+        let before = ops.len();
+
+        // Pass 1: self-copies.
+        ops.retain(|op| {
+            let drop = matches!(*op, LoweredOp::Copy { src, dst } if src == dst);
+            if drop {
+                stats.self_copies_removed += 1;
+            }
+            !drop
+        });
+
+        // Pass 2: adjacent duplicate RowClones.
+        let mut coalesced: Vec<LoweredOp> = Vec::with_capacity(ops.len());
+        for op in ops.drain(..) {
+            let dup = matches!(op, LoweredOp::Copy { .. }) && coalesced.last() == Some(&op);
+            if dup {
+                stats.clones_coalesced += 1;
+            } else {
+                coalesced.push(op);
+            }
+        }
+        ops = coalesced;
+
+        // Pass 3: dead copies into scratch roles.
+        let mut i = 0;
+        while i < ops.len() {
+            let dead = match ops[i] {
+                LoweredOp::Copy { dst, .. } if is_scratch_role(dst) => copy_is_dead(&ops, i, dst),
+                _ => false,
+            };
+            if dead {
+                ops.remove(i);
+                stats.dead_copies_removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        if ops.len() == before {
+            return (ops, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{alloc, kernels};
+    use super::*;
+    use pim_dram::sense_amp::SaMode;
+
+    #[test]
+    fn self_copy_is_removed() {
+        let ops = vec![
+            LoweredOp::Copy { src: 3, dst: 3 },
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Xor },
+        ];
+        let (out, stats) = peephole(ops, |r| r >= 3);
+        assert_eq!(stats.self_copies_removed, 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn adjacent_identical_clones_coalesce() {
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 1, dst: 4 },
+            LoweredOp::TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Xor },
+        ];
+        let (out, stats) = peephole(ops, |r| r >= 3);
+        assert_eq!(stats.clones_coalesced, 1);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn dead_scratch_copy_is_removed() {
+        // Role 3 is written, never read, rewritten: the first copy is dead.
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 1, dst: 3 },
+            LoweredOp::Copy { src: 3, dst: 2 },
+        ];
+        let (out, stats) = peephole(ops, |r| r == 3);
+        assert_eq!(stats.dead_copies_removed, 1);
+        assert_eq!(
+            out,
+            vec![LoweredOp::Copy { src: 1, dst: 3 }, LoweredOp::Copy { src: 3, dst: 2 }]
+        );
+    }
+
+    #[test]
+    fn trailing_scratch_copy_is_dead() {
+        let ops = vec![LoweredOp::Copy { src: 0, dst: 3 }];
+        let (out, stats) = peephole(ops, |r| r == 3);
+        assert!(out.is_empty());
+        assert_eq!(stats.dead_copies_removed, 1);
+    }
+
+    #[test]
+    fn caller_visible_copies_survive() {
+        // Same shape as dead_scratch_copy_is_removed, but role 3 is not
+        // scratch — nothing may be dropped.
+        let ops = vec![LoweredOp::Copy { src: 0, dst: 3 }, LoweredOp::Copy { src: 1, dst: 3 }];
+        let (out, stats) = peephole(ops.clone(), |_| false);
+        assert_eq!(out, ops);
+        assert_eq!(stats, PeepholeStats::default());
+    }
+
+    #[test]
+    fn canonical_kernels_are_fixpoints() {
+        use super::super::program::RowClass;
+        for p in [kernels::xnor(), kernels::full_adder()] {
+            let a = alloc::allocate(&p, 8).unwrap();
+            let scratch: Vec<bool> = a.roles.iter().map(|r| r.class == RowClass::Temp).collect();
+            let (out, stats) = peephole(a.ops.clone(), |r| scratch[r]);
+            assert_eq!(out, a.ops, "{} changed under peephole", p.name());
+            assert_eq!(stats, PeepholeStats::default());
+        }
+    }
+}

@@ -58,6 +58,12 @@ impl SubarrayLayout {
         SubarrayLayout { cols: geometry.cols, kmer_rows, value_rows, temp_rows }
     }
 
+    /// Row width in bits (the geometry's `cols` — the width every kernel
+    /// compiled against this layout must be lowered for).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
     /// Rows in the k-mer region.
     pub fn kmer_rows(&self) -> usize {
         self.kmer_rows

@@ -18,8 +18,11 @@
 //! * [`exec`] — instruction-stream execution against any AAP port,
 //! * [`dispatch`] — parallel per-sub-array stream dispatch,
 //! * [`dpu`] — the MAT-level digital processing unit,
-//! * [`template`] — compiled, reusable AAP kernel templates (the hot-path
-//!   form of the [`programs`] constructors),
+//! * [`ir`] — the typed PIM-IR over virtual rows and its lowering
+//!   pipeline (legalize → virtual-row allocation → peephole), the single
+//!   source of truth for every kernel command sequence,
+//! * [`template`] — compiled, reusable AAP kernel templates (the cached
+//!   lowering backend behind the [`programs`] constructors),
 //! * [`pim_xnor`] — the parallel in-memory comparator (Fig. 7),
 //! * [`pim_add`] — carry-save + bit-serial in-memory addition (Fig. 8),
 //! * [`mapping`] — correlated data partitioning and mapping (Fig. 6),
@@ -59,6 +62,7 @@ pub mod error;
 pub mod exec;
 pub mod graph_stage;
 pub mod hashmap_stage;
+pub mod ir;
 pub mod isa;
 pub mod layout;
 pub mod mapping;

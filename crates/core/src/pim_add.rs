@@ -18,7 +18,6 @@
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
 use pim_dram::port::AapPort;
-use pim_dram::sense_amp::SaMode;
 
 use crate::error::{PimError, Result};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
@@ -70,6 +69,12 @@ impl PimAdder {
     /// One full-adder step over rows: writes `a ⊕ b ⊕ c` to `sum_dst` and
     /// `MAJ(a, b, c)` to `carry_dst`. `zero` must name an all-zero row.
     ///
+    /// The command sequence is the IR-lowered [`Kernel::FullAdder`]
+    /// program (latch cycle, `CarrySum` sum cycle, majority carry cycle —
+    /// see [`crate::ir::kernels::full_adder`]); this entry point compiles
+    /// and executes it once. Loops should compile the template themselves
+    /// (as [`PimAdder::column_sum`] does) to amortize the compile.
+    ///
     /// # Errors
     ///
     /// Propagates DRAM addressing errors.
@@ -84,22 +89,14 @@ impl PimAdder {
         sum_dst: RowAddr,
         carry_dst: RowAddr,
     ) -> Result<()> {
+        let cols = ctrl.geometry().cols;
+        let adder = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::FullAdder,
+            row_bits: cols,
+            size: cols,
+        });
         let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
-        // 1. Latch c: TRA(c, 0, c) = c, loading the SA latch.
-        ctrl.aap_copy(subarray, c, x1)?;
-        ctrl.aap_copy(subarray, zero, x2)?;
-        ctrl.aap_copy(subarray, c, x3)?;
-        ctrl.aap3_carry_discard(subarray, [x1, x2, x3], sum_dst)?; // sum_dst is scratch here
-                                                                   // 2. Sum cycle: a ⊕ b ⊕ latch.
-        ctrl.aap_copy(subarray, a, x1)?;
-        ctrl.aap_copy(subarray, b, x2)?;
-        ctrl.aap2_discard(subarray, SaMode::CarrySum, [x1, x2], sum_dst)?;
-        // 3. Carry cycle: MAJ(a, b, c).
-        ctrl.aap_copy(subarray, a, x1)?;
-        ctrl.aap_copy(subarray, b, x2)?;
-        ctrl.aap_copy(subarray, c, x3)?;
-        ctrl.aap3_carry_discard(subarray, [x1, x2, x3], carry_dst)?;
-        Ok(())
+        adder.execute(ctrl, subarray, &[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3])
     }
 
     /// Column-parallel sum of single-bit addend rows (the degree

@@ -9,6 +9,13 @@
 //!    (the staged query already sits in `x1`),
 //! 2. one two-source AAP in XNOR mode,
 //! 3. one DPU AND-reduction.
+//!
+//! The comparison program itself is not hand-rolled here: the comparator
+//! holds the [`Kernel::Xnor`] template lowered through the [`crate::ir`]
+//! pipeline, and every probe executes that one compiled kernel (sensing
+//! the final XNOR so the DPU can reduce its read-out). Sensed and discard
+//! AAPs charge identically, so the command trace is byte-identical to the
+//! pre-IR direct-port sequence.
 
 use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
@@ -16,26 +23,49 @@ use pim_dram::port::AapPort;
 
 use crate::dpu::Dpu;
 use crate::error::Result;
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// Executes `PIM_XNOR` comparisons against a staged query.
 ///
-/// The comparator owns no state beyond the staging convention: queries are
-/// staged once per k-mer (amortizing the temp write across the bucket
-/// scan), then compared against any number of candidate rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct PimComparator;
+/// The comparator owns the IR-compiled XNOR kernel for its row width plus
+/// the staging convention: queries are staged once per k-mer (amortizing
+/// the temp write across the bucket scan), then compared against any
+/// number of candidate rows by re-executing the compiled kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PimComparator {
+    xnor: CompiledTemplate,
+}
 
 impl PimComparator {
+    /// Compiles the comparator's XNOR kernel for rows of `cols` bits.
+    pub fn new(cols: usize) -> Self {
+        let xnor = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::Xnor,
+            row_bits: cols,
+            size: cols,
+        });
+        PimComparator { xnor }
+    }
+
+    /// The compiled XNOR kernel the comparator probes with.
+    pub fn kernel(&self) -> &CompiledTemplate {
+        &self.xnor
+    }
+
     /// Stages a query row image into a temp row and clones it into compute
     /// row `x1`. The staging itself is an in-DRAM movement from the
     /// sequence bank (Fig. 6: "the ctrl first reads and parses the short
     /// reads from the original sequence bank to the specific sub-array"),
-    /// charged as one AAP-class transfer rather than a host write.
+    /// charged as one AAP-class transfer rather than a host write. This is
+    /// a single primitive, not a kernel program, so it issues directly on
+    /// the port (a one-copy IR program would be peephole-eliminated as a
+    /// dead scratch write).
     ///
     /// # Errors
     ///
     /// Propagates DRAM addressing errors.
     pub fn stage_query(
+        &self,
         ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         temp_row: RowAddr,
@@ -59,15 +89,16 @@ impl PimComparator {
     ///
     /// Propagates DRAM addressing errors.
     pub fn compare(
+        &self,
         ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         temp_row: RowAddr,
         candidate: RowAddr,
         scratch: RowAddr,
     ) -> Result<bool> {
-        ctrl.aap_copy(subarray, temp_row, ctrl.compute_row(0))?;
-        ctrl.aap_copy(subarray, candidate, ctrl.compute_row(1))?;
-        let xnor = ctrl.aap2_xnor(subarray, [ctrl.compute_row(0), ctrl.compute_row(1)], scratch)?;
+        // Bindings follow the kernel's role order [a, b, dst, x1, x2].
+        let rows = [temp_row, candidate, scratch, ctrl.compute_row(0), ctrl.compute_row(1)];
+        let xnor = self.xnor.execute_sensed(ctrl, subarray, &rows)?;
         Ok(Dpu::and_reduce(ctrl, &xnor))
     }
 }
@@ -81,48 +112,50 @@ mod tests {
     use pim_dram::geometry::DramGeometry;
     use pim_genome::kmer::Kmer;
 
-    fn setup() -> (Controller, SubarrayId, SubarrayLayout, KmerMapper) {
+    fn setup() -> (Controller, SubarrayId, SubarrayLayout, KmerMapper, PimComparator) {
         let g = DramGeometry::paper_assembly();
         let ctrl = Controller::new(g);
         let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
-        (ctrl, id, SubarrayLayout::new(&g), KmerMapper::new(&g, 1, 8))
+        let cmp = PimComparator::new(g.cols);
+        (ctrl, id, SubarrayLayout::new(&g), KmerMapper::new(&g, 1, 8), cmp)
     }
 
     #[test]
     fn equal_kmers_match() {
-        let (mut ctrl, id, layout, mapper) = setup();
+        let (mut ctrl, id, layout, mapper, cmp) = setup();
         let kmer: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
         let image = mapper.row_image(&kmer, 256);
         // Store the k-mer in slot 0, stage the same k-mer as a query.
         ctrl.write_row(id, layout.kmer_row(0).unwrap(), &image).unwrap();
-        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
-        let matched = PimComparator::compare(
-            &mut ctrl,
-            id,
-            layout.temp_row(0),
-            layout.kmer_row(0).unwrap(),
-            layout.temp_row(1),
-        )
-        .unwrap();
+        cmp.stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        let matched = cmp
+            .compare(
+                &mut ctrl,
+                id,
+                layout.temp_row(0),
+                layout.kmer_row(0).unwrap(),
+                layout.temp_row(1),
+            )
+            .unwrap();
         assert!(matched);
     }
 
     #[test]
     fn different_kmers_mismatch() {
-        let (mut ctrl, id, layout, mapper) = setup();
+        let (mut ctrl, id, layout, mapper, cmp) = setup();
         let a: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
         let b: Kmer = "CGTGCGTGCTTACGGC".parse().unwrap(); // last base differs
         ctrl.write_row(id, layout.kmer_row(0).unwrap(), &mapper.row_image(&a, 256)).unwrap();
-        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&b, 256))
+        cmp.stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&b, 256)).unwrap();
+        let matched = cmp
+            .compare(
+                &mut ctrl,
+                id,
+                layout.temp_row(0),
+                layout.kmer_row(0).unwrap(),
+                layout.temp_row(1),
+            )
             .unwrap();
-        let matched = PimComparator::compare(
-            &mut ctrl,
-            id,
-            layout.temp_row(0),
-            layout.kmer_row(0).unwrap(),
-            layout.temp_row(1),
-        )
-        .unwrap();
         assert!(!matched);
     }
 
@@ -130,7 +163,7 @@ mod tests {
     fn query_survives_repeated_comparisons() {
         // The staged temp row must remain intact across destructive
         // compute-row operations so the bucket scan can continue.
-        let (mut ctrl, id, layout, mapper) = setup();
+        let (mut ctrl, id, layout, mapper, cmp) = setup();
         let q: Kmer = "AAAACCCCGGGGTTTT".parse().unwrap();
         let image = mapper.row_image(&q, 256);
         for slot in 0..4usize {
@@ -139,11 +172,11 @@ mod tests {
                 .unwrap();
         }
         ctrl.write_row(id, layout.kmer_row(4).unwrap(), &image).unwrap();
-        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        cmp.stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
         let mut matches = Vec::new();
         for slot in 0..5usize {
             matches.push(
-                PimComparator::compare(
+                cmp.compare(
                     &mut ctrl,
                     id,
                     layout.temp_row(0),
@@ -158,13 +191,13 @@ mod tests {
 
     #[test]
     fn command_counts_per_probe() {
-        let (mut ctrl, id, layout, mapper) = setup();
+        let (mut ctrl, id, layout, mapper, cmp) = setup();
         let q: Kmer = "ACGTACGTACGTACGT".parse().unwrap();
         let image = mapper.row_image(&q, 256);
         ctrl.write_row(id, layout.kmer_row(0).unwrap(), &image).unwrap();
-        PimComparator::stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
+        cmp.stage_query(&mut ctrl, id, layout.temp_row(0), &image).unwrap();
         let before = *ctrl.stats();
-        PimComparator::compare(
+        cmp.compare(
             &mut ctrl,
             id,
             layout.temp_row(0),
@@ -176,5 +209,12 @@ mod tests {
         assert_eq!(delta.aap, 2); // query re-clone + candidate clone
         assert_eq!(delta.aap2, 1); // the XNOR
         assert_eq!(delta.dpu, 1); // the AND reduction
+    }
+
+    #[test]
+    fn probe_commands_come_from_the_compiled_kernel() {
+        let (_, _, _, _, cmp) = setup();
+        assert_eq!(cmp.kernel().command_counts(), (2, 1, 0));
+        assert_eq!(cmp.kernel().role_count(), 5);
     }
 }

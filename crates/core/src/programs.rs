@@ -3,10 +3,12 @@
 //! The §II-B software support expresses every bulk operation as an AAP
 //! sequence; these constructors build the canonical sequences as
 //! [`InstructionStream`] programs a host runtime would emit, executable via
-//! [`crate::exec::StreamExecutor`]. The op skeletons themselves live in
-//! [`crate::template`] — these constructors are the ahead-of-time
-//! materialization of the same compiled kernels, so a template execution
-//! and its program stream can never drift apart.
+//! [`crate::exec::StreamExecutor`]. The op sequences themselves are not
+//! defined here: each kernel is a typed [`crate::ir`] program lowered
+//! (legalized, register-allocated, peephole-cleaned) into a
+//! [`CompiledTemplate`], and these constructors are the ahead-of-time
+//! materialization of that one compiled artifact — so a template
+//! execution and its program stream can never drift apart.
 
 use pim_dram::address::{RowAddr, SubarrayId};
 

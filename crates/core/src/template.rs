@@ -1,18 +1,24 @@
-//! Compiled AAP program templates.
+//! Compiled AAP program templates (the IR lowering backend's cache layer).
 //!
 //! The assembly stages execute the same small AAP kernels — the 3-command
 //! `PIM_XNOR` comparison, the 11-command full-adder slice — millions of
-//! times, varying only the concrete row operands. Re-emitting a fresh
-//! `Vec<AapInstruction>` per invocation (the [`crate::programs`]
-//! constructors) pays an allocation and a re-derivation of the per-row
-//! repeat count on every call. A [`CompiledTemplate`] lifts that work out
-//! of the hot loop: a kernel *shape* — [`Kernel`] × row width × bulk size,
-//! the [`TemplateKey`] — is compiled once into a skeleton of ops over
-//! *role slots* (operand indices, not row addresses), and then executed
-//! any number of times by binding concrete rows at call time. Execution
-//! goes through the discard AAP variants, so a template run is
-//! allocation-free and produces byte-identical array state and command
-//! accounting to the equivalent [`crate::exec::StreamExecutor`] stream.
+//! times, varying only the concrete row operands. A [`CompiledTemplate`]
+//! lifts program construction out of the hot loop: a kernel *shape* —
+//! [`Kernel`] × row width × bulk size, the [`TemplateKey`] — is lowered
+//! once through the [`crate::ir`] pass pipeline (legalize → virtual-row
+//! allocation → peephole) into a [`crate::ir::CompiledKernel`] skeleton
+//! of ops over *role slots*, and then executed any number of times by
+//! binding concrete rows at call time. Execution goes through the
+//! discard AAP variants, so a template run is allocation-free and
+//! produces byte-identical array state and command accounting to the
+//! equivalent [`crate::exec::StreamExecutor`] stream.
+//!
+//! Since PR 5 the template no longer owns a hand-assigned role table:
+//! the skeleton comes out of [`Kernel::program`]'s typed IR, the
+//! `x1/x2/x3` scratch slots out of the lifetime-based allocator, and the
+//! role count out of the lowered kernel ([`CompiledTemplate::role_count`]
+//! replaces the old `Kernel::roles()` constants). The lowered ops are
+//! pinned byte-identical to the historical tables by the tests below.
 //!
 //! [`TemplateCache`] memoizes compilations per shape; the per-class
 //! command counts of a template ([`CompiledTemplate::command_counts`])
@@ -24,11 +30,13 @@
 use std::collections::HashMap;
 
 use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
+use pim_dram::geometry::COMPUTE_ROWS;
 use pim_dram::port::AapPort;
-use pim_dram::sense_amp::SaMode;
 
 use crate::error::{PimError, Result};
-use crate::isa::{AapInstruction, InstructionStream};
+use crate::ir::{self, CompileReport, CompiledKernel, LowerOptions, PimProgram};
+use crate::isa::InstructionStream;
 
 /// The kernels the stages compile to templates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,11 +50,12 @@ pub enum Kernel {
 }
 
 impl Kernel {
-    /// Number of row roles the kernel binds at execution time.
-    pub fn roles(self) -> usize {
+    /// The kernel's canonical IR definition (the single source of truth
+    /// for its command sequence; see [`crate::ir::kernels`]).
+    pub fn program(self) -> PimProgram {
         match self {
-            Kernel::Xnor => 5,
-            Kernel::FullAdder => 9,
+            Kernel::Xnor => ir::kernels::xnor(),
+            Kernel::FullAdder => ir::kernels::full_adder(),
         }
     }
 }
@@ -63,57 +72,21 @@ pub struct TemplateKey {
     pub size: usize,
 }
 
-/// One op of a compiled skeleton. Row operands are role indices into the
-/// binding array supplied at execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TemplateOp {
-    Copy { src: usize, dst: usize },
-    TwoSrc { srcs: [usize; 2], dst: usize, mode: SaMode },
-    ThreeSrc { srcs: [usize; 3], dst: usize },
-}
-
 /// A compiled, reusable AAP kernel skeleton.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledTemplate {
     key: TemplateKey,
-    ops: Vec<TemplateOp>,
-    /// Command repeats per op (the bulk-size row count), hoisted out of
-    /// the execution loop.
-    reps: usize,
+    inner: CompiledKernel,
 }
 
 impl CompiledTemplate {
-    /// Compiles the skeleton for `key`.
+    /// Compiles the skeleton for `key` through the IR pass pipeline.
     pub fn compile(key: TemplateKey) -> Self {
-        use TemplateOp::{Copy, ThreeSrc, TwoSrc};
-        let ops = match key.kernel {
-            // Roles: [a=0, b=1, dst=2, x1=3, x2=4].
-            Kernel::Xnor => vec![
-                Copy { src: 0, dst: 3 },
-                Copy { src: 1, dst: 4 },
-                TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Xnor },
-            ],
-            // Roles: [a=0, b=1, c=2, zero=3, sum_dst=4, carry_dst=5,
-            //         x1=6, x2=7, x3=8].
-            Kernel::FullAdder => vec![
-                // Latch c: TRA(c, 0, c) majors to c and loads the SA latch.
-                Copy { src: 2, dst: 6 },
-                Copy { src: 3, dst: 7 },
-                Copy { src: 2, dst: 8 },
-                ThreeSrc { srcs: [6, 7, 8], dst: 4 }, // sum_dst is scratch here
-                // Sum cycle: a ⊕ b ⊕ latch.
-                Copy { src: 0, dst: 6 },
-                Copy { src: 1, dst: 7 },
-                TwoSrc { srcs: [6, 7], dst: 4, mode: SaMode::CarrySum },
-                // Carry cycle: MAJ(a, b, c).
-                Copy { src: 0, dst: 6 },
-                Copy { src: 1, dst: 7 },
-                Copy { src: 2, dst: 8 },
-                ThreeSrc { srcs: [6, 7, 8], dst: 5 },
-            ],
-        };
-        let reps = key.size.div_ceil(key.row_bits).max(1);
-        CompiledTemplate { key, ops, reps }
+        let options =
+            LowerOptions { row_bits: key.row_bits, size: key.size, compute_slots: COMPUTE_ROWS };
+        let inner = ir::compile(&key.kernel.program(), &options)
+            .expect("built-in kernels are legal by construction");
+        CompiledTemplate { key, inner }
     }
 
     /// The shape this template was compiled for.
@@ -121,20 +94,22 @@ impl CompiledTemplate {
         &self.key
     }
 
+    /// Number of row roles the template binds at execution time.
+    pub fn role_count(&self) -> usize {
+        self.inner.role_count()
+    }
+
+    /// The IR compile report (pass statistics and allocation map).
+    pub fn report(&self) -> &CompileReport {
+        self.inner.report()
+    }
+
     /// Per-class command counts of one execution, `(aap, aap2, aap3)` —
     /// precomputed so a caller replaying the template analytically can
     /// charge `n` executions in three batched synthetic charges instead
     /// of `n × ops` individual ones.
     pub fn command_counts(&self) -> (u64, u64, u64) {
-        let mut counts = (0u64, 0u64, 0u64);
-        for op in &self.ops {
-            match op {
-                TemplateOp::Copy { .. } => counts.0 += self.reps as u64,
-                TemplateOp::TwoSrc { .. } => counts.1 += self.reps as u64,
-                TemplateOp::ThreeSrc { .. } => counts.2 += self.reps as u64,
-            }
-        }
-        counts
+        self.inner.command_counts()
     }
 
     /// Charges `n` executions of this template to `port` as synthetic
@@ -145,6 +120,16 @@ impl CompiledTemplate {
         port.record_synthetic("AAP", aap * n);
         port.record_synthetic("AAP2", aap2 * n);
         port.record_synthetic("AAP3", aap3 * n);
+    }
+
+    fn check_arity(&self, rows: &[RowAddr]) -> Result<()> {
+        if rows.len() != self.inner.role_count() {
+            return Err(PimError::TemplateArity {
+                expected: self.inner.role_count(),
+                provided: rows.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Executes the template on `port` with the given role bindings.
@@ -163,37 +148,30 @@ impl CompiledTemplate {
         subarray: SubarrayId,
         rows: &[RowAddr],
     ) -> Result<()> {
-        if rows.len() != self.key.kernel.roles() {
-            return Err(PimError::TemplateArity {
-                expected: self.key.kernel.roles(),
-                provided: rows.len(),
-            });
-        }
-        for op in &self.ops {
-            for _ in 0..self.reps {
-                match *op {
-                    TemplateOp::Copy { src, dst } => {
-                        port.aap_copy(subarray, rows[src], rows[dst])?;
-                    }
-                    TemplateOp::TwoSrc { srcs, dst, mode } => {
-                        port.aap2_discard(
-                            subarray,
-                            mode,
-                            [rows[srcs[0]], rows[srcs[1]]],
-                            rows[dst],
-                        )?;
-                    }
-                    TemplateOp::ThreeSrc { srcs, dst } => {
-                        port.aap3_carry_discard(
-                            subarray,
-                            [rows[srcs[0]], rows[srcs[1]], rows[srcs[2]]],
-                            rows[dst],
-                        )?;
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.check_arity(rows)?;
+        self.inner.execute(port, subarray, rows)
+    }
+
+    /// Executes the template, sensing the final command and returning its
+    /// read-out (the comparison-kernel path; see
+    /// [`crate::ir::CompiledKernel::execute_sensed`]). Accounting is
+    /// byte-identical to [`CompiledTemplate::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledTemplate::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lowered kernel does not end in a two-source AAP.
+    pub fn execute_sensed(
+        &self,
+        port: &mut impl AapPort,
+        subarray: SubarrayId,
+        rows: &[RowAddr],
+    ) -> Result<BitRow> {
+        self.check_arity(rows)?;
+        self.inner.execute_sensed(port, subarray, rows)
     }
 
     /// Materializes the template as an [`InstructionStream`] — the shape
@@ -207,29 +185,8 @@ impl CompiledTemplate {
     /// is the ahead-of-time program-construction path, where arity is a
     /// caller bug, not a data error).
     pub fn to_stream(&self, subarray: SubarrayId, rows: &[RowAddr]) -> InstructionStream {
-        assert_eq!(rows.len(), self.key.kernel.roles(), "template arity mismatch");
-        let size = self.key.size;
-        self.ops
-            .iter()
-            .map(|op| match *op {
-                TemplateOp::Copy { src, dst } => {
-                    AapInstruction::Copy { subarray, src: rows[src], dst: rows[dst], size }
-                }
-                TemplateOp::TwoSrc { srcs, dst, mode } => AapInstruction::TwoSrc {
-                    subarray,
-                    srcs: [rows[srcs[0]], rows[srcs[1]]],
-                    dst: rows[dst],
-                    mode,
-                    size,
-                },
-                TemplateOp::ThreeSrc { srcs, dst } => AapInstruction::ThreeSrc {
-                    subarray,
-                    srcs: [rows[srcs[0]], rows[srcs[1]], rows[srcs[2]]],
-                    dst: rows[dst],
-                    size,
-                },
-            })
-            .collect()
+        assert_eq!(rows.len(), self.inner.role_count(), "template arity mismatch");
+        self.inner.to_stream(subarray, rows)
     }
 }
 
@@ -415,5 +372,40 @@ mod tests {
         let (e, c) = (executed.stats(), charged.stats());
         assert_eq!((e.aap, e.aap2, e.aap3), (c.aap, c.aap2, c.aap3));
         assert_eq!(executed.ledger().total_time_ps(), charged.ledger().total_time_ps());
+    }
+
+    #[test]
+    fn template_role_counts_come_from_the_lowered_kernel() {
+        let x = CompiledTemplate::compile(xnor_key(64));
+        assert_eq!(x.role_count(), 5);
+        let fa = CompiledTemplate::compile(TemplateKey {
+            kernel: Kernel::FullAdder,
+            row_bits: 64,
+            size: 64,
+        });
+        assert_eq!(fa.role_count(), 9);
+        assert_eq!(fa.report().alloc.slots_used, 3);
+        assert_eq!(fa.report().alloc.spill_stores, 0);
+    }
+
+    #[test]
+    fn sensed_template_execution_charges_identically() {
+        let cols = DramGeometry::paper_assembly().cols;
+        let a = BitRow::from_fn(cols, |i| i % 5 == 0);
+        let b = BitRow::from_fn(cols, |i| i % 7 == 0);
+        let (mut sensed, id) = setup();
+        let (mut discarded, _) = setup();
+        for ctrl in [&mut sensed, &mut discarded] {
+            ctrl.write_row(id, 1, &a).unwrap();
+            ctrl.write_row(id, 2, &b).unwrap();
+        }
+        let rows =
+            [RowAddr(1), RowAddr(2), RowAddr(9), sensed.compute_row(0), sensed.compute_row(1)];
+        let template = CompiledTemplate::compile(xnor_key(cols));
+        let out = template.execute_sensed(&mut sensed, id, &rows).unwrap();
+        template.execute(&mut discarded, id, &rows).unwrap();
+        assert_eq!(out, a.xnor(&b));
+        assert_eq!(*sensed.stats(), *discarded.stats());
+        assert_eq!(sensed.ledger(), discarded.ledger());
     }
 }

@@ -23,6 +23,7 @@ use pim_obsv::{HistKey, Metric};
 use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
 use crate::pim_add::{PimAdder, ScratchSpace};
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// Statistics of the traverse stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,13 +72,22 @@ impl TraverseStage {
         } else {
             // Synthetic accounting: the same adjacency-row reduction the
             // dense path performs, at `2E + N` single-bit additions packed
-            // `cols` per wave, each full-adder step costing 8 copies,
-            // 1 sum AAP, and 2 TRAs (latch + carry).
+            // `cols` per wave, each wave costing one full-adder step. The
+            // per-step command mix comes from the IR-compiled kernel
+            // (8 copies, 1 sum AAP, 2 TRAs), not a hardcoded table, so the
+            // synthetic path can never drift from what the dense path
+            // actually executes.
+            let adder = CompiledTemplate::compile(TemplateKey {
+                kernel: Kernel::FullAdder,
+                row_bits: cols,
+                size: cols,
+            });
+            let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
             let adds = 2 * graph.edge_count() as u64 + n as u64;
             let waves = adds.div_ceil(cols as u64);
-            ctrl.record_synthetic("AAP", waves * 8);
-            ctrl.record_synthetic("AAP2", waves);
-            ctrl.record_synthetic("AAP3", waves * 2);
+            ctrl.record_synthetic("AAP", waves * fa_aap);
+            ctrl.record_synthetic("AAP2", waves * fa_aap2);
+            ctrl.record_synthetic("AAP3", waves * fa_aap3);
             let out = (0..n).map(|v| graph.out_degree(v) as u64).collect();
             let inc = (0..n).map(|v| graph.in_degree(v) as u64).collect();
             Ok((out, inc, false))

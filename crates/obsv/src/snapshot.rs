@@ -18,8 +18,8 @@ pub const SNAPSHOT_SCHEMA: &str = "pim-obsv-metrics-v1";
 ///
 /// The `counters` and `floats` sections are execution-order deterministic
 /// (identical for serial and worker-pool runs); `host` holds wall-clock
-/// dependent values and is excluded from [`deterministic_json`]
-/// (`MetricsSnapshot::deterministic_json`).
+/// dependent values and is excluded from
+/// [`deterministic_json`](MetricsSnapshot::deterministic_json).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
     /// Deterministic integer counters, keyed by dotted scope names.

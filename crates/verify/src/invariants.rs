@@ -16,6 +16,14 @@
 //!   within the command bounds the compiled AAP templates predict
 //!   ([`pim_assembler::budget::pipeline_budget`]): e.g. stage-1 `AAP2`
 //!   commands per hash probe, stage-2b TRA cycles per adder sum cycle.
+//!   The bound multipliers are the per-class command counts the
+//!   `pim_assembler::ir` lowering pipeline reports for each kernel, so
+//!   they track the compiled programs rather than hand-written tables.
+//!
+//! The first two checks are the runtime mirror of the IR legalizer
+//! (`pim_assembler::ir::legalize`): any program built through the IR path
+//! fails at compile time before it could ever violate them here, and this
+//! replay exists to catch raw-port call sites and fault-injected drift.
 
 use pim_assembler::budget::pipeline_budget;
 use pim_assembler::graph_stage::GraphStage;

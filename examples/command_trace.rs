@@ -27,13 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query: Kmer = "CGTGCGTGCTTACGGA".parse()?;
     ctrl.write_row(id, layout.kmer_row(0)?, &mapper.row_image(&stored, g.cols))?;
     ctrl.enable_trace(16);
-    PimComparator::stage_query(
-        &mut ctrl,
-        id,
-        layout.temp_row(0),
-        &mapper.row_image(&query, g.cols),
-    )?;
-    let matched = PimComparator::compare(
+    let comparator = PimComparator::new(g.cols);
+    comparator.stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&query, g.cols))?;
+    let matched = comparator.compare(
         &mut ctrl,
         id,
         layout.temp_row(0),
