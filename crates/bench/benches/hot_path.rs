@@ -95,8 +95,7 @@ fn bench_template_exec(c: &mut Criterion) {
     let cols = ctrl.geometry().cols;
     ctrl.write_row(id, 1, &BitRow::from_fn(cols, |i| i % 2 == 0)).unwrap();
     ctrl.write_row(id, 2, &BitRow::from_fn(cols, |i| i % 3 == 0)).unwrap();
-    let template =
-        CompiledTemplate::compile(TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: cols });
+    let template = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols));
     let rows = [RowAddr(1), RowAddr(2), RowAddr(5), ctrl.compute_row(0), ctrl.compute_row(1)];
     c.bench_function("hot_template_exec_xnor", |b| {
         b.iter(|| {

@@ -18,8 +18,9 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 20] = [
+const VALUE_KEYS: [&str; 21] = [
     "k",
+    "backend",
     "min-count",
     "coverage",
     "seed",

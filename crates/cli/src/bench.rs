@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use pim_assembler::exec::StreamExecutor;
-use pim_assembler::ir::{self, kernels, LowerOptions};
+use pim_assembler::ir::{self, kernels, BackendKind, LowerOptions};
 use pim_assembler::programs::full_adder_program;
 use pim_assembler::{PimAssembler, PimAssemblerConfig};
 use pim_dram::address::RowAddr;
@@ -45,6 +45,8 @@ pub struct Measurement {
 /// Results of one full `pim-asm bench` sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
+    /// Canonical name of the lowering backend the sweep ran on.
+    pub backend: &'static str,
     /// All measurements, in execution order.
     pub measurements: Vec<Measurement>,
     /// Whether the serial and worker-pool pipeline runs produced
@@ -52,8 +54,8 @@ pub struct BenchReport {
     pub serial_parallel_identical: bool,
 }
 
-fn setup() -> (Controller, pim_dram::SubarrayId) {
-    let ctrl = Controller::new(DramGeometry::paper_assembly());
+fn setup(backend: BackendKind) -> (Controller, pim_dram::SubarrayId) {
+    let ctrl = Controller::with_profile(DramGeometry::paper_assembly(), &backend.profile());
     let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
     (ctrl, id)
 }
@@ -71,8 +73,8 @@ fn time_ns_per_op<F: FnMut()>(iters: u64, mut f: F) -> f64 {
 
 /// Two-source AAP (XNOR) issued directly at the controller, result unused —
 /// the dominant command of the hashmap stage.
-fn bench_op2(iters: u64) -> Measurement {
-    let (mut ctrl, id) = setup();
+fn bench_op2(iters: u64, backend: BackendKind) -> Measurement {
+    let (mut ctrl, id) = setup(backend);
     let cols = ctrl.geometry().cols;
     ctrl.write_row(id, 1, &BitRow::from_fn(cols, |i| i % 2 == 0)).unwrap();
     ctrl.write_row(id, 2, &BitRow::from_fn(cols, |i| i % 3 == 0)).unwrap();
@@ -87,8 +89,8 @@ fn bench_op2(iters: u64) -> Measurement {
 
 /// Triple-row-activation carry, result unused — the dominant command of
 /// in-memory addition.
-fn bench_op3(iters: u64) -> Measurement {
-    let (mut ctrl, id) = setup();
+fn bench_op3(iters: u64, backend: BackendKind) -> Measurement {
+    let (mut ctrl, id) = setup(backend);
     let cols = ctrl.geometry().cols;
     for r in 1..=3usize {
         ctrl.write_row(id, r, &BitRow::from_fn(cols, |i| (i + r) % 3 == 0)).unwrap();
@@ -105,8 +107,8 @@ fn bench_op3(iters: u64) -> Measurement {
 
 /// The 11-command full-adder program through [`StreamExecutor`] — the shape
 /// stage kernels ship to detached contexts.
-fn bench_stream_exec(iters: u64) -> Measurement {
-    let (mut ctrl, id) = setup();
+fn bench_stream_exec(iters: u64, backend: BackendKind) -> Measurement {
+    let (mut ctrl, id) = setup(backend);
     let cols = ctrl.geometry().cols;
     for r in 1..=3usize {
         ctrl.write_row(id, r, &BitRow::from_fn(cols, |i| (i + r) % 5 == 0)).unwrap();
@@ -132,13 +134,13 @@ fn bench_stream_exec(iters: u64) -> Measurement {
 /// One full IR lowering of both built-in kernels, cache bypassed — the
 /// compile-time cost the template cache amortizes out of every
 /// steady-state number above.
-fn bench_ir_compile(iters: u64) -> Measurement {
+fn bench_ir_compile(iters: u64, backend: BackendKind) -> Measurement {
     let cols = DramGeometry::paper_assembly().cols;
     let options = LowerOptions::for_row(cols);
     let (xnor, adder) = (kernels::xnor(), kernels::full_adder());
     let ns = time_ns_per_op(iters, || {
-        let x = ir::compile(&xnor, &options).unwrap();
-        let fa = ir::compile(&adder, &options).unwrap();
+        let x = ir::compile_backend(&xnor, &options, backend).unwrap();
+        let fa = ir::compile_backend(&adder, &options, backend).unwrap();
         assert!(x.role_count() + fa.role_count() > 0);
     });
     Measurement { name: "ir_compile_kernels".into(), ns_per_op: ns, ops: iters }
@@ -174,26 +176,36 @@ fn bench_pipeline(genome_len: usize) -> (Measurement, Measurement, bool) {
     )
 }
 
-/// Runs the full sweep. `iters` scales the micro-bench loops and
-/// `genome_len` the end-to-end dataset.
-pub fn run_all(iters: u64, genome_len: usize) -> BenchReport {
+/// Runs the full sweep against `backend`'s substrate profile. `iters`
+/// scales the micro-bench loops and `genome_len` the end-to-end dataset.
+/// The end-to-end pipeline is a PIM-Assembler workload, so non-default
+/// backends measure the micro-benches only (command kernels, stream
+/// execution, lowering).
+pub fn run_all_for(iters: u64, genome_len: usize, backend: BackendKind) -> BenchReport {
     let mut measurements = vec![
-        bench_op2(iters),
-        bench_op3(iters),
-        bench_stream_exec(iters / 8 + 1),
-        bench_ir_compile(iters / 64 + 1),
+        bench_op2(iters, backend),
+        bench_op3(iters, backend),
+        bench_stream_exec(iters / 8 + 1, backend),
+        bench_ir_compile(iters / 64 + 1, backend),
     ];
-    let (serial, pool, identical) = bench_pipeline(genome_len);
-    measurements.push(serial);
-    measurements.push(pool);
-    BenchReport { measurements, serial_parallel_identical: identical }
+    let mut identical = true;
+    if backend == BackendKind::PimAssembler {
+        let (serial, pool, pipeline_identical) = bench_pipeline(genome_len);
+        measurements.push(serial);
+        measurements.push(pool);
+        identical = pipeline_identical;
+    }
+    BenchReport { backend: backend.name(), measurements, serial_parallel_identical: identical }
 }
 
 /// Renders the report as the `BENCH_*.json` artifact. When `baseline`
 /// measurements are given, matching names gain `baseline_ns_per_op` and
 /// `speedup` fields.
 pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pim-bench-hotpath-v1\",\n  \"results\": [\n");
+    let mut out = format!(
+        "{{\n  \"schema\": \"pim-bench-hotpath-v1\",\n  \"backend\": \"{}\",\n  \"results\": [\n",
+        report.backend
+    );
     for (i, m) in report.measurements.iter().enumerate() {
         let sep = if i + 1 < report.measurements.len() { "," } else { "" };
         let base = baseline.iter().find(|b| b.name == m.name);
@@ -245,6 +257,7 @@ mod tests {
     #[test]
     fn json_roundtrips_through_the_parser() {
         let report = BenchReport {
+            backend: "pim-assembler",
             measurements: vec![
                 Measurement { name: "op2_xnor".into(), ns_per_op: 123.45, ops: 10 },
                 Measurement { name: "pipeline_e2e_serial".into(), ns_per_op: 9.5e8, ops: 1 },
@@ -252,6 +265,7 @@ mod tests {
             serial_parallel_identical: true,
         };
         let json = to_json(&report, &[]);
+        assert!(json.contains("\"backend\": \"pim-assembler\""), "{json}");
         let parsed = parse_measurements(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].name, "op2_xnor");
@@ -262,6 +276,7 @@ mod tests {
     #[test]
     fn baseline_produces_speedup_fields() {
         let report = BenchReport {
+            backend: "pim-assembler",
             measurements: vec![Measurement { name: "op2_xnor".into(), ns_per_op: 50.0, ops: 10 }],
             serial_parallel_identical: true,
         };
@@ -273,7 +288,8 @@ mod tests {
 
     #[test]
     fn quick_sweep_produces_all_measurements() {
-        let report = run_all(50, 600);
+        let report = run_all_for(50, 600, BackendKind::PimAssembler);
+        assert_eq!(report.backend, "pim-assembler");
         let names: Vec<&str> = report.measurements.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(
             names,
@@ -288,5 +304,22 @@ mod tests {
         );
         assert!(report.measurements.iter().all(|m| m.ns_per_op > 0.0));
         assert!(report.serial_parallel_identical);
+    }
+
+    #[test]
+    fn retargeted_sweeps_run_the_micro_benches() {
+        for backend in [BackendKind::AmbitTra, BackendKind::PandaMram] {
+            let report = run_all_for(20, 600, backend);
+            assert_eq!(report.backend, backend.name());
+            let names: Vec<&str> = report.measurements.iter().map(|m| m.name.as_str()).collect();
+            assert_eq!(
+                names,
+                ["op2_xnor", "op3_carry", "stream_full_adder", "ir_compile_kernels"],
+                "non-default backends skip the end-to-end pipeline"
+            );
+            assert!(report.measurements.iter().all(|m| m.ns_per_op > 0.0));
+            let json = to_json(&report, &[]);
+            assert!(json.contains(&format!("\"backend\": \"{}\"", backend.name())), "{json}");
+        }
     }
 }

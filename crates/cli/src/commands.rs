@@ -60,10 +60,16 @@ VERIFY OPTIONS:
   --seed N         base RNG seed (default 42)
   --faults LIST    comma-separated sense-amp flip rates to campaign over
                    (default 1e-4; pass `none` to skip fault injection)
+  --backend NAME   run the cross-backend differential suite instead:
+                   pim-assembler, ambit-tra, panda-mram, or `all` to
+                   compare every backend's command mix in one run
 
 BENCH OPTIONS:
   --iters N        micro-bench loop iterations (default 100000)
   --genome-len N   end-to-end dataset genome length (default 3000)
+  --backend NAME   substrate to drive the micro-benches on: pim-assembler
+                   (default), ambit-tra, panda-mram; non-default backends
+                   skip the end-to-end pipeline runs
   --json           print the JSON artifact to stdout
   --out PATH       write the JSON artifact to PATH (refuses to overwrite
                    an existing file unless --force is passed)
@@ -72,12 +78,23 @@ BENCH OPTIONS:
 
 IR OPTIONS:
   --kernel NAME    canonical kernel to dump (xnor, full-adder)
+  --backend NAME   lowering backend: pim-assembler (default), ambit-tra,
+                   panda-mram
   --cols N         row width in bits to lower for (default 256)
   --slots N        compute rows available to the allocator (default 8;
                    shrink to watch spill-to-copy engage)
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// Resolves a `--backend` value, naming the valid set on failure.
+fn parse_backend(name: &str) -> Result<pim_assembler::ir::BackendKind, Box<dyn Error>> {
+    use pim_assembler::ir::BackendKind;
+    BackendKind::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
+        format!("unknown backend {name:?} (one of: {})", known.join(", ")).into()
+    })
+}
 
 /// `pim-asm assemble`.
 pub fn assemble(args: &ParsedArgs) -> CliResult {
@@ -246,6 +263,9 @@ fn metrics_stats(path: &str) -> CliResult {
 /// `pim-asm verify`.
 pub fn verify(args: &ParsedArgs) -> CliResult {
     use pim_verify::{standard_suite, SuiteOptions};
+    if args.get_str("backend").is_some() {
+        return verify_backends(args);
+    }
     let defaults = SuiteOptions::default();
     let fault_rates = match args.get_str("faults").unwrap_or("1e-4") {
         "none" => Vec::new(),
@@ -270,15 +290,44 @@ pub fn verify(args: &ParsedArgs) -> CliResult {
     }
 }
 
+/// `pim-asm verify --backend`: the cross-backend differential suite —
+/// stage kernels retargeted to a lowering backend must reproduce the
+/// software oracle bit for bit.
+fn verify_backends(args: &ParsedArgs) -> CliResult {
+    use pim_verify::{backend_suite, single_backend_suite, BackendSuiteOptions};
+    let name = args.get_str("backend").expect("caller checked --backend");
+    let defaults = BackendSuiteOptions::default();
+    let options = BackendSuiteOptions {
+        genome_len: args.get_num("genome-len", defaults.genome_len),
+        k: args.get_num("k", defaults.k),
+        min_count: args.get_num("min-count", defaults.min_count),
+        seed: args.get_num("seed", defaults.seed),
+    };
+    let report = match name {
+        "all" => backend_suite(&options),
+        _ => single_backend_suite(&options, parse_backend(name)?),
+    };
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("backend verification failed".into())
+    }
+}
+
 /// `pim-asm bench`.
 pub fn bench(args: &ParsedArgs) -> CliResult {
     let iters: u64 = args.get_num("iters", 100_000);
     let genome_len: usize = args.get_num("genome-len", 3000);
+    let backend = match args.get_str("backend") {
+        Some(name) => parse_backend(name)?,
+        None => pim_assembler::ir::BackendKind::PimAssembler,
+    };
     let baseline = match args.get_str("baseline") {
         Some(path) => crate::bench::parse_measurements(&std::fs::read_to_string(path)?),
         None => Vec::new(),
     };
-    let report = crate::bench::run_all(iters, genome_len);
+    let report = crate::bench::run_all_for(iters, genome_len, backend);
     for m in &report.measurements {
         let extra = baseline
             .iter()
@@ -304,11 +353,15 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
 
 /// `pim-asm ir`: dump a kernel's IR before and after lowering.
 pub fn ir(args: &ParsedArgs) -> CliResult {
-    use pim_assembler::ir::{compile, kernels, LowerOptions};
+    use pim_assembler::ir::{compile_backend, kernels, BackendKind, LowerOptions};
     let known = kernels::KERNEL_NAMES.join(", ");
     let name = args.get_str("kernel").ok_or(format!("ir needs --kernel NAME (one of: {known})"))?;
     let program =
         kernels::by_name(name).ok_or(format!("unknown kernel {name:?} (one of: {known})"))?;
+    let backend = match args.get_str("backend") {
+        Some(b) => parse_backend(b)?,
+        None => BackendKind::PimAssembler,
+    };
     let cols: usize = args.get_num("cols", 256);
     let slots: usize = args.get_num("slots", pim_dram::geometry::COMPUTE_ROWS);
     if cols == 0 || slots == 0 {
@@ -318,9 +371,10 @@ pub fn ir(args: &ParsedArgs) -> CliResult {
     println!("── pre-lowering IR ──────────────────────────────────────────");
     print!("{}", program.to_text());
     println!();
-    println!("── lowering for cols={cols}, compute slots={slots} ──────────");
+    println!("── lowering for backend={backend}, cols={cols}, compute slots={slots} ──");
     let options = LowerOptions { row_bits: cols, size: cols, compute_slots: slots };
-    let kernel = compile(&program, &options).map_err(|e| format!("lowering failed: {e}"))?;
+    let kernel = compile_backend(&program, &options, backend)
+        .map_err(|e| format!("lowering failed: {e}"))?;
     print!("{}", kernel.to_text());
     Ok(())
 }
@@ -482,6 +536,67 @@ mod tests {
         let args =
             ParsedArgs::parse(["ir", "--kernel", "full-adder", "--slots", "3"].map(String::from));
         ir(&args).unwrap();
+    }
+
+    #[test]
+    fn ir_lowers_every_kernel_on_every_backend_and_alias() {
+        for backend in ["pim-assembler", "pa", "pim", "ambit-tra", "ambit", "panda-mram", "mram"] {
+            for name in pim_assembler::ir::kernels::KERNEL_NAMES {
+                let args = ParsedArgs::parse(
+                    ["ir", "--kernel", name, "--backend", backend].map(String::from),
+                );
+                ir(&args).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ir_rejects_unknown_backends_with_the_valid_set() {
+        let args =
+            ParsedArgs::parse(["ir", "--kernel", "xnor", "--backend", "hbm"].map(String::from));
+        let err = ir(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown backend \"hbm\""), "{err}");
+        for name in ["pim-assembler", "ambit-tra", "panda-mram"] {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
+    }
+
+    #[test]
+    fn usage_lists_the_backends() {
+        for name in ["pim-assembler", "ambit-tra", "panda-mram"] {
+            assert!(USAGE.contains(name), "--help must list {name}");
+        }
+    }
+
+    #[test]
+    fn verify_backend_runs_single_and_all_modes() {
+        for backend in ["ambit", "mram", "all"] {
+            let args = ParsedArgs::parse(
+                ["verify", "--backend", backend, "--genome-len", "200"].map(String::from),
+            );
+            verify(&args).unwrap();
+        }
+        let args = ParsedArgs::parse(["verify", "--backend", "hmc"].map(String::from));
+        let err = verify(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn bench_records_the_backend_and_rejects_unknown_ones() {
+        let out = tmp("bench_backend.json");
+        let _ = std::fs::remove_file(&out);
+        let mut argv: Vec<String> =
+            ["bench", "--iters", "5", "--genome-len", "400", "--backend", "mram", "--out"]
+                .map(String::from)
+                .to_vec();
+        argv.push(out.to_str().unwrap().to_string());
+        bench(&ParsedArgs::parse(argv)).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"backend\": \"panda-mram\""), "{json}");
+
+        let args = ParsedArgs::parse(["bench", "--backend", "gpu"].map(String::from));
+        let err = bench(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown backend"), "{err}");
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! pim-asm stats <contigs.fasta>
 //! pim-asm throughput
 //! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
+//!         [--backend <pim-assembler|ambit-tra|panda-mram|all>]
 //! pim-asm bench [--iters 100000] [--genome-len 3000] [--json]
 //!         [--out BENCH.json] [--baseline BENCH_prev.json]
+//!         [--backend <pim-assembler|ambit-tra|panda-mram>]
 //! pim-asm ir --kernel <xnor|full-adder> [--cols 256] [--slots 8]
+//!         [--backend <pim-assembler|ambit-tra|panda-mram>]
 //! pim-asm help
 //! ```
 

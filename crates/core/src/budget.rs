@@ -35,13 +35,8 @@ use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 ///   copy (AAP) volume is bounded by a fixed multiple of the sum cycles
 ///   (AAP2); the synthetic fallback charges the identical ratio.
 pub fn pipeline_budget(cols: usize) -> StageBudget {
-    let xnor =
-        CompiledTemplate::compile(TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: cols });
-    let adder = CompiledTemplate::compile(TemplateKey {
-        kernel: Kernel::FullAdder,
-        row_bits: cols,
-        size: cols,
-    });
+    let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols));
+    let adder = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols));
     let (xnor_aap, xnor_aap2, _) = xnor.command_counts();
     let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
 
@@ -115,16 +110,8 @@ mod tests {
         // are the per-class command counts the IR lowering pipeline reports
         // for each kernel, so a kernel change reshapes the bounds with it.
         let cols = 256;
-        let xnor = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::Xnor,
-            row_bits: cols,
-            size: cols,
-        });
-        let adder = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::FullAdder,
-            row_bits: cols,
-            size: cols,
-        });
+        let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols));
+        let adder = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols));
         assert_eq!(xnor.command_counts(), xnor.report().command_counts);
         assert_eq!(adder.command_counts(), adder.report().command_counts);
         let budget = pipeline_budget(cols);

@@ -26,6 +26,7 @@ use pim_obsv::{HistKey, Metric};
 use crate::dispatch::ParallelDispatcher;
 use crate::dpu::Dpu;
 use crate::error::{PimError, Result};
+use crate::ir::BackendKind;
 use crate::layout::{SubarrayLayout, COUNTER_BITS};
 use crate::mapping::KmerMapper;
 use crate::pim_xnor::PimComparator;
@@ -92,9 +93,23 @@ impl PimHashTable {
     /// Creates an empty table over the mapper's sub-array partition,
     /// compiling the probe kernel once for the layout's row width.
     pub fn new(mapper: KmerMapper) -> Self {
+        PimHashTable::with_backend(mapper, BackendKind::PimAssembler)
+    }
+
+    /// [`PimHashTable::new`] with the probe kernel lowered for `backend`.
+    /// Zero-constant roles (the Ambit rewrite) bind the last temp row,
+    /// which the stage never writes, so it holds the power-on zero state.
+    pub fn with_backend(mapper: KmerMapper, backend: BackendKind) -> Self {
         let slots = vec![vec![None; mapper.layout().kmer_rows()]; mapper.subarrays().len()];
-        let comparator = PimComparator::new(mapper.layout().cols());
+        let layout = *mapper.layout();
+        let zero_row = layout.temp_row(layout.temp_rows() - 1);
+        let comparator = PimComparator::with_backend(layout.cols(), backend, zero_row);
         PimHashTable { mapper, comparator, slots, stats: HashStats::default() }
+    }
+
+    /// The lowering backend the probe kernel runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.comparator.backend()
     }
 
     /// The mapper in use.

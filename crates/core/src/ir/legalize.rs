@@ -31,7 +31,8 @@ fn operand(p: &PimProgram, row: VRow) -> String {
     p.label_of(row).to_string()
 }
 
-/// Checks `program` against the decoder/sense-amp/dataflow rules.
+/// Checks `program` against the decoder/sense-amp/dataflow rules with the
+/// strict (PIM-Assembler / Ambit) activation policy.
 ///
 /// Rules enforced (each mirrors a runtime check listed in its
 /// [`IrErrorKind`] variant):
@@ -48,6 +49,24 @@ fn operand(p: &PimProgram, row: VRow) -> String {
 /// The first violated rule, as a typed [`IrError`] spanning the offending
 /// op.
 pub fn legalize(program: &PimProgram) -> Result<LegalizeStats, IrError> {
+    legalize_with(program, false)
+}
+
+/// [`legalize`] with a selectable activation policy.
+///
+/// With `allow_data_activation` set, rule 1 is relaxed: activation sets
+/// may name data rows (inputs, zero, outputs) directly, the legality
+/// model of non-destructive-sensing substrates (the PANDA-style MRAM
+/// backend). Every other rule is enforced identically.
+///
+/// # Errors
+///
+/// The first violated rule, as a typed [`IrError`] spanning the offending
+/// op.
+pub fn legalize_with(
+    program: &PimProgram,
+    allow_data_activation: bool,
+) -> Result<LegalizeStats, IrError> {
     let mut stats = LegalizeStats::default();
     let mut defined = vec![false; program.rows().len()];
 
@@ -63,7 +82,7 @@ pub fn legalize(program: &PimProgram) -> Result<LegalizeStats, IrError> {
         if !activation.is_empty() {
             stats.activation_sets += 1;
             for &src in activation {
-                if program.class_of(src) != RowClass::Temp {
+                if program.class_of(src) != RowClass::Temp && !allow_data_activation {
                     return Err(IrError {
                         span: span(program, i),
                         kind: IrErrorKind::NonComputeActivation {
@@ -148,6 +167,27 @@ mod tests {
         assert!(
             matches!(err.kind, IrErrorKind::NonComputeActivation { ref operand } if operand == "a:input")
         );
+    }
+
+    #[test]
+    fn relaxed_policy_admits_data_activation_but_nothing_else() {
+        let mut p = PimProgram::new("direct");
+        let a = p.input("a");
+        let b = p.input("b");
+        let d = p.output("d");
+        p.two_src([a, b], d, SaMode::Xnor);
+        // Strict (charge-sharing) targets reject data-row activation …
+        assert!(legalize(&p).is_err());
+        // … the non-destructive-sensing policy admits it …
+        let stats = legalize_with(&p, true).unwrap();
+        assert_eq!(stats.activation_sets, 1);
+        // … but duplicate rows stay illegal under either policy.
+        let mut dup = PimProgram::new("direct-dup");
+        let a = dup.input("a");
+        let d = dup.output("d");
+        dup.two_src([a, a], d, SaMode::Xnor);
+        let err = legalize_with(&dup, true).unwrap_err();
+        assert!(matches!(err.kind, IrErrorKind::DuplicateActivation { .. }));
     }
 
     #[test]

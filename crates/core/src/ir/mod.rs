@@ -29,8 +29,14 @@
 //! kernel command sequence. [`crate::budget::pipeline_budget`] and the
 //! `pim-verify` invariant checker derive their expected command counts
 //! from the [`CompileReport`] pass statistics.
+//!
+//! Lowering is retargetable: [`compile_backend`] prepends a per-substrate
+//! IR→IR rewrite ([`backend`]) to the same pipeline, so the identical
+//! kernel programs execute on the PIM-Assembler, Ambit-TRA, and
+//! PANDA-MRAM targets with backend-specific command mixes.
 
 pub mod alloc;
+pub mod backend;
 pub mod kernels;
 pub mod legalize;
 pub mod peephole;
@@ -44,7 +50,10 @@ use pim_dram::sense_amp::SaMode;
 use crate::isa::{AapInstruction, InstructionStream};
 
 pub use alloc::{allocate, AllocStats, Allocation, TempAssignment};
-pub use legalize::{legalize, LegalizeStats};
+pub use backend::{
+    AmbitTraBackend, BackendKind, LoweringBackend, PandaMramBackend, PimAssemblerBackend,
+};
+pub use legalize::{legalize, legalize_with, LegalizeStats};
 pub use peephole::{peephole, PeepholeStats};
 pub use program::{IrError, IrErrorKind, KernelSpan, PimOp, PimProgram, RowClass, RowDecl, VRow};
 
@@ -109,6 +118,8 @@ impl LowerOptions {
 pub struct CompileReport {
     /// Kernel name.
     pub kernel: String,
+    /// The lowering backend the kernel was compiled for.
+    pub backend: BackendKind,
     /// Ops in the source program.
     pub ops_in: usize,
     /// Ops after allocation + peephole (spill copies included).
@@ -145,6 +156,11 @@ impl CompiledKernel {
     /// The kernel name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The lowering backend the kernel was compiled for.
+    pub fn backend(&self) -> BackendKind {
+        self.report.backend
     }
 
     /// The role table, in caller-binding order (non-temp declarations,
@@ -372,7 +388,8 @@ fn issue(
 }
 
 /// Compiles `program` through the full pass pipeline
-/// (legalize → allocate → peephole) for the `options` target.
+/// (legalize → allocate → peephole) for the `options` target on the
+/// native PIM-Assembler backend.
 ///
 /// # Errors
 ///
@@ -380,8 +397,29 @@ fn issue(
 /// pass: decoder/SA-mode/dataflow violations from legalization, or
 /// [`IrErrorKind::NotEnoughComputeSlots`] from allocation.
 pub fn compile(program: &PimProgram, options: &LowerOptions) -> Result<CompiledKernel, IrError> {
-    let legalize_stats = legalize::legalize(program)?;
-    let allocation = alloc::allocate(program, options.compute_slots)?;
+    compile_backend(program, options, BackendKind::PimAssembler)
+}
+
+/// Compiles `program` for a specific lowering `backend`: the backend's
+/// IR→IR rewrite runs first, then the shared pipeline
+/// (legalize → allocate → peephole) under the backend's activation
+/// policy. The PIM-Assembler backend's rewrite is the identity, so
+/// [`compile`] and `compile_backend(…, BackendKind::PimAssembler)` emit
+/// byte-identical kernels.
+///
+/// # Errors
+///
+/// A typed [`IrError`] (with source-kernel span) from the first failing
+/// pass, exactly as [`compile`].
+pub fn compile_backend(
+    program: &PimProgram,
+    options: &LowerOptions,
+    backend: BackendKind,
+) -> Result<CompiledKernel, IrError> {
+    let lowering = backend.lowering();
+    let rewritten = lowering.rewrite(program);
+    let legalize_stats = legalize::legalize_with(&rewritten, lowering.allows_data_activation())?;
+    let allocation = alloc::allocate(&rewritten, options.compute_slots)?;
     let scratch: Vec<bool> = allocation.roles.iter().map(|r| r.class == RowClass::Temp).collect();
     let (ops, peephole_stats) = peephole::peephole(allocation.ops, |r| scratch[r]);
 
@@ -396,8 +434,9 @@ pub fn compile(program: &PimProgram, options: &LowerOptions) -> Result<CompiledK
     }
 
     let report = CompileReport {
-        kernel: program.name().to_string(),
-        ops_in: program.ops().len(),
+        kernel: rewritten.name().to_string(),
+        backend,
+        ops_in: rewritten.ops().len(),
         ops_out: ops.len(),
         legalize: legalize_stats,
         alloc: allocation.stats,
@@ -409,7 +448,7 @@ pub fn compile(program: &PimProgram, options: &LowerOptions) -> Result<CompiledK
     };
 
     Ok(CompiledKernel {
-        name: program.name().to_string(),
+        name: rewritten.name().to_string(),
         roles: allocation.roles,
         ops,
         reps,

@@ -20,7 +20,13 @@ use pim_dram::bitrow::BitRow;
 use pim_dram::port::AapPort;
 
 use crate::error::{PimError, Result};
+use crate::ir::BackendKind;
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
+
+/// Upper bound on the full-adder role table across backends (the Ambit
+/// rewrite is the widest: the data/zero roles plus ≤ 8 scratch slots).
+/// Lets the reduction loops bind roles on the stack.
+const MAX_ADDER_ROLES: usize = 24;
 
 /// A pool of free data rows used for intermediate carry-save results
 /// (the `Resv.` region of Fig. 8).
@@ -89,14 +95,47 @@ impl PimAdder {
         sum_dst: RowAddr,
         carry_dst: RowAddr,
     ) -> Result<()> {
+        PimAdder::full_add_with(
+            ctrl,
+            subarray,
+            BackendKind::PimAssembler,
+            a,
+            b,
+            c,
+            zero,
+            sum_dst,
+            carry_dst,
+        )
+    }
+
+    /// [`PimAdder::full_add`] retargeted to `backend`: the same full-adder
+    /// contract, lowered through that backend's command repertoire. The
+    /// role table is bound by class, so the extra zero/scratch roles a
+    /// rewrite introduces resolve automatically (`zero` also backs any
+    /// zero-constant roles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    #[allow(clippy::too_many_arguments)] // one parameter per hardware row operand
+    pub fn full_add_with(
+        ctrl: &mut impl AapPort,
+        subarray: SubarrayId,
+        backend: BackendKind,
+        a: RowAddr,
+        b: RowAddr,
+        c: RowAddr,
+        zero: RowAddr,
+        sum_dst: RowAddr,
+        carry_dst: RowAddr,
+    ) -> Result<()> {
         let cols = ctrl.geometry().cols;
-        let adder = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::FullAdder,
-            row_bits: cols,
-            size: cols,
-        });
-        let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
-        adder.execute(ctrl, subarray, &[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3])
+        let adder = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+        );
+        let mut rows = [RowAddr(0); MAX_ADDER_ROLES];
+        let n = adder.bind_roles_into(ctrl, &[a, b, c], &[sum_dst, carry_dst], zero, &mut rows)?;
+        adder.execute(ctrl, subarray, &rows[..n])
     }
 
     /// Column-parallel sum of single-bit addend rows (the degree
@@ -117,19 +156,46 @@ impl PimAdder {
         zero: RowAddr,
         scratch: &mut ScratchSpace,
     ) -> Result<Vec<BitRow>> {
+        PimAdder::column_sum_with(ctrl, subarray, BackendKind::PimAssembler, addends, zero, scratch)
+    }
+
+    /// [`PimAdder::column_sum`] retargeted to `backend`: identical
+    /// reduction schedule and results, with every full-adder step lowered
+    /// through that backend's command repertoire.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::SubarrayFull`] if the scratch pool is too small.
+    /// * DRAM addressing errors.
+    pub fn column_sum_with(
+        ctrl: &mut impl AapPort,
+        subarray: SubarrayId,
+        backend: BackendKind,
+        addends: &[RowAddr],
+        zero: RowAddr,
+        scratch: &mut ScratchSpace,
+    ) -> Result<Vec<BitRow>> {
         if addends.is_empty() {
             return Ok(Vec::new());
         }
         // Compile the full-adder kernel once for this geometry; every
         // carry-save and ripple step below replays the same template, so
-        // the reduction loop pushes no per-step instruction vectors.
+        // the reduction loop pushes no per-step instruction vectors. The
+        // per-step role binding is a fixed-size stack array filled by
+        // class (for PIM-Assembler it reproduces the canonical
+        // `[a, b, c, zero, sum, carry, x1, x2, x3]` order exactly).
         let cols = ctrl.geometry().cols;
-        let adder = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::FullAdder,
-            row_bits: cols,
-            size: cols,
-        });
-        let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
+        let adder = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+        );
+        let mut rows = [RowAddr(0); MAX_ADDER_ROLES];
+        // A direct-activation backend opens the operand rows themselves, so
+        // every row in an activation set must be physically distinct — the
+        // kernel's zero-constant role (bound to `zero`) included. Padded
+        // ripple operands therefore each get their own all-zero row, lazily
+        // taken from scratch.
+        let direct_activation = backend.lowering().allows_data_activation();
+        let mut pads: [Option<RowAddr>; 2] = [None, None];
         // Rows pending per significance; `owned` rows recycle into scratch.
         #[derive(Clone, Copy)]
         struct Pending {
@@ -150,11 +216,14 @@ impl PimAdder {
                 );
                 let sum_row = scratch.alloc()?;
                 let carry_row = scratch.alloc()?;
-                adder.execute(
+                let n = adder.bind_roles_into(
                     ctrl,
-                    subarray,
-                    &[p1.row, p2.row, p3.row, zero, sum_row, carry_row, x1, x2, x3],
+                    &[p1.row, p2.row, p3.row],
+                    &[sum_row, carry_row],
+                    zero,
+                    &mut rows,
                 )?;
+                adder.execute(ctrl, subarray, &rows[..n])?;
                 for p in [p1, p2, p3] {
                     if p.owned {
                         scratch.release(p.row);
@@ -188,15 +257,32 @@ impl PimAdder {
                 continue;
             }
             let a = operands[0];
-            let b = operands.get(1).copied().unwrap_or(Pending { row: zero, owned: false });
-            let c = operands.get(2).copied().unwrap_or(Pending { row: zero, owned: false });
+            let b = match operands.get(1) {
+                Some(p) => *p,
+                None if direct_activation => Pending {
+                    row: Self::pad_zero(ctrl, subarray, cols, scratch, &mut pads[0])?,
+                    owned: false,
+                },
+                None => Pending { row: zero, owned: false },
+            };
+            let c = match operands.get(2) {
+                Some(p) => *p,
+                None if direct_activation => Pending {
+                    row: Self::pad_zero(ctrl, subarray, cols, scratch, &mut pads[1])?,
+                    owned: false,
+                },
+                None => Pending { row: zero, owned: false },
+            };
             let sum_row = scratch.alloc()?;
             let carry_row = scratch.alloc()?;
-            adder.execute(
+            let n = adder.bind_roles_into(
                 ctrl,
-                subarray,
-                &[a.row, b.row, c.row, zero, sum_row, carry_row, x1, x2, x3],
+                &[a.row, b.row, c.row],
+                &[sum_row, carry_row],
+                zero,
+                &mut rows,
             )?;
+            adder.execute(ctrl, subarray, &rows[..n])?;
             for p in operands {
                 if p.owned {
                     scratch.release(p.row);
@@ -212,7 +298,28 @@ impl PimAdder {
             carry = Some(Pending { row: carry_row, owned: true });
             w += 1;
         }
+        for pad in pads.into_iter().flatten() {
+            scratch.release(pad);
+        }
         Ok(planes)
+    }
+
+    /// Returns the lazily-initialized all-zero padding row in `slot`,
+    /// allocating it from `scratch` and zeroing it on first use.
+    fn pad_zero(
+        ctrl: &mut impl AapPort,
+        subarray: SubarrayId,
+        cols: usize,
+        scratch: &mut ScratchSpace,
+        slot: &mut Option<RowAddr>,
+    ) -> Result<RowAddr> {
+        if let Some(r) = *slot {
+            return Ok(r);
+        }
+        let r = scratch.alloc()?;
+        ctrl.write_row(subarray, r, &BitRow::zeros(cols))?;
+        *slot = Some(r);
+        Ok(r)
     }
 
     /// Decodes column values from bit-planes (test/verification helper).
@@ -338,6 +445,44 @@ mod tests {
         assert_eq!(s.available(), 2);
         s.release(r);
         assert_eq!(s.available(), 3);
+    }
+
+    #[test]
+    fn retargeted_column_sum_matches_integer_sums() {
+        for backend in [BackendKind::AmbitTra, BackendKind::PandaMram] {
+            let g = DramGeometry::paper_assembly();
+            let mut ctrl = match backend {
+                BackendKind::PandaMram => {
+                    Controller::with_profile(g, &pim_dram::profile::BackendProfile::panda_mram())
+                }
+                _ => Controller::new(g),
+            };
+            let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+            let cols = g.cols;
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut rows = Vec::new();
+            let mut expected = vec![0u64; cols];
+            for r in 0..7usize {
+                let bits = BitRow::from_fn(cols, |_| rng.gen_bool(0.5));
+                for (j, e) in expected.iter_mut().enumerate() {
+                    *e += bits.get(j) as u64;
+                }
+                ctrl.write_row(id, r, &bits).unwrap();
+                rows.push(RowAddr(r));
+            }
+            ctrl.write_row(id, 100, &BitRow::zeros(cols)).unwrap();
+            let mut scratch = ScratchSpace::new(200, 300);
+            let planes = PimAdder::column_sum_with(
+                &mut ctrl,
+                id,
+                backend,
+                &rows,
+                RowAddr(100),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(PimAdder::decode_columns(&planes), expected, "{backend}");
+        }
     }
 
     #[test]

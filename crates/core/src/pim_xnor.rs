@@ -23,7 +23,13 @@ use pim_dram::port::AapPort;
 
 use crate::dpu::Dpu;
 use crate::error::Result;
+use crate::ir::{BackendKind, RowClass};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
+
+/// Upper bound on the probe kernel's role count across backends (the
+/// Ambit rewrite is the widest: 3 data roles + zero constant + scratch
+/// slots ≤ 8). Lets non-default backends bind roles on the stack.
+const MAX_PROBE_ROLES: usize = 16;
 
 /// Executes `PIM_XNOR` comparisons against a staged query.
 ///
@@ -34,22 +40,42 @@ use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PimComparator {
     xnor: CompiledTemplate,
+    /// Row bound to [`RowClass::Zero`] roles (the Ambit rewrite's row-init
+    /// constant). Must address a row the stage never writes, so it still
+    /// holds the all-zero power-on state.
+    zero_row: RowAddr,
 }
 
 impl PimComparator {
-    /// Compiles the comparator's XNOR kernel for rows of `cols` bits.
+    /// Compiles the comparator's XNOR kernel for rows of `cols` bits on
+    /// the default PIM-Assembler backend.
     pub fn new(cols: usize) -> Self {
-        let xnor = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::Xnor,
-            row_bits: cols,
-            size: cols,
-        });
-        PimComparator { xnor }
+        PimComparator::with_backend(cols, BackendKind::PimAssembler, RowAddr(0))
+    }
+
+    /// [`PimComparator::new`] retargeted to `backend`. `zero_row` backs
+    /// any zero-constant roles the backend's lowering introduces (pass any
+    /// never-written data row; ignored by lowerings without such roles).
+    pub fn with_backend(cols: usize, backend: BackendKind, zero_row: RowAddr) -> Self {
+        let xnor = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::Xnor, cols, cols).with_backend(backend),
+        );
+        assert!(xnor.role_count() <= MAX_PROBE_ROLES, "probe role table too wide");
+        assert!(
+            xnor.roles().iter().all(|r| r.class != RowClass::Spill),
+            "probe kernel must lower spill-free on every backend"
+        );
+        PimComparator { xnor, zero_row }
     }
 
     /// The compiled XNOR kernel the comparator probes with.
     pub fn kernel(&self) -> &CompiledTemplate {
         &self.xnor
+    }
+
+    /// The lowering backend the probe kernel was compiled for.
+    pub fn backend(&self) -> BackendKind {
+        self.xnor.backend()
     }
 
     /// Stages a query row image into a temp row and clones it into compute
@@ -96,9 +122,22 @@ impl PimComparator {
         candidate: RowAddr,
         scratch: RowAddr,
     ) -> Result<bool> {
-        // Bindings follow the kernel's role order [a, b, dst, x1, x2].
-        let rows = [temp_row, candidate, scratch, ctrl.compute_row(0), ctrl.compute_row(1)];
-        let xnor = self.xnor.execute_sensed(ctrl, subarray, &rows)?;
+        if self.backend() == BackendKind::PimAssembler {
+            // Hot path: the canonical role order [a, b, dst, x1, x2],
+            // bound on the stack with no per-role dispatch.
+            let rows = [temp_row, candidate, scratch, ctrl.compute_row(0), ctrl.compute_row(1)];
+            let xnor = self.xnor.execute_sensed(ctrl, subarray, &rows)?;
+            return Ok(Dpu::and_reduce(ctrl, &xnor));
+        }
+        // Retargeted path: bind the backend's role table by class — the
+        // query and candidate are the inputs in declaration order, scratch
+        // is the output, zero roles bind the configured zero row.
+        let mut rows = [RowAddr(0); MAX_PROBE_ROLES];
+        let n = self
+            .xnor
+            .bind_roles_into(ctrl, &[temp_row, candidate], &[scratch], self.zero_row, &mut rows)
+            .expect("MAX_PROBE_ROLES bounds the role table by construction");
+        let xnor = self.xnor.execute_sensed(ctrl, subarray, &rows[..n])?;
         Ok(Dpu::and_reduce(ctrl, &xnor))
     }
 }
@@ -209,6 +248,50 @@ mod tests {
         assert_eq!(delta.aap, 2); // query re-clone + candidate clone
         assert_eq!(delta.aap2, 1); // the XNOR
         assert_eq!(delta.dpu, 1); // the AND reduction
+    }
+
+    #[test]
+    fn retargeted_comparators_agree_with_the_default_backend() {
+        let g = DramGeometry::paper_assembly();
+        for backend in [BackendKind::AmbitTra, BackendKind::PandaMram] {
+            let mut ctrl = match backend {
+                BackendKind::PandaMram => {
+                    Controller::with_profile(g, &pim_dram::profile::BackendProfile::panda_mram())
+                }
+                _ => Controller::new(g),
+            };
+            let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+            let layout = SubarrayLayout::new(&g);
+            let mapper = KmerMapper::new(&g, 1, 8);
+            let cmp = PimComparator::with_backend(g.cols, backend, layout.temp_row(7));
+            assert_eq!(cmp.backend(), backend);
+
+            let stored: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();
+            let other: Kmer = "CGTGCGTGCTTACGGC".parse().unwrap();
+            ctrl.write_row(id, layout.kmer_row(0).unwrap(), &mapper.row_image(&stored, 256))
+                .unwrap();
+            for (query, expect) in [(stored, true), (other, false)] {
+                cmp.stage_query(&mut ctrl, id, layout.temp_row(0), &mapper.row_image(&query, 256))
+                    .unwrap();
+                let matched = cmp
+                    .compare(
+                        &mut ctrl,
+                        id,
+                        layout.temp_row(0),
+                        layout.kmer_row(0).unwrap(),
+                        layout.temp_row(1),
+                    )
+                    .unwrap();
+                assert_eq!(matched, expect, "{backend}: query {query}");
+            }
+            // The command mix is backend-specific: Ambit spends strictly
+            // more AAPs than the two the P-A probe issues.
+            if backend == BackendKind::AmbitTra {
+                assert!(cmp.kernel().command_counts().0 > 2);
+            } else {
+                assert_eq!(cmp.kernel().command_counts(), (0, 1, 0));
+            }
+        }
     }
 
     #[test]

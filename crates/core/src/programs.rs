@@ -26,7 +26,7 @@ pub fn xnor_program(
     x2: RowAddr,
     row_bits: usize,
 ) -> InstructionStream {
-    CompiledTemplate::compile(TemplateKey { kernel: Kernel::Xnor, row_bits, size: row_bits })
+    CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, row_bits, row_bits))
         .to_stream(subarray, &[a, b, dst, x1, x2])
 }
 
@@ -46,7 +46,7 @@ pub fn full_adder_program(
     row_bits: usize,
 ) -> InstructionStream {
     let [x1, x2, x3] = x;
-    CompiledTemplate::compile(TemplateKey { kernel: Kernel::FullAdder, row_bits, size: row_bits })
+    CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, row_bits, row_bits))
         .to_stream(subarray, &[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3])
 }
 

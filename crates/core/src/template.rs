@@ -35,7 +35,7 @@ use pim_dram::geometry::COMPUTE_ROWS;
 use pim_dram::port::AapPort;
 
 use crate::error::{PimError, Result};
-use crate::ir::{self, CompileReport, CompiledKernel, LowerOptions, PimProgram};
+use crate::ir::{self, BackendKind, CompileReport, CompiledKernel, LowerOptions, PimProgram};
 use crate::isa::InstructionStream;
 
 /// The kernels the stages compile to templates.
@@ -60,7 +60,7 @@ impl Kernel {
     }
 }
 
-/// One compiled shape: kernel × row width × bulk vector size.
+/// One compiled shape: kernel × row width × bulk vector size × backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TemplateKey {
     /// The kernel.
@@ -70,6 +70,22 @@ pub struct TemplateKey {
     /// Bulk vector size in bits; sizes beyond one row repeat each command
     /// per touched row, exactly as [`crate::exec::StreamExecutor`] does.
     pub size: usize,
+    /// The lowering backend the shape compiles for (see
+    /// [`crate::ir::BackendKind`]); each backend gets its own cache entry
+    /// since the lowered command sequences differ.
+    pub backend: BackendKind,
+}
+
+impl TemplateKey {
+    /// A shape for the default PIM-Assembler backend.
+    pub fn new(kernel: Kernel, row_bits: usize, size: usize) -> Self {
+        TemplateKey { kernel, row_bits, size, backend: BackendKind::PimAssembler }
+    }
+
+    /// The same shape retargeted to `backend`.
+    pub fn with_backend(self, backend: BackendKind) -> Self {
+        TemplateKey { backend, ..self }
+    }
 }
 
 /// A compiled, reusable AAP kernel skeleton.
@@ -80,12 +96,13 @@ pub struct CompiledTemplate {
 }
 
 impl CompiledTemplate {
-    /// Compiles the skeleton for `key` through the IR pass pipeline.
+    /// Compiles the skeleton for `key` through the IR pass pipeline on the
+    /// key's backend.
     pub fn compile(key: TemplateKey) -> Self {
         let options =
             LowerOptions { row_bits: key.row_bits, size: key.size, compute_slots: COMPUTE_ROWS };
-        let inner = ir::compile(&key.kernel.program(), &options)
-            .expect("built-in kernels are legal by construction");
+        let inner = ir::compile_backend(&key.kernel.program(), &options, key.backend)
+            .expect("built-in kernels are legal on every backend by construction");
         CompiledTemplate { key, inner }
     }
 
@@ -94,9 +111,23 @@ impl CompiledTemplate {
         &self.key
     }
 
+    /// The lowering backend this template was compiled for.
+    pub fn backend(&self) -> BackendKind {
+        self.key.backend
+    }
+
     /// Number of row roles the template binds at execution time.
     pub fn role_count(&self) -> usize {
         self.inner.role_count()
+    }
+
+    /// The role table, in caller-binding order (see
+    /// [`crate::ir::CompiledKernel::roles`]). Backend-aware callers use
+    /// the role *classes* to build bindings generically — different
+    /// backends lower the same kernel to different role tables (e.g. the
+    /// Ambit rewrite adds a zero-constant role and more scratch slots).
+    pub fn roles(&self) -> &[ir::RowDecl] {
+        self.inner.roles()
     }
 
     /// The IR compile report (pass statistics and allocation map).
@@ -120,6 +151,65 @@ impl CompiledTemplate {
         port.record_synthetic("AAP", aap * n);
         port.record_synthetic("AAP2", aap2 * n);
         port.record_synthetic("AAP3", aap3 * n);
+    }
+
+    /// Builds the caller binding for this template's role table by *class*
+    /// into `rows`: [`ir::RowClass::Input`] roles consume `inputs` in
+    /// declaration order, [`ir::RowClass::Output`] roles consume `outputs`,
+    /// [`ir::RowClass::Zero`] roles bind `zero` (which must address an
+    /// all-zero row), and [`ir::RowClass::Temp`] roles bind the port's
+    /// compute rows in slot order. Returns the role count (the bound
+    /// prefix of `rows`).
+    ///
+    /// This is how backend-agnostic callers execute a retargeted template:
+    /// the role *table* differs per backend (the Ambit rewrite adds a
+    /// zero-constant role and more scratch slots), but the classes fully
+    /// determine the binding.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::TemplateArity`] if `rows` is shorter than the role
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs`/`outputs` do not match the kernel's input/output
+    /// role counts, or on a spilled kernel (spill roles need explicit
+    /// scratch-row bindings; the built-in kernels lower spill-free on
+    /// every backend).
+    pub fn bind_roles_into(
+        &self,
+        port: &impl AapPort,
+        inputs: &[RowAddr],
+        outputs: &[RowAddr],
+        zero: RowAddr,
+        rows: &mut [RowAddr],
+    ) -> Result<usize> {
+        let roles = self.inner.roles();
+        if rows.len() < roles.len() {
+            return Err(PimError::TemplateArity { expected: roles.len(), provided: rows.len() });
+        }
+        let (mut ni, mut no, mut nt) = (0usize, 0usize, 0usize);
+        for (i, role) in roles.iter().enumerate() {
+            rows[i] = match role.class {
+                ir::RowClass::Input => {
+                    ni += 1;
+                    inputs[ni - 1]
+                }
+                ir::RowClass::Output => {
+                    no += 1;
+                    outputs[no - 1]
+                }
+                ir::RowClass::Zero => zero,
+                ir::RowClass::Temp => {
+                    nt += 1;
+                    port.compute_row(nt - 1)
+                }
+                ir::RowClass::Spill => panic!("spill roles need explicit bindings"),
+            };
+        }
+        assert_eq!((ni, no), (inputs.len(), outputs.len()), "binding arity mismatch");
+        Ok(roles.len())
     }
 
     fn check_arity(&self, rows: &[RowAddr]) -> Result<()> {
@@ -249,7 +339,7 @@ mod tests {
     }
 
     fn xnor_key(cols: usize) -> TemplateKey {
-        TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: cols }
+        TemplateKey::new(Kernel::Xnor, cols, cols)
     }
 
     #[test]
@@ -294,11 +384,7 @@ mod tests {
             ctrl.compute_row(1),
             ctrl.compute_row(2),
         ];
-        let template = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::FullAdder,
-            row_bits: cols,
-            size: cols,
-        });
+        let template = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols));
         let stream = template.to_stream(id, &rows);
         let reference = crate::programs::full_adder_program(
             id,
@@ -332,15 +418,32 @@ mod tests {
         for _ in 0..10 {
             cache.get(xnor_key(cols));
         }
-        cache.get(TemplateKey { kernel: Kernel::FullAdder, row_bits: cols, size: cols });
+        cache.get(TemplateKey::new(Kernel::FullAdder, cols, cols));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats(), (9, 2));
     }
 
     #[test]
+    fn backends_get_distinct_cache_entries_with_distinct_command_mixes() {
+        let mut cache = TemplateCache::new();
+        let cols = 256;
+        for backend in BackendKind::ALL {
+            cache.get(xnor_key(cols).with_backend(backend));
+            cache.get(xnor_key(cols).with_backend(backend));
+        }
+        assert_eq!(cache.len(), BackendKind::ALL.len());
+        let pa = cache.get(xnor_key(cols)).command_counts();
+        let ambit = cache.get(xnor_key(cols).with_backend(BackendKind::AmbitTra)).command_counts();
+        let mram = cache.get(xnor_key(cols).with_backend(BackendKind::PandaMram)).command_counts();
+        assert_eq!(pa, (2, 1, 0));
+        assert_ne!(ambit, pa);
+        assert_eq!(mram, (0, 1, 0));
+    }
+
+    #[test]
     fn bulk_sizes_repeat_commands_like_the_stream_executor() {
         let cols = DramGeometry::paper_assembly().cols;
-        let key = TemplateKey { kernel: Kernel::Xnor, row_bits: cols, size: 3 * cols };
+        let key = TemplateKey::new(Kernel::Xnor, cols, 3 * cols);
         let template = CompiledTemplate::compile(key);
         assert_eq!(template.command_counts(), (6, 3, 0));
 
@@ -378,11 +481,7 @@ mod tests {
     fn template_role_counts_come_from_the_lowered_kernel() {
         let x = CompiledTemplate::compile(xnor_key(64));
         assert_eq!(x.role_count(), 5);
-        let fa = CompiledTemplate::compile(TemplateKey {
-            kernel: Kernel::FullAdder,
-            row_bits: 64,
-            size: 64,
-        });
+        let fa = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, 64, 64));
         assert_eq!(fa.role_count(), 9);
         assert_eq!(fa.report().alloc.slots_used, 3);
         assert_eq!(fa.report().alloc.spill_stores, 0);

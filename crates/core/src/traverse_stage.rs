@@ -22,6 +22,7 @@ use pim_obsv::{HistKey, Metric};
 
 use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
+use crate::ir::BackendKind;
 use crate::pim_add::{PimAdder, ScratchSpace};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
@@ -61,13 +62,30 @@ impl TraverseStage {
         graph: &DeBruijnGraph,
         work: SubarrayId,
     ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
+        Self::degrees_with(ctrl, graph, work, BackendKind::PimAssembler)
+    }
+
+    /// [`TraverseStage::degrees`] retargeted to `backend`: the identical
+    /// degree computation with every full-adder slice (dense path) or
+    /// synthetic charge (fallback path) lowered through that backend's
+    /// command repertoire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing and scratch errors.
+    pub fn degrees_with(
+        ctrl: &mut impl AapPort,
+        graph: &DeBruijnGraph,
+        work: SubarrayId,
+        backend: BackendKind,
+    ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
         let n = graph.node_count();
         let cols = ctrl.geometry().cols;
         let rows = ctrl.geometry().rows;
         if n > 0 && n <= cols && 3 * n + 8 < rows {
             // Column sums of Aᵀ rows give out-degrees; of A rows, in-degrees.
-            let out = Self::dense_degree_pass(ctrl, graph, work, true)?;
-            let inc = Self::dense_degree_pass(ctrl, graph, work, false)?;
+            let out = Self::dense_degree_pass(ctrl, graph, work, true, backend)?;
+            let inc = Self::dense_degree_pass(ctrl, graph, work, false, backend)?;
             Ok((out, inc, true))
         } else {
             // Synthetic accounting: the same adjacency-row reduction the
@@ -77,11 +95,9 @@ impl TraverseStage {
             // (8 copies, 1 sum AAP, 2 TRAs), not a hardcoded table, so the
             // synthetic path can never drift from what the dense path
             // actually executes.
-            let adder = CompiledTemplate::compile(TemplateKey {
-                kernel: Kernel::FullAdder,
-                row_bits: cols,
-                size: cols,
-            });
+            let adder = CompiledTemplate::compile(
+                TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+            );
             let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
             let adds = 2 * graph.edge_count() as u64 + n as u64;
             let waves = adds.div_ceil(cols as u64);
@@ -154,7 +170,7 @@ impl TraverseStage {
             let partitions = vec![(work_out, true), (work_in, false)];
             let mut passes = dispatcher.run_partitions(ctrl, partitions, |ctx, transpose| {
                 let work = ctx.id();
-                Self::dense_degree_pass(ctx, graph, work, transpose)
+                Self::dense_degree_pass(ctx, graph, work, transpose, BackendKind::PimAssembler)
             })?;
             let inc = passes.pop().expect("two partitions dispatched");
             let out = passes.pop().expect("two partitions dispatched");
@@ -218,6 +234,7 @@ impl TraverseStage {
         graph: &DeBruijnGraph,
         work: SubarrayId,
         transpose: bool,
+        backend: BackendKind,
     ) -> Result<Vec<u64>> {
         let n = graph.node_count();
         let cols = ctrl.geometry().cols;
@@ -243,7 +260,7 @@ impl TraverseStage {
         let zero = RowAddr(n);
         ctrl.write_row(work, zero, &BitRow::zeros(cols))?;
         let mut scratch = ScratchSpace::new(n + 1, ctrl.geometry().data_rows());
-        let planes = PimAdder::column_sum(ctrl, work, &rows, zero, &mut scratch)?;
+        let planes = PimAdder::column_sum_with(ctrl, work, backend, &rows, zero, &mut scratch)?;
         let mut values = PimAdder::decode_columns(&planes);
         values.truncate(n);
         // In-degree of j = Σ_i A[i][j]; out-degree of j = Σ_i A^T[i][j].

@@ -210,11 +210,7 @@ fn ir_lowered_streams_match_the_legacy_sequences_across_geometries() {
             let ctrl = Controller::new(DramGeometry::paper_assembly());
             let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
 
-            let xnor = CompiledTemplate::compile(TemplateKey {
-                kernel: Kernel::Xnor,
-                row_bits: cols,
-                size,
-            });
+            let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, size));
             let (a, b, dst) = (RowAddr(1), RowAddr(2), RowAddr(9));
             let (x1, x2, x3) = (ctrl.compute_row(0), ctrl.compute_row(1), ctrl.compute_row(2));
             let got = xnor.to_stream(id, &[a, b, dst, x1, x2]);
@@ -233,11 +229,7 @@ fn ir_lowered_streams_match_the_legacy_sequences_across_geometries() {
             .collect();
             assert_eq!(got, expected, "xnor cols={cols} size={size}");
 
-            let adder = CompiledTemplate::compile(TemplateKey {
-                kernel: Kernel::FullAdder,
-                row_bits: cols,
-                size,
-            });
+            let adder = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, size));
             let (c, zero, sum, carry) = (RowAddr(3), RowAddr(4), RowAddr(10), RowAddr(11));
             let got = adder.to_stream(id, &[a, b, c, zero, sum, carry, x1, x2, x3]);
             let expected: InstructionStream = vec![
@@ -296,6 +288,95 @@ fn sa_mode_misuse_fails_at_legalization() {
         let err = compile(&p, &LowerOptions::for_row(64)).unwrap_err();
         assert!(matches!(err.kind, IrErrorKind::IllegalSaMode { mode: m } if m == mode), "{err:?}");
         assert_eq!(err.span.op_index, Some(2));
+    }
+}
+
+/// A controller whose activation semantics match the backend: PANDA MRAM
+/// senses nondestructively (and activates data rows directly); the DRAM
+/// backends run the default destructive-charge substrate.
+fn backend_controller(backend: ir::BackendKind, g: DramGeometry) -> Controller {
+    match backend {
+        ir::BackendKind::PandaMram => {
+            Controller::with_profile(g, &pim_dram::profile::BackendProfile::panda_mram())
+        }
+        _ => Controller::new(g),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Cross-backend differential: the stage kernels lowered for every
+    // backend produce BitRows identical to the software oracle, at both
+    // the tiny (64-column) and paper (256-column) geometries. The command
+    // *mixes* differ per backend; the *results* may not.
+    #[test]
+    fn stage_kernels_agree_with_the_software_oracle_on_every_backend(seed in 0u64..1000) {
+        for (cols, g) in [(64usize, DramGeometry::tiny()), (256, DramGeometry::paper_assembly())] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = BitRow::from_fn(cols, |_| rand::Rng::gen_bool(&mut rng, 0.5));
+            let b = BitRow::from_fn(cols, |_| rand::Rng::gen_bool(&mut rng, 0.5));
+            let c = BitRow::from_fn(cols, |_| rand::Rng::gen_bool(&mut rng, 0.5));
+            for backend in ir::BackendKind::ALL {
+                let mut rows = [RowAddr(0); 24];
+
+                let xnor = CompiledTemplate::compile(
+                    TemplateKey::new(Kernel::Xnor, cols, cols).with_backend(backend),
+                );
+                prop_assert!(
+                    xnor.roles().iter().all(|r| r.class != RowClass::Spill),
+                    "{backend}: xnor must lower spill-free"
+                );
+                let mut ctrl = backend_controller(backend, g);
+                let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+                ctrl.write_row(id, 1, &a).unwrap();
+                ctrl.write_row(id, 2, &b).unwrap();
+                ctrl.write_row(id, 4, &BitRow::zeros(cols)).unwrap();
+                let n = xnor
+                    .bind_roles_into(&ctrl, &[RowAddr(1), RowAddr(2)], &[RowAddr(9)], RowAddr(4), &mut rows)
+                    .unwrap();
+                xnor.execute(&mut ctrl, id, &rows[..n]).unwrap();
+                prop_assert_eq!(
+                    ctrl.peek_row(id, 9).unwrap(),
+                    a.xnor(&b),
+                    "{} cols={}: xnor", backend, cols
+                );
+
+                let adder = CompiledTemplate::compile(
+                    TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+                );
+                prop_assert!(
+                    adder.roles().iter().all(|r| r.class != RowClass::Spill),
+                    "{backend}: full-adder must lower spill-free"
+                );
+                let mut ctrl = backend_controller(backend, g);
+                let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
+                ctrl.write_row(id, 1, &a).unwrap();
+                ctrl.write_row(id, 2, &b).unwrap();
+                ctrl.write_row(id, 3, &c).unwrap();
+                ctrl.write_row(id, 4, &BitRow::zeros(cols)).unwrap();
+                let n = adder
+                    .bind_roles_into(
+                        &ctrl,
+                        &[RowAddr(1), RowAddr(2), RowAddr(3)],
+                        &[RowAddr(10), RowAddr(11)],
+                        RowAddr(4),
+                        &mut rows,
+                    )
+                    .unwrap();
+                adder.execute(&mut ctrl, id, &rows[..n]).unwrap();
+                prop_assert_eq!(
+                    ctrl.peek_row(id, 10).unwrap(),
+                    a.xor(&b).xor(&c),
+                    "{} cols={}: sum", backend, cols
+                );
+                prop_assert_eq!(
+                    ctrl.peek_row(id, 11).unwrap(),
+                    BitRow::maj3(&a, &b, &c),
+                    "{} cols={}: carry", backend, cols
+                );
+            }
+        }
     }
 }
 

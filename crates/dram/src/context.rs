@@ -15,6 +15,7 @@ use crate::error::Result;
 use crate::fault::FaultInjector;
 use crate::geometry::DramGeometry;
 use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
+use crate::profile::ActivationModel;
 use crate::sense_amp::SaMode;
 use crate::stats::CommandStats;
 use crate::subarray::Subarray;
@@ -57,11 +58,17 @@ pub struct SubarrayContext {
 }
 
 impl SubarrayContext {
-    /// Creates a fresh (all-zero rows) context for `id`.
-    pub(crate) fn new(id: SubarrayId, geometry: DramGeometry, costs: CommandCosts) -> Self {
+    /// Creates a fresh (all-zero rows) context for `id` with the given
+    /// activation model.
+    pub(crate) fn new(
+        id: SubarrayId,
+        geometry: DramGeometry,
+        costs: CommandCosts,
+        activation: ActivationModel,
+    ) -> Self {
         SubarrayContext {
             id,
-            subarray: Subarray::new(geometry),
+            subarray: Subarray::with_activation(geometry, activation),
             costs,
             ledger: EnergyLedger::default(),
             fault: None,
@@ -359,7 +366,12 @@ mod tests {
     fn context() -> SubarrayContext {
         let g = DramGeometry::tiny();
         let costs = CommandCosts::new(&TimingParams::default(), &EnergyParams::default(), g.cols);
-        SubarrayContext::new(SubarrayId::from_linear_index(&g, 0), g, costs)
+        SubarrayContext::new(
+            SubarrayId::from_linear_index(&g, 0),
+            g,
+            costs,
+            ActivationModel::DestructiveCharge,
+        )
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::error::{DramError, Result};
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::geometry::DramGeometry;
 use crate::ledger::{CommandClass, CommandCosts, EnergyLedger};
+use crate::profile::{ActivationModel, BackendProfile};
 use crate::sense_amp::SaMode;
 use crate::stats::CommandStats;
 use crate::subarray::Subarray;
@@ -59,6 +60,10 @@ pub struct Controller {
     timing: TimingParams,
     energy: EnergyParams,
     costs: CommandCosts,
+    /// Physical activation semantics every context is built with.
+    activation: ActivationModel,
+    /// Name of the backend profile in effect (diagnostics/reporting).
+    backend_name: &'static str,
     /// Attached contexts, materialized lazily on first touch. `BTreeMap`
     /// keeps iteration (and thus merged-state inspection) deterministic.
     contexts: BTreeMap<SubarrayId, SubarrayContext>,
@@ -93,14 +98,35 @@ impl Controller {
         Controller::with_params(geometry, TimingParams::default(), EnergyParams::default())
     }
 
-    /// Creates a controller with explicit timing and energy parameters.
+    /// Creates a controller with explicit timing and energy parameters and
+    /// the destructive (DRAM) activation model — the historical surface;
+    /// byte-identical to pre-profile behavior.
     pub fn with_params(geometry: DramGeometry, timing: TimingParams, energy: EnergyParams) -> Self {
+        Controller::with_profile(
+            geometry,
+            &BackendProfile {
+                name: "pim-assembler",
+                activation: ActivationModel::DestructiveCharge,
+                timing,
+                energy,
+            },
+        )
+    }
+
+    /// Creates a controller from a [`BackendProfile`]: the profile's
+    /// timing/energy tables become the per-class unit costs and its
+    /// activation model is threaded into every sub-array context (existing
+    /// and lazily materialized).
+    pub fn with_profile(geometry: DramGeometry, profile: &BackendProfile) -> Self {
+        let BackendProfile { name, activation, timing, energy } = *profile;
         let costs = CommandCosts::new(&timing, &energy, geometry.cols);
         Controller {
             geometry,
             timing,
             energy,
             costs,
+            activation,
+            backend_name: name,
             contexts: BTreeMap::new(),
             in_flight: BTreeMap::new(),
             global: EnergyLedger::default(),
@@ -288,6 +314,17 @@ impl Controller {
         &self.costs
     }
 
+    /// The activation model every sub-array context executes with.
+    pub fn activation_model(&self) -> ActivationModel {
+        self.activation
+    }
+
+    /// The name of the backend profile this controller was built from
+    /// (`"pim-assembler"` for the historical constructors).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
     /// Validated sub-array handle for (chip, bank, mat, subarray).
     ///
     /// # Errors
@@ -322,10 +359,11 @@ impl Controller {
             return Err(DramError::SubarrayDetached { subarray: id });
         }
         let (geometry, costs, fault) = (self.geometry, self.costs, self.fault);
+        let activation = self.activation;
         Ok(self
             .contexts
             .entry(id)
-            .or_insert_with(|| Self::fresh_context(id, geometry, costs, fault)))
+            .or_insert_with(|| Self::fresh_context(id, geometry, costs, activation, fault)))
     }
 
     /// A fresh context for `id`, armed with the fault model when one is
@@ -334,9 +372,10 @@ impl Controller {
         id: SubarrayId,
         geometry: DramGeometry,
         costs: CommandCosts,
+        activation: ActivationModel,
         fault: Option<FaultConfig>,
     ) -> SubarrayContext {
-        let mut ctx = SubarrayContext::new(id, geometry, costs);
+        let mut ctx = SubarrayContext::new(id, geometry, costs, activation);
         if let Some(cfg) = fault {
             let stream = id.linear_index(&geometry) as u64;
             ctx.set_fault_injector(Some(FaultInjector::new(&cfg, stream)));
@@ -652,10 +691,9 @@ impl Controller {
         if self.in_flight.contains_key(&id) {
             return Err(DramError::SubarrayDetached { subarray: id });
         }
-        let ctx = self
-            .contexts
-            .remove(&id)
-            .unwrap_or_else(|| Self::fresh_context(id, self.geometry, self.costs, self.fault));
+        let ctx = self.contexts.remove(&id).unwrap_or_else(|| {
+            Self::fresh_context(id, self.geometry, self.costs, self.activation, self.fault)
+        });
         self.in_flight.insert(id, *ctx.ledger());
         Ok(ctx)
     }

@@ -61,12 +61,23 @@ impl RowDecoder {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModifiedRowDecoder {
     geometry: DramGeometry,
+    allow_data_rows: bool,
 }
 
 impl ModifiedRowDecoder {
-    /// Creates an MRD for the given geometry.
+    /// Creates an MRD for the given geometry (compute rows only — the
+    /// commodity-DRAM wiring where only `x1..x8` reach the extended
+    /// word-line drivers).
     pub fn new(geometry: DramGeometry) -> Self {
-        ModifiedRowDecoder { geometry }
+        ModifiedRowDecoder { geometry, allow_data_rows: false }
+    }
+
+    /// Creates an MRD that may multi-activate *any* distinct rows, the
+    /// wiring of non-destructive-sensing substrates (PANDA-style MRAM)
+    /// where operands are sensed in place. Bounds and duplicate-row checks
+    /// are unchanged.
+    pub fn with_data_rows(geometry: DramGeometry) -> Self {
+        ModifiedRowDecoder { geometry, allow_data_rows: true }
     }
 
     /// Validates a two-row simultaneous activation (XNOR/NOR/NAND).
@@ -119,7 +130,7 @@ impl ModifiedRowDecoder {
     fn check_compute(&self, rows: &[RowAddr]) -> Result<()> {
         for r in rows {
             self.geometry.check_row(r.0)?;
-            if !self.geometry.is_compute_row(r.0) {
+            if !self.allow_data_rows && !self.geometry.is_compute_row(r.0) {
                 return Err(DramError::NotComputeRow { row: r.0 });
             }
         }
@@ -163,6 +174,19 @@ mod tests {
         assert!(mrd.activate_many(&[x(0)]).is_err());
         assert!(mrd.activate_many(&[x(0), x(1), x(2), x(3)]).is_err());
         assert!(mrd.activate_many(&[x(0), x(1)]).is_ok());
+    }
+
+    #[test]
+    fn data_row_wiring_admits_data_rows_but_keeps_other_checks() {
+        let g = DramGeometry::paper_assembly();
+        let mrd = ModifiedRowDecoder::with_data_rows(g);
+        assert!(mrd.activate_pair([RowAddr(10), RowAddr(11)]).is_ok());
+        assert!(mrd.activate_triple([RowAddr(10), RowAddr(11), RowAddr(g.compute_row(0))]).is_ok());
+        assert!(matches!(
+            mrd.activate_pair([RowAddr(10), RowAddr(10)]),
+            Err(DramError::DuplicateSourceRow { .. })
+        ));
+        assert!(mrd.activate_pair([RowAddr(10), RowAddr(g.rows)]).is_err());
     }
 
     #[test]

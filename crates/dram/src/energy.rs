@@ -53,6 +53,27 @@ impl EnergyParams {
         }
     }
 
+    /// 45 nm SOT-MRAM constants for the PANDA-style backend, scaled to the
+    /// same 1024×256 sub-array segment.
+    ///
+    /// MTJ sensing draws less array energy than DRAM charge sharing
+    /// (`act_nj`), but each additional simultaneously-sensed row adds a
+    /// proportionally larger reference-current surcharge
+    /// (`multi_row_extra_nj`) and the bulk-logic sense amps are heavier
+    /// (`sa_addon_nj`). Non-volatility removes refresh, so background
+    /// power is a fraction of DRAM's.
+    pub fn sot_mram_45nm() -> Self {
+        EnergyParams {
+            act_nj: 0.35,
+            pre_nj: 0.1,
+            io_pj_per_bit: 4.0,
+            multi_row_extra_nj: 0.25,
+            sa_addon_nj: 0.08,
+            dpu_op_nj: 0.02,
+            background_mw_per_bank: 5.0,
+        }
+    }
+
     /// Energy of a single-source AAP (copy): two ACTIVATEs + one PRECHARGE.
     pub fn aap_nj(&self) -> f64 {
         2.0 * self.act_nj + self.pre_nj

@@ -63,6 +63,7 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod ledger;
 pub mod port;
+pub mod profile;
 pub mod refresh;
 pub mod schedule;
 pub mod sense_amp;
@@ -81,6 +82,7 @@ pub use fault::{FaultConfig, FaultInjector};
 pub use geometry::DramGeometry;
 pub use ledger::{CommandClass, CommandCosts, EnergyLedger};
 pub use port::AapPort;
+pub use profile::{ActivationModel, BackendProfile};
 pub use stats::{CommandStats, EnergyStats};
 
 /// Re-export of the observability layer the command surface feeds

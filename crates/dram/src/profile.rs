@@ -1,0 +1,124 @@
+//! Per-backend runtime profiles: activation semantics plus command costs.
+//!
+//! The retargetable lowering layer in `pim-assembler` decides *which*
+//! commands a kernel issues per substrate; this module decides what those
+//! commands *cost* and how activations behave physically:
+//!
+//! * **PIM-Assembler** and **Ambit-TRA** share the commodity-DRAM
+//!   substrate (DDR4 timings, 45 nm DRAM energies, destructive
+//!   charge-sharing activation). They differ purely in command mix — the
+//!   faithful model of Ambit, which is built from unmodified DRAM cells.
+//! * **PANDA-MRAM** models SOT-MRAM sense-amp bulk logic: reading a
+//!   magnetic tunnel junction is non-destructive, word lines switch
+//!   faster than DRAM row restore, there is no refresh, and per-event
+//!   energies follow the MTJ read/write asymmetry.
+//!
+//! A profile is consumed by
+//! [`crate::controller::Controller::with_profile`], which derives the
+//! integer-exact [`crate::ledger::CommandCosts`] from the profile's
+//! timing/energy tables and threads the activation model into every
+//! sub-array context.
+
+use crate::energy::EnergyParams;
+use crate::timing::TimingParams;
+
+/// What a multi-row activation does to the activated source rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActivationModel {
+    /// DRAM charge sharing: the sense amplifier drives the resolved value
+    /// back into every activated cell, destroying the source rows (the
+    /// reason operands are RowCloned into compute rows first).
+    #[default]
+    DestructiveCharge,
+    /// MRAM resistive sensing: reading the activated cells leaves their
+    /// magnetization untouched; only the destination row is written, and
+    /// data rows may appear in activation sets directly.
+    NondestructiveSense,
+}
+
+/// One backend's runtime profile: activation semantics + command costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendProfile {
+    /// Canonical backend name (matches the compiler-side backend name).
+    pub name: &'static str,
+    /// Physical activation semantics of multi-row activations.
+    pub activation: ActivationModel,
+    /// Command timing table.
+    pub timing: TimingParams,
+    /// Command energy table.
+    pub energy: EnergyParams,
+}
+
+impl BackendProfile {
+    /// The paper's platform: DDR4-2133, 45 nm DRAM, destructive
+    /// activation. [`crate::controller::Controller::new`] uses exactly
+    /// these parameters, so the profile changes nothing for existing
+    /// callers.
+    pub fn pim_assembler() -> Self {
+        BackendProfile {
+            name: "pim-assembler",
+            activation: ActivationModel::DestructiveCharge,
+            timing: TimingParams::ddr4_2133(),
+            energy: EnergyParams::ddr4_45nm(),
+        }
+    }
+
+    /// Ambit-style TRA on commodity DRAM: same substrate costs as the
+    /// PIM-Assembler profile — the platforms differ in *command mix*
+    /// (MAJ/NOT gate sequences vs single-cycle SA modes), not in
+    /// per-command cost.
+    pub fn ambit_tra() -> Self {
+        BackendProfile { name: "ambit-tra", ..BackendProfile::pim_assembler() }
+    }
+
+    /// PANDA-style SOT-MRAM: non-destructive sensing with the MRAM
+    /// timing/energy tables ([`TimingParams::sot_mram`],
+    /// [`EnergyParams::sot_mram_45nm`]).
+    pub fn panda_mram() -> Self {
+        BackendProfile {
+            name: "panda-mram",
+            activation: ActivationModel::NondestructiveSense,
+            timing: TimingParams::sot_mram(),
+            energy: EnergyParams::sot_mram_45nm(),
+        }
+    }
+}
+
+impl Default for BackendProfile {
+    fn default() -> Self {
+        BackendProfile::pim_assembler()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_assembler_profile_matches_the_historical_defaults() {
+        let p = BackendProfile::pim_assembler();
+        assert_eq!(p.timing, TimingParams::default());
+        assert_eq!(p.energy, EnergyParams::default());
+        assert_eq!(p.activation, ActivationModel::DestructiveCharge);
+        assert_eq!(BackendProfile::default(), p);
+    }
+
+    #[test]
+    fn ambit_shares_the_dram_substrate() {
+        let a = BackendProfile::ambit_tra();
+        let p = BackendProfile::pim_assembler();
+        assert_eq!(a.timing, p.timing);
+        assert_eq!(a.energy, p.energy);
+        assert_eq!(a.activation, ActivationModel::DestructiveCharge);
+        assert_ne!(a.name, p.name);
+    }
+
+    #[test]
+    fn mram_profile_is_faster_per_activation_and_refresh_free() {
+        let m = BackendProfile::panda_mram();
+        let p = BackendProfile::pim_assembler();
+        assert_eq!(m.activation, ActivationModel::NondestructiveSense);
+        assert!(m.timing.aap_ns() < p.timing.aap_ns());
+        assert!(m.energy.background_mw_per_bank < p.energy.background_mw_per_bank);
+    }
+}

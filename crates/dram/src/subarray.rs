@@ -13,6 +13,7 @@ use crate::bitrow::BitRow;
 use crate::decoder::{ModifiedRowDecoder, RowDecoder};
 use crate::error::{DramError, Result};
 use crate::geometry::DramGeometry;
+use crate::profile::ActivationModel;
 use crate::sense_amp::{SaMode, SenseAmpArray};
 
 /// One computational sub-array: rows of bits plus its reconfigurable SA.
@@ -39,19 +40,41 @@ pub struct Subarray {
     /// scratch row, which then fans out to the activated rows and `dst` by
     /// word copy. Models the row buffer; never observable through reads.
     scratch: BitRow,
+    /// Physical activation semantics: destructive charge sharing (DRAM)
+    /// writes the resolved value back into every activated source row;
+    /// non-destructive sensing (MRAM) leaves sources intact.
+    activation: ActivationModel,
 }
 
 impl Subarray {
-    /// Creates an all-zero sub-array for the given geometry.
+    /// Creates an all-zero sub-array for the given geometry with the
+    /// destructive charge-sharing (DRAM) activation model.
     pub fn new(geometry: DramGeometry) -> Self {
+        Subarray::with_activation(geometry, ActivationModel::DestructiveCharge)
+    }
+
+    /// Creates an all-zero sub-array with an explicit activation model.
+    /// Non-destructive sensing also rewires the modified row decoder so
+    /// data rows may appear in multi-row activation sets directly.
+    pub fn with_activation(geometry: DramGeometry, activation: ActivationModel) -> Self {
+        let mrd = match activation {
+            ActivationModel::DestructiveCharge => ModifiedRowDecoder::new(geometry),
+            ActivationModel::NondestructiveSense => ModifiedRowDecoder::with_data_rows(geometry),
+        };
         Subarray {
             geometry,
             rows: vec![BitRow::zeros(geometry.cols); geometry.rows],
             sa: SenseAmpArray::new(geometry.cols),
             rd: RowDecoder::new(geometry),
-            mrd: ModifiedRowDecoder::new(geometry),
+            mrd,
             scratch: BitRow::zeros(geometry.cols),
+            activation,
         }
+    }
+
+    /// The activation model this sub-array executes with.
+    pub fn activation(&self) -> ActivationModel {
+        self.activation
     }
 
     /// The geometry this sub-array was built with.
@@ -133,7 +156,7 @@ impl Subarray {
     pub fn op2_apply(&mut self, mode: SaMode, srcs: [RowAddr; 2], dst: RowAddr) -> Result<()> {
         self.mrd.activate_pair(srcs)?;
         self.rd.activate(dst)?;
-        let Subarray { rows, sa, scratch, .. } = self;
+        let Subarray { rows, sa, scratch, activation, .. } = self;
         let (a, b) = (&rows[srcs[0].0], &rows[srcs[1].0]);
         match mode {
             SaMode::Nor => sa.two_row_nor_into(a, b, scratch),
@@ -148,8 +171,10 @@ impl Subarray {
                 })
             }
         }
-        rows[srcs[0].0].copy_from(scratch);
-        rows[srcs[1].0].copy_from(scratch);
+        if *activation == ActivationModel::DestructiveCharge {
+            rows[srcs[0].0].copy_from(scratch);
+            rows[srcs[1].0].copy_from(scratch);
+        }
         rows[dst.0].copy_from(scratch);
         Ok(())
     }
@@ -175,11 +200,13 @@ impl Subarray {
     pub fn op3_carry_apply(&mut self, srcs: [RowAddr; 3], dst: RowAddr) -> Result<()> {
         self.mrd.activate_triple(srcs)?;
         self.rd.activate(dst)?;
-        let Subarray { rows, sa, scratch, .. } = self;
+        let Subarray { rows, sa, scratch, activation, .. } = self;
         let (a, b, c) = (&rows[srcs[0].0], &rows[srcs[1].0], &rows[srcs[2].0]);
         sa.triple_row_carry_into(a, b, c, scratch);
-        for s in srcs {
-            rows[s.0].copy_from(scratch);
+        if *activation == ActivationModel::DestructiveCharge {
+            for s in srcs {
+                rows[s.0].copy_from(scratch);
+            }
         }
         rows[dst.0].copy_from(scratch);
         Ok(())
@@ -266,6 +293,28 @@ mod tests {
         // the real sequence; here we verify sum_from_latch algebra directly.
         s.reset_latch();
         assert!(s.latch().all_zeros());
+    }
+
+    #[test]
+    fn nondestructive_sensing_leaves_sources_intact_and_admits_data_rows() {
+        let g = DramGeometry::tiny();
+        let mut s = Subarray::with_activation(g, ActivationModel::NondestructiveSense);
+        let a = BitRow::from_fn(g.cols, |i| i % 2 == 0);
+        let b = BitRow::from_fn(g.cols, |i| i % 3 == 0);
+        s.write(RowAddr(1), &a).unwrap();
+        s.write(RowAddr(2), &b).unwrap();
+        // Data rows activate directly; sensing preserves the operands.
+        let r = s.op2(SaMode::Xnor, [RowAddr(1), RowAddr(2)], RowAddr(5)).unwrap();
+        assert_eq!(r, a.xnor(&b));
+        assert_eq!(s.read(RowAddr(1)).unwrap(), a);
+        assert_eq!(s.read(RowAddr(2)).unwrap(), b);
+        // TRA latches the majority without disturbing the sources.
+        s.op3_carry([RowAddr(1), RowAddr(2), RowAddr(3)], RowAddr(6)).unwrap();
+        let zero = BitRow::zeros(g.cols);
+        assert_eq!(s.latch(), &BitRow::maj3(&a, &b, &zero));
+        assert_eq!(s.read(RowAddr(1)).unwrap(), a);
+        assert_eq!(s.read(RowAddr(2)).unwrap(), b);
+        assert!(s.read(RowAddr(3)).unwrap().all_zeros());
     }
 
     #[test]

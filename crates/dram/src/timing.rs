@@ -49,6 +49,26 @@ impl TimingParams {
         }
     }
 
+    /// SOT-MRAM sub-array timings for the PANDA-style backend.
+    ///
+    /// Magnetic tunnel junctions are sensed resistively: there is no
+    /// charge restore, so the "row open" interval is a word-line settle +
+    /// sense window (~9 ns) and the precharge equivalent is the bit-line
+    /// equalization (~4 ns), giving an activation period
+    /// ([`TimingParams::aap_ns`]) of 13 ns versus 47 ns on DDR4-2133.
+    /// Writes pay the SOT switching time via the longer `t_wr_ns`.
+    pub fn sot_mram() -> Self {
+        TimingParams {
+            t_ck_ns: 0.937,
+            t_rcd_ns: 5.0,
+            t_ras_ns: 9.0,
+            t_rp_ns: 4.0,
+            t_ccd_ns: 3.75,
+            t_wr_ns: 10.0,
+            t_cl_ns: 5.0,
+        }
+    }
+
     /// DDR4-1866 timings.
     pub fn ddr4_1866() -> Self {
         TimingParams {

@@ -17,6 +17,13 @@
 //! after operand RowClones; carry and sum in one cycle each). The baseline
 //! counts reproduce the paper's measured ratios: P-A is 2.3× / 1.9× / 3.7×
 //! faster than Ambit / D1 / D3 on bulk X(N)OR (§II-B).
+//!
+//! These analytic tables are pinned against the command streams the IR
+//! lowering actually executes
+//! (`analytic_tables_match_the_executed_command_streams`): the P-A column
+//! must equal the compiled-template counts exactly, and the idealized
+//! Ambit column (control rows held resident) must never exceed the
+//! general-purpose `ambit-tra` lowering's executed mix.
 
 use crate::ops::BulkOp;
 use crate::platform::Platform;
@@ -315,6 +322,57 @@ mod tests {
         // P-A: 200 copies + 100 single-cycle activations + 10 reads.
         let expected = 310.0 * InDramPlatform::pim_assembler().spec().aap_ns * 1e-9;
         assert!((pa - expected).abs() < 1e-15, "{pa} vs {expected}");
+    }
+
+    #[test]
+    fn analytic_tables_match_the_executed_command_streams() {
+        use pim_assembler::ir::BackendKind;
+        use pim_assembler::template::{CompiledTemplate, Kernel, TemplateKey};
+
+        let total = |t: &CompiledTemplate| {
+            let (aap, aap2, aap3) = t.command_counts();
+            (aap + aap2 + aap3) as f64
+        };
+
+        // PIM-Assembler: the analytic column IS the executed command mix.
+        let pa = *InDramPlatform::pim_assembler().costs();
+        let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, 256, 256));
+        let adder = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, 256, 256));
+        assert_eq!(total(&xnor), pa.xnor, "cold X(N)OR = the compiled probe");
+        assert_eq!(
+            total(&adder),
+            2.0 * pa.maj3 + pa.xnor,
+            "cold full-adder slice = two majority passes plus the sum cycle"
+        );
+        let (xnor_aap, ..) = xnor.command_counts();
+        assert_eq!(
+            pa.pipelined_xnor,
+            total(&xnor) - xnor_aap as f64,
+            "pipelined probe hides exactly the staging copies"
+        );
+        let (_, fa_aap2, fa_aap3) = adder.command_counts();
+        assert_eq!(
+            pa.add_per_bit,
+            (fa_aap2 + fa_aap3 + 1) as f64,
+            "steady-state slice keeps operands resident, re-staging one row"
+        );
+
+        // Ambit: the analytic costs assume resident control rows, so the
+        // general-purpose `ambit-tra` lowering can only spend more.
+        let ambit = *InDramPlatform::ambit().costs();
+        let xnor_a = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::Xnor, 256, 256).with_backend(BackendKind::AmbitTra),
+        );
+        let adder_a = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::FullAdder, 256, 256).with_backend(BackendKind::AmbitTra),
+        );
+        assert!(total(&xnor_a) >= ambit.xnor, "{} < {}", total(&xnor_a), ambit.xnor);
+        assert!(
+            total(&adder_a) >= ambit.add_per_bit,
+            "{} < {}",
+            total(&adder_a),
+            ambit.add_per_bit
+        );
     }
 
     #[test]

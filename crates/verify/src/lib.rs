@@ -17,6 +17,10 @@
 //!    configurable rate (optionally derived from the circuit-level
 //!    variation model), verifying the pipeline detects corruption or
 //!    degrades gracefully: no panics, quality loss reported via stats.
+//! 4. **Cross-backend differentials** ([`backends`]) — the stage kernels
+//!    retargeted to every lowering backend (Ambit TRA, PANDA MRAM) must
+//!    produce results identical to the software oracle while spending
+//!    backend-specific command mixes and energy totals.
 //!
 //! ## Example
 //!
@@ -27,12 +31,14 @@
 //! assert!(report.passed(), "{report}");
 //! ```
 
+pub mod backends;
 pub mod fault;
 pub mod genomes;
 pub mod invariants;
 pub mod oracle;
 pub mod report;
 
+pub use backends::{backend_suite, single_backend_suite, BackendSuiteOptions};
 pub use fault::{flip_rate_from_variation, run_campaign};
 pub use genomes::{generate, Scenario, TestCase};
 pub use invariants::check_pipeline;
