@@ -18,8 +18,9 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 21] = [
+const VALUE_KEYS: [&str; 22] = [
     "k",
+    "opt-level",
     "backend",
     "min-count",
     "coverage",

@@ -63,6 +63,8 @@ VERIFY OPTIONS:
   --backend NAME   run the cross-backend differential suite instead:
                    pim-assembler, ambit-tra, panda-mram, or `all` to
                    compare every backend's command mix in one run
+  --opt-level N    IR optimization level for the backend suite's stage
+                   kernels: 0 (default) or 2; answers must be identical
 
 BENCH OPTIONS:
   --iters N        micro-bench loop iterations (default 100000)
@@ -75,6 +77,9 @@ BENCH OPTIONS:
                    an existing file unless --force is passed)
   --force          allow --out to replace an existing file
   --baseline PATH  previous BENCH_*.json to compute speedups against
+  --opt-level N    IR optimization level the kernels compile at: 0
+                   (default, byte-identical streams) or 2 (bounded
+                   sequence search; shorter streams where provably equal)
 
 IR OPTIONS:
   --kernel NAME    canonical kernel to dump (xnor, full-adder)
@@ -83,6 +88,7 @@ IR OPTIONS:
   --cols N         row width in bits to lower for (default 256)
   --slots N        compute rows available to the allocator (default 8;
                    shrink to watch spill-to-copy engage)
+  --opt-level N    0 dumps the canonical lowering, 2 the optimizer's pick
 ";
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -94,6 +100,16 @@ fn parse_backend(name: &str) -> Result<pim_assembler::ir::BackendKind, Box<dyn E
         let known: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
         format!("unknown backend {name:?} (one of: {})", known.join(", ")).into()
     })
+}
+
+/// Resolves a `--opt-level` value (default `O0`).
+fn parse_opt_level(args: &ParsedArgs) -> Result<pim_assembler::ir::OptLevel, Box<dyn Error>> {
+    use pim_assembler::ir::OptLevel;
+    match args.get_str("opt-level") {
+        None => Ok(OptLevel::O0),
+        Some(v) => OptLevel::parse(v)
+            .ok_or_else(|| format!("unknown opt level {v:?} (one of: 0, 2)").into()),
+    }
 }
 
 /// `pim-asm assemble`.
@@ -302,6 +318,7 @@ fn verify_backends(args: &ParsedArgs) -> CliResult {
         k: args.get_num("k", defaults.k),
         min_count: args.get_num("min-count", defaults.min_count),
         seed: args.get_num("seed", defaults.seed),
+        opt: parse_opt_level(args)?,
     };
     let report = match name {
         "all" => backend_suite(&options),
@@ -327,7 +344,8 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         Some(path) => crate::bench::parse_measurements(&std::fs::read_to_string(path)?),
         None => Vec::new(),
     };
-    let report = crate::bench::run_all_for(iters, genome_len, backend);
+    let opt = parse_opt_level(args)?;
+    let report = crate::bench::run_all_for(iters, genome_len, backend, opt)?;
     for m in &report.measurements {
         let extra = baseline
             .iter()
@@ -353,7 +371,7 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
 
 /// `pim-asm ir`: dump a kernel's IR before and after lowering.
 pub fn ir(args: &ParsedArgs) -> CliResult {
-    use pim_assembler::ir::{compile_backend, kernels, BackendKind, LowerOptions};
+    use pim_assembler::ir::{compile_backend_opt, kernels, BackendKind, LowerOptions};
     let known = kernels::KERNEL_NAMES.join(", ");
     let name = args.get_str("kernel").ok_or(format!("ir needs --kernel NAME (one of: {known})"))?;
     let program =
@@ -362,6 +380,7 @@ pub fn ir(args: &ParsedArgs) -> CliResult {
         Some(b) => parse_backend(b)?,
         None => BackendKind::PimAssembler,
     };
+    let opt = parse_opt_level(args)?;
     let cols: usize = args.get_num("cols", 256);
     let slots: usize = args.get_num("slots", pim_dram::geometry::COMPUTE_ROWS);
     if cols == 0 || slots == 0 {
@@ -371,11 +390,23 @@ pub fn ir(args: &ParsedArgs) -> CliResult {
     println!("── pre-lowering IR ──────────────────────────────────────────");
     print!("{}", program.to_text());
     println!();
-    println!("── lowering for backend={backend}, cols={cols}, compute slots={slots} ──");
+    println!("── lowering for backend={backend}, cols={cols}, compute slots={slots}, {opt} ──");
     let options = LowerOptions { row_bits: cols, size: cols, compute_slots: slots };
-    let kernel = compile_backend(&program, &options, backend)
+    let kernel = compile_backend_opt(&program, &options, backend, opt)
         .map_err(|e| format!("lowering failed: {e}"))?;
     print!("{}", kernel.to_text());
+    if let Some(stats) = &kernel.report().opt {
+        println!(
+            "optimizer: {} candidates, {} verified, {}",
+            stats.candidates_considered,
+            stats.candidates_verified,
+            if stats.improved {
+                format!("improved {} ps → {} ps", stats.baseline_cost_ps, stats.best_cost_ps)
+            } else {
+                "kept the canonical stream".to_string()
+            }
+        );
+    }
     Ok(())
 }
 
@@ -597,6 +628,52 @@ mod tests {
         let args = ParsedArgs::parse(["bench", "--backend", "gpu"].map(String::from));
         let err = bench(&args).unwrap_err().to_string();
         assert!(err.contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn ir_dumps_optimized_streams_at_o2() {
+        for backend in ["pim-assembler", "ambit-tra", "panda-mram"] {
+            let args = ParsedArgs::parse(
+                ["ir", "--kernel", "full-adder", "--backend", backend, "--opt-level", "2"]
+                    .map(String::from),
+            );
+            ir(&args).unwrap();
+        }
+    }
+
+    #[test]
+    fn opt_level_is_validated_across_subcommands() {
+        let args =
+            ParsedArgs::parse(["ir", "--kernel", "xnor", "--opt-level", "3"].map(String::from));
+        let err = ir(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown opt level"), "{err}");
+        let args = ParsedArgs::parse(["bench", "--opt-level", "fast"].map(String::from));
+        let err = bench(&args).unwrap_err().to_string();
+        assert!(err.contains("unknown opt level"), "{err}");
+    }
+
+    #[test]
+    fn bench_records_the_opt_level_in_the_artifact() {
+        let out = tmp("bench_opt.json");
+        let _ = std::fs::remove_file(&out);
+        let mut argv: Vec<String> = [
+            "bench",
+            "--iters",
+            "5",
+            "--genome-len",
+            "400",
+            "--backend",
+            "mram",
+            "--opt-level",
+            "2",
+            "--out",
+        ]
+        .map(String::from)
+        .to_vec();
+        argv.push(out.to_str().unwrap().to_string());
+        bench(&ParsedArgs::parse(argv)).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"opt_level\": \"O2\""), "{json}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use pim_obsv::{BudgetLine, StageBudget};
 
+use crate::ir::OptLevel;
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// Builds the stage budget for a pipeline run on sub-arrays of `cols`
@@ -35,8 +36,17 @@ use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 ///   copy (AAP) volume is bounded by a fixed multiple of the sum cycles
 ///   (AAP2); the synthetic fallback charges the identical ratio.
 pub fn pipeline_budget(cols: usize) -> StageBudget {
-    let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols));
-    let adder = CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols));
+    pipeline_budget_at(cols, OptLevel::O0)
+}
+
+/// [`pipeline_budget`] for a run whose kernels were compiled at `opt`.
+/// The expectations come from the *post-optimization* compile reports, so
+/// an `O2` run is held to its shorter streams — the looser `O0` ratios
+/// would silently tolerate an optimizer that stopped engaging.
+pub fn pipeline_budget_at(cols: usize, opt: OptLevel) -> StageBudget {
+    let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols).with_opt(opt));
+    let adder =
+        CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols).with_opt(opt));
     let (xnor_aap, xnor_aap2, _) = xnor.command_counts();
     let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
 
@@ -66,13 +76,16 @@ pub fn pipeline_budget(cols: usize) -> StageBudget {
         .with_line(BudgetLine::new(
             "stage-2b TRA cycles per adder sum cycle",
             "traverse.aap3",
-            vec![("traverse.aap2".into(), fa_aap3 / fa_aap2)],
+            // Ceiling keeps the ratio sound when the optimized mix has
+            // more sum cycles than TRAs (the O2 full adder: 1 TRA per
+            // 2 AAP2), at the cost of one slice of slack.
+            vec![("traverse.aap2".into(), fa_aap3.div_ceil(fa_aap2))],
             0,
         ))
         .with_line(BudgetLine::new(
             "stage-2b copies per adder sum cycle",
             "traverse.aap",
-            vec![("traverse.aap2".into(), fa_aap / fa_aap2)],
+            vec![("traverse.aap2".into(), fa_aap.div_ceil(fa_aap2))],
             0,
         ))
 }
@@ -119,7 +132,27 @@ mod tests {
         assert_eq!(probe_line.terms[0].1, xnor.report().command_counts.1);
         let tra_line = &budget.lines[3];
         let (_, fa_aap2, fa_aap3) = adder.report().command_counts;
-        assert_eq!(tra_line.terms[0].1, fa_aap3 / fa_aap2);
+        assert_eq!(tra_line.terms[0].1, fa_aap3.div_ceil(fa_aap2));
+    }
+
+    #[test]
+    fn o2_run_stays_within_its_own_tighter_budget() {
+        // An O2 pipeline must satisfy the budget derived from the O2
+        // compile reports — the post-optimization expectations, not the
+        // canonical O0 ratios.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let genome = DnaSequence::random(&mut rng, 800);
+        let reads = ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng);
+        let config = PimAssemblerConfig::small_test(15)
+            .with_observability(true)
+            .with_opt_level(OptLevel::O2);
+        let mut asm = PimAssembler::new(config);
+        let run = asm.assemble(&reads).unwrap();
+        let snapshot = run.report.metrics.expect("observability enabled");
+        let budget = pipeline_budget_at(config.geometry.cols, OptLevel::O2);
+        let violations = budget.check(&snapshot);
+        assert!(violations.is_empty(), "budget violations: {violations:?}");
+        assert!(snapshot.counter("traverse.aap3") > 0);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use pim_dram::energy::EnergyParams;
 use pim_dram::geometry::DramGeometry;
 use pim_dram::timing::TimingParams;
 
+use crate::ir::OptLevel;
+
 /// Complete configuration of a PIM-Assembler instance.
 ///
 /// # Examples
@@ -43,6 +45,11 @@ pub struct PimAssemblerConfig {
     /// metrics, trace spans, and the stage-budget watchdog. Off by default
     /// — the hot path records nothing beyond the always-on ledger.
     pub observe: bool,
+    /// IR optimization level for stage kernels (see [`OptLevel`]). `O0`
+    /// (the default) keeps every lowered stream byte-identical to the
+    /// paper's hand-written sequences; `O2` runs the bounded sequence
+    /// search and may pick shorter streams per backend.
+    pub opt_level: OptLevel,
 }
 
 impl PimAssemblerConfig {
@@ -61,6 +68,7 @@ impl PimAssemblerConfig {
             simplify_tips: None,
             workers: 1,
             observe: false,
+            opt_level: OptLevel::O0,
         }
     }
 
@@ -79,6 +87,7 @@ impl PimAssemblerConfig {
             simplify_tips: None,
             workers: 1,
             observe: false,
+            opt_level: OptLevel::O0,
         }
     }
 
@@ -133,6 +142,14 @@ impl PimAssemblerConfig {
     /// trace spans, stage budgets). Does not change assembly results.
     pub fn with_observability(mut self, observe: bool) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Sets the IR optimization level for stage kernels. Assembly results
+    /// are identical at every level (the optimizer's equivalence proof);
+    /// only command counts and the ledger change.
+    pub fn with_opt_level(mut self, opt_level: OptLevel) -> Self {
+        self.opt_level = opt_level;
         self
     }
 

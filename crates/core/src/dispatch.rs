@@ -99,9 +99,15 @@ impl WorkerPool {
     }
 
     /// Runs the given jobs to completion on the pool, blocking the caller
-    /// until the last one finishes. Panics from jobs are captured and
-    /// re-raised here (first in completion order), after all jobs ended.
-    fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    /// until the last one finishes. Panics from jobs are captured and the
+    /// first one (in completion order) is *returned*, not re-raised — the
+    /// caller decides how to surface it after recovering its state. This
+    /// is what lets [`ParallelDispatcher::run_partitions`] reattach every
+    /// checked-out context before propagating a worker panic.
+    fn scope<'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
         let batch = Arc::new(Batch {
             remaining: Mutex::new(jobs.len()),
             done: Condvar::new(),
@@ -138,9 +144,7 @@ impl WorkerPool {
         drop(remaining);
         self.metrics.record_pool_batch(wait_start.elapsed().as_nanos() as u64);
         let payload = batch.panic.lock().unwrap().take();
-        if let Some(payload) = payload {
-            resume_unwind(payload);
-        }
+        payload
     }
 }
 
@@ -295,13 +299,25 @@ impl ParallelDispatcher {
             return Err(e.into());
         }
 
-        let finished: Vec<(SubarrayContext, Result<R>)> = if self.workers <= 1 || work.len() <= 1 {
-            work.into_iter()
-                .map(|(mut ctx, payload)| {
-                    let r = f(&mut ctx, payload);
-                    (ctx, r)
+        // Each finished partition carries its context back plus `Some`
+        // result — or `None` when the partition body panicked (the first
+        // captured payload travels alongside). Both paths run *every*
+        // partition even after a panic, mirroring independent sub-arrays
+        // having no rollback.
+        type Finished<R> = Vec<(SubarrayContext, Option<Result<R>>)>;
+        let (finished, panic_payload): (Finished<R>, _) = if self.workers <= 1 || work.len() <= 1 {
+            let mut payload = None;
+            let finished = work
+                .into_iter()
+                .map(|(mut ctx, p)| match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, p))) {
+                    Ok(r) => (ctx, Some(r)),
+                    Err(e) => {
+                        payload.get_or_insert(e);
+                        (ctx, None)
+                    }
                 })
-                .collect()
+                .collect();
+            (finished, payload)
         } else {
             self.run_on_threads(work, &f)
         };
@@ -310,17 +326,41 @@ impl ParallelDispatcher {
             spans.record("dispatch.batch", "dispatch", 0, start, finished.len() as u64);
         }
 
+        // Reattach *every* context — panicked partitions included — before
+        // surfacing anything, so the controller is fully usable afterward.
         let mut results = Vec::with_capacity(finished.len());
         let mut first_err = None;
-        for (ctx, result) in finished {
+        let mut panicked: Option<(usize, SubarrayId)> = None;
+        for (index, (ctx, result)) in finished.into_iter().enumerate() {
+            let id = ctx.id();
             ctrl.reattach_context(ctx).expect("checked out above");
             match result {
-                Ok(r) => results.push(r),
-                Err(e) => {
+                Some(Ok(r)) => results.push(r),
+                Some(Err(e)) => {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
                 }
+                None => {
+                    if panicked.is_none() {
+                        panicked = Some((index, id));
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            // Re-raise the *original* payload, enriched with the partition
+            // that died when the payload is a plain message (the common
+            // panic!("...") shape); opaque payloads propagate unchanged.
+            let location = match panicked {
+                Some((index, id)) => format!("partition {index} ({id})"),
+                None => "unknown partition".to_string(),
+            };
+            let message = (payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            match message {
+                Some(msg) => panic!("worker panicked in {location}: {msg}"),
+                None => resume_unwind(payload),
             }
         }
         match first_err {
@@ -347,36 +387,53 @@ impl ParallelDispatcher {
     /// Ships one job per partition to the persistent pool; each job fills
     /// its own result slot, so collecting the slots restores partition
     /// order no matter which worker ran what.
+    ///
+    /// Each partition's context lives *inside* its slot mutex for the
+    /// whole run: a panicking job poisons only its own slot, and the
+    /// context is recovered through [`std::sync::PoisonError::into_inner`]
+    /// with whatever state the partition reached. The first panic payload
+    /// is returned alongside the results instead of being re-raised here,
+    /// so the caller can reattach every context first.
+    #[allow(clippy::type_complexity)]
     fn run_on_threads<P, R, F>(
         &self,
         work: Vec<(SubarrayContext, P)>,
         f: &F,
-    ) -> Vec<(SubarrayContext, Result<R>)>
+    ) -> (Vec<(SubarrayContext, Option<Result<R>>)>, Option<Box<dyn std::any::Any + Send>>)
     where
         P: Send,
         R: Send,
         F: Fn(&mut SubarrayContext, P) -> Result<R> + Sync,
     {
-        type Slot<R> = Mutex<Option<(SubarrayContext, Result<R>)>>;
+        type Slot<R> = Mutex<(SubarrayContext, Option<Result<R>>)>;
         let pool = self.pool.as_ref().expect("workers > 1 implies a pool");
-        let slots: Vec<Slot<R>> = work.iter().map(|_| Mutex::new(None)).collect();
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = work
+        let mut payloads = Vec::with_capacity(work.len());
+        let slots: Vec<Slot<R>> = work
+            .into_iter()
+            .map(|(ctx, payload)| {
+                payloads.push(payload);
+                Mutex::new((ctx, None))
+            })
+            .collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = payloads
             .into_iter()
             .zip(&slots)
-            .map(|((mut ctx, payload), slot)| {
+            .map(|(payload, slot)| {
                 Box::new(move || {
-                    let r = f(&mut ctx, payload);
-                    *slot.lock().unwrap() = Some((ctx, r));
+                    // Each slot is locked exactly once, by its own job, so
+                    // the lock cannot be contended or already poisoned.
+                    let mut guard = slot.lock().expect("slot locked only by its own job");
+                    let (ctx, result) = &mut *guard;
+                    *result = Some(f(ctx, payload));
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        pool.scope(jobs);
-        slots
+        let panic_payload = pool.scope(jobs);
+        let finished = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("no panic reached here").expect("scope ran every job")
-            })
-            .collect()
+            .map(|slot| slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        (finished, panic_payload)
     }
 }
 
@@ -530,6 +587,38 @@ mod tests {
             // Successful partitions (0 and 2) landed; failed ones did not.
             assert_eq!(ctrl.stats().writes, 2, "workers={workers}");
             ctrl.write_row(ids[1], 0, &BitRow::zeros(cols)).unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_panic_recovers_contexts_and_names_the_partition() {
+        for workers in [1, 4] {
+            let (mut ctrl, ids) = subarrays(4);
+            let cols = ctrl.geometry().cols;
+            let dispatcher = ParallelDispatcher::with_workers(workers);
+            let partitions: Vec<(SubarrayId, usize)> = ids.iter().copied().zip(0..4).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                dispatcher.run_partitions(&mut ctrl, partitions, |ctx, n| {
+                    ctx.write_row(0, &BitRow::ones(cols))?;
+                    if n == 2 {
+                        panic!("deliberate failure in job {n}");
+                    }
+                    Ok(())
+                })
+            }));
+            // The original message survives, enriched with the partition.
+            let payload = caught.expect_err("worker panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("formatted panic message");
+            assert!(msg.contains("deliberate failure in job 2"), "workers={workers}: {msg}");
+            assert!(msg.contains("partition 2"), "workers={workers}: {msg}");
+            // Every context was reattached first — including the panicked
+            // partition's, with the state it reached — so the controller
+            // stays fully usable and no sub-array is stranded detached.
+            assert_eq!(ctrl.stats().writes, 4, "workers={workers}");
+            for &id in &ids {
+                ctrl.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+            }
+            assert_eq!(ctrl.stats().writes, 8, "workers={workers}");
         }
     }
 }

@@ -26,7 +26,7 @@ use pim_obsv::{HistKey, Metric};
 use crate::dispatch::ParallelDispatcher;
 use crate::dpu::Dpu;
 use crate::error::{PimError, Result};
-use crate::ir::BackendKind;
+use crate::ir::{BackendKind, OptLevel};
 use crate::layout::{SubarrayLayout, COUNTER_BITS};
 use crate::mapping::KmerMapper;
 use crate::pim_xnor::PimComparator;
@@ -93,17 +93,18 @@ impl PimHashTable {
     /// Creates an empty table over the mapper's sub-array partition,
     /// compiling the probe kernel once for the layout's row width.
     pub fn new(mapper: KmerMapper) -> Self {
-        PimHashTable::with_backend(mapper, BackendKind::PimAssembler)
+        PimHashTable::with_backend(mapper, BackendKind::PimAssembler, OptLevel::O0)
     }
 
-    /// [`PimHashTable::new`] with the probe kernel lowered for `backend`.
-    /// Zero-constant roles (the Ambit rewrite) bind the last temp row,
-    /// which the stage never writes, so it holds the power-on zero state.
-    pub fn with_backend(mapper: KmerMapper, backend: BackendKind) -> Self {
+    /// [`PimHashTable::new`] with the probe kernel lowered for `backend`
+    /// at optimization level `opt`. Zero-constant roles (the Ambit
+    /// rewrite) bind the last temp row, which the stage never writes, so
+    /// it holds the power-on zero state.
+    pub fn with_backend(mapper: KmerMapper, backend: BackendKind, opt: OptLevel) -> Self {
         let slots = vec![vec![None; mapper.layout().kmer_rows()]; mapper.subarrays().len()];
         let layout = *mapper.layout();
         let zero_row = layout.temp_row(layout.temp_rows() - 1);
-        let comparator = PimComparator::with_backend(layout.cols(), backend, zero_row);
+        let comparator = PimComparator::with_backend(layout.cols(), backend, zero_row, opt);
         PimHashTable { mapper, comparator, slots, stats: HashStats::default() }
     }
 

@@ -532,8 +532,17 @@ mod tests {
             BackendKind::AmbitTra,
         )
         .unwrap();
-        let (aap, aap2, aap3) = kernel.command_counts();
-        assert!(aap > 8 && aap2 >= 3 && aap3 >= 6, "unexpected mix {:?}", (aap, aap2, aap3));
+        // 30 copies, 3 NORs, 8 TRAs. The peephole's copy-chain forwarding
+        // collapses the latch-snapshot re-staging (`copy sum->lt; …;
+        // copy lt->m` reads `sum` directly, and the snapshot copy dies) —
+        // without pass 4 the same lowering costs 31 copies.
+        assert_eq!(kernel.command_counts(), (30, 3, 8));
+        assert!(kernel.report().peephole.copies_forwarded >= 2, "{:?}", kernel.report().peephole);
+        assert!(
+            kernel.report().peephole.dead_copies_removed >= 2,
+            "{:?}",
+            kernel.report().peephole
+        );
         assert_eq!(kernel.report().alloc.spill_stores, 0);
     }
 

@@ -1,10 +1,13 @@
 //! Peephole lowering: copy elimination and RowClone coalescing.
 //!
 //! Runs over the allocated (role-indexed) op sequence, after
-//! [`super::alloc`] and before emission. Three rewrites, all of which are
+//! [`super::alloc`] and before emission — which means it also runs after
+//! the backend IR→IR rewrite, so substrate-specific expansions (the
+//! Ambit-TRA per-gate operand re-staging in particular) get the same
+//! cleanup the hand-written kernels do. Four rewrites, all of which are
 //! no-ops on the canonical kernels (pinned by tests, which is what keeps
 //! the lowered streams byte-identical to the pre-IR paths) but fire on
-//! machine-generated or spilled programs:
+//! machine-generated, backend-rewritten, or spilled programs:
 //!
 //! 1. **self-copy elimination** — `copy r -> r` does nothing;
 //! 2. **RowClone coalescing** — two adjacent identical copies are one
@@ -13,6 +16,13 @@
 //!    overwritten (or never touched again) before any read is dropped.
 //!    Only scratch roles are eligible: inputs/outputs/spill rows are
 //!    caller-visible, so writes to them always survive.
+//! 4. **copy-chain forwarding** — `copy s -> t; …; copy t -> u` becomes
+//!    `copy t -> u ⇒ copy s -> u` when neither `s` nor `t` is disturbed
+//!    in between. "Disturbed" is judged under the worst-case destructive
+//!    charge-sharing model: appearing as *any* multi-row activation
+//!    source counts as a write, so the rewrite is sound on every
+//!    substrate. The original `copy s -> t` then often becomes dead and
+//!    is swept by pass 3 on the next fixpoint iteration.
 
 use super::LoweredOp;
 
@@ -25,6 +35,8 @@ pub struct PeepholeStats {
     pub clones_coalesced: usize,
     /// Dead copies into scratch roles removed.
     pub dead_copies_removed: usize,
+    /// Copy chains forwarded (`copy s->t; copy t->u` ⇒ `copy s->u`).
+    pub copies_forwarded: usize,
 }
 
 fn reads(op: &LoweredOp, role: usize) -> bool {
@@ -41,6 +53,20 @@ fn writes(op: &LoweredOp, role: usize) -> bool {
         LoweredOp::TwoSrc { dst, .. } => dst == role,
         LoweredOp::ThreeSrc { dst, .. } => dst == role,
     }
+}
+
+/// Whether `op` may change `role`'s contents on *any* substrate: an
+/// explicit destination write, or membership in a multi-row activation
+/// set (charge sharing overwrites every activated source row on the
+/// destructive DRAM model; treating it as a write is conservative for
+/// nondestructive sensing).
+fn disturbs(op: &LoweredOp, role: usize) -> bool {
+    writes(op, role)
+        || match *op {
+            LoweredOp::Copy { .. } => false,
+            LoweredOp::TwoSrc { srcs, .. } => srcs.contains(&role),
+            LoweredOp::ThreeSrc { srcs, .. } => srcs.contains(&role),
+        }
 }
 
 /// A copy into a scratch role is dead when no later op reads the role
@@ -104,7 +130,24 @@ pub fn peephole(
             }
         }
 
-        if ops.len() == before {
+        // Pass 4: copy-chain forwarding. `copy t -> u` reads the value the
+        // most recent `copy s -> t` wrote; when neither row was disturbed
+        // in between, read `s` directly. The forwarded-over copy is left
+        // in place — pass 3 removes it next iteration if it became dead.
+        let mut forwarded = 0;
+        for i in 0..ops.len() {
+            let LoweredOp::Copy { src: t, dst: u } = ops[i] else { continue };
+            let Some(j) = (0..i).rev().find(|&j| disturbs(&ops[j], t)) else { continue };
+            let LoweredOp::Copy { src: s, dst: _ } = ops[j] else { continue };
+            if s == t || ops[j + 1..i].iter().any(|op| disturbs(op, s) || disturbs(op, t)) {
+                continue;
+            }
+            ops[i] = LoweredOp::Copy { src: s, dst: u };
+            forwarded += 1;
+        }
+        stats.copies_forwarded += forwarded;
+
+        if ops.len() == before && forwarded == 0 {
             return (ops, stats);
         }
     }
@@ -144,17 +187,17 @@ mod tests {
     #[test]
     fn dead_scratch_copy_is_removed() {
         // Role 3 is written, never read, rewritten: the first copy is dead.
+        // The surviving chain `copy 1→3; copy 3→2` then forwards to a
+        // direct `copy 1→2`, which kills the second scratch copy too.
         let ops = vec![
             LoweredOp::Copy { src: 0, dst: 3 },
             LoweredOp::Copy { src: 1, dst: 3 },
             LoweredOp::Copy { src: 3, dst: 2 },
         ];
         let (out, stats) = peephole(ops, |r| r == 3);
-        assert_eq!(stats.dead_copies_removed, 1);
-        assert_eq!(
-            out,
-            vec![LoweredOp::Copy { src: 1, dst: 3 }, LoweredOp::Copy { src: 3, dst: 2 }]
-        );
+        assert_eq!(stats.dead_copies_removed, 2);
+        assert_eq!(stats.copies_forwarded, 1);
+        assert_eq!(out, vec![LoweredOp::Copy { src: 1, dst: 2 }]);
     }
 
     #[test]
@@ -173,6 +216,78 @@ mod tests {
         let (out, stats) = peephole(ops.clone(), |_| false);
         assert_eq!(out, ops);
         assert_eq!(stats, PeepholeStats::default());
+    }
+
+    #[test]
+    fn copy_chains_forward_and_the_intermediate_dies() {
+        // The Ambit rewrite's shape: stage a into scratch 3, then re-stage
+        // the staged value into scratch 4. Forwarding reads role 0 directly
+        // and the first copy becomes dead.
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 3, dst: 4 },
+            LoweredOp::TwoSrc { srcs: [4, 5], dst: 2, mode: SaMode::Nor },
+        ];
+        let (out, stats) = peephole(ops, |r| r >= 3);
+        assert_eq!(stats.copies_forwarded, 1);
+        assert_eq!(stats.dead_copies_removed, 1);
+        assert_eq!(
+            out,
+            vec![
+                LoweredOp::Copy { src: 0, dst: 4 },
+                LoweredOp::TwoSrc { srcs: [4, 5], dst: 2, mode: SaMode::Nor },
+            ]
+        );
+    }
+
+    #[test]
+    fn forwarding_walks_whole_chains_in_one_run() {
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 3, dst: 4 },
+            LoweredOp::Copy { src: 4, dst: 1 },
+        ];
+        let (out, stats) = peephole(ops, |r| r >= 3);
+        assert_eq!(stats.copies_forwarded, 2);
+        assert_eq!(out, vec![LoweredOp::Copy { src: 0, dst: 1 }]);
+    }
+
+    #[test]
+    fn disturbed_sources_block_forwarding() {
+        // Role 0 is consumed by a charge-sharing activation between the
+        // defining copy and the re-copy: its contents are gone on the
+        // destructive model, so `copy 3 -> 4` must keep reading role 3.
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::TwoSrc { srcs: [0, 5], dst: 2, mode: SaMode::Xor },
+            LoweredOp::Copy { src: 3, dst: 4 },
+            LoweredOp::TwoSrc { srcs: [3, 4], dst: 1, mode: SaMode::Nor },
+        ];
+        let (out, stats) = peephole(ops.clone(), |r| r >= 3);
+        assert_eq!(stats.copies_forwarded, 0);
+        assert_eq!(out, ops);
+    }
+
+    #[test]
+    fn rewritten_intermediates_block_forwarding() {
+        // Role 3 is overwritten between definition and use — the chain is
+        // broken and nothing may forward.
+        let ops = vec![
+            LoweredOp::Copy { src: 0, dst: 3 },
+            LoweredOp::Copy { src: 1, dst: 3 },
+            LoweredOp::Copy { src: 3, dst: 4 },
+            LoweredOp::TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Nor },
+        ];
+        let (out, stats) = peephole(ops, |r| r >= 3);
+        assert_eq!(stats.copies_forwarded, 1, "forwards from the *second* def only");
+        assert_eq!(
+            out,
+            vec![
+                LoweredOp::Copy { src: 1, dst: 3 },
+                LoweredOp::Copy { src: 1, dst: 4 },
+                LoweredOp::TwoSrc { srcs: [3, 4], dst: 2, mode: SaMode::Nor },
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Cross-sub-array software pipelining of AAP command streams.
+//!
+//! A serial [`InstructionStream`] issues one AAP at a time and waits out
+//! the full `tRAS + tRP` restore before the next command — even when
+//! consecutive commands address *different* sub-arrays and could overlap
+//! (GenDRAM's wavefront observation). This module adds the missing
+//! scheduling layer between the IR and [`ParallelDispatcher`]:
+//!
+//! 1. [`DepGraph`] — dependence analysis over physical rows
+//!    (`(SubarrayId, RowAddr)` granularity: RAW/WAR/WAW, with activation
+//!    sources conservatively treated as destructively overwritten) plus
+//!    the per-sub-array sense-amp carry latch as an extra resource
+//!    (`ThreeSrc` defines it, `CarrySum` reads it).
+//! 2. [`IssueModel`] — the shared-command-bus timing model from
+//!    [`TimingParams`]: the controller issues at most one AAP per bus
+//!    slot, and the addressed sub-array stays busy for `aap_ns` after
+//!    issue.
+//! 3. [`schedule`] — a list scheduler that interleaves the per-sub-array
+//!    streams (longest-remaining-work-first among ready sub-arrays)
+//!    without ever reordering *within* a sub-array. Because every AAP
+//!    touches exactly one sub-array and both rows and the carry latch are
+//!    sub-array-local, per-stream program order subsumes every [`DepGraph`]
+//!    edge — so any such interleave is execution-equivalent to the serial
+//!    stream by construction, and the suite additionally checks the
+//!    emitted order against the graph.
+//!
+//! The output [`StreamSchedule`] carries both the interleaved stream (for
+//! single-threaded issue-order replay) and the per-sub-array streams that
+//! [`ParallelDispatcher::execute_scheduled`] feeds to the existing worker
+//! pool, plus the modeled makespan/serial times and a bus-occupancy
+//! histogram. Recording that histogram into the controller's metrics is
+//! an explicit opt-in ([`StreamSchedule::record_occupancy`]) so scheduled
+//! execution stays snapshot-identical to serial execution.
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::controller::Controller;
+use pim_dram::sense_amp::SaMode;
+use pim_dram::timing::TimingParams;
+use pim_obsv::HistKey;
+
+use crate::dispatch::ParallelDispatcher;
+use crate::error::Result;
+use crate::exec::StreamExecutor;
+use crate::isa::{AapInstruction, InstructionStream};
+
+/// Issue-slot timing of the shared command bus, in integer picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueModel {
+    /// Minimum spacing between two command issues on the shared bus
+    /// (stands in for the ACT-to-ACT window; derived from `tCCD`).
+    pub issue_slot_ps: u64,
+    /// Time the addressed sub-array stays busy after an AAP issue
+    /// (`tRAS + tRP`).
+    pub aap_ps: u64,
+}
+
+impl IssueModel {
+    /// Builds the model from a backend's timing table.
+    pub fn from_timing(timing: &TimingParams) -> Self {
+        IssueModel {
+            issue_slot_ps: ((timing.t_ccd_ns * 1000.0).round() as u64).max(1),
+            aap_ps: ((timing.aap_ns() * 1000.0).round() as u64).max(1),
+        }
+    }
+
+    /// Upper bound on sub-arrays the bus can keep busy simultaneously.
+    pub fn max_overlap(&self) -> u64 {
+        self.aap_ps.div_ceil(self.issue_slot_ps)
+    }
+}
+
+impl Default for IssueModel {
+    fn default() -> Self {
+        IssueModel::from_timing(&TimingParams::default())
+    }
+}
+
+/// A memory location an AAP reads or writes, for dependence purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Loc {
+    Row(SubarrayId, RowAddr),
+    /// The sub-array's sense-amp carry latch.
+    Latch(SubarrayId),
+}
+
+fn accesses(instr: &AapInstruction) -> (Vec<Loc>, Vec<Loc>) {
+    let sid = instr.subarray();
+    match *instr {
+        AapInstruction::Copy { src, dst, .. } => {
+            (vec![Loc::Row(sid, src)], vec![Loc::Row(sid, dst)])
+        }
+        AapInstruction::TwoSrc { srcs, dst, mode, .. } => {
+            let mut reads: Vec<Loc> = srcs.iter().map(|&r| Loc::Row(sid, r)).collect();
+            if mode == SaMode::CarrySum {
+                reads.push(Loc::Latch(sid));
+            }
+            // Charge sharing destroys the activated sources on the
+            // worst-case (DRAM) substrate: model them as written.
+            let mut writes = vec![Loc::Row(sid, dst)];
+            writes.extend(srcs.iter().map(|&r| Loc::Row(sid, r)));
+            (reads, writes)
+        }
+        AapInstruction::ThreeSrc { srcs, dst, .. } => {
+            let reads: Vec<Loc> = srcs.iter().map(|&r| Loc::Row(sid, r)).collect();
+            let mut writes = vec![Loc::Row(sid, dst), Loc::Latch(sid)];
+            writes.extend(srcs.iter().map(|&r| Loc::Row(sid, r)));
+            (reads, writes)
+        }
+    }
+}
+
+/// The dependence graph of one instruction stream: for every instruction,
+/// the set of earlier instructions it must follow (RAW, WAR and WAW over
+/// physical rows and the per-sub-array carry latch).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// `preds[i]` = indices of instructions that must issue before `i`.
+    preds: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Builds the graph for `stream` under the worst-case (destructive)
+    /// activation model: edges are a superset of every backend's true
+    /// dependences, so an order valid here is valid everywhere.
+    pub fn build(stream: &InstructionStream) -> DepGraph {
+        use std::collections::HashMap;
+        let mut last_write: HashMap<Loc, usize> = HashMap::new();
+        let mut readers: HashMap<Loc, Vec<usize>> = HashMap::new();
+        let mut preds = Vec::with_capacity(stream.len());
+        for (i, instr) in stream.instructions().iter().enumerate() {
+            let (reads, writes) = accesses(instr);
+            let mut p: Vec<usize> = Vec::new();
+            for loc in &reads {
+                if let Some(&w) = last_write.get(loc) {
+                    p.push(w); // RAW
+                }
+            }
+            for loc in &writes {
+                if let Some(&w) = last_write.get(loc) {
+                    p.push(w); // WAW
+                }
+                if let Some(rs) = readers.get(loc) {
+                    p.extend(rs.iter().copied().filter(|&r| r != i)); // WAR
+                }
+            }
+            p.sort_unstable();
+            p.dedup();
+            preds.push(p);
+            for loc in writes {
+                last_write.insert(loc, i);
+                readers.remove(&loc);
+            }
+            for loc in reads {
+                readers.entry(loc).or_default().push(i);
+            }
+        }
+        DepGraph { preds }
+    }
+
+    /// Predecessors of instruction `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Total dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Critical-path length in instructions (longest chain).
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.preds.len()];
+        for i in 0..self.preds.len() {
+            depth[i] = self.preds[i].iter().map(|&p| depth[p] + 1).max().unwrap_or(1).max(1);
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether `order` (a permutation of instruction indices) respects
+    /// every dependence edge.
+    pub fn is_valid_order(&self, order: &[usize]) -> bool {
+        if order.len() != self.preds.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.preds.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            if i >= position.len() || position[i] != usize::MAX {
+                return false;
+            }
+            position[i] = pos;
+        }
+        (0..self.preds.len()).all(|i| self.preds[i].iter().all(|&p| position[p] < position[i]))
+    }
+}
+
+/// A software-pipelined schedule of one instruction stream.
+#[derive(Debug, Clone)]
+pub struct StreamSchedule {
+    interleaved: InstructionStream,
+    /// Original-stream index of each interleaved instruction.
+    issue_order: Vec<usize>,
+    per_subarray: Vec<(SubarrayId, InstructionStream)>,
+    /// Per issued instruction: sub-arrays busy at its issue slot
+    /// (including the one being issued to).
+    occupancy: Vec<u64>,
+    /// Modeled pipelined finish time, integer picoseconds.
+    pub makespan_ps: u64,
+    /// Modeled serial finish time (one AAP at a time), integer ps.
+    pub serial_ps: u64,
+}
+
+impl StreamSchedule {
+    /// The issue-order stream: a permutation of the input preserving each
+    /// sub-array's instruction order (replayable serially for the
+    /// equivalence oracle).
+    pub fn interleaved(&self) -> &InstructionStream {
+        &self.interleaved
+    }
+
+    /// Original-stream index of each interleaved instruction, for
+    /// checking the issue order against a [`DepGraph`].
+    pub fn issue_order(&self) -> &[usize] {
+        &self.issue_order
+    }
+
+    /// The per-sub-array streams in first-appearance order (the partition
+    /// [`ParallelDispatcher::execute_scheduled`] runs).
+    pub fn per_subarray(&self) -> &[(SubarrayId, InstructionStream)] {
+        &self.per_subarray
+    }
+
+    /// Per-issue bus occupancy samples (busy sub-arrays at each issue).
+    pub fn occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Modeled speedup of the pipelined schedule over serial issue.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_ps == 0 {
+            1.0
+        } else {
+            self.serial_ps as f64 / self.makespan_ps as f64
+        }
+    }
+
+    /// Records the occupancy histogram on the controller's metrics
+    /// ([`HistKey::SchedulerOccupancy`]). Opt-in: calling this makes the
+    /// run's [`MetricsSnapshot`] differ from a serial run by exactly the
+    /// `hist.scheduler_occupancy.*` keys.
+    ///
+    /// [`MetricsSnapshot`]: pim_obsv::MetricsSnapshot
+    pub fn record_occupancy(&self, ctrl: &mut Controller) {
+        for &busy in &self.occupancy {
+            ctrl.record_value(HistKey::SchedulerOccupancy, busy);
+        }
+    }
+}
+
+/// List-schedules `stream` under `model`: interleaves the per-sub-array
+/// streams one bus slot at a time, preferring the ready sub-array with
+/// the most remaining work (longest-remaining-first keeps the pipeline
+/// drained evenly), never reordering within a sub-array.
+pub fn schedule(stream: &InstructionStream, model: &IssueModel) -> StreamSchedule {
+    let parts = stream.split_by_subarray();
+    // Per-subarray queues of original-stream indices, in order.
+    let mut queues: Vec<std::collections::VecDeque<usize>> =
+        parts.iter().map(|_| std::collections::VecDeque::new()).collect();
+    for (i, instr) in stream.instructions().iter().enumerate() {
+        let slot = parts
+            .iter()
+            .position(|(id, _)| *id == instr.subarray())
+            .expect("split covers every instruction");
+        queues[slot].push_back(i);
+    }
+
+    let mut free_at = vec![0u64; parts.len()];
+    let mut issue_order = Vec::with_capacity(stream.len());
+    let mut occupancy = Vec::with_capacity(stream.len());
+    let mut now = 0u64;
+    let mut makespan = 0u64;
+    let mut remaining = stream.len();
+    while remaining > 0 {
+        // Ready = head-of-queue work on a sub-array free at `now`.
+        let ready = (0..parts.len())
+            .filter(|&s| !queues[s].is_empty() && free_at[s] <= now)
+            .max_by_key(|&s| queues[s].len());
+        let Some(s) = ready else {
+            // Nothing ready: advance to the earliest sub-array release.
+            now = (0..parts.len())
+                .filter(|&s| !queues[s].is_empty())
+                .map(|s| free_at[s])
+                .min()
+                .expect("remaining > 0 implies a non-empty queue");
+            continue;
+        };
+        let i = queues[s].pop_front().expect("ready queue non-empty");
+        let busy = (0..parts.len()).filter(|&t| t != s && free_at[t] > now).count() as u64 + 1;
+        occupancy.push(busy);
+        issue_order.push(i);
+        free_at[s] = now + model.aap_ps;
+        makespan = makespan.max(free_at[s]);
+        now += model.issue_slot_ps;
+        remaining -= 1;
+    }
+
+    let interleaved: InstructionStream =
+        issue_order.iter().map(|&i| stream.instructions()[i]).collect();
+    StreamSchedule {
+        interleaved,
+        issue_order,
+        per_subarray: parts,
+        occupancy,
+        makespan_ps: makespan,
+        serial_ps: stream.len() as u64 * model.aap_ps,
+    }
+}
+
+impl ParallelDispatcher {
+    /// Executes a pipelined schedule: each sub-array's stream runs on the
+    /// existing worker pool via
+    /// [`run_partitions`](ParallelDispatcher::run_partitions), which is
+    /// exactly the interleave the schedule models. Array state, ledger
+    /// totals and metrics snapshots are byte-identical to executing the
+    /// original serial stream (the schedule never reorders within a
+    /// sub-array; occupancy recording is a separate opt-in).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelDispatcher::execute`].
+    pub fn execute_scheduled(
+        &self,
+        ctrl: &mut Controller,
+        schedule: &StreamSchedule,
+    ) -> Result<()> {
+        let partitions: Vec<(SubarrayId, InstructionStream)> = schedule.per_subarray.clone();
+        self.run_partitions(ctrl, partitions, |ctx, piece: InstructionStream| {
+            StreamExecutor::execute_stream(ctx, &piece)
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_dram::geometry::DramGeometry;
+
+    fn mk_copy(id: SubarrayId, src: usize, dst: usize) -> AapInstruction {
+        AapInstruction::Copy { subarray: id, src: RowAddr(src), dst: RowAddr(dst), size: 256 }
+    }
+
+    fn two_subarrays() -> (SubarrayId, SubarrayId) {
+        let g = DramGeometry::tiny();
+        (SubarrayId::from_linear_index(&g, 0), SubarrayId::from_linear_index(&g, 1))
+    }
+
+    #[test]
+    fn dep_graph_orders_raw_war_waw() {
+        let (a, _) = two_subarrays();
+        let stream: InstructionStream = [
+            mk_copy(a, 0, 1), // 0: writes r1
+            mk_copy(a, 1, 2), // 1: RAW on r1
+            mk_copy(a, 3, 1), // 2: WAW on r1 (after 0), WAR after 1
+            mk_copy(a, 4, 5), // 3: independent
+        ]
+        .into_iter()
+        .collect();
+        let g = DepGraph::build(&stream);
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.preds(2), &[0, 1]);
+        assert_eq!(g.preds(3), &[] as &[usize]);
+        assert!(g.is_valid_order(&[0, 1, 2, 3]));
+        assert!(g.is_valid_order(&[3, 0, 1, 2]));
+        assert!(!g.is_valid_order(&[1, 0, 2, 3]), "RAW violated");
+        assert!(!g.is_valid_order(&[0, 2, 1, 3]), "WAR violated");
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn dep_graph_tracks_the_carry_latch_across_activations() {
+        let (a, _) = two_subarrays();
+        let x = |i: usize| RowAddr(24 + i);
+        let stream: InstructionStream = [
+            // 0: TRA defines the latch.
+            AapInstruction::ThreeSrc {
+                subarray: a,
+                srcs: [x(0), x(1), x(2)],
+                dst: x(3),
+                size: 256,
+            },
+            // 1: CarrySum reads it (no row overlap with 0).
+            AapInstruction::TwoSrc {
+                subarray: a,
+                srcs: [x(4), x(5)],
+                dst: x(6),
+                mode: SaMode::CarrySum,
+                size: 256,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let g = DepGraph::build(&stream);
+        assert_eq!(g.preds(1), &[0], "latch RAW edge");
+    }
+
+    #[test]
+    fn cross_subarray_instructions_are_independent() {
+        let (a, b) = two_subarrays();
+        let stream: InstructionStream =
+            [mk_copy(a, 0, 1), mk_copy(b, 0, 1), mk_copy(a, 1, 2)].into_iter().collect();
+        let g = DepGraph::build(&stream);
+        assert_eq!(g.preds(1), &[] as &[usize], "same rows, different sub-array");
+        assert_eq!(g.preds(2), &[0]);
+    }
+
+    #[test]
+    fn schedule_preserves_per_subarray_order_and_respects_deps() {
+        let (a, b) = two_subarrays();
+        let stream: InstructionStream =
+            (0..12).map(|i| mk_copy(if i % 3 == 0 { b } else { a }, i, i + 1)).collect();
+        let model = IssueModel::from_timing(&TimingParams::ddr4_2133());
+        let sched = schedule(&stream, &model);
+        assert_eq!(sched.interleaved().len(), stream.len());
+        assert!(DepGraph::build(&stream).is_valid_order(sched.issue_order()));
+        // Per-subarray subsequences are preserved exactly.
+        for (id, piece) in sched.per_subarray() {
+            let replayed: Vec<&AapInstruction> =
+                sched.interleaved().instructions().iter().filter(|i| i.subarray() == *id).collect();
+            assert_eq!(replayed.len(), piece.len());
+            for (x, y) in replayed.iter().zip(piece.instructions()) {
+                assert_eq!(**x, *y);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_two_subarrays_beats_serial_issue() {
+        let (a, b) = two_subarrays();
+        let stream: InstructionStream =
+            (0..8).map(|i| mk_copy(if i % 2 == 0 { a } else { b }, i, i + 1)).collect();
+        let model = IssueModel::from_timing(&TimingParams::ddr4_2133());
+        let sched = schedule(&stream, &model);
+        assert!(
+            sched.makespan_ps < sched.serial_ps,
+            "{} !< {}",
+            sched.makespan_ps,
+            sched.serial_ps
+        );
+        assert!(sched.speedup() > 1.5, "two independent streams should nearly halve time");
+        // Occupancy histogram saw overlap.
+        assert!(sched.occupancy().iter().any(|&b| b >= 2));
+        assert_eq!(sched.occupancy().len(), stream.len());
+    }
+
+    #[test]
+    fn single_subarray_stream_degenerates_to_serial() {
+        let (a, _) = two_subarrays();
+        let stream: InstructionStream = (0..5).map(|i| mk_copy(a, i, i + 1)).collect();
+        let model = IssueModel::default();
+        let sched = schedule(&stream, &model);
+        assert_eq!(sched.makespan_ps, sched.serial_ps);
+        assert!(sched.occupancy().iter().all(|&b| b == 1));
+        assert_eq!(sched.issue_order(), (0..5).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn issue_model_bounds_overlap() {
+        let m = IssueModel::from_timing(&TimingParams::ddr4_2133());
+        assert_eq!(m.aap_ps, 47_060);
+        assert_eq!(m.issue_slot_ps, 3_750);
+        assert_eq!(m.max_overlap(), 13);
+        let mram = IssueModel::from_timing(&TimingParams::sot_mram());
+        assert_eq!(mram.aap_ps, 13_000);
+    }
+}

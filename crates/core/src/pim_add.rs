@@ -20,7 +20,7 @@ use pim_dram::bitrow::BitRow;
 use pim_dram::port::AapPort;
 
 use crate::error::{PimError, Result};
-use crate::ir::BackendKind;
+use crate::ir::{BackendKind, OptLevel};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// Upper bound on the full-adder role table across backends (the Ambit
@@ -99,6 +99,7 @@ impl PimAdder {
             ctrl,
             subarray,
             BackendKind::PimAssembler,
+            OptLevel::O0,
             a,
             b,
             c,
@@ -108,11 +109,11 @@ impl PimAdder {
         )
     }
 
-    /// [`PimAdder::full_add`] retargeted to `backend`: the same full-adder
-    /// contract, lowered through that backend's command repertoire. The
-    /// role table is bound by class, so the extra zero/scratch roles a
-    /// rewrite introduces resolve automatically (`zero` also backs any
-    /// zero-constant roles).
+    /// [`PimAdder::full_add`] retargeted to `backend` at optimization
+    /// level `opt`: the same full-adder contract, lowered through that
+    /// backend's command repertoire. The role table is bound by class, so
+    /// the extra zero/scratch roles a rewrite introduces resolve
+    /// automatically (`zero` also backs any zero-constant roles).
     ///
     /// # Errors
     ///
@@ -122,6 +123,7 @@ impl PimAdder {
         ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         backend: BackendKind,
+        opt: OptLevel,
         a: RowAddr,
         b: RowAddr,
         c: RowAddr,
@@ -131,7 +133,7 @@ impl PimAdder {
     ) -> Result<()> {
         let cols = ctrl.geometry().cols;
         let adder = CompiledTemplate::compile(
-            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend).with_opt(opt),
         );
         let mut rows = [RowAddr(0); MAX_ADDER_ROLES];
         let n = adder.bind_roles_into(ctrl, &[a, b, c], &[sum_dst, carry_dst], zero, &mut rows)?;
@@ -156,12 +158,20 @@ impl PimAdder {
         zero: RowAddr,
         scratch: &mut ScratchSpace,
     ) -> Result<Vec<BitRow>> {
-        PimAdder::column_sum_with(ctrl, subarray, BackendKind::PimAssembler, addends, zero, scratch)
+        PimAdder::column_sum_with(
+            ctrl,
+            subarray,
+            BackendKind::PimAssembler,
+            OptLevel::O0,
+            addends,
+            zero,
+            scratch,
+        )
     }
 
-    /// [`PimAdder::column_sum`] retargeted to `backend`: identical
-    /// reduction schedule and results, with every full-adder step lowered
-    /// through that backend's command repertoire.
+    /// [`PimAdder::column_sum`] retargeted to `backend` at optimization
+    /// level `opt`: identical reduction schedule and results, with every
+    /// full-adder step lowered through that backend's command repertoire.
     ///
     /// # Errors
     ///
@@ -171,6 +181,7 @@ impl PimAdder {
         ctrl: &mut impl AapPort,
         subarray: SubarrayId,
         backend: BackendKind,
+        opt: OptLevel,
         addends: &[RowAddr],
         zero: RowAddr,
         scratch: &mut ScratchSpace,
@@ -186,7 +197,7 @@ impl PimAdder {
         // `[a, b, c, zero, sum, carry, x1, x2, x3]` order exactly).
         let cols = ctrl.geometry().cols;
         let adder = CompiledTemplate::compile(
-            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+            TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend).with_opt(opt),
         );
         let mut rows = [RowAddr(0); MAX_ADDER_ROLES];
         // A direct-activation backend opens the operand rows themselves, so
@@ -476,6 +487,7 @@ mod tests {
                 &mut ctrl,
                 id,
                 backend,
+                OptLevel::O0,
                 &rows,
                 RowAddr(100),
                 &mut scratch,

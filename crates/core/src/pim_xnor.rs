@@ -23,7 +23,7 @@ use pim_dram::port::AapPort;
 
 use crate::dpu::Dpu;
 use crate::error::Result;
-use crate::ir::{BackendKind, RowClass};
+use crate::ir::{BackendKind, OptLevel, RowClass};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
 /// Upper bound on the probe kernel's role count across backends (the
@@ -50,15 +50,22 @@ impl PimComparator {
     /// Compiles the comparator's XNOR kernel for rows of `cols` bits on
     /// the default PIM-Assembler backend.
     pub fn new(cols: usize) -> Self {
-        PimComparator::with_backend(cols, BackendKind::PimAssembler, RowAddr(0))
+        PimComparator::with_backend(cols, BackendKind::PimAssembler, RowAddr(0), OptLevel::O0)
     }
 
     /// [`PimComparator::new`] retargeted to `backend`. `zero_row` backs
     /// any zero-constant roles the backend's lowering introduces (pass any
     /// never-written data row; ignored by lowerings without such roles).
-    pub fn with_backend(cols: usize, backend: BackendKind, zero_row: RowAddr) -> Self {
+    /// `opt` selects the IR optimization level the probe kernel is
+    /// compiled at; probe results are identical at every level.
+    pub fn with_backend(
+        cols: usize,
+        backend: BackendKind,
+        zero_row: RowAddr,
+        opt: OptLevel,
+    ) -> Self {
         let xnor = CompiledTemplate::compile(
-            TemplateKey::new(Kernel::Xnor, cols, cols).with_backend(backend),
+            TemplateKey::new(Kernel::Xnor, cols, cols).with_backend(backend).with_opt(opt),
         );
         assert!(xnor.role_count() <= MAX_PROBE_ROLES, "probe role table too wide");
         assert!(
@@ -263,7 +270,8 @@ mod tests {
             let id = ctrl.subarray_handle(0, 0, 0, 0).unwrap();
             let layout = SubarrayLayout::new(&g);
             let mapper = KmerMapper::new(&g, 1, 8);
-            let cmp = PimComparator::with_backend(g.cols, backend, layout.temp_row(7));
+            let cmp =
+                PimComparator::with_backend(g.cols, backend, layout.temp_row(7), OptLevel::O0);
             assert_eq!(cmp.backend(), backend);
 
             let stored: Kmer = "CGTGCGTGCTTACGGA".parse().unwrap();

@@ -139,7 +139,11 @@ impl PimAssembler {
         self.ctrl.record_synthetic("WR", stream_rows);
         let mapper =
             KmerMapper::new(&geometry, self.config.hash_subarrays, self.config.bucket_rows);
-        let mut table = PimHashTable::new(mapper);
+        let mut table = PimHashTable::with_backend(
+            mapper,
+            crate::ir::BackendKind::PimAssembler,
+            self.config.opt_level,
+        );
         let mut kmers = Vec::new();
         for read in reads {
             for kmer in KmerIter::new(&read.seq, k)? {
@@ -197,6 +201,7 @@ impl PimAssembler {
             work_out,
             work_in,
             EulerAlgorithm::Hierholzer,
+            self.config.opt_level,
         )?;
         let mut s12 = s1;
         s12.merge(&s2);

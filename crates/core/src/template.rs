@@ -35,7 +35,9 @@ use pim_dram::geometry::COMPUTE_ROWS;
 use pim_dram::port::AapPort;
 
 use crate::error::{PimError, Result};
-use crate::ir::{self, BackendKind, CompileReport, CompiledKernel, LowerOptions, PimProgram};
+use crate::ir::{
+    self, BackendKind, CompileReport, CompiledKernel, LowerOptions, OptLevel, PimProgram,
+};
 use crate::isa::InstructionStream;
 
 /// The kernels the stages compile to templates.
@@ -74,17 +76,32 @@ pub struct TemplateKey {
     /// [`crate::ir::BackendKind`]); each backend gets its own cache entry
     /// since the lowered command sequences differ.
     pub backend: BackendKind,
+    /// The optimization level the shape compiles at; `O0` and `O2` get
+    /// distinct cache entries since the lowered command sequences differ
+    /// (see [`crate::ir::OptLevel`]).
+    pub opt: OptLevel,
 }
 
 impl TemplateKey {
-    /// A shape for the default PIM-Assembler backend.
+    /// A shape for the default PIM-Assembler backend at `O0`.
     pub fn new(kernel: Kernel, row_bits: usize, size: usize) -> Self {
-        TemplateKey { kernel, row_bits, size, backend: BackendKind::PimAssembler }
+        TemplateKey {
+            kernel,
+            row_bits,
+            size,
+            backend: BackendKind::PimAssembler,
+            opt: OptLevel::O0,
+        }
     }
 
     /// The same shape retargeted to `backend`.
     pub fn with_backend(self, backend: BackendKind) -> Self {
         TemplateKey { backend, ..self }
+    }
+
+    /// The same shape recompiled at `opt`.
+    pub fn with_opt(self, opt: OptLevel) -> Self {
+        TemplateKey { opt, ..self }
     }
 }
 
@@ -101,7 +118,7 @@ impl CompiledTemplate {
     pub fn compile(key: TemplateKey) -> Self {
         let options =
             LowerOptions { row_bits: key.row_bits, size: key.size, compute_slots: COMPUTE_ROWS };
-        let inner = ir::compile_backend(&key.kernel.program(), &options, key.backend)
+        let inner = ir::compile_backend_opt(&key.kernel.program(), &options, key.backend, key.opt)
             .expect("built-in kernels are legal on every backend by construction");
         CompiledTemplate { key, inner }
     }
@@ -438,6 +455,23 @@ mod tests {
         assert_eq!(pa, (2, 1, 0));
         assert_ne!(ambit, pa);
         assert_eq!(mram, (0, 1, 0));
+    }
+
+    #[test]
+    fn opt_levels_get_distinct_cache_entries_and_shorter_streams() {
+        let mut cache = TemplateCache::new();
+        let key = TemplateKey::new(Kernel::FullAdder, 256, 256);
+        cache.get(key);
+        cache.get(key.with_opt(OptLevel::O2));
+        cache.get(key.with_opt(OptLevel::O2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (1, 2));
+        let o0 = cache.get(key).command_counts();
+        let o2 = cache.get(key.with_opt(OptLevel::O2)).command_counts();
+        assert_eq!(o0, (8, 1, 2), "O0 stays the paper's literal stream");
+        assert_eq!(o2, (6, 2, 1), "O2 drops to the xor-cascade form");
+        // Same binding surface either way: callers need not change.
+        assert_eq!(cache.get(key.with_opt(OptLevel::O2)).role_count(), 9);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use pim_obsv::{HistKey, Metric};
 
 use crate::dispatch::ParallelDispatcher;
 use crate::error::Result;
-use crate::ir::BackendKind;
+use crate::ir::{BackendKind, OptLevel};
 use crate::pim_add::{PimAdder, ScratchSpace};
 use crate::template::{CompiledTemplate, Kernel, TemplateKey};
 
@@ -62,13 +62,13 @@ impl TraverseStage {
         graph: &DeBruijnGraph,
         work: SubarrayId,
     ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
-        Self::degrees_with(ctrl, graph, work, BackendKind::PimAssembler)
+        Self::degrees_with(ctrl, graph, work, BackendKind::PimAssembler, OptLevel::O0)
     }
 
-    /// [`TraverseStage::degrees`] retargeted to `backend`: the identical
-    /// degree computation with every full-adder slice (dense path) or
-    /// synthetic charge (fallback path) lowered through that backend's
-    /// command repertoire.
+    /// [`TraverseStage::degrees`] retargeted to `backend` at optimization
+    /// level `opt`: the identical degree computation with every full-adder
+    /// slice (dense path) or synthetic charge (fallback path) lowered
+    /// through that backend's command repertoire.
     ///
     /// # Errors
     ///
@@ -78,14 +78,15 @@ impl TraverseStage {
         graph: &DeBruijnGraph,
         work: SubarrayId,
         backend: BackendKind,
+        opt: OptLevel,
     ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
         let n = graph.node_count();
         let cols = ctrl.geometry().cols;
         let rows = ctrl.geometry().rows;
         if n > 0 && n <= cols && 3 * n + 8 < rows {
             // Column sums of Aᵀ rows give out-degrees; of A rows, in-degrees.
-            let out = Self::dense_degree_pass(ctrl, graph, work, true, backend)?;
-            let inc = Self::dense_degree_pass(ctrl, graph, work, false, backend)?;
+            let out = Self::dense_degree_pass(ctrl, graph, work, true, backend, opt)?;
+            let inc = Self::dense_degree_pass(ctrl, graph, work, false, backend, opt)?;
             Ok((out, inc, true))
         } else {
             // Synthetic accounting: the same adjacency-row reduction the
@@ -96,7 +97,7 @@ impl TraverseStage {
             // synthetic path can never drift from what the dense path
             // actually executes.
             let adder = CompiledTemplate::compile(
-                TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend),
+                TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend).with_opt(opt),
             );
             let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
             let adds = 2 * graph.edge_count() as u64 + n as u64;
@@ -142,9 +143,10 @@ impl TraverseStage {
         work_out: SubarrayId,
         work_in: SubarrayId,
         algorithm: EulerAlgorithm,
+        opt: OptLevel,
     ) -> Result<(Vec<Trail>, TraverseStats)> {
         let (out, inc, dense) =
-            Self::degrees_with_dispatcher(ctrl, dispatcher, graph, work_out, work_in)?;
+            Self::degrees_with_dispatcher(ctrl, dispatcher, graph, work_out, work_in, opt)?;
         Self::walk(ctrl, graph, &out, &inc, dense, algorithm)
     }
 
@@ -162,21 +164,30 @@ impl TraverseStage {
         graph: &DeBruijnGraph,
         work_out: SubarrayId,
         work_in: SubarrayId,
+        opt: OptLevel,
     ) -> Result<(Vec<u64>, Vec<u64>, bool)> {
         let n = graph.node_count();
         let cols = ctrl.geometry().cols;
         let rows = ctrl.geometry().rows;
         if n > 0 && n <= cols && 3 * n + 8 < rows {
             let partitions = vec![(work_out, true), (work_in, false)];
-            let mut passes = dispatcher.run_partitions(ctrl, partitions, |ctx, transpose| {
-                let work = ctx.id();
-                Self::dense_degree_pass(ctx, graph, work, transpose, BackendKind::PimAssembler)
-            })?;
+            let mut passes =
+                dispatcher.run_partitions(ctrl, partitions, move |ctx, transpose| {
+                    let work = ctx.id();
+                    Self::dense_degree_pass(
+                        ctx,
+                        graph,
+                        work,
+                        transpose,
+                        BackendKind::PimAssembler,
+                        opt,
+                    )
+                })?;
             let inc = passes.pop().expect("two partitions dispatched");
             let out = passes.pop().expect("two partitions dispatched");
             Ok((out, inc, true))
         } else {
-            Self::degrees(ctrl, graph, work_out)
+            Self::degrees_with(ctrl, graph, work_out, BackendKind::PimAssembler, opt)
         }
     }
 
@@ -235,6 +246,7 @@ impl TraverseStage {
         work: SubarrayId,
         transpose: bool,
         backend: BackendKind,
+        opt: OptLevel,
     ) -> Result<Vec<u64>> {
         let n = graph.node_count();
         let cols = ctrl.geometry().cols;
@@ -260,7 +272,8 @@ impl TraverseStage {
         let zero = RowAddr(n);
         ctrl.write_row(work, zero, &BitRow::zeros(cols))?;
         let mut scratch = ScratchSpace::new(n + 1, ctrl.geometry().data_rows());
-        let planes = PimAdder::column_sum_with(ctrl, work, backend, &rows, zero, &mut scratch)?;
+        let planes =
+            PimAdder::column_sum_with(ctrl, work, backend, opt, &rows, zero, &mut scratch)?;
         let mut values = PimAdder::decode_columns(&planes);
         values.truncate(n);
         // In-degree of j = Σ_i A[i][j]; out-degree of j = Σ_i A^T[i][j].
@@ -362,6 +375,7 @@ mod tests {
                 work_out,
                 work_in,
                 EulerAlgorithm::Hierholzer,
+                OptLevel::O0,
             )
             .unwrap();
             assert_eq!(trails, trails_s, "workers={workers}");
@@ -381,6 +395,7 @@ mod tests {
             work,
             work,
             EulerAlgorithm::Hierholzer,
+            OptLevel::O0,
         )
         .unwrap_err();
         assert!(matches!(

@@ -1,0 +1,245 @@
+//! Scheduler equivalence suite: software-pipelined execution of
+//! interleaved cross-sub-array streams must be observationally identical
+//! to serial issue — same array state (BitRows), same energy-ledger
+//! totals, same metrics snapshot — at every worker count and at both
+//! optimization levels, with occupancy recording as the one explicit
+//! opt-out from snapshot identity.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pim_assembler::dispatch::ParallelDispatcher;
+use pim_assembler::exec::StreamExecutor;
+use pim_assembler::ir::{schedule, DepGraph, IssueModel, OptLevel};
+use pim_assembler::isa::{AapInstruction, InstructionStream};
+use pim_assembler::template::{CompiledTemplate, Kernel, TemplateKey};
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::stats::CommandStats;
+use pim_dram::timing::TimingParams;
+use pim_obsv::MetricsSnapshot;
+
+const COLS: usize = 256;
+const A: usize = 1;
+const B: usize = 2;
+const C: usize = 3;
+const ZERO: usize = 4;
+const SUM: usize = 10;
+const CARRY: usize = 11;
+
+/// Deterministic per-sub-array full-adder operand rows.
+fn operand_rows(seed: u64, subarrays: usize) -> Vec<[BitRow; 3]> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..subarrays)
+        .map(|_| {
+            [
+                BitRow::from_fn(COLS, |_| rand::Rng::gen_bool(&mut rng, 0.5)),
+                BitRow::from_fn(COLS, |_| rand::Rng::gen_bool(&mut rng, 0.5)),
+                BitRow::from_fn(COLS, |_| rand::Rng::gen_bool(&mut rng, 0.5)),
+            ]
+        })
+        .collect()
+}
+
+/// A fresh controller with metrics enabled and the operands written, so
+/// every execution path starts from byte-identical state.
+fn fresh_controller(operands: &[[BitRow; 3]]) -> (Controller, Vec<SubarrayId>) {
+    let mut ctrl = Controller::new(DramGeometry::paper_assembly());
+    ctrl.enable_metrics();
+    let mut ids = Vec::new();
+    for (s, [a, b, c]) in operands.iter().enumerate() {
+        let id = ctrl.subarray_handle(0, 0, 0, s).unwrap();
+        ctrl.write_row(id, A, a).unwrap();
+        ctrl.write_row(id, B, b).unwrap();
+        ctrl.write_row(id, C, c).unwrap();
+        ctrl.write_row(id, ZERO, &BitRow::zeros(COLS)).unwrap();
+        ids.push(id);
+    }
+    (ctrl, ids)
+}
+
+/// One full-adder stream per sub-array, merged round-robin so the input
+/// stream is already interleaved across sub-arrays (the shape the
+/// scheduler receives from a dispatch-partitioned pipeline).
+fn interleaved_workload(ctrl: &Controller, ids: &[SubarrayId], opt: OptLevel) -> InstructionStream {
+    let adder =
+        CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, COLS, COLS).with_opt(opt));
+    let pieces: Vec<Vec<AapInstruction>> = ids
+        .iter()
+        .map(|&id| {
+            let mut rows = [RowAddr(0); 24];
+            let n = adder
+                .bind_roles_into(
+                    ctrl,
+                    &[RowAddr(A), RowAddr(B), RowAddr(C)],
+                    &[RowAddr(SUM), RowAddr(CARRY)],
+                    RowAddr(ZERO),
+                    &mut rows,
+                )
+                .unwrap();
+            adder.to_stream(id, &rows[..n]).instructions().to_vec()
+        })
+        .collect();
+    let longest = pieces.iter().map(Vec::len).max().unwrap_or(0);
+    (0..longest).flat_map(|i| pieces.iter().filter_map(move |p| p.get(i).copied())).collect()
+}
+
+/// Everything an execution path can be observed by.
+#[derive(Debug, Clone, PartialEq)]
+struct Observation {
+    rows: Vec<Vec<BitRow>>,
+    stats: CommandStats,
+    snapshot: MetricsSnapshot,
+}
+
+fn observe(mut ctrl: Controller, ids: &[SubarrayId]) -> Observation {
+    let rows = ids
+        .iter()
+        .map(|&id| {
+            [A, B, C, ZERO, SUM, CARRY].iter().map(|&r| ctrl.peek_row(id, r).unwrap()).collect()
+        })
+        .collect();
+    // peek_row charges nothing, so stats/snapshot reflect the run alone.
+    let stats = *ctrl.stats();
+    let snapshot = ctrl.metrics_snapshot().expect("metrics were enabled");
+    Observation { rows, stats, snapshot }
+}
+
+/// Runs the serial oracle and returns its observation.
+fn run_serial(operands: &[[BitRow; 3]], stream: &InstructionStream) -> Observation {
+    let (mut ctrl, ids) = fresh_controller(operands);
+    StreamExecutor::execute_stream(&mut ctrl, stream).unwrap();
+    observe(ctrl, &ids)
+}
+
+/// Runs the *unscheduled* dispatcher on the serial stream — the baseline
+/// a scheduled dispatcher run must match bit-for-bit. (Any dispatcher
+/// run, scheduled or not, records one `hist.partition_items` sample; the
+/// pure serial oracle has no dispatcher, so snapshots are compared
+/// dispatcher-to-dispatcher.)
+fn run_dispatched(
+    operands: &[[BitRow; 3]],
+    stream: &InstructionStream,
+    workers: usize,
+) -> Observation {
+    let (mut ctrl, ids) = fresh_controller(operands);
+    ParallelDispatcher::with_workers(workers).execute(&mut ctrl, stream).unwrap();
+    observe(ctrl, &ids)
+}
+
+#[test]
+fn scheduled_execution_matches_serial_on_rows_stats_and_metrics() {
+    let operands = operand_rows(7, 4);
+    let model = IssueModel::from_timing(&TimingParams::ddr4_2133());
+    for opt in [OptLevel::O0, OptLevel::O2] {
+        let (setup, ids) = fresh_controller(&operands);
+        let stream = interleaved_workload(&setup, &ids, opt);
+        drop(setup);
+
+        let sched = schedule(&stream, &model);
+        assert!(
+            DepGraph::build(&stream).is_valid_order(sched.issue_order()),
+            "{opt}: issue order violates a dependence edge"
+        );
+        assert!(
+            sched.makespan_ps < sched.serial_ps,
+            "{opt}: four independent sub-arrays must pipeline"
+        );
+
+        let serial = run_serial(&operands, &stream);
+        // The results are right, not merely self-consistent.
+        for (s, [a, b, c]) in operands.iter().enumerate() {
+            assert_eq!(serial.rows[s][4], a.xor(b).xor(c), "{opt}: sum, sub-array {s}");
+            assert_eq!(serial.rows[s][5], BitRow::maj3(a, b, c), "{opt}: carry, sub-array {s}");
+        }
+
+        // Path (b): single-threaded replay of the interleaved stream.
+        let (mut ctrl, ids) = fresh_controller(&operands);
+        StreamExecutor::execute_stream(&mut ctrl, sched.interleaved()).unwrap();
+        assert_eq!(observe(ctrl, &ids), serial, "{opt}: interleaved replay diverged");
+
+        // Path (c): the dispatcher runs the per-sub-array partition.
+        // Rows and ledger stats must match the pure serial oracle; the
+        // full observation (snapshot included) must match an unscheduled
+        // dispatcher run of the same stream at the same worker count.
+        for workers in [1usize, 2, 8] {
+            let baseline = run_dispatched(&operands, &stream, workers);
+            assert_eq!(baseline.rows, serial.rows, "{opt}: dispatcher changed results");
+            assert_eq!(baseline.stats, serial.stats, "{opt}: dispatcher changed the ledger");
+
+            let (mut ctrl, ids) = fresh_controller(&operands);
+            ParallelDispatcher::with_workers(workers).execute_scheduled(&mut ctrl, &sched).unwrap();
+            assert_eq!(
+                observe(ctrl, &ids),
+                baseline,
+                "{opt}: scheduled execution at {workers} workers diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn occupancy_recording_is_an_explicit_opt_in() {
+    let operands = operand_rows(11, 3);
+    let (setup, ids) = fresh_controller(&operands);
+    let stream = interleaved_workload(&setup, &ids, OptLevel::O2);
+    drop(setup);
+    let sched = schedule(&stream, &IssueModel::from_timing(&TimingParams::ddr4_2133()));
+    let serial = run_dispatched(&operands, &stream, 2);
+
+    // Without the opt-in the scheduled snapshot is identical to the
+    // unscheduled dispatcher baseline.
+    let (mut ctrl, ids) = fresh_controller(&operands);
+    ParallelDispatcher::with_workers(2).execute_scheduled(&mut ctrl, &sched).unwrap();
+    assert_eq!(observe(ctrl, &ids).snapshot, serial.snapshot);
+
+    // With it, the snapshot gains exactly the occupancy histogram keys.
+    let (mut ctrl, ids) = fresh_controller(&operands);
+    ParallelDispatcher::with_workers(2).execute_scheduled(&mut ctrl, &sched).unwrap();
+    sched.record_occupancy(&mut ctrl);
+    let recorded = observe(ctrl, &ids);
+    assert_eq!(recorded.rows, serial.rows);
+    assert_eq!(recorded.stats, serial.stats);
+    let extra: Vec<&String> = recorded
+        .snapshot
+        .counters
+        .keys()
+        .filter(|k| !serial.snapshot.counters.contains_key(*k))
+        .collect();
+    assert!(!extra.is_empty(), "recording must surface the histogram");
+    for key in &extra {
+        assert!(key.contains("scheduler_occupancy"), "unexpected new key {key}");
+    }
+    for (key, value) in &serial.snapshot.counters {
+        assert_eq!(recorded.snapshot.counters.get(key), Some(value), "{key} drifted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Random operands, random sub-array counts: the pipelined schedule
+    // stays observation-identical to serial at both opt levels.
+    #[test]
+    fn pipelined_schedules_stay_equivalent_to_serial(seed in 0u64..1000, extra in 0usize..3) {
+        let operands = operand_rows(seed, 2 + extra);
+        let model = IssueModel::from_timing(&TimingParams::ddr4_2133());
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let (setup, ids) = fresh_controller(&operands);
+            let stream = interleaved_workload(&setup, &ids, opt);
+            drop(setup);
+            let sched = schedule(&stream, &model);
+            prop_assert!(DepGraph::build(&stream).is_valid_order(sched.issue_order()));
+            let serial = run_serial(&operands, &stream);
+            let baseline = run_dispatched(&operands, &stream, 2);
+            prop_assert_eq!(&baseline.rows, &serial.rows);
+            prop_assert_eq!(baseline.stats, serial.stats);
+            let (mut ctrl, ids) = fresh_controller(&operands);
+            ParallelDispatcher::with_workers(2).execute_scheduled(&mut ctrl, &sched).unwrap();
+            prop_assert_eq!(observe(ctrl, &ids), baseline, "{}: diverged", opt);
+        }
+    }
+}

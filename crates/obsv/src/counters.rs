@@ -161,12 +161,18 @@ pub enum HistKey {
     TraverseTrailLen,
     /// Sub-array partitions per dispatcher batch.
     PartitionItems,
+    /// Busy sub-arrays per command-bus issue slot (stream scheduler).
+    SchedulerOccupancy,
 }
 
 impl HistKey {
     /// Every histogram key, in canonical order.
-    pub const ALL: [HistKey; 3] =
-        [HistKey::HashProbeLen, HistKey::TraverseTrailLen, HistKey::PartitionItems];
+    pub const ALL: [HistKey; 4] = [
+        HistKey::HashProbeLen,
+        HistKey::TraverseTrailLen,
+        HistKey::PartitionItems,
+        HistKey::SchedulerOccupancy,
+    ];
 
     /// Number of histogram keys.
     pub const COUNT: usize = Self::ALL.len();
@@ -177,6 +183,7 @@ impl HistKey {
             HistKey::HashProbeLen => "hash_probe_len",
             HistKey::TraverseTrailLen => "traverse_trail_len",
             HistKey::PartitionItems => "partition_items",
+            HistKey::SchedulerOccupancy => "scheduler_occupancy",
         }
     }
 

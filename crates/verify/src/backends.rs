@@ -11,7 +11,7 @@
 //! software oracle — is a lowering bug, never tolerance noise.
 
 use pim_assembler::hashmap_stage::PimHashTable;
-use pim_assembler::ir::BackendKind;
+use pim_assembler::ir::{BackendKind, OptLevel};
 use pim_assembler::mapping::KmerMapper;
 use pim_assembler::traverse_stage::TraverseStage;
 use pim_assembler::Result;
@@ -39,10 +39,11 @@ pub fn hashmap_backend_oracle(
     case: &TestCase,
     k: usize,
     backend: BackendKind,
+    opt: OptLevel,
 ) -> Result<(OracleReport, CommandStats)> {
     let mut ctrl = backend_controller(backend, DramGeometry::paper_assembly());
     let geometry = *ctrl.geometry();
-    let mut table = PimHashTable::with_backend(KmerMapper::new(&geometry, 4, 8), backend);
+    let mut table = PimHashTable::with_backend(KmerMapper::new(&geometry, 4, 8), backend, opt);
     let mut soft = KmerCounter::new(k)?;
     for read in &case.reads {
         if read.seq.len() < k {
@@ -94,6 +95,7 @@ pub fn traverse_backend_oracle(
     k: usize,
     min_count: u64,
     backend: BackendKind,
+    opt: OptLevel,
 ) -> Result<(OracleReport, CommandStats)> {
     let mut counter = KmerCounter::new(k)?;
     for read in &case.reads {
@@ -105,7 +107,7 @@ pub fn traverse_backend_oracle(
 
     let mut ctrl = backend_controller(backend, DramGeometry::paper_assembly());
     let work = ctrl.subarray_handle(0, 1, 0, 0)?;
-    let (out, inc, _dense) = TraverseStage::degrees_with(&mut ctrl, &graph, work, backend)?;
+    let (out, inc, _dense) = TraverseStage::degrees_with(&mut ctrl, &graph, work, backend, opt)?;
 
     let mut mismatches = 0;
     let mut notes = Vec::new();
@@ -146,11 +148,15 @@ pub struct BackendSuiteOptions {
     pub min_count: u64,
     /// RNG seed for the test case.
     pub seed: u64,
+    /// IR optimization level the stage kernels compile at. The oracle
+    /// contract is level-independent: O2 must produce the same answers as
+    /// O0 on every backend, only the command mixes may shrink.
+    pub opt: OptLevel,
 }
 
 impl Default for BackendSuiteOptions {
     fn default() -> Self {
-        BackendSuiteOptions { genome_len: 300, k: 9, min_count: 1, seed: 42 }
+        BackendSuiteOptions { genome_len: 300, k: 9, min_count: 1, seed: 42, opt: OptLevel::O0 }
     }
 }
 
@@ -194,14 +200,14 @@ fn run_backend(
     backend: BackendKind,
 ) -> Option<CommandStats> {
     let mut stats = None;
-    match hashmap_backend_oracle(case, options.k, backend) {
+    match hashmap_backend_oracle(case, options.k, backend, options.opt) {
         Ok((oracle, s)) => {
             report.oracles.push(oracle);
             stats = Some(s);
         }
         Err(e) => report.oracles.push(stage_error("hashmap", backend, case, &e)),
     }
-    match traverse_backend_oracle(case, options.k, options.min_count, backend) {
+    match traverse_backend_oracle(case, options.k, options.min_count, backend, options.opt) {
         Ok((oracle, _stats)) => report.oracles.push(oracle),
         Err(e) => report.oracles.push(stage_error("traverse", backend, case, &e)),
     }
@@ -295,6 +301,29 @@ mod tests {
         for oracle in &report.oracles {
             assert!(oracle.scenario.ends_with("panda-mram"), "{}", oracle.scenario);
         }
+    }
+
+    #[test]
+    fn backend_suite_holds_at_o2_on_every_backend() {
+        // The optimizer's equivalence gate lifted to whole stages: O2
+        // kernels must reproduce the software oracle bit-for-bit on all
+        // three backends.
+        let options = BackendSuiteOptions { opt: OptLevel::O2, ..BackendSuiteOptions::default() };
+        let report = backend_suite(&options);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn ambit_full_adder_copy_count_stays_collapsed() {
+        // Pin the post-fixpoint Ambit full-adder mix: the copy-chain
+        // forwarding pass collapses the rewrite's staging chains to exactly
+        // 30 copies (a regression here means the peephole fixpoint after
+        // the backend rewrite stopped running).
+        use pim_assembler::template::{CompiledTemplate, Kernel, TemplateKey};
+        let adder = CompiledTemplate::compile(
+            TemplateKey::new(Kernel::FullAdder, 256, 256).with_backend(BackendKind::AmbitTra),
+        );
+        assert_eq!(adder.command_counts(), (30, 3, 8));
     }
 
     #[test]
