@@ -20,7 +20,7 @@ use pim_platforms::memwall::{mbr_percent, rur_percent};
 use pim_platforms::throughput::ThroughputReport;
 use pim_platforms::workload::AssemblyWorkload;
 
-use crate::observed_pim_run;
+use crate::{observed_mapping_run, observed_pim_run};
 
 /// Schema tag written into every golden artifact (except the pipeline
 /// metrics one, which reuses the `pim-obsv` snapshot schema).
@@ -128,6 +128,18 @@ pub fn assembly_model_golden() -> String {
 pub fn pipeline_metrics_golden(seed: u64) -> String {
     let run = observed_pim_run(15, 2000, 8.0, seed);
     run.report.metrics.expect("observability is enabled").deterministic_json()
+}
+
+/// The mapping workload's deterministic `pim-obsv` metrics snapshot at
+/// `seed` — the second workload's counter totals (seed probes, match
+/// planes, popcount executions, DP wavefronts, and the per-class command
+/// counters they drive), pinned the same way as the assembly pipeline's.
+/// The run must agree with the software oracle before its counters are
+/// worth pinning.
+pub fn mapping_metrics_golden(seed: u64) -> String {
+    let report = observed_mapping_run(seed);
+    assert!(report.agreement, "golden mapping run diverged from the software oracle");
+    report.metrics.expect("run_mapping always records metrics").deterministic_json()
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 22] = [
+const VALUE_KEYS: [&str; 25] = [
     "k",
     "opt-level",
     "backend",
@@ -41,6 +41,9 @@ const VALUE_KEYS: [&str; 22] = [
     "kernel",
     "cols",
     "slots",
+    "stage",
+    "read-len",
+    "error-rate",
 ];
 
 impl ParsedArgs {

@@ -65,6 +65,9 @@ pub struct Measurement {
     pub ns_per_op: f64,
     /// How many operations the timing loop executed.
     pub ops: u64,
+    /// Which workload the measurement drives: `"assembly"` for the
+    /// pipeline + its kernels, `"mapping"` for the read-mapping funnel.
+    pub workload: &'static str,
 }
 
 /// Results of one full `pim-asm bench` sweep.
@@ -125,7 +128,7 @@ fn bench_op2(iters: u64, backend: BackendKind) -> Measurement {
     let ns = time_ns_per_op(iters, || {
         ctrl.aap2_discard(id, SaMode::Xnor, [x1, x2], RowAddr(9)).unwrap();
     });
-    Measurement { name: "op2_xnor".into(), ns_per_op: ns, ops: iters }
+    Measurement { name: "op2_xnor".into(), ns_per_op: ns, ops: iters, workload: "assembly" }
 }
 
 /// Triple-row-activation carry, result unused — the dominant command of
@@ -143,7 +146,7 @@ fn bench_op3(iters: u64, backend: BackendKind) -> Measurement {
     let ns = time_ns_per_op(iters, || {
         ctrl.aap3_carry_discard(id, [x1, x2, x3], RowAddr(8)).unwrap();
     });
-    Measurement { name: "op3_carry".into(), ns_per_op: ns, ops: iters }
+    Measurement { name: "op3_carry".into(), ns_per_op: ns, ops: iters, workload: "assembly" }
 }
 
 /// The IR-compiled full-adder kernel replayed through the template execute
@@ -167,13 +170,19 @@ fn bench_stream_exec(iters: u64, backend: BackendKind, opt: OptLevel) -> Measure
             &[RowAddr(1), RowAddr(2), RowAddr(3)],
             &[RowAddr(10), RowAddr(11)],
             RowAddr(4),
+            &[],
             &mut rows,
         )
         .unwrap();
     let ns = time_ns_per_op(iters, || {
         adder.execute(&mut ctrl, id, &rows[..n]).unwrap();
     });
-    Measurement { name: "stream_full_adder".into(), ns_per_op: ns, ops: iters }
+    Measurement {
+        name: "stream_full_adder".into(),
+        ns_per_op: ns,
+        ops: iters,
+        workload: "assembly",
+    }
 }
 
 /// One full IR lowering of both built-in kernels, cache bypassed — the
@@ -188,7 +197,12 @@ fn bench_ir_compile(iters: u64, backend: BackendKind) -> Measurement {
         let fa = ir::compile_backend(&adder, &options, backend).unwrap();
         assert!(x.role_count() + fa.role_count() > 0);
     });
-    Measurement { name: "ir_compile_kernels".into(), ns_per_op: ns, ops: iters }
+    Measurement {
+        name: "ir_compile_kernels".into(),
+        ns_per_op: ns,
+        ops: iters,
+        workload: "assembly",
+    }
 }
 
 /// End-to-end three-stage pipeline wall-clock on a synthetic read set, run
@@ -242,10 +256,61 @@ fn bench_pipeline(
     let identical = serial_run.assembly.contigs == pool_run.assembly.contigs
         && serial_run.report.commands == pool_run.report.commands;
     Ok((
-        Measurement { name: "pipeline_e2e_serial".into(), ns_per_op: serial_ns, ops: RUNS as u64 },
-        Measurement { name: "pipeline_e2e_pool4".into(), ns_per_op: pool_ns, ops: RUNS as u64 },
+        Measurement {
+            name: "pipeline_e2e_serial".into(),
+            ns_per_op: serial_ns,
+            ops: RUNS as u64,
+            workload: "assembly",
+        },
+        Measurement {
+            name: "pipeline_e2e_pool4".into(),
+            ns_per_op: pool_ns,
+            ops: RUNS as u64,
+            workload: "assembly",
+        },
         identical,
     ))
+}
+
+/// End-to-end read-mapping workload wall-clock: index a synthetic
+/// reference, stream an error-bearing read set through the seed-filter +
+/// DP funnel, and require software-oracle agreement. Sized well below the
+/// assembly dataset — the DP leg dominates and scales with reads, not
+/// genome length.
+///
+/// # Errors
+///
+/// [`BenchError`] when the mapping run fails (overflowing seed regions).
+fn bench_mapping(opt: OptLevel) -> Result<Measurement, BenchError> {
+    use pim_assembler::mapping_stage::{run_mapping, MappingRunConfig};
+    let config = MappingRunConfig { error_rate: 0.02, opt, ..MappingRunConfig::default() };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let genome = DnaSequence::random(&mut rng, config.genome_len);
+    let reads = ReadSimulator::new(config.read_len, config.coverage)
+        .with_error_rate(config.error_rate)
+        .simulate(&genome, &mut rng);
+    let run_once = || {
+        let start = Instant::now();
+        let report = run_mapping(&config, &genome, &reads).map_err(|e| BenchError {
+            genome_len: config.genome_len,
+            hash_subarrays: config.subarrays,
+            source: e.to_string(),
+        })?;
+        assert!(report.agreement, "bench mapping run diverged from the software oracle");
+        Ok(start.elapsed().as_nanos() as f64)
+    };
+    const RUNS: usize = 3;
+    let _ = run_once()?;
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        best = best.min(run_once()?);
+    }
+    Ok(Measurement {
+        name: "mapping_e2e".into(),
+        ns_per_op: best,
+        ops: RUNS as u64,
+        workload: "mapping",
+    })
 }
 
 /// Runs the full sweep against `backend`'s substrate profile at `opt`.
@@ -276,6 +341,7 @@ pub fn run_all_for(
         let (serial, pool, pipeline_identical) = bench_pipeline(genome_len, subarrays, opt)?;
         measurements.push(serial);
         measurements.push(pool);
+        measurements.push(bench_mapping(opt)?);
         identical = pipeline_identical;
     }
     Ok(BenchReport {
@@ -291,7 +357,7 @@ pub fn run_all_for(
 /// `speedup` fields.
 pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"pim-bench-hotpath-v1\",\n  \"backend\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pim-bench-hotpath-v2\",\n  \"backend\": \"{}\",\n  \
          \"opt_level\": \"{}\",\n  \"results\": [\n",
         report.backend, report.opt_level
     );
@@ -300,9 +366,10 @@ pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
         let base = baseline.iter().find(|b| b.name == m.name);
         match base {
             Some(b) if m.ns_per_op > 0.0 => out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}, \"ops\": {}, \
-                 \"baseline_ns_per_op\": {:.2}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"ns_per_op\": {:.2}, \
+                 \"ops\": {}, \"baseline_ns_per_op\": {:.2}, \"speedup\": {:.3}}}{}\n",
                 m.name,
+                m.workload,
                 m.ns_per_op,
                 m.ops,
                 b.ns_per_op,
@@ -310,8 +377,9 @@ pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
                 sep
             )),
             _ => out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}, \"ops\": {}}}{}\n",
-                m.name, m.ns_per_op, m.ops, sep
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"ns_per_op\": {:.2}, \
+                 \"ops\": {}}}{}\n",
+                m.name, m.workload, m.ns_per_op, m.ops, sep
             )),
         }
     }
@@ -333,7 +401,7 @@ pub fn parse_measurements(json: &str) -> Vec<Measurement> {
         let num: String =
             v.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
         if let Ok(ns_per_op) = num.parse::<f64>() {
-            out.push(Measurement { name: name.to_string(), ns_per_op, ops: 0 });
+            out.push(Measurement { name: name.to_string(), ns_per_op, ops: 0, workload: "" });
         }
     }
     out
@@ -349,8 +417,18 @@ mod tests {
             backend: "pim-assembler",
             opt_level: "O0",
             measurements: vec![
-                Measurement { name: "op2_xnor".into(), ns_per_op: 123.45, ops: 10 },
-                Measurement { name: "pipeline_e2e_serial".into(), ns_per_op: 9.5e8, ops: 1 },
+                Measurement {
+                    name: "op2_xnor".into(),
+                    ns_per_op: 123.45,
+                    ops: 10,
+                    workload: "assembly",
+                },
+                Measurement {
+                    name: "pipeline_e2e_serial".into(),
+                    ns_per_op: 9.5e8,
+                    ops: 1,
+                    workload: "assembly",
+                },
             ],
             serial_parallel_identical: true,
         };
@@ -369,10 +447,20 @@ mod tests {
         let report = BenchReport {
             backend: "pim-assembler",
             opt_level: "O2",
-            measurements: vec![Measurement { name: "op2_xnor".into(), ns_per_op: 50.0, ops: 10 }],
+            measurements: vec![Measurement {
+                name: "op2_xnor".into(),
+                ns_per_op: 50.0,
+                ops: 10,
+                workload: "assembly",
+            }],
             serial_parallel_identical: true,
         };
-        let baseline = vec![Measurement { name: "op2_xnor".into(), ns_per_op: 100.0, ops: 0 }];
+        let baseline = vec![Measurement {
+            name: "op2_xnor".into(),
+            ns_per_op: 100.0,
+            ops: 0,
+            workload: "assembly",
+        }];
         let json = to_json(&report, &baseline);
         assert!(json.contains("\"speedup\": 2.000"), "{json}");
         assert!(json.contains("\"baseline_ns_per_op\": 100.00"), "{json}");
@@ -392,9 +480,13 @@ mod tests {
                 "stream_full_adder",
                 "ir_compile_kernels",
                 "pipeline_e2e_serial",
-                "pipeline_e2e_pool4"
+                "pipeline_e2e_pool4",
+                "mapping_e2e"
             ]
         );
+        let json = to_json(&report, &[]);
+        assert!(json.contains("\"workload\": \"mapping\""), "{json}");
+        assert!(json.contains("\"workload\": \"assembly\""), "{json}");
         assert!(report.measurements.iter().all(|m| m.ns_per_op > 0.0));
         assert!(report.serial_parallel_identical);
     }

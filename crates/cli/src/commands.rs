@@ -25,6 +25,7 @@ USAGE:
   pim-asm simulate <genome.fasta> [options]         sample synthetic reads
   pim-asm stats <contigs.fasta>                     N50/N90/L50 and length table
   pim-asm throughput                                Fig. 3b bulk-op throughput table
+  pim-asm map [options]                             map simulated reads on the platform
   pim-asm verify [options]                          differential + fault verification suite
   pim-asm bench [options]                           hot-path timing harness (BENCH_*.json)
   pim-asm ir --kernel NAME [options]                dump a kernel's IR and lowering
@@ -53,7 +54,23 @@ SIMULATE OPTIONS:
   --seed N         RNG seed (default 42)
   --output PATH    write reads FASTA (default reads.fasta)
 
+MAP OPTIONS:
+  --genome-len N   synthetic reference length (default 300)
+  --read-len N     simulated read length (default 32, max cols/2)
+  --coverage X     read coverage depth (default 4)
+  --error-rate X   per-base substitution error rate (default 0.02;
+                   errors route survivors through the DP refiner)
+  --seed N         RNG seed for the genome + read simulation (default 42)
+  --backend NAME   lowering backend for the mapping kernels:
+                   pim-assembler (default), ambit-tra, panda-mram
+  --opt-level N    IR optimization level: 0 (default) or 2
+  --workers N      worker threads for the dispatcher (default 0 = serial;
+                   results are identical for any value)
+  --faults X       sense-amp flip rate to inject (default none)
+
 VERIFY OPTIONS:
+  --stage NAME     verify one workload: `mapping` runs the read-mapping
+                   differential + fault suite instead of the assembly one
   --k N            k-mer length driven through the stages (default 9)
   --min-count N    graph-stage k-mer count threshold (default 1)
   --genome-len N   synthetic genome length per scenario (default 400)
@@ -63,6 +80,7 @@ VERIFY OPTIONS:
   --backend NAME   run the cross-backend differential suite instead:
                    pim-assembler, ambit-tra, panda-mram, or `all` to
                    compare every backend's command mix in one run
+                   (with --stage mapping: which backends to verify)
   --opt-level N    IR optimization level for the backend suite's stage
                    kernels: 0 (default) or 2; answers must be identical
 
@@ -277,8 +295,66 @@ fn metrics_stats(path: &str) -> CliResult {
 }
 
 /// `pim-asm verify`.
+/// `pim-asm map`: the second workload — stream simulated reads against a
+/// synthetic reference, mapping each through the seed-filter + DP funnel
+/// on the array, and compare against the software oracle.
+pub fn map(args: &ParsedArgs) -> CliResult {
+    use pim_assembler::mapping_stage::{run_mapping, MappingRunConfig};
+    let defaults = MappingRunConfig::default();
+    let config = MappingRunConfig {
+        genome_len: args.get_num("genome-len", defaults.genome_len),
+        read_len: args.get_num("read-len", defaults.read_len),
+        coverage: args.get_num("coverage", 4.0),
+        error_rate: args.get_num("error-rate", 0.02),
+        seed: args.get_num("seed", defaults.seed),
+        backend: match args.get_str("backend") {
+            Some(name) => parse_backend(name)?,
+            None => defaults.backend,
+        },
+        opt: parse_opt_level(args)?,
+        workers: args.get_num("workers", 0),
+        fault_rate: args.get_num("faults", 0.0),
+        ..defaults
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let genome = pim_genome::sequence::DnaSequence::random(&mut rng, config.genome_len);
+    let reads = ReadSimulator::new(config.read_len, config.coverage)
+        .with_error_rate(config.error_rate)
+        .simulate(&genome, &mut rng);
+    let report = run_mapping(&config, &genome, &reads)?;
+
+    let s = report.stats;
+    println!(
+        "mapped {}/{} reads against a {} bp reference on {} ({})",
+        s.mapped, report.reads, config.genome_len, config.backend, config.opt
+    );
+    println!(
+        "  funnel: {} seeded, {} candidates, {} survivors, {} DP cells",
+        s.seeded, s.candidates, s.survivors, s.dp_cells
+    );
+    println!(
+        "  software oracle agreement: {}  shadow mismatches: {}  fault flips: {}",
+        report.agreement, s.shadow_mismatches, report.fault_flips
+    );
+    if let Some(metrics) = &report.metrics {
+        for key in ["mapping.map_seed_probes", "mapping.map_match_planes", "mapping.aap2"] {
+            println!("  {key} = {}", metrics.counter(key));
+        }
+    }
+    if report.agreement || config.fault_rate > 0.0 {
+        Ok(())
+    } else {
+        Err("PIM mapping diverged from the software oracle on a healthy array".into())
+    }
+}
+
 pub fn verify(args: &ParsedArgs) -> CliResult {
     use pim_verify::{standard_suite, SuiteOptions};
+    match args.get_str("stage") {
+        Some("mapping") => return verify_mapping(args),
+        Some(other) => return Err(format!("unknown --stage {other:?} (one of: mapping)").into()),
+        None => {}
+    }
     if args.get_str("backend").is_some() {
         return verify_backends(args);
     }
@@ -303,6 +379,43 @@ pub fn verify(args: &ParsedArgs) -> CliResult {
         Ok(())
     } else {
         Err("verification failed".into())
+    }
+}
+
+/// `pim-asm verify --stage mapping`: the read-mapping workload's
+/// differential + fault suite — hits and scores must equal the software
+/// oracle byte for byte on every requested backend, serial must equal
+/// parallel, and injected faults must raise detection counters.
+fn verify_mapping(args: &ParsedArgs) -> CliResult {
+    use pim_verify::MappingSuiteOptions;
+    let defaults = MappingSuiteOptions::default();
+    let fault_rates = match args.get_str("faults").unwrap_or("1e-3") {
+        "none" => Vec::new(),
+        list => list
+            .split(',')
+            .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad fault rate {r:?}")))
+            .collect::<Result<Vec<f64>, _>>()?,
+    };
+    let backends = match args.get_str("backend") {
+        None | Some("all") => pim_assembler::ir::BackendKind::ALL.to_vec(),
+        Some(name) => vec![parse_backend(name)?],
+    };
+    let options = MappingSuiteOptions {
+        genome_len: args.get_num("genome-len", defaults.genome_len),
+        read_len: args.get_num("read-len", defaults.read_len),
+        coverage: args.get_num("coverage", defaults.coverage),
+        error_rate: args.get_num("error-rate", defaults.error_rate),
+        seed: args.get_num("seed", defaults.seed),
+        opt: parse_opt_level(args)?,
+        backends,
+        fault_rates,
+    };
+    let report = pim_verify::mapping_suite(&options);
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("mapping verification failed".into())
     }
 }
 

@@ -8,8 +8,11 @@
 //!         [--output reads.fasta]
 //! pim-asm stats <contigs.fasta>
 //! pim-asm throughput
+//! pim-asm map [--genome-len 300] [--read-len 32] [--coverage 4]
+//!         [--error-rate 0.02] [--seed 42] [--workers 0] [--faults 0]
+//!         [--backend <pim-assembler|ambit-tra|panda-mram>] [--opt-level <0|2>]
 //! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
-//!         [--backend <pim-assembler|ambit-tra|panda-mram|all>]
+//!         [--stage mapping] [--backend <pim-assembler|ambit-tra|panda-mram|all>]
 //! pim-asm bench [--iters 100000] [--genome-len 3000] [--json]
 //!         [--out BENCH.json] [--baseline BENCH_prev.json]
 //!         [--backend <pim-assembler|ambit-tra|panda-mram>]
@@ -31,6 +34,7 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "simulate" => commands::simulate(&parsed),
         "throughput" => commands::throughput(),
+        "map" => commands::map(&parsed),
         "verify" => commands::verify(&parsed),
         "bench" => commands::bench(&parsed),
         "ir" => commands::ir(&parsed),

@@ -44,11 +44,30 @@ pub fn pipeline_budget(cols: usize) -> StageBudget {
 /// an `O2` run is held to its shorter streams — the looser `O0` ratios
 /// would silently tolerate an optimizer that stopped engaging.
 pub fn pipeline_budget_at(cols: usize, opt: OptLevel) -> StageBudget {
-    let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols).with_opt(opt));
-    let adder =
-        CompiledTemplate::compile(TemplateKey::new(Kernel::FullAdder, cols, cols).with_opt(opt));
+    let compile =
+        |k: Kernel| CompiledTemplate::compile(TemplateKey::new(k, cols, cols).with_opt(opt));
+    let xnor = compile(Kernel::Xnor);
+    let adder = compile(Kernel::FullAdder);
+    let popcount = compile(Kernel::Popcount);
+    let dp_cell = compile(Kernel::DpCell);
+    let min_select = compile(Kernel::MinSelect);
     let (xnor_aap, xnor_aap2, _) = xnor.command_counts();
     let (fa_aap, fa_aap2, fa_aap3) = adder.command_counts();
+    let (pop_aap, pop_aap2, pop_aap3) = popcount.command_counts();
+    let (dp_aap, dp_aap2, dp_aap3) = dp_cell.command_counts();
+    let (ms_aap, ms_aap2, ms_aap3) = min_select.command_counts();
+    // Mapping-stage work units (see `crate::mapping_stage`):
+    //
+    // * Each popcount execution owns its share of the column sum: carry-
+    //   save runs at most one full adder per addend plane (every FA
+    //   retires a net row) and the ripple tail adds ≤ 8 more per of the
+    //   3 weighted sums — ≤ 24 per chunk, and a chunk holds ≥ 1 popcount
+    //   group, so FA executions ≤ (1 + 24) + 2 ≈ 27 per popcount.
+    // * Each DP wavefront cell is two bit-serial min passes of
+    //   `MAPPING_VALUE_BITS` dp-cell comparison steps plus the same
+    //   number of min-select muxes.
+    let fa_per_popcount = 27;
+    let dp_kernel_execs = (2 * crate::mapping_stage::MAPPING_VALUE_BITS) as u64;
 
     StageBudget::new()
         .with_line(BudgetLine::new(
@@ -86,6 +105,39 @@ pub fn pipeline_budget_at(cols: usize, opt: OptLevel) -> StageBudget {
             "stage-2b copies per adder sum cycle",
             "traverse.aap",
             vec![("traverse.aap2".into(), fa_aap.div_ceil(fa_aap2))],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "mapping sum cycles per probe/plane/popcount/wavefront",
+            "mapping.aap2",
+            vec![
+                ("mapping.map_seed_probes".into(), xnor_aap2),
+                ("mapping.map_match_planes".into(), xnor_aap2),
+                ("mapping.map_popcount_ops".into(), pop_aap2 + fa_per_popcount * fa_aap2),
+                ("mapping.map_dp_wavefronts".into(), dp_kernel_execs * (dp_aap2 + ms_aap2)),
+            ],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "mapping row clones per probe/plane/popcount/wavefront",
+            "mapping.aap",
+            vec![
+                // Query staging: one in-DRAM transfer + one clone per read.
+                ("mapping.map_reads".into(), 2),
+                ("mapping.map_seed_probes".into(), xnor_aap),
+                ("mapping.map_match_planes".into(), xnor_aap),
+                ("mapping.map_popcount_ops".into(), pop_aap + fa_per_popcount * fa_aap),
+                ("mapping.map_dp_wavefronts".into(), dp_kernel_execs * (dp_aap + ms_aap)),
+            ],
+            0,
+        ))
+        .with_line(BudgetLine::new(
+            "mapping TRA cycles per popcount/wavefront",
+            "mapping.aap3",
+            vec![
+                ("mapping.map_popcount_ops".into(), pop_aap3 + fa_per_popcount * fa_aap3),
+                ("mapping.map_dp_wavefronts".into(), dp_kernel_execs * (dp_aap3 + ms_aap3)),
+            ],
             0,
         ))
 }
@@ -153,6 +205,52 @@ mod tests {
         let violations = budget.check(&snapshot);
         assert!(violations.is_empty(), "budget violations: {violations:?}");
         assert!(snapshot.counter("traverse.aap3") > 0);
+    }
+
+    fn mapping_snapshot(opt: OptLevel) -> pim_obsv::MetricsSnapshot {
+        use crate::mapping_stage::{run_mapping, MappingConfig, MappingRunConfig};
+        let config = MappingRunConfig {
+            genome_len: 200,
+            read_len: 24,
+            coverage: 3.0,
+            error_rate: 0.03,
+            opt,
+            mapping: MappingConfig { seed_len: 12, band: 2, max_mismatch_bits: 8 },
+            ..MappingRunConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let genome = DnaSequence::random(&mut rng, config.genome_len);
+        let reads = ReadSimulator::new(config.read_len, config.coverage)
+            .with_error_rate(config.error_rate)
+            .simulate(&genome, &mut rng);
+        let report = run_mapping(&config, &genome, &reads).unwrap();
+        assert!(report.agreement);
+        report.metrics.expect("run_mapping always records metrics")
+    }
+
+    #[test]
+    fn healthy_mapping_run_stays_within_budget_at_both_opt_levels() {
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let snapshot = mapping_snapshot(opt);
+            let budget = pipeline_budget_at(256, opt);
+            let violations = budget.check(&snapshot);
+            assert!(violations.is_empty(), "budget violations at {opt:?}: {violations:?}");
+            // The mapping lines are live: the bounded counters are hot.
+            assert!(snapshot.counter("mapping.aap2") > 0);
+            assert!(snapshot.counter("mapping.aap3") > 0);
+            assert!(snapshot.counter("mapping.map_dp_wavefronts") > 0);
+        }
+    }
+
+    #[test]
+    fn mapping_command_drift_triggers_a_violation() {
+        let mut snapshot = mapping_snapshot(OptLevel::O0);
+        let aap2 = snapshot.counter("mapping.aap2");
+        snapshot.counters.insert("mapping.aap2".to_string(), 2 * aap2 + 1);
+        let budget = pipeline_budget_at(256, OptLevel::O0);
+        let violations = budget.check(&snapshot);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("mapping sum cycles"));
     }
 
     #[test]

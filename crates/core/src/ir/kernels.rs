@@ -10,7 +10,7 @@
 
 use pim_dram::sense_amp::SaMode;
 
-use super::program::PimProgram;
+use super::program::{PimProgram, VRow};
 
 /// Bitwise XNOR (the `PIM_XNOR` comparison primitive, Fig. 6):
 /// `dst = !(a ^ b)`.
@@ -74,19 +74,186 @@ pub fn full_adder() -> PimProgram {
     p
 }
 
+/// Appends one full-adder subprogram (`sum = a ^ b ^ c`,
+/// `carry = maj(a, b, c)`) to `p`, staging every operand into fresh
+/// temps because triple-row activation is destructive. `tag` keeps the
+/// staging labels unique when the adder is instantiated several times.
+#[allow(clippy::too_many_arguments)]
+fn append_full_adder(
+    p: &mut PimProgram,
+    a: VRow,
+    b: VRow,
+    c: VRow,
+    zero: VRow,
+    sum_dst: VRow,
+    carry_dst: VRow,
+    tag: &str,
+) {
+    // Latch cycle: TRA (c, zero, c) leaves carry = c in the SA latch.
+    let t1 = p.temp(format!("{tag}_t1"));
+    let t2 = p.temp(format!("{tag}_t2"));
+    let t3 = p.temp(format!("{tag}_t3"));
+    p.copy(c, t1);
+    p.copy(zero, t2);
+    p.copy(c, t3);
+    p.three_src([t1, t2, t3], sum_dst);
+
+    // Sum cycle: CarrySum evaluates a ^ b ^ latch.
+    let t4 = p.temp(format!("{tag}_t4"));
+    let t5 = p.temp(format!("{tag}_t5"));
+    p.copy(a, t4);
+    p.copy(b, t5);
+    p.two_src([t4, t5], sum_dst, SaMode::CarrySum);
+
+    // Carry cycle: TRA (a, b, c) majority.
+    let t6 = p.temp(format!("{tag}_t6"));
+    let t7 = p.temp(format!("{tag}_t7"));
+    let t8 = p.temp(format!("{tag}_t8"));
+    p.copy(a, t6);
+    p.copy(b, t7);
+    p.copy(c, t8);
+    p.three_src([t6, t7, t8], carry_dst);
+}
+
+/// Bit-serial 7:3 popcount counter: compresses seven match planes into a
+/// three-bit column count via a tree of four full adders.
+///
+/// Per column: `ones + 2*twos + 4*fours = popcount(i0..i6)`. The tree is
+/// `FA(i0,i1,i2) -> (s0, c0)`, `FA(i3,i4,i5) -> (s1, c1)`,
+/// `FA(s0, s1, i6) -> (ones, c2)`, `FA(c0, c1, c2) -> (twos, fours)` —
+/// the Hamming-weight reduction step of the mapping stage's seed filter.
+///
+/// Bindings: `[i0..i6, zero, ones, twos, fours, x...]`.
+pub fn popcount() -> PimProgram {
+    let mut p = PimProgram::new("popcount");
+    let ins: Vec<VRow> = (0..7).map(|i| p.input(format!("i{i}"))).collect();
+    let zero = p.zero("zero");
+    let ones = p.output("ones");
+    let twos = p.output("twos");
+    let fours = p.output("fours");
+
+    let s0 = p.temp("s0");
+    let c0 = p.temp("c0");
+    let s1 = p.temp("s1");
+    let c1 = p.temp("c1");
+    let c2 = p.temp("c2");
+    append_full_adder(&mut p, ins[0], ins[1], ins[2], zero, s0, c0, "fa0");
+    append_full_adder(&mut p, ins[3], ins[4], ins[5], zero, s1, c1, "fa1");
+    append_full_adder(&mut p, s0, s1, ins[6], zero, ones, c2, "fa2");
+    append_full_adder(&mut p, c0, c1, c2, zero, twos, fours, "fa3");
+    p
+}
+
+/// Appends a staged two-source gate `dst = a <mode> b` to `p`, copying
+/// both operands into fresh temps first (double-row activation is
+/// destructive, and activation sets must be compute-row temps).
+fn append_gate(p: &mut PimProgram, a: VRow, b: VRow, dst: VRow, mode: SaMode, tag: &str) {
+    let u1 = p.temp(format!("{tag}_u1"));
+    let u2 = p.temp(format!("{tag}_u2"));
+    p.copy(a, u1);
+    p.copy(b, u2);
+    p.two_src([u1, u2], dst, mode);
+}
+
+/// Bitwise 2:1 multiplexer (the min/select primitive):
+/// `dst = (a & m) | (b & ~m)` — selects `a` wherever the mask is set.
+///
+/// Built NAND-only after one XNOR inversion: `~(a NAND m) | ~(b NAND ~m)`
+/// is `(a NAND m) NAND (b NAND ~m)`. The final op is a double-row
+/// activation, so the selected row can be sensed directly.
+///
+/// Bindings: `[a, b, m, zero, dst, x...]`.
+pub fn min_select() -> PimProgram {
+    let mut p = PimProgram::new("min-select");
+    let a = p.input("a");
+    let b = p.input("b");
+    let m = p.input("m");
+    let zero = p.zero("zero");
+    let dst = p.output("dst");
+
+    let nm = p.temp("nm");
+    let n1 = p.temp("n1");
+    let n2 = p.temp("n2");
+    append_gate(&mut p, m, zero, nm, SaMode::Xnor, "g_nm");
+    append_gate(&mut p, a, m, n1, SaMode::Nand, "g_n1");
+    append_gate(&mut p, b, nm, n2, SaMode::Nand, "g_n2");
+    append_gate(&mut p, n1, n2, dst, SaMode::Nand, "g_out");
+    p
+}
+
+/// One MSB-first comparison step of the bit-serial DP-cell minimum.
+///
+/// Scanning two bit-sliced operands `A` and `B` from the most significant
+/// plane down, the step folds plane `(a, b)` into two running mask rows:
+/// `dec` (the columns already decided) and `win` (the columns where `A`
+/// won, i.e. `A < B`). Per column:
+///
+/// `gain = ~a & b & ~dec` (first differing bit, and `A` has the zero),
+/// `win_out = win | gain`, `dec_out = dec | (a ^ b)`.
+///
+/// After the full scan `win` selects `min(A, B)` through [`min_select`]
+/// plane by plane — the substitute/insert/delete minimum of the DP
+/// recurrence. The final op is a double-row activation (sensable).
+///
+/// Bindings: `[a, b, dec, win, zero, win_out, dec_out, x...]`.
+pub fn dp_cell() -> PimProgram {
+    let mut p = PimProgram::new("dp-cell");
+    let a = p.input("a");
+    let b = p.input("b");
+    let dec = p.input("dec");
+    let win = p.input("win");
+    let zero = p.zero("zero");
+    let win_out = p.output("win_out");
+    let dec_out = p.output("dec_out");
+
+    let xnorab = p.temp("xnorab"); // ~(a ^ b)
+    let nb = p.temp("nb"); // ~b
+    let asmall = p.temp("asmall"); // ~a & b
+    let newly = p.temp("newly"); // (a ^ b) & ~dec
+    let gain = p.temp("gain"); // newly & asmall
+    let nwin = p.temp("nwin"); // ~win
+    let ngain = p.temp("ngain"); // ~gain
+    let ndec = p.temp("ndec"); // ~dec
+
+    append_gate(&mut p, a, b, xnorab, SaMode::Xnor, "g_xab");
+    append_gate(&mut p, b, zero, nb, SaMode::Xnor, "g_nb");
+    append_gate(&mut p, a, nb, asmall, SaMode::Nor, "g_as");
+    append_gate(&mut p, xnorab, dec, newly, SaMode::Nor, "g_nw");
+
+    // gain = maj(newly, asmall, 0) = newly & asmall via a TRA.
+    let m1 = p.temp("g_and_m1");
+    let m2 = p.temp("g_and_m2");
+    let m3 = p.temp("g_and_m3");
+    p.copy(newly, m1);
+    p.copy(asmall, m2);
+    p.copy(zero, m3);
+    p.three_src([m1, m2, m3], gain);
+
+    append_gate(&mut p, win, zero, nwin, SaMode::Xnor, "g_nwin");
+    append_gate(&mut p, gain, zero, ngain, SaMode::Xnor, "g_ngain");
+    append_gate(&mut p, nwin, ngain, win_out, SaMode::Nand, "g_wout");
+    append_gate(&mut p, dec, zero, ndec, SaMode::Xnor, "g_ndec");
+    append_gate(&mut p, xnorab, ndec, dec_out, SaMode::Nand, "g_dout");
+    p
+}
+
 /// Looks a canonical kernel up by its CLI name.
 ///
-/// Accepted names: `xnor`, `full-adder` (also `full_adder`).
+/// Accepted names: `xnor`, `full-adder` (also `full_adder`), `popcount`,
+/// `min-select` (also `min_select`), `dp-cell` (also `dp_cell`).
 pub fn by_name(name: &str) -> Option<PimProgram> {
     match name {
         "xnor" => Some(xnor()),
         "full-adder" | "full_adder" => Some(full_adder()),
+        "popcount" => Some(popcount()),
+        "min-select" | "min_select" => Some(min_select()),
+        "dp-cell" | "dp_cell" => Some(dp_cell()),
         _ => None,
     }
 }
 
 /// The CLI names of all canonical kernels, for help/error text.
-pub const KERNEL_NAMES: &[&str] = &["xnor", "full-adder"];
+pub const KERNEL_NAMES: &[&str] = &["xnor", "full-adder", "popcount", "min-select", "dp-cell"];
 
 #[cfg(test)]
 mod tests {
@@ -109,5 +276,18 @@ mod tests {
         let fa = full_adder();
         assert_eq!(fa.ops().len(), 11);
         assert_eq!(fa.rows().len(), 14); // 6 bound roles + 8 SSA temps
+    }
+
+    #[test]
+    fn mapping_kernel_shapes() {
+        let pc = popcount();
+        assert_eq!(pc.ops().len(), 44); // 4 full adders x 11 ops
+        assert_eq!(pc.rows().len(), 48); // 11 bound roles + 5 wires + 32 staging
+        let ms = min_select();
+        assert_eq!(ms.ops().len(), 12); // 4 staged gates
+        assert_eq!(ms.rows().len(), 16);
+        let dp = dp_cell();
+        assert_eq!(dp.ops().len(), 31); // 9 staged gates + 1 staged TRA
+        assert_eq!(dp.rows().len(), 36); // 7 bound roles + 8 wires + 21 staging
     }
 }

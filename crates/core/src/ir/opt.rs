@@ -7,7 +7,7 @@
 //! candidate sequences from a bounded catalog of substrate primitives,
 //! prove each candidate equivalent to the baseline *on the target
 //! backend's activation model*, and keep the cheapest sequence under the
-//! backend's [`BackendProfile`] timing/energy tables.
+//! backend's [`pim_dram::profile::BackendProfile`] timing/energy tables.
 //!
 //! The proof is exhaustive, not sampled: kernels have ≤ 6 input rows, so
 //! every column of a candidate's truth table fits one `u64` word and the
@@ -785,7 +785,7 @@ pub fn fuse(name: &str, a: &PimProgram, b: &PimProgram) -> PimProgram {
 /// activation-set membership counting as a disturbance, the worst-case
 /// destructive model), the copy is dropped and reads of `t` retargeted to
 /// `t'`. Every elision is individually gated by the exhaustive
-/// [`programs_equivalent`] proof under *both* activation models, so the
+/// `programs_equivalent` proof under *both* activation models, so the
 /// pass is sound on every backend. Returns the rewritten program and the
 /// number of staging copies shared.
 pub fn share_staging(program: &PimProgram) -> (PimProgram, usize) {

@@ -66,6 +66,7 @@ pub mod ir;
 pub mod isa;
 pub mod layout;
 pub mod mapping;
+pub mod mapping_stage;
 pub mod partition;
 pub mod perf;
 pub mod pim_add;

@@ -1,0 +1,1032 @@
+//! Second workload — PIM read mapping with bit-serial DP refinement.
+//!
+//! The stage opens the platform beyond assembly: simulated reads stream
+//! against a reference whose seed k-mers are staged into their home
+//! sub-arrays exactly like the stage-1 hash table. Mapping a read is a
+//! three-step funnel, each step running on the array:
+//!
+//! 1. **Seed lookup** — the read's leading k-mer probes its home bucket
+//!    with `PIM_XNOR` ([`PimComparator`]), yielding the reference
+//!    positions that share the seed.
+//! 2. **Hamming filter** — every candidate window is laid out *one
+//!    candidate per column*: the window's packed bits become bit-plane
+//!    rows, each plane is XNOR-matched against the read's broadcast bit,
+//!    and the 7:3 popcount kernel plus a full-adder column sum reduce the
+//!    match planes to a per-candidate match count. Candidates whose
+//!    packed-bit Hamming distance exceeds the threshold drop out.
+//! 3. **DP refinement** — surviving inexact candidates run a banded
+//!    unit-cost edit-distance wavefront, still column-parallel: the host
+//!    supplies the `insert`/`delete`/`substitute` operand bit-planes for
+//!    each band cell (host-mediated shift network) and the array computes
+//!    the three-way minimum with the MSB-first `dp-cell` comparison
+//!    kernel and the `min-select` mux. The sensed distance drives the
+//!    final hit; [`pim_genome::align::banded_global`] with zero match
+//!    score and unit penalties is the exact software shadow.
+//!
+//! As with the assembly stages the PIM verdicts drive all control flow;
+//! host-side shadows only *detect* corruption ([`MapStats`]'s
+//! `shadow_mismatches`), so fault injection raises detection counters
+//! instead of producing silent wrong mappings. Reads partition by their
+//! seed's home sub-array and dispatch over [`ParallelDispatcher`], with
+//! results, statistics, and command totals byte-identical to the serial
+//! order for any worker count.
+
+use pim_dram::address::{RowAddr, SubarrayId};
+use pim_dram::bitrow::BitRow;
+use pim_dram::controller::Controller;
+use pim_dram::fault::FaultConfig;
+use pim_dram::geometry::DramGeometry;
+use pim_dram::port::AapPort;
+use pim_genome::align::{banded_global, Scoring};
+use pim_genome::kmer::Kmer;
+use pim_genome::reads::Read;
+use pim_genome::sequence::DnaSequence;
+use pim_obsv::{HistKey, Metric, MetricsSnapshot, Stage};
+
+use crate::dispatch::ParallelDispatcher;
+use crate::error::{PimError, Result};
+use crate::ir::{BackendKind, OptLevel};
+use crate::mapping::KmerMapper;
+use crate::pim_add::{PimAdder, ScratchSpace};
+use crate::pim_xnor::PimComparator;
+use crate::template::{CompiledTemplate, Kernel, TemplateKey};
+
+/// Bit width of the DP value planes (distances stay below `DP_INF`,
+/// which fits comfortably in 8 bits). Shared with the budget model.
+pub const MAPPING_VALUE_BITS: usize = 8;
+
+/// Saturating "unreachable" distance injected at band boundaries; far
+/// above any real banded distance yet below `2^MAPPING_VALUE_BITS`.
+const DP_INF: u32 = 200;
+
+/// Stack bound on any mapping kernel's role table (popcount on the Ambit
+/// rewrite is the widest).
+const MAX_MAP_ROLES: usize = 64;
+
+/// Fan-in of the popcount kernel (a 7:3 counter).
+const POPCOUNT_FAN_IN: usize = 7;
+
+/// Mapping-algorithm parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingConfig {
+    /// Seed k-mer length (the read prefix probed against the index).
+    pub seed_len: usize,
+    /// DP band half-width (matches `banded_global`'s `band`).
+    pub band: usize,
+    /// Hamming-filter threshold on *packed-bit* distance (2 bits/base).
+    pub max_mismatch_bits: u32,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig { seed_len: 16, band: 2, max_mismatch_bits: 8 }
+    }
+}
+
+/// One read's best mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingHit {
+    /// Index of the read in the mapped batch.
+    pub read_id: usize,
+    /// Reference position of the window the read mapped to.
+    pub position: usize,
+    /// Alignment score — `banded_global` with `Scoring { matches: 0,
+    /// mismatch: -1, gap: -1 }`, i.e. the negated banded edit distance.
+    pub score: i32,
+}
+
+/// Statistics of the mapping stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MapStats {
+    /// Reads streamed through the stage.
+    pub reads: u64,
+    /// Reads whose seed matched at least one stored index row.
+    pub seeded: u64,
+    /// Candidate positions surfaced by seed lookup (total).
+    pub candidates: u64,
+    /// Candidates surviving the Hamming filter.
+    pub survivors: u64,
+    /// Band cells evaluated by the in-DRAM DP wavefront.
+    pub dp_cells: u64,
+    /// Reads that produced a final mapping.
+    pub mapped: u64,
+    /// PIM results that disagreed with the host-side shadow recompute
+    /// (seed compare, Hamming count, or final DP distance). Always 0 on a
+    /// healthy array; the corruption-detection signal under fault
+    /// injection — the PIM verdict still drives control flow.
+    pub shadow_mismatches: u64,
+}
+
+impl MapStats {
+    /// Accumulates another counter set (order-independent integer adds).
+    pub fn merge(&mut self, other: &MapStats) {
+        self.reads += other.reads;
+        self.seeded += other.seeded;
+        self.candidates += other.candidates;
+        self.survivors += other.survivors;
+        self.dp_cells += other.dp_cells;
+        self.mapped += other.mapped;
+        self.shadow_mismatches += other.shadow_mismatches;
+    }
+}
+
+/// The set of compiled kernels one mapper instance executes.
+#[derive(Debug, Clone)]
+struct MappingKernels {
+    xnor: CompiledTemplate,
+    popcount: CompiledTemplate,
+    dp_cell: CompiledTemplate,
+    min_select: CompiledTemplate,
+}
+
+/// The in-DRAM read mapper: seed index + the three-step mapping funnel.
+#[derive(Debug, Clone)]
+pub struct PimReadMapper {
+    mapper: KmerMapper,
+    comparator: PimComparator,
+    kernels: MappingKernels,
+    opt: OptLevel,
+    config: MappingConfig,
+    reference: DnaSequence,
+    read_len: usize,
+    /// Rows `[0, seed_rows)` of each k-mer region hold seed rows; the
+    /// rest is the per-read plane scratch pool.
+    seed_rows: usize,
+    /// Shadow seed directory: `slots[subarray][row] = Some(seed)`.
+    slots: Vec<Vec<Option<Kmer>>>,
+    /// Reference positions stored under each seed row, in ascending order.
+    positions: Vec<Vec<Vec<usize>>>,
+    zero_row: RowAddr,
+    stats: MapStats,
+}
+
+impl PimReadMapper {
+    /// Builds the seed index for `reference` in DRAM (one charged row
+    /// write per stored seed), compiling every mapping kernel once for
+    /// `backend` at `opt`. `read_len` fixes the window width mapped
+    /// against (every mapped read must have exactly this length).
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::KTooLarge`] if `2·read_len` exceeds the row width.
+    /// * [`PimError::SubarrayFull`] if a seed region overflows.
+    /// * Genome errors for degenerate seed/reference shapes.
+    pub fn build(
+        ctrl: &mut Controller,
+        mapper: KmerMapper,
+        reference: &DnaSequence,
+        read_len: usize,
+        config: MappingConfig,
+        backend: BackendKind,
+        opt: OptLevel,
+    ) -> Result<Self> {
+        let layout = *mapper.layout();
+        let cols = layout.cols();
+        if 2 * read_len > cols {
+            return Err(PimError::KTooLarge { k: read_len, max: cols / 2 });
+        }
+        if config.seed_len > read_len || reference.len() < read_len {
+            return Err(PimError::KTooLarge { k: config.seed_len, max: read_len });
+        }
+        let zero_row = layout.temp_row(layout.temp_rows() - 1);
+        let comparator = PimComparator::with_backend(cols, backend, zero_row, opt);
+        let key = |k: Kernel| TemplateKey::new(k, cols, cols).with_backend(backend).with_opt(opt);
+        let kernels = MappingKernels {
+            xnor: CompiledTemplate::compile(key(Kernel::Xnor)),
+            popcount: CompiledTemplate::compile(key(Kernel::Popcount)),
+            dp_cell: CompiledTemplate::compile(key(Kernel::DpCell)),
+            min_select: CompiledTemplate::compile(key(Kernel::MinSelect)),
+        };
+        let seed_rows = layout.kmer_rows() / 2;
+        let num_subs = mapper.subarrays().len();
+        let mut this = PimReadMapper {
+            mapper,
+            comparator,
+            kernels,
+            opt,
+            config,
+            reference: reference.clone(),
+            read_len,
+            seed_rows,
+            slots: vec![vec![None; seed_rows]; num_subs],
+            positions: vec![vec![Vec::new(); seed_rows]; num_subs],
+            zero_row,
+            stats: MapStats::default(),
+        };
+        let mut image = BitRow::zeros(cols);
+        for p in 0..=(reference.len() - read_len) {
+            let seed = Kmer::from_sequence(reference, p, config.seed_len)?;
+            let (sub_idx, bucket) = this.mapper.home(&seed);
+            let subarray = this.mapper.subarrays()[sub_idx];
+            let start = bucket % seed_rows;
+            let mut stored = false;
+            for step in 0..seed_rows {
+                let row = (start + step) % seed_rows;
+                match this.slots[sub_idx][row] {
+                    Some(existing) if existing == seed => {
+                        this.positions[sub_idx][row].push(p);
+                        stored = true;
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => {
+                        this.mapper.row_image_into(&seed, &mut image);
+                        ctrl.write_row(subarray, RowAddr(row), &image)?;
+                        this.slots[sub_idx][row] = Some(seed);
+                        this.positions[sub_idx][row].push(p);
+                        stored = true;
+                        break;
+                    }
+                }
+            }
+            if !stored {
+                return Err(PimError::SubarrayFull { subarray: sub_idx, capacity: seed_rows });
+            }
+        }
+        Ok(this)
+    }
+
+    /// The lowering backend the mapping kernels run on.
+    pub fn backend(&self) -> BackendKind {
+        self.comparator.backend()
+    }
+
+    /// Stage statistics so far.
+    pub fn stats(&self) -> &MapStats {
+        &self.stats
+    }
+
+    /// The mapper (layout + sub-array partition) in use.
+    pub fn mapper(&self) -> &KmerMapper {
+        &self.mapper
+    }
+
+    /// Maps a batch of reads, dispatching each home sub-array's share as
+    /// an independent partition. Returns one entry per read, in read
+    /// order — `None` for reads the funnel rejects. State, statistics,
+    /// and command totals are identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The first failing partition's error, in home-sub-array order; a
+    /// read whose length differs from the index's `read_len` fails with
+    /// [`PimError::KTooLarge`].
+    pub fn map_batch(
+        &mut self,
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        reads: &[Read],
+    ) -> Result<Vec<Option<MappingHit>>> {
+        for read in reads {
+            if read.seq.len() != self.read_len {
+                return Err(PimError::KTooLarge { k: read.seq.len(), max: self.read_len });
+            }
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (idx, read) in reads.iter().enumerate() {
+            let seed = Kmer::from_sequence(&read.seq, 0, self.config.seed_len)?;
+            let (sub_idx, _) = self.mapper.home(&seed);
+            groups[sub_idx].push(idx);
+        }
+        let mut partitions = Vec::new();
+        for (sub_idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            partitions.push((self.mapper.subarrays()[sub_idx], (sub_idx, group)));
+        }
+        let this = &*self;
+        let results = dispatcher.run_partitions(ctrl, partitions, |ctx, payload| {
+            let (sub_idx, group): (usize, Vec<usize>) = payload;
+            let mut stats = MapStats::default();
+            let mut hits = Vec::new();
+            let mut first_err = None;
+            for read_idx in group {
+                match this.map_one(ctx, sub_idx, read_idx, &reads[read_idx], &mut stats) {
+                    Ok(hit) => hits.push((read_idx, hit)),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            Ok((hits, stats, first_err))
+        })?;
+        let mut out = vec![None; reads.len()];
+        let mut first_err = None;
+        for (hits, stats, err) in results {
+            for (idx, hit) in hits {
+                out[idx] = hit;
+            }
+            self.stats.merge(&stats);
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// The full per-read funnel on one sub-array (runs against the
+    /// controller façade or a detached worker context alike).
+    fn map_one(
+        &self,
+        port: &mut impl AapPort,
+        sub_idx: usize,
+        read_idx: usize,
+        read: &Read,
+        stats: &mut MapStats,
+    ) -> Result<Option<MappingHit>> {
+        stats.reads += 1;
+        port.record_metric(Metric::MapReads, 1);
+        let candidates = self.seed_candidates(port, sub_idx, read, stats)?;
+        port.record_value(HistKey::MapCandidates, candidates.len() as u64);
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        stats.seeded += 1;
+        stats.candidates += candidates.len() as u64;
+
+        let mut best: Option<(i32, usize)> = None;
+        let cols = port.geometry().cols;
+        for chunk in candidates.chunks(cols) {
+            let survivors = self.hamming_filter(port, sub_idx, read, chunk, stats)?;
+            stats.survivors += survivors.len() as u64;
+            let exact: Vec<usize> = survivors.iter().filter(|s| s.1 == 0).map(|s| s.0).collect();
+            let inexact: Vec<usize> = survivors.iter().filter(|s| s.1 > 0).map(|s| s.0).collect();
+            for &pos in &exact {
+                Self::offer(&mut best, 0, pos);
+            }
+            for dp_chunk in inexact.chunks(cols) {
+                let dists = self.dp_refine(port, sub_idx, read, dp_chunk, stats)?;
+                for (&pos, &d) in dp_chunk.iter().zip(dists.iter()) {
+                    if d < DP_INF {
+                        Self::offer(&mut best, -(d as i32), pos);
+                    }
+                }
+            }
+        }
+        Ok(best.map(|(score, position)| {
+            stats.mapped += 1;
+            MappingHit { read_id: read_idx, position, score }
+        }))
+    }
+
+    /// Keeps the better `(score, position)` — higher score wins, ties go
+    /// to the lower reference position.
+    fn offer(best: &mut Option<(i32, usize)>, score: i32, position: usize) {
+        let better = match best {
+            None => true,
+            Some((s, p)) => score > *s || (score == *s && position < *p),
+        };
+        if better {
+            *best = Some((score, position));
+        }
+    }
+
+    /// Step 1 — seed lookup: probe the home bucket with `PIM_XNOR` until
+    /// the stored seed matches (or an empty row ends the chain) and
+    /// return the positions stored under the matched row.
+    fn seed_candidates(
+        &self,
+        port: &mut impl AapPort,
+        sub_idx: usize,
+        read: &Read,
+        stats: &mut MapStats,
+    ) -> Result<Vec<usize>> {
+        let layout = *self.mapper.layout();
+        let seed = Kmer::from_sequence(&read.seq, 0, self.config.seed_len)?;
+        let (_, bucket) = self.mapper.home(&seed);
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let image = self.mapper.row_image(&seed, layout.cols());
+        self.comparator.stage_query(port, subarray, layout.temp_row(0), &image)?;
+        let start = bucket % self.seed_rows;
+        for step in 0..self.seed_rows {
+            let row = (start + step) % self.seed_rows;
+            let Some(stored) = self.slots[sub_idx][row] else {
+                return Ok(Vec::new());
+            };
+            port.record_metric(Metric::MapSeedProbes, 1);
+            let matched = self.comparator.compare(
+                port,
+                subarray,
+                layout.temp_row(0),
+                RowAddr(row),
+                layout.temp_row(1),
+            )?;
+            if matched != (stored == seed) {
+                stats.shadow_mismatches += 1;
+            }
+            if matched {
+                return Ok(self.positions[sub_idx][row].clone());
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Step 2 — the columnar Hamming filter over one candidate chunk
+    /// (≤ `cols` candidates, one per column). Returns the surviving
+    /// `(position, packed_bit_distance)` pairs.
+    fn hamming_filter(
+        &self,
+        port: &mut impl AapPort,
+        sub_idx: usize,
+        read: &Read,
+        chunk: &[usize],
+        stats: &mut MapStats,
+    ) -> Result<Vec<(usize, u32)>> {
+        let layout = *self.mapper.layout();
+        let cols = layout.cols();
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let plane_count = 2 * self.read_len;
+        let read_bits = read.seq.to_row_bits(self.read_len);
+        let window_bits: Vec<Vec<bool>> = chunk
+            .iter()
+            .map(|&p| self.reference.subsequence(p, self.read_len).to_row_bits(self.read_len))
+            .collect();
+
+        let mut scratch = ScratchSpace::new(self.seed_rows, layout.kmer_rows());
+        let mut rows = [RowAddr(0); MAX_MAP_ROLES];
+
+        // Broadcast constants for the per-plane XNOR: an all-ones row and
+        // a written all-zero row (the direct-activation backends open
+        // data rows themselves, so the kernel's zero role must not double
+        // as an input row).
+        let ones_row = scratch.alloc()?;
+        port.write_row(subarray, ones_row, &BitRow::ones(cols))?;
+        let zeros_row = scratch.alloc()?;
+        port.write_row(subarray, zeros_row, &BitRow::zeros(cols))?;
+        let wplane_row = scratch.alloc()?;
+
+        // Distinct zero pads for the final partial popcount group: a
+        // triple-row activation may contain several pads at once.
+        let mut pads: Vec<RowAddr> = Vec::new();
+        let spill_rows: Vec<RowAddr> = (0..self.kernels.popcount.spill_role_count())
+            .map(|_| scratch.alloc())
+            .collect::<Result<_>>()?;
+
+        let mut ones_planes = Vec::new();
+        let mut twos_planes = Vec::new();
+        let mut fours_planes = Vec::new();
+        let mut group: Vec<RowAddr> = Vec::new();
+        for j in 0..plane_count {
+            let wplane = BitRow::from_fn(cols, |c| c < chunk.len() && window_bits[c][j]);
+            port.write_row(subarray, wplane_row, &wplane)?;
+            let const_row = if read_bits[j] { ones_row } else { zeros_row };
+            let match_row = scratch.alloc()?;
+            let n = self.kernels.xnor.bind_roles_into(
+                port,
+                &[wplane_row, const_row],
+                &[match_row],
+                self.zero_row,
+                &[],
+                &mut rows,
+            )?;
+            self.kernels.xnor.execute(port, subarray, &rows[..n])?;
+            port.record_metric(Metric::MapMatchPlanes, 1);
+            group.push(match_row);
+            if group.len() == POPCOUNT_FAN_IN || j + 1 == plane_count {
+                while group.len() < POPCOUNT_FAN_IN {
+                    let pad = match pads.get(POPCOUNT_FAN_IN - 1 - group.len()) {
+                        Some(&row) => row,
+                        None => {
+                            let row = scratch.alloc()?;
+                            port.write_row(subarray, row, &BitRow::zeros(cols))?;
+                            pads.push(row);
+                            row
+                        }
+                    };
+                    group.push(pad);
+                }
+                let (o, t, f) = (scratch.alloc()?, scratch.alloc()?, scratch.alloc()?);
+                let n = self.kernels.popcount.bind_roles_into(
+                    port,
+                    &group,
+                    &[o, t, f],
+                    self.zero_row,
+                    &spill_rows,
+                    &mut rows,
+                )?;
+                self.kernels.popcount.execute(port, subarray, &rows[..n])?;
+                port.record_metric(Metric::MapPopcountOps, 1);
+                ones_planes.push(o);
+                twos_planes.push(t);
+                fours_planes.push(f);
+                for row in group.drain(..) {
+                    if !pads.contains(&row) {
+                        scratch.release(row);
+                    }
+                }
+            }
+        }
+
+        // Reduce the per-group counter planes to per-candidate totals:
+        // matches = Σ ones + 2·Σ twos + 4·Σ fours.
+        let mut totals = vec![0u64; cols];
+        for (planes, weight) in [(&ones_planes, 1u64), (&twos_planes, 2), (&fours_planes, 4)] {
+            let summed = PimAdder::column_sum_with(
+                port,
+                subarray,
+                self.backend(),
+                self.opt,
+                planes,
+                self.zero_row,
+                &mut scratch,
+            )?;
+            for (c, v) in PimAdder::decode_columns(&summed).into_iter().enumerate() {
+                totals[c] += weight * v;
+            }
+        }
+
+        let mut survivors = Vec::new();
+        for (c, &pos) in chunk.iter().enumerate() {
+            let matched = totals[c].min(plane_count as u64) as u32;
+            let dist = plane_count as u32 - matched;
+            let expected =
+                read_bits.iter().zip(window_bits[c].iter()).filter(|(r, w)| r != w).count() as u32;
+            if dist != expected {
+                stats.shadow_mismatches += 1;
+            }
+            if dist <= self.config.max_mismatch_bits {
+                survivors.push((pos, dist));
+            }
+        }
+        Ok(survivors)
+    }
+
+    /// Step 3 — banded unit-cost edit distance for one chunk of inexact
+    /// survivors, column-parallel across candidates. The host supplies
+    /// the three operand planes per band cell from the previously sensed
+    /// wavefront (the host-mediated shift network) and the array computes
+    /// `min(ins, del, sub)` bit-serially; the sensed result is the next
+    /// wavefront value. Returns each candidate's distance.
+    fn dp_refine(
+        &self,
+        port: &mut impl AapPort,
+        sub_idx: usize,
+        read: &Read,
+        chunk: &[usize],
+        stats: &mut MapStats,
+    ) -> Result<Vec<u32>> {
+        const W: usize = MAPPING_VALUE_BITS;
+        let layout = *self.mapper.layout();
+        let cols = layout.cols();
+        let subarray = self.mapper.subarrays()[sub_idx];
+        let band = self.config.band;
+        let width = 2 * band + 1;
+        let n = self.read_len; // read length (rows of the DP matrix)
+        let m = self.read_len; // window length (columns)
+
+        let mut scratch = ScratchSpace::new(self.seed_rows, layout.kmer_rows());
+        let alloc_planes = |scratch: &mut ScratchSpace| -> Result<Vec<RowAddr>> {
+            (0..W).map(|_| scratch.alloc()).collect()
+        };
+        let pa = alloc_planes(&mut scratch)?; // ins operands
+        let pb = alloc_planes(&mut scratch)?; // del operands
+        let pc = alloc_planes(&mut scratch)?; // sub operands
+        let pm = alloc_planes(&mut scratch)?; // min(ins, del)
+        let pr = alloc_planes(&mut scratch)?; // min3 result
+                                              // Written zero rows seeding the dec/win masks (distinct rows: a
+                                              // direct-activation backend may open both in one activation set).
+        let dz = scratch.alloc()?;
+        port.write_row(subarray, dz, &BitRow::zeros(cols))?;
+        let wz = scratch.alloc()?;
+        port.write_row(subarray, wz, &BitRow::zeros(cols))?;
+        let decwin = [scratch.alloc()?, scratch.alloc()?, scratch.alloc()?, scratch.alloc()?];
+
+        // prev/cur wavefronts per diagonal offset `d` (j = i + d - band),
+        // one value vector per candidate column. Row 0: D[0][j] = j.
+        let inf_row = vec![DP_INF; chunk.len()];
+        let mut prev: Vec<Vec<u32>> = (0..width)
+            .map(|d| {
+                let j = d as i64 - band as i64;
+                if (0..=m as i64).contains(&j) {
+                    vec![j as u32; chunk.len()]
+                } else {
+                    inf_row.clone()
+                }
+            })
+            .collect();
+        let bump = |v: u32| (v + 1).min(DP_INF);
+
+        let mut cur: Vec<Vec<u32>> = vec![inf_row.clone(); width];
+        for i in 1..=n {
+            for row in cur.iter_mut() {
+                *row = inf_row.clone();
+            }
+            for d in 0..width {
+                let j = i as i64 + d as i64 - band as i64;
+                if j < 0 || j > m as i64 {
+                    continue;
+                }
+                let j = j as usize;
+                if j == 0 {
+                    cur[d] = vec![i as u32; chunk.len()];
+                    continue;
+                }
+                // Per-candidate operand values from the sensed wavefront.
+                let ins: Vec<u32> = (0..chunk.len())
+                    .map(|c| if d > 0 { bump(cur[d - 1][c]) } else { DP_INF })
+                    .collect();
+                let del: Vec<u32> = (0..chunk.len())
+                    .map(|c| if d + 1 < width { bump(prev[d + 1][c]) } else { DP_INF })
+                    .collect();
+                let sub: Vec<u32> = (0..chunk.len())
+                    .map(|c| {
+                        let neq = read.seq.get(i - 1) != self.reference.get(chunk[c] + j - 1);
+                        (prev[d][c] + u32::from(neq)).min(DP_INF)
+                    })
+                    .collect();
+                self.write_value_planes(port, subarray, &pa, &ins)?;
+                self.write_value_planes(port, subarray, &pb, &del)?;
+                self.write_value_planes(port, subarray, &pc, &sub)?;
+                self.pim_min2(port, subarray, &pa, &pb, &pm, dz, wz, &decwin)?;
+                self.pim_min2(port, subarray, &pm, &pc, &pr, dz, wz, &decwin)?;
+                // Sense the result planes: these values *are* the next
+                // wavefront (fault flips propagate into the distance).
+                let mut vals = vec![0u32; chunk.len()];
+                for (w, &row) in pr.iter().enumerate() {
+                    let plane = port.read_row(subarray, row)?;
+                    for (c, v) in vals.iter_mut().enumerate() {
+                        *v |= u32::from(plane.get(c)) << w;
+                    }
+                }
+                cur[d] = vals;
+                stats.dp_cells += 1;
+                port.record_metric(Metric::MapDpWavefronts, 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+
+        // End cell (n, m) sits at d = m - n + band = band.
+        let dists: Vec<u32> = (0..chunk.len()).map(|c| prev[band][c]).collect();
+        for (c, &pos) in chunk.iter().enumerate() {
+            let window = self.reference.subsequence(pos, self.read_len);
+            let expected = banded_global(&read.seq, &window, band, unit_scoring())
+                .map(|a| (-a.score) as u32)
+                .unwrap_or(DP_INF);
+            if dists[c] != expected {
+                stats.shadow_mismatches += 1;
+            }
+        }
+        Ok(dists)
+    }
+
+    /// Writes one value-per-candidate vector as `MAPPING_VALUE_BITS`
+    /// bit-plane rows (LSB first).
+    fn write_value_planes(
+        &self,
+        port: &mut impl AapPort,
+        subarray: SubarrayId,
+        planes: &[RowAddr],
+        vals: &[u32],
+    ) -> Result<()> {
+        let cols = port.geometry().cols;
+        for (w, &row) in planes.iter().enumerate() {
+            let plane = BitRow::from_fn(cols, |c| c < vals.len() && (vals[c] >> w) & 1 == 1);
+            port.write_row(subarray, row, &plane)?;
+        }
+        Ok(())
+    }
+
+    /// Column-parallel `out = min(a, b)` over bit-sliced planes: W
+    /// MSB-first `dp-cell` comparison steps build the win/dec masks,
+    /// then W `min-select` muxes materialise the minimum.
+    #[allow(clippy::too_many_arguments)]
+    fn pim_min2(
+        &self,
+        port: &mut impl AapPort,
+        subarray: SubarrayId,
+        a: &[RowAddr],
+        b: &[RowAddr],
+        out: &[RowAddr],
+        dz: RowAddr,
+        wz: RowAddr,
+        decwin: &[RowAddr; 4],
+    ) -> Result<()> {
+        let mut rows = [RowAddr(0); MAX_MAP_ROLES];
+        let (mut dec_in, mut win_in) = (dz, wz);
+        let mut pp = 0usize;
+        for w in (0..MAPPING_VALUE_BITS).rev() {
+            let (win_out, dec_out) = (decwin[2 * pp], decwin[2 * pp + 1]);
+            let n = self.kernels.dp_cell.bind_roles_into(
+                port,
+                &[a[w], b[w], dec_in, win_in],
+                &[win_out, dec_out],
+                self.zero_row,
+                &[],
+                &mut rows,
+            )?;
+            self.kernels.dp_cell.execute(port, subarray, &rows[..n])?;
+            dec_in = dec_out;
+            win_in = win_out;
+            pp ^= 1;
+        }
+        for w in 0..MAPPING_VALUE_BITS {
+            let n = self.kernels.min_select.bind_roles_into(
+                port,
+                &[a[w], b[w], win_in],
+                &[out[w]],
+                self.zero_row,
+                &[],
+                &mut rows,
+            )?;
+            self.kernels.min_select.execute(port, subarray, &rows[..n])?;
+        }
+        Ok(())
+    }
+}
+
+/// The `banded_global` scoring whose score is the negated unit-cost
+/// banded edit distance — the mapping stage's exact software shadow.
+pub fn unit_scoring() -> Scoring {
+    Scoring { matches: 0, mismatch: -1, gap: -1 }
+}
+
+/// The pure-software reference mapper: identical seed index, identical
+/// packed-bit Hamming filter, with [`banded_global`] as the DP oracle.
+/// On a healthy array [`PimReadMapper::map_batch`] is byte-identical.
+pub fn software_map(
+    reference: &DnaSequence,
+    reads: &[Read],
+    read_len: usize,
+    config: &MappingConfig,
+) -> Vec<Option<MappingHit>> {
+    use std::collections::HashMap;
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+    for p in 0..=(reference.len().saturating_sub(read_len)) {
+        let Ok(seed) = Kmer::from_sequence(reference, p, config.seed_len) else { continue };
+        index.entry(seed.packed()).or_default().push(p);
+    }
+    let plane_count = 2 * read_len;
+    reads
+        .iter()
+        .enumerate()
+        .map(|(read_idx, read)| {
+            if read.seq.len() != read_len {
+                return None;
+            }
+            let seed = Kmer::from_sequence(&read.seq, 0, config.seed_len).ok()?;
+            let candidates = index.get(&seed.packed())?;
+            let read_bits = read.seq.to_row_bits(read_len);
+            let mut best: Option<(i32, usize)> = None;
+            for &pos in candidates {
+                let window = reference.subsequence(pos, read_len);
+                let wbits = window.to_row_bits(read_len);
+                let dist = read_bits.iter().zip(wbits.iter()).filter(|(r, w)| r != w).count();
+                if dist as u32 > config.max_mismatch_bits {
+                    continue;
+                }
+                let score = if dist == 0 {
+                    0
+                } else {
+                    match banded_global(&read.seq, &window, config.band, unit_scoring()) {
+                        Some(a) if (-a.score) < DP_INF as i32 => a.score,
+                        _ => continue,
+                    }
+                };
+                let better = match best {
+                    None => true,
+                    Some((s, p)) => score > s || (score == s && pos < p),
+                };
+                if better {
+                    best = Some((score, pos));
+                }
+            }
+            let _ = plane_count;
+            best.map(|(score, position)| MappingHit { read_id: read_idx, position, score })
+        })
+        .collect()
+}
+
+/// Configuration of one end-to-end mapping run (the `pim-asm map`
+/// workload). The genome/read simulation itself lives with the callers
+/// (this crate stays RNG-free); `genome_len`, `coverage`, `error_rate`,
+/// and `seed` record the parameters the workload should be simulated
+/// with.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingRunConfig {
+    /// Reference genome length (bases).
+    pub genome_len: usize,
+    /// Simulated read length (must satisfy `2·read_len ≤ cols`).
+    pub read_len: usize,
+    /// Read coverage depth.
+    pub coverage: f64,
+    /// Per-base substitution error rate for simulated reads.
+    pub error_rate: f64,
+    /// RNG seed (genome + reads).
+    pub seed: u64,
+    /// Sub-arrays to spread the seed index over.
+    pub subarrays: usize,
+    /// Hash-bucket granularity of the seed index.
+    pub bucket_rows: usize,
+    /// Lowering backend for every mapping kernel.
+    pub backend: BackendKind,
+    /// Optimization level the kernels compile at.
+    pub opt: OptLevel,
+    /// Worker threads (0 = serial dispatch).
+    pub workers: usize,
+    /// Mapping-algorithm parameters.
+    pub mapping: MappingConfig,
+    /// Sense-amp fault rate (0.0 = healthy array).
+    pub fault_rate: f64,
+    /// Fault-injection RNG seed.
+    pub fault_seed: u64,
+}
+
+impl Default for MappingRunConfig {
+    fn default() -> Self {
+        MappingRunConfig {
+            genome_len: 300,
+            read_len: 32,
+            coverage: 4.0,
+            error_rate: 0.0,
+            seed: 42,
+            subarrays: 4,
+            bucket_rows: 8,
+            backend: BackendKind::PimAssembler,
+            opt: OptLevel::O0,
+            workers: 0,
+            mapping: MappingConfig::default(),
+            fault_rate: 0.0,
+            fault_seed: 7,
+        }
+    }
+}
+
+/// Results of one end-to-end mapping run.
+#[derive(Debug, Clone)]
+pub struct MappingRunReport {
+    /// PIM mapping per read (in read order).
+    pub hits: Vec<Option<MappingHit>>,
+    /// Software-oracle mapping per read.
+    pub software: Vec<Option<MappingHit>>,
+    /// Whether the PIM and software mappings are byte-identical.
+    pub agreement: bool,
+    /// Stage statistics.
+    pub stats: MapStats,
+    /// Scoped metrics snapshot (`mapping.*` keys).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Sense-amp bit flips the fault model injected.
+    pub fault_flips: u64,
+    /// Number of simulated reads.
+    pub reads: usize,
+}
+
+/// Runs the full mapping workload over a pre-simulated `genome` + read
+/// set: build the index, map every read, and compare against
+/// [`software_map`]. Callers with an RNG (bench, verify, the CLI)
+/// simulate the inputs from the config's `genome_len`/`coverage`/
+/// `error_rate`/`seed` fields.
+///
+/// # Errors
+///
+/// Index build or mapping errors (overflowing seed regions, DRAM
+/// addressing failures).
+pub fn run_mapping(
+    config: &MappingRunConfig,
+    genome: &DnaSequence,
+    reads: &[Read],
+) -> Result<MappingRunReport> {
+    let g = DramGeometry::paper_assembly();
+    let mut ctrl = Controller::with_profile(g, &config.backend.profile());
+    ctrl.enable_metrics();
+    if config.fault_rate > 0.0 {
+        ctrl.inject_faults(FaultConfig::new(config.fault_rate, config.fault_seed));
+    }
+    ctrl.set_stage(Stage::Mapping);
+
+    let mapper = KmerMapper::new(&g, config.subarrays, config.bucket_rows);
+    let mut pim = PimReadMapper::build(
+        &mut ctrl,
+        mapper,
+        genome,
+        config.read_len,
+        config.mapping,
+        config.backend,
+        config.opt,
+    )?;
+    let dispatcher = if config.workers == 0 {
+        ParallelDispatcher::serial()
+    } else {
+        ParallelDispatcher::with_workers(config.workers)
+    };
+    let hits = pim.map_batch(&mut ctrl, &dispatcher, reads)?;
+    let software = software_map(genome, reads, config.read_len, &config.mapping);
+    let agreement = hits == software;
+    Ok(MappingRunReport {
+        agreement,
+        stats: *pim.stats(),
+        metrics: ctrl.metrics_snapshot(),
+        fault_flips: ctrl.fault_flips(),
+        reads: reads.len(),
+        hits,
+        software,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_genome::reads::ReadSimulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn simulate(config: &MappingRunConfig) -> (DnaSequence, Vec<Read>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let genome = DnaSequence::random(&mut rng, config.genome_len);
+        let reads = ReadSimulator::new(config.read_len, config.coverage)
+            .with_error_rate(config.error_rate)
+            .simulate(&genome, &mut rng);
+        (genome, reads)
+    }
+
+    fn run(config: &MappingRunConfig) -> Result<MappingRunReport> {
+        let (genome, reads) = simulate(config);
+        run_mapping(config, &genome, &reads)
+    }
+
+    fn small_config() -> MappingRunConfig {
+        MappingRunConfig {
+            genome_len: 200,
+            read_len: 24,
+            coverage: 3.0,
+            mapping: MappingConfig { seed_len: 12, band: 2, max_mismatch_bits: 8 },
+            ..MappingRunConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_the_software_oracle() {
+        let report = run(&small_config()).unwrap();
+        assert!(report.reads > 0);
+        assert!(report.agreement, "PIM and software mappings diverged");
+        assert_eq!(report.stats.shadow_mismatches, 0);
+        assert!(report.stats.mapped > 0, "nothing mapped: {:?}", report.stats);
+    }
+
+    #[test]
+    fn error_reads_engage_the_dp_refiner_and_still_agree() {
+        let config = MappingRunConfig { error_rate: 0.03, ..small_config() };
+        let report = run(&config).unwrap();
+        assert!(report.agreement, "PIM and software mappings diverged under read errors");
+        assert!(report.stats.dp_cells > 0, "no DP cells ran: {:?}", report.stats);
+        assert_eq!(report.stats.shadow_mismatches, 0);
+    }
+
+    #[test]
+    fn unit_scoring_negates_the_edit_distance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = DnaSequence::random(&mut rng, 30);
+        // One substitution: distance exactly 1.
+        let mut b = DnaSequence::new();
+        for i in 0..a.len() {
+            b.push(if i == 10 { a.get(i).complement() } else { a.get(i) });
+        }
+        let aln = banded_global(&a, &b, 2, unit_scoring()).unwrap();
+        assert_eq!(aln.score, -1);
+    }
+
+    #[test]
+    fn mismatched_read_length_is_rejected() {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::with_profile(g, &BackendKind::PimAssembler.profile());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let genome = DnaSequence::random(&mut rng, 100);
+        let mapper = KmerMapper::new(&g, 2, 8);
+        let mut pim = PimReadMapper::build(
+            &mut ctrl,
+            mapper,
+            &genome,
+            24,
+            MappingConfig { seed_len: 12, ..MappingConfig::default() },
+            BackendKind::PimAssembler,
+            OptLevel::O0,
+        )
+        .unwrap();
+        let bad = Read { id: 0, seq: DnaSequence::random(&mut rng, 30), origin: 0 };
+        let err = pim.map_batch(&mut ctrl, &ParallelDispatcher::serial(), &[bad]).unwrap_err();
+        assert!(matches!(err, PimError::KTooLarge { .. }));
+    }
+
+    #[test]
+    fn oversized_read_length_is_rejected_at_build() {
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl = Controller::new(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let genome = DnaSequence::random(&mut rng, 400);
+        let err = PimReadMapper::build(
+            &mut ctrl,
+            KmerMapper::new(&g, 2, 8),
+            &genome,
+            200,
+            MappingConfig::default(),
+            BackendKind::PimAssembler,
+            OptLevel::O0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PimError::KTooLarge { .. }));
+    }
+}

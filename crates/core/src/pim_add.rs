@@ -136,7 +136,8 @@ impl PimAdder {
             TemplateKey::new(Kernel::FullAdder, cols, cols).with_backend(backend).with_opt(opt),
         );
         let mut rows = [RowAddr(0); MAX_ADDER_ROLES];
-        let n = adder.bind_roles_into(ctrl, &[a, b, c], &[sum_dst, carry_dst], zero, &mut rows)?;
+        let n =
+            adder.bind_roles_into(ctrl, &[a, b, c], &[sum_dst, carry_dst], zero, &[], &mut rows)?;
         adder.execute(ctrl, subarray, &rows[..n])
     }
 
@@ -232,6 +233,7 @@ impl PimAdder {
                     &[p1.row, p2.row, p3.row],
                     &[sum_row, carry_row],
                     zero,
+                    &[],
                     &mut rows,
                 )?;
                 adder.execute(ctrl, subarray, &rows[..n])?;
@@ -291,6 +293,7 @@ impl PimAdder {
                 &[a.row, b.row, c.row],
                 &[sum_row, carry_row],
                 zero,
+                &[],
                 &mut rows,
             )?;
             adder.execute(ctrl, subarray, &rows[..n])?;

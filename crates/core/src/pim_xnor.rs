@@ -142,7 +142,14 @@ impl PimComparator {
         let mut rows = [RowAddr(0); MAX_PROBE_ROLES];
         let n = self
             .xnor
-            .bind_roles_into(ctrl, &[temp_row, candidate], &[scratch], self.zero_row, &mut rows)
+            .bind_roles_into(
+                ctrl,
+                &[temp_row, candidate],
+                &[scratch],
+                self.zero_row,
+                &[],
+                &mut rows,
+            )
             .expect("MAX_PROBE_ROLES bounds the role table by construction");
         let xnor = self.xnor.execute_sensed(ctrl, subarray, &rows[..n])?;
         Ok(Dpu::and_reduce(ctrl, &xnor))

@@ -49,6 +49,17 @@ pub enum Kernel {
     /// The 11-command full-adder slice (Fig. 8): latch `c`, sum cycle,
     /// carry cycle. Roles: `[a, b, c, zero, sum_dst, carry_dst, x1, x2, x3]`.
     FullAdder,
+    /// The 7:3 popcount counter (four chained full adders) used by the
+    /// mapping stage's Hamming filter.
+    /// Roles: `[i0..i6, zero, ones, twos, fours, x...]`.
+    Popcount,
+    /// The bitwise 2:1 mux `dst = (a & m) | (b & ~m)` that materialises
+    /// the DP minimum once the win mask is decided.
+    /// Roles: `[a, b, m, zero, dst, x...]`.
+    MinSelect,
+    /// One MSB-first comparison step of the bit-serial DP-cell minimum.
+    /// Roles: `[a, b, dec, win, zero, win_out, dec_out, x...]`.
+    DpCell,
 }
 
 impl Kernel {
@@ -58,6 +69,9 @@ impl Kernel {
         match self {
             Kernel::Xnor => ir::kernels::xnor(),
             Kernel::FullAdder => ir::kernels::full_adder(),
+            Kernel::Popcount => ir::kernels::popcount(),
+            Kernel::MinSelect => ir::kernels::min_select(),
+            Kernel::DpCell => ir::kernels::dp_cell(),
         }
     }
 }
@@ -170,13 +184,23 @@ impl CompiledTemplate {
         port.record_synthetic("AAP3", aap3 * n);
     }
 
+    /// Number of spill roles the lowered kernel carries (zero for every
+    /// kernel that fits the compute-row register file; the deep popcount
+    /// counter spills on the Ambit rewrite and needs that many dedicated
+    /// scratch rows bound at execution time).
+    pub fn spill_role_count(&self) -> usize {
+        self.inner.roles().iter().filter(|r| r.class == ir::RowClass::Spill).count()
+    }
+
     /// Builds the caller binding for this template's role table by *class*
     /// into `rows`: [`ir::RowClass::Input`] roles consume `inputs` in
     /// declaration order, [`ir::RowClass::Output`] roles consume `outputs`,
     /// [`ir::RowClass::Zero`] roles bind `zero` (which must address an
-    /// all-zero row), and [`ir::RowClass::Temp`] roles bind the port's
-    /// compute rows in slot order. Returns the role count (the bound
-    /// prefix of `rows`).
+    /// all-zero row), [`ir::RowClass::Temp`] roles bind the port's
+    /// compute rows in slot order, and [`ir::RowClass::Spill`] roles
+    /// consume `spills` (caller-owned scratch data rows; see
+    /// [`CompiledTemplate::spill_role_count`]). Returns the role count
+    /// (the bound prefix of `rows`).
     ///
     /// This is how backend-agnostic callers execute a retargeted template:
     /// the role *table* differs per backend (the Ambit rewrite adds a
@@ -190,23 +214,22 @@ impl CompiledTemplate {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs`/`outputs` do not match the kernel's input/output
-    /// role counts, or on a spilled kernel (spill roles need explicit
-    /// scratch-row bindings; the built-in kernels lower spill-free on
-    /// every backend).
+    /// Panics if `inputs`/`outputs`/`spills` do not match the kernel's
+    /// input/output/spill role counts.
     pub fn bind_roles_into(
         &self,
         port: &impl AapPort,
         inputs: &[RowAddr],
         outputs: &[RowAddr],
         zero: RowAddr,
+        spills: &[RowAddr],
         rows: &mut [RowAddr],
     ) -> Result<usize> {
         let roles = self.inner.roles();
         if rows.len() < roles.len() {
             return Err(PimError::TemplateArity { expected: roles.len(), provided: rows.len() });
         }
-        let (mut ni, mut no, mut nt) = (0usize, 0usize, 0usize);
+        let (mut ni, mut no, mut nt, mut ns) = (0usize, 0usize, 0usize, 0usize);
         for (i, role) in roles.iter().enumerate() {
             rows[i] = match role.class {
                 ir::RowClass::Input => {
@@ -222,10 +245,14 @@ impl CompiledTemplate {
                     nt += 1;
                     port.compute_row(nt - 1)
                 }
-                ir::RowClass::Spill => panic!("spill roles need explicit bindings"),
+                ir::RowClass::Spill => {
+                    ns += 1;
+                    *spills.get(ns - 1).expect("spill roles need explicit scratch-row bindings")
+                }
             };
         }
         assert_eq!((ni, no), (inputs.len(), outputs.len()), "binding arity mismatch");
+        assert_eq!(ns, spills.len(), "spill binding arity mismatch");
         Ok(roles.len())
     }
 
@@ -519,6 +546,32 @@ mod tests {
         assert_eq!(fa.role_count(), 9);
         assert_eq!(fa.report().alloc.slots_used, 3);
         assert_eq!(fa.report().alloc.spill_stores, 0);
+    }
+
+    #[test]
+    fn mapping_kernels_lower_spill_free_on_every_backend() {
+        for kernel in [Kernel::Popcount, Kernel::MinSelect, Kernel::DpCell] {
+            for backend in BackendKind::ALL {
+                for opt in [OptLevel::O0, OptLevel::O2] {
+                    let key =
+                        TemplateKey::new(kernel, 256, 256).with_backend(backend).with_opt(opt);
+                    let t = CompiledTemplate::compile(key);
+                    if kernel == Kernel::Popcount && backend == BackendKind::AmbitTra {
+                        // The 7:3 counter keeps ~7 rows live; the Ambit
+                        // rewrite's extra staging pushes it past the
+                        // 8-row register file on both opt levels.
+                        assert_eq!(t.spill_role_count(), 5);
+                    } else {
+                        assert_eq!(
+                            t.spill_role_count(),
+                            0,
+                            "{kernel:?} on {backend:?} at {opt:?} spilled"
+                        );
+                    }
+                    assert!(t.report().alloc.slots_used <= COMPUTE_ROWS);
+                }
+            }
+        }
     }
 
     #[test]

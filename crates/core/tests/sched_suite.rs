@@ -77,6 +77,7 @@ fn interleaved_workload(ctrl: &Controller, ids: &[SubarrayId], opt: OptLevel) ->
                     &[RowAddr(A), RowAddr(B), RowAddr(C)],
                     &[RowAddr(SUM), RowAddr(CARRY)],
                     RowAddr(ZERO),
+                    &[],
                     &mut rows,
                 )
                 .unwrap();

@@ -40,11 +40,21 @@ pub enum Metric {
     TraverseEdges,
     /// Read-pair anchors resolved by scaffolding (stage 4).
     ScaffoldAnchors,
+    /// Reads streamed through the mapping stage.
+    MapReads,
+    /// Seed-row comparator probes issued by the mapping stage.
+    MapSeedProbes,
+    /// XNOR match planes computed during Hamming filtering.
+    MapMatchPlanes,
+    /// Popcount kernel executions over match-plane groups.
+    MapPopcountOps,
+    /// DP wavefront steps executed during banded alignment refinement.
+    MapDpWavefronts,
 }
 
 impl Metric {
     /// Every metric, in canonical (serialisation) order.
-    pub const ALL: [Metric; 15] = [
+    pub const ALL: [Metric; 20] = [
         Metric::HostReads,
         Metric::HostWrites,
         Metric::AapCopy,
@@ -60,6 +70,11 @@ impl Metric {
         Metric::GraphKmers,
         Metric::TraverseEdges,
         Metric::ScaffoldAnchors,
+        Metric::MapReads,
+        Metric::MapSeedProbes,
+        Metric::MapMatchPlanes,
+        Metric::MapPopcountOps,
+        Metric::MapDpWavefronts,
     ];
 
     /// Number of metrics (the fixed counter-array width).
@@ -83,6 +98,11 @@ impl Metric {
             Metric::GraphKmers => "graph_kmers",
             Metric::TraverseEdges => "traverse_edges",
             Metric::ScaffoldAnchors => "scaffold_anchors",
+            Metric::MapReads => "map_reads",
+            Metric::MapSeedProbes => "map_seed_probes",
+            Metric::MapMatchPlanes => "map_match_planes",
+            Metric::MapPopcountOps => "map_popcount_ops",
+            Metric::MapDpWavefronts => "map_dp_wavefronts",
         }
     }
 
@@ -163,15 +183,18 @@ pub enum HistKey {
     PartitionItems,
     /// Busy sub-arrays per command-bus issue slot (stream scheduler).
     SchedulerOccupancy,
+    /// Candidate positions surviving the seed filter, per mapped read.
+    MapCandidates,
 }
 
 impl HistKey {
     /// Every histogram key, in canonical order.
-    pub const ALL: [HistKey; 4] = [
+    pub const ALL: [HistKey; 5] = [
         HistKey::HashProbeLen,
         HistKey::TraverseTrailLen,
         HistKey::PartitionItems,
         HistKey::SchedulerOccupancy,
+        HistKey::MapCandidates,
     ];
 
     /// Number of histogram keys.
@@ -184,6 +207,7 @@ impl HistKey {
             HistKey::TraverseTrailLen => "traverse_trail_len",
             HistKey::PartitionItems => "partition_items",
             HistKey::SchedulerOccupancy => "scheduler_occupancy",
+            HistKey::MapCandidates => "map_candidates",
         }
     }
 

@@ -18,12 +18,20 @@ pub enum Stage {
     Traverse,
     /// Stage 4 — scaffolding.
     Scaffold,
+    /// Second workload — read mapping (seed filter + DP alignment).
+    Mapping,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] =
-        [Stage::Setup, Stage::Hashmap, Stage::Graph, Stage::Traverse, Stage::Scaffold];
+    pub const ALL: [Stage; 6] = [
+        Stage::Setup,
+        Stage::Hashmap,
+        Stage::Graph,
+        Stage::Traverse,
+        Stage::Scaffold,
+        Stage::Mapping,
+    ];
 
     /// Stable snapshot key fragment for this stage.
     pub fn name(self) -> &'static str {
@@ -33,6 +41,7 @@ impl Stage {
             Stage::Graph => "graph",
             Stage::Traverse => "traverse",
             Stage::Scaffold => "scaffold",
+            Stage::Mapping => "mapping",
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod backends;
 pub mod fault;
 pub mod genomes;
 pub mod invariants;
+pub mod mapping;
 pub mod oracle;
 pub mod report;
 
@@ -42,6 +43,7 @@ pub use backends::{backend_suite, single_backend_suite, BackendSuiteOptions};
 pub use fault::{flip_rate_from_variation, run_campaign};
 pub use genomes::{generate, Scenario, TestCase};
 pub use invariants::check_pipeline;
+pub use mapping::{mapping_suite, MappingSuiteOptions, MappingSuiteReport};
 pub use report::{FaultRunReport, InvariantReport, OracleReport, VerifyReport};
 
 /// Knobs of [`standard_suite`].

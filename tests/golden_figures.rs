@@ -117,6 +117,11 @@ fn pipeline_metrics_match_golden() {
 }
 
 #[test]
+fn mapping_metrics_match_golden() {
+    assert_matches_golden("mapping_metrics.json", &pim_bench::golden::mapping_metrics_golden(42));
+}
+
+#[test]
 fn entry_parser_handles_sections_and_rejects_duplicates() {
     let parsed = entries("{\n  \"counters\": {\n    \"a.b\": 3\n  },\n  \"x\": 1.5\n}\n");
     assert_eq!(parsed.get("a.b").map(String::as_str), Some("3"));
