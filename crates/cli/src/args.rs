@@ -18,7 +18,7 @@ pub struct ParsedArgs {
 
 /// Option keys that take a value (everything else starting with `--` is a
 /// switch).
-const VALUE_KEYS: [&str; 25] = [
+const VALUE_KEYS: [&str; 28] = [
     "k",
     "opt-level",
     "backend",
@@ -44,6 +44,9 @@ const VALUE_KEYS: [&str; 25] = [
     "stage",
     "read-len",
     "error-rate",
+    "checkpoint-dir",
+    "chunk-reads",
+    "resume",
 ];
 
 impl ParsedArgs {

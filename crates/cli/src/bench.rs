@@ -68,6 +68,9 @@ pub struct Measurement {
     /// Which workload the measurement drives: `"assembly"` for the
     /// pipeline + its kernels, `"mapping"` for the read-mapping funnel.
     pub workload: &'static str,
+    /// How the workload ingests its input: `"batch"` for one-shot loads,
+    /// `"streamed"` for chunked ingestion through the staged engine.
+    pub execution: &'static str,
 }
 
 /// Results of one full `pim-asm bench` sweep.
@@ -128,7 +131,13 @@ fn bench_op2(iters: u64, backend: BackendKind) -> Measurement {
     let ns = time_ns_per_op(iters, || {
         ctrl.aap2_discard(id, SaMode::Xnor, [x1, x2], RowAddr(9)).unwrap();
     });
-    Measurement { name: "op2_xnor".into(), ns_per_op: ns, ops: iters, workload: "assembly" }
+    Measurement {
+        name: "op2_xnor".into(),
+        ns_per_op: ns,
+        ops: iters,
+        workload: "assembly",
+        execution: "batch",
+    }
 }
 
 /// Triple-row-activation carry, result unused — the dominant command of
@@ -146,7 +155,13 @@ fn bench_op3(iters: u64, backend: BackendKind) -> Measurement {
     let ns = time_ns_per_op(iters, || {
         ctrl.aap3_carry_discard(id, [x1, x2, x3], RowAddr(8)).unwrap();
     });
-    Measurement { name: "op3_carry".into(), ns_per_op: ns, ops: iters, workload: "assembly" }
+    Measurement {
+        name: "op3_carry".into(),
+        ns_per_op: ns,
+        ops: iters,
+        workload: "assembly",
+        execution: "batch",
+    }
 }
 
 /// The IR-compiled full-adder kernel replayed through the template execute
@@ -182,6 +197,7 @@ fn bench_stream_exec(iters: u64, backend: BackendKind, opt: OptLevel) -> Measure
         ns_per_op: ns,
         ops: iters,
         workload: "assembly",
+        execution: "batch",
     }
 }
 
@@ -202,6 +218,7 @@ fn bench_ir_compile(iters: u64, backend: BackendKind) -> Measurement {
         ns_per_op: ns,
         ops: iters,
         workload: "assembly",
+        execution: "batch",
     }
 }
 
@@ -217,14 +234,21 @@ fn bench_pipeline(
     genome_len: usize,
     subarrays: usize,
     opt: OptLevel,
-) -> Result<(Measurement, Measurement, bool), BenchError> {
+) -> Result<(Measurement, Measurement, Measurement, bool), BenchError> {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let genome = DnaSequence::random(&mut rng, genome_len);
     let reads = ReadSimulator::new(101, 10.0).simulate(&genome, &mut rng);
     let config = PimAssemblerConfig::paper(15).with_hash_subarrays(subarrays).with_opt_level(opt);
+    // Streamed leg: the same workload ingested 64 reads at a time through
+    // the staged engine (results must stay byte-identical to batch).
+    let streamed_config = config.with_chunk_reads(64).map_err(|e| BenchError {
+        genome_len,
+        hash_subarrays: subarrays,
+        source: e.to_string(),
+    })?;
 
-    let run_once = |workers: usize| {
-        let mut asm = PimAssembler::new(config.with_workers(workers));
+    let run_once = |cfg: PimAssemblerConfig, workers: usize| {
+        let mut asm = PimAssembler::new(cfg.with_workers(workers));
         let start = Instant::now();
         let run = asm.assemble(&reads).map_err(|e| BenchError {
             genome_len,
@@ -239,34 +263,54 @@ fn bench_pipeline(
     // without which single-shot wall clocks swing far more than any real
     // effect being tracked.
     const RUNS: usize = 3;
-    let _ = run_once(1)?;
+    let _ = run_once(config, 1)?;
     let mut serial_ns = f64::INFINITY;
     let mut pool_ns = f64::INFINITY;
+    let mut streamed_ns = f64::INFINITY;
     let mut serial_run = None;
     let mut pool_run = None;
+    let mut streamed_run = None;
     for _ in 0..RUNS {
-        let (ns, run) = run_once(1)?;
+        let (ns, run) = run_once(config, 1)?;
         serial_ns = serial_ns.min(ns);
         serial_run = Some(run);
-        let (ns, run) = run_once(4)?;
+        let (ns, run) = run_once(config, 4)?;
         pool_ns = pool_ns.min(ns);
         pool_run = Some(run);
+        let (ns, run) = run_once(streamed_config, 1)?;
+        streamed_ns = streamed_ns.min(ns);
+        streamed_run = Some(run);
     }
-    let (serial_run, pool_run) = (serial_run.expect("RUNS > 0"), pool_run.expect("RUNS > 0"));
+    let (serial_run, pool_run, streamed_run) = (
+        serial_run.expect("RUNS > 0"),
+        pool_run.expect("RUNS > 0"),
+        streamed_run.expect("RUNS > 0"),
+    );
     let identical = serial_run.assembly.contigs == pool_run.assembly.contigs
-        && serial_run.report.commands == pool_run.report.commands;
+        && serial_run.report.commands == pool_run.report.commands
+        && serial_run.assembly.contigs == streamed_run.assembly.contigs
+        && serial_run.report.commands == streamed_run.report.commands;
     Ok((
         Measurement {
             name: "pipeline_e2e_serial".into(),
             ns_per_op: serial_ns,
             ops: RUNS as u64,
             workload: "assembly",
+            execution: "batch",
         },
         Measurement {
             name: "pipeline_e2e_pool4".into(),
             ns_per_op: pool_ns,
             ops: RUNS as u64,
             workload: "assembly",
+            execution: "batch",
+        },
+        Measurement {
+            name: "pipeline_e2e_streamed".into(),
+            ns_per_op: streamed_ns,
+            ops: RUNS as u64,
+            workload: "assembly",
+            execution: "streamed",
         },
         identical,
     ))
@@ -310,6 +354,7 @@ fn bench_mapping(opt: OptLevel) -> Result<Measurement, BenchError> {
         ns_per_op: best,
         ops: RUNS as u64,
         workload: "mapping",
+        execution: "batch",
     })
 }
 
@@ -338,9 +383,11 @@ pub fn run_all_for(
     let mut identical = true;
     if backend == BackendKind::PimAssembler {
         let subarrays = (genome_len / 300 + 2).next_power_of_two().max(8);
-        let (serial, pool, pipeline_identical) = bench_pipeline(genome_len, subarrays, opt)?;
+        let (serial, pool, streamed, pipeline_identical) =
+            bench_pipeline(genome_len, subarrays, opt)?;
         measurements.push(serial);
         measurements.push(pool);
+        measurements.push(streamed);
         measurements.push(bench_mapping(opt)?);
         identical = pipeline_identical;
     }
@@ -357,19 +404,22 @@ pub fn run_all_for(
 /// `speedup` fields.
 pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
     let mut out = format!(
-        "{{\n  \"schema\": \"pim-bench-hotpath-v2\",\n  \"backend\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pim-bench-hotpath-v3\",\n  \"backend\": \"{}\",\n  \
          \"opt_level\": \"{}\",\n  \"results\": [\n",
         report.backend, report.opt_level
     );
     for (i, m) in report.measurements.iter().enumerate() {
         let sep = if i + 1 < report.measurements.len() { "," } else { "" };
+        let execution = if m.execution.is_empty() { "batch" } else { m.execution };
         let base = baseline.iter().find(|b| b.name == m.name);
         match base {
             Some(b) if m.ns_per_op > 0.0 => out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"ns_per_op\": {:.2}, \
-                 \"ops\": {}, \"baseline_ns_per_op\": {:.2}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"execution\": \"{}\", \
+                 \"ns_per_op\": {:.2}, \"ops\": {}, \"baseline_ns_per_op\": {:.2}, \
+                 \"speedup\": {:.3}}}{}\n",
                 m.name,
                 m.workload,
+                execution,
                 m.ns_per_op,
                 m.ops,
                 b.ns_per_op,
@@ -377,9 +427,9 @@ pub fn to_json(report: &BenchReport, baseline: &[Measurement]) -> String {
                 sep
             )),
             _ => out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"ns_per_op\": {:.2}, \
-                 \"ops\": {}}}{}\n",
-                m.name, m.workload, m.ns_per_op, m.ops, sep
+                "    {{\"name\": \"{}\", \"workload\": \"{}\", \"execution\": \"{}\", \
+                 \"ns_per_op\": {:.2}, \"ops\": {}}}{}\n",
+                m.name, m.workload, execution, m.ns_per_op, m.ops, sep
             )),
         }
     }
@@ -401,7 +451,13 @@ pub fn parse_measurements(json: &str) -> Vec<Measurement> {
         let num: String =
             v.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
         if let Ok(ns_per_op) = num.parse::<f64>() {
-            out.push(Measurement { name: name.to_string(), ns_per_op, ops: 0, workload: "" });
+            out.push(Measurement {
+                name: name.to_string(),
+                ns_per_op,
+                ops: 0,
+                workload: "",
+                execution: "",
+            });
         }
     }
     out
@@ -422,12 +478,14 @@ mod tests {
                     ns_per_op: 123.45,
                     ops: 10,
                     workload: "assembly",
+                    execution: "batch",
                 },
                 Measurement {
                     name: "pipeline_e2e_serial".into(),
                     ns_per_op: 9.5e8,
                     ops: 1,
                     workload: "assembly",
+                    execution: "batch",
                 },
             ],
             serial_parallel_identical: true,
@@ -452,6 +510,7 @@ mod tests {
                 ns_per_op: 50.0,
                 ops: 10,
                 workload: "assembly",
+                execution: "batch",
             }],
             serial_parallel_identical: true,
         };
@@ -460,6 +519,7 @@ mod tests {
             ns_per_op: 100.0,
             ops: 0,
             workload: "assembly",
+            execution: "batch",
         }];
         let json = to_json(&report, &baseline);
         assert!(json.contains("\"speedup\": 2.000"), "{json}");
@@ -481,12 +541,16 @@ mod tests {
                 "ir_compile_kernels",
                 "pipeline_e2e_serial",
                 "pipeline_e2e_pool4",
+                "pipeline_e2e_streamed",
                 "mapping_e2e"
             ]
         );
         let json = to_json(&report, &[]);
+        assert!(json.contains("\"schema\": \"pim-bench-hotpath-v3\""), "{json}");
         assert!(json.contains("\"workload\": \"mapping\""), "{json}");
         assert!(json.contains("\"workload\": \"assembly\""), "{json}");
+        assert!(json.contains("\"execution\": \"streamed\""), "{json}");
+        assert!(json.contains("\"execution\": \"batch\""), "{json}");
         assert!(report.measurements.iter().all(|m| m.ns_per_op > 0.0));
         assert!(report.serial_parallel_identical);
     }

@@ -40,6 +40,16 @@ ASSEMBLE OPTIONS:
   --subarrays N    hash-partition sub-arrays (default 32)
   --workers N      host threads for the parallel dispatcher (default 1;
                    results are identical for any value)
+  --chunk-reads N  stream the input N reads at a time instead of loading
+                   it whole (results are byte-identical; memory is
+                   bounded by the chunk size)
+  --checkpoint-dir D  persist stage checkpoints into directory D after
+                   every chunk (implies streaming; D must be empty
+                   unless --force is passed)
+  --resume D       resume an interrupted checkpointed run from D; pass
+                   the same input file (already-ingested reads are
+                   skipped without charging)
+  --force          allow --checkpoint-dir to reuse a non-empty directory
   --output PATH    write contigs FASTA (default stdout summary only)
   --report         print the hardware performance report
   --metrics-out P  write the pim-obsv metrics snapshot JSON to P
@@ -70,7 +80,9 @@ MAP OPTIONS:
 
 VERIFY OPTIONS:
   --stage NAME     verify one workload: `mapping` runs the read-mapping
-                   differential + fault suite instead of the assembly one
+                   differential + fault suite; `resume` pins streamed /
+                   checkpointed / resumed byte-identity over the
+                   worker x opt-level matrix
   --k N            k-mer length driven through the stages (default 9)
   --min-count N    graph-stage k-mer count threshold (default 1)
   --genome-len N   synthetic genome length per scenario (default 400)
@@ -130,16 +142,66 @@ fn parse_opt_level(args: &ParsedArgs) -> Result<pim_assembler::ir::OptLevel, Box
     }
 }
 
+/// Streams reads from a FASTA/FASTQ file into a running
+/// [`pim_assembler::Session`], `chunk` reads at a time, holding at most
+/// one chunk in memory.
+fn feed_session_from_file(
+    session: &mut pim_assembler::Session<'_>,
+    path: &Path,
+    chunk: usize,
+) -> Result<u64, Box<dyn Error>> {
+    use pim_genome::fasta::fasta_records;
+    use pim_genome::fastq::fastq_records;
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let file = BufReader::new(File::open(path)?);
+    let seqs: Box<dyn Iterator<Item = Result<pim_genome::DnaSequence, Box<dyn Error>>>> = match ext
+    {
+        "fastq" | "fq" => {
+            Box::new(fastq_records(file).map(|r| r.map(|rec| rec.seq).map_err(Into::into)))
+        }
+        _ => Box::new(fasta_records(file).map(|r| r.map(|rec| rec.seq).map_err(Into::into))),
+    };
+    let mut buffer: Vec<Read> = Vec::with_capacity(chunk);
+    let mut total = 0u64;
+    for (id, seq) in seqs.enumerate() {
+        buffer.push(Read { id, seq: seq?, origin: 0 });
+        total += 1;
+        if buffer.len() == chunk {
+            session.feed(&buffer)?;
+            buffer.clear();
+        }
+    }
+    if !buffer.is_empty() {
+        session.feed(&buffer)?;
+    }
+    Ok(total)
+}
+
+/// Default streaming chunk when `--resume`/`--checkpoint-dir` is used
+/// without an explicit `--chunk-reads`.
+const DEFAULT_CHUNK_READS: usize = 4096;
+
 /// `pim-asm assemble`.
 pub fn assemble(args: &ParsedArgs) -> CliResult {
+    use pim_assembler::checkpoint::prepare_dir;
+    use pim_assembler::Session;
     let input = args.positional.first().ok_or("assemble needs an input reads file")?;
     let k: usize = args.get_num("k", 17);
-    let mut reads = load_reads(Path::new(input))?;
-    eprintln!("loaded {} reads from {input}", reads.len());
-
-    if args.has_flag("correct") {
-        let stats = ReadCorrector::new(k, 3).correct_reads(&mut reads)?;
-        eprintln!("corrected {} bases ({} uncorrectable)", stats.corrected, stats.uncorrectable);
+    let chunk_reads: Option<usize> = args
+        .options
+        .get("chunk-reads")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--chunk-reads expects a number, got {v:?}")));
+    let checkpoint_dir = args.get_str("checkpoint-dir");
+    let resume_dir = args.get_str("resume");
+    if checkpoint_dir.is_some() && resume_dir.is_some() {
+        return Err("--checkpoint-dir and --resume are mutually exclusive".into());
+    }
+    let streaming = chunk_reads.is_some() || checkpoint_dir.is_some() || resume_dir.is_some();
+    if streaming && args.has_flag("correct") {
+        return Err(
+            "--correct needs the whole read set in memory; drop --chunk-reads/--checkpoint-dir"
+                .into(),
+        );
     }
 
     let workers: usize = args.get_num("workers", 1);
@@ -158,9 +220,41 @@ pub fn assemble(args: &ParsedArgs) -> CliResult {
         config =
             config.with_simplification(tips.parse().map_err(|_| "--simplify expects a number")?);
     }
+    let chunk = chunk_reads.unwrap_or(DEFAULT_CHUNK_READS);
+    if streaming {
+        config = config.with_chunk_reads(chunk)?;
+    }
 
     let mut assembler = PimAssembler::new(config);
-    let run = assembler.assemble(&reads)?;
+    let run = if streaming {
+        let mut session = if let Some(dir) = resume_dir {
+            Session::resume(&mut assembler, Path::new(dir))?
+        } else {
+            let dir = checkpoint_dir.map(std::path::PathBuf::from);
+            if let Some(d) = &dir {
+                prepare_dir(d, args.has_flag("force"))?;
+            }
+            Session::start(&mut assembler, dir)?
+        };
+        let total = feed_session_from_file(&mut session, Path::new(input), chunk)?;
+        eprintln!("streamed {total} reads from {input} in chunks of {chunk}");
+        let run = session.finish()?;
+        for violation in &run.chunk_violations {
+            eprintln!("warning: chunk AAP bound exceeded: {violation}");
+        }
+        run
+    } else {
+        let mut reads = load_reads(Path::new(input))?;
+        eprintln!("loaded {} reads from {input}", reads.len());
+        if args.has_flag("correct") {
+            let stats = ReadCorrector::new(k, 3).correct_reads(&mut reads)?;
+            eprintln!(
+                "corrected {} bases ({} uncorrectable)",
+                stats.corrected, stats.uncorrectable
+            );
+        }
+        assembler.assemble(&reads)?
+    };
     println!("assembly: {}", run.assembly.stats);
     println!(
         "graph: {} nodes, {} edges, {} trails",
@@ -352,7 +446,10 @@ pub fn verify(args: &ParsedArgs) -> CliResult {
     use pim_verify::{standard_suite, SuiteOptions};
     match args.get_str("stage") {
         Some("mapping") => return verify_mapping(args),
-        Some(other) => return Err(format!("unknown --stage {other:?} (one of: mapping)").into()),
+        Some("resume") => return verify_resume(args),
+        Some(other) => {
+            return Err(format!("unknown --stage {other:?} (one of: mapping, resume)").into())
+        }
         None => {}
     }
     if args.get_str("backend").is_some() {
@@ -416,6 +513,27 @@ fn verify_mapping(args: &ParsedArgs) -> CliResult {
         Ok(())
     } else {
         Err("mapping verification failed".into())
+    }
+}
+
+/// `pim-asm verify --stage resume`: the staged-execution identity suite —
+/// streamed, checkpointed, killed, and resumed runs must be byte-identical
+/// to the one-shot pipeline across the worker × opt-level matrix.
+fn verify_resume(args: &ParsedArgs) -> CliResult {
+    use pim_verify::{resume_suite, ResumeSuiteOptions, VerifyReport};
+    let defaults = ResumeSuiteOptions::default();
+    let options = ResumeSuiteOptions {
+        genome_len: args.get_num("genome-len", defaults.genome_len),
+        k: args.get_num("k", defaults.k),
+        seed: args.get_num("seed", defaults.seed),
+        ..defaults
+    };
+    let report = VerifyReport { oracles: resume_suite(&options), ..VerifyReport::default() };
+    println!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("resume verification failed".into())
     }
 }
 
@@ -877,6 +995,142 @@ mod tests {
             metrics_path.to_str().unwrap().to_string(),
         ]);
         stats(&stats_args).unwrap();
+    }
+
+    #[test]
+    fn streamed_assemble_matches_the_batch_run() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let genome = DnaSequence::random(&mut rng, 1500);
+        let reads = pim_genome::reads::ReadSimulator::new(60, 20.0).simulate(&genome, &mut rng);
+        let reads_path = tmp("stream_reads.fasta");
+        let records: Vec<FastaRecord> = reads
+            .iter()
+            .map(|r| FastaRecord { name: format!("read_{}", r.id), seq: r.seq.clone() })
+            .collect();
+        write_fasta(File::create(&reads_path).unwrap(), &records).unwrap();
+
+        let batch_out = tmp("stream_batch.fasta");
+        assemble(&ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "15".into(),
+            "--subarrays".into(),
+            "8".into(),
+            "--output".into(),
+            batch_out.to_str().unwrap().to_string(),
+        ]))
+        .unwrap();
+
+        let streamed_out = tmp("stream_chunked.fasta");
+        assemble(&ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "15".into(),
+            "--subarrays".into(),
+            "8".into(),
+            "--chunk-reads".into(),
+            "17".into(),
+            "--output".into(),
+            streamed_out.to_str().unwrap().to_string(),
+        ]))
+        .unwrap();
+
+        assert_eq!(
+            std::fs::read_to_string(&batch_out).unwrap(),
+            std::fs::read_to_string(&streamed_out).unwrap(),
+            "streamed ingestion must produce byte-identical contigs"
+        );
+    }
+
+    #[test]
+    fn checkpointed_assemble_resumes_after_a_kill() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let genome = DnaSequence::random(&mut rng, 1500);
+        let reads = pim_genome::reads::ReadSimulator::new(60, 20.0).simulate(&genome, &mut rng);
+        let reads_path = tmp("ckpt_reads.fasta");
+        let records: Vec<FastaRecord> = reads
+            .iter()
+            .map(|r| FastaRecord { name: format!("read_{}", r.id), seq: r.seq.clone() })
+            .collect();
+        write_fasta(File::create(&reads_path).unwrap(), &records).unwrap();
+
+        let batch_out = tmp("ckpt_batch.fasta");
+        assemble(&ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "15".into(),
+            "--subarrays".into(),
+            "8".into(),
+            "--output".into(),
+            batch_out.to_str().unwrap().to_string(),
+        ]))
+        .unwrap();
+
+        // "Kill" an in-flight checkpointed run by feeding only a prefix.
+        let ckpt_dir = tmp("ckpt_dir");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        {
+            use pim_assembler::checkpoint::prepare_dir;
+            use pim_assembler::Session;
+            prepare_dir(&ckpt_dir, false).unwrap();
+            let config =
+                PimAssemblerConfig::paper(15).with_hash_subarrays(8).with_chunk_reads(17).unwrap();
+            let mut asm = PimAssembler::new(config);
+            let mut session = Session::start(&mut asm, Some(ckpt_dir.clone())).unwrap();
+            let mut cli_reads = load_reads(&reads_path).unwrap();
+            cli_reads.truncate(34);
+            session.feed_chunked(&cli_reads, Some(17)).unwrap();
+        }
+
+        // `assemble --resume` finishes the run from disk.
+        let resumed_out = tmp("ckpt_resumed.fasta");
+        assemble(&ParsedArgs::parse([
+            "assemble".to_string(),
+            reads_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "15".into(),
+            "--subarrays".into(),
+            "8".into(),
+            "--chunk-reads".into(),
+            "17".into(),
+            "--resume".into(),
+            ckpt_dir.to_str().unwrap().to_string(),
+            "--output".into(),
+            resumed_out.to_str().unwrap().to_string(),
+        ]))
+        .unwrap();
+
+        assert_eq!(
+            std::fs::read_to_string(&batch_out).unwrap(),
+            std::fs::read_to_string(&resumed_out).unwrap(),
+            "resumed run must produce byte-identical contigs"
+        );
+        std::fs::remove_dir_all(&ckpt_dir).unwrap();
+    }
+
+    #[test]
+    fn assemble_rejects_conflicting_checkpoint_flags() {
+        let args = ParsedArgs::parse(
+            ["assemble", "in.fa", "--checkpoint-dir", "a", "--resume", "b"].map(String::from),
+        );
+        let err = assemble(&args).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        let args = ParsedArgs::parse(
+            ["assemble", "in.fa", "--chunk-reads", "8", "--correct"].map(String::from),
+        );
+        let err = assemble(&args).unwrap_err();
+        assert!(err.to_string().contains("--correct"), "{err}");
+    }
+
+    #[test]
+    fn verify_stage_resume_runs_and_passes() {
+        let args = ParsedArgs::parse(
+            ["verify", "--stage", "resume", "--genome-len", "250"].map(String::from),
+        );
+        verify(&args).unwrap();
     }
 
     #[test]

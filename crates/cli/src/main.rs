@@ -4,6 +4,7 @@
 //! pim-asm assemble <reads.fasta|fastq> [--k 17] [--min-count 1]
 //!         [--simplify N] [--correct] [--pd 2] [--subarrays 32]
 //!         [--workers 1] [--output contigs.fasta] [--report]
+//!         [--chunk-reads N] [--checkpoint-dir D [--force] | --resume D]
 //! pim-asm simulate <genome.fasta> [--coverage 25] [--seed 42]
 //!         [--output reads.fasta]
 //! pim-asm stats <contigs.fasta>
@@ -12,7 +13,8 @@
 //!         [--error-rate 0.02] [--seed 42] [--workers 0] [--faults 0]
 //!         [--backend <pim-assembler|ambit-tra|panda-mram>] [--opt-level <0|2>]
 //! pim-asm verify [--k 9] [--genome-len 400] [--seed 42] [--faults 1e-4]
-//!         [--stage mapping] [--backend <pim-assembler|ambit-tra|panda-mram|all>]
+//!         [--stage <mapping|resume>]
+//!         [--backend <pim-assembler|ambit-tra|panda-mram|all>]
 //! pim-asm bench [--iters 100000] [--genome-len 3000] [--json]
 //!         [--out BENCH.json] [--baseline BENCH_prev.json]
 //!         [--backend <pim-assembler|ambit-tra|panda-mram>]

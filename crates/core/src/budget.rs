@@ -142,6 +142,57 @@ pub fn pipeline_budget_at(cols: usize, opt: OptLevel) -> StageBudget {
         ))
 }
 
+/// Per-chunk AAP bound for the streamed hashmap stage, derived from the
+/// compiled probe kernel. The staged [`crate::pipeline::Session`] checks
+/// every ingestion chunk's command-stats delta against it, so a hot-path
+/// regression surfaces at the first offending chunk instead of only in
+/// the end-of-run budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkAapBound {
+    /// AAP commands one probe may issue (the XNOR copy pair).
+    pub aap_per_probe: u64,
+    /// AAP commands one offered k-mer may additionally issue (staged
+    /// query plus the counter / `MEM_insert` tail).
+    pub aap_per_insert: u64,
+    /// AAP2 commands one probe issues exactly — the sum-cycle count, used
+    /// to recover the chunk's probe count from its delta.
+    pub aap2_per_probe: u64,
+}
+
+impl ChunkAapBound {
+    /// Checks one chunk's delta: `inserts` k-mers were offered, the probe
+    /// count is recovered from the AAP2 volume, and the AAP volume must
+    /// stay within the combined per-unit bound. Returns the violation
+    /// description, or `None` when the chunk is in bounds.
+    pub fn check(&self, delta: &pim_dram::stats::CommandStats, inserts: u64) -> Option<String> {
+        if self.aap2_per_probe == 0 {
+            return None;
+        }
+        let probes = delta.aap2 / self.aap2_per_probe;
+        let bound = inserts * self.aap_per_insert + probes * self.aap_per_probe;
+        (delta.aap > bound).then(|| {
+            format!(
+                "hashmap chunk issued {} AAP commands, bound {bound} \
+                 ({inserts} k-mers offered, {probes} probes)",
+                delta.aap
+            )
+        })
+    }
+}
+
+/// The per-chunk AAP bound for sub-arrays of `cols` columns at `opt` —
+/// the same compiled-template factors as [`pipeline_budget_at`]'s
+/// "stage-1 row clones per k-mer" line, reshaped for chunk deltas.
+pub fn hashmap_chunk_aap_bound(cols: usize, opt: OptLevel) -> ChunkAapBound {
+    let xnor = CompiledTemplate::compile(TemplateKey::new(Kernel::Xnor, cols, cols).with_opt(opt));
+    let (xnor_aap, xnor_aap2, _) = xnor.command_counts();
+    ChunkAapBound {
+        aap_per_probe: xnor_aap,
+        aap_per_insert: xnor_aap + 2,
+        aap2_per_probe: xnor_aap2,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +302,42 @@ mod tests {
         let violations = budget.check(&snapshot);
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("mapping sum cycles"));
+    }
+
+    #[test]
+    fn hashmap_chunks_stay_within_the_chunk_aap_bound() {
+        use crate::hashmap_stage::HashmapExec;
+        use crate::stages::StageEnv;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let genome = DnaSequence::random(&mut rng, 600);
+        let reads = ReadSimulator::new(60, 20.0).simulate(&genome, &mut rng);
+        let config = PimAssemblerConfig::small_test(13);
+        let mut ctrl = pim_dram::controller::Controller::with_params(
+            config.geometry,
+            config.timing,
+            config.energy,
+        );
+        let dispatcher = crate::dispatch::ParallelDispatcher::serial();
+        let bound = hashmap_chunk_aap_bound(config.geometry.cols, config.opt_level);
+        let mut exec = HashmapExec::new(&config);
+        let mut chunks = 0;
+        for chunk in reads.chunks(8) {
+            let before = *ctrl.stats();
+            let mut env = StageEnv { ctrl: &mut ctrl, dispatcher: &dispatcher, config: &config };
+            let offered = exec.feed(&mut env, chunk).unwrap();
+            let delta = ctrl.stats().since(&before);
+            assert_eq!(bound.check(&delta, offered), None, "chunk {chunks}");
+            chunks += 1;
+        }
+        assert!(chunks > 1, "test must exercise multiple chunks");
+        // Drift detection: an AAP volume the offered work cannot explain.
+        let drifted = pim_dram::stats::CommandStats {
+            aap: 1_000_000,
+            aap2: bound.aap2_per_probe * 10,
+            ..Default::default()
+        };
+        let violation = bound.check(&drifted, 1).expect("drift must be flagged");
+        assert!(violation.contains("hashmap chunk"), "{violation}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use pim_dram::energy::EnergyParams;
 use pim_dram::geometry::DramGeometry;
 use pim_dram::timing::TimingParams;
 
+use crate::error::{PimError, Result};
 use crate::ir::OptLevel;
 
 /// Complete configuration of a PIM-Assembler instance.
@@ -50,6 +51,11 @@ pub struct PimAssemblerConfig {
     /// paper's hand-written sequences; `O2` runs the bounded sequence
     /// search and may pick shorter streams per backend.
     pub opt_level: OptLevel,
+    /// Streamed-execution chunk size: reads per stage-1 ingestion chunk
+    /// (and per mapping batch). `None` (the default) runs the historical
+    /// one-shot path; `Some(n)` streams in chunks of `n` with identical
+    /// results (see [`crate::pipeline::Session`]).
+    pub chunk_reads: Option<usize>,
 }
 
 impl PimAssemblerConfig {
@@ -69,6 +75,7 @@ impl PimAssemblerConfig {
             workers: 1,
             observe: false,
             opt_level: OptLevel::O0,
+            chunk_reads: None,
         }
     }
 
@@ -88,6 +95,7 @@ impl PimAssemblerConfig {
             workers: 1,
             observe: false,
             opt_level: OptLevel::O0,
+            chunk_reads: None,
         }
     }
 
@@ -153,10 +161,50 @@ impl PimAssemblerConfig {
         self
     }
 
+    /// Enables streamed execution with `chunk_reads` reads per chunk.
+    /// Unlike the panicking builders this is fallible — a zero chunk is a
+    /// configuration error the CLI surfaces as a typed [`PimError`], not
+    /// a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidChunkSize`] if `chunk_reads == 0`.
+    pub fn with_chunk_reads(mut self, chunk_reads: usize) -> Result<Self> {
+        if chunk_reads == 0 {
+            return Err(PimError::InvalidChunkSize);
+        }
+        self.chunk_reads = Some(chunk_reads);
+        Ok(self)
+    }
+
     /// Maximum k representable in one row (2 bits per base): 128 bp for
     /// 256-column sub-arrays.
     pub fn max_k(&self) -> usize {
         self.geometry.cols / 2
+    }
+
+    /// A short stable fingerprint of the fields that shape execution
+    /// results, stamped into checkpoints so a resume with a mismatched
+    /// configuration is rejected instead of silently diverging. Worker
+    /// count is deliberately excluded — results are worker-invariant, so
+    /// a run checkpointed serially may resume pooled and vice versa.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "k{}:min{}:pd{}:hs{}:br{}:tips{}:opt{:?}:g{}x{}x{}x{}x{}x{}",
+            self.k,
+            self.min_count,
+            self.pd,
+            self.hash_subarrays,
+            self.bucket_rows,
+            self.simplify_tips.map_or(-1i64, |t| t as i64),
+            self.opt_level,
+            self.geometry.chips,
+            self.geometry.banks_per_chip,
+            self.geometry.mats_per_bank,
+            self.geometry.subarrays_per_mat,
+            self.geometry.rows,
+            self.geometry.cols,
+        )
     }
 }
 
@@ -209,5 +257,23 @@ mod tests {
     #[should_panic(expected = "bad hash sub-array count")]
     fn absurd_subarray_count_rejected() {
         let _ = PimAssemblerConfig::paper(16).with_hash_subarrays(usize::MAX);
+    }
+
+    #[test]
+    fn chunk_reads_builder_validates() {
+        let c = PimAssemblerConfig::paper(16);
+        assert_eq!(c.chunk_reads, None, "one-shot by default");
+        assert_eq!(c.with_chunk_reads(128).unwrap().chunk_reads, Some(128));
+        assert_eq!(c.with_chunk_reads(0).unwrap_err(), PimError::InvalidChunkSize);
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_shaping_fields_only() {
+        let base = PimAssemblerConfig::small_test(15);
+        assert_eq!(base.fingerprint(), base.with_workers(8).fingerprint(), "worker-invariant");
+        assert_eq!(base.fingerprint(), base.with_chunk_reads(64).unwrap().fingerprint());
+        assert_ne!(base.fingerprint(), base.with_min_count(3).fingerprint());
+        assert_ne!(base.fingerprint(), PimAssemblerConfig::small_test(17).fingerprint());
+        assert_ne!(base.fingerprint(), base.with_opt_level(OptLevel::O2).fingerprint());
     }
 }

@@ -59,6 +59,22 @@ pub enum PimError {
     /// activation-set legality, SA-mode shape compatibility, dataflow, or
     /// allocation), with its source-kernel span.
     Ir(crate::ir::IrError),
+    /// A streamed run configured with `chunk_reads == 0` (a chunk must
+    /// make progress, or the session would never advance its cursor).
+    InvalidChunkSize,
+    /// A checkpoint directory that already holds files, rejected without
+    /// an explicit `force` (same guard pattern as `bench --out`).
+    CheckpointDirNotEmpty {
+        /// The offending directory.
+        path: String,
+    },
+    /// A checkpoint that could not be written, read, or parsed — schema
+    /// mismatch, truncated file, or a config fingerprint that does not
+    /// match the resuming session.
+    Checkpoint {
+        /// What went wrong, human-readable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PimError {
@@ -80,6 +96,13 @@ impl fmt::Display for PimError {
                 write!(f, "template binds {expected} row roles, {provided} supplied")
             }
             PimError::Ir(e) => write!(f, "ir: {e}"),
+            PimError::InvalidChunkSize => {
+                write!(f, "chunk_reads must be at least 1 on the streamed path")
+            }
+            PimError::CheckpointDirNotEmpty { path } => {
+                write!(f, "refusing to overwrite checkpoints in {path}; pass --force to replace")
+            }
+            PimError::Checkpoint { reason } => write!(f, "checkpoint: {reason}"),
         }
     }
 }
@@ -136,6 +159,12 @@ mod tests {
             shape: "two-source AAP",
         };
         assert!(e.to_string().contains("Carry") && e.to_string().contains("two-source"));
+        let e = PimError::InvalidChunkSize;
+        assert!(e.to_string().contains("chunk_reads"));
+        let e = PimError::CheckpointDirNotEmpty { path: "ckpt".into() };
+        assert!(e.to_string().contains("--force"));
+        let e = PimError::Checkpoint { reason: "schema mismatch".into() };
+        assert!(e.to_string().contains("schema mismatch"));
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct GraphStats {
     pub mem_inserts: u64,
 }
 
+/// Full output of a retaining graph build: the graph, its partitioning,
+/// the stage statistics, and the post-filter survivors in scan order
+/// (the checkpoint payload [`GraphStage::rebuild`] replays on resume).
+pub type GraphBuildOutput = (DeBruijnGraph, Partitioning, GraphStats, Vec<(Kmer, u64)>);
+
 /// Builds the de Bruijn graph from the PIM hash table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GraphStage;
@@ -55,7 +60,9 @@ impl GraphStage {
         intervals: usize,
     ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
         let entries = table.scan(ctrl)?;
-        Self::construct(ctrl, table, entries, min_count, graph_region, intervals)
+        let (graph, partitioning, stats, _) =
+            Self::construct(ctrl, table, entries, min_count, graph_region, intervals)?;
+        Ok((graph, partitioning, stats))
     }
 
     /// [`GraphStage::build`] with the hash-table scan dispatched across
@@ -76,10 +83,77 @@ impl GraphStage {
         intervals: usize,
     ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
         let entries = table.scan_with_dispatcher(ctrl, dispatcher)?;
+        let (graph, partitioning, stats, _) =
+            Self::construct(ctrl, table, entries, min_count, graph_region, intervals)?;
+        Ok((graph, partitioning, stats))
+    }
+
+    /// [`GraphStage::build_with_dispatcher`] additionally returning the
+    /// post-filter survivors in scan order — the checkpoint payload from
+    /// which [`GraphStage::rebuild`] reconstructs the identical graph on
+    /// resume (node ids are assigned by first-reference order during
+    /// `add_kmer`, so replaying the same entry order reproduces the same
+    /// numbering).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn build_retaining(
+        ctrl: &mut Controller,
+        dispatcher: &ParallelDispatcher,
+        table: &PimHashTable,
+        min_count: u64,
+        graph_region: SubarrayId,
+        intervals: usize,
+    ) -> Result<GraphBuildOutput> {
+        let entries = table.scan_with_dispatcher(ctrl, dispatcher)?;
         Self::construct(ctrl, table, entries, min_count, graph_region, intervals)
     }
 
-    /// Filters the scanned entries and materializes the graph + partition.
+    /// Pure host-side graph reconstruction from checkpointed survivors:
+    /// replays `add_kmer` in the stored order and re-partitions. Charges
+    /// no commands — resume restores accounting separately.
+    pub fn rebuild(
+        survivors: &[(Kmer, u64)],
+        intervals: usize,
+        f: usize,
+    ) -> (DeBruijnGraph, Partitioning) {
+        let mut graph: Option<DeBruijnGraph> = None;
+        for &(kmer, count) in survivors {
+            let g = graph
+                .get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
+            g.add_kmer(kmer, count);
+        }
+        let graph = graph.unwrap_or_else(|| DeBruijnGraph::from_kmers(2, std::iter::empty()));
+        let partitioning = IntervalBlockPartitioner::new(intervals.max(1), f).partition(&graph);
+        (graph, partitioning)
+    }
+
+    /// Parses the `graph` checkpoint list written by the stage executors
+    /// (`packed k count` per line) back into the survivor entries.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::PimError::Checkpoint`] on any malformed line.
+    pub fn parse_survivors(lines: &[String]) -> Result<Vec<(Kmer, u64)>> {
+        let mut survivors = Vec::with_capacity(lines.len());
+        for line in lines {
+            let malformed = || crate::error::PimError::Checkpoint {
+                reason: format!("malformed graph survivor line `{line}`"),
+            };
+            let mut parts = line.split_whitespace();
+            let mut next = || parts.next().ok_or_else(malformed);
+            let packed: u64 = next()?.parse().map_err(|_| malformed())?;
+            let k: usize = next()?.parse().map_err(|_| malformed())?;
+            let count: u64 = next()?.parse().map_err(|_| malformed())?;
+            let kmer = Kmer::from_packed(packed, k).map_err(|_| malformed())?;
+            survivors.push((kmer, count));
+        }
+        Ok(survivors)
+    }
+
+    /// Filters the scanned entries and materializes the graph + partition,
+    /// retaining the post-filter survivors for checkpointing.
     fn construct(
         ctrl: &mut Controller,
         table: &PimHashTable,
@@ -87,7 +161,7 @@ impl GraphStage {
         min_count: u64,
         graph_region: SubarrayId,
         intervals: usize,
-    ) -> Result<(DeBruijnGraph, Partitioning, GraphStats)> {
+    ) -> Result<GraphBuildOutput> {
         let layout = SubarrayLayout::new(ctrl.geometry());
         let cols = ctrl.geometry().cols;
         let mapper: &KmerMapper = table.mapper();
@@ -95,6 +169,7 @@ impl GraphStage {
 
         let mut graph: Option<DeBruijnGraph> = None;
         let mut write_cursor = 0usize;
+        let mut survivors = Vec::new();
         // One image buffer for the whole construction loop (it used to be
         // re-allocated three times per surviving k-mer).
         let mut image = pim_dram::bitrow::BitRow::zeros(cols);
@@ -105,6 +180,7 @@ impl GraphStage {
             let g = graph
                 .get_or_insert_with(|| DeBruijnGraph::from_kmers(kmer.k(), std::iter::empty()));
             g.add_kmer(kmer, count);
+            survivors.push((kmer, count));
             stats.edges_inserted += 1;
             mapper.row_image_into(&kmer, &mut image);
             // MEM_insert: node_1, node_2, and the edge-list entry — three
@@ -121,7 +197,99 @@ impl GraphStage {
         let graph = graph.unwrap_or_else(|| DeBruijnGraph::from_kmers(2, std::iter::empty()));
         let f = ctrl.geometry().cols.min(ctrl.geometry().rows);
         let partitioning = IntervalBlockPartitioner::new(intervals.max(1), f).partition(&graph);
-        Ok((graph, partitioning, stats))
+        Ok((graph, partitioning, stats, survivors))
+    }
+}
+
+/// Output artifact of the graph stage: the materialized graph, its
+/// partitioning, the stage statistics, and the post-filter survivors that
+/// reconstruct it on resume.
+#[derive(Debug, Clone)]
+pub struct GraphArtifact {
+    /// The de Bruijn graph (pre-simplification).
+    pub graph: DeBruijnGraph,
+    /// The interval-block partitioning.
+    pub partitioning: Partitioning,
+    /// Stage statistics.
+    pub stats: GraphStats,
+    /// Post-filter `(kmer, count)` entries in scan order.
+    pub survivors: Vec<(Kmer, u64)>,
+}
+
+/// The stage-2 executor of the staged engine: a single-chunk stage that
+/// consumes the sealed hash table and materializes the graph. Its
+/// checkpoint payload is the survivor list, from which
+/// [`GraphStage::rebuild`] reconstructs the identical graph purely
+/// host-side.
+#[derive(Debug, Clone)]
+pub struct GraphExec {
+    table: Option<PimHashTable>,
+    graph_region: SubarrayId,
+    intervals: usize,
+    built: Option<GraphArtifact>,
+}
+
+impl GraphExec {
+    /// An executor over the sealed stage-1 table.
+    pub fn new(table: PimHashTable, graph_region: SubarrayId, intervals: usize) -> Self {
+        GraphExec { table: Some(table), graph_region, intervals, built: None }
+    }
+}
+
+impl crate::stages::Stage for GraphExec {
+    type Chunk = ();
+    type Artifact = GraphArtifact;
+
+    fn name(&self) -> &'static str {
+        "graph"
+    }
+
+    fn cursor(&self) -> crate::stages::StageCursor {
+        crate::stages::StageCursor { done: self.built.is_some() as u64, total: Some(1) }
+    }
+
+    fn is_done(&self) -> bool {
+        self.built.is_some()
+    }
+
+    fn advance(&mut self, env: &mut crate::stages::StageEnv<'_>, _chunk: ()) -> Result<()> {
+        let table = self.table.take().expect("graph stage advances exactly once");
+        let (graph, partitioning, stats, survivors) = GraphStage::build_retaining(
+            env.ctrl,
+            env.dispatcher,
+            &table,
+            env.config.min_count,
+            self.graph_region,
+            self.intervals,
+        )?;
+        self.built = Some(GraphArtifact { graph, partitioning, stats, survivors });
+        Ok(())
+    }
+
+    fn save(
+        &self,
+        _env: &mut crate::stages::StageEnv<'_>,
+        cp: &mut crate::checkpoint::StageCheckpoint,
+    ) -> Result<()> {
+        let art = self.built.as_ref().ok_or_else(|| crate::error::PimError::Checkpoint {
+            reason: "graph stage checkpoints only at its boundary".into(),
+        })?;
+        let lines = art
+            .survivors
+            .iter()
+            .map(|(kmer, count)| format!("{} {} {count}", kmer.packed(), kmer.k()))
+            .collect();
+        cp.lists.insert("graph".into(), lines);
+        cp.fields.insert("graph.scanned".into(), art.stats.scanned);
+        cp.fields.insert("graph.edges_inserted".into(), art.stats.edges_inserted);
+        cp.fields.insert("graph.mem_inserts".into(), art.stats.mem_inserts);
+        Ok(())
+    }
+
+    fn into_artifact(self, _env: &mut crate::stages::StageEnv<'_>) -> Result<GraphArtifact> {
+        self.built.ok_or_else(|| crate::error::PimError::Checkpoint {
+            reason: "graph stage not yet advanced".into(),
+        })
     }
 }
 

@@ -20,7 +20,8 @@ use pim_dram::address::{RowAddr, SubarrayId};
 use pim_dram::bitrow::BitRow;
 use pim_dram::controller::Controller;
 use pim_dram::port::AapPort;
-use pim_genome::kmer::Kmer;
+use pim_genome::kmer::{Kmer, KmerIter};
+use pim_genome::reads::Read;
 use pim_obsv::{HistKey, Metric};
 
 use crate::dispatch::ParallelDispatcher;
@@ -420,6 +421,244 @@ impl PimHashTable {
         port.record_synthetic("AAP", 1);
         Ok(())
     }
+
+    /// Exports every stored entry with its physical placement —
+    /// `(sub-array index, row, k-mer, count)` — through the uncharged
+    /// debug port, so taking a checkpoint perturbs neither the ledger nor
+    /// the metrics. Together with [`PimHashTable::restore_entries`] this
+    /// is the table's checkpoint round-trip: a slot's DRAM row image is
+    /// exactly [`KmerMapper::row_image`] of its k-mer and the counter is
+    /// an 8-bit field in the value region, so the full device state is
+    /// reconstructible from these tuples. (Fault injection corrupts
+    /// read-outs, not this invariant's stored state, but checkpointed
+    /// sessions do not support fault campaigns — see the pipeline docs.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn export_entries(
+        &self,
+        port: &mut impl AapPort,
+    ) -> Result<Vec<(usize, usize, Kmer, u64)>> {
+        let layout = *self.mapper.layout();
+        let mut out = Vec::new();
+        for (sub_idx, slots) in self.slots.iter().enumerate() {
+            let subarray = self.mapper.subarrays()[sub_idx];
+            for (row, slot) in slots.iter().enumerate() {
+                let Some(kmer) = slot else { continue };
+                let (vrow, bit) = layout.counter_location(row);
+                let value_row = port.peek_row(subarray, layout.value_row(vrow))?;
+                let count = value_row.extract(bit, COUNTER_BITS).to_u64();
+                out.push((sub_idx, row, *kmer, count));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a checkpointed table: shadow slots, k-mer row images and
+    /// counter fields are restored through the uncharged debug port, and
+    /// the statistics accumulator is set to the checkpointed values.
+    /// Charges nothing — the session restores accounting separately via
+    /// [`Controller::restore_accounting`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM addressing errors.
+    pub fn restore_entries(
+        mapper: KmerMapper,
+        backend: BackendKind,
+        opt: OptLevel,
+        port: &mut impl AapPort,
+        entries: &[(usize, usize, Kmer, u64)],
+        stats: HashStats,
+    ) -> Result<Self> {
+        let mut table = PimHashTable::with_backend(mapper, backend, opt);
+        let layout = *table.mapper.layout();
+        let cols = port.geometry().cols;
+        let mut image = BitRow::zeros(cols);
+        for &(sub_idx, row, kmer, count) in entries {
+            let subarray = table.mapper.subarrays()[sub_idx];
+            table.mapper.row_image_into(&kmer, &mut image);
+            port.poke_row(subarray, RowAddr(row), &image)?;
+            let (vrow, bit) = layout.counter_location(row);
+            let mut value_row = port.peek_row(subarray, layout.value_row(vrow))?;
+            value_row.splice(bit, &BitRow::from_u64(count, COUNTER_BITS));
+            port.poke_row(subarray, layout.value_row(vrow), &value_row)?;
+            table.slots[sub_idx][row] = Some(kmer);
+        }
+        table.stats = stats;
+        Ok(table)
+    }
+}
+
+/// The stage-1 executor of the staged engine: chunked read ingestion into
+/// the in-DRAM hash table. Each [`HashmapExec::feed`] call streams one
+/// chunk of reads (charging that chunk's host row writes), chops it into
+/// k-mers, and batch-inserts them; chunk boundaries are invisible to the
+/// final table state and accounting because per-sub-array arrival order
+/// is preserved and ledger charging is an order-independent sum.
+#[derive(Debug, Clone)]
+pub struct HashmapExec {
+    table: PimHashTable,
+    reads_consumed: u64,
+    kmer_count: u64,
+    sealed: bool,
+}
+
+impl HashmapExec {
+    /// An empty executor over the configuration's hash partition.
+    pub fn new(config: &crate::config::PimAssemblerConfig) -> Self {
+        let mapper = KmerMapper::new(&config.geometry, config.hash_subarrays, config.bucket_rows);
+        let table = PimHashTable::with_backend(mapper, BackendKind::PimAssembler, config.opt_level);
+        HashmapExec { table, reads_consumed: 0, kmer_count: 0, sealed: false }
+    }
+
+    /// Ingests one chunk of reads, returning the number of k-mers the
+    /// chunk contributed.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::SubarrayFull`] when the hash partition overflows, plus
+    /// DRAM addressing errors.
+    pub fn feed(&mut self, env: &mut crate::stages::StageEnv<'_>, reads: &[Read]) -> Result<u64> {
+        let cols = env.config.geometry.cols as u64;
+        // Stream the chunk into the original sequence bank: one host row
+        // write per 128 bp of read data (the one-shot path charges the
+        // same total up front; charge_many additivity makes the split
+        // invisible to the ledger).
+        let stream_rows: u64 =
+            reads.iter().map(|r| ((r.seq.len() * 2) as u64).div_ceil(cols)).sum();
+        env.ctrl.record_synthetic("WR", stream_rows);
+        let mut kmers = Vec::new();
+        for read in reads {
+            for kmer in KmerIter::new(&read.seq, env.config.k)? {
+                kmers.push(kmer);
+            }
+        }
+        self.table.insert_batch(env.ctrl, env.dispatcher, &kmers)?;
+        self.reads_consumed += reads.len() as u64;
+        self.kmer_count += kmers.len() as u64;
+        Ok(kmers.len() as u64)
+    }
+
+    /// Marks the read stream as exhausted; further `feed` calls are a
+    /// contract violation the session guards against.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Total k-mers offered so far.
+    pub fn kmer_count(&self) -> u64 {
+        self.kmer_count
+    }
+
+    /// The table under construction.
+    pub fn table(&self) -> &PimHashTable {
+        &self.table
+    }
+
+    /// Reconstructs an executor from a checkpoint payload written by
+    /// [`crate::stages::Stage::save`]. Uncharged — see
+    /// [`PimHashTable::restore_entries`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Checkpoint`] on a malformed payload; DRAM addressing
+    /// errors while restoring rows.
+    pub fn restore(
+        env: &mut crate::stages::StageEnv<'_>,
+        cp: &crate::checkpoint::StageCheckpoint,
+        sealed: bool,
+    ) -> Result<Self> {
+        let malformed =
+            |line: &str| PimError::Checkpoint { reason: format!("bad hash entry `{line}`") };
+        let mut entries = Vec::new();
+        for line in cp.lists.get("hash").map_or(&[][..], Vec::as_slice) {
+            let mut p = line.split_whitespace();
+            let mut next = || p.next().ok_or_else(|| malformed(line));
+            let sub_idx: usize = next()?.parse().map_err(|_| malformed(line))?;
+            let row: usize = next()?.parse().map_err(|_| malformed(line))?;
+            let packed: u64 = next()?.parse().map_err(|_| malformed(line))?;
+            let k: usize = next()?.parse().map_err(|_| malformed(line))?;
+            let count: u64 = next()?.parse().map_err(|_| malformed(line))?;
+            let kmer = Kmer::from_packed(packed, k).map_err(|_| malformed(line))?;
+            entries.push((sub_idx, row, kmer, count));
+        }
+        let stats = HashStats {
+            inserted_total: cp.field("hash.inserted_total"),
+            distinct: cp.field("hash.distinct"),
+            probes: cp.field("hash.probes"),
+            hits: cp.field("hash.hits"),
+            shadow_mismatches: cp.field("hash.shadow_mismatches"),
+        };
+        let config = env.config;
+        let mapper = KmerMapper::new(&config.geometry, config.hash_subarrays, config.bucket_rows);
+        let table = PimHashTable::restore_entries(
+            mapper,
+            BackendKind::PimAssembler,
+            config.opt_level,
+            env.ctrl,
+            &entries,
+            stats,
+        )?;
+        Ok(HashmapExec {
+            table,
+            reads_consumed: cp.cursor,
+            kmer_count: cp.field("kmer_count"),
+            sealed,
+        })
+    }
+}
+
+impl crate::stages::Stage for HashmapExec {
+    type Chunk = Vec<Read>;
+    type Artifact = PimHashTable;
+
+    fn name(&self) -> &'static str {
+        "hashmap"
+    }
+
+    fn cursor(&self) -> crate::stages::StageCursor {
+        crate::stages::StageCursor {
+            done: self.reads_consumed,
+            total: self.sealed.then_some(self.reads_consumed),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sealed
+    }
+
+    fn advance(&mut self, env: &mut crate::stages::StageEnv<'_>, chunk: Vec<Read>) -> Result<()> {
+        self.feed(env, &chunk).map(|_| ())
+    }
+
+    fn save(
+        &self,
+        env: &mut crate::stages::StageEnv<'_>,
+        cp: &mut crate::checkpoint::StageCheckpoint,
+    ) -> Result<()> {
+        let entries = self.table.export_entries(env.ctrl)?;
+        let lines = entries
+            .iter()
+            .map(|(sub, row, kmer, count)| {
+                format!("{sub} {row} {} {} {count}", kmer.packed(), kmer.k())
+            })
+            .collect();
+        cp.lists.insert("hash".into(), lines);
+        let s = self.table.stats();
+        cp.fields.insert("hash.inserted_total".into(), s.inserted_total);
+        cp.fields.insert("hash.distinct".into(), s.distinct);
+        cp.fields.insert("hash.probes".into(), s.probes);
+        cp.fields.insert("hash.hits".into(), s.hits);
+        cp.fields.insert("hash.shadow_mismatches".into(), s.shadow_mismatches);
+        cp.fields.insert("kmer_count".into(), self.kmer_count);
+        Ok(())
+    }
+
+    fn into_artifact(self, _env: &mut crate::stages::StageEnv<'_>) -> Result<PimHashTable> {
+        Ok(self.table)
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +823,53 @@ mod tests {
         let dispatched_delta = ctrl.stats().since(&before);
         assert_eq!(serial, dispatched);
         assert_eq!(serial_delta, dispatched_delta);
+    }
+
+    #[test]
+    fn export_restore_round_trips_without_charging() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let seq = DnaSequence::random(&mut rng, 700);
+        let kmers: Vec<Kmer> = KmerIter::new(&seq, 13).unwrap().collect();
+
+        // Uninterrupted reference: all k-mers through one table.
+        let (mut ref_ctrl, mut reference) = setup();
+        for &kmer in &kmers {
+            reference.insert(&mut ref_ctrl, kmer).unwrap();
+        }
+
+        // Interrupted run: first half, export, restore on fresh hardware,
+        // second half.
+        let (mut ctrl_a, mut table_a) = setup();
+        let half = kmers.len() / 2;
+        for &kmer in &kmers[..half] {
+            table_a.insert(&mut ctrl_a, kmer).unwrap();
+        }
+        let before_export = *ctrl_a.stats();
+        let entries = table_a.export_entries(&mut ctrl_a).unwrap();
+        assert_eq!(*ctrl_a.stats(), before_export, "export must not charge");
+
+        let g = DramGeometry::paper_assembly();
+        let mut ctrl_b = Controller::new(g);
+        let mut restored = PimHashTable::restore_entries(
+            KmerMapper::new(&g, 4, 8),
+            BackendKind::PimAssembler,
+            OptLevel::O0,
+            &mut ctrl_b,
+            &entries,
+            *table_a.stats(),
+        )
+        .unwrap();
+        assert!(ctrl_b.ledger().is_empty(), "restore must not charge");
+        assert_eq!(restored.stats(), table_a.stats());
+        for &kmer in &kmers[half..] {
+            restored.insert(&mut ctrl_b, kmer).unwrap();
+        }
+        assert_eq!(restored.stats(), reference.stats());
+        assert_eq!(
+            restored.scan(&mut ctrl_b).unwrap(),
+            reference.scan(&mut ref_ctrl).unwrap(),
+            "restored table must continue byte-identically"
+        );
     }
 
     #[test]

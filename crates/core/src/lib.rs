@@ -30,8 +30,13 @@
 //! * [`hashmap_stage`] — the `Hashmap(S, k)` procedure in PIM,
 //! * [`graph_stage`] — the `DeBruijn(Hashmap, k)` procedure in PIM,
 //! * [`traverse_stage`] — the `Traverse(G)` procedure in PIM,
-//! * [`pipeline`] — the full assembler, producing contigs plus a
-//!   [`perf::PerfReport`],
+//! * [`stages`] — the typed [`stages::Stage`] trait behind the staged
+//!   execution engine (chunked advance, progress cursors, checkpoints),
+//! * [`checkpoint`] — serializable stage checkpoints (atomic on-disk
+//!   format, schema/fingerprint validation, directory guard),
+//! * [`pipeline`] — the full assembler: the resumable [`pipeline::Session`]
+//!   engine plus the thin [`pipeline::PimAssembler`] driver, producing
+//!   contigs and a [`perf::PerfReport`],
 //! * [`perf`] — wall-clock/power/MBR/RUR estimation and chr14-scale
 //!   extrapolation,
 //! * [`budget`] — template-derived stage command budgets checked against
@@ -55,6 +60,7 @@
 //! ```
 
 pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod dispatch;
 pub mod dpu;
@@ -74,6 +80,7 @@ pub mod pim_xnor;
 pub mod pipeline;
 pub mod programs;
 pub mod scaffold_stage;
+pub mod stages;
 pub mod template;
 pub mod traverse_stage;
 
@@ -81,4 +88,4 @@ pub use config::PimAssemblerConfig;
 pub use dispatch::ParallelDispatcher;
 pub use error::{PimError, Result};
 pub use perf::PerfReport;
-pub use pipeline::{PimAssembler, PimRun};
+pub use pipeline::{PimAssembler, PimRun, Session};

@@ -1,4 +1,4 @@
-//! The end-to-end PIM-Assembler pipeline.
+//! The end-to-end PIM-Assembler pipeline and its staged execution engine.
 //!
 //! `PimAssembler::assemble` drives all three stages of Fig. 5 against the
 //! bit-accurate DRAM model, returning real contigs plus the full
@@ -6,29 +6,43 @@
 //! assembler of `pim_genome` (the integration tests assert this), because
 //! the PIM pipeline executes the *same algorithm* through in-memory
 //! primitives.
+//!
+//! Since the staged-engine refactor, `assemble` is a thin driver over a
+//! [`Session`]: a resumable run that advances the typed
+//! [`crate::stages::Stage`] executors chunk by chunk, optionally persists
+//! a [`StageCheckpoint`] after every chunk and stage boundary, and can be
+//! reconstructed from disk with [`Session::resume`]. The load-bearing
+//! contract — pinned by `pim-verify` and `tests/resume_suite.rs` — is
+//! that streamed + checkpointed + resumed execution is *byte-identical*
+//! to the historical one-shot run: contigs, `CommandStats`, the energy
+//! ledger, and every deterministic metric, at any worker count and
+//! optimization level.
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use pim_dram::address::SubarrayId;
 use pim_dram::controller::Controller;
+use pim_dram::ledger::EnergyLedger;
 use pim_genome::assemble::Assembly;
 use pim_genome::contig::Contig;
-use pim_genome::euler::EulerAlgorithm;
-use pim_genome::kmer::KmerIter;
 use pim_genome::reads::Read;
 use pim_genome::stats::AssemblyStats;
-use pim_obsv::{SpanRecorder, Stage};
+use pim_obsv::{MetricsSnapshot, SpanRecorder, Stage};
 use pim_platforms::workload::AssemblyWorkload;
 
+use crate::budget::{hashmap_chunk_aap_bound, ChunkAapBound};
+use crate::checkpoint::{prepare_dir, StageCheckpoint};
 use crate::config::PimAssemblerConfig;
 use crate::dispatch::ParallelDispatcher;
-use crate::error::Result;
-use crate::graph_stage::{GraphStage, GraphStats};
-use crate::hashmap_stage::{HashStats, PimHashTable};
-use crate::mapping::KmerMapper;
+use crate::error::{PimError, Result};
+use crate::graph_stage::{GraphArtifact, GraphExec, GraphStage, GraphStats};
+use crate::hashmap_stage::{HashStats, HashmapExec, PimHashTable};
 use crate::partition::Partitioning;
 use crate::perf::PerfReport;
-use crate::traverse_stage::{TraverseStage, TraverseStats};
+use crate::stages::{Stage as ExecStage, StageEnv};
+use crate::traverse_stage::{TraverseArtifact, TraverseExec, TraverseStats};
 
 /// Everything one assembly run produces.
 #[derive(Debug, Clone)]
@@ -46,6 +60,10 @@ pub struct PimRun {
     pub traverse_stats: TraverseStats,
     /// The interval-block partitioning chosen for the graph.
     pub partitioning: Partitioning,
+    /// Per-chunk AAP budget violations recorded during streamed
+    /// ingestion (see [`crate::budget::hashmap_chunk_aap_bound`]). Empty
+    /// for healthy runs; violations are recorded, never fatal.
+    pub chunk_violations: Vec<String>,
 }
 
 /// The PIM-Assembler platform instance.
@@ -104,7 +122,8 @@ impl PimAssembler {
     /// subsequent row read-out flips each bit with the configured
     /// probability (stored cells stay intact). Used by the verification
     /// harness to measure how the pipeline degrades under array faults —
-    /// see [`pim_dram::fault::FaultConfig`].
+    /// see [`pim_dram::fault::FaultConfig`]. Incompatible with
+    /// checkpointing (the flip streams are not serializable).
     pub fn inject_faults(&mut self, config: pim_dram::fault::FaultConfig) {
         self.ctrl.inject_faults(config);
     }
@@ -117,6 +136,10 @@ impl PimAssembler {
 
     /// Runs the three-stage assembly over a read set.
     ///
+    /// With [`PimAssemblerConfig::chunk_reads`] unset this is the
+    /// historical one-shot path; with `Some(n)` the reads stream through
+    /// the hashmap stage in chunks of `n` with byte-identical results.
+    ///
     /// # Errors
     ///
     /// * [`crate::PimError::SubarrayFull`] if the hash partition is too
@@ -124,161 +147,687 @@ impl PimAssembler {
     ///   [`PimAssemblerConfig::with_hash_subarrays`]).
     /// * DRAM addressing errors.
     pub fn assemble(&mut self, reads: &[Read]) -> Result<PimRun> {
-        let k = self.config.k;
-        let geometry = self.config.geometry;
-        self.ctrl.take_stats();
-        self.dispatcher.metrics().reset();
-
-        // ── Stage 1: k-mer analysis (Hashmap) ──────────────────────────
-        self.ctrl.set_stage(Stage::Hashmap);
-        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
-        // Stream the read set into the original sequence bank first: one
-        // host row write per 128 bp of read data.
-        let stream_rows: u64 =
-            reads.iter().map(|r| ((r.seq.len() * 2) as u64).div_ceil(geometry.cols as u64)).sum();
-        self.ctrl.record_synthetic("WR", stream_rows);
-        let mapper =
-            KmerMapper::new(&geometry, self.config.hash_subarrays, self.config.bucket_rows);
-        let mut table = PimHashTable::with_backend(
-            mapper,
-            crate::ir::BackendKind::PimAssembler,
-            self.config.opt_level,
-        );
-        let mut kmers = Vec::new();
-        for read in reads {
-            for kmer in KmerIter::new(&read.seq, k)? {
-                kmers.push(kmer);
-            }
-        }
-        table.insert_batch(&mut self.ctrl, &self.dispatcher, &kmers)?;
-        let kmer_count = kmers.len() as u64;
-        drop(kmers);
-        let hash_stats = *table.stats();
-        let s1 = *self.ctrl.stats();
-        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
-            spans.record("stage.hashmap", "stage", 0, t0, kmer_count);
-        }
-
-        // ── Stage 2: graph construction (DeBruijn) ─────────────────────
-        self.ctrl.set_stage(Stage::Graph);
-        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
-        let graph_region = self.aux_subarray(0);
-        let (mut graph, mut partitioning, graph_stats) = GraphStage::build_with_dispatcher(
-            &mut self.ctrl,
-            &self.dispatcher,
-            &table,
-            self.config.min_count,
-            graph_region,
-            partition_intervals(&geometry),
-        )?;
-        if let Some(max_tip) = self.config.simplify_tips {
-            let before_edges = graph.edge_count();
-            let (simplified, _) = pim_genome::simplify::Simplifier::new(max_tip).simplify(&graph);
-            // Each dropped edge is a DPU decision plus an invalidating
-            // row touch in the graph region.
-            let dropped = (before_edges - simplified.edge_count()) as u64;
-            self.ctrl.dpu_ops(dropped);
-            self.ctrl.record_synthetic("AAP", dropped);
-            graph = simplified;
-            let f = geometry.cols.min(geometry.rows);
-            partitioning =
-                crate::partition::IntervalBlockPartitioner::new(partition_intervals(&geometry), f)
-                    .partition(&graph);
-        }
-        let s2 = self.ctrl.stats().since(&s1);
-        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
-            spans.record("stage.debruijn", "stage", 0, t0, graph.edge_count() as u64);
-        }
-
-        // ── Stage 3: traversal (Traverse) ──────────────────────────────
-        self.ctrl.set_stage(Stage::Traverse);
-        let stage_start = self.spans.as_deref().map(SpanRecorder::now_ns);
-        let (work_out, work_in) = (self.aux_subarray(1), self.aux_subarray(2));
-        let (trails, traverse_stats) = TraverseStage::run_with_dispatcher(
-            &mut self.ctrl,
-            &self.dispatcher,
-            &graph,
-            work_out,
-            work_in,
-            EulerAlgorithm::Hierholzer,
-            self.config.opt_level,
-        )?;
-        let mut s12 = s1;
-        s12.merge(&s2);
-        let s3 = self.ctrl.stats().since(&s12);
-        if let (Some(spans), Some(t0)) = (&self.spans, stage_start) {
-            spans.record("stage.traverse", "stage", 0, t0, trails.len() as u64);
-        }
-
-        // Contig spelling (host-side, as in the paper — stage 3 output).
-        let contigs: Vec<Contig> =
-            trails.iter().map(|t| Contig::from_trail(&graph, t)).filter(|c| c.len() >= k).collect();
-
-        let assembly = Assembly {
-            stats: AssemblyStats::from_contigs(&contigs),
-            contigs,
-            distinct_kmers: graph_stats.edges_inserted as usize,
-            total_kmers: hash_stats.inserted_total,
-            hash_probes: hash_stats.probes,
-            graph_nodes: graph.node_count(),
-            graph_edges: graph.edge_count(),
-            trails: trails.len(),
-        };
-
-        let read_len = reads.first().map_or(0, |r| r.seq.len());
-        let workload = AssemblyWorkload::from_measured(
-            k,
-            reads.len() as u64,
-            read_len,
-            hash_stats.inserted_total,
-            hash_stats.distinct,
-            graph.node_count() as u64,
-            graph.edge_count() as u64,
-            if hash_stats.inserted_total > 0 {
-                (hash_stats.probes as f64 / hash_stats.inserted_total as f64).max(1.0)
-            } else {
-                1.0
-            },
-        );
-        // Ground-truth parallelism: schedule the measured per-sub-array
-        // traffic under the shared command bus (three DDR commands per
-        // issue) and attach the effective parallelism it achieves.
-        let queues = pim_dram::schedule::queues_from_totals(&self.ctrl.subarray_command_totals());
-        let sched = pim_dram::schedule::schedule(&queues, 3.0 * self.config.timing.t_ck_ns);
-        let mut report = PerfReport::new(&self.config, [s1, s2, s3], workload)
-            .with_measured_parallelism(sched.effective_parallelism);
-        if let Some(mut snap) = self.ctrl.metrics_snapshot() {
-            // Deterministic dispatcher counters (recorded before the
-            // serial/pool path split) join the worker-count-independent
-            // section; timing-dependent host telemetry stays out of it.
-            for (name, value) in self.dispatcher.metrics().deterministic_counters() {
-                snap.counters.insert(format!("dispatch.{name}"), value);
-            }
-            for (name, value) in self.dispatcher.metrics().host_counters() {
-                snap.host.insert(format!("dispatch.{name}"), value);
-            }
-            if let Some(spans) = &self.spans {
-                snap.host.insert("spans.recorded".to_string(), spans.len() as u64);
-                snap.host.insert("spans.dropped".to_string(), spans.dropped());
-            }
-            snap.floats.insert("measured_parallelism".to_string(), sched.effective_parallelism);
-            report = report.with_metrics(snap);
-        }
-
-        Ok(PimRun { assembly, report, hash_stats, graph_stats, traverse_stats, partitioning })
+        let chunk = self.config.chunk_reads;
+        let mut session = Session::start(self, None)?;
+        session.feed_chunked(reads, chunk)?;
+        session.seal()?;
+        session.finish()
     }
 
-    /// Auxiliary sub-arrays placed after the hash partition.
-    fn aux_subarray(&self, offset: usize) -> SubarrayId {
-        let index = (self.config.hash_subarrays + offset) % self.config.geometry.total_subarrays();
-        SubarrayId::from_linear_index(&self.config.geometry, index)
+    /// [`PimAssembler::assemble`] with a checkpoint written into `dir`
+    /// after every ingested chunk and at every stage boundary, so an
+    /// interrupted run can continue with
+    /// [`PimAssembler::resume_assemble`]. A non-empty `dir` is rejected
+    /// unless `force` is set.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::CheckpointDirNotEmpty`] on an occupied directory
+    /// without `force`; [`PimError::Checkpoint`] on I/O failures or when
+    /// fault injection is armed; plus everything `assemble` returns.
+    pub fn assemble_checkpointed(
+        &mut self,
+        reads: &[Read],
+        dir: &Path,
+        force: bool,
+    ) -> Result<PimRun> {
+        let dir = prepare_dir(dir, force)?;
+        let chunk = self.config.chunk_reads;
+        let mut session = Session::start(self, Some(dir))?;
+        session.feed_chunked(reads, chunk)?;
+        session.seal()?;
+        session.finish()
     }
+
+    /// Resumes an interrupted checkpointed run from `dir` and completes
+    /// it. Pass the *same* read stream as the original run: the session
+    /// skips the reads the checkpoint already covers and continues from
+    /// the cursor. Results are byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Checkpoint`] when no checkpoint exists, the
+    /// configuration fingerprint does not match, or the checkpointed run
+    /// already completed; plus everything `assemble` returns.
+    pub fn resume_assemble(&mut self, reads: &[Read], dir: &Path) -> Result<PimRun> {
+        let chunk = self.config.chunk_reads;
+        let mut session = Session::resume(self, dir)?;
+        session.feed_chunked(reads, chunk)?;
+        session.seal()?;
+        session.finish()
+    }
+}
+
+/// Auxiliary sub-array `offset` places after the hash partition.
+fn aux_subarray(config: &PimAssemblerConfig, offset: usize) -> SubarrayId {
+    let index = (config.hash_subarrays + offset) % config.geometry.total_subarrays();
+    SubarrayId::from_linear_index(&config.geometry, index)
 }
 
 /// Interval count for the graph partitioning: one interval per active MAT,
 /// at least two.
 fn partition_intervals(geometry: &pim_dram::geometry::DramGeometry) -> usize {
     geometry.active_mats_per_bank.max(2)
+}
+
+/// Folds checkpointed metrics from an earlier session segment into the
+/// current snapshot. `total.*` counters are skipped: they are re-derived
+/// from the restored ledger and therefore already cumulative. Host keys
+/// are summed wholesale — they sit outside the deterministic contract
+/// (`dispatch.max_queue_depth` becomes a sum of per-segment maxima, which
+/// is documented and acceptable there).
+fn fold_base(
+    base_counters: &BTreeMap<String, u64>,
+    base_host: &BTreeMap<String, u64>,
+    snap: &mut MetricsSnapshot,
+) {
+    for (key, value) in base_counters {
+        if key.starts_with("total.") {
+            continue;
+        }
+        *snap.counters.entry(key.clone()).or_insert(0) += value;
+    }
+    for (key, value) in base_host {
+        *snap.host.entry(key.clone()).or_insert(0) += value;
+    }
+}
+
+/// Where a session currently stands.
+enum Phase {
+    /// Streaming reads into the hashmap stage.
+    Ingest(HashmapExec),
+    /// Hashmap sealed; the graph stage runs next.
+    GraphPending(PimHashTable),
+    /// Graph built (and simplified); the traverse stage runs next.
+    TraversePending(Box<TraverseExec>),
+    /// The run completed (or the session was consumed).
+    Finished,
+}
+
+/// A resumable, streaming, checkpointable assembly run.
+///
+/// A session borrows a [`PimAssembler`] for its lifetime and advances the
+/// pipeline's typed stage executors chunk by chunk:
+///
+/// 1. [`Session::start`] (or [`Session::resume`] from disk),
+/// 2. [`Session::feed`] for each chunk of reads,
+/// 3. [`Session::seal`] once the stream ends,
+/// 4. [`Session::finish`] to run the remaining stages and build the
+///    [`PimRun`].
+///
+/// When constructed with a checkpoint directory, the session persists a
+/// [`StageCheckpoint`] after every chunk and at every stage boundary
+/// (atomically — a kill mid-write leaves the previous checkpoint valid).
+/// Accounting is checkpointed as exact integer [`EnergyLedger`]s and
+/// restored via [`Controller::restore_accounting`]; device state is
+/// restored through the uncharged debug port; deterministic metrics are
+/// folded across segments. The result is byte-identical to an
+/// uninterrupted one-shot run.
+pub struct Session<'a> {
+    asm: &'a mut PimAssembler,
+    dir: Option<PathBuf>,
+    phase: Phase,
+    /// Reads the loaded checkpoint already covers; `feed` skips them.
+    skip_reads: u64,
+    total_reads: u64,
+    read_len: Option<usize>,
+    kmer_count: u64,
+    hash_stats: Option<HashStats>,
+    /// Cumulative ledger at the hashmap/graph boundary.
+    s1: Option<EnergyLedger>,
+    /// Cumulative ledger at the graph/traverse boundary.
+    s2: Option<EnergyLedger>,
+    bound: ChunkAapBound,
+    violations: Vec<String>,
+    base_counters: BTreeMap<String, u64>,
+    base_host: BTreeMap<String, u64>,
+    span_t0: Option<u64>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a fresh session, optionally checkpointing into
+    /// `checkpoint_dir` (prepare it with
+    /// [`crate::checkpoint::prepare_dir`] first).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Checkpoint`] when fault injection is armed and a
+    /// checkpoint directory is requested — flip streams are not
+    /// serializable, so checkpointed runs must be fault-free.
+    pub fn start(asm: &'a mut PimAssembler, checkpoint_dir: Option<PathBuf>) -> Result<Self> {
+        if checkpoint_dir.is_some() && asm.ctrl.fault_config().is_some() {
+            return Err(PimError::Checkpoint {
+                reason: "fault injection cannot be checkpointed (sense-amp flip streams are not \
+                         serializable); run without --checkpoint-dir"
+                    .into(),
+            });
+        }
+        asm.ctrl.take_stats();
+        asm.dispatcher.metrics().reset();
+        asm.ctrl.set_stage(Stage::Hashmap);
+        let span_t0 = asm.spans.as_deref().map(SpanRecorder::now_ns);
+        let exec = HashmapExec::new(&asm.config);
+        let bound = hashmap_chunk_aap_bound(asm.config.geometry.cols, asm.config.opt_level);
+        let mut session = Session {
+            asm,
+            dir: checkpoint_dir,
+            phase: Phase::Ingest(exec),
+            skip_reads: 0,
+            total_reads: 0,
+            read_len: None,
+            kmer_count: 0,
+            hash_stats: None,
+            s1: None,
+            s2: None,
+            bound,
+            violations: Vec::new(),
+            base_counters: BTreeMap::new(),
+            base_host: BTreeMap::new(),
+            span_t0,
+        };
+        // Persist an empty cursor immediately so a run killed before the
+        // first chunk lands is still resumable.
+        session.write_checkpoint("hashmap", 0)?;
+        Ok(session)
+    }
+
+    /// Reconstructs an interrupted session from the checkpoint in `dir`.
+    ///
+    /// Device state is rebuilt through the uncharged debug port, exact
+    /// accounting is restored with [`Controller::restore_accounting`], and
+    /// checkpointed metrics become the fold base for the final snapshot.
+    /// The caller then re-feeds the *same* read stream; reads the cursor
+    /// already covers are skipped without charging.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Checkpoint`] when no checkpoint exists, its
+    /// configuration fingerprint differs, the run already completed, or
+    /// fault injection is armed.
+    pub fn resume(asm: &'a mut PimAssembler, dir: &Path) -> Result<Self> {
+        let cp = StageCheckpoint::load(dir)?;
+        cp.verify_fingerprint(&asm.config.fingerprint())?;
+        if asm.ctrl.fault_config().is_some() {
+            return Err(PimError::Checkpoint {
+                reason: "fault injection cannot be resumed (sense-amp flip streams are not \
+                         serializable)"
+                    .into(),
+            });
+        }
+        asm.ctrl.take_stats();
+        asm.dispatcher.metrics().reset();
+        let geometry = asm.config.geometry;
+        let (phase, skip_reads, total_reads, s1, s2, hash_stats, kmer_count) = {
+            let PimAssembler { config, ctrl, dispatcher, .. } = &mut *asm;
+            let mut env = StageEnv { ctrl, dispatcher, config };
+            match cp.stage.as_str() {
+                "hashmap" => {
+                    let exec = HashmapExec::restore(&mut env, &cp, false)?;
+                    let kmer_count = exec.kmer_count();
+                    (Phase::Ingest(exec), cp.cursor, cp.cursor, None, None, None, kmer_count)
+                }
+                "graph" => {
+                    let exec = HashmapExec::restore(&mut env, &cp, true)?;
+                    let hash_stats = Some(*exec.table().stats());
+                    let kmer_count = exec.kmer_count();
+                    let table = ExecStage::into_artifact(exec, &mut env)?;
+                    let s1 = cp.ledger("s1")?;
+                    (
+                        Phase::GraphPending(table),
+                        0,
+                        cp.cursor,
+                        Some(s1),
+                        None,
+                        hash_stats,
+                        kmer_count,
+                    )
+                }
+                "traverse" => {
+                    let lines = cp.lists.get("graph").ok_or_else(|| PimError::Checkpoint {
+                        reason: "traverse checkpoint is missing the graph survivor list".into(),
+                    })?;
+                    let survivors = GraphStage::parse_survivors(lines)?;
+                    let intervals = partition_intervals(&config.geometry);
+                    let f = config.geometry.cols.min(config.geometry.rows);
+                    let (mut graph, mut partitioning) =
+                        GraphStage::rebuild(&survivors, intervals, f);
+                    if let Some(max_tip) = config.simplify_tips {
+                        // Pure host-side re-simplification: the DPU/AAP
+                        // charges the live run made here already sit in
+                        // the restored ledgers.
+                        let (simplified, _) =
+                            pim_genome::simplify::Simplifier::new(max_tip).simplify(&graph);
+                        graph = simplified;
+                        partitioning =
+                            crate::partition::IntervalBlockPartitioner::new(intervals, f)
+                                .partition(&graph);
+                    }
+                    let graph_stats = GraphStats {
+                        scanned: cp.field("graph.scanned"),
+                        edges_inserted: cp.field("graph.edges_inserted"),
+                        mem_inserts: cp.field("graph.mem_inserts"),
+                    };
+                    let hash_stats = Some(HashStats {
+                        inserted_total: cp.field("hash.inserted_total"),
+                        distinct: cp.field("hash.distinct"),
+                        probes: cp.field("hash.probes"),
+                        hits: cp.field("hash.hits"),
+                        shadow_mismatches: cp.field("hash.shadow_mismatches"),
+                    });
+                    let exec = TraverseExec::new(
+                        graph,
+                        partitioning,
+                        graph_stats,
+                        survivors,
+                        aux_subarray(config, 1),
+                        aux_subarray(config, 2),
+                    );
+                    (
+                        Phase::TraversePending(Box::new(exec)),
+                        0,
+                        cp.field("total_reads"),
+                        Some(cp.ledger("s1")?),
+                        Some(cp.ledger("s2")?),
+                        hash_stats,
+                        cp.field("kmer_count"),
+                    )
+                }
+                "done" => {
+                    return Err(PimError::Checkpoint {
+                        reason: "checkpoint marks a completed run; nothing to resume".into(),
+                    })
+                }
+                other => {
+                    return Err(PimError::Checkpoint {
+                        reason: format!("unknown checkpoint stage `{other}`"),
+                    })
+                }
+            }
+        };
+        let global = cp.ledger("global")?;
+        let mut subs = Vec::new();
+        for (name, ledger) in &cp.ledgers {
+            if let Some(idx) = name.strip_prefix("sub.") {
+                let idx: usize = idx.parse().map_err(|_| PimError::Checkpoint {
+                    reason: format!("bad sub-array ledger name `{name}`"),
+                })?;
+                subs.push((SubarrayId::from_linear_index(&geometry, idx), *ledger));
+            }
+        }
+        asm.ctrl.restore_accounting(global, &subs)?;
+        asm.ctrl.set_stage(match &phase {
+            Phase::Ingest(_) => Stage::Hashmap,
+            Phase::GraphPending(_) => Stage::Graph,
+            Phase::TraversePending(_) | Phase::Finished => Stage::Traverse,
+        });
+        let span_t0 = asm.spans.as_deref().map(SpanRecorder::now_ns);
+        let bound = hashmap_chunk_aap_bound(asm.config.geometry.cols, asm.config.opt_level);
+        let read_len = cp.field("read_len");
+        Ok(Session {
+            asm,
+            dir: Some(dir.to_path_buf()),
+            phase,
+            skip_reads,
+            total_reads,
+            read_len: (read_len > 0).then_some(read_len as usize),
+            kmer_count,
+            hash_stats,
+            s1,
+            s2,
+            bound,
+            violations: Vec::new(),
+            base_counters: cp.counters.clone(),
+            base_host: cp.host.clone(),
+            span_t0,
+        })
+    }
+
+    /// Feeds one chunk of reads into the hashmap stage. On a resumed
+    /// session the reads the checkpoint already covers are skipped
+    /// without charging; after the hashmap stage sealed (a session
+    /// resumed at a later stage) feeding is a no-op — the checkpoint
+    /// already contains the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Hash-stage execution errors and checkpoint I/O failures.
+    pub fn feed(&mut self, reads: &[Read]) -> Result<()> {
+        if !matches!(self.phase, Phase::Ingest(_)) {
+            return Ok(());
+        }
+        if self.read_len.is_none() {
+            self.read_len = reads.first().map(|r| r.seq.len());
+        }
+        let mut reads = reads;
+        if self.skip_reads > 0 {
+            let n = usize::try_from(self.skip_reads).unwrap_or(usize::MAX).min(reads.len());
+            self.skip_reads -= n as u64;
+            reads = &reads[n..];
+        }
+        if reads.is_empty() {
+            return Ok(());
+        }
+        let chunked = self.asm.config.chunk_reads.is_some();
+        let cursor;
+        {
+            let PimAssembler { config, ctrl, dispatcher, spans } = &mut *self.asm;
+            let Phase::Ingest(exec) = &mut self.phase else { unreachable!() };
+            let mut env = StageEnv { ctrl, dispatcher, config };
+            let t0 = chunked.then(|| spans.as_deref().map(SpanRecorder::now_ns)).flatten();
+            let before = *env.ctrl.stats();
+            let offered = exec.feed(&mut env, reads)?;
+            let delta = env.ctrl.stats().since(&before);
+            if let Some(violation) = self.bound.check(&delta, offered) {
+                self.violations.push(violation);
+            }
+            if let (Some(spans), Some(t0)) = (spans.as_deref(), t0) {
+                spans.record("stage.hashmap.chunk", "stage", 0, t0, offered);
+            }
+            cursor = ExecStage::cursor(exec).done;
+        }
+        self.total_reads = cursor;
+        self.write_checkpoint("hashmap", cursor)
+    }
+
+    /// [`Session::feed`] over the whole stream, split into chunks of
+    /// `chunk` reads (one chunk when `None`) — the driver loop `assemble`
+    /// and the CLI share.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Session::feed`] returns.
+    pub fn feed_chunked(&mut self, reads: &[Read], chunk: Option<usize>) -> Result<()> {
+        match chunk {
+            None => self.feed(reads),
+            Some(n) => {
+                for c in reads.chunks(n.max(1)) {
+                    self.feed(c)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Seals the read stream: finalizes the hashmap stage, captures the
+    /// stage-1 boundary, and writes the `stage = graph` checkpoint. A
+    /// no-op when the session is already past ingestion.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O failures.
+    pub fn seal(&mut self) -> Result<()> {
+        if !matches!(self.phase, Phase::Ingest(_)) {
+            return Ok(());
+        }
+        {
+            let Phase::Ingest(exec) = &mut self.phase else { unreachable!() };
+            exec.seal();
+            self.total_reads = ExecStage::cursor(exec).done;
+            self.kmer_count = exec.kmer_count();
+            self.hash_stats = Some(*exec.table().stats());
+        }
+        self.s1 = Some(*self.asm.ctrl.ledger());
+        if let (Some(spans), Some(t0)) = (self.asm.spans.as_deref(), self.span_t0) {
+            spans.record("stage.hashmap", "stage", 0, t0, self.kmer_count);
+        }
+        self.write_checkpoint("graph", self.total_reads)?;
+        let phase = std::mem::replace(&mut self.phase, Phase::Finished);
+        let Phase::Ingest(exec) = phase else { unreachable!() };
+        let PimAssembler { config, ctrl, dispatcher, .. } = &mut *self.asm;
+        let mut env = StageEnv { ctrl, dispatcher, config };
+        let table = ExecStage::into_artifact(exec, &mut env)?;
+        self.phase = Phase::GraphPending(table);
+        Ok(())
+    }
+
+    /// Per-chunk AAP budget violations recorded so far (also carried on
+    /// the finished [`PimRun`]).
+    pub fn chunk_violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Runs the graph stage if it is pending, writing the
+    /// `stage = traverse` checkpoint at its boundary. A no-op at any
+    /// other phase; [`Session::finish`] calls this itself, but exposing
+    /// the step lets callers (and the resume suite) stop a run between
+    /// the graph and traverse stages.
+    ///
+    /// # Errors
+    ///
+    /// Graph-stage execution errors and checkpoint I/O failures.
+    pub fn advance_graph(&mut self) -> Result<()> {
+        // ── Stage 2: graph construction (DeBruijn) ─────────────────────
+        if matches!(self.phase, Phase::GraphPending(_)) {
+            let phase = std::mem::replace(&mut self.phase, Phase::Finished);
+            let Phase::GraphPending(table) = phase else { unreachable!() };
+            let next = {
+                let PimAssembler { config, ctrl, dispatcher, spans } = &mut *self.asm;
+                ctrl.set_stage(Stage::Graph);
+                let stage_start = spans.as_deref().map(SpanRecorder::now_ns);
+                let mut env = StageEnv { ctrl, dispatcher, config };
+                let graph_region = aux_subarray(config, 0);
+                let mut gexec =
+                    GraphExec::new(table, graph_region, partition_intervals(&config.geometry));
+                ExecStage::advance(&mut gexec, &mut env, ())?;
+                let GraphArtifact { mut graph, mut partitioning, stats: graph_stats, survivors } =
+                    ExecStage::into_artifact(gexec, &mut env)?;
+                if let Some(max_tip) = config.simplify_tips {
+                    let before_edges = graph.edge_count();
+                    let (simplified, _) =
+                        pim_genome::simplify::Simplifier::new(max_tip).simplify(&graph);
+                    // Each dropped edge is a DPU decision plus an
+                    // invalidating row touch in the graph region.
+                    let dropped = (before_edges - simplified.edge_count()) as u64;
+                    env.ctrl.dpu_ops(dropped);
+                    env.ctrl.record_synthetic("AAP", dropped);
+                    graph = simplified;
+                    let f = config.geometry.cols.min(config.geometry.rows);
+                    partitioning = crate::partition::IntervalBlockPartitioner::new(
+                        partition_intervals(&config.geometry),
+                        f,
+                    )
+                    .partition(&graph);
+                }
+                self.s2 = Some(*env.ctrl.ledger());
+                if let (Some(spans), Some(t0)) = (spans.as_deref(), stage_start) {
+                    spans.record("stage.debruijn", "stage", 0, t0, graph.edge_count() as u64);
+                }
+                TraverseExec::new(
+                    graph,
+                    partitioning,
+                    graph_stats,
+                    survivors,
+                    aux_subarray(config, 1),
+                    aux_subarray(config, 2),
+                )
+            };
+            self.phase = Phase::TraversePending(Box::new(next));
+            self.write_checkpoint("traverse", 0)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the remaining stages and builds the [`PimRun`]. Seals the
+    /// stream first if the caller did not.
+    ///
+    /// # Errors
+    ///
+    /// Stage execution errors, checkpoint I/O failures, and
+    /// [`PimError::Checkpoint`] when the session already finished.
+    pub fn finish(mut self) -> Result<PimRun> {
+        self.seal()?;
+        self.advance_graph()?;
+
+        // ── Stage 3: traversal (Traverse) ──────────────────────────────
+        let phase = std::mem::replace(&mut self.phase, Phase::Finished);
+        let Phase::TraversePending(mut texec) = phase else {
+            return Err(PimError::Checkpoint { reason: "session already finished".into() });
+        };
+        let missing = |what: &str| PimError::Checkpoint {
+            reason: format!("session is missing the {what} boundary"),
+        };
+        let s1_ledger = self.s1.ok_or_else(|| missing("stage-1"))?;
+        let s2_ledger = self.s2.ok_or_else(|| missing("stage-2"))?;
+        let hash_stats = self.hash_stats.ok_or_else(|| missing("hashmap statistics"))?;
+        let run = {
+            let PimAssembler { config, ctrl, dispatcher, spans } = &mut *self.asm;
+            ctrl.set_stage(Stage::Traverse);
+            let stage_start = spans.as_deref().map(SpanRecorder::now_ns);
+            let mut env = StageEnv { ctrl, dispatcher, config };
+            ExecStage::advance(&mut *texec, &mut env, ())?;
+            let TraverseArtifact {
+                trails,
+                stats: traverse_stats,
+                graph,
+                partitioning,
+                graph_stats,
+            } = ExecStage::into_artifact(*texec, &mut env)?;
+            let s1 = s1_ledger.to_stats();
+            let s2 = s2_ledger.to_stats().since(&s1);
+            let mut s12 = s1;
+            s12.merge(&s2);
+            let s3 = env.ctrl.stats().since(&s12);
+            if let (Some(spans), Some(t0)) = (spans.as_deref(), stage_start) {
+                spans.record("stage.traverse", "stage", 0, t0, trails.len() as u64);
+            }
+
+            // Contig spelling (host-side, as in the paper — stage 3 output).
+            let k = config.k;
+            let contigs: Vec<Contig> = trails
+                .iter()
+                .map(|t| Contig::from_trail(&graph, t))
+                .filter(|c| c.len() >= k)
+                .collect();
+
+            let assembly = Assembly {
+                stats: AssemblyStats::from_contigs(&contigs),
+                contigs,
+                distinct_kmers: graph_stats.edges_inserted as usize,
+                total_kmers: hash_stats.inserted_total,
+                hash_probes: hash_stats.probes,
+                graph_nodes: graph.node_count(),
+                graph_edges: graph.edge_count(),
+                trails: trails.len(),
+            };
+
+            let workload = AssemblyWorkload::from_measured(
+                k,
+                self.total_reads,
+                self.read_len.unwrap_or(0),
+                hash_stats.inserted_total,
+                hash_stats.distinct,
+                graph.node_count() as u64,
+                graph.edge_count() as u64,
+                if hash_stats.inserted_total > 0 {
+                    (hash_stats.probes as f64 / hash_stats.inserted_total as f64).max(1.0)
+                } else {
+                    1.0
+                },
+            );
+            // Ground-truth parallelism: schedule the measured per-sub-array
+            // traffic under the shared command bus (three DDR commands per
+            // issue) and attach the effective parallelism it achieves.
+            let queues =
+                pim_dram::schedule::queues_from_totals(&env.ctrl.subarray_command_totals());
+            let sched = pim_dram::schedule::schedule(&queues, 3.0 * config.timing.t_ck_ns);
+            let mut report = PerfReport::new(config, [s1, s2, s3], workload)
+                .with_measured_parallelism(sched.effective_parallelism);
+            if let Some(mut snap) = env.ctrl.metrics_snapshot() {
+                // Dispatcher batch counts depend on how the stream was
+                // chunked, so since the staged-engine refactor all
+                // dispatch telemetry lives in the host section, outside
+                // the worker- and chunk-invariant contract.
+                for (name, value) in env.dispatcher.metrics().deterministic_counters() {
+                    snap.host.insert(format!("dispatch.{name}"), value);
+                }
+                for (name, value) in env.dispatcher.metrics().host_counters() {
+                    snap.host.insert(format!("dispatch.{name}"), value);
+                }
+                if let Some(spans) = spans.as_deref() {
+                    snap.host.insert("spans.recorded".to_string(), spans.len() as u64);
+                    snap.host.insert("spans.dropped".to_string(), spans.dropped());
+                }
+                snap.floats.insert("measured_parallelism".to_string(), sched.effective_parallelism);
+                fold_base(&self.base_counters, &self.base_host, &mut snap);
+                report = report.with_metrics(snap);
+            }
+
+            PimRun {
+                assembly,
+                report,
+                hash_stats,
+                graph_stats,
+                traverse_stats,
+                partitioning,
+                chunk_violations: self.violations.clone(),
+            }
+        };
+        self.write_checkpoint("done", 0)?;
+        Ok(run)
+    }
+
+    /// Writes the session checkpoint for `stage` at `cursor` when a
+    /// checkpoint directory is configured.
+    fn write_checkpoint(&mut self, stage: &str, cursor: u64) -> Result<()> {
+        let Some(dir) = self.dir.clone() else { return Ok(()) };
+        let fingerprint = self.asm.config.fingerprint();
+        let mut cp = StageCheckpoint::new(&fingerprint, stage, cursor);
+        {
+            let PimAssembler { config, ctrl, dispatcher, spans } = &mut *self.asm;
+            let mut env = StageEnv { ctrl, dispatcher, config };
+            match &self.phase {
+                Phase::Ingest(exec) => ExecStage::save(exec, &mut env, &mut cp)?,
+                Phase::TraversePending(exec) => {
+                    ExecStage::save(&**exec, &mut env, &mut cp)?;
+                    if let Some(hs) = &self.hash_stats {
+                        cp.fields.insert("hash.inserted_total".into(), hs.inserted_total);
+                        cp.fields.insert("hash.distinct".into(), hs.distinct);
+                        cp.fields.insert("hash.probes".into(), hs.probes);
+                        cp.fields.insert("hash.hits".into(), hs.hits);
+                        cp.fields.insert("hash.shadow_mismatches".into(), hs.shadow_mismatches);
+                    }
+                    cp.fields.insert("kmer_count".into(), self.kmer_count);
+                }
+                Phase::GraphPending(_) | Phase::Finished => {}
+            }
+            if let Some(read_len) = self.read_len {
+                cp.fields.insert("read_len".into(), read_len as u64);
+            }
+            cp.fields.insert("total_reads".into(), self.total_reads);
+            cp.ledgers.insert("global".into(), *env.ctrl.global_ledger());
+            let touched: Vec<SubarrayId> = env.ctrl.touched_subarrays().collect();
+            for id in touched {
+                let linear = id.linear_index(&config.geometry);
+                let ledger = *env.ctrl.subarray_ledger(id).expect("touched implies attached");
+                cp.ledgers.insert(format!("sub.{linear}"), ledger);
+            }
+            if let Some(s1) = self.s1 {
+                cp.ledgers.insert("s1".into(), s1);
+            }
+            if let Some(s2) = self.s2 {
+                cp.ledgers.insert("s2".into(), s2);
+            }
+            if let Some(mut snap) = env.ctrl.metrics_snapshot() {
+                for (name, value) in env.dispatcher.metrics().deterministic_counters() {
+                    snap.host.insert(format!("dispatch.{name}"), value);
+                }
+                for (name, value) in env.dispatcher.metrics().host_counters() {
+                    snap.host.insert(format!("dispatch.{name}"), value);
+                }
+                if let Some(spans) = spans.as_deref() {
+                    snap.host.insert("spans.recorded".to_string(), spans.len() as u64);
+                    snap.host.insert("spans.dropped".to_string(), spans.dropped());
+                }
+                fold_base(&self.base_counters, &self.base_host, &mut snap);
+                // `total.*` counters are ledger-derived at render time;
+                // the checkpoint stores only additive segment data.
+                snap.counters.retain(|key, _| !key.starts_with("total."));
+                cp.counters = snap.counters;
+                cp.host = snap.host;
+            }
+        }
+        cp.save(&dir)
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +846,40 @@ mod tests {
         let mut asm = PimAssembler::new(PimAssemblerConfig::small_test(k));
         let run = asm.assemble(&reads).unwrap();
         (genome, run)
+    }
+
+    fn sim_reads(seed: u64, genome_len: usize) -> Vec<Read> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let genome = DnaSequence::random(&mut rng, genome_len);
+        ReadSimulator::new(60, 25.0).simulate(&genome, &mut rng)
+    }
+
+    fn assert_same_run(a: &PimRun, b: &PimRun) {
+        assert_eq!(a.assembly.contigs, b.assembly.contigs);
+        assert_eq!(a.assembly.trails, b.assembly.trails);
+        assert_eq!(a.report.commands, b.report.commands);
+        assert_eq!(a.report.hashmap.commands, b.report.hashmap.commands);
+        assert_eq!(a.report.debruijn.commands, b.report.debruijn.commands);
+        assert_eq!(a.report.traverse.commands, b.report.traverse.commands);
+        assert_eq!(a.report.measured_parallelism, b.report.measured_parallelism);
+        assert_eq!(a.hash_stats, b.hash_stats);
+        assert_eq!(a.graph_stats.edges_inserted, b.graph_stats.edges_inserted);
+        assert_eq!(a.traverse_stats, b.traverse_stats);
+        match (&a.report.metrics, &b.report.metrics) {
+            (Some(ma), Some(mb)) => {
+                assert_eq!(ma.counters, mb.counters, "deterministic counters diverged");
+                assert_eq!(ma.floats, mb.floats, "deterministic floats diverged");
+            }
+            (None, None) => {}
+            _ => panic!("one run has metrics, the other does not"),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pim-session-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -395,5 +978,76 @@ mod tests {
     fn partitioning_is_reported() {
         let (_, run) = small_run(6, 500, 13);
         assert_eq!(run.partitioning.total_edges(), run.assembly.graph_edges);
+    }
+
+    #[test]
+    fn streamed_chunks_match_the_one_shot_run() {
+        let reads = sim_reads(21, 700);
+        let base = PimAssemblerConfig::small_test(13).with_observability(true);
+        let one_shot = PimAssembler::new(base).assemble(&reads).unwrap();
+        for chunk in [1, 7, 64] {
+            let streamed =
+                PimAssembler::new(base.with_chunk_reads(chunk).unwrap()).assemble(&reads).unwrap();
+            assert_same_run(&one_shot, &streamed);
+            assert!(streamed.chunk_violations.is_empty(), "{:?}", streamed.chunk_violations);
+        }
+    }
+
+    #[test]
+    fn checkpointed_kill_and_resume_is_byte_identical() {
+        let reads = sim_reads(22, 700);
+        let config = PimAssemblerConfig::small_test(13).with_observability(true);
+        let reference = PimAssembler::new(config).assemble(&reads).unwrap();
+
+        // Ingest part of the stream, then "die" (drop the session).
+        let dir = temp_dir("kill-resume");
+        prepare_dir(&dir, false).unwrap();
+        let streamed = config.with_chunk_reads(9).unwrap();
+        {
+            let mut asm = PimAssembler::new(streamed);
+            let mut session = Session::start(&mut asm, Some(dir.clone())).unwrap();
+            for chunk in reads.chunks(9).take(3) {
+                session.feed(chunk).unwrap();
+            }
+        }
+        // Resume on a *different* worker count: results are invariant.
+        let mut asm = PimAssembler::new(streamed.with_workers(4));
+        let resumed = asm.resume_assemble(&reads, &dir).unwrap();
+        assert_same_run(&reference, &resumed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_and_completed_checkpoints() {
+        let reads = sim_reads(23, 500);
+        let dir = temp_dir("reject");
+        let config = PimAssemblerConfig::small_test(13).with_chunk_reads(16).unwrap();
+        let done = PimAssembler::new(config).assemble_checkpointed(&reads, &dir, false).unwrap();
+        assert!(done.chunk_violations.is_empty());
+        // The finished run leaves a `done` checkpoint behind.
+        let err = PimAssembler::new(config).resume_assemble(&reads, &dir).unwrap_err();
+        assert!(err.to_string().contains("completed"), "{err}");
+        // A different fingerprint (k) is refused outright.
+        let other = PimAssemblerConfig::small_test(15);
+        let err = PimAssembler::new(other).resume_assemble(&reads, &dir).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // Occupied directory without --force is refused for fresh runs.
+        let err = PimAssembler::new(config).assemble_checkpointed(&reads, &dir, false).unwrap_err();
+        assert!(matches!(err, PimError::CheckpointDirNotEmpty { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointing_forbids_fault_injection() {
+        let dir = temp_dir("faults");
+        prepare_dir(&dir, false).unwrap();
+        let mut asm = PimAssembler::new(PimAssemblerConfig::small_test(13));
+        asm.inject_faults(pim_dram::fault::FaultConfig::new(0.001, 42));
+        let err = match Session::start(&mut asm, Some(dir.clone())) {
+            Err(err) => err,
+            Ok(_) => panic!("fault-armed session must not checkpoint"),
+        };
+        assert!(err.to_string().contains("fault injection"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

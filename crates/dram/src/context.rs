@@ -136,6 +136,11 @@ impl SubarrayContext {
         self.ledger = EnergyLedger::default();
     }
 
+    /// Overwrites the local ledger (checkpoint restore).
+    pub(crate) fn set_ledger(&mut self, ledger: EnergyLedger) {
+        self.ledger = ledger;
+    }
+
     /// Hot-path observability counters accumulated by this context since
     /// the last reset (cumulative across detach/reattach cycles).
     pub fn obsv(&self) -> &ContextObsv {

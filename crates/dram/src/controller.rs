@@ -238,10 +238,24 @@ impl Controller {
             if h.is_empty() {
                 continue;
             }
+            // Partition-item occupancy is a per-dispatch-batch sample, so
+            // its bucket shape depends on how the run was chunked; it lives
+            // in the host section, outside the deterministic contract.
+            let host = key == HistKey::PartitionItems;
             for (bucket, count) in h.nonzero_buckets() {
-                snap.add_counter(format!("hist.{}.b{bucket:02}", key.name()), count);
+                let name = format!("hist.{}.b{bucket:02}", key.name());
+                if host {
+                    *snap.host.entry(name).or_insert(0) += count;
+                } else {
+                    snap.add_counter(name, count);
+                }
             }
-            snap.add_counter(format!("hist.{}.total", key.name()), h.total_samples());
+            let total = format!("hist.{}.total", key.name());
+            if host {
+                *snap.host.entry(total).or_insert(0) += h.total_samples();
+            } else {
+                snap.add_counter(total, h.total_samples());
+            }
         }
         snap.add_counter("total.commands", self.total.total_commands());
         snap.add_counter("total.time_ps", self.total.total_time_ps());
@@ -678,6 +692,39 @@ impl Controller {
         out
     }
 
+    /// Restores checkpointed accounting onto a (typically fresh)
+    /// controller: the global ledger plus each listed context's local
+    /// ledger, with the merged total and stats cache recomputed. Contexts
+    /// are materialized on demand; observability counters are *not*
+    /// restored (the session layer folds checkpointed snapshots instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::SubarrayDetached`] if any listed sub-array is
+    /// currently checked out.
+    pub fn restore_accounting(
+        &mut self,
+        global: EnergyLedger,
+        contexts: &[(SubarrayId, EnergyLedger)],
+    ) -> Result<()> {
+        for &(id, _) in contexts {
+            if self.in_flight.contains_key(&id) {
+                return Err(DramError::SubarrayDetached { subarray: id });
+            }
+        }
+        self.global = global;
+        for &(id, ledger) in contexts {
+            self.live_context(id)?.set_ledger(ledger);
+        }
+        let mut total = self.global;
+        for ctx in self.contexts.values() {
+            total.merge(ctx.ledger());
+        }
+        self.total = total;
+        self.stats_cache = self.total.to_stats();
+        Ok(())
+    }
+
     /// Checks a context out of the controller for independent (possibly
     /// cross-thread) execution. Until reattached, every controller
     /// operation addressing `id` fails with
@@ -997,6 +1044,49 @@ mod tests {
         c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
         assert!(!c.metrics_enabled());
         assert!(c.metrics_snapshot().is_none());
+    }
+
+    #[test]
+    fn restore_accounting_reproduces_ledgers_and_stats() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.write_row(id, 0, &BitRow::ones(cols)).unwrap();
+        c.aap_copy(id, 0, 1).unwrap();
+        c.dpu_ops(3);
+        c.record_synthetic("AAP2", 2);
+
+        let global = *c.global_ledger();
+        let contexts: Vec<_> = c
+            .touched_subarrays()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|sid| (sid, *c.subarray_ledger(sid).unwrap()))
+            .collect();
+
+        let mut fresh = Controller::new(DramGeometry::tiny());
+        fresh.restore_accounting(global, &contexts).unwrap();
+        assert_eq!(fresh.ledger(), c.ledger());
+        assert_eq!(fresh.global_ledger(), c.global_ledger());
+        assert_eq!(*fresh.stats(), *c.stats());
+        assert_eq!(fresh.subarray_ledger(id), c.subarray_ledger(id));
+        // Accounting keeps accumulating on top of the restored baseline.
+        fresh.dpu_op();
+        c.dpu_op();
+        assert_eq!(fresh.ledger(), c.ledger());
+    }
+
+    #[test]
+    fn partition_items_histogram_lands_in_host_section() {
+        let (mut c, id) = ctrl();
+        let cols = c.geometry().cols;
+        c.enable_metrics();
+        c.write_row(id, 0, &BitRow::zeros(cols)).unwrap();
+        c.record_value(HistKey::PartitionItems, 4);
+        c.record_value(HistKey::HashProbeLen, 1);
+        let snap = c.metrics_snapshot().unwrap();
+        assert!(snap.counters.keys().all(|k| !k.contains("partition_items")), "{snap:?}");
+        assert_eq!(snap.host.get("hist.partition_items.total"), Some(&1));
+        assert_eq!(snap.counter("hist.hash_probe_len.total"), 1);
     }
 
     #[test]

@@ -216,6 +216,12 @@ impl EnergyLedger {
         self.classes[class.index()]
     }
 
+    /// Overwrites one class's totals — the restore counterpart of
+    /// [`EnergyLedger::class`], used when importing a checkpointed ledger.
+    pub fn set_class(&mut self, class: CommandClass, totals: ClassTotals) {
+        self.classes[class.index()] = totals;
+    }
+
     /// Adds `other`'s totals into `self`.
     pub fn merge(&mut self, other: &EnergyLedger) {
         for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
@@ -360,6 +366,20 @@ mod tests {
         let mut rebuilt = base;
         rebuilt.merge(&delta);
         assert_eq!(rebuilt, grown);
+    }
+
+    #[test]
+    fn set_class_imports_checkpointed_totals() {
+        let c = costs();
+        let mut src = EnergyLedger::default();
+        src.charge_many(CommandClass::Aap, &c, 5);
+        src.charge_many(CommandClass::Dpu, &c, 2);
+        let mut restored = EnergyLedger::default();
+        for class in COMMAND_CLASSES {
+            restored.set_class(class, src.class(class));
+        }
+        assert_eq!(restored, src);
+        assert_eq!(restored.to_stats(), src.to_stats());
     }
 
     #[test]

@@ -102,21 +102,63 @@ impl PendingRecord {
 /// # Ok::<(), pim_genome::GenomeError>(())
 /// ```
 pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
-    let mut records: Vec<FastaRecord> = Vec::new();
-    let mut pending: Option<PendingRecord> = None;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    fasta_records(reader).collect()
+}
+
+/// Streaming FASTA parser: an iterator over records.
+///
+/// Yields exactly the records [`read_fasta`] would return, in the same
+/// order (the eager reader is implemented on top of this iterator), but
+/// holds at most one input record — plus its ambiguity-split fragments —
+/// in memory at a time, so arbitrarily large files can be consumed
+/// out-of-core. Construct with [`fasta_records`].
+pub struct FastaRecords<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    pending: Option<PendingRecord>,
+    queue: std::collections::VecDeque<FastaRecord>,
+    done: bool,
+}
+
+/// Creates a streaming record iterator over a FASTA reader.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::fasta::fasta_records;
+///
+/// let input = ">seq1\nACGT\n>seq2\nTTNNTT\n";
+/// let names: Vec<String> = fasta_records(input.as_bytes())
+///     .map(|r| r.map(|rec| rec.name))
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(names, ["seq1", "seq2:1", "seq2:2"]);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+pub fn fasta_records<R: BufRead>(reader: R) -> FastaRecords<R> {
+    FastaRecords {
+        lines: reader.lines().enumerate(),
+        pending: None,
+        queue: std::collections::VecDeque::new(),
+        done: false,
+    }
+}
+
+impl<R: BufRead> FastaRecords<R> {
+    /// Consumes one input line, updating the pending record and pushing
+    /// any completed records onto the queue.
+    fn consume_line(&mut self, lineno: usize, line: &str) -> Result<()> {
         let line = line.trim_end();
         if line.is_empty() {
-            continue;
+            return Ok(());
         }
         if let Some(name) = line.strip_prefix('>') {
-            if let Some(p) = pending.take() {
-                p.finish(&mut records)?;
+            if let Some(p) = self.pending.take() {
+                let mut out = Vec::new();
+                p.finish(&mut out)?;
+                self.queue.extend(out);
             }
-            pending = Some(PendingRecord::new(name.trim().to_string(), lineno + 1));
+            self.pending = Some(PendingRecord::new(name.trim().to_string(), lineno + 1));
         } else {
-            let p = pending.as_mut().ok_or(GenomeError::MalformedFasta {
+            let p = self.pending.as_mut().ok_or(GenomeError::MalformedFasta {
                 line: lineno + 1,
                 reason: "sequence before first header",
             })?;
@@ -129,11 +171,48 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
                 }
             }
         }
+        Ok(())
     }
-    if let Some(p) = pending.take() {
-        p.finish(&mut records)?;
+}
+
+impl<R: BufRead> Iterator for FastaRecords<R> {
+    type Item = Result<FastaRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(rec) = self.queue.pop_front() {
+                return Some(Ok(rec));
+            }
+            if self.done {
+                return None;
+            }
+            match self.lines.next() {
+                None => {
+                    self.done = true;
+                    if let Some(p) = self.pending.take() {
+                        let mut out = Vec::new();
+                        if let Err(e) = p.finish(&mut out) {
+                            return Some(Err(e));
+                        }
+                        self.queue.extend(out);
+                    }
+                }
+                Some((lineno, line)) => {
+                    let line = match line {
+                        Ok(line) => line,
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e.into()));
+                        }
+                    };
+                    if let Err(e) = self.consume_line(lineno, &line) {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
     }
-    Ok(records)
 }
 
 /// Writes records to a writer, wrapping sequence lines at 70 columns.
@@ -250,5 +329,45 @@ mod tests {
     fn blank_lines_ignored() {
         let recs = read_fasta(">x\n\nAC\n\nGT\n".as_bytes()).unwrap();
         assert_eq!(recs[0].seq.to_string(), "ACGT");
+    }
+
+    /// Streaming and eager parses must agree record for record.
+    fn assert_streaming_matches_eager(input: &str) {
+        let eager = read_fasta(input.as_bytes()).unwrap();
+        let streamed: Vec<FastaRecord> =
+            fasta_records(input.as_bytes()).collect::<Result<_>>().unwrap();
+        assert_eq!(streamed, eager, "streamed/eager drift on {input:?}");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_multi_record_input() {
+        assert_streaming_matches_eager(">a\nACGT\nACGT\n>b desc\nTT\n>c\nGGGG\n");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_lowercase_input() {
+        assert_streaming_matches_eager(">x\nacgtACGT\n>y\ntgca\n");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_iupac_split_input() {
+        assert_streaming_matches_eager(">x\nACGTNNNNTTTT\n>gap\nNNNN\n>y\nNNACGTN\nNGGG\n");
+    }
+
+    #[test]
+    fn streaming_yields_records_before_the_file_ends() {
+        // The first record must be available after its header/body lines,
+        // without consuming the rest of the input eagerly.
+        let mut it = fasta_records(">a\nAC\n>b\nGT\n".as_bytes());
+        assert_eq!(it.next().unwrap().unwrap().name, "a");
+        assert_eq!(it.next().unwrap().unwrap().name, "b");
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn streaming_surfaces_errors_and_stops() {
+        let mut it = fasta_records("ACGT\n".as_bytes());
+        assert!(matches!(it.next(), Some(Err(GenomeError::MalformedFasta { .. }))));
+        assert!(it.next().is_none());
     }
 }

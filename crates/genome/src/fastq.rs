@@ -65,23 +65,57 @@ impl FastqRecord {
 /// # Ok::<(), pim_genome::GenomeError>(())
 /// ```
 pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
-    let mut lines = reader.lines().enumerate();
-    let mut records = Vec::new();
-    while let Some((n, header)) = lines.next() {
-        let header = header?;
-        if header.trim().is_empty() {
-            continue;
-        }
+    fastq_records(reader).collect()
+}
+
+/// Streaming FASTQ parser: an iterator over records.
+///
+/// Yields exactly the records [`read_fastq`] would return, in the same
+/// order (the eager reader is implemented on top of this iterator), but
+/// holds at most one four-line input record — plus its ambiguity-split
+/// fragments — in memory at a time. Construct with [`fastq_records`].
+pub struct FastqRecords<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    queue: std::collections::VecDeque<FastqRecord>,
+    done: bool,
+}
+
+/// Creates a streaming record iterator over a FASTQ reader.
+///
+/// # Examples
+///
+/// ```
+/// use pim_genome::fastq::fastq_records;
+///
+/// let text = "@r1\nACGT\n+\nIIII\n";
+/// let records: Vec<_> = fastq_records(text.as_bytes()).collect::<Result<_, _>>()?;
+/// assert_eq!(records[0].quals, vec![40, 40, 40, 40]);
+/// # Ok::<(), pim_genome::GenomeError>(())
+/// ```
+pub fn fastq_records<R: BufRead>(reader: R) -> FastqRecords<R> {
+    FastqRecords {
+        lines: reader.lines().enumerate(),
+        queue: std::collections::VecDeque::new(),
+        done: false,
+    }
+}
+
+impl<R: BufRead> FastqRecords<R> {
+    /// Parses the next four-line record (header already consumed as
+    /// `(n, header)`), pushing its fragments onto the queue.
+    fn parse_record(&mut self, n: usize, header: &str) -> Result<()> {
         let name = header
             .strip_prefix('@')
             .ok_or(GenomeError::MalformedFasta { line: n + 1, reason: "expected '@' header" })?
             .trim()
             .to_string();
-        let (_, seq_line) = lines
+        let (_, seq_line) = self
+            .lines
             .next()
             .ok_or(GenomeError::MalformedFasta { line: n + 2, reason: "missing sequence line" })?;
         let seq_line = seq_line?;
-        let (_, plus) = lines
+        let (_, plus) = self
+            .lines
             .next()
             .ok_or(GenomeError::MalformedFasta { line: n + 3, reason: "missing '+' separator" })?;
         if !plus?.starts_with('+') {
@@ -90,7 +124,8 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
                 reason: "expected '+' separator",
             });
         }
-        let (_, qual_line) = lines
+        let (_, qual_line) = self
+            .lines
             .next()
             .ok_or(GenomeError::MalformedFasta { line: n + 4, reason: "missing quality line" })?;
         let qual_line = qual_line?;
@@ -123,14 +158,47 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
         // An all-ambiguous (or empty) read contributes nothing assemblable.
         if fragments.len() == 1 {
             let (seq, quals) = fragments.pop().unwrap();
-            records.push(FastqRecord { name, seq, quals });
+            self.queue.push_back(FastqRecord { name, seq, quals });
         } else {
             for (i, (seq, quals)) in fragments.into_iter().enumerate() {
-                records.push(FastqRecord { name: format!("{name}:{}", i + 1), seq, quals });
+                self.queue.push_back(FastqRecord { name: format!("{name}:{}", i + 1), seq, quals });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Iterator for FastqRecords<R> {
+    type Item = Result<FastqRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(rec) = self.queue.pop_front() {
+                return Some(Ok(rec));
+            }
+            if self.done {
+                return None;
+            }
+            let Some((n, header)) = self.lines.next() else {
+                self.done = true;
+                return None;
+            };
+            let header = match header {
+                Ok(header) => header,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            if header.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = self.parse_record(n, &header) {
+                self.done = true;
+                return Some(Err(e));
             }
         }
     }
-    Ok(records)
 }
 
 /// Writes FASTQ records (Phred+33).
@@ -249,6 +317,46 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].name, "r");
         assert_eq!(recs[0].quals.len(), 4);
+    }
+
+    /// Streaming and eager parses must agree record for record.
+    fn assert_streaming_matches_eager(input: &str) {
+        let eager = read_fastq(input.as_bytes()).unwrap();
+        let streamed: Vec<FastqRecord> =
+            fastq_records(input.as_bytes()).collect::<Result<_>>().unwrap();
+        assert_eq!(streamed, eager, "streamed/eager drift on {input:?}");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_multi_record_input() {
+        assert_streaming_matches_eager("@a\nACGT\n+\nIIII\n@b\nTTG\n+\nJJJ\n\n@c\nGG\n+\nII\n");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_lowercase_input() {
+        assert_streaming_matches_eager("@r\nacgt\n+\nIIII\n@s\ntgCA\n+\nABCD\n");
+    }
+
+    #[test]
+    fn streaming_matches_eager_on_iupac_split_input() {
+        assert_streaming_matches_eager(
+            "@r\nACNNGT\n+\nIJKLMN\n@gap\nNNNN\n+\nIIII\n@s\nNACGTN\n+\nIIIIII\n",
+        );
+    }
+
+    #[test]
+    fn streaming_yields_records_incrementally() {
+        let mut it = fastq_records("@a\nAC\n+\nII\n@b\nGT\n+\nII\n".as_bytes());
+        assert_eq!(it.next().unwrap().unwrap().name, "a");
+        assert_eq!(it.next().unwrap().unwrap().name, "b");
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn streaming_surfaces_errors_and_stops() {
+        let mut it = fastq_records("ACGT\n".as_bytes());
+        assert!(matches!(it.next(), Some(Err(GenomeError::MalformedFasta { .. }))));
+        assert!(it.next().is_none());
     }
 
     #[test]

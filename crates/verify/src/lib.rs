@@ -21,6 +21,11 @@
 //!    retargeted to every lowering backend (Ambit TRA, PANDA MRAM) must
 //!    produce results identical to the software oracle while spending
 //!    backend-specific command mixes and energy totals.
+//! 5. **Staged-execution identity** ([`resume`]) — streamed, checkpointed,
+//!    killed, and resumed runs compared against the one-shot pipeline over
+//!    the worker-count × optimization-level matrix; contigs, command
+//!    stats, energy ledgers, and deterministic metrics must all be
+//!    byte-identical.
 //!
 //! ## Example
 //!
@@ -38,6 +43,7 @@ pub mod invariants;
 pub mod mapping;
 pub mod oracle;
 pub mod report;
+pub mod resume;
 
 pub use backends::{backend_suite, single_backend_suite, BackendSuiteOptions};
 pub use fault::{flip_rate_from_variation, run_campaign};
@@ -45,6 +51,7 @@ pub use genomes::{generate, Scenario, TestCase};
 pub use invariants::check_pipeline;
 pub use mapping::{mapping_suite, MappingSuiteOptions, MappingSuiteReport};
 pub use report::{FaultRunReport, InvariantReport, OracleReport, VerifyReport};
+pub use resume::{resume_suite, ResumeSuiteOptions};
 
 /// Knobs of [`standard_suite`].
 #[derive(Debug, Clone)]
@@ -111,6 +118,17 @@ pub fn standard_suite(options: &SuiteOptions) -> VerifyReport {
         report.faults =
             fault::run_campaign(&fault_case, options.k, &options.fault_rates, options.seed);
     }
+
+    // Staged-execution identity over a reduced matrix (serial + pooled at
+    // O0); the full worker × opt matrix lives in `resume_suite` and the
+    // CLI's `verify --stage resume`.
+    report.oracles.extend(resume::resume_suite(&ResumeSuiteOptions {
+        genome_len: options.genome_len,
+        k: 13,
+        seed: options.seed,
+        opt_levels: vec![pim_assembler::ir::OptLevel::O0],
+        ..ResumeSuiteOptions::default()
+    }));
     report
 }
 
@@ -126,7 +144,8 @@ mod tests {
             ..SuiteOptions::default()
         });
         assert!(report.passed(), "{report}");
-        assert_eq!(report.oracles.len(), 12, "4 oracles x 3 scenarios");
+        assert_eq!(report.oracles.len(), 14, "4 oracles x 3 scenarios + 2 resume cells");
+        assert_eq!(report.oracles.iter().filter(|o| o.stage == "resume").count(), 2);
         let inv = report.invariants.as_ref().unwrap();
         assert!(inv.commands_checked > 0);
         assert_eq!(report.faults.len(), 2);
